@@ -1,0 +1,238 @@
+// ABL-* — ablations of the design choices DESIGN.md calls out:
+//
+//   ABL-1  early termination: drop completed traces from pointer-jumping
+//          rounds (the paper's requirement) vs visiting all n each round.
+//          Metric: ⊙ applications / PRAM work.
+//   ABL-2  processor cap: the paper's "fork only up to P processes"
+//          T(n,P) = (n/P)·log n sweep on the PRAM simulator, P up to n —
+//          showing where extra processors stop helping (P > peak width).
+//   ABL-3  CAP vs reverse-topological DP for GIR path counting: same
+//          answers; the DP is work-efficient but sequential, CAP pays
+//          edge blowup for O(log) depth.  Metric: wall time + peak edges.
+//   ABL-4  CAP per-round coalescing (paper's paths-addition every round)
+//          vs merging once at the end.  Metric: peak intermediate edges.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "algebra/monoids.hpp"
+#include "core/general_ir.hpp"
+#include "core/ordinary_ir.hpp"
+#include "core/ordinary_ir_blocked.hpp"
+#include "core/ordinary_ir_pram.hpp"
+#include "core/ordinary_ir_spmd.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+#include "testing_workloads.hpp"
+
+using namespace ir;
+
+namespace {
+
+void ablation_early_termination() {
+  std::printf("ABL-1: early termination of completed traces\n");
+  support::TextTable table;
+  table.set_header({"n", "rounds", "ops (early-term)", "ops (naive)", "saving"});
+  const auto op = algebra::AddMonoid<std::uint64_t>{};
+  for (std::size_t n : {1000u, 10000u, 50000u}) {
+    support::SplitMix64 rng(n);
+    const auto sys = bench::random_ordinary_system(n, n + n / 2, rng, 0.9);
+    const auto init = bench::random_initial_u64(n + n / 2, rng);
+    core::OrdinaryIrStats eager, naive;
+    core::OrdinaryIrOptions eager_opt, naive_opt;
+    eager_opt.stats = &eager;
+    naive_opt.early_termination = false;
+    naive_opt.stats = &naive;
+    (void)core::ordinary_ir_parallel(op, sys, init, eager_opt);
+    (void)core::ordinary_ir_parallel(op, sys, init, naive_opt);
+    table.add_row({std::to_string(n), std::to_string(eager.rounds),
+                   std::to_string(eager.op_applications),
+                   std::to_string(naive.op_applications),
+                   support::fmt_f(100.0 * (1.0 - static_cast<double>(eager.op_applications) /
+                                                     static_cast<double>(naive.op_applications)),
+                                  1) +
+                       "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void ablation_processor_cap() {
+  std::printf("ABL-2: processor cap sweep (PRAM simulated time), n = 20000\n");
+  const std::size_t n = 20000;
+  support::SplitMix64 rng(1);
+  const auto sys = bench::random_ordinary_system(n, n + n / 2, rng, 0.9);
+  const auto init = bench::random_initial_u64(n + n / 2, rng);
+  const auto op = algebra::AddMonoid<std::uint64_t>{};
+  support::TextTable table;
+  table.set_header({"P", "simulated time", "time * P / (n log n)"});
+  for (std::size_t p = 1; p <= 65536; p *= 8) {
+    pram::Machine machine(p, pram::AccessMode::kCrew, pram::CostModel{}, false);
+    (void)core::ordinary_ir_pram_parallel(op, sys, init, machine);
+    const double norm = static_cast<double>(machine.stats().time) * static_cast<double>(p) /
+                        (static_cast<double>(n) * std::log2(static_cast<double>(n)));
+    table.add_row({std::to_string(p), std::to_string(machine.stats().time),
+                   support::fmt_f(norm, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("the normalized column is ~flat while P << n (the paper's (n/P)log n "
+              "regime) and rises once P exceeds the active width\n\n");
+}
+
+void ablation_cap_vs_dp() {
+  std::printf("ABL-3: CAP closure vs reverse-topological DP (GIR path counting)\n");
+  support::TextTable table;
+  table.set_header({"n", "CAP ms", "DP ms", "CAP rounds", "CAP peak edges", "match"});
+  algebra::ModMulMonoid op(1'000'000'007ull);
+  // NOTE: CAP's intermediate graphs can hold Θ(n·L) labeled edges (L =
+  // reachable leaves per node); the sizes below keep peak_edges in the
+  // tens of millions of bytes — the peak-edges column IS the ablation
+  // finding (the DP never materializes that volume).
+  for (std::size_t n : {200u, 800u, 2000u}) {
+    support::SplitMix64 rng(n);
+    const auto sys = bench::random_general_system(n, n / 2, rng, 0.7);
+    std::vector<std::uint64_t> init(n / 2);
+    for (auto& v : init) v = 1 + rng.below(1'000'000'006ull);
+
+    graph::CapResult cap_stats;
+    core::GeneralIrOptions cap_opt;
+    cap_opt.cap_out = &cap_stats;
+    support::Stopwatch t_cap;
+    const auto via_cap = core::general_ir_parallel(op, sys, init, cap_opt);
+    const double cap_ms = t_cap.millis();
+
+    core::GeneralIrOptions dp_opt;
+    dp_opt.reference_counts = true;
+    support::Stopwatch t_dp;
+    const auto via_dp = core::general_ir_parallel(op, sys, init, dp_opt);
+    const double dp_ms = t_dp.millis();
+
+    table.add_row({std::to_string(n), support::fmt_f(cap_ms, 2), support::fmt_f(dp_ms, 2),
+                   std::to_string(cap_stats.rounds), std::to_string(cap_stats.peak_edges),
+                   via_cap == via_dp ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void ablation_coalescing() {
+  std::printf("ABL-4: CAP per-round coalescing (paper) vs merge-at-end\n");
+  std::printf("(without the per-round paths-addition the edge multiset IS the path\n");
+  std::printf(" multiset — Fibonacci-exponential — so deferred merging only works on\n");
+  std::printf(" toy sizes; the paper's per-iteration merge is what keeps CAP polynomial)\n");
+  support::TextTable table;
+  table.set_header({"graph", "peak edges (per-round)", "peak edges (deferred)"});
+  for (std::size_t n : {16u, 24u, 30u}) {
+    // The Fibonacci dependence chain: every node has two out-edges.
+    graph::LabeledDag g(n);
+    for (std::size_t i = 2; i < n; ++i) {
+      g.add_edge(i, i - 1);
+      g.add_edge(i, i - 2);
+    }
+    graph::CapOptions eager, deferred;
+    deferred.coalesce_each_round = false;
+    const auto a = graph::cap_closure(g, eager);
+    const auto b = graph::cap_closure(g, deferred);
+    table.add_row({"fib-" + std::to_string(n), std::to_string(a.peak_edges),
+                   std::to_string(b.peak_edges)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void ablation_blocked_vs_jumping() {
+  std::printf("ABL-5: blocked two-level solver vs pointer jumping (work = ops)\n");
+  std::printf("workloads: 'local' = kernel-5-style f(i)=i-1 chain; 'scattered' = "
+              "random rewired reads\n");
+  support::TextTable table;
+  table.set_header({"workload", "n", "jumping ops", "blocked ops", "partial frac",
+                    "blocked/jumping"});
+  const auto op = algebra::AddMonoid<std::uint64_t>{};
+  const std::size_t blocks = 16;
+  for (const bool local : {true, false}) {
+    for (std::size_t n : {10000u, 100000u}) {
+      support::SplitMix64 rng(n + (local ? 1 : 0));
+      core::OrdinaryIrSystem sys;
+      if (local) {
+        sys.cells = n + 1;
+        for (std::size_t i = 0; i < n; ++i) {
+          sys.f.push_back(i);
+          sys.g.push_back(i + 1);
+        }
+      } else {
+        sys = bench::random_ordinary_system(n, n + n / 2, rng, 0.9);
+      }
+      const auto init = bench::random_initial_u64(sys.cells, rng);
+
+      core::OrdinaryIrStats jump_stats;
+      core::OrdinaryIrOptions jump_opt;
+      jump_opt.stats = &jump_stats;
+      const auto a = core::ordinary_ir_parallel(op, sys, init, jump_opt);
+
+      core::BlockedIrStats block_stats;
+      core::BlockedIrOptions block_opt;
+      block_opt.blocks = blocks;
+      block_opt.stats = &block_stats;
+      const auto b = core::ordinary_ir_blocked(op, sys, init, block_opt);
+      if (a != b) {
+        std::printf("ERROR: solver mismatch\n");
+        return;
+      }
+      table.add_row(
+          {local ? "local" : "scattered", std::to_string(n),
+           std::to_string(jump_stats.op_applications),
+           std::to_string(block_stats.op_applications),
+           support::fmt_f(static_cast<double>(block_stats.partials) / static_cast<double>(n),
+                          3),
+           support::fmt_f(static_cast<double>(block_stats.op_applications) /
+                              static_cast<double>(jump_stats.op_applications),
+                          2)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("the blocked solver is work-efficient (O(n)) on every input; pointer\n");
+  std::printf("jumping pays the log-depth tax in work — the paper's trade-off made "
+              "explicit\n\n");
+}
+
+void ablation_spmd_vs_forkjoin() {
+  std::printf("ABL-6: persistent SPMD workers vs fork/join per round (wall clock)\n");
+  support::TextTable table;
+  table.set_header({"n", "workers", "fork/join ms", "SPMD ms"});
+  const auto op = algebra::AddMonoid<std::uint64_t>{};
+  for (std::size_t n : {100000u, 400000u}) {
+    support::SplitMix64 rng(n);
+    const auto sys = bench::random_ordinary_system(n, n + n / 2, rng, 0.9);
+    const auto init = bench::random_initial_u64(n + n / 2, rng);
+    for (std::size_t workers : {2u, 4u}) {
+      parallel::ThreadPool pool(workers);
+      core::OrdinaryIrOptions options;
+      options.pool = &pool;
+      support::Stopwatch t_fork;
+      const auto a = core::ordinary_ir_parallel(op, sys, init, options);
+      const double fork_ms = t_fork.millis();
+
+      support::Stopwatch t_spmd;
+      const auto b = core::ordinary_ir_spmd(op, sys, init, workers);
+      const double spmd_ms = t_spmd.millis();
+      if (a != b) {
+        std::printf("ERROR: solver mismatch\n");
+        return;
+      }
+      table.add_row({std::to_string(n), std::to_string(workers),
+                     support::fmt_f(fork_ms, 2), support::fmt_f(spmd_ms, 2)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Optional argument: run a single section (1-6); default runs all.
+  const int which = argc > 1 ? std::atoi(argv[1]) : 0;
+  if (which == 0 || which == 1) ablation_early_termination();
+  if (which == 0 || which == 2) ablation_processor_cap();
+  if (which == 0 || which == 3) ablation_cap_vs_dp();
+  if (which == 0 || which == 4) ablation_coalescing();
+  if (which == 0 || which == 5) ablation_blocked_vs_jumping();
+  if (which == 0 || which == 6) ablation_spmd_vs_forkjoin();
+  return 0;
+}

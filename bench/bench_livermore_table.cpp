@@ -1,0 +1,54 @@
+// TAB-LIV — the paper's Section-1 Livermore Loops analysis as a table:
+// per-kernel recurrence class, derivation mode, and whether this library
+// ships an IR-parallel version; then the headline histogram.
+//
+// The surviving paper text lost digits in its loop lists, so the reproduced
+// claim is the distribution (see DESIGN.md): indexed recurrences strictly
+// outnumber classic linear ones, and only a minority of kernels is
+// recurrence-free.
+#include <cmath>
+#include <cstdio>
+
+#include "livermore/info.hpp"
+#include "livermore/kernels.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ir;
+
+  const auto ws = livermore::Workspace::standard(1997);
+  const auto table = livermore::classification_table(ws);
+
+  support::TextTable out;
+  out.set_header({"#", "kernel", "class", "derivation", "IR-parallel"});
+  for (const auto& info : table) {
+    out.add_row({std::to_string(info.id), info.name, core::to_string(info.cls),
+                 info.mechanized ? "mechanized" : "hand",
+                 info.parallelized ? "yes" : (info.in_ir_frame ? "-" : "out-of-frame")});
+  }
+  std::printf("TAB-LIV: classification of the 24 Livermore kernels\n\n%s\n",
+              out.render().c_str());
+
+  const auto histogram = livermore::class_histogram(table);
+  support::TextTable totals;
+  totals.set_header({"class", "kernels"});
+  totals.add_row({"no recurrence", std::to_string(histogram[0])});
+  totals.add_row({"linear recurrence", std::to_string(histogram[1])});
+  totals.add_row({"ordinary indexed", std::to_string(histogram[2])});
+  totals.add_row({"general indexed", std::to_string(histogram[3])});
+  std::printf("%s\n", totals.render().c_str());
+
+  const bool headline = histogram[2] + histogram[3] > histogram[1];
+  std::printf("paper headline (indexed > linear): %s\n", headline ? "HOLDS" : "FAILS");
+
+  // Also verify every kernel still runs and produces a finite checksum so
+  // the table is tied to living code, not stale annotations.
+  int ran = 0;
+  for (int id = 1; id <= livermore::kKernelCount; ++id) {
+    auto scratch = livermore::Workspace::standard(7);
+    const double checksum = livermore::run_kernel(id, scratch);
+    if (std::isfinite(checksum)) ++ran;
+  }
+  std::printf("kernels executed with finite checksums: %d/24\n", ran);
+  return headline && ran == 24 ? 0 : 1;
+}

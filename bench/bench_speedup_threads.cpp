@@ -1,0 +1,143 @@
+// Wall-clock scaling of the threaded solvers on a real shared-memory machine
+// (google-benchmark).  The paper only measures the PRAM simulation; these
+// benches answer the adoption question its model implies: does the
+// O(log n)-round schedule actually pay off on hardware?
+//
+// Series:
+//   BM_OrdinarySequential / BM_OrdinaryParallel(threads) — random ordinary
+//     systems across n.
+//   BM_LinearSequential / BM_LinearScan / BM_LinearMoebius — kernel-5-shaped
+//     chains: direct loop vs classic scan vs the Möbius route.
+#include <benchmark/benchmark.h>
+
+#include "algebra/monoids.hpp"
+#include "core/linear_ir.hpp"
+#include "core/ordinary_ir.hpp"
+#include "core/ordinary_ir_blocked.hpp"
+#include "core/ordinary_ir_spmd.hpp"
+#include "scan/linear_recurrence.hpp"
+#include "testing_workloads.hpp"
+
+namespace {
+
+using namespace ir;
+
+struct OrdinaryFixture {
+  core::OrdinaryIrSystem sys;
+  std::vector<std::uint64_t> init;
+
+  explicit OrdinaryFixture(std::size_t n) {
+    support::SplitMix64 rng(n);
+    sys = bench::random_ordinary_system(n, n + n / 2, rng, 0.9);
+    init = bench::random_initial_u64(n + n / 2, rng);
+  }
+};
+
+void BM_OrdinarySequential(benchmark::State& state) {
+  const OrdinaryFixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto op = algebra::AddMonoid<std::uint64_t>{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ordinary_ir_sequential(op, fx.sys, fx.init));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OrdinarySequential)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_OrdinaryParallel(benchmark::State& state) {
+  const OrdinaryFixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto op = algebra::AddMonoid<std::uint64_t>{};
+  parallel::ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  core::OrdinaryIrOptions options;
+  options.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ordinary_ir_parallel(op, fx.sys, fx.init, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OrdinaryParallel)
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Args({1000000, 1})
+    ->Args({1000000, 2})
+    ->Args({1000000, 4})
+    ->Args({1000000, 8});
+
+void BM_OrdinaryBlocked(benchmark::State& state) {
+  const OrdinaryFixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto op = algebra::AddMonoid<std::uint64_t>{};
+  parallel::ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  core::BlockedIrOptions options;
+  options.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ordinary_ir_blocked(op, fx.sys, fx.init, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OrdinaryBlocked)
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Args({1000000, 2})
+    ->Args({1000000, 4});
+
+void BM_OrdinarySpmd(benchmark::State& state) {
+  const OrdinaryFixture fx(static_cast<std::size_t>(state.range(0)));
+  const auto op = algebra::AddMonoid<std::uint64_t>{};
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ordinary_ir_spmd(op, fx.sys, fx.init, workers));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OrdinarySpmd)->Args({1000000, 2})->Args({1000000, 4});
+
+struct ChainFixture {
+  std::vector<double> a, b;
+
+  explicit ChainFixture(std::size_t n) : a(n), b(n) {
+    support::SplitMix64 rng(n + 13);
+    for (auto& e : a) e = rng.uniform(-0.9, 0.9);
+    for (auto& e : b) e = rng.uniform(-1.0, 1.0);
+  }
+};
+
+void BM_LinearSequential(benchmark::State& state) {
+  const ChainFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan::linear_recurrence_sequential(fx.a, fx.b, 0.5));
+  }
+}
+BENCHMARK(BM_LinearSequential)->Arg(100000)->Arg(1000000);
+
+void BM_LinearScan(benchmark::State& state) {
+  const ChainFixture fx(static_cast<std::size_t>(state.range(0)));
+  parallel::ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan::linear_recurrence_scan(fx.a, fx.b, 0.5, &pool));
+  }
+}
+BENCHMARK(BM_LinearScan)->Args({1000000, 2})->Args({1000000, 4})->Args({1000000, 8});
+
+void BM_LinearMoebius(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ChainFixture fx(n);
+  core::LinearIrLoop loop;
+  loop.system.cells = n + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    loop.system.f.push_back(i);
+    loop.system.g.push_back(i + 1);
+  }
+  loop.mul = fx.a;
+  loop.add = fx.b;
+  std::vector<double> init(n + 1, 0.0);
+  init[0] = 0.5;
+  parallel::ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  core::OrdinaryIrOptions options;
+  options.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::linear_ir_parallel(loop, init, options));
+  }
+}
+BENCHMARK(BM_LinearMoebius)->Args({1000000, 2})->Args({1000000, 4})->Args({1000000, 8});
+
+}  // namespace

@@ -1,0 +1,63 @@
+// Shared workload builders for the bench harnesses (mirrors the generators
+// the tests use; kept separate so bench binaries do not depend on test code).
+#pragma once
+
+#include <vector>
+
+#include "core/ir_problem.hpp"
+#include "support/rng.hpp"
+
+namespace ir::bench {
+
+/// Random ordinary IR system with injective g and `rewire_fraction` of reads
+/// redirected at earlier writes (chain-depth knob).
+inline core::OrdinaryIrSystem random_ordinary_system(std::size_t iterations,
+                                                     std::size_t cells,
+                                                     support::SplitMix64& rng,
+                                                     double rewire_fraction = 0.7) {
+  core::OrdinaryIrSystem sys;
+  sys.cells = cells;
+  sys.g = support::random_injection(iterations, cells, rng);
+  sys.f.resize(iterations);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    if (i > 0 && rng.chance(rewire_fraction)) {
+      sys.f[i] = sys.g[rng.below(i)];
+    } else {
+      sys.f[i] = rng.below(cells);
+    }
+  }
+  return sys;
+}
+
+/// Random general IR system (g may repeat; f/h independently rewired).
+inline core::GeneralIrSystem random_general_system(std::size_t iterations,
+                                                   std::size_t cells,
+                                                   support::SplitMix64& rng,
+                                                   double rewire_fraction = 0.6) {
+  core::GeneralIrSystem sys;
+  sys.cells = cells;
+  sys.g.resize(iterations);
+  sys.f.resize(iterations);
+  sys.h.resize(iterations);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    sys.g[i] = rng.below(cells);
+    auto pick = [&]() {
+      if (i > 0 && rng.chance(rewire_fraction)) return sys.g[rng.below(i)];
+      return rng.below(cells);
+    };
+    sys.f[i] = pick();
+    sys.h[i] = pick();
+  }
+  return sys;
+}
+
+/// Random positive initial values.
+inline std::vector<std::uint64_t> random_initial_u64(std::size_t cells,
+                                                     support::SplitMix64& rng,
+                                                     std::uint64_t bound = 1000) {
+  std::vector<std::uint64_t> init(cells);
+  for (auto& v : init) v = 1 + rng.below(bound - 1);
+  return init;
+}
+
+}  // namespace ir::bench

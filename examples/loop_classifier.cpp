@@ -1,0 +1,35 @@
+// The paper's Section-1 analysis, mechanized: classify all 24 Livermore
+// kernels into {no recurrence, linear recurrence, ordinary indexed, general
+// indexed} and print the table with per-kernel rationale.
+//
+//   $ ./loop_classifier
+#include <cstdio>
+
+#include "livermore/info.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ir;
+
+  const auto ws = livermore::Workspace::standard(1997);
+  const auto table = livermore::classification_table(ws);
+
+  support::TextTable out;
+  out.set_header({"#", "kernel", "class", "derivation", "IR-parallel", "rationale"});
+  for (const auto& info : table) {
+    out.add_row({std::to_string(info.id), info.name, core::to_string(info.cls),
+                 info.mechanized ? "mechanized" : "hand",
+                 info.parallelized ? "yes" : (info.in_ir_frame ? "-" : "out-of-frame"),
+                 info.rationale});
+  }
+  std::printf("%s\n", out.render().c_str());
+
+  const auto histogram = livermore::class_histogram(table);
+  std::printf("totals: %zu no recurrence, %zu linear, %zu ordinary indexed, "
+              "%zu general indexed\n",
+              histogram[0], histogram[1], histogram[2], histogram[3]);
+  std::printf("paper Section 1's claim — indexed recurrences outnumber classic linear "
+              "ones — %s\n",
+              histogram[2] + histogram[3] > histogram[1] ? "holds" : "does NOT hold");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: define an ordinary indexed recurrence, inspect its traces
+// (paper Lemma 1 / Figures 1-2), and solve it sequentially and in parallel.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "algebra/monoids.hpp"
+#include "core/ordinary_ir.hpp"
+#include "core/trace.hpp"
+
+int main() {
+  using namespace ir;
+
+  // The loop  for i = 0..3:  A[g(i)] := A[f(i)] . A[g(i)]
+  // over 8 cells, with chains that grow through f hitting earlier g's:
+  core::OrdinaryIrSystem sys;
+  sys.cells = 8;
+  sys.f = {0, 1, 3, 2};
+  sys.g = {1, 3, 5, 7};
+
+  std::printf("Ordinary IR system: %zu equations over %zu cells\n", sys.iterations(),
+              sys.cells);
+  std::printf("loop body: A[g(i)] := A[f(i)] * A[g(i)]\n\n");
+
+  // Lemma 1: every final value is an ordered product of initial elements.
+  const auto traces = core::ordinary_final_traces(sys);
+  std::printf("final-array traces (paper Figure 1):\n");
+  for (std::size_t x = 0; x < sys.cells; ++x) {
+    std::printf("  A'[%zu] = %s\n", x, core::render_trace(traces[x]).c_str());
+  }
+
+  // Solve with a non-commutative operator to show order preservation:
+  // string concatenation makes the trace visible in the output itself.
+  std::vector<std::string> labels(sys.cells);
+  for (std::size_t c = 0; c < sys.cells; ++c) labels[c] = std::string(1, char('a' + c));
+  const algebra::ConcatMonoid cat;
+
+  const auto sequential = core::ordinary_ir_sequential(cat, sys, labels);
+  core::OrdinaryIrStats stats;
+  core::OrdinaryIrOptions options;
+  options.stats = &stats;
+  const auto parallel = core::ordinary_ir_parallel(cat, sys, labels, options);
+
+  std::printf("\nsequential vs parallel (pointer-jumping, %zu rounds):\n", stats.rounds);
+  for (std::size_t x = 0; x < sys.cells; ++x) {
+    std::printf("  A'[%zu]: \"%s\" vs \"%s\"%s\n", x, sequential[x].c_str(),
+                parallel[x].c_str(), sequential[x] == parallel[x] ? "" : "  MISMATCH");
+  }
+
+  // And with plain numbers on a bigger random-ish chain.
+  core::OrdinaryIrSystem chain;
+  chain.cells = 1001;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    chain.f.push_back(i);
+    chain.g.push_back(i + 1);
+  }
+  std::vector<std::uint64_t> ones(1001, 1);
+  core::OrdinaryIrStats chain_stats;
+  core::OrdinaryIrOptions chain_options;
+  chain_options.stats = &chain_stats;
+  const auto sums = core::ordinary_ir_parallel(algebra::AddMonoid<std::uint64_t>{}, chain,
+                                               ones, chain_options);
+  std::printf("\n1000-deep chain solved in %zu rounds; A'[1000] = %llu (expect 1001)\n",
+              chain_stats.rounds, static_cast<unsigned long long>(sums[1000]));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Operator concepts for the IR solvers.
+//
+// The paper's three algorithm classes place increasingly strong requirements
+// on the loop's binary operator ⊙:
+//   * Ordinary IR   — ⊙ associative            (order of operands preserved)
+//   * Linear IR     — ⊙ is Möbius composition  (built by the library)
+//   * General IR    — ⊙ associative AND commutative, with an atomic power
+//                     a^k (the paper's assumption that lets Fibonacci-length
+//                     traces be evaluated in O(log) steps).
+// These concepts encode the requirements so misuse fails at compile time:
+// e.g. a string-concatenation monoid satisfies BinaryOperation (Ordinary IR
+// accepts it) but not PowerOperation (General IR rejects it).
+#pragma once
+
+#include <concepts>
+
+#include "support/bigint.hpp"
+#include "support/contract.hpp"
+
+namespace ir::algebra {
+
+/// An associative binary operation over Op::Value.
+/// Associativity itself is a semantic contract (checked by property tests,
+/// not expressible in the type system).
+template <typename Op>
+concept BinaryOperation = requires(const Op op, const typename Op::Value& a,
+                                   const typename Op::Value& b) {
+  typename Op::Value;
+  { op.combine(a, b) } -> std::convertible_to<typename Op::Value>;
+};
+
+/// A commutative associative operation with an atomic power a^k for
+/// (possibly huge) BigUint exponents k >= 1.
+template <typename Op>
+concept PowerOperation = BinaryOperation<Op> &&
+    requires(const Op op, const typename Op::Value& a, const support::BigUint& k) {
+      { op.pow(a, k) } -> std::convertible_to<typename Op::Value>;
+      requires Op::is_commutative;
+    };
+
+/// Square-and-multiply fallback for monoids without a closed-form power.
+/// Requires exponent >= 1 (no identity element is assumed — IR traces always
+/// contain each leaf at least once when its exponent is present).
+template <typename Op>
+  requires BinaryOperation<Op>
+typename Op::Value generic_pow(const Op& op, const typename Op::Value& base,
+                               const support::BigUint& exponent) {
+  IR_REQUIRE(!exponent.is_zero(), "generic_pow requires exponent >= 1");
+  const std::size_t bits = exponent.bit_length();
+  typename Op::Value result = base;
+  for (std::size_t i = bits - 1; i-- > 0;) {
+    result = op.combine(result, result);
+    if (exponent.bit(i)) result = op.combine(result, base);
+  }
+  return result;
+}
+
+}  // namespace ir::algebra

@@ -1,0 +1,59 @@
+// Modular arithmetic helpers (64-bit, overflow-safe via 128-bit products).
+//
+// Modular monoids are the test workhorse for GIR: exponents there are
+// Fibonacci-sized BigUints, and mod-p arithmetic lets tests compare the
+// power-gathered parallel evaluation against exact sequential execution
+// without floating-point error or overflow.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bigint.hpp"
+#include "support/contract.hpp"
+
+namespace ir::algebra {
+
+/// (a * b) mod m without overflow.
+inline std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  IR_REQUIRE(m != 0, "modulus must be non-zero");
+  return static_cast<std::uint64_t>((static_cast<__uint128_t>(a) * b) % m);
+}
+
+/// (a + b) mod m without overflow.
+inline std::uint64_t add_mod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  IR_REQUIRE(m != 0, "modulus must be non-zero");
+  a %= m;
+  b %= m;
+  const std::uint64_t space = m - a;
+  return b >= space ? b - space : a + b;
+}
+
+/// a^e mod m for a BigUint exponent (square-and-multiply over e's bits).
+/// By convention pow(a, 0) = 1 mod m.
+inline std::uint64_t pow_mod(std::uint64_t a, const support::BigUint& e, std::uint64_t m) {
+  IR_REQUIRE(m != 0, "modulus must be non-zero");
+  if (m == 1) return 0;
+  std::uint64_t result = 1;
+  std::uint64_t base = a % m;
+  const std::size_t bits = e.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (e.bit(i)) result = mul_mod(result, base, m);
+    base = mul_mod(base, base, m);
+  }
+  return result;
+}
+
+/// (k * a) mod m for a BigUint k — the additive monoid's closed-form power.
+inline std::uint64_t scale_mod(const support::BigUint& k, std::uint64_t a, std::uint64_t m) {
+  IR_REQUIRE(m != 0, "modulus must be non-zero");
+  // Horner over k's limbs: k = sum limb_i * 2^(32 i).
+  std::uint64_t result = 0;
+  const auto& limbs = k.limbs();
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    result = mul_mod(result, (1ull << 32) % m, m);
+    result = add_mod(result, mul_mod(limbs[i] % m, a % m, m), m);
+  }
+  return result;
+}
+
+}  // namespace ir::algebra

@@ -1,0 +1,21 @@
+#include "algebra/moebius.hpp"
+
+#include <cstdio>
+
+namespace ir::algebra {
+
+std::string MoebiusMap::to_string() const {
+  char buf[128];
+  if (c == 0.0 && d == 1.0) {
+    if (a == 0.0) {
+      std::snprintf(buf, sizeof buf, "x -> %g", b);
+    } else {
+      std::snprintf(buf, sizeof buf, "x -> %g*x + %g", a, b);
+    }
+  } else {
+    std::snprintf(buf, sizeof buf, "x -> (%g*x + %g)/(%g*x + %g)", a, b, c, d);
+  }
+  return buf;
+}
+
+}  // namespace ir::algebra

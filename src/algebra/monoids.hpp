@@ -1,0 +1,186 @@
+// A library of ready-made operator instances for the IR solvers.
+//
+// Commutative power monoids (usable with General IR):
+//   AddMonoid<T>, MulMonoid<double>, ModAddMonoid, ModMulMonoid,
+//   MinMonoid<T>, MaxMonoid<T>
+// Associative but non-commutative operations (Ordinary IR only):
+//   ConcatMonoid (strings — the order-preservation witness),
+//   Mat2Monoid<T> (2x2 matrix product)
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "algebra/concepts.hpp"
+#include "algebra/modular.hpp"
+
+namespace ir::algebra {
+
+/// Addition.  pow(a, k) = k·a.  For unsigned integral T the arithmetic is the
+/// usual wraparound mod 2^width, which stays exact under huge exponents.
+template <typename T>
+struct AddMonoid {
+  using Value = T;
+  static constexpr bool is_commutative = true;
+
+  Value combine(const Value& a, const Value& b) const { return a + b; }
+
+  Value pow(const Value& a, const support::BigUint& k) const {
+    if constexpr (std::is_floating_point_v<T>) {
+      return static_cast<T>(k.to_double()) * a;
+    } else {
+      // Horner over limbs, wrapping mod 2^width.
+      T result = 0;
+      const auto& limbs = k.limbs();
+      for (std::size_t i = limbs.size(); i-- > 0;) {
+        if constexpr (sizeof(T) * 8 > 32) {
+          result = static_cast<T>(result << 32);
+        } else {
+          result = 0;  // 2^32 == 0 mod 2^width for width <= 32
+        }
+        result = static_cast<T>(result + static_cast<T>(limbs[i]) * a);
+      }
+      return result;
+    }
+  }
+};
+
+/// Multiplication over doubles.  pow uses the closed form std::pow.
+struct MulMonoid {
+  using Value = double;
+  static constexpr bool is_commutative = true;
+
+  Value combine(Value a, Value b) const { return a * b; }
+  Value pow(Value a, const support::BigUint& k) const {
+    return std::pow(a, k.to_double());
+  }
+};
+
+/// Addition mod m (exact under arbitrary exponents via scale_mod).
+struct ModAddMonoid {
+  using Value = std::uint64_t;
+  static constexpr bool is_commutative = true;
+
+  explicit ModAddMonoid(std::uint64_t modulus) : modulus_(modulus) {
+    IR_REQUIRE(modulus >= 1, "modulus must be positive");
+  }
+
+  Value combine(Value a, Value b) const { return add_mod(a, b, modulus_); }
+  Value pow(Value a, const support::BigUint& k) const { return scale_mod(k, a, modulus_); }
+  [[nodiscard]] std::uint64_t modulus() const noexcept { return modulus_; }
+
+ private:
+  std::uint64_t modulus_;
+};
+
+/// Multiplication mod m (exact under arbitrary exponents via pow_mod).
+struct ModMulMonoid {
+  using Value = std::uint64_t;
+  static constexpr bool is_commutative = true;
+
+  explicit ModMulMonoid(std::uint64_t modulus) : modulus_(modulus) {
+    IR_REQUIRE(modulus >= 1, "modulus must be positive");
+  }
+
+  Value combine(Value a, Value b) const { return mul_mod(a, b, modulus_); }
+  Value pow(Value a, const support::BigUint& k) const { return pow_mod(a, k, modulus_); }
+  [[nodiscard]] std::uint64_t modulus() const noexcept { return modulus_; }
+
+ private:
+  std::uint64_t modulus_;
+};
+
+/// Minimum (idempotent: a^k = a).
+template <typename T>
+struct MinMonoid {
+  using Value = T;
+  static constexpr bool is_commutative = true;
+  Value combine(const Value& a, const Value& b) const { return std::min(a, b); }
+  Value pow(const Value& a, const support::BigUint& k) const {
+    IR_REQUIRE(!k.is_zero(), "power of an absent element");
+    return a;
+  }
+};
+
+/// Maximum (idempotent: a^k = a).
+template <typename T>
+struct MaxMonoid {
+  using Value = T;
+  static constexpr bool is_commutative = true;
+  Value combine(const Value& a, const Value& b) const { return std::max(a, b); }
+  Value pow(const Value& a, const support::BigUint& k) const {
+    IR_REQUIRE(!k.is_zero(), "power of an absent element");
+    return a;
+  }
+};
+
+/// Argmin over (value, index) pairs: the reduction behind Livermore 24
+/// ("find location of first minimum").  Ties break toward the SMALLER index,
+/// which makes the operation commutative and associative, and "first
+/// minimum" falls out of initializing index = position.  Idempotent, so
+/// powers are trivial.
+template <typename T>
+struct ArgMinMonoid {
+  struct Value {
+    T value;
+    std::size_t index;
+    friend bool operator==(const Value&, const Value&) = default;
+  };
+  static constexpr bool is_commutative = true;
+
+  Value combine(const Value& a, const Value& b) const {
+    if (b.value < a.value) return b;
+    if (a.value < b.value) return a;
+    return a.index <= b.index ? a : b;
+  }
+  Value pow(const Value& a, const support::BigUint& k) const {
+    IR_REQUIRE(!k.is_zero(), "power of an absent element");
+    return a;
+  }
+};
+
+/// Addition over BigUint: exact unbounded integers.  pow(a, k) = k·a is a
+/// BigUint product, so GIR traces with astronomic multiplicities evaluate
+/// exactly (the Fibonacci demo without mod-p).
+struct BigAddMonoid {
+  using Value = support::BigUint;
+  static constexpr bool is_commutative = true;
+  Value combine(const Value& a, const Value& b) const { return a + b; }
+  Value pow(const Value& a, const support::BigUint& k) const { return a * k; }
+};
+
+/// String concatenation: associative, NOT commutative, no power form.
+/// Used by tests to prove Ordinary IR preserves operand order (the paper's
+/// "our algorithm should preserve the multiplication order").
+struct ConcatMonoid {
+  using Value = std::string;
+  static constexpr bool is_commutative = false;
+  Value combine(const Value& a, const Value& b) const { return a + b; }
+};
+
+/// 2x2 matrix product: associative, NOT commutative.  Value is row-major.
+template <typename T>
+struct Mat2Monoid {
+  using Value = std::array<T, 4>;
+  static constexpr bool is_commutative = false;
+  Value combine(const Value& a, const Value& b) const {
+    return Value{a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+                 a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+  }
+};
+
+static_assert(PowerOperation<AddMonoid<std::uint64_t>>);
+static_assert(PowerOperation<MulMonoid>);
+static_assert(PowerOperation<ModAddMonoid>);
+static_assert(PowerOperation<ModMulMonoid>);
+static_assert(PowerOperation<MinMonoid<int>>);
+static_assert(PowerOperation<ArgMinMonoid<double>>);
+static_assert(PowerOperation<BigAddMonoid>);
+static_assert(BinaryOperation<ConcatMonoid>);
+static_assert(!PowerOperation<ConcatMonoid>);
+static_assert(BinaryOperation<Mat2Monoid<double>>);
+static_assert(!PowerOperation<Mat2Monoid<double>>);
+
+}  // namespace ir::algebra

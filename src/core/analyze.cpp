@@ -1,0 +1,115 @@
+#include "core/analyze.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace ir::core {
+
+std::string to_string(SolverRoute route) {
+  switch (route) {
+    case SolverRoute::kElementwiseParallel: return "elementwise parallel";
+    case SolverRoute::kScanOrMoebius: return "pair scan / Moebius IR";
+    case SolverRoute::kOrdinaryJumping: return "ordinary IR pointer jumping";
+    case SolverRoute::kGeneralCap: return "general IR via CAP";
+  }
+  return "?";
+}
+
+SystemReport analyze(const GeneralIrSystem& sys) {
+  sys.validate();
+  SystemReport report;
+  report.iterations = sys.iterations();
+  report.cells = sys.cells;
+  report.loop_class = classify(sys);
+  switch (report.loop_class) {
+    case LoopClass::kNoRecurrence:
+      report.route = SolverRoute::kElementwiseParallel;
+      break;
+    case LoopClass::kLinearRecurrence:
+      report.route = SolverRoute::kScanOrMoebius;
+      break;
+    case LoopClass::kOrdinaryIndexed:
+      report.route = SolverRoute::kOrdinaryJumping;
+      break;
+    case LoopClass::kGeneralIndexed:
+      report.route = SolverRoute::kGeneralCap;
+      break;
+  }
+
+  const std::size_t n = sys.iterations();
+  const auto pred_f = last_writer_before(sys.g, sys.f, sys.cells);
+  const auto pred_h = last_writer_before(sys.g, sys.h, sys.cells);
+
+  std::vector<std::size_t> depth(n, 1);
+  std::vector<bool> written(sys.cells, false);
+  std::vector<bool> initially_read(sys.cells, false);
+  std::size_t total_depth = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t d = 1;
+    bool has_dep = false;
+    for (const std::size_t p : {pred_f[i], pred_h[i]}) {
+      if (p == kNone) continue;
+      has_dep = true;
+      ++report.dependences;
+      d = std::max(d, depth[p] + 1);
+    }
+    if (pred_f[i] == kNone) initially_read[sys.f[i]] = true;
+    if (pred_h[i] == kNone) initially_read[sys.h[i]] = true;
+    if (!has_dep) ++report.roots;
+    if (written[sys.g[i]]) ++report.repeated_writes;
+    written[sys.g[i]] = true;
+    depth[i] = d;
+    report.depth = std::max(report.depth, d);
+    total_depth += d;
+  }
+  report.mean_depth = n == 0 ? 0.0 : static_cast<double>(total_depth) / static_cast<double>(n);
+  for (std::size_t c = 0; c < sys.cells; ++c) {
+    if (initially_read[c]) ++report.initial_reads;
+  }
+  report.predicted_rounds =
+      report.depth <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(report.depth - 1));
+
+  for (std::size_t blocks = 2; blocks <= 256 && blocks <= std::max<std::size_t>(n, 2);
+       blocks *= 2) {
+    if (n == 0) break;
+    const std::size_t chunk = (n + blocks - 1) / blocks;
+    std::size_t crossing = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const std::size_t p : {pred_f[i], pred_h[i]}) {
+        if (p != kNone && p / chunk != i / chunk) {
+          ++crossing;
+          break;
+        }
+      }
+    }
+    report.cross_block_fraction.emplace_back(
+        blocks, static_cast<double>(crossing) / static_cast<double>(n));
+  }
+  return report;
+}
+
+SystemReport analyze(const OrdinaryIrSystem& sys) {
+  return analyze(GeneralIrSystem::from_ordinary(sys));
+}
+
+std::string SystemReport::to_string() const {
+  std::string out;
+  out += "class:            " + core::to_string(loop_class) + "\n";
+  out += "recommended:      " + core::to_string(route) + "\n";
+  out += "equations:        " + std::to_string(iterations) + " over " +
+         std::to_string(cells) + " cells\n";
+  out += "dependences:      " + std::to_string(dependences) + " (" +
+         std::to_string(roots) + " root equations, " + std::to_string(repeated_writes) +
+         " repeated writes)\n";
+  out += "chain depth:      max " + std::to_string(depth) + ", mean " +
+         std::to_string(mean_depth) + "\n";
+  out += "initial reads:    " + std::to_string(initial_reads) + " cells\n";
+  out += "predicted rounds: " + std::to_string(predicted_rounds) + "\n";
+  for (const auto& [blocks, fraction] : cross_block_fraction) {
+    out += "cross-block@" + std::to_string(blocks) + ":   " +
+           std::to_string(fraction) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ir::core

@@ -1,0 +1,60 @@
+#include "core/classify.hpp"
+
+namespace ir::core {
+
+std::string to_string(LoopClass cls) {
+  switch (cls) {
+    case LoopClass::kNoRecurrence: return "no recurrence";
+    case LoopClass::kLinearRecurrence: return "linear recurrence";
+    case LoopClass::kOrdinaryIndexed: return "ordinary indexed recurrence";
+    case LoopClass::kGeneralIndexed: return "general indexed recurrence";
+  }
+  return "?";
+}
+
+LoopClass classify(const GeneralIrSystem& sys) {
+  sys.validate();
+  const std::size_t n = sys.iterations();
+  const auto pred_f = last_writer_before(sys.g, sys.f, sys.cells);
+  const auto pred_h = last_writer_before(sys.g, sys.h, sys.cells);
+
+  bool any_dependence = false;
+  bool only_previous = true;  // every dependence is on iteration i-1
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t p : {pred_f[i], pred_h[i]}) {
+      if (p == kNone) continue;
+      any_dependence = true;
+      if (p + 1 != i) only_previous = false;
+    }
+  }
+  if (!any_dependence) return LoopClass::kNoRecurrence;
+  if (only_previous) return LoopClass::kLinearRecurrence;
+
+  // The paper's ordinary class: self-referencing update (h == g) with a
+  // distinct write map.
+  bool h_is_g = sys.h == sys.g;
+  if (h_is_g) {
+    std::vector<bool> written(sys.cells, false);
+    bool injective = true;
+    for (const std::size_t cell : sys.g) {
+      if (written[cell]) {
+        injective = false;
+        break;
+      }
+      written[cell] = true;
+    }
+    if (injective) return LoopClass::kOrdinaryIndexed;
+  }
+  return LoopClass::kGeneralIndexed;
+}
+
+LoopClass classify(const OrdinaryIrSystem& sys) {
+  GeneralIrSystem gir;
+  gir.cells = sys.cells;
+  gir.f = sys.f;
+  gir.g = sys.g;
+  gir.h = sys.g;
+  return classify(gir);
+}
+
+}  // namespace ir::core

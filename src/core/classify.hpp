@@ -1,0 +1,50 @@
+// Loop classification — the paper's Section-1 taxonomy.
+//
+// The paper motivates IR equations by classifying the 24 Livermore Loops:
+// some contain no recurrence at all (trivially parallel), a few contain
+// classic linear recurrences (solvable by parallel prefix), and most of the
+// rest contain *indexed* recurrences.  This module mechanizes that taxonomy
+// for any loop expressed as a (f, g, h) index-map triple:
+//
+//   kNoRecurrence     — no iteration reads a value produced by an earlier
+//                       iteration: every equation is independent.
+//   kLinearRecurrence — the flow dependences form the single chain
+//                       i depends exactly on i-1 (after the initial
+//                       iteration), i.e. the classic A[i] = op(A[i-1], ·)
+//                       shape parallel prefix handles.
+//   kOrdinaryIndexed  — g injective and h = g: the paper's Section-2 class,
+//                       solvable by the greedy trace-concatenation algorithm
+//                       with any associative op.
+//   kGeneralIndexed   — everything else: Section 4's GIR class, needing a
+//                       commutative op and power-as-atomic evaluation.
+//
+// Classification is *semantic* (computed from the materialized dependence
+// structure), not syntactic, so reindexed or strided loops classify by what
+// they do rather than how they are spelled.
+#pragma once
+
+#include <string>
+
+#include "core/ir_problem.hpp"
+
+namespace ir::core {
+
+/// The four classes, ordered from cheapest to hardest to parallelize.
+enum class LoopClass {
+  kNoRecurrence,
+  kLinearRecurrence,
+  kOrdinaryIndexed,
+  kGeneralIndexed,
+};
+
+/// Human-readable class name.
+[[nodiscard]] std::string to_string(LoopClass cls);
+
+/// Classify a general IR system per the taxonomy above.
+[[nodiscard]] LoopClass classify(const GeneralIrSystem& sys);
+
+/// Classify a loop with a single read operand (h absent): the analysis runs
+/// on the GIR embedding with h := g.
+[[nodiscard]] LoopClass classify(const OrdinaryIrSystem& sys);
+
+}  // namespace ir::core

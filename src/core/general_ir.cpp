@@ -1,0 +1,82 @@
+#include "core/general_ir.hpp"
+
+#include <algorithm>
+
+namespace ir::core {
+
+std::size_t DependenceGraph::leaf_of_cell(std::size_t cell) const {
+  IR_REQUIRE(cell < cell_leaf.size(), "cell out of range");
+  return cell_leaf[cell];
+}
+
+std::vector<std::string> DependenceGraph::node_names(const GeneralIrSystem& sys) const {
+  std::vector<std::string> names(dag.node_count());
+  for (std::size_t i = 0; i < iterations; ++i) {
+    names[i] = "i" + std::to_string(i) + ":A[" + std::to_string(sys.g[i]) + "]";
+  }
+  for (std::size_t l = 0; l < leaf_cell.size(); ++l) {
+    names[iterations + l] = "A0[" + std::to_string(leaf_cell[l]) + "]";
+  }
+  return names;
+}
+
+DependenceGraph build_dependence_graph(const GeneralIrSystem& sys) {
+  sys.validate();
+  const std::size_t n = sys.iterations();
+  const auto pred_f = last_writer_before(sys.g, sys.f, sys.cells);
+  const auto pred_h = last_writer_before(sys.g, sys.h, sys.cells);
+
+  // Pass 1: identify every cell whose *initial* value is read (a chain-root
+  // read via f or h); those get leaf nodes.
+  std::vector<std::size_t> cell_leaf(sys.cells, kNone);
+  std::vector<std::size_t> leaf_cell;
+  auto ensure_leaf = [&](std::size_t cell) {
+    if (cell_leaf[cell] == kNone) {
+      cell_leaf[cell] = leaf_cell.size();  // leaf-local id for now
+      leaf_cell.push_back(cell);
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred_f[i] == kNone) ensure_leaf(sys.f[i]);
+    if (pred_h[i] == kNone) ensure_leaf(sys.h[i]);
+  }
+
+  // Pass 2: materialize the graph — iteration nodes first, leaves after.
+  DependenceGraph graph;
+  graph.dag = graph::LabeledDag(n + leaf_cell.size());
+  graph.iterations = n;
+  graph.leaf_cell = std::move(leaf_cell);
+  for (std::size_t cell = 0; cell < sys.cells; ++cell) {
+    if (cell_leaf[cell] != kNone) cell_leaf[cell] += n;  // globalize leaf ids
+  }
+  graph.cell_leaf = std::move(cell_leaf);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t f_target =
+        pred_f[i] == kNone ? graph.cell_leaf[sys.f[i]] : pred_f[i];
+    const std::size_t h_target =
+        pred_h[i] == kNone ? graph.cell_leaf[sys.h[i]] : pred_h[i];
+    graph.dag.add_edge(i, f_target);
+    graph.dag.add_edge(i, h_target);
+  }
+  return graph;
+}
+
+std::vector<std::vector<std::pair<std::size_t, support::BigUint>>> general_ir_exponents(
+    const GeneralIrSystem& sys, const graph::CapOptions& cap_options) {
+  const DependenceGraph graph = build_dependence_graph(sys);
+  const graph::CapResult cap = graph::cap_closure(graph.dag, cap_options);
+  std::vector<std::vector<std::pair<std::size_t, support::BigUint>>> exponents(
+      sys.iterations());
+  for (std::size_t i = 0; i < sys.iterations(); ++i) {
+    auto& row = exponents[i];
+    row.reserve(cap.counts[i].size());
+    for (const auto& edge : cap.counts[i]) {
+      row.emplace_back(graph.leaf_cell[edge.to - graph.iterations], edge.label);
+    }
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  return exponents;
+}
+
+}  // namespace ir::core

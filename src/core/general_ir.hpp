@@ -1,0 +1,222 @@
+// General indexed recurrences — GIR (paper Section 4).
+//
+//     for i = 0 .. n-1:  A[g(i)] := op(A[f(i)], A[h(i)])
+//
+// with f, g, h unrestricted.  Two facts change everything relative to the
+// ordinary case (paper Figure 4):
+//   * the trace of an equation is a binary TREE, so a parallel evaluation
+//     reassociates across both operands — op must be COMMUTATIVE (enforced
+//     here at compile time via the PowerOperation concept);
+//   * traces can be exponentially long (A[i] := A[i-1]·A[i-2] has
+//     Fibonacci-sized traces, Figure 5), so the power a^k must be an atomic
+//     operation.
+//
+// The algorithm (paper Definition 2 + Figures 6-9):
+//   1. Build the dependence graph: one node per iteration, one leaf per
+//      initial value read; iteration i points at the last writer of f(i) and
+//      of h(i), or at the corresponding initial-value leaf.
+//   2. CAP — count all paths from every node to every leaf.  The number of
+//      paths from iteration i to leaf x is exactly the exponent of initial
+//      value A₀[x] in the trace of equation i.
+//   3. Evaluate every written cell as the ⊙-product of leaf powers, in
+//      O(log k) tree-fold steps per trace.
+//
+// Non-distinct g (the extension the paper defers to its full version) needs
+// no special casing: "last writer" edges already encode write-after-write
+// ordering, and the final array takes each cell from its last writer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algebra/concepts.hpp"
+#include "core/ir_problem.hpp"
+#include "graph/cap.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace ir::core {
+
+/// The Definition-2 dependence graph of a GIR system.
+/// Nodes [0, iterations) are equations; nodes [iterations, iterations +
+/// leaf_cell.size()) are initial-value leaves (one per cell that is read
+/// before it is first written).
+struct DependenceGraph {
+  graph::LabeledDag dag{0};
+  std::size_t iterations = 0;
+  std::vector<std::size_t> leaf_cell;  ///< leaf-local index -> cell it carries
+  std::vector<std::size_t> cell_leaf;  ///< cell -> global leaf node id, or kNone
+
+  /// Node id of cell x's initial-value leaf, or kNone if never read initially.
+  [[nodiscard]] std::size_t leaf_of_cell(std::size_t cell) const;
+
+  /// Pretty names ("i3:A[6]" for iteration nodes — writing A[g(3)] — and
+  /// "A0[x]" for leaves) for rendering (paper Figure 6).
+  [[nodiscard]] std::vector<std::string> node_names(
+      const GeneralIrSystem& sys) const;
+};
+
+/// Build the dependence graph of `sys` (paper Definition 2 / Figure 6).
+[[nodiscard]] DependenceGraph build_dependence_graph(const GeneralIrSystem& sys);
+
+/// Exponent of every initial value in every equation's trace:
+/// result[i] = pairs (cell, exponent) with exponent >= 1, sorted by cell.
+/// This is CAP(G) restated in array terms, and the Figure-5 oracle
+/// (for A[i] := A[i-1]·A[i-2] the exponents are Fibonacci numbers).
+[[nodiscard]] std::vector<std::vector<std::pair<std::size_t, support::BigUint>>>
+general_ir_exponents(const GeneralIrSystem& sys, const graph::CapOptions& cap_options = {});
+
+/// Options for the parallel GIR solver.
+struct GeneralIrOptions {
+  /// Pool used for CAP rounds and the per-cell evaluations.
+  parallel::ThreadPool* pool = nullptr;
+
+  /// Use the sequential reverse-topological DP instead of the CAP closure
+  /// for path counting (the ablation comparing the parallel closure against
+  /// the work-efficient sequential algorithm).
+  bool reference_counts = false;
+
+  /// Merge parallel edges every CAP round (paper behaviour) or only at the
+  /// end; see graph::CapOptions.
+  bool coalesce_each_round = true;
+
+  /// Skip equations whose results are overwritten before ever being read —
+  /// CAP then only processes ancestors of final writers (the paper's
+  /// "version which avoids spawning unnecessary processes").  Off by
+  /// default so the default run is the paper's plain algorithm; ABL-7
+  /// measures the saving.
+  bool prune_dead = false;
+
+  /// If non-null, receives the CAP statistics (rounds, peak edges).
+  graph::CapResult* cap_out = nullptr;
+
+  /// If non-null, receives the number of equation nodes CAP processed
+  /// (== iterations unless prune_dead dropped some).
+  std::size_t* live_equations = nullptr;
+};
+
+/// Sequential reference (ground truth): execute the loop as written.
+/// Associativity/commutativity are irrelevant here — this is the defining
+/// semantics every parallel variant must match.
+template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> general_ir_sequential(
+    const Op& op, const GeneralIrSystem& sys, std::vector<typename Op::Value> values) {
+  sys.validate();
+  IR_REQUIRE(values.size() == sys.cells, "initial array must have `cells` entries");
+  for (std::size_t i = 0; i < sys.iterations(); ++i) {
+    values[sys.g[i]] = op.combine(values[sys.f[i]], values[sys.h[i]]);
+  }
+  return values;
+}
+
+/// Parallel GIR solver.  Requires a commutative power monoid (compile-time
+/// enforced) — exactly the paper's requirements on op.
+template <algebra::PowerOperation Op>
+std::vector<typename Op::Value> general_ir_parallel(
+    const Op& op, const GeneralIrSystem& sys, std::vector<typename Op::Value> initial,
+    const GeneralIrOptions& options = {}) {
+  using Value = typename Op::Value;
+  sys.validate();
+  IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
+
+  const DependenceGraph graph = build_dependence_graph(sys);
+  const std::vector<std::size_t> last = final_writer(sys.g, sys.cells);
+
+  std::vector<std::vector<graph::Edge>> counts;
+  if (options.reference_counts) {
+    counts = graph::path_counts_reference(graph.dag);
+    if (options.live_equations != nullptr) *options.live_equations = sys.iterations();
+  } else {
+    graph::CapOptions cap_options;
+    cap_options.coalesce_each_round = options.coalesce_each_round;
+    cap_options.pool = options.pool;
+    if (options.prune_dead) {
+      // Mark the ancestors of every final-writer node (descendant closure
+      // along consumer -> producer edges, found by DFS from the final
+      // writers).  Everything else is a dead write nobody reads.
+      std::vector<bool> active(graph.dag.node_count(), false);
+      std::vector<std::size_t> stack;
+      for (std::size_t cell = 0; cell < sys.cells; ++cell) {
+        if (last[cell] != kNone && !active[last[cell]]) {
+          active[last[cell]] = true;
+          stack.push_back(last[cell]);
+        }
+      }
+      while (!stack.empty()) {
+        const std::size_t v = stack.back();
+        stack.pop_back();
+        for (const auto& e : graph.dag.out_edges(v)) {
+          if (!active[e.to]) {
+            active[e.to] = true;
+            stack.push_back(e.to);
+          }
+        }
+      }
+      if (options.live_equations != nullptr) {
+        std::size_t live = 0;
+        for (std::size_t i = 0; i < graph.iterations; ++i) live += active[i] ? 1 : 0;
+        *options.live_equations = live;
+      }
+      cap_options.active = std::move(active);
+    } else if (options.live_equations != nullptr) {
+      *options.live_equations = sys.iterations();
+    }
+    graph::CapResult cap = graph::cap_closure(graph.dag, cap_options);
+    counts = std::move(cap.counts);
+    if (options.cap_out != nullptr) {
+      options.cap_out->rounds = cap.rounds;
+      options.cap_out->peak_edges = cap.peak_edges;
+    }
+  }
+
+  // Evaluate the final value of every written cell from its last writer's
+  // leaf powers; each trace is a balanced ⊙-fold over its powered leaves
+  // (O(log k) depth, matching the paper's "computed in parallel in log k
+  // steps").
+  std::vector<Value> result = std::move(initial);
+
+  // NOTE: evaluation reads initial values at leaf cells.  A leaf cell is
+  // read before any write, but it may ALSO be written later — so evaluation
+  // must not overwrite leaves while other cells still read them.  Freeze a
+  // snapshot and compute into a scratch array first.
+  std::vector<Value> finals(sys.cells);
+  {
+    const std::vector<Value> snapshot = result;  // initial values frozen for leaves
+    auto eval_into = [&](std::size_t cell) {
+      const std::size_t writer = last[cell];
+      if (writer == kNone) return;
+      const auto& powers = counts[writer];
+      IR_INVARIANT(!powers.empty(), "an equation node must reach at least one leaf");
+      std::vector<Value> terms;
+      terms.reserve(powers.size());
+      for (const auto& edge : powers) {
+        const std::size_t leaf_local = edge.to - graph.iterations;
+        IR_INVARIANT(leaf_local < graph.leaf_cell.size(), "CAP edge must point at a leaf");
+        const Value& base = snapshot[graph.leaf_cell[leaf_local]];
+        terms.push_back(edge.label == support::BigUint{1} ? base : op.pow(base, edge.label));
+      }
+      while (terms.size() > 1) {
+        std::size_t half = terms.size() / 2;
+        for (std::size_t k = 0; k < half; ++k) {
+          terms[k] = op.combine(terms[2 * k], terms[2 * k + 1]);
+        }
+        if (terms.size() % 2 == 1) {
+          terms[half] = terms.back();
+          ++half;
+        }
+        terms.resize(half);
+      }
+      finals[cell] = terms.front();
+    };
+    if (options.pool != nullptr) {
+      parallel::parallel_for(*options.pool, sys.cells, eval_into);
+    } else {
+      for (std::size_t cell = 0; cell < sys.cells; ++cell) eval_into(cell);
+    }
+  }
+  for (std::size_t cell = 0; cell < sys.cells; ++cell) {
+    if (last[cell] != kNone) result[cell] = std::move(finals[cell]);
+  }
+  return result;
+}
+
+}  // namespace ir::core

@@ -1,0 +1,152 @@
+// General IR (GIR) on the PRAM cost simulator.
+//
+// The paper gives the GIR algorithm's structure (Definition 2 + CAP +
+// powered evaluation) but evaluates only the ordinary case on SimParC.
+// This driver closes that gap: it expresses every CAP round and the final
+// powered evaluation as synchronous machine steps, so the Section-4
+// complexity claims — O(log n) rounds on up to O(n³) processors, powers as
+// atomic operations — become measurable curves (bench_gir_pram.cpp).
+//
+// Cost conventions (see pram/cost_model.hpp):
+//   * examining/emitting one labeled edge   = one shared read / write,
+//   * one label multiply or add (BigUint)   = one apply_op,
+//   * one atomic power a^k                  = one apply_op (the paper's
+//     assumption; the host still computes the exact value),
+//   * one ⊙ application                     = one apply_op.
+// Writes are whole-adjacency-row replacements, so the machine's buffered
+// write phase doubles as CAP's synchronous-round semantics (no manual
+// double buffering).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "algebra/concepts.hpp"
+#include "core/general_ir.hpp"
+#include "pram/machine.hpp"
+
+namespace ir::core {
+
+/// The original GIR loop on the simulator's sequential mode (baseline).
+template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> general_ir_pram_original_loop(
+    const Op& op, const GeneralIrSystem& sys, std::vector<typename Op::Value> values,
+    pram::Machine& machine) {
+  sys.validate();
+  IR_REQUIRE(values.size() == sys.cells, "initial array must have `cells` entries");
+  machine.sequential(sys.iterations(), [&](pram::Pe& pe, std::size_t i) {
+    const auto left = pe.read(values[sys.f[i]]);
+    const auto right = pe.read(values[sys.h[i]]);
+    pe.apply_op();
+    pe.write(values[sys.g[i]], op.combine(left, right));
+  });
+  return values;
+}
+
+/// Parallel GIR on the simulator: graph build (one step), CAP rounds (one
+/// step each), powered evaluation (one step).  Returns the final array;
+/// must equal general_ir_sequential.
+template <algebra::PowerOperation Op>
+std::vector<typename Op::Value> general_ir_pram_parallel(
+    const Op& op, const GeneralIrSystem& sys, std::vector<typename Op::Value> initial,
+    pram::Machine& machine) {
+  using Value = typename Op::Value;
+  using graph::Edge;
+  sys.validate();
+  IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
+  const std::size_t n = sys.iterations();
+  if (n == 0) return initial;
+
+  // Step 1: materialize the dependence graph.  The host builds it; the step
+  // charges each equation its two edge emissions (the paper likewise treats
+  // the next-pointer arrays as precomputable in one parallel step).
+  const DependenceGraph dep = build_dependence_graph(sys);
+  const std::size_t nodes = dep.dag.node_count();
+  std::vector<std::vector<Edge>> adjacency(nodes);
+  std::vector<bool> is_leaf(nodes);
+  machine.step(n, [&](pram::Pe& pe, std::size_t i) {
+    pe.write(adjacency[i], dep.dag.out_edges(i));
+    pe.local(dep.dag.out_edges(i).size());
+  });
+  for (std::size_t v = 0; v < nodes; ++v) is_leaf[v] = dep.dag.is_leaf(v);
+
+  // Step 2: CAP rounds — paths multiplication + paths addition, one machine
+  // step per round, one item per node.
+  auto closed = [&]() {
+    for (std::size_t v = 0; v < nodes; ++v) {
+      for (const Edge& e : adjacency[v]) {
+        if (!is_leaf[e.to]) return false;
+      }
+    }
+    return true;
+  };
+  while (!closed()) {
+    machine.step(nodes, [&](pram::Pe& pe, std::size_t v) {
+      std::vector<Edge> next;
+      for (const Edge& e : adjacency[v]) {
+        pe.local(1);  // edge examined
+        if (is_leaf[e.to]) {
+          next.push_back(e);
+          continue;
+        }
+        const std::vector<Edge>& hops = pe.read(adjacency[e.to]);
+        for (const Edge& hop : hops) {
+          pe.apply_op();  // label multiplication (Fig. 7)
+          next.push_back(Edge{hop.to, e.label * hop.label});
+        }
+      }
+      // Paths addition (Fig. 8): merge duplicate targets.
+      std::sort(next.begin(), next.end(),
+                [](const Edge& a, const Edge& b) { return a.to < b.to; });
+      std::vector<Edge> merged;
+      for (auto& e : next) {
+        if (!merged.empty() && merged.back().to == e.to) {
+          pe.apply_op();  // label addition
+          merged.back().label += e.label;
+        } else {
+          merged.push_back(std::move(e));
+        }
+      }
+      pe.local(merged.size());  // edges emitted
+      pe.write(adjacency[v], std::move(merged));
+    });
+  }
+
+  // Step 3: powered evaluation, one item per written cell.
+  const std::vector<std::size_t> last = final_writer(sys.g, sys.cells);
+  std::vector<std::size_t> written_cells;
+  for (std::size_t c = 0; c < sys.cells; ++c) {
+    if (last[c] != kNone) written_cells.push_back(c);
+  }
+  std::vector<Value> result = initial;
+  const std::vector<Value>& frozen = initial;  // leaves read pre-loop values
+  machine.step(written_cells.size(), [&](pram::Pe& pe, std::size_t k) {
+    const std::size_t cell = written_cells[k];
+    const std::vector<Edge>& powers = pe.read(adjacency[last[cell]]);
+    IR_INVARIANT(!powers.empty(), "equation node must reach a leaf");
+    std::vector<Value> terms;
+    terms.reserve(powers.size());
+    for (const Edge& e : powers) {
+      const std::size_t leaf_cell = dep.leaf_cell[e.to - dep.iterations];
+      const Value& base = pe.read(frozen[leaf_cell]);
+      pe.apply_op();  // atomic power
+      terms.push_back(e.label == support::BigUint{1} ? base : op.pow(base, e.label));
+    }
+    while (terms.size() > 1) {
+      std::size_t half = terms.size() / 2;
+      for (std::size_t t = 0; t < half; ++t) {
+        pe.apply_op();
+        terms[t] = op.combine(terms[2 * t], terms[2 * t + 1]);
+      }
+      if (terms.size() % 2 == 1) {
+        terms[half] = terms.back();
+        ++half;
+      }
+      terms.resize(half);
+    }
+    pe.write(result[cell], std::move(terms.front()));
+  });
+  return result;
+}
+
+}  // namespace ir::core

@@ -1,0 +1,54 @@
+// Inspector/executor support: build IR systems from runtime-recorded
+// subscripts.
+//
+// The IR frame requires index maps that do not depend on the data array —
+// but loops like the Livermore PIC kernels compute their scatter targets at
+// runtime.  The classic remedy is inspector/executor: run a cheap inspector
+// pass that RECORDS the subscripts each iteration would use (legal whenever
+// the subscript computation itself is independent of the recurrence array),
+// then hand the recorded system to the IR solvers.  SystemRecorder is that
+// recording surface; livermore/parallel.cpp uses it for kernels 13 and 14.
+#pragma once
+
+#include <vector>
+
+#include "core/ir_problem.hpp"
+
+namespace ir::core {
+
+/// Accumulates equations A[g] = op(A[f], A[h]) in loop order.
+class SystemRecorder {
+ public:
+  /// @param cells  size of the flat cell space equations index into
+  explicit SystemRecorder(std::size_t cells) : cells_(cells) {}
+
+  /// Record A[g] = op(A[f], A[h]).  Indices are range-checked immediately so
+  /// a buggy inspector fails at the recording site, not inside a solver.
+  void record(std::size_t f, std::size_t g, std::size_t h) {
+    IR_REQUIRE(f < cells_ && g < cells_ && h < cells_, "recorded index out of range");
+    sys_.f.push_back(f);
+    sys_.g.push_back(g);
+    sys_.h.push_back(h);
+  }
+
+  /// Record a self-update A[g] = op(A[f], A[g]).
+  void record_self(std::size_t f, std::size_t g) { record(f, g, g); }
+
+  /// Equations recorded so far.
+  [[nodiscard]] std::size_t equations() const noexcept { return sys_.g.size(); }
+
+  [[nodiscard]] std::size_t cells() const noexcept { return cells_; }
+
+  /// Finalize into a validated system (the recorder is spent afterwards).
+  [[nodiscard]] GeneralIrSystem finish() && {
+    sys_.cells = cells_;
+    sys_.validate();
+    return std::move(sys_);
+  }
+
+ private:
+  std::size_t cells_;
+  GeneralIrSystem sys_;
+};
+
+}  // namespace ir::core

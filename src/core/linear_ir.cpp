@@ -1,0 +1,115 @@
+#include "core/linear_ir.hpp"
+
+#include "support/contract.hpp"
+
+namespace ir::core {
+
+using algebra::MoebiusCompose;
+using algebra::MoebiusMap;
+
+void LinearIrLoop::validate() const {
+  system.validate();
+  IR_REQUIRE(mul.size() == system.iterations() && add.size() == system.iterations(),
+             "coefficient arrays must have one entry per iteration");
+}
+
+void SelfLinearIrLoop::validate() const {
+  system.validate();
+  const std::size_t n = system.iterations();
+  IR_REQUIRE(a.size() == n && b.size() == n && c.size() == n && d.size() == n,
+             "coefficient arrays must have one entry per iteration");
+}
+
+void MoebiusIrLoop::validate() const {
+  system.validate();
+  IR_REQUIRE(maps.size() == system.iterations(),
+             "need exactly one map per iteration");
+}
+
+std::vector<double> linear_ir_sequential(const LinearIrLoop& loop, std::vector<double> x) {
+  loop.validate();
+  IR_REQUIRE(x.size() == loop.system.cells, "initial array must have `cells` entries");
+  for (std::size_t i = 0; i < loop.system.iterations(); ++i) {
+    x[loop.system.g[i]] = loop.mul[i] * x[loop.system.f[i]] + loop.add[i];
+  }
+  return x;
+}
+
+std::vector<double> self_linear_ir_sequential(const SelfLinearIrLoop& loop,
+                                              std::vector<double> x) {
+  loop.validate();
+  IR_REQUIRE(x.size() == loop.system.cells, "initial array must have `cells` entries");
+  for (std::size_t i = 0; i < loop.system.iterations(); ++i) {
+    const double xf = x[loop.system.f[i]];
+    const double xg = x[loop.system.g[i]];
+    x[loop.system.g[i]] = xg * (loop.c[i] * xf + loop.d[i]) + loop.a[i] * xf + loop.b[i];
+  }
+  return x;
+}
+
+std::vector<double> moebius_ir_sequential(const MoebiusIrLoop& loop, std::vector<double> x) {
+  loop.validate();
+  IR_REQUIRE(x.size() == loop.system.cells, "initial array must have `cells` entries");
+  for (std::size_t i = 0; i < loop.system.iterations(); ++i) {
+    x[loop.system.g[i]] = loop.maps[i].apply(x[loop.system.f[i]]);
+  }
+  return x;
+}
+
+std::vector<double> moebius_ir_run(const OrdinaryIrSystem& sys,
+                                   const std::vector<MoebiusMap>& iteration_maps,
+                                   std::vector<double> x, const OrdinaryIrOptions& options) {
+  IR_REQUIRE(x.size() == sys.cells, "initial array must have `cells` entries");
+  IR_REQUIRE(iteration_maps.size() == sys.iterations(),
+             "need exactly one map per iteration");
+
+  // Paper Section 3, steps 1-3, with the engine's hooks standing in for the
+  // matrix array: chain roots read constant maps built from the scalar
+  // initial values; each iteration's self operand is its coefficient map.
+  const std::vector<double>& init = x;
+  auto traces = ordinary_ir_iteration_values<MoebiusCompose>(
+      MoebiusCompose{}, sys,
+      [&init](std::size_t cell) { return MoebiusMap::constant(init[cell]); },
+      [&iteration_maps](std::size_t i) { return iteration_maps[i]; }, options);
+
+  std::vector<double> result = std::move(x);
+  for (std::size_t i = 0; i < sys.iterations(); ++i) {
+    // Every complete trace starts at a constant root, so the composed map is
+    // constant; evaluating it anywhere yields the final value.
+    IR_INVARIANT(traces[i].is_constant(), "composed Moebius trace must be constant");
+    result[sys.g[i]] = traces[i].apply(0.0);
+  }
+  return result;
+}
+
+std::vector<double> linear_ir_parallel(const LinearIrLoop& loop, std::vector<double> x,
+                                       const OrdinaryIrOptions& options) {
+  loop.validate();
+  std::vector<MoebiusMap> maps(loop.system.iterations());
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    maps[i] = MoebiusMap::affine(loop.mul[i], loop.add[i]);
+  }
+  return moebius_ir_run(loop.system, maps, std::move(x), options);
+}
+
+std::vector<double> self_linear_ir_parallel(const SelfLinearIrLoop& loop,
+                                            std::vector<double> x,
+                                            const OrdinaryIrOptions& options) {
+  loop.validate();
+  // g injective => X[g(i)] on the right-hand side is still the initial value
+  // S[g(i)]; folding it into the coefficients yields the paper's matrices.
+  std::vector<MoebiusMap> maps(loop.system.iterations());
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    const double s = x[loop.system.g[i]];
+    maps[i] = MoebiusMap::affine(s * loop.c[i] + loop.a[i], s * loop.d[i] + loop.b[i]);
+  }
+  return moebius_ir_run(loop.system, maps, std::move(x), options);
+}
+
+std::vector<double> moebius_ir_parallel(const MoebiusIrLoop& loop, std::vector<double> x,
+                                        const OrdinaryIrOptions& options) {
+  loop.validate();
+  return moebius_ir_run(loop.system, loop.maps, std::move(x), options);
+}
+
+}  // namespace ir::core

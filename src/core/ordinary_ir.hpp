@@ -1,0 +1,200 @@
+// Ordinary indexed recurrences (paper Section 2).
+//
+//     for i = 0 .. n-1:  A[g(i)] := op(A[f(i)], A[g(i)])     (g injective)
+//
+// Lemma 1 shows the final value of A[g(i)] is the ordered product of a
+// *chain* of initial values: start at iteration i and repeatedly hop to
+// pred(i) = the last iteration j < i with g(j) = f(i).  Because g is
+// injective the self-operand A[g(i)] is always cell g(i)'s initial value, so
+//
+//     W(i) = W(pred(i)) ⊙ S[g(i)],     W(root) = S[f(root)] ⊙ S[g(root)]
+//
+// and the pred links form a forest of chains.  The paper's greedy algorithm
+// concatenates adjacent sub-traces in every round — pointer jumping:
+//
+//     val[i] ← val[ptr[i]] ⊙ val[i];   ptr[i] ← ptr[ptr[i]]
+//
+// reaching all complete traces in ⌈log₂ n⌉ rounds with one processor per
+// equation.  Operand order is preserved, so ⊙ may be non-commutative.
+//
+// The engine below exposes two customization points used by the Möbius
+// solver (linear_ir.hpp):
+//   * root_value(cell)  — the value a chain root reads from an untouched cell
+//   * self_value(i)     — iteration i's right-hand operand
+// For the plain solver both come straight from the initial array.
+#pragma once
+
+#include <bit>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "algebra/concepts.hpp"
+#include "core/ir_problem.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/contract.hpp"
+
+namespace ir::core {
+
+/// Execution statistics of a parallel Ordinary-IR run (observability for
+/// tests and the ablation benches).
+struct OrdinaryIrStats {
+  std::size_t rounds = 0;           ///< pointer-jumping rounds executed
+  std::size_t op_applications = 0;  ///< total ⊙ applications across rounds
+  std::size_t peak_active = 0;      ///< widest round (active traces)
+};
+
+/// Options for the parallel solver.
+struct OrdinaryIrOptions {
+  /// Thread pool for the rounds; nullptr runs them on the calling thread
+  /// (still the same O(log n)-round schedule, useful for determinism).
+  parallel::ThreadPool* pool = nullptr;
+
+  /// The paper's "fork only up to P processes" cap on logical parallelism.
+  /// 0 means "one block per pool thread".
+  std::size_t processor_cap = 0;
+
+  /// Drop completed traces from subsequent rounds (the paper's "once a trace
+  /// has been completed we must not continue to concatenate").  Turning this
+  /// off reproduces the naive variant measured by the ablation bench.
+  bool early_termination = true;
+
+  /// If non-null, filled with run statistics.
+  OrdinaryIrStats* stats = nullptr;
+};
+
+/// Sequential reference: executes the loop as written.  Ground truth for
+/// every parallel variant.
+template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> ordinary_ir_sequential(
+    const Op& op, const OrdinaryIrSystem& sys, std::vector<typename Op::Value> values) {
+  sys.validate();
+  IR_REQUIRE(values.size() == sys.cells, "initial array must have `cells` entries");
+  for (std::size_t i = 0; i < sys.iterations(); ++i) {
+    values[sys.g[i]] = op.combine(values[sys.f[i]], values[sys.g[i]]);
+  }
+  return values;
+}
+
+/// The pointer-jumping engine: returns W(i) for every iteration i.
+///
+/// @param root_value  value read by a chain root from untouched cell `c`
+/// @param self_value  iteration i's right operand (cell g(i)'s initial value
+///                    in the plain solver; the coefficient map in the Möbius
+///                    solver)
+template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> ordinary_ir_iteration_values(
+    const Op& op, const OrdinaryIrSystem& sys,
+    const std::function<typename Op::Value(std::size_t)>& root_value,
+    const std::function<typename Op::Value(std::size_t)>& self_value,
+    const OrdinaryIrOptions& options = {}) {
+  using Value = typename Op::Value;
+  sys.validate();
+  const std::size_t n = sys.iterations();
+
+  std::vector<std::size_t> ptr = last_writer_before(sys.g, sys.f, sys.cells);
+  std::vector<Value> val;
+  val.reserve(n);
+  std::size_t initial_ops = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ptr[i] == kNone) {
+      // Chain root: its trace already starts with the untouched cell's value.
+      val.push_back(op.combine(root_value(sys.f[i]), self_value(i)));
+      ++initial_ops;
+    } else {
+      val.push_back(self_value(i));
+    }
+  }
+
+  OrdinaryIrStats stats;
+  stats.op_applications = initial_ops;
+
+  // Active set: iterations whose trace is not yet complete.
+  std::vector<std::size_t> active;
+  active.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ptr[i] != kNone) active.push_back(i);
+  }
+
+  const std::size_t max_rounds = static_cast<std::size_t>(std::bit_width(n)) + 2;
+  std::vector<Value> new_val;
+  std::vector<std::size_t> new_ptr;
+
+  auto run_indexed = [&](std::size_t count, const std::function<void(std::size_t)>& body) {
+    if (options.pool != nullptr) {
+      const std::size_t cap =
+          options.processor_cap != 0 ? options.processor_cap : options.pool->size();
+      parallel::parallel_for_capped(*options.pool, count, cap, body);
+    } else {
+      for (std::size_t k = 0; k < count; ++k) body(k);
+    }
+  };
+
+  while (!active.empty()) {
+    IR_INVARIANT(stats.rounds < max_rounds, "pointer jumping failed to converge");
+    stats.peak_active = std::max(stats.peak_active, active.size());
+    // Without early termination every equation is visited each round (the
+    // completed ones as no-ops); the visit count is what the ablation bench
+    // compares.
+    stats.op_applications += options.early_termination ? active.size() : n;
+
+    // Read phase: every active trace concatenates its predecessor's current
+    // sub-trace.  All reads see the round's input arrays; the write phase
+    // below applies the results afterwards (the PRAM synchronous-step
+    // discipline, here realized with side buffers).
+    new_val.resize(active.size());
+    new_ptr.resize(active.size());
+    run_indexed(active.size(), [&](std::size_t k) {
+      const std::size_t i = active[k];
+      const std::size_t p = ptr[i];
+      new_val[k] = op.combine(val[p], val[i]);
+      new_ptr[k] = ptr[p];
+    });
+
+    // Write phase.
+    run_indexed(active.size(), [&](std::size_t k) {
+      const std::size_t i = active[k];
+      val[i] = std::move(new_val[k]);
+      ptr[i] = new_ptr[k];
+    });
+
+    ++stats.rounds;
+
+    // A trace whose pointer reached kNone is complete; it must not absorb
+    // any further sub-traces (paper: "no more redundant traces should be
+    // added to it").  Dropping it from the active set enforces that; the
+    // early_termination flag above only changes the *cost model* (whether
+    // completed traces still pay a no-op visit), never correctness.
+    std::size_t kept = 0;
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      if (ptr[active[k]] != kNone) active[kept++] = active[k];
+    }
+    active.resize(kept);
+  }
+
+  if (options.stats != nullptr) *options.stats = stats;
+  return val;
+}
+
+/// Parallel Ordinary-IR solver (paper Section 2): O(log n) rounds of trace
+/// concatenation.  Returns the final array; equals ordinary_ir_sequential on
+/// every valid system, for any associative (not necessarily commutative) op.
+template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> ordinary_ir_parallel(
+    const Op& op, const OrdinaryIrSystem& sys, std::vector<typename Op::Value> initial,
+    const OrdinaryIrOptions& options = {}) {
+  IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
+  const std::vector<typename Op::Value>& init_ref = initial;
+  auto traces = ordinary_ir_iteration_values<Op>(
+      op, sys, [&init_ref](std::size_t cell) { return init_ref[cell]; },
+      [&init_ref, &sys](std::size_t i) { return init_ref[sys.g[i]]; }, options);
+  // g is injective, so each written cell has exactly one trace.
+  std::vector<typename Op::Value> result = std::move(initial);
+  for (std::size_t i = 0; i < sys.iterations(); ++i) {
+    result[sys.g[i]] = std::move(traces[i]);
+  }
+  return result;
+}
+
+}  // namespace ir::core

@@ -1,0 +1,165 @@
+// Work-efficient blocked Ordinary-IR solver (two-level scheme).
+//
+// Pure pointer jumping performs Θ(n log n) work; with P << n processors the
+// standard remedy is a two-level algorithm:
+//
+//   Phase 1 (parallel over P contiguous iteration blocks): sweep each block
+//     sequentially.  An equation whose predecessor lies in the same block
+//     inherits its running product in O(1); an equation whose predecessor
+//     lies in an earlier block becomes PARTIAL — its value is
+//     W(i) = W(ext(i)) ⊙ partial(i) with ext(i) outside the block.
+//   Phase 2: resolve the partials block by block, ascending.  When block b
+//     is processed every earlier block is fully resolved, so each partial
+//     needs exactly ONE ⊙: W(i) = W(ext(i)) ⊙ partial(i).  Within a block
+//     the partials are independent (their ext targets lie strictly earlier),
+//     so each block's fix-up is a parallel_for.
+//
+// Complexity: O(n) WORK always (one ⊙ per equation plus one per partial —
+// work-efficient, unlike pointer jumping's Θ(n log n)), and O(n/P + P)
+// TIME: P parallel block sweeps in phase 1, then P dependent-but-internally-
+// parallel fix-up steps.  The trade against the one-level engine is depth
+// (P vs log n); the ABL-5 bench measures the crossover, and the stats
+// expose the partial fraction so callers can pick a solver at runtime.
+//
+// Operand order is preserved (op may be non-commutative), same as the
+// one-level engine.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/ordinary_ir.hpp"
+
+namespace ir::core {
+
+/// Statistics of a blocked run.
+struct BlockedIrStats {
+  std::size_t blocks = 0;           ///< blocks used in phase 1
+  std::size_t partials = 0;         ///< equations with cross-block predecessors
+  std::size_t resolve_rounds = 0;   ///< pointer-jumping rounds over the partials
+  std::size_t op_applications = 0;  ///< total ⊙ applications (work)
+};
+
+/// Options for the blocked solver.
+struct BlockedIrOptions {
+  parallel::ThreadPool* pool = nullptr;  ///< phases 1/2 run here when set
+  std::size_t blocks = 0;                ///< 0 = one block per pool thread (or 1)
+  BlockedIrStats* stats = nullptr;
+};
+
+/// Iteration values W(i) via the two-level scheme; hooks as in
+/// ordinary_ir_iteration_values.
+template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> ordinary_ir_blocked_values(
+    const Op& op, const OrdinaryIrSystem& sys,
+    const std::function<typename Op::Value(std::size_t)>& root_value,
+    const std::function<typename Op::Value(std::size_t)>& self_value,
+    const BlockedIrOptions& options = {}) {
+  using Value = typename Op::Value;
+  sys.validate();
+  const std::size_t n = sys.iterations();
+  BlockedIrStats stats;
+
+  std::vector<Value> val;
+  val.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) val.push_back(self_value(i));
+  std::vector<std::size_t> ext(n, kNone);  // unresolved external predecessor
+  if (n == 0) {
+    if (options.stats != nullptr) *options.stats = stats;
+    return val;
+  }
+
+  const std::vector<std::size_t> pred = last_writer_before(sys.g, sys.f, sys.cells);
+  const std::size_t want_blocks =
+      options.blocks != 0 ? options.blocks
+                          : (options.pool != nullptr ? options.pool->size() : 1);
+  const auto blocks = parallel::partition_blocks(n, want_blocks);
+  stats.blocks = blocks.size();
+
+  // Phase 1: block-local sequential sweeps.  Per-block op counts are summed
+  // afterwards (no shared-counter contention inside the sweep).
+  std::vector<std::size_t> block_ops(blocks.size(), 0);
+  auto sweep = [&](std::size_t b) {
+    const auto& block = blocks[b];
+    std::size_t ops = 0;
+    for (std::size_t i = block.begin; i < block.end; ++i) {
+      const std::size_t p = pred[i];
+      if (p == kNone) {
+        val[i] = op.combine(root_value(sys.f[i]), val[i]);
+        ++ops;
+      } else if (p >= block.begin) {
+        // In-block predecessor (p < i always holds): fold its state in.
+        val[i] = op.combine(val[p], val[i]);
+        ext[i] = ext[p];
+        ++ops;
+      } else {
+        ext[i] = p;  // cross-block: resolve in phase 2
+      }
+    }
+    block_ops[b] = ops;
+  };
+  if (options.pool != nullptr) {
+    parallel::parallel_for(*options.pool, blocks.size(), sweep);
+  } else {
+    for (std::size_t b = 0; b < blocks.size(); ++b) sweep(b);
+  }
+  for (const std::size_t ops : block_ops) stats.op_applications += ops;
+
+  // Phase 2: block-ordered fix-up.  Every partial's ext target lies in an
+  // earlier block, so processing blocks in ascending order guarantees the
+  // target is COMPLETE by the time it is read — one ⊙ per partial.
+  std::vector<std::vector<std::size_t>> partials_per_block(blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (std::size_t i = blocks[b].begin; i < blocks[b].end; ++i) {
+      if (ext[i] != kNone) {
+        partials_per_block[b].push_back(i);
+        ++stats.partials;
+      }
+    }
+  }
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const auto& fixups = partials_per_block[b];
+    if (fixups.empty()) continue;
+    auto resolve = [&](std::size_t k) {
+      const std::size_t i = fixups[k];
+      const std::size_t e = ext[i];
+      IR_INVARIANT(e < blocks[b].begin && ext[e] == kNone,
+                   "phase-2 target must be complete and in an earlier block");
+      val[i] = op.combine(val[e], val[i]);
+    };
+    if (options.pool != nullptr) {
+      parallel::parallel_for(*options.pool, fixups.size(), resolve);
+    } else {
+      for (std::size_t k = 0; k < fixups.size(); ++k) resolve(k);
+    }
+    // Mark complete only after the whole block resolved (reads above must
+    // not observe half-finished neighbours — they cannot: targets are in
+    // earlier blocks — but later blocks DO read this block's ext flags).
+    for (const std::size_t i : fixups) ext[i] = kNone;
+    stats.op_applications += fixups.size();
+    ++stats.resolve_rounds;
+  }
+
+  if (options.stats != nullptr) *options.stats = stats;
+  return val;
+}
+
+/// Blocked Ordinary-IR solver: final array, same contract as
+/// ordinary_ir_parallel.
+template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> ordinary_ir_blocked(
+    const Op& op, const OrdinaryIrSystem& sys, std::vector<typename Op::Value> initial,
+    const BlockedIrOptions& options = {}) {
+  IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
+  const std::vector<typename Op::Value>& init_ref = initial;
+  auto traces = ordinary_ir_blocked_values<Op>(
+      op, sys, [&init_ref](std::size_t cell) { return init_ref[cell]; },
+      [&init_ref, &sys](std::size_t i) { return init_ref[sys.g[i]]; }, options);
+  std::vector<typename Op::Value> result = std::move(initial);
+  for (std::size_t i = 0; i < sys.iterations(); ++i) {
+    result[sys.g[i]] = std::move(traces[i]);
+  }
+  return result;
+}
+
+}  // namespace ir::core

@@ -1,0 +1,123 @@
+// Ordinary IR on the PRAM cost simulator — the Figure-3 experiment.
+//
+// The paper evaluates a processor-capped version of the Section-2 algorithm
+// on the SimParC simulator: Figure 3 plots simulated running time in
+// "assembly instructions" against the number of processors P for n = 50,000,
+// with the original sequential loop as the flat baseline, giving
+// T(n, P) = (n/P)·log n for the parallel curve.
+//
+// These drivers express both programs against ir::pram::Machine so the same
+// curves can be regenerated (bench/bench_fig3_pram.cpp).  They are also real
+// executions — outputs are checked against the host solvers in tests — and
+// the machine's access audit proves the schedule is CREW-clean.
+#pragma once
+
+#include <vector>
+
+#include "algebra/concepts.hpp"
+#include "core/ir_problem.hpp"
+#include "pram/machine.hpp"
+#include "support/contract.hpp"
+
+namespace ir::core {
+
+/// The original loop, run on the simulator's single-process sequential mode:
+///     for i: A[g(i)] := op(A[f(i)], A[g(i)])
+/// Charged per iteration: two shared reads, one ⊙, one shared write.
+template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> ordinary_ir_pram_original_loop(
+    const Op& op, const OrdinaryIrSystem& sys, std::vector<typename Op::Value> values,
+    pram::Machine& machine) {
+  sys.validate();
+  IR_REQUIRE(values.size() == sys.cells, "initial array must have `cells` entries");
+  machine.sequential(sys.iterations(), [&](pram::Pe& pe, std::size_t i) {
+    const auto left = pe.read(values[sys.f[i]]);
+    const auto right = pe.read(values[sys.g[i]]);
+    pe.apply_op();
+    pe.write(values[sys.g[i]], op.combine(left, right));
+  });
+  return values;
+}
+
+/// The parallel greedy algorithm on the simulator, processor-capped to
+/// machine.processors().  Returns the final array.
+///
+/// Step structure (each a synchronous machine step over n items):
+///   1. one initialization step (load pred pointer, seed val[i]),
+///   2. ⌈log₂ n⌉ concatenation rounds
+///        val[i] ← val[ptr[i]] ⊙ val[i];  ptr[i] ← ptr[ptr[i]]
+///      (with early termination, completed traces only pay the pointer load),
+///   3. one scatter step writing the traces back to the array.
+/// The pred chain itself is given to the machine as precomputed input, as the
+/// paper does for its next-pointer array N.
+template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> ordinary_ir_pram_parallel(
+    const Op& op, const OrdinaryIrSystem& sys, std::vector<typename Op::Value> initial,
+    pram::Machine& machine, bool early_termination = true) {
+  using Value = typename Op::Value;
+  sys.validate();
+  IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
+  const std::size_t n = sys.iterations();
+  if (n == 0) return initial;
+
+  std::vector<std::size_t> pred = last_writer_before(sys.g, sys.f, sys.cells);
+  std::vector<std::size_t> ptr(n);
+  std::vector<Value> val(n, initial[0]);
+
+  // Step 1: seed sub-traces of length one (the paper's "initially all traces
+  // are of length 1, and can be computed in parallel").
+  machine.step(n, [&](pram::Pe& pe, std::size_t i) {
+    const std::size_t p = pe.read(pred[i]);
+    pe.write(ptr[i], p);
+    if (p == kNone) {
+      const Value left = pe.read(initial[sys.f[i]]);
+      const Value right = pe.read(initial[sys.g[i]]);
+      pe.apply_op();
+      pe.write(val[i], op.combine(left, right));
+    } else {
+      pe.write(val[i], pe.read(initial[sys.g[i]]));
+    }
+  });
+
+  // Step 2: concatenation rounds.  With early termination, completed traces
+  // are compacted out of the round (the list maintenance is charged as one
+  // local op per surviving item); without it, every equation is stepped each
+  // round and completed traces pay their no-op pointer load.  Convergence is
+  // detected on the host (the simulator is a cost model); every executed
+  // round is charged in full.
+  std::vector<std::size_t> active(n);
+  for (std::size_t i = 0; i < n; ++i) active[i] = i;
+  auto jump = [&](pram::Pe& pe, std::size_t i) {
+    const std::size_t p = pe.read(ptr[i]);
+    if (p == kNone) return;  // completed trace: pays only the pointer load
+    const Value left = pe.read(val[p]);
+    const Value right = pe.read(val[i]);
+    pe.apply_op();
+    pe.write(val[i], op.combine(left, right));
+    pe.write(ptr[i], pe.read(ptr[p]));
+  };
+  while (!active.empty()) {
+    if (early_termination) {
+      machine.step(active.size(), [&](pram::Pe& pe, std::size_t k) {
+        pe.local();  // compaction bookkeeping
+        jump(pe, active[k]);
+      });
+    } else {
+      machine.step(n, jump);
+    }
+    std::size_t kept = 0;
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      if (ptr[active[k]] != kNone) active[kept++] = active[k];
+    }
+    active.resize(kept);
+  }
+
+  // Step 3: scatter traces into the result array (g injective => EREW).
+  std::vector<Value> result = std::move(initial);
+  machine.step(n, [&](pram::Pe& pe, std::size_t i) {
+    pe.write(result[sys.g[i]], pe.read(val[i]));
+  });
+  return result;
+}
+
+}  // namespace ir::core

@@ -1,0 +1,114 @@
+// Ordinary IR in true SPMD form: fork P workers ONCE, run every
+// pointer-jumping round inside them with barrier synchronization.
+//
+// This is the execution shape the paper's processor-capped version assumes
+// (processes persist across iterations; only a barrier separates rounds),
+// in contrast to the parallel_for path which forks/joins per round.  On a
+// real machine the difference is round-boundary overhead; ABL-6 measures it.
+//
+// The algorithm is the same trace concatenation as ordinary_ir.hpp:
+//   round:  new_val[i] = val[ptr[i]] ⊙ val[i];  new_ptr[i] = ptr[ptr[i]]
+//           (read phase)  — barrier —  (write phase)  — barrier —
+// Each worker owns a contiguous slice of equations; reads reach across
+// slices, writes never do.
+#pragma once
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "core/ordinary_ir.hpp"
+#include "parallel/spmd.hpp"
+
+namespace ir::core {
+
+/// SPMD Ordinary-IR solver with `workers` persistent threads.  Results match
+/// ordinary_ir_sequential exactly (associativity permitting); `stats`
+/// receives round counts when non-null.
+template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> ordinary_ir_spmd(const Op& op, const OrdinaryIrSystem& sys,
+                                                 std::vector<typename Op::Value> initial,
+                                                 std::size_t workers,
+                                                 OrdinaryIrStats* stats = nullptr) {
+  using Value = typename Op::Value;
+  sys.validate();
+  IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
+  IR_REQUIRE(workers >= 1, "need at least one worker");
+  const std::size_t n = sys.iterations();
+  if (n == 0) return initial;
+
+  const std::vector<std::size_t> pred = last_writer_before(sys.g, sys.f, sys.cells);
+  std::vector<std::size_t> ptr = pred;
+  std::vector<Value> val(n, initial[0]);
+  std::vector<Value> new_val(n, initial[0]);
+  std::vector<std::size_t> new_ptr(n, kNone);
+  std::vector<std::size_t> active_count(workers, 0);
+  OrdinaryIrStats local_stats;
+  // Set when a worker dies mid-round (a throwing op): survivors must stop
+  // instead of waiting for the dead worker's active_count to drain.
+  std::atomic<bool> aborted{false};
+
+  const std::vector<Value>& init = initial;
+  parallel::run_spmd(workers, [&](parallel::SpmdContext& ctx) {
+    const auto [begin, end] = ctx.slice(n);
+    try {
+      // Seed: traces of length one (roots fold in the untouched cell).
+      for (std::size_t i = begin; i < end; ++i) {
+        val[i] = (pred[i] == kNone) ? op.combine(init[sys.f[i]], init[sys.g[i]])
+                                    : init[sys.g[i]];
+      }
+      ctx.barrier();
+
+      for (;;) {
+        // Read phase: everything read is round-input (no writes until the
+        // barrier below).
+        std::size_t mine = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t p = ptr[i];
+          if (p == kNone) continue;
+          new_val[i] = op.combine(val[p], val[i]);
+          new_ptr[i] = ptr[p];
+          ++mine;
+        }
+        active_count[ctx.worker()] = mine;
+        ctx.barrier();
+
+        // Write phase: slices are disjoint, so writes are conflict-free.
+        for (std::size_t i = begin; i < end; ++i) {
+          if (ptr[i] == kNone) continue;
+          val[i] = std::move(new_val[i]);
+          ptr[i] = new_ptr[i];
+        }
+        ctx.barrier();
+
+        // Every worker computes the same total and abort state (both were
+        // settled before the barrier), so every worker takes the same branch.
+        if (aborted.load()) break;
+        const std::size_t total =
+            std::accumulate(active_count.begin(), active_count.end(), std::size_t{0});
+        if (ctx.worker() == 0 && total != 0) {
+          ++local_stats.rounds;
+          local_stats.op_applications += total;
+          local_stats.peak_active = std::max(local_stats.peak_active, total);
+        }
+        if (total == 0) break;
+        ctx.barrier();  // round boundary: stats/val settled before next reads
+      }
+    } catch (...) {
+      // Unblock survivors: this worker's count must not keep `total` > 0,
+      // and the flag stops their loop at the next check (run_spmd drops this
+      // worker from the barrier, so phases still complete).
+      active_count[ctx.worker()] = 0;
+      aborted.store(true);
+      throw;
+    }
+  });
+  IR_INVARIANT(!aborted.load(), "SPMD solve aborted without rethrow");
+
+  std::vector<Value> result = std::move(initial);
+  for (std::size_t i = 0; i < n; ++i) result[sys.g[i]] = std::move(val[i]);
+  if (stats != nullptr) *stats = local_stats;
+  return result;
+}
+
+}  // namespace ir::core

@@ -1,0 +1,183 @@
+#include "core/serialize.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace ir::core {
+
+namespace {
+
+/// Line-oriented tokenizer: strips comments/blank lines, tracks line numbers
+/// for diagnostics.
+class LineReader {
+ public:
+  explicit LineReader(std::string_view text) : text_(text) {}
+
+  /// Next meaningful line (comments stripped, trimmed); empty optional at EOF.
+  bool next(std::string_view& line) {
+    while (pos_ < text_.size()) {
+      std::size_t end = text_.find('\n', pos_);
+      if (end == std::string_view::npos) end = text_.size();
+      std::string_view raw = text_.substr(pos_, end - pos_);
+      pos_ = end + 1;
+      ++line_number_;
+      const std::size_t hash = raw.find('#');
+      if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+      while (!raw.empty() && (raw.front() == ' ' || raw.front() == '\t' ||
+                              raw.front() == '\r')) {
+        raw.remove_prefix(1);
+      }
+      while (!raw.empty() && (raw.back() == ' ' || raw.back() == '\t' ||
+                              raw.back() == '\r')) {
+        raw.remove_suffix(1);
+      }
+      if (!raw.empty()) {
+        line = raw;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw support::ContractViolation("line " + std::to_string(line_number_) + ": " + what);
+  }
+
+  [[nodiscard]] std::size_t line_number() const noexcept { return line_number_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_number_ = 0;
+};
+
+/// Split a line into whitespace-separated tokens.
+std::vector<std::string_view> tokens_of(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::size_t parse_size(const LineReader& reader, std::string_view token) {
+  std::size_t value = 0;
+  const auto [ptr, ec] = std::from_chars(token.begin(), token.end(), value);
+  if (ec != std::errc{} || ptr != token.end()) {
+    throw support::ContractViolation("line " + std::to_string(reader.line_number()) +
+                                     ": expected a non-negative integer, got '" +
+                                     std::string(token) + "'");
+  }
+  return value;
+}
+
+double parse_double(const LineReader& reader, std::string_view token) {
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(token.begin(), token.end(), value);
+  if (ec != std::errc{} || ptr != token.end()) {
+    throw support::ContractViolation("line " + std::to_string(reader.line_number()) +
+                                     ": expected a number, got '" + std::string(token) +
+                                     "'");
+  }
+  return value;
+}
+
+void expect_header(LineReader& reader, std::string_view magic) {
+  std::string_view line;
+  if (!reader.next(line) || line != magic) {
+    reader.fail("expected header '" + std::string(magic) + "'");
+  }
+}
+
+std::size_t expect_sized_field(LineReader& reader, std::string_view key) {
+  std::string_view line;
+  if (!reader.next(line)) reader.fail("unexpected end of input");
+  const auto tokens = tokens_of(line);
+  if (tokens.size() != 2 || tokens[0] != key) {
+    reader.fail("expected '" + std::string(key) + " <count>'");
+  }
+  return parse_size(reader, tokens[1]);
+}
+
+}  // namespace
+
+std::string to_text(const GeneralIrSystem& sys) {
+  sys.validate();
+  std::string out = "ir-system v1\n";
+  out += "cells " + std::to_string(sys.cells) + "\n";
+  out += "equations " + std::to_string(sys.iterations()) + "\n";
+  for (std::size_t i = 0; i < sys.iterations(); ++i) {
+    out += std::to_string(sys.f[i]) + " " + std::to_string(sys.g[i]) + " " +
+           std::to_string(sys.h[i]) + "\n";
+  }
+  return out;
+}
+
+std::string to_text(const OrdinaryIrSystem& sys) {
+  return to_text(GeneralIrSystem::from_ordinary(sys));
+}
+
+GeneralIrSystem system_from_text(std::string_view text) {
+  LineReader reader(text);
+  expect_header(reader, "ir-system v1");
+  GeneralIrSystem sys;
+  sys.cells = expect_sized_field(reader, "cells");
+  const std::size_t n = expect_sized_field(reader, "equations");
+  sys.f.reserve(n);
+  sys.g.reserve(n);
+  sys.h.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string_view line;
+    if (!reader.next(line)) reader.fail("expected " + std::to_string(n) +
+                                        " equations, got " + std::to_string(i));
+    const auto tokens = tokens_of(line);
+    if (tokens.size() != 3) reader.fail("expected 'f g h' triple");
+    sys.f.push_back(parse_size(reader, tokens[0]));
+    sys.g.push_back(parse_size(reader, tokens[1]));
+    sys.h.push_back(parse_size(reader, tokens[2]));
+  }
+  std::string_view extra;
+  if (reader.next(extra)) reader.fail("trailing content after the last equation");
+  sys.validate();
+  return sys;
+}
+
+std::string to_text(const std::vector<double>& values) {
+  std::string out = "ir-values v1\n";
+  out += "count " + std::to_string(values.size()) + "\n";
+  char buffer[64];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::snprintf(buffer, sizeof buffer, "%.17g", values[i]);
+    out += buffer;
+    out += (i + 1) % 8 == 0 ? '\n' : ' ';
+  }
+  if (!values.empty() && out.back() != '\n') out += '\n';
+  return out;
+}
+
+std::vector<double> values_from_text(std::string_view text) {
+  LineReader reader(text);
+  expect_header(reader, "ir-values v1");
+  const std::size_t count = expect_sized_field(reader, "count");
+  std::vector<double> values;
+  values.reserve(count);
+  std::string_view line;
+  while (values.size() < count && reader.next(line)) {
+    for (const auto token : tokens_of(line)) {
+      if (values.size() == count) reader.fail("more values than declared");
+      values.push_back(parse_double(reader, token));
+    }
+  }
+  if (values.size() != count) {
+    throw support::ContractViolation("expected " + std::to_string(count) +
+                                     " values, got " + std::to_string(values.size()));
+  }
+  if (reader.next(line)) reader.fail("trailing content after the last value");
+  return values;
+}
+
+}  // namespace ir::core

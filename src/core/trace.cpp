@@ -1,0 +1,170 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/contract.hpp"
+
+namespace ir::core {
+
+std::vector<std::size_t> ordinary_trace(const OrdinaryIrSystem& sys, std::size_t iteration) {
+  sys.validate();
+  IR_REQUIRE(iteration < sys.iterations(), "iteration out of range");
+  const auto pred = last_writer_before(sys.g, sys.f, sys.cells);
+
+  // Walk to the chain root, collecting the self-cells; Lemma 1 writes the
+  // trace root-first, so reverse at the end and prepend the root's f-cell.
+  std::vector<std::size_t> rightmost;
+  std::size_t j = iteration;
+  for (;;) {
+    rightmost.push_back(sys.g[j]);
+    if (pred[j] == kNone) break;
+    j = pred[j];
+  }
+  std::vector<std::size_t> trace;
+  trace.reserve(rightmost.size() + 1);
+  trace.push_back(sys.f[j]);  // the untouched cell the chain root reads
+  trace.insert(trace.end(), rightmost.rbegin(), rightmost.rend());
+  return trace;
+}
+
+std::vector<std::vector<std::size_t>> ordinary_final_traces(const OrdinaryIrSystem& sys) {
+  sys.validate();
+  std::vector<std::vector<std::size_t>> traces(sys.cells);
+  for (std::size_t x = 0; x < sys.cells; ++x) traces[x] = {x};
+  // g injective: the single write to g(i) is iteration i.
+  for (std::size_t i = 0; i < sys.iterations(); ++i) {
+    traces[sys.g[i]] = ordinary_trace(sys, i);
+  }
+  return traces;
+}
+
+std::string render_trace(const std::vector<std::size_t>& trace, const std::string& array_name,
+                         const std::string& op_symbol) {
+  std::string out;
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    if (k != 0) out += op_symbol;
+    out += array_name + "[" + std::to_string(trace[k]) + "]";
+  }
+  return out;
+}
+
+std::string TraceTree::render(const std::string& array_name,
+                              const std::string& op_symbol) const {
+  IR_REQUIRE(root < nodes.size(), "empty trace tree");
+  std::string out;
+  // Explicit stack to avoid recursion depth limits on degenerate chains.
+  struct Frame {
+    std::size_t node;
+    int stage;
+  };
+  std::vector<Frame> stack{{root, 0}};
+  while (!stack.empty()) {
+    auto& frame = stack.back();
+    const Node& node = nodes[frame.node];
+    if (node.is_leaf) {
+      out += array_name + "[" + std::to_string(node.cell) + "]";
+      stack.pop_back();
+      continue;
+    }
+    switch (frame.stage) {
+      case 0:
+        out += "(";
+        frame.stage = 1;
+        stack.push_back({node.left, 0});
+        break;
+      case 1:
+        out += op_symbol;
+        frame.stage = 2;
+        stack.push_back({node.right, 0});
+        break;
+      default:
+        out += ")";
+        stack.pop_back();
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::uint64_t>> TraceTree::leaf_counts() const {
+  std::map<std::size_t, std::uint64_t> counts;
+  std::vector<std::size_t> stack{root};
+  while (!stack.empty()) {
+    const Node& node = nodes[stack.back()];
+    stack.pop_back();
+    if (node.is_leaf) {
+      ++counts[node.cell];
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  return {counts.begin(), counts.end()};
+}
+
+TraceTree general_trace_tree(const GeneralIrSystem& sys, std::size_t iteration,
+                             std::size_t max_nodes) {
+  sys.validate();
+  IR_REQUIRE(iteration < sys.iterations(), "iteration out of range");
+  const auto pred_f = last_writer_before(sys.g, sys.f, sys.cells);
+  const auto pred_h = last_writer_before(sys.g, sys.h, sys.cells);
+
+  TraceTree tree;
+  auto add_leaf = [&](std::size_t cell) {
+    IR_REQUIRE(tree.nodes.size() < max_nodes, "trace tree exceeds max_nodes (GIR traces "
+                                              "can be exponential — raise the guard "
+                                              "only for tiny systems)");
+    tree.nodes.push_back(TraceTree::Node{true, cell, 0, 0});
+    return tree.nodes.size() - 1;
+  };
+  auto add_node = [&](std::size_t left, std::size_t right) {
+    IR_REQUIRE(tree.nodes.size() < max_nodes, "trace tree exceeds max_nodes");
+    tree.nodes.push_back(TraceTree::Node{false, 0, left, right});
+    return tree.nodes.size() - 1;
+  };
+
+  // Iterative expansion with an explicit stack: build(i) = node over
+  // build(pred_f(i) or leaf f(i)) and build(pred_h(i) or leaf h(i)).
+  // Deliberately NOT memoized: the tree is the paper's Figure-5 expansion,
+  // shared subtrees appear once per occurrence.
+  struct Frame {
+    std::size_t iter;
+    int stage = 0;
+    std::size_t left = 0;
+  };
+  std::vector<Frame> stack{{iteration, 0, 0}};
+  std::size_t result = 0;  // node index handed from a finished child to its parent
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const std::size_t i = frame.iter;
+    if (frame.stage == 0) {
+      frame.stage = 1;
+      if (pred_f[i] == kNone) {
+        frame.left = add_leaf(sys.f[i]);
+      } else {
+        frame.left = kNone;  // marker: left subtree arrives via `result`
+        stack.push_back({pred_f[i], 0, 0});
+        continue;
+      }
+    }
+    if (frame.stage == 1) {
+      if (frame.left == kNone) frame.left = result;  // child finished
+      frame.stage = 2;
+      if (pred_h[i] == kNone) {
+        result = add_node(frame.left, add_leaf(sys.h[i]));
+        stack.pop_back();
+        continue;
+      }
+      stack.push_back({pred_h[i], 0, 0});
+      continue;
+    }
+    // stage 2: right child finished, its root is in `result`.
+    result = add_node(frame.left, result);
+    stack.pop_back();
+  }
+  tree.root = result;
+  return tree;
+}
+
+}  // namespace ir::core

@@ -1,0 +1,65 @@
+// Symbolic traces (paper Lemma 1 and Figures 1, 4, 5).
+//
+// The *trace* of A'[g(i)] is the sequence of initial-array elements whose
+// ordered ⊙-product equals the final value.  For ordinary IR the trace is a
+// list (Lemma 1); for general IR it is a binary tree (Figure 4) that can be
+// exponentially large (Figure 5).  These helpers extract traces symbolically
+// — as cell indices — for tests, examples and documentation output; the
+// solvers never materialize them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ir_problem.hpp"
+
+namespace ir::core {
+
+/// Ordered list trace of one ordinary-IR equation: the initial-array cells
+/// whose left-to-right ⊙-product is the final A[g(i)].  Lemma 1:
+///   A'[g(i)] = A[f(j_k)] ⊙ A[g(j_{k-1})] ⊙ ... ⊙ A[g(i)]
+/// where j_1 = i and j_t = pred(j_{t-1}).
+[[nodiscard]] std::vector<std::size_t> ordinary_trace(const OrdinaryIrSystem& sys,
+                                                      std::size_t iteration);
+
+/// Traces of the whole final array: entry x lists the cells whose product is
+/// the final A[x]; untouched cells yield the singleton {x}.
+[[nodiscard]] std::vector<std::vector<std::size_t>> ordinary_final_traces(
+    const OrdinaryIrSystem& sys);
+
+/// Render a trace as e.g. "A[1]*A[3]*A[6]" (paper Figure 1 notation).
+[[nodiscard]] std::string render_trace(const std::vector<std::size_t>& trace,
+                                       const std::string& array_name = "A",
+                                       const std::string& op_symbol = "*");
+
+/// A node of a general-IR trace tree (Figure 4): either a leaf holding an
+/// initial cell, or an internal ⊙ of two subtrees.  Nodes are stored in a
+/// pool; `root` indexes it.
+struct TraceTree {
+  struct Node {
+    bool is_leaf = false;
+    std::size_t cell = 0;    ///< valid when is_leaf
+    std::size_t left = 0;    ///< children when !is_leaf
+    std::size_t right = 0;
+  };
+  std::vector<Node> nodes;
+  std::size_t root = 0;
+
+  /// Infix rendering, e.g. "((A[0]*A[1])*A[1])".
+  [[nodiscard]] std::string render(const std::string& array_name = "A",
+                                   const std::string& op_symbol = "*") const;
+
+  /// Leaf multiset of the tree, as (cell -> count) pairs sorted by cell —
+  /// the exponents the GIR algorithm computes via CAP.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::uint64_t>> leaf_counts() const;
+};
+
+/// Expand the trace tree of iteration `iteration` of a GIR system.
+/// `max_nodes` guards against the exponential blowup the paper warns about;
+/// ContractViolation is thrown when exceeded.
+[[nodiscard]] TraceTree general_trace_tree(const GeneralIrSystem& sys, std::size_t iteration,
+                                           std::size_t max_nodes = 1u << 16);
+
+}  // namespace ir::core

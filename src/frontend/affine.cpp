@@ -1,0 +1,102 @@
+#include "frontend/affine.hpp"
+
+#include <algorithm>
+
+namespace ir::frontend {
+
+void AffineExpr::normalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<std::size_t, std::int64_t>> merged;
+  for (const auto& [var, coeff] : terms_) {
+    if (!merged.empty() && merged.back().first == var) {
+      merged.back().second += coeff;
+    } else {
+      merged.push_back({var, coeff});
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const auto& t) { return t.second == 0; }),
+               merged.end());
+  terms_ = std::move(merged);
+}
+
+AffineExpr& AffineExpr::operator+=(const AffineExpr& rhs) {
+  constant_ += rhs.constant_;
+  terms_.insert(terms_.end(), rhs.terms_.begin(), rhs.terms_.end());
+  normalize();
+  return *this;
+}
+
+AffineExpr& AffineExpr::operator-=(const AffineExpr& rhs) {
+  constant_ -= rhs.constant_;
+  for (const auto& [var, coeff] : rhs.terms_) terms_.push_back({var, -coeff});
+  normalize();
+  return *this;
+}
+
+AffineExpr& AffineExpr::operator*=(std::int64_t factor) {
+  constant_ *= factor;
+  for (auto& [var, coeff] : terms_) coeff *= factor;
+  if (factor == 0) terms_.clear();
+  return *this;
+}
+
+std::int64_t AffineExpr::evaluate(std::span<const std::int64_t> vars) const {
+  std::int64_t value = constant_;
+  for (const auto& [var, coeff] : terms_) {
+    IR_REQUIRE(var < vars.size(), "affine expression references variable " +
+                                      std::to_string(var) + " but only " +
+                                      std::to_string(vars.size()) + " are in scope");
+    value += coeff * vars[var];
+  }
+  return value;
+}
+
+std::size_t AffineExpr::variables_needed() const noexcept {
+  return terms_.empty() ? 0 : terms_.back().first + 1;
+}
+
+AffineExpr AffineExpr::remap_variables(std::span<const std::size_t> permutation) const {
+  AffineExpr out;
+  out.constant_ = constant_;
+  for (const auto& [var, coeff] : terms_) {
+    IR_REQUIRE(var < permutation.size(), "remap permutation too short");
+    out.terms_.push_back({permutation[var], coeff});
+  }
+  out.normalize();
+  return out;
+}
+
+std::string AffineExpr::to_string(std::span<const std::string> var_names) const {
+  std::string out;
+  for (const auto& [var, coeff] : terms_) {
+    const std::string name =
+        var < var_names.size() ? var_names[var] : "v" + std::to_string(var);
+    if (out.empty()) {
+      if (coeff == 1) {
+        out = name;
+      } else if (coeff == -1) {
+        out = "-" + name;
+      } else {
+        out = std::to_string(coeff) + "*" + name;
+      }
+    } else {
+      const std::int64_t mag = coeff < 0 ? -coeff : coeff;
+      out += coeff < 0 ? " - " : " + ";
+      if (mag != 1) out += std::to_string(mag) + "*";
+      out += name;
+    }
+  }
+  if (constant_ != 0 || out.empty()) {
+    if (out.empty()) {
+      out = std::to_string(constant_);
+    } else {
+      out += constant_ < 0 ? " - " : " + ";
+      out += std::to_string(constant_ < 0 ? -constant_ : constant_);
+    }
+  }
+  return out;
+}
+
+}  // namespace ir::frontend

@@ -1,0 +1,83 @@
+// Affine expressions over loop variables.
+//
+// The paper's loops address arrays through affine subscripts —
+// g(i) = 7(i-1)+j for Livermore 23 — and its IR frame requires the index
+// maps to be data-independent.  AffineExpr is that restricted expression
+// language: constant + Σ coeffᵥ·varᵥ, evaluated against a vector of loop
+// variable values during lowering (frontend/lower.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/contract.hpp"
+
+namespace ir::frontend {
+
+/// constant + Σ coeff·var, with variables identified by index into the
+/// enclosing loop nest (outermost = 0).
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+
+  /// The constant expression c.
+  static AffineExpr constant(std::int64_t c) {
+    AffineExpr e;
+    e.constant_ = c;
+    return e;
+  }
+
+  /// The expression coeff·var.
+  static AffineExpr variable(std::size_t var, std::int64_t coeff = 1) {
+    AffineExpr e;
+    if (coeff != 0) e.terms_.push_back({var, coeff});
+    return e;
+  }
+
+  /// Add another expression in place.
+  AffineExpr& operator+=(const AffineExpr& rhs);
+
+  /// Subtract another expression in place.
+  AffineExpr& operator-=(const AffineExpr& rhs);
+
+  /// Scale by an integer in place.
+  AffineExpr& operator*=(std::int64_t factor);
+
+  friend AffineExpr operator+(AffineExpr a, const AffineExpr& b) { return a += b; }
+  friend AffineExpr operator-(AffineExpr a, const AffineExpr& b) { return a -= b; }
+  friend AffineExpr operator*(AffineExpr a, std::int64_t f) { return a *= f; }
+
+  /// Evaluate with the given variable values (index = variable id).
+  [[nodiscard]] std::int64_t evaluate(std::span<const std::int64_t> vars) const;
+
+  /// Largest variable id referenced + 1 (0 when constant).
+  [[nodiscard]] std::size_t variables_needed() const noexcept;
+
+  [[nodiscard]] std::int64_t constant_part() const noexcept { return constant_; }
+  [[nodiscard]] const std::vector<std::pair<std::size_t, std::int64_t>>& terms()
+      const noexcept {
+    return terms_;
+  }
+
+  /// True iff no variable has a non-zero coefficient.
+  [[nodiscard]] bool is_constant() const noexcept { return terms_.empty(); }
+
+  /// Render, e.g. "2*k + j - 1" given names for the variables.
+  [[nodiscard]] std::string to_string(std::span<const std::string> var_names) const;
+
+  /// Rewrite every variable v as permutation[v] (used by loop transforms
+  /// when nest positions — and hence variable ids — change).
+  [[nodiscard]] AffineExpr remap_variables(std::span<const std::size_t> permutation) const;
+
+  friend bool operator==(const AffineExpr&, const AffineExpr&) = default;
+
+ private:
+  void normalize();
+
+  std::int64_t constant_ = 0;
+  std::vector<std::pair<std::size_t, std::int64_t>> terms_;  // sorted by var id
+};
+
+}  // namespace ir::frontend

@@ -1,0 +1,87 @@
+#include "frontend/loop_program.hpp"
+
+namespace ir::frontend {
+
+std::size_t LoopProgram::array_id(const std::string& name) const {
+  for (std::size_t a = 0; a < arrays.size(); ++a) {
+    if (arrays[a].name == name) return a;
+  }
+  throw support::ContractViolation("unknown array '" + name + "'");
+}
+
+std::size_t LoopProgram::var_id(const std::string& name) const {
+  for (std::size_t v = 0; v < loops.size(); ++v) {
+    if (loops[v].var == name) return v;
+  }
+  throw support::ContractViolation("unknown loop variable '" + name + "'");
+}
+
+void LoopProgram::validate() const {
+  IR_REQUIRE(!loops.empty(), "program needs at least one loop");
+  IR_REQUIRE(!body.empty(), "program needs at least one statement");
+  for (const auto& array : arrays) {
+    IR_REQUIRE(!array.extents.empty(), "array '" + array.name + "' needs a dimension");
+    for (const std::size_t e : array.extents) {
+      IR_REQUIRE(e > 0, "array '" + array.name + "' has a zero extent");
+    }
+  }
+  for (std::size_t v = 0; v < loops.size(); ++v) {
+    IR_REQUIRE(loops[v].lower.variables_needed() <= v,
+               "lower bound of loop '" + loops[v].var + "' uses an inner variable");
+    IR_REQUIRE(loops[v].upper.variables_needed() <= v,
+               "upper bound of loop '" + loops[v].var + "' uses an inner variable");
+  }
+  auto check_ref = [&](const ArrayRef& ref) {
+    IR_REQUIRE(ref.array < arrays.size(), "statement references an undeclared array");
+    IR_REQUIRE(ref.subscripts.size() == arrays[ref.array].extents.size(),
+               "reference to '" + arrays[ref.array].name + "' has rank " +
+                   std::to_string(ref.subscripts.size()) + ", declared rank is " +
+                   std::to_string(arrays[ref.array].extents.size()));
+    for (const auto& subscript : ref.subscripts) {
+      IR_REQUIRE(subscript.variables_needed() <= loops.size(),
+                 "subscript uses an out-of-scope variable");
+    }
+  };
+  for (const auto& statement : body) {
+    check_ref(statement.target);
+    check_ref(statement.lhs);
+    check_ref(statement.rhs);
+  }
+}
+
+std::string LoopProgram::to_string() const {
+  std::vector<std::string> names;
+  names.reserve(loops.size());
+  for (const auto& loop : loops) names.push_back(loop.var);
+
+  std::string out;
+  for (const auto& array : arrays) {
+    out += "array " + array.name;
+    for (const std::size_t e : array.extents) out += "[" + std::to_string(e) + "]";
+    out += "\n";
+  }
+  std::string indent;
+  for (const auto& loop : loops) {
+    out += indent + "for " + loop.var + " = " + loop.lower.to_string(names) + " .. " +
+           loop.upper.to_string(names) + " {\n";
+    indent += "  ";
+  }
+  auto render_ref = [&](const ArrayRef& ref) {
+    std::string text = arrays[ref.array].name;
+    for (const auto& subscript : ref.subscripts) {
+      text += "[" + subscript.to_string(names) + "]";
+    }
+    return text;
+  };
+  for (const auto& statement : body) {
+    out += indent + render_ref(statement.target) + " = " + render_ref(statement.lhs) +
+           " . " + render_ref(statement.rhs) + "\n";
+  }
+  for (std::size_t v = loops.size(); v-- > 0;) {
+    indent.resize(indent.size() - 2);
+    out += indent + "}\n";
+  }
+  return out;
+}
+
+}  // namespace ir::frontend

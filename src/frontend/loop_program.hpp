@@ -1,0 +1,75 @@
+// Loop-nest programs in the IR-assignable shape.
+//
+// A LoopProgram is the abstract form of the sequential loops the paper sets
+// out to parallelize: array declarations, a nest of counted loops (bounds
+// affine in outer variables), and a body of statements
+//
+//     target = lhs . rhs
+//
+// where '.' is the abstract associative operator ⊙ and all three operands
+// are array references with affine subscripts.  Lowering (frontend/lower.hpp)
+// enumerates the nest and materializes a core::GeneralIrSystem — the
+// paper's "sequential loops ... can be simulated by a set of IR equations".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/affine.hpp"
+
+namespace ir::frontend {
+
+/// A declared array: a name and per-dimension extents (0-based indexing).
+struct ArrayDecl {
+  std::string name;
+  std::vector<std::size_t> extents;
+
+  [[nodiscard]] std::size_t cell_count() const {
+    std::size_t count = 1;
+    for (const std::size_t e : extents) count *= e;
+    return count;
+  }
+};
+
+/// A reference A[e1][e2]... with one affine subscript per dimension.
+struct ArrayRef {
+  std::size_t array = 0;            ///< index into LoopProgram::arrays
+  std::vector<AffineExpr> subscripts;
+};
+
+/// One body statement: target = lhs . rhs (⊙ kept abstract).
+struct Statement {
+  ArrayRef target;
+  ArrayRef lhs;
+  ArrayRef rhs;
+};
+
+/// One counted loop `for var = lower .. upper` (inclusive bounds, affine in
+/// the variables of enclosing loops).
+struct Loop {
+  std::string var;
+  AffineExpr lower;
+  AffineExpr upper;
+};
+
+/// The whole program.
+struct LoopProgram {
+  std::vector<ArrayDecl> arrays;
+  std::vector<Loop> loops;       ///< outermost first; loop i's var has id i
+  std::vector<Statement> body;   ///< executed in order for every iteration
+
+  /// Index of the named array; throws if unknown.
+  [[nodiscard]] std::size_t array_id(const std::string& name) const;
+
+  /// Index (= variable id) of the named loop variable; throws if unknown.
+  [[nodiscard]] std::size_t var_id(const std::string& name) const;
+
+  /// Structural checks: arrays exist, subscript ranks match declarations,
+  /// subscripts only use in-scope variables.
+  void validate() const;
+
+  /// Pretty-print the program in the DSL syntax (parse/print round-trips).
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace ir::frontend

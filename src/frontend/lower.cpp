@@ -1,0 +1,97 @@
+#include "frontend/lower.hpp"
+
+namespace ir::frontend {
+
+namespace {
+
+/// Evaluate a reference's subscripts and map to a flat cell, with a
+/// diagnostic naming the iteration on failure.
+std::size_t resolve_ref(const LoopProgram& program, const std::vector<std::size_t>& base,
+                        const ArrayRef& ref, std::span<const std::int64_t> vars) {
+  const ArrayDecl& array = program.arrays[ref.array];
+  std::size_t flat = 0;
+  for (std::size_t d = 0; d < ref.subscripts.size(); ++d) {
+    const std::int64_t index = ref.subscripts[d].evaluate(vars);
+    if (index < 0 || static_cast<std::size_t>(index) >= array.extents[d]) {
+      std::string where;
+      for (std::size_t v = 0; v < program.loops.size(); ++v) {
+        if (!where.empty()) where += ", ";
+        where += program.loops[v].var + "=" + std::to_string(vars[v]);
+      }
+      throw support::ContractViolation(
+          "subscript " + std::to_string(index) + " out of range [0, " +
+          std::to_string(array.extents[d]) + ") in dimension " + std::to_string(d) +
+          " of '" + array.name + "' at " + where);
+    }
+    flat = flat * array.extents[d] + static_cast<std::size_t>(index);
+  }
+  return base[ref.array] + flat;
+}
+
+}  // namespace
+
+std::size_t LoweredProgram::flat_cell(const LoopProgram& program, std::size_t array,
+                                      std::span<const std::int64_t> indices) const {
+  IR_REQUIRE(array < program.arrays.size(), "array id out of range");
+  const ArrayDecl& decl = program.arrays[array];
+  IR_REQUIRE(indices.size() == decl.extents.size(), "rank mismatch");
+  std::size_t flat = 0;
+  for (std::size_t d = 0; d < indices.size(); ++d) {
+    IR_REQUIRE(indices[d] >= 0 &&
+                   static_cast<std::size_t>(indices[d]) < decl.extents[d],
+               "index out of range");
+    flat = flat * decl.extents[d] + static_cast<std::size_t>(indices[d]);
+  }
+  return array_base[array] + flat;
+}
+
+LoweredProgram lower(const LoopProgram& program, const LowerOptions& options) {
+  program.validate();
+
+  LoweredProgram out;
+  out.array_base.reserve(program.arrays.size());
+  std::size_t cells = 0;
+  for (const auto& array : program.arrays) {
+    out.array_base.push_back(cells);
+    cells += array.cell_count();
+  }
+  out.system.cells = cells;
+  out.vars_per_equation = options.record_vars ? program.loops.size() : 0;
+  for (const auto& loop : program.loops) out.var_names.push_back(loop.var);
+
+  std::vector<std::int64_t> vars(program.loops.size(), 0);
+
+  // Recursive nest walk; depth = which loop is being enumerated.
+  auto walk = [&](auto&& self, std::size_t depth) -> void {
+    if (depth == program.loops.size()) {
+      for (std::size_t s = 0; s < program.body.size(); ++s) {
+        const Statement& statement = program.body[s];
+        IR_REQUIRE(out.system.g.size() < options.max_equations,
+                   "lowering exceeds max_equations (" +
+                       std::to_string(options.max_equations) + ")");
+        out.system.f.push_back(resolve_ref(program, out.array_base, statement.lhs, vars));
+        out.system.h.push_back(resolve_ref(program, out.array_base, statement.rhs, vars));
+        out.system.g.push_back(
+            resolve_ref(program, out.array_base, statement.target, vars));
+        out.equation_statement.push_back(s);
+        if (options.record_vars) {
+          out.equation_vars.insert(out.equation_vars.end(), vars.begin(), vars.end());
+        }
+      }
+      return;
+    }
+    const std::int64_t lower_bound = program.loops[depth].lower.evaluate(vars);
+    const std::int64_t upper_bound = program.loops[depth].upper.evaluate(vars);
+    for (std::int64_t v = lower_bound; v <= upper_bound; ++v) {
+      vars[depth] = v;
+      self(self, depth + 1);
+    }
+    vars[depth] = 0;
+  };
+  walk(walk, 0);
+
+  out.system.validate();
+  return out;
+}
+
+}  // namespace ir::frontend

@@ -1,0 +1,63 @@
+// Lowering: loop-nest programs -> flat IR equation systems.
+//
+// Enumerates the nest in sequential execution order (outer loops slow),
+// evaluates every affine subscript, assigns each declared array a contiguous
+// block of the flat cell space, and emits one IR equation per executed
+// statement.  The result is exactly the paper's "set of IR equations" whose
+// parallel solution parallelizes the original loop; feed it to
+// core::classify / core::analyze / core::solve.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ir_problem.hpp"
+#include "frontend/loop_program.hpp"
+
+namespace ir::frontend {
+
+/// Result of lowering a LoopProgram.
+struct LoweredProgram {
+  core::GeneralIrSystem system;
+
+  /// Flat base offset of each declared array within [0, system.cells).
+  std::vector<std::size_t> array_base;
+
+  /// equation -> index of the body statement that produced it.
+  std::vector<std::size_t> equation_statement;
+
+  /// Loop-variable values of each equation, equation-major (row e holds
+  /// loops.size() values, nest order) — diagnostics, tests and the
+  /// dependence-preservation checker; empty when lowering was asked not to
+  /// record them.
+  std::vector<std::int64_t> equation_vars;
+  std::size_t vars_per_equation = 0;
+
+  /// Loop-variable names in nest order — lets equation identities be matched
+  /// across transformed programs whose nest order differs.
+  std::vector<std::string> var_names;
+
+  /// Flat cell id of array `a` at the (already evaluated) indices.
+  [[nodiscard]] std::size_t flat_cell(const LoopProgram& program, std::size_t array,
+                                      std::span<const std::int64_t> indices) const;
+};
+
+/// Options for lowering.
+struct LowerOptions {
+  /// Refuse to lower programs with more executed statements than this
+  /// (protects against accidentally huge nests).
+  std::size_t max_equations = 50'000'000;
+
+  /// Record per-equation loop-variable values (costs memory; on by default
+  /// for diagnosability).
+  bool record_vars = true;
+};
+
+/// Lower `program` (validated first).  Subscripts that leave their declared
+/// extents throw ContractViolation naming the reference and the loop-variable
+/// values at the faulting iteration.
+[[nodiscard]] LoweredProgram lower(const LoopProgram& program,
+                                   const LowerOptions& options = {});
+
+}  // namespace ir::frontend

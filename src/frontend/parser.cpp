@@ -1,0 +1,313 @@
+#include "frontend/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace ir::frontend {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kInt,
+  kLBracket,   // [
+  kRBracket,   // ]
+  kLBrace,     // {
+  kRBrace,     // }
+  kAssign,     // =
+  kDot,        // .  (the abstract operator)
+  kRange,      // ..
+  kPlus,
+  kMinus,
+  kStar,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t line;
+  std::size_t column;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Token next() {
+    skip_space_and_comments();
+    const std::size_t line = line_, column = column_;
+    if (pos_ >= source_.size()) return {TokenKind::kEnd, "", line, column};
+    const char c = source_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < source_.size() &&
+             (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+              source_[pos_] == '_')) {
+        advance();
+      }
+      return {TokenKind::kIdent, std::string(source_.substr(start, pos_ - start)), line,
+              column};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < source_.size() &&
+             std::isdigit(static_cast<unsigned char>(source_[pos_]))) {
+        advance();
+      }
+      return {TokenKind::kInt, std::string(source_.substr(start, pos_ - start)), line,
+              column};
+    }
+    advance();
+    switch (c) {
+      case '[': return {TokenKind::kLBracket, "[", line, column};
+      case ']': return {TokenKind::kRBracket, "]", line, column};
+      case '{': return {TokenKind::kLBrace, "{", line, column};
+      case '}': return {TokenKind::kRBrace, "}", line, column};
+      case '=': return {TokenKind::kAssign, "=", line, column};
+      case '+': return {TokenKind::kPlus, "+", line, column};
+      case '-': return {TokenKind::kMinus, "-", line, column};
+      case '*': return {TokenKind::kStar, "*", line, column};
+      case ';': return {TokenKind::kSemicolon, ";", line, column};
+      case '.':
+        if (pos_ < source_.size() && source_[pos_] == '.') {
+          advance();
+          return {TokenKind::kRange, "..", line, column};
+        }
+        return {TokenKind::kDot, ".", line, column};
+      default:
+        fail(line, column, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  [[noreturn]] static void fail(std::size_t line, std::size_t column,
+                                const std::string& what) {
+    throw support::ContractViolation("parse error at " + std::to_string(line) + ":" +
+                                     std::to_string(column) + ": " + what);
+  }
+
+ private:
+  void advance() {
+    if (source_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void skip_space_and_comments() {
+    while (pos_ < source_.size()) {
+      const char c = source_[pos_];
+      if (c == '#') {
+        while (pos_ < source_.size() && source_[pos_] != '\n') advance();
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : lexer_(source) { shift(); }
+
+  LoopProgram parse() {
+    while (current_.kind == TokenKind::kIdent && current_.text == "array") {
+      parse_array_decl();
+    }
+    expect_keyword("for");
+    parse_loop();
+    if (current_.kind != TokenKind::kEnd) {
+      fail("trailing content after the loop nest (one perfect nest expected)");
+    }
+    program_.validate();
+    return std::move(program_);
+  }
+
+ private:
+  void shift() { current_ = lexer_.next(); }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    Lexer::fail(current_.line, current_.column, what);
+  }
+
+  Token expect(TokenKind kind, const char* what) {
+    if (current_.kind != kind) fail(std::string("expected ") + what);
+    Token token = current_;
+    shift();
+    return token;
+  }
+
+  void expect_keyword(const std::string& word) {
+    if (current_.kind != TokenKind::kIdent || current_.text != word) {
+      fail("expected '" + word + "'");
+    }
+    shift();
+  }
+
+  bool at_keyword(const std::string& word) const {
+    return current_.kind == TokenKind::kIdent && current_.text == word;
+  }
+
+  std::size_t parse_uint(const char* what) {
+    const Token token = expect(TokenKind::kInt, what);
+    std::size_t value = 0;
+    (void)std::from_chars(token.text.data(), token.text.data() + token.text.size(),
+                          value);
+    return value;
+  }
+
+  void parse_array_decl() {
+    expect_keyword("array");
+    const Token name = expect(TokenKind::kIdent, "array name");
+    for (const auto& existing : program_.arrays) {
+      if (existing.name == name.text) fail("array '" + name.text + "' redeclared");
+    }
+    ArrayDecl decl;
+    decl.name = name.text;
+    while (current_.kind == TokenKind::kLBracket) {
+      shift();
+      decl.extents.push_back(parse_uint("array extent"));
+      expect(TokenKind::kRBracket, "']'");
+    }
+    if (decl.extents.empty()) fail("array '" + decl.name + "' needs [extent]");
+    program_.arrays.push_back(std::move(decl));
+  }
+
+  /// term := INT ['*' IDENT] | IDENT ['*' INT]
+  AffineExpr parse_term() {
+    if (current_.kind == TokenKind::kInt) {
+      const auto value = static_cast<std::int64_t>(parse_uint("integer"));
+      if (current_.kind == TokenKind::kStar) {
+        shift();
+        const Token var = expect(TokenKind::kIdent, "loop variable after '*'");
+        return AffineExpr::variable(lookup_var(var), value);
+      }
+      return AffineExpr::constant(value);
+    }
+    if (current_.kind == TokenKind::kIdent) {
+      const Token var = current_;
+      shift();
+      std::int64_t coeff = 1;
+      if (current_.kind == TokenKind::kStar) {
+        shift();
+        coeff = static_cast<std::int64_t>(parse_uint("integer after '*'"));
+      }
+      return AffineExpr::variable(lookup_var(var), coeff);
+    }
+    fail("expected an affine term (integer or loop variable)");
+  }
+
+  /// affine := ['-'] term (('+'|'-') term)*
+  AffineExpr parse_affine() {
+    AffineExpr expr;
+    bool negate = false;
+    if (current_.kind == TokenKind::kMinus) {
+      shift();
+      negate = true;
+    }
+    AffineExpr first = parse_term();
+    if (negate) first *= -1;
+    expr += first;
+    while (current_.kind == TokenKind::kPlus || current_.kind == TokenKind::kMinus) {
+      const bool minus = current_.kind == TokenKind::kMinus;
+      shift();
+      AffineExpr term = parse_term();
+      if (minus) {
+        expr -= term;
+      } else {
+        expr += term;
+      }
+    }
+    return expr;
+  }
+
+  std::size_t lookup_var(const Token& token) const {
+    for (std::size_t v = 0; v < program_.loops.size(); ++v) {
+      if (program_.loops[v].var == token.text) return v;
+    }
+    Lexer::fail(token.line, token.column,
+                "unknown loop variable '" + token.text + "'");
+  }
+
+  ArrayRef parse_ref() {
+    const Token name = expect(TokenKind::kIdent, "array name");
+    ArrayRef ref;
+    bool found = false;
+    for (std::size_t a = 0; a < program_.arrays.size(); ++a) {
+      if (program_.arrays[a].name == name.text) {
+        ref.array = a;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      Lexer::fail(name.line, name.column, "undeclared array '" + name.text + "'");
+    }
+    if (current_.kind != TokenKind::kLBracket) fail("expected '[' after array name");
+    while (current_.kind == TokenKind::kLBracket) {
+      shift();
+      ref.subscripts.push_back(parse_affine());
+      expect(TokenKind::kRBracket, "']'");
+    }
+    return ref;
+  }
+
+  void parse_statement() {
+    Statement statement;
+    statement.target = parse_ref();
+    expect(TokenKind::kAssign, "'='");
+    statement.lhs = parse_ref();
+    expect(TokenKind::kDot, "the operator '.'");
+    statement.rhs = parse_ref();
+    if (current_.kind == TokenKind::kSemicolon) shift();
+    program_.body.push_back(std::move(statement));
+  }
+
+  void parse_loop() {
+    // 'for' already consumed by the caller.
+    const Token var = expect(TokenKind::kIdent, "loop variable");
+    for (const auto& loop : program_.loops) {
+      if (loop.var == var.text) fail("loop variable '" + var.text + "' shadows");
+    }
+    expect(TokenKind::kAssign, "'='");
+    Loop loop;
+    loop.var = var.text;
+    // Bounds may reference outer variables only; the loop is not yet pushed.
+    loop.lower = parse_affine();
+    expect(TokenKind::kRange, "'..'");
+    loop.upper = parse_affine();
+    program_.loops.push_back(std::move(loop));
+    expect(TokenKind::kLBrace, "'{'");
+    if (at_keyword("for")) {
+      shift();
+      parse_loop();
+    } else {
+      while (current_.kind != TokenKind::kRBrace) {
+        if (at_keyword("for")) fail("statements and nested loops cannot be mixed");
+        parse_statement();
+      }
+    }
+    expect(TokenKind::kRBrace, "'}'");
+  }
+
+  Lexer lexer_;
+  Token current_{TokenKind::kEnd, "", 0, 0};
+  LoopProgram program_;
+};
+
+}  // namespace
+
+LoopProgram parse_program(std::string_view source) { return Parser(source).parse(); }
+
+}  // namespace ir::frontend

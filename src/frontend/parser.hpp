@@ -1,0 +1,34 @@
+// Parser for the loop DSL.
+//
+// A tiny concrete syntax so IR-shaped loops can be written down, stored and
+// fed to the lowering pipeline (examples/loop_frontend, tests):
+//
+//     # Livermore 23 fragment (paper Section 3)
+//     array X[103][7]
+//     array Y[103]
+//     array Z[103][7]
+//     for j = 1 .. 6 {
+//       for k = 1 .. 100 {
+//         X[k][j] = Y[k] . X[k][j]
+//       }
+//     }
+//
+// Rules: `array NAME[extent]...` declarations first; then one perfect loop
+// nest (`for var = lo .. hi { ... }`, bounds affine in outer variables);
+// innermost body is one or more statements `ref = ref . ref` where `.` is
+// the abstract associative operator; subscripts are affine expressions over
+// the loop variables (`2*k + j - 1`).  `#` starts a comment.  Statements may
+// optionally end with `;`.
+#pragma once
+
+#include <string_view>
+
+#include "frontend/loop_program.hpp"
+
+namespace ir::frontend {
+
+/// Parse a DSL document.  Throws ContractViolation with line/column info on
+/// syntax errors; the returned program is validate()d.
+[[nodiscard]] LoopProgram parse_program(std::string_view source);
+
+}  // namespace ir::frontend

@@ -1,0 +1,300 @@
+#include "frontend/transform.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ir::frontend {
+
+LoopProgram interchange(const LoopProgram& program, std::size_t a, std::size_t b) {
+  program.validate();
+  IR_REQUIRE(a < program.loops.size() && b < program.loops.size(),
+             "interchange levels out of range");
+  if (a == b) return program;
+
+  // Variable v keeps its LOOP but moves to a new nest position: the id map
+  // swaps a and b.
+  std::vector<std::size_t> perm(program.loops.size());
+  for (std::size_t v = 0; v < perm.size(); ++v) perm[v] = v;
+  std::swap(perm[a], perm[b]);
+
+  LoopProgram out;
+  out.arrays = program.arrays;
+  out.loops.resize(program.loops.size());
+  for (std::size_t v = 0; v < program.loops.size(); ++v) {
+    Loop moved;
+    moved.var = program.loops[v].var;
+    moved.lower = program.loops[v].lower.remap_variables(perm);
+    moved.upper = program.loops[v].upper.remap_variables(perm);
+    out.loops[perm[v]] = std::move(moved);
+  }
+  auto remap_ref = [&](const ArrayRef& ref) {
+    ArrayRef moved;
+    moved.array = ref.array;
+    moved.subscripts.reserve(ref.subscripts.size());
+    for (const auto& subscript : ref.subscripts) {
+      moved.subscripts.push_back(subscript.remap_variables(perm));
+    }
+    return moved;
+  };
+  out.body.reserve(program.body.size());
+  for (const auto& statement : program.body) {
+    out.body.push_back(Statement{remap_ref(statement.target), remap_ref(statement.lhs),
+                                 remap_ref(statement.rhs)});
+  }
+  out.validate();  // rejects non-rectangular interchanges
+  return out;
+}
+
+namespace {
+
+/// Substitute variable `var` by the affine expression `replacement` inside
+/// `expr`, where `replacement` is given over the NEW variable space and all
+/// other variables are renamed by `perm`.
+AffineExpr substitute(const AffineExpr& expr, std::size_t var,
+                      const AffineExpr& replacement,
+                      std::span<const std::size_t> perm) {
+  AffineExpr out = AffineExpr::constant(expr.constant_part());
+  for (const auto& [v, coeff] : expr.terms()) {
+    if (v == var) {
+      out += replacement * coeff;
+    } else {
+      IR_REQUIRE(v < perm.size(), "substitution permutation too short");
+      out += AffineExpr::variable(perm[v], coeff);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LoopProgram reverse(const LoopProgram& program, std::size_t level) {
+  program.validate();
+  IR_REQUIRE(level < program.loops.size(), "reverse level out of range");
+  const Loop& loop = program.loops[level];
+  IR_REQUIRE(loop.lower.is_constant() && loop.upper.is_constant(),
+             "reverse requires constant bounds on the reversed loop");
+
+  // v := lo + hi - v; variable ids are unchanged.
+  std::vector<std::size_t> identity(program.loops.size());
+  for (std::size_t v = 0; v < identity.size(); ++v) identity[v] = v;
+  AffineExpr replacement =
+      AffineExpr::constant(loop.lower.constant_part() + loop.upper.constant_part());
+  replacement -= AffineExpr::variable(level);
+
+  LoopProgram out = program;
+  for (auto& other : out.loops) {
+    other.lower = substitute(other.lower, level, replacement, identity);
+    other.upper = substitute(other.upper, level, replacement, identity);
+  }
+  // The reversed loop itself keeps its (constant) bounds.
+  out.loops[level] = loop;
+  for (auto& statement : out.body) {
+    for (auto* ref : {&statement.target, &statement.lhs, &statement.rhs}) {
+      for (auto& subscript : ref->subscripts) {
+        subscript = substitute(subscript, level, replacement, identity);
+      }
+    }
+  }
+  out.validate();
+  return out;
+}
+
+LoopProgram strip_mine(const LoopProgram& program, std::size_t level, std::size_t tile) {
+  program.validate();
+  IR_REQUIRE(level < program.loops.size(), "strip-mine level out of range");
+  IR_REQUIRE(tile >= 1, "tile must be positive");
+  const Loop& loop = program.loops[level];
+  IR_REQUIRE(loop.lower.is_constant() && loop.upper.is_constant(),
+             "strip-mine requires constant bounds");
+  const std::int64_t lo = loop.lower.constant_part();
+  const std::int64_t hi = loop.upper.constant_part();
+  IR_REQUIRE(hi >= lo, "strip-mine requires a non-empty loop");
+  const auto trip = static_cast<std::size_t>(hi - lo + 1);
+  IR_REQUIRE(trip % tile == 0,
+             "trip count " + std::to_string(trip) + " not divisible by tile " +
+                 std::to_string(tile));
+
+  // New variable space: ids <= level keep their position; `level` becomes
+  // the tile loop v_o, a new loop v_i is inserted at level+1, everything
+  // after shifts by one.
+  const std::size_t old_count = program.loops.size();
+  std::vector<std::size_t> perm(old_count);
+  for (std::size_t v = 0; v < old_count; ++v) perm[v] = v < level ? v : v + 1;
+  perm[level] = level;  // unused for the replaced variable itself
+
+  // v := lo + v_o * tile + v_i  (v_o at id `level`, v_i at id `level`+1).
+  AffineExpr replacement = AffineExpr::constant(lo);
+  replacement += AffineExpr::variable(level, static_cast<std::int64_t>(tile));
+  replacement += AffineExpr::variable(level + 1);
+
+  LoopProgram out;
+  out.arrays = program.arrays;
+  out.loops.resize(old_count + 1);
+  for (std::size_t v = 0; v < old_count; ++v) {
+    if (v == level) continue;
+    Loop moved;
+    moved.var = program.loops[v].var;
+    moved.lower = substitute(program.loops[v].lower, level, replacement, perm);
+    moved.upper = substitute(program.loops[v].upper, level, replacement, perm);
+    out.loops[perm[v]] = std::move(moved);
+  }
+  Loop tile_loop;
+  tile_loop.var = loop.var + "__o";
+  tile_loop.lower = AffineExpr::constant(0);
+  tile_loop.upper = AffineExpr::constant(static_cast<std::int64_t>(trip / tile) - 1);
+  out.loops[level] = std::move(tile_loop);
+  Loop intra_loop;
+  intra_loop.var = loop.var + "__i";
+  intra_loop.lower = AffineExpr::constant(0);
+  intra_loop.upper = AffineExpr::constant(static_cast<std::int64_t>(tile) - 1);
+  out.loops[level + 1] = std::move(intra_loop);
+
+  out.body.reserve(program.body.size());
+  for (const auto& statement : program.body) {
+    Statement moved = statement;
+    for (auto* ref : {&moved.target, &moved.lhs, &moved.rhs}) {
+      for (auto& subscript : ref->subscripts) {
+        subscript = substitute(subscript, level, replacement, perm);
+      }
+    }
+    out.body.push_back(std::move(moved));
+  }
+  out.validate();
+  return out;
+}
+
+namespace {
+
+/// Identity of one executed (statement, iteration) across lowerings.  The
+/// variable values are stored in a CANONICAL order (the caller supplies a
+/// permutation mapping canonical slot -> the lowering's nest position) so
+/// identities survive loop interchange.
+using EquationKey = std::pair<std::size_t, std::vector<std::int64_t>>;
+
+EquationKey key_of(const LoweredProgram& lowered, std::size_t equation,
+                   std::span<const std::size_t> slot_to_position) {
+  const std::size_t width = lowered.vars_per_equation;
+  const auto row = lowered.equation_vars.begin() +
+                   static_cast<std::ptrdiff_t>(equation * width);
+  std::vector<std::int64_t> values(width);
+  for (std::size_t slot = 0; slot < width; ++slot) {
+    values[slot] = *(row + static_cast<std::ptrdiff_t>(slot_to_position[slot]));
+  }
+  return {lowered.equation_statement[equation], std::move(values)};
+}
+
+std::string describe(const EquationKey& key) {
+  std::string out = "statement " + std::to_string(key.first) + " at (";
+  for (std::size_t v = 0; v < key.second.size(); ++v) {
+    if (v != 0) out += ", ";
+    out += std::to_string(key.second[v]);
+  }
+  return out + ")";
+}
+
+}  // namespace
+
+IterationMap reverse_iteration_map(const LoopProgram& program, std::size_t level) {
+  program.validate();
+  IR_REQUIRE(level < program.loops.size(), "reverse level out of range");
+  const Loop& loop = program.loops[level];
+  IR_REQUIRE(loop.lower.is_constant() && loop.upper.is_constant(),
+             "reverse requires constant bounds");
+  const std::int64_t sum = loop.lower.constant_part() + loop.upper.constant_part();
+  return [level, sum](std::span<const std::int64_t> vars) {
+    std::vector<std::int64_t> mapped(vars.begin(), vars.end());
+    mapped[level] = sum - mapped[level];
+    return mapped;
+  };
+}
+
+DependenceCheck check_dependence_preservation(const LoweredProgram& original,
+                                              const LoweredProgram& transformed,
+                                              const IterationMap& iteration_map) {
+  IR_REQUIRE(original.vars_per_equation > 0 && transformed.vars_per_equation > 0,
+             "both lowerings must record per-equation variables "
+             "(LowerOptions::record_vars)");
+  DependenceCheck result;
+
+  const std::size_t n = original.system.iterations();
+  if (transformed.system.iterations() != n) {
+    result.preserved = false;
+    result.violation = "iteration counts differ (" + std::to_string(n) + " vs " +
+                       std::to_string(transformed.system.iterations()) + ")";
+    return result;
+  }
+
+  // Canonical variable order = the original's nest order; locate each
+  // variable (by name) in the transformed nest.
+  std::vector<std::size_t> original_slots(original.var_names.size());
+  for (std::size_t v = 0; v < original_slots.size(); ++v) original_slots[v] = v;
+  std::vector<std::size_t> transformed_slots(original.var_names.size());
+  for (std::size_t v = 0; v < original.var_names.size(); ++v) {
+    const auto it = std::find(transformed.var_names.begin(),
+                              transformed.var_names.end(), original.var_names[v]);
+    if (it == transformed.var_names.end()) {
+      result.preserved = false;
+      result.violation =
+          "loop variable '" + original.var_names[v] + "' missing from the transform";
+      return result;
+    }
+    transformed_slots[v] =
+        static_cast<std::size_t>(it - transformed.var_names.begin());
+  }
+
+  // Position of every (statement, vars) identity in the transformed order.
+  std::map<EquationKey, std::size_t> position;
+  for (std::size_t e = 0; e < n; ++e) {
+    position[key_of(transformed, e, transformed_slots)] = e;
+  }
+
+  std::vector<std::size_t> new_pos(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    auto key = key_of(original, e, original_slots);
+    if (iteration_map) key.second = iteration_map(key.second);
+    const auto it = position.find(key);
+    if (it == position.end()) {
+      result.preserved = false;
+      result.violation = describe(key) + " is missing from the transformed order";
+      return result;
+    }
+    new_pos[e] = it->second;
+  }
+
+  // Direct dependences of the ORIGINAL order.  Covering pairs suffice:
+  // flow   — each read against the last write of its cell,
+  // anti   — each write against every read since the cell's previous write,
+  // output — each write against the cell's previous write.
+  const auto& sys = original.system;
+  std::vector<std::size_t> last_writer(sys.cells, core::kNone);
+  std::vector<std::vector<std::size_t>> readers_since_write(sys.cells);
+
+  auto check_pair = [&](std::size_t before, std::size_t after, const char* kind) {
+    ++result.pairs_checked;
+    if (result.preserved && new_pos[before] >= new_pos[after]) {
+      result.preserved = false;
+      result.violation = std::string(kind) + " dependence reversed: " +
+                         describe(key_of(original, before, original_slots)) +
+                         " must precede " + describe(key_of(original, after, original_slots));
+    }
+  };
+
+  for (std::size_t e = 0; e < n && result.preserved; ++e) {
+    for (const std::size_t read : {sys.f[e], sys.h[e]}) {
+      if (last_writer[read] != core::kNone) {
+        check_pair(last_writer[read], e, "flow");
+      }
+      readers_since_write[read].push_back(e);
+    }
+    const std::size_t cell = sys.g[e];
+    for (const std::size_t reader : readers_since_write[cell]) {
+      if (reader != e) check_pair(reader, e, "anti");
+    }
+    if (last_writer[cell] != core::kNone) check_pair(last_writer[cell], e, "output");
+    readers_since_write[cell].clear();
+    last_writer[cell] = e;
+  }
+  return result;
+}
+
+}  // namespace ir::frontend

@@ -1,0 +1,81 @@
+// Loop transformations and their legality checking.
+//
+// The IR solvers remove the need for dependence analysis when a loop fits
+// the IR frame — but a compiler still reorders loops (e.g. to turn the
+// Livermore-23 fragment's per-column chains into the interleaved ordinary-IR
+// form, or vice versa).  This module provides:
+//
+//   * interchange(program, a, b) — swap two levels of a perfect nest,
+//     renaming loop variables throughout; non-rectangular interchanges are
+//     rejected by validation (a bound would reference an inner variable).
+//
+//   * check_dependence_preservation(original, transformed) — the classic
+//     legality criterion made executable on LOWERED systems: every direct
+//     flow, anti and output dependence of the original execution order must
+//     keep its orientation in the transformed order.  Equations are matched
+//     across the two orders by their (statement, loop-variable values)
+//     identity, so lowering must record_vars (the default).
+//
+// Together they give testing-grade legality: transform, lower both, check —
+// and, because IR systems are executable, the tests ALSO verify value
+// equality with an exact monoid.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "frontend/lower.hpp"
+#include "frontend/loop_program.hpp"
+
+namespace ir::frontend {
+
+/// Swap nest levels a and b (indices into program.loops).  Throws
+/// ContractViolation if the result is not a well-formed perfect nest
+/// (e.g. triangular bounds that would now reference an inner variable).
+[[nodiscard]] LoopProgram interchange(const LoopProgram& program, std::size_t a,
+                                      std::size_t b);
+
+/// Reverse loop `level`: iterate from its upper bound down to its lower
+/// bound.  Implemented by the standard substitution v := lo + hi - v, which
+/// keeps every subscript affine.  Often ILLEGAL (it flips every dependence
+/// carried by that loop) — run check_dependence_preservation on the result.
+/// Requires the level's bounds to be loop-invariant (constants).
+[[nodiscard]] LoopProgram reverse(const LoopProgram& program, std::size_t level);
+
+/// Strip-mine loop `level` into an outer tile loop (variable `var`__o) and an
+/// inner intra-tile loop (`var`__i) of length `tile`: v := lo + v_o·tile + v_i.
+/// Always legal (execution order is unchanged), so it composes with
+/// interchange to build blocked schedules.  Requires constant bounds and a
+/// trip count divisible by `tile` (rectangularity keeps the result a perfect
+/// nest — ragged tails would need guards the DSL does not express).
+[[nodiscard]] LoopProgram strip_mine(const LoopProgram& program, std::size_t level,
+                                     std::size_t tile);
+
+/// Result of a dependence-preservation check.
+struct DependenceCheck {
+  bool preserved = true;
+  std::size_t pairs_checked = 0;
+  std::string violation;  ///< human-readable description of the first break
+};
+
+/// Maps an original iteration's loop-variable values (original nest order)
+/// to the transformed program's values for the SAME semantic iteration.
+/// Transforms that only reorder or rename loops need no map (iterations keep
+/// their values); re-parameterizing transforms (reverse: v -> lo+hi-v) must
+/// supply theirs.
+using IterationMap = std::function<std::vector<std::int64_t>(
+    std::span<const std::int64_t> original_vars)>;
+
+/// Verify that `transformed` executes every (statement, iteration) of
+/// `original` in an order that preserves all direct flow, anti and output
+/// dependences.  Both lowerings must carry per-equation variable values.
+/// A missing/extra iteration in `transformed` is reported as a violation.
+[[nodiscard]] DependenceCheck check_dependence_preservation(
+    const LoweredProgram& original, const LoweredProgram& transformed,
+    const IterationMap& iteration_map = {});
+
+/// The IterationMap of reverse(program, level).
+[[nodiscard]] IterationMap reverse_iteration_map(const LoopProgram& program,
+                                                 std::size_t level);
+
+}  // namespace ir::frontend

@@ -1,0 +1,90 @@
+#include "graph/dot.hpp"
+
+namespace ir::graph {
+
+namespace {
+
+std::string quoted(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string node_label(const std::vector<std::string>& names, NodeId v) {
+  return v < names.size() ? names[v] : "v" + std::to_string(v);
+}
+
+void emit_header(std::string& out, const DotOptions& options) {
+  out += "digraph " + quoted(options.graph_name) + " {\n";
+  out += "  rankdir=TB;\n  node [shape=ellipse, fontsize=11];\n";
+}
+
+void emit_leaf_rank(std::string& out, const std::vector<bool>& is_leaf,
+                    const std::vector<std::string>& names) {
+  out += "  { rank=same;";
+  for (NodeId v = 0; v < is_leaf.size(); ++v) {
+    if (is_leaf[v]) out += " " + quoted(node_label(names, v)) + ";";
+  }
+  out += " }\n";
+}
+
+}  // namespace
+
+std::string to_dot(const LabeledDag& graph, const std::vector<std::string>& node_names,
+                   const DotOptions& options) {
+  std::string out;
+  emit_header(out, options);
+  std::vector<bool> is_leaf(graph.node_count());
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    is_leaf[v] = graph.is_leaf(v);
+    out += "  " + quoted(node_label(node_names, v));
+    if (is_leaf[v]) out += " [shape=box, style=filled, fillcolor=lightgray]";
+    out += ";\n";
+  }
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    for (const Edge& e : graph.out_edges(v)) {
+      out += "  " + quoted(node_label(node_names, v)) + " -> " +
+             quoted(node_label(node_names, e.to));
+      if (e.label != PathCount{1}) out += " [label=" + quoted(e.label.to_string()) + "]";
+      out += ";\n";
+    }
+  }
+  if (options.rank_leaves_together) emit_leaf_rank(out, is_leaf, node_names);
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const CapResult& cap, std::size_t node_count,
+                   const std::vector<std::string>& node_names,
+                   const DotOptions& options) {
+  IR_REQUIRE(cap.counts.size() == node_count, "CAP result size mismatch");
+  std::string out;
+  emit_header(out, options);
+  std::vector<bool> is_leaf(node_count, false);
+  for (NodeId v = 0; v < node_count; ++v) {
+    // A leaf carries exactly its self-entry.
+    is_leaf[v] = cap.counts[v].size() == 1 && cap.counts[v][0].to == v;
+  }
+  for (NodeId v = 0; v < node_count; ++v) {
+    out += "  " + quoted(node_label(node_names, v));
+    if (is_leaf[v]) out += " [shape=box, style=filled, fillcolor=lightgray]";
+    out += ";\n";
+  }
+  for (NodeId v = 0; v < node_count; ++v) {
+    if (is_leaf[v]) continue;
+    for (const Edge& e : cap.counts[v]) {
+      out += "  " + quoted(node_label(node_names, v)) + " -> " +
+             quoted(node_label(node_names, e.to)) +
+             " [label=" + quoted(e.label.to_string()) + "];\n";
+    }
+  }
+  if (options.rank_leaves_together) emit_leaf_rank(out, is_leaf, node_names);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ir::graph

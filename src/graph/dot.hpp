@@ -1,0 +1,36 @@
+// Graphviz (DOT) export of dependence graphs.
+//
+// The paper communicates its GIR machinery through pictures — dependence
+// graphs (Fig. 6), CAP iterations (Fig. 9) — and a library user debugging a
+// stubborn loop wants the same pictures.  to_dot renders any LabeledDag
+// (and, via the overload taking CAP counts, the closed graph) ready for
+// `dot -Tsvg`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/cap.hpp"
+#include "graph/labeled_dag.hpp"
+
+namespace ir::graph {
+
+/// Options for DOT rendering.
+struct DotOptions {
+  std::string graph_name = "dependences";
+  bool rank_leaves_together = true;  ///< put all leaves on one rank (bottom row)
+};
+
+/// Render a labeled DAG; `node_names` fall back to "v<i>" beyond its size.
+/// Edge labels show multiplicities > 1.
+[[nodiscard]] std::string to_dot(const LabeledDag& graph,
+                                 const std::vector<std::string>& node_names = {},
+                                 const DotOptions& options = {});
+
+/// Render a CAP result: every node with edges straight to its leaves,
+/// labeled with the path counts (the paper's G' = CAP(G)).
+[[nodiscard]] std::string to_dot(const CapResult& cap, std::size_t node_count,
+                                 const std::vector<std::string>& node_names = {},
+                                 const DotOptions& options = {});
+
+}  // namespace ir::graph

@@ -1,0 +1,79 @@
+#include "graph/labeled_dag.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ir::graph {
+
+void LabeledDag::add_edge(NodeId from, NodeId to, PathCount label) {
+  IR_REQUIRE(from < adjacency_.size(), "edge source out of range");
+  IR_REQUIRE(to < adjacency_.size(), "edge target out of range");
+  IR_REQUIRE(!label.is_zero(), "edge label must be a positive path count");
+  adjacency_[from].push_back(Edge{to, std::move(label)});
+  ++edge_count_;
+}
+
+void LabeledDag::coalesce_parallel_edges() {
+  std::size_t total = 0;
+  for (auto& edges : adjacency_) {
+    if (edges.size() > 1) {
+      std::unordered_map<NodeId, std::size_t> slot;
+      std::vector<Edge> merged;
+      merged.reserve(edges.size());
+      for (auto& e : edges) {
+        auto [it, inserted] = slot.try_emplace(e.to, merged.size());
+        if (inserted) {
+          merged.push_back(std::move(e));
+        } else {
+          merged[it->second].label += e.label;
+        }
+      }
+      edges = std::move(merged);
+    }
+    total += edges.size();
+  }
+  edge_count_ = total;
+}
+
+std::optional<std::vector<NodeId>> LabeledDag::topological_order() const {
+  const std::size_t n = adjacency_.size();
+  std::vector<std::size_t> in_degree(n, 0);
+  for (const auto& edges : adjacency_) {
+    for (const auto& e : edges) ++in_degree[e.to];
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) frontier.push_back(v);
+  }
+  while (!frontier.empty()) {
+    const NodeId v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (const auto& e : adjacency_[v]) {
+      if (--in_degree[e.to] == 0) frontier.push_back(e.to);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+void LabeledDag::verify_acyclic() const {
+  IR_REQUIRE(topological_order().has_value(), "graph contains a cycle");
+}
+
+std::string LabeledDag::to_string(const std::vector<std::string>& node_names) const {
+  auto name = [&](NodeId v) {
+    return v < node_names.size() ? node_names[v] : "v" + std::to_string(v);
+  };
+  std::string out;
+  for (NodeId v = 0; v < adjacency_.size(); ++v) {
+    for (const auto& e : adjacency_[v]) {
+      out += name(v) + " ->[" + e.label.to_string() + "] " + name(e.to) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace ir::graph

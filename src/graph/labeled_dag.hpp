@@ -1,0 +1,83 @@
+// Edge-labeled directed acyclic multigraph.
+//
+// This is the carrier for the paper's GIR dependence graphs (Definition 2)
+// and for its CAP — Counting All Paths — operation.  Edges are directed from
+// *consumer* to *producer*: an edge u -> v with label x says "the trace of u
+// contains x copies of whatever v contributes".  Leaves (nodes with no
+// outgoing edges) are the initial-value nodes; CAP computes, for every node,
+// how many distinct paths reach each leaf — i.e. the exponent of each initial
+// value in the node's trace.
+//
+// Labels are BigUint because path counts grow like Fibonacci numbers in the
+// paper's own motivating example (A[i] := A[i-1]·A[i-2]).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/bigint.hpp"
+#include "support/contract.hpp"
+
+namespace ir::graph {
+
+using NodeId = std::size_t;
+using PathCount = support::BigUint;
+
+/// One labeled edge out of a node.
+struct Edge {
+  NodeId to;
+  PathCount label;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Directed multigraph with BigUint edge labels.  Acyclicity is *checked on
+/// demand* (verify_acyclic / topological_order), not enforced per insertion,
+/// so construction stays O(1) amortized per edge.
+class LabeledDag {
+ public:
+  /// Create a graph with `node_count` nodes and no edges.
+  explicit LabeledDag(std::size_t node_count) : adjacency_(node_count) {}
+
+  /// Number of nodes.
+  [[nodiscard]] std::size_t node_count() const noexcept { return adjacency_.size(); }
+
+  /// Number of edges (multi-edges counted individually).
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Add an edge from -> to with multiplicity `label` (default 1).
+  /// Parallel edges are allowed; label must be non-zero.
+  void add_edge(NodeId from, NodeId to, PathCount label = PathCount{1});
+
+  /// Outgoing edges of `v`.
+  [[nodiscard]] const std::vector<Edge>& out_edges(NodeId v) const {
+    IR_REQUIRE(v < adjacency_.size(), "node id out of range");
+    return adjacency_[v];
+  }
+
+  /// True iff `v` has no outgoing edges (an initial-value "leaf" node).
+  [[nodiscard]] bool is_leaf(NodeId v) const { return out_edges(v).empty(); }
+
+  /// Merge parallel edges of every node by summing their labels
+  /// (the paper's "paths addition" step, Fig. 8).
+  void coalesce_parallel_edges();
+
+  /// Topological order (consumers before producers).  Returns std::nullopt
+  /// if the graph has a cycle.
+  [[nodiscard]] std::optional<std::vector<NodeId>> topological_order() const;
+
+  /// Throws ContractViolation if the graph has a cycle.
+  void verify_acyclic() const;
+
+  /// Human-readable dump ("u ->[x] v" per line) for examples and debugging.
+  [[nodiscard]] std::string to_string(
+      const std::vector<std::string>& node_names = {}) const;
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace ir::graph

@@ -1,0 +1,106 @@
+#include "livermore/data.hpp"
+
+namespace ir::livermore {
+
+namespace {
+
+void fill(std::vector<double>& v, std::size_t size, support::SplitMix64& rng, double lo,
+          double hi) {
+  v.resize(size);
+  for (auto& e : v) e = rng.uniform(lo, hi);
+}
+
+void fill(Grid& g, std::size_t rows, std::size_t cols, support::SplitMix64& rng, double lo,
+          double hi) {
+  g = Grid(rows, cols);
+  for (auto& e : g.data()) e = rng.uniform(lo, hi);
+}
+
+}  // namespace
+
+Workspace Workspace::standard(std::uint64_t seed, std::size_t scale) {
+  IR_REQUIRE(scale >= 1, "scale must be at least 1");
+  Workspace ws;
+  ws.loop_n = 1001 * scale;
+  ws.loop_2d = 101;
+
+  support::SplitMix64 rng(seed);
+  const std::size_t n1 = ws.loop_n + 32;
+
+  // Coefficient-like arrays stay in (0, 1) so products neither overflow nor
+  // vanish; value-like arrays in (0, 2).
+  fill(ws.x, n1, rng, 0.0, 2.0);
+  fill(ws.y, n1, rng, 0.1, 0.9);
+  fill(ws.z, n1, rng, 0.1, 0.9);
+  fill(ws.u, n1, rng, 0.0, 2.0);
+  fill(ws.v, n1, rng, 0.1, 0.9);
+  fill(ws.w, n1, rng, 0.0, 2.0);
+
+  fill(ws.xx, n1, rng, 0.1, 1.0);
+  fill(ws.grd, n1, rng, 2.0, 30.0);
+  fill(ws.ex, n1, rng, 0.1, 0.9);
+  fill(ws.dex, n1, rng, 0.1, 0.9);
+  ws.rh.assign(n1, 0.0);
+
+  fill(ws.b5, n1, rng, 0.1, 0.9);
+  fill(ws.sa, n1, rng, 0.1, 0.9);
+  fill(ws.sb, n1, rng, 0.1, 0.5);
+
+  fill(ws.vxne, n1, rng, 0.1, 0.9);
+  ws.vxnd.assign(n1, 0.0);
+  fill(ws.vlr, n1, rng, 0.1, 0.9);
+  fill(ws.vlin, n1, rng, 0.1, 0.9);
+  ws.ve3.assign(n1, 0.0);
+
+  ws.ix.assign(n1, 0);
+  ws.ir.assign(n1, 0);
+
+  fill(ws.px, ws.loop_n + 1, 13, rng, 0.1, 0.9);
+  fill(ws.cx, ws.loop_n + 1, 13, rng, 0.1, 0.9);
+  fill(ws.vy, ws.loop_n + 1, 25, rng, 0.1, 0.9);
+
+  // Kernel 8 planes: (2+2) x (loop_2d+2)*5 layout handled inside the kernel;
+  // store as (kx, flattened ky*5 + plane-col).
+  fill(ws.u1, 4, (ws.loop_2d + 2) * 5, rng, 0.1, 0.9);
+  fill(ws.u2, 4, (ws.loop_2d + 2) * 5, rng, 0.1, 0.9);
+  fill(ws.u3, 4, (ws.loop_2d + 2) * 5, rng, 0.1, 0.9);
+
+  // Kernel 6 coefficient triangle (kept modest: loop_2d x loop_2d).
+  fill(ws.b_k6, ws.loop_2d, ws.loop_2d, rng, 0.01, 0.2);
+
+  const std::size_t r2 = ws.loop_2d + 2;
+  fill(ws.zp, r2, 7, rng, 0.1, 0.9);
+  fill(ws.zq, r2, 7, rng, 0.1, 0.9);
+  fill(ws.zr, r2, 7, rng, 0.1, 0.9);
+  fill(ws.zm, r2, 7, rng, 0.1, 0.9);
+  fill(ws.zb, r2, 7, rng, 0.1, 0.9);
+  fill(ws.zu, r2, 7, rng, 0.1, 0.9);
+  fill(ws.zv, r2, 7, rng, 0.1, 0.9);
+  fill(ws.zz, r2, 7, rng, 0.1, 0.9);
+  fill(ws.za, r2, 7, rng, 0.1, 0.9);
+
+  fill(ws.vs, ws.loop_2d + 1, 7, rng, 0.1, 0.9);
+  fill(ws.ve, ws.loop_2d + 1, 7, rng, 0.1, 0.9);
+
+  // Kernel 13 (2-D PIC): particle table p[ip] = {x, y, vx, vy}, 64x64 fields.
+  const std::size_t particles = 128 * scale;
+  fill(ws.p_k13, particles, 4, rng, 0.0, 32.0);
+  fill(ws.b_k13, 64, 64, rng, 0.1, 0.9);
+  fill(ws.c_k13, 64, 64, rng, 0.1, 0.9);
+  ws.h_k13 = Grid(64, 64, 0.0);
+  fill(ws.y_k13, 128, rng, 0.1, 0.9);
+  fill(ws.z_k13, 128, rng, 0.1, 0.9);
+  ws.e_k13.resize(128);
+  ws.f_k13.resize(128);
+  for (auto& e : ws.e_k13) e = static_cast<std::int64_t>(rng.between(1, 3));
+  for (auto& e : ws.f_k13) e = static_cast<std::int64_t>(rng.between(1, 3));
+
+  ws.q = 0.0;
+  ws.r = 4.86;
+  ws.t = 276.0;
+  ws.s = 0.0041;
+  ws.dk = 0.175;
+  return ws;
+}
+
+}  // namespace ir::livermore

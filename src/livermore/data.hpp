@@ -1,0 +1,93 @@
+// Workspace and data initialization for the Livermore Loops substrate.
+//
+// The paper's Section-1 claim — that most of the 24 Livermore kernels carry
+// *indexed* recurrences rather than classic linear ones — is reproduced on
+// structurally faithful C++ adaptations of the classic McMahon kernels.
+// The original Fortran/C sources are not redistributable here; each kernel in
+// kernels.hpp documents the loop structure it preserves, which is the only
+// property the classification and the IR parallelization depend on.
+//
+// All arrays live in one Workspace so kernels read/write the same storage
+// the way the original benchmark did; initialization is deterministic from a
+// seed (values in (0, 1)-ish ranges keep the recurrences numerically tame).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/contract.hpp"
+#include "support/rng.hpp"
+
+namespace ir::livermore {
+
+/// Dense row-major 2-D array of doubles.
+class Grid {
+ public:
+  Grid() = default;
+  Grid(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    IR_REQUIRE(r < rows_ && c < cols_, "grid index out of range");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    IR_REQUIRE(r < rows_ && c < cols_, "grid index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Flat cell index of (r, c) — used when a 2-D loop is modeled as an IR
+  /// system over flattened cells (the paper flattens loop 23 the same way:
+  /// g(i) = 7(i-1) + j).
+  [[nodiscard]] std::size_t flat(std::size_t r, std::size_t c) const {
+    IR_REQUIRE(r < rows_ && c < cols_, "grid index out of range");
+    return r * cols_ + c;
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
+  [[nodiscard]] std::vector<double>& data() noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// All state the 24 kernels touch.
+struct Workspace {
+  // Classic sizes: most 1-D kernels run over `loop_n` elements with some
+  // slack for the offset reads (z[k+11], u[k+6], ...).
+  std::size_t loop_n = 1001;  ///< main 1-D trip count
+  std::size_t loop_2d = 101;  ///< 2-D row count (kernels 18, 23: 101 x 7)
+
+  // 1-D arrays (sized loop_n + 32 slack).
+  std::vector<double> x, y, z, u, v, w;
+  std::vector<double> xx, grd, ex, dex, rh;           // kernel 14/20 helpers
+  std::vector<double> b5, sa, sb;                     // kernel 19
+  std::vector<double> vxne, vxnd, vlr, vlin, ve3;     // kernel 17
+  std::vector<std::int64_t> ix, ir;                   // kernel 14 index arrays
+
+  // 2-D arrays.
+  Grid px, cx;              // kernels 9, 10, 21 (px: loop_n x 13)
+  Grid vy;                  // kernel 21 (loop_n x 25 truncated)
+  Grid u1, u2, u3;          // kernel 8 (3 planes x (loop_2d+2) x 5), flattened plane dim
+  Grid b_k6;                // kernel 6 lower-triangular coefficients
+  Grid zp, zq, zr, zm, zb, zu, zv, zz, za;  // kernels 18, 23 ((loop_2d+2) x 7)
+  Grid vs, ve;              // kernel 15
+  Grid p_k13, b_k13, c_k13, h_k13;          // kernel 13 (2-D PIC)
+  std::vector<double> y_k13, z_k13;
+  std::vector<std::int64_t> e_k13, f_k13;
+
+  // Scalars.
+  double q = 0.0, r = 4.86, t = 276.0, s = 0.0041;
+  double dk = 0.175;  ///< the relaxation constant the paper quotes for loop 23
+
+  /// Build a workspace with the classic sizes and deterministic pseudo-random
+  /// contents.  `scale` multiplies the 1-D trip count (the benches sweep it).
+  static Workspace standard(std::uint64_t seed = 1997, std::size_t scale = 1);
+};
+
+}  // namespace ir::livermore

@@ -1,0 +1,422 @@
+#include "livermore/info.hpp"
+
+#include "livermore/kernels.hpp"
+#include "support/contract.hpp"
+
+namespace ir::livermore {
+
+namespace {
+
+using core::GeneralIrSystem;
+
+/// Tiny arena for the flat virtual cell space a kernel model lives in:
+/// every array (and every carried scalar) gets a contiguous block.
+struct CellSpace {
+  std::size_t next = 0;
+  std::size_t block(std::size_t count) {
+    const std::size_t base = next;
+    next += count;
+    return base;
+  }
+};
+
+/// Equation sink: append one binary equation A[g] = op(A[f], A[h]).
+struct ModelBuilder {
+  GeneralIrSystem sys;
+  void equation(std::size_t f, std::size_t g, std::size_t h) {
+    sys.f.push_back(f);
+    sys.g.push_back(g);
+    sys.h.push_back(h);
+  }
+  GeneralIrSystem finish(const CellSpace& space) {
+    sys.cells = space.next;
+    return std::move(sys);
+  }
+};
+
+// --- Per-kernel models -----------------------------------------------------
+// Each model materializes the recurrence-carrying loop of the kernel as
+// (f, g, h) index maps over a flat virtual cell space, in the kernel's
+// sequential program order.  Where a statement has more than two operands the
+// model keeps the two that carry the flow dependences (noted per kernel) —
+// classification only needs which earlier writes are read, not the full
+// arithmetic.
+
+GeneralIrSystem model_k1(const Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t x = space.block(n), z = space.block(n + 32), y = space.block(n);
+  for (std::size_t k = 0; k < n; ++k) mb.equation(z + k + 10, x + k, y + k);
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k2(const Workspace&) {
+  const std::size_t n = 500;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t x = space.block(2 * n + 4);
+  std::size_t ii = n, ipntp = 0;
+  while (ii > 0) {
+    const std::size_t ipnt = ipntp;
+    ipntp += ii;
+    ii /= 2;
+    std::size_t i = ipntp;
+    for (std::size_t k = ipnt + 1; k < ipntp; k += 2) {
+      ++i;
+      // x[i-1] = x[k] - v[k]*x[k-1] - v[k+1]*x[k+1]: keep the two x reads
+      // beyond x[k] that carry the cross-pass dependences.
+      mb.equation(x + k - 1, x + i - 1, x + k + 1);
+    }
+  }
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k3(const Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t q = space.block(1), in = space.block(n);
+  for (std::size_t k = 0; k < n; ++k) mb.equation(in + k, q, q);
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k5(const Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t x = space.block(n);
+  for (std::size_t i = 1; i < n; ++i) mb.equation(x + i - 1, x + i, x + i);
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k6(const Workspace& ws) {
+  const std::size_t n = ws.loop_2d;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t w = space.block(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k) {
+      mb.equation(w + (i - k) - 1, w + i, w + i);  // w[i] += b*w[i-k-1]
+    }
+  }
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k7(const Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t x = space.block(n), u = space.block(n + 8), z = space.block(n);
+  for (std::size_t k = 0; k < n; ++k) mb.equation(u + k + 6, x + k, z + k);
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k8(const Workspace& ws) {
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t cols = (ws.loop_2d + 2) * 5;
+  const std::size_t u1 = space.block(4 * cols);
+  auto cell = [&](std::size_t kx, std::size_t ky, std::size_t plane) {
+    return u1 + kx * cols + ky * 5 + plane;
+  };
+  for (std::size_t kx = 1; kx < 3; ++kx) {
+    for (std::size_t ky = 1; ky < ws.loop_2d; ++ky) {
+      // Writes plane 1, reads only plane 0 (never written): streaming.
+      mb.equation(cell(kx, ky + 1, 0), cell(kx, ky, 1), cell(kx - 1, ky, 0));
+    }
+  }
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k9(const Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t px = space.block((n + 1) * 13);
+  for (std::size_t i = 0; i < n; ++i) {
+    mb.equation(px + i * 13 + 12, px + i * 13 + 0, px + i * 13 + 2);
+  }
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k10(const Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t px = space.block((n + 1) * 13), cx = space.block((n + 1) * 13);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Cascade: new px(i,j) = new px(i,j-1) - old px(i,j), seeded from cx.
+    mb.equation(cx + i * 13 + 4, px + i * 13 + 4, px + i * 13 + 4);
+    for (std::size_t j = 5; j < 13; ++j) {
+      mb.equation(px + i * 13 + j - 1, px + i * 13 + j, px + i * 13 + j);
+    }
+  }
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k11(const Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t x = space.block(n), y = space.block(n);
+  for (std::size_t k = 1; k < n; ++k) mb.equation(x + k - 1, x + k, y + k);
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k12(const Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t x = space.block(n), y = space.block(n + 1);
+  for (std::size_t k = 0; k < n; ++k) mb.equation(y + k + 1, x + k, y + k);
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k15(const Workspace& ws) {
+  const std::size_t ng = 7, nz = ws.loop_2d;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t vs = space.block((nz + 1) * 7), ve = space.block((nz + 1) * 7);
+  auto vsc = [&](std::size_t k, std::size_t j) { return vs + k * 7 + j; };
+  auto vec = [&](std::size_t k, std::size_t j) { return ve + k * 7 + j; };
+  for (std::size_t j = 1; j < ng - 1; ++j) {
+    for (std::size_t k = 1; k < nz - 1; ++k) {
+      mb.equation(vsc(k, j + 1), vsc(k, j), vsc(k, j));      // vs update
+      mb.equation(vsc(k - 1, j), vec(k, j), vec(k - 1, j));  // ve update
+    }
+  }
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k17(const Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  CellSpace space;
+  ModelBuilder mb;
+  // The carried state is the scalar pair (xnm, e6): one virtual cell per
+  // loop step so the chain structure is explicit.
+  const std::size_t xnm = space.block(n + 1), vlr = space.block(n);
+  for (std::size_t s = 0; s < n; ++s) mb.equation(xnm + s, xnm + s + 1, vlr + s);
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k18(const Workspace& ws) {
+  const std::size_t kn = ws.loop_2d, jn = 6;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t r2 = kn + 2;
+  const std::size_t za = space.block(r2 * 7), zb = space.block(r2 * 7);
+  const std::size_t zu = space.block(r2 * 7), zv = space.block(r2 * 7);
+  const std::size_t zr = space.block(r2 * 7), zz = space.block(r2 * 7);
+  auto cell = [&](std::size_t base, std::size_t k, std::size_t j) {
+    return base + k * 7 + j;
+  };
+  for (std::size_t k = 1; k < kn; ++k) {
+    for (std::size_t j = 1; j < jn; ++j) {
+      // Sweep 1 writes za/zb from zp/zq/zr/zm (none written): streaming.
+      mb.equation(cell(zr, k, j), cell(za, k, j), cell(za, k, j));
+      mb.equation(cell(zr, k - 1, j), cell(zb, k, j), cell(zb, k, j));
+    }
+  }
+  for (std::size_t k = 1; k < kn; ++k) {
+    for (std::size_t j = 1; j < jn; ++j) {
+      // Sweep 2 reads sweep-1 results at neighbour offsets: two flow deps.
+      mb.equation(cell(za, k, j), cell(zu, k, j), cell(zb, k + 1, j));
+      mb.equation(cell(za, k, j - 1), cell(zv, k, j), cell(zb, k, j));
+    }
+  }
+  for (std::size_t k = 1; k < kn; ++k) {
+    for (std::size_t j = 1; j < jn; ++j) {
+      // Sweep 3: zr += t*zu, zz += t*zv.
+      mb.equation(cell(zu, k, j), cell(zr, k, j), cell(zr, k, j));
+      mb.equation(cell(zv, k, j), cell(zz, k, j), cell(zz, k, j));
+    }
+  }
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k19(const Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  CellSpace space;
+  ModelBuilder mb;
+  // Carried scalar stb5, one virtual cell per step across both sweeps.
+  const std::size_t stb5 = space.block(2 * n + 1), sa = space.block(n);
+  for (std::size_t s = 0; s < 2 * n; ++s) mb.equation(stb5 + s, stb5 + s + 1, sa + s % n);
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k20(const Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t xx = space.block(n + 1), u = space.block(n);
+  for (std::size_t k = 0; k < n; ++k) mb.equation(xx + k, xx + k + 1, u + k);
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k21(const Workspace&) {
+  const std::size_t rows = 25, inner = 25, cols = 13;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t px = space.block(rows * cols), vy = space.block(rows * inner);
+  for (std::size_t k = 0; k < inner; ++k) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        mb.equation(vy + i * inner + k, px + i * cols + j, px + i * cols + j);
+      }
+    }
+  }
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k22(const Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t w = space.block(n), xin = space.block(n), u = space.block(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // y[k] is a forward-substitutable temporary (written then read within
+    // iteration k only), so the iteration reduces to one streaming equation.
+    mb.equation(u + k, w + k, xin + k);
+  }
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k23(const Workspace& ws) {
+  const std::size_t kn = ws.loop_2d, jn = 6;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t za = space.block((kn + 2) * 7);
+  auto cell = [&](std::size_t k, std::size_t j) { return za + k * 7 + j; };
+  for (std::size_t k = 1; k < kn; ++k) {
+    for (std::size_t j = 1; j < jn; ++j) {
+      // Both za(k,j-1) (written this row) and za(k-1,j) (written last row)
+      // carry flow dependences: a genuine tree-shaped trace.
+      mb.equation(cell(k, j - 1), cell(k, j), cell(k - 1, j));
+    }
+  }
+  return mb.finish(space);
+}
+
+GeneralIrSystem model_k24(const Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  CellSpace space;
+  ModelBuilder mb;
+  const std::size_t m = space.block(1), x = space.block(n);
+  for (std::size_t k = 1; k < n; ++k) mb.equation(x + k, m, m);
+  return mb.finish(space);
+}
+
+}  // namespace
+
+std::optional<GeneralIrSystem> ir_model(int id, const Workspace& ws) {
+  switch (id) {
+    case 1: return model_k1(ws);
+    case 2: return model_k2(ws);
+    case 3: return model_k3(ws);
+    case 5: return model_k5(ws);
+    case 6: return model_k6(ws);
+    case 7: return model_k7(ws);
+    case 8: return model_k8(ws);
+    case 9: return model_k9(ws);
+    case 10: return model_k10(ws);
+    case 11: return model_k11(ws);
+    case 12: return model_k12(ws);
+    case 15: return model_k15(ws);
+    case 17: return model_k17(ws);
+    case 18: return model_k18(ws);
+    case 19: return model_k19(ws);
+    case 20: return model_k20(ws);
+    case 21: return model_k21(ws);
+    case 22: return model_k22(ws);
+    case 23: return model_k23(ws);
+    case 24: return model_k24(ws);
+    default: return std::nullopt;  // 4, 13, 14, 16: see classification_table
+  }
+}
+
+std::vector<KernelInfo> classification_table(const Workspace& ws) {
+  using core::LoopClass;
+  std::vector<KernelInfo> table;
+
+  struct Hand {
+    int id;
+    LoopClass cls;
+    bool in_frame;
+    const char* why;
+  };
+  const Hand hand[] = {
+      {4, LoopClass::kNoRecurrence, true,
+       "band reads precede the band's single write; bands do not overlap"},
+      {13, LoopClass::kGeneralIndexed, false,
+       "histogram scatter h[j2][i2] += 1 with data-dependent indices; maps "
+       "recoverable by an inspector pass (see livermore/parallel.hpp)"},
+      {14, LoopClass::kGeneralIndexed, false,
+       "charge deposition rh[ir[k]] += ... with data-dependent colliding indices; "
+       "recovered by the inspector (core/inspector.hpp) and solved as GIR"},
+      {16, LoopClass::kGeneralIndexed, false,
+       "loop-carried control flow (data-dependent stride): outside the IR frame"},
+  };
+
+  const char* mech_note[25] = {};
+  mech_note[1] = "x[k] from y/z only: no iteration reads an earlier write";
+  mech_note[2] = "halving passes re-read x written by earlier passes at two offsets";
+  mech_note[3] = "scalar reduction: q depends on the previous iteration's q";
+  mech_note[5] = "x[i] reads x[i-1]: first-order chain";
+  mech_note[6] = "w[i] reads every earlier w: repeated writes, many-operand trace";
+  mech_note[7] = "streaming expression over read-only arrays";
+  mech_note[8] = "writes plane 1, reads plane 0 only";
+  mech_note[9] = "row-local predictor update";
+  mech_note[10] = "row-local 9-step cascades (binary-op approximation of the "
+                  "3-operand difference chain); independent across rows";
+  mech_note[11] = "prefix sum: x[k] reads x[k-1]";
+  mech_note[12] = "x from y only";
+  mech_note[15] = "ve(k,j) reads vs(k-1,j) and ve(k-1,j): two flow deps per step";
+  mech_note[17] = "carried scalar chain (classified on structure; the conditional "
+                  "update is not a fixed associative op, hence out of frame)";
+  mech_note[18] = "sweep 2 reads sweep-1 results at neighbour offsets: tree traces";
+  mech_note[19] = "carried scalar stb5: first-order chain across both sweeps";
+  mech_note[20] = "xx[k+1] reads xx[k] (coefficients data-dependent: the Moebius "
+                  "route does not apply, see EXPERIMENTS.md)";
+  mech_note[21] = "reduction chains per px(i,j), interleaved by the k loop: "
+                  "indexed, not one linear chain";
+  mech_note[22] = "two streaming statements over read-only inputs";
+  mech_note[23] = "za(k,j) reads za(k,j-1) and za(k-1,j): tree traces; the paper's "
+                  "fragment keeps only the column dependence (ordinary IR)";
+  mech_note[24] = "argmin reduction: carried scalar m";
+
+  for (int id = 1; id <= kKernelCount; ++id) {
+    KernelInfo info;
+    info.id = id;
+    info.name = kernel_name(id);
+    if (auto model = ir_model(id, ws)) {
+      info.cls = core::classify(*model);
+      info.mechanized = true;
+      info.in_ir_frame = (id != 17);
+      info.rationale = mech_note[id] != nullptr ? mech_note[id] : "";
+    } else {
+      for (const auto& h : hand) {
+        if (h.id == id) {
+          info.cls = h.cls;
+          info.mechanized = false;
+          info.in_ir_frame = h.in_frame;
+          info.rationale = h.why;
+        }
+      }
+    }
+    info.parallelized = (id == 3 || id == 5 || id == 11 || id == 13 || id == 14 ||
+                         id == 19 || id == 21 || id == 23 || id == 24);
+    table.push_back(std::move(info));
+  }
+  return table;
+}
+
+std::vector<std::size_t> class_histogram(const std::vector<KernelInfo>& table) {
+  std::vector<std::size_t> histogram(4, 0);
+  for (const auto& info : table) {
+    histogram[static_cast<std::size_t>(info.cls)]++;
+  }
+  return histogram;
+}
+
+}  // namespace ir::livermore

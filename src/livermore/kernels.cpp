@@ -1,0 +1,531 @@
+#include "livermore/kernels.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "support/contract.hpp"
+
+namespace ir::livermore {
+
+namespace {
+
+double checksum(const std::vector<double>& v, std::size_t count) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < count && i < v.size(); ++i) sum += v[i];
+  return sum;
+}
+
+double checksum(const Grid& g) {
+  return std::accumulate(g.data().begin(), g.data().end(), 0.0);
+}
+
+}  // namespace
+
+// k1:  x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])
+// Streaming: no iteration reads anything an earlier iteration wrote.
+double kernel01_hydro(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  for (std::size_t k = 0; k < n; ++k) {
+    ws.x[k] = ws.q + ws.y[k] * (ws.r * ws.z[k + 10] + ws.t * ws.z[k + 11]);
+  }
+  return checksum(ws.x, n);
+}
+
+// k2:  ICCG excerpt — log-structured halving passes:
+//   x[i] = x[k] - v[k]*x[k-1] - v[k+1]*x[k+1]
+// Later passes read cells written by earlier passes: an indexed recurrence
+// whose write map repeats across passes (general IR).
+double kernel02_iccg(Workspace& ws) {
+  const std::size_t n = 500;  // classic kernel 2 trip structure
+  std::size_t ii = n;
+  std::size_t ipntp = 0;
+  while (ii > 0) {
+    const std::size_t ipnt = ipntp;
+    ipntp += ii;
+    ii /= 2;
+    std::size_t i = ipntp;
+    for (std::size_t k = ipnt + 1; k < ipntp; k += 2) {
+      ++i;
+      ws.x[i - 1] = ws.x[k] - ws.v[k] * ws.x[k - 1] - ws.v[k + 1] * ws.x[k + 1];
+    }
+  }
+  return checksum(ws.x, 2 * n);
+}
+
+// k3:  q += z[k]*x[k]
+// A scalar reduction: iteration k reads the q produced by iteration k-1 —
+// the classic linear-recurrence shape.
+double kernel03_inner_product(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  double q = 0.0;
+  for (std::size_t k = 0; k < n; ++k) q += ws.z[k] * ws.x[k];
+  ws.q = q;
+  return q;
+}
+
+// k4:  banded linear equations:
+//   temp = x[k-1] - sum_j x[lw++]*y[j];  x[k-1] = y[4]*temp
+// The few written cells are far apart and feed later bands: indexed.
+double kernel04_banded_linear(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  const std::size_t m = (1001 - 7) / 2;
+  double total = 0.0;
+  for (std::size_t k = 6; k < n; k += m) {
+    std::size_t lw = k - 6;
+    double temp = ws.x[k - 1];
+    for (std::size_t j = 4; j < n; j += 5) {
+      temp -= ws.x[lw] * ws.y[j];
+      ++lw;
+    }
+    ws.x[k - 1] = ws.y[4] * temp;
+    total += ws.x[k - 1];
+  }
+  return total;
+}
+
+// k5:  x[i] = z[i]*(y[i] - x[i-1])
+// First-order linear recurrence (the parallel-prefix textbook case, and the
+// c = 0 instance of the Möbius route).
+double kernel05_tridiagonal(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  for (std::size_t i = 1; i < n; ++i) {
+    ws.x[i] = ws.z[i] * (ws.y[i] - ws.x[i - 1]);
+  }
+  return checksum(ws.x, n);
+}
+
+// k6:  w[i] += b[k][i] * w[i-k-1]  for k < i
+// Dense linear recurrence: each equation reads *all* previous results.
+double kernel06_general_recurrence(Workspace& ws) {
+  const std::size_t n = ws.loop_2d;  // classic kernel 6 runs a small n
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k) {
+      ws.w[i] += ws.b_k6.at(k, i) * ws.w[(i - k) - 1];
+    }
+  }
+  return checksum(ws.w, n);
+}
+
+// k7:  equation of state fragment — long streaming expression.
+double kernel07_equation_of_state(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  const double q = ws.q, r = ws.r, t = ws.t;
+  for (std::size_t k = 0; k < n; ++k) {
+    ws.x[k] = ws.u[k] + r * (ws.z[k] + r * ws.y[k]) +
+              t * (ws.u[k + 3] + r * (ws.u[k + 2] + r * ws.u[k + 1]) +
+                   t * (ws.u[k + 6] + q * (ws.u[k + 5] + q * ws.u[k + 4])));
+  }
+  return checksum(ws.x, n);
+}
+
+// k8:  ADI integration — writes plane 1 from plane 0 of u1/u2/u3.
+// Within one sweep nothing written is re-read: streaming across ky.
+double kernel08_adi(Workspace& ws) {
+  const std::size_t nl1 = 0, nl2 = 1;
+  const double a11 = 0.031, a12 = 0.021, a13 = 0.011, a21 = 0.012, a22 = 0.022,
+               a23 = 0.032, a31 = 0.013, a32 = 0.023, a33 = 0.033, sig = 0.041;
+  auto idx = [&](std::size_t ky, std::size_t plane) { return ky * 5 + plane; };
+  double total = 0.0;
+  for (std::size_t kx = 1; kx < 3; ++kx) {
+    for (std::size_t ky = 1; ky < ws.loop_2d; ++ky) {
+      const double du1 = ws.u1.at(kx, idx(ky + 1, nl1)) - ws.u1.at(kx, idx(ky - 1, nl1));
+      const double du2 = ws.u2.at(kx, idx(ky + 1, nl1)) - ws.u2.at(kx, idx(ky - 1, nl1));
+      const double du3 = ws.u3.at(kx, idx(ky + 1, nl1)) - ws.u3.at(kx, idx(ky - 1, nl1));
+      ws.u1.at(kx, idx(ky, nl2)) =
+          ws.u1.at(kx, idx(ky, nl1)) + a11 * du1 + a12 * du2 + a13 * du3 +
+          sig * (ws.u1.at(kx + 1, idx(ky, nl1)) - 2.0 * ws.u1.at(kx, idx(ky, nl1)) +
+                 ws.u1.at(kx - 1, idx(ky, nl1)));
+      ws.u2.at(kx, idx(ky, nl2)) =
+          ws.u2.at(kx, idx(ky, nl1)) + a21 * du1 + a22 * du2 + a23 * du3 +
+          sig * (ws.u2.at(kx + 1, idx(ky, nl1)) - 2.0 * ws.u2.at(kx, idx(ky, nl1)) +
+                 ws.u2.at(kx - 1, idx(ky, nl1)));
+      ws.u3.at(kx, idx(ky, nl2)) =
+          ws.u3.at(kx, idx(ky, nl1)) + a31 * du1 + a32 * du2 + a33 * du3 +
+          sig * (ws.u3.at(kx + 1, idx(ky, nl1)) - 2.0 * ws.u3.at(kx, idx(ky, nl1)) +
+                 ws.u3.at(kx - 1, idx(ky, nl1)));
+      total += ws.u1.at(kx, idx(ky, nl2)) + ws.u2.at(kx, idx(ky, nl2)) +
+               ws.u3.at(kx, idx(ky, nl2));
+    }
+  }
+  return total;
+}
+
+// k9:  integrate predictors — px[i][0] from 12 fixed columns of row i.
+double kernel09_integrate_predictors(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  const double dm22 = 0.2, dm23 = 0.3, dm24 = 0.4, dm25 = 0.5, dm26 = 0.6, dm27 = 0.7,
+               dm28 = 0.8, c0 = 1.1;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.px.at(i, 0) = dm28 * ws.px.at(i, 12) + dm27 * ws.px.at(i, 11) +
+                     dm26 * ws.px.at(i, 10) + dm25 * ws.px.at(i, 9) +
+                     dm24 * ws.px.at(i, 8) + dm23 * ws.px.at(i, 7) +
+                     dm22 * ws.px.at(i, 6) +
+                     c0 * (ws.px.at(i, 4) + ws.px.at(i, 5)) + ws.px.at(i, 2);
+    total += ws.px.at(i, 0);
+  }
+  return total;
+}
+
+// k10: difference predictors — a cascade within row i only.
+double kernel10_difference_predictors(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double ar = ws.cx.at(i, 4);
+    double br = ar - ws.px.at(i, 4);
+    ws.px.at(i, 4) = ar;
+    double cr = br - ws.px.at(i, 5);
+    ws.px.at(i, 5) = br;
+    ar = cr - ws.px.at(i, 6);
+    ws.px.at(i, 6) = cr;
+    br = ar - ws.px.at(i, 7);
+    ws.px.at(i, 7) = ar;
+    cr = br - ws.px.at(i, 8);
+    ws.px.at(i, 8) = br;
+    ar = cr - ws.px.at(i, 9);
+    ws.px.at(i, 9) = cr;
+    br = ar - ws.px.at(i, 10);
+    ws.px.at(i, 10) = ar;
+    cr = br - ws.px.at(i, 11);
+    ws.px.at(i, 11) = br;
+    ws.px.at(i, 13 - 1) = cr - ws.px.at(i, 12);
+    ws.px.at(i, 12) = cr;
+    total += ws.px.at(i, 12);
+  }
+  return total;
+}
+
+// k11: x[k] = x[k-1] + y[k]  (prefix sum: linear recurrence)
+double kernel11_first_sum(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  ws.x[0] = ws.y[0];
+  for (std::size_t k = 1; k < n; ++k) ws.x[k] = ws.x[k - 1] + ws.y[k];
+  return checksum(ws.x, n);
+}
+
+// k12: x[k] = y[k+1] - y[k]  (streaming)
+double kernel12_first_difference(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  for (std::size_t k = 0; k < n; ++k) ws.x[k] = ws.y[k + 1] - ws.y[k];
+  return checksum(ws.x, n);
+}
+
+// k13: 2-D particle-in-cell — gather/scatter with data-dependent indices;
+// the h[j2][i2] += 1 accumulation makes iterations collide unpredictably.
+double kernel13_pic_2d(Workspace& ws) {
+  const std::size_t np = ws.p_k13.rows();
+  for (std::size_t ip = 0; ip < np; ++ip) {
+    auto i1 = static_cast<std::size_t>(ws.p_k13.at(ip, 0)) & 63u;
+    auto j1 = static_cast<std::size_t>(ws.p_k13.at(ip, 1)) & 63u;
+    ws.p_k13.at(ip, 2) += ws.b_k13.at(j1, i1);
+    ws.p_k13.at(ip, 3) += ws.c_k13.at(j1, i1);
+    ws.p_k13.at(ip, 0) += ws.p_k13.at(ip, 2);
+    ws.p_k13.at(ip, 1) += ws.p_k13.at(ip, 3);
+    auto i2 = static_cast<std::size_t>(std::fabs(ws.p_k13.at(ip, 0))) & 63u;
+    auto j2 = static_cast<std::size_t>(std::fabs(ws.p_k13.at(ip, 1))) & 63u;
+    ws.p_k13.at(ip, 0) += ws.y_k13[i2 & 127u];
+    ws.p_k13.at(ip, 1) += ws.z_k13[j2 & 127u];
+    i2 = (i2 + static_cast<std::size_t>(ws.e_k13[i2 & 127u])) & 63u;
+    j2 = (j2 + static_cast<std::size_t>(ws.f_k13[j2 & 127u])) & 63u;
+    ws.h_k13.at(j2, i2) += 1.0;
+  }
+  return checksum(ws.h_k13);
+}
+
+// k14: 1-D particle-in-cell — three phases; the charge-deposition phase
+// scatters into rh with data-dependent, colliding indices.
+double kernel14_pic_1d(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  const double flx = 0.001;
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto cell = static_cast<std::size_t>(ws.grd[k]);
+    ws.ix[k] = static_cast<std::int64_t>(cell);
+    ws.xx[k] = ws.grd[k] - static_cast<double>(cell);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto i = static_cast<std::size_t>(ws.ix[k]);
+    ws.v[k] += ws.ex[i] + ws.xx[k] * ws.dex[i];
+    ws.xx[k] += ws.v[k] + flx;
+    ws.ir[k] = static_cast<std::int64_t>(std::fabs(ws.xx[k])) % static_cast<std::int64_t>(n);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto i = static_cast<std::size_t>(ws.ir[k]);
+    ws.rh[i] += 1.0 - ws.xx[k] + std::floor(ws.xx[k]);
+    ws.rh[(i + 1) % n] += ws.xx[k] - std::floor(ws.xx[k]);
+  }
+  return checksum(ws.rh, n);
+}
+
+// k15: casual Fortran — neighbourhood updates of vs/ve with conditionals.
+double kernel15_casual(Workspace& ws) {
+  const std::size_t ng = 7, nz = ws.loop_2d;
+  double total = 0.0;
+  for (std::size_t j = 1; j < ng - 1; ++j) {
+    for (std::size_t k = 1; k < nz - 1; ++k) {
+      double t1 = ws.vs.at(k, j) + ws.vs.at(k, j + 1);
+      if (ws.ve.at(k, j) < 0.5) t1 = -t1;
+      double t2 = ws.ve.at(k + 1, j) * ws.ve.at(k - 1, j);
+      ws.vs.at(k, j) = t1 * 0.5 + t2 * 0.25;
+      ws.ve.at(k, j) = t2 + ws.vs.at(k - 1, j);  // reads a freshly written cell
+      total += ws.vs.at(k, j);
+    }
+  }
+  return total;
+}
+
+// k16: Monte-Carlo search — branch-heavy scan; loop-carried scalar state.
+double kernel16_monte_carlo(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  std::size_t m = 0, count = 0;
+  double best = ws.x[0];
+  std::size_t k = 0;
+  while (k + 2 < n) {
+    const double probe = ws.x[k] * ws.y[k + 1] - ws.z[k + 2];
+    if (probe > best) {
+      best = probe;
+      m = k;
+      k += 1;
+    } else if (probe < -best) {
+      k += 3;
+    } else {
+      k += 2;
+    }
+    ++count;
+  }
+  ws.q = best;
+  return best + static_cast<double>(m) + static_cast<double>(count);
+}
+
+// k17: implicit conditional computation — serialized scalar chain (xnm).
+double kernel17_conditional(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  const double scale = 5.0 / 3.0, e6_init = 1.03 / 3.07;
+  double xnm = 1.0 / 3.0, e6 = e6_init;
+  for (std::size_t i = n; i-- > 0;) {
+    const double e3 = xnm * ws.vlr[i] + ws.vlin[i];
+    const double xnei = ws.vxne[i];
+    ws.vxnd[i] = e6;
+    double xnc = scale * e3;
+    if (xnm > xnc || xnei > xnc) {
+      e6 = e3 * 0.75;
+      ws.ve3[i] = e3;
+    } else {
+      e6 = xnm * 0.5 + xnei * 0.5;
+    }
+    xnm = std::fmod(e3 + e6, 10.0) * 0.1 + 0.1;
+  }
+  ws.q = xnm;
+  return checksum(ws.vxnd, n) + xnm;
+}
+
+// k18: 2-D explicit hydrodynamics — three sweeps; sweeps 2 and 3 read what
+// sweeps 1 and 2 wrote at neighbour offsets.
+double kernel18_explicit_hydro(Workspace& ws) {
+  const std::size_t kn = ws.loop_2d, jn = 6;
+  const double t = 0.0037, s = 0.0041;
+  for (std::size_t k = 1; k < kn; ++k) {
+    for (std::size_t j = 1; j < jn; ++j) {
+      ws.za.at(k, j) = (ws.zp.at(k + 1, j - 1) + ws.zq.at(k + 1, j - 1) -
+                        ws.zp.at(k, j - 1) - ws.zq.at(k, j - 1)) *
+                       (ws.zr.at(k, j) + ws.zr.at(k, j - 1)) /
+                       (ws.zm.at(k, j - 1) + ws.zm.at(k + 1, j - 1));
+      ws.zb.at(k, j) = (ws.zp.at(k, j - 1) + ws.zq.at(k, j - 1) - ws.zp.at(k, j) -
+                        ws.zq.at(k, j)) *
+                       (ws.zr.at(k, j) + ws.zr.at(k - 1, j)) /
+                       (ws.zm.at(k, j) + ws.zm.at(k, j - 1));
+    }
+  }
+  for (std::size_t k = 1; k < kn; ++k) {
+    for (std::size_t j = 1; j < jn; ++j) {
+      ws.zu.at(k, j) += s * (ws.za.at(k, j) * (ws.zz.at(k, j) - ws.zz.at(k, j + 1)) -
+                             ws.za.at(k, j - 1) * (ws.zz.at(k, j) - ws.zz.at(k, j - 1)) -
+                             ws.zb.at(k, j) * (ws.zz.at(k, j) - ws.zz.at(k - 1, j)) +
+                             ws.zb.at(k + 1, j) * (ws.zz.at(k, j) - ws.zz.at(k + 1, j)));
+      ws.zv.at(k, j) += s * (ws.za.at(k, j) * (ws.zr.at(k, j) - ws.zr.at(k, j + 1)) -
+                             ws.za.at(k, j - 1) * (ws.zr.at(k, j) - ws.zr.at(k, j - 1)) -
+                             ws.zb.at(k, j) * (ws.zr.at(k, j) - ws.zr.at(k - 1, j)) +
+                             ws.zb.at(k + 1, j) * (ws.zr.at(k, j) - ws.zr.at(k + 1, j)));
+    }
+  }
+  double total = 0.0;
+  for (std::size_t k = 1; k < kn; ++k) {
+    for (std::size_t j = 1; j < jn; ++j) {
+      ws.zr.at(k, j) += t * ws.zu.at(k, j);
+      ws.zz.at(k, j) += t * ws.zv.at(k, j);
+      total += ws.zr.at(k, j) + ws.zz.at(k, j);
+    }
+  }
+  return total;
+}
+
+// k19: general linear recurrence equations — forward then backward sweep of
+//   b5[k] = sa[k] + stb5*sb[k];  stb5 = b5[k] - stb5
+double kernel19_linear_recurrence(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  double stb5 = ws.q == 0.0 ? 0.1 : ws.q;
+  for (std::size_t k = 0; k < n; ++k) {
+    ws.b5[k] = ws.sa[k] + stb5 * ws.sb[k];
+    stb5 = ws.b5[k] - stb5;
+  }
+  for (std::size_t k = n; k-- > 0;) {
+    ws.b5[k] = ws.sa[k] + stb5 * ws.sb[k];
+    stb5 = ws.b5[k] - stb5;
+  }
+  ws.q = stb5;
+  return checksum(ws.b5, n);
+}
+
+// k20: discrete ordinates transport — xx[k+1] depends on xx[k]: linear
+// recurrence with data-dependent (but A-independent) coefficients.
+double kernel20_transport(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  const double dk = ws.dk;
+  for (std::size_t k = 0; k < n; ++k) {
+    double di = ws.y[k] - ws.grd[k] / (ws.xx[k] + dk);
+    double dn = 0.2;
+    if (di != 0.0) {
+      dn = ws.z[k] / di;
+      if (dn > 0.2) dn = 0.2;
+      if (dn < -0.2) dn = -0.2;
+    }
+    ws.x[k] = ((ws.w[k] + ws.v[k] * dn) * ws.xx[k] + ws.u[k]) / (ws.v[k] + ws.v[k] * dn);
+    ws.xx[k + 1] = (ws.x[k] - ws.xx[k]) * dn + ws.xx[k];
+  }
+  return checksum(ws.xx, n + 1);
+}
+
+// k21: matrix product px += vy * cx — no loop-carried flow dependence on the
+// innermost accumulation target across (i, j) pairs; reductions only.
+double kernel21_matmul(Workspace& ws) {
+  const std::size_t rows = 25, inner = 25;
+  double total = 0.0;
+  for (std::size_t k = 0; k < inner; ++k) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < 13; ++j) {
+        ws.px.at(i, j) += ws.vy.at(i, k) * ws.cx.at(k, j);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < 13; ++j) total += ws.px.at(i, j);
+  }
+  return total;
+}
+
+// k22: Planckian distribution — streaming with a guard on the exponent.
+double kernel22_planckian(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  const double expmax = 20.0;
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    ws.y[k] = (ws.u[k] < ws.v[k] * expmax) ? ws.u[k] / ws.v[k] : expmax;
+    ws.w[k] = ws.x[k] / (std::exp(ws.y[k]) - 1.0 + 1e-9);
+    total += ws.w[k];
+  }
+  return total;
+}
+
+// k23: 2-D implicit hydrodynamics — full five-point relaxation:
+//   qa = za[k][j+1]*zr + za[k][j-1]*zb + za[k+1][j]*zu + za[k-1][j]*zv + zz
+//   za[k][j] += 0.175*(qa - za[k][j])
+// The za[k-1][j] operand was written this sweep: an indexed recurrence.
+double kernel23_implicit_hydro(Workspace& ws) {
+  const std::size_t kn = ws.loop_2d, jn = 6;
+  for (std::size_t k = 1; k < kn; ++k) {
+    for (std::size_t j = 1; j < jn; ++j) {
+      const double qa = ws.za.at(k, j + 1) * ws.zr.at(k, j) +
+                        ws.za.at(k, j - 1) * ws.zb.at(k, j) +
+                        ws.za.at(k + 1, j) * ws.zu.at(k, j) +
+                        ws.za.at(k - 1, j) * ws.zv.at(k, j) + ws.zz.at(k, j);
+      ws.za.at(k, j) += ws.dk * (qa - ws.za.at(k, j));
+    }
+  }
+  return checksum(ws.za);
+}
+
+// The paper's simplified loop-23 fragment (see header).
+double kernel23_paper_fragment(Workspace& ws) {
+  const std::size_t kn = ws.loop_2d, jn = 7;
+  for (std::size_t j = 1; j < jn; ++j) {
+    for (std::size_t k = 1; k < kn; ++k) {
+      ws.za.at(k, j) =
+          ws.za.at(k, j) + ws.dk * (ws.y[k] + ws.za.at(k - 1, j) * ws.zz.at(k, j));
+    }
+  }
+  return checksum(ws.za);
+}
+
+// k24: location of first minimum — scalar argmin chain.
+double kernel24_first_min(Workspace& ws) {
+  const std::size_t n = ws.loop_n;
+  std::size_t m = 0;
+  for (std::size_t k = 1; k < n; ++k) {
+    if (ws.x[k] < ws.x[m]) m = k;
+  }
+  return static_cast<double>(m);
+}
+
+double run_kernel(int id, Workspace& ws) {
+  switch (id) {
+    case 1: return kernel01_hydro(ws);
+    case 2: return kernel02_iccg(ws);
+    case 3: return kernel03_inner_product(ws);
+    case 4: return kernel04_banded_linear(ws);
+    case 5: return kernel05_tridiagonal(ws);
+    case 6: return kernel06_general_recurrence(ws);
+    case 7: return kernel07_equation_of_state(ws);
+    case 8: return kernel08_adi(ws);
+    case 9: return kernel09_integrate_predictors(ws);
+    case 10: return kernel10_difference_predictors(ws);
+    case 11: return kernel11_first_sum(ws);
+    case 12: return kernel12_first_difference(ws);
+    case 13: return kernel13_pic_2d(ws);
+    case 14: return kernel14_pic_1d(ws);
+    case 15: return kernel15_casual(ws);
+    case 16: return kernel16_monte_carlo(ws);
+    case 17: return kernel17_conditional(ws);
+    case 18: return kernel18_explicit_hydro(ws);
+    case 19: return kernel19_linear_recurrence(ws);
+    case 20: return kernel20_transport(ws);
+    case 21: return kernel21_matmul(ws);
+    case 22: return kernel22_planckian(ws);
+    case 23: return kernel23_implicit_hydro(ws);
+    case 24: return kernel24_first_min(ws);
+    default: IR_REQUIRE(false, "kernel id must be in [1, 24]");
+  }
+  return 0.0;
+}
+
+std::string kernel_name(int id) {
+  switch (id) {
+    case 1: return "hydro fragment";
+    case 2: return "ICCG excerpt";
+    case 3: return "inner product";
+    case 4: return "banded linear equations";
+    case 5: return "tri-diagonal elimination";
+    case 6: return "general linear recurrence (dense)";
+    case 7: return "equation of state fragment";
+    case 8: return "ADI integration";
+    case 9: return "integrate predictors";
+    case 10: return "difference predictors";
+    case 11: return "first sum";
+    case 12: return "first difference";
+    case 13: return "2-D particle in cell";
+    case 14: return "1-D particle in cell";
+    case 15: return "casual Fortran";
+    case 16: return "Monte Carlo search";
+    case 17: return "implicit conditional computation";
+    case 18: return "2-D explicit hydrodynamics";
+    case 19: return "general linear recurrence";
+    case 20: return "discrete ordinates transport";
+    case 21: return "matrix * matrix product";
+    case 22: return "Planckian distribution";
+    case 23: return "2-D implicit hydrodynamics";
+    case 24: return "first minimum location";
+    default: IR_REQUIRE(false, "kernel id must be in [1, 24]");
+  }
+  return {};
+}
+
+}  // namespace ir::livermore

@@ -1,0 +1,64 @@
+// The 24 Livermore kernels — sequential reference implementations.
+//
+// Structurally faithful C++ adaptations of the classic McMahon benchmark
+// kernels (the workload of the paper's reference [1] and of its Section-1
+// classification).  "Structurally faithful" means each kernel preserves the
+// original loop shape — which arrays are read/written at which index
+// offsets, and in which order — because that is the property the paper's
+// recurrence classification and this library's parallelization depend on.
+// Constants and data values are the workspace's deterministic pseudo-random
+// contents rather than the original physics data.
+//
+// Every kernel mutates the workspace in place and returns a checksum of what
+// it wrote (the classic benchmark's verification idea), so tests can compare
+// sequential and IR-parallelized executions cheaply.
+#pragma once
+
+#include <string>
+
+#include "livermore/data.hpp"
+
+namespace ir::livermore {
+
+double kernel01_hydro(Workspace& ws);                ///< hydro fragment
+double kernel02_iccg(Workspace& ws);                 ///< incomplete Cholesky CG excerpt
+double kernel03_inner_product(Workspace& ws);        ///< inner product
+double kernel04_banded_linear(Workspace& ws);        ///< banded linear equations
+double kernel05_tridiagonal(Workspace& ws);          ///< tri-diagonal elimination
+double kernel06_general_recurrence(Workspace& ws);   ///< general linear recurrence eqns
+double kernel07_equation_of_state(Workspace& ws);    ///< equation of state fragment
+double kernel08_adi(Workspace& ws);                  ///< ADI integration
+double kernel09_integrate_predictors(Workspace& ws); ///< numerical integration
+double kernel10_difference_predictors(Workspace& ws);///< numerical differentiation
+double kernel11_first_sum(Workspace& ws);            ///< first sum (prefix sum)
+double kernel12_first_difference(Workspace& ws);     ///< first difference
+double kernel13_pic_2d(Workspace& ws);               ///< 2-D particle in cell
+double kernel14_pic_1d(Workspace& ws);               ///< 1-D particle in cell
+double kernel15_casual(Workspace& ws);               ///< casual Fortran
+double kernel16_monte_carlo(Workspace& ws);          ///< Monte-Carlo search loop
+double kernel17_conditional(Workspace& ws);          ///< implicit conditional computation
+double kernel18_explicit_hydro(Workspace& ws);       ///< 2-D explicit hydrodynamics
+double kernel19_linear_recurrence(Workspace& ws);    ///< general linear recurrence eqns
+double kernel20_transport(Workspace& ws);            ///< discrete ordinates transport
+double kernel21_matmul(Workspace& ws);               ///< matrix * matrix product
+double kernel22_planckian(Workspace& ws);            ///< Planckian distribution
+double kernel23_implicit_hydro(Workspace& ws);       ///< 2-D implicit hydrodynamics
+double kernel24_first_min(Workspace& ws);            ///< location of first minimum
+
+/// The paper's simplified loop-23 fragment (Section 3):
+///     for j = 1..6: for i = 1..n:
+///         X[i,j] := X[i,j] + dk * (Y[i] + X[i-1,j] * Z[i,j])
+/// It keeps only the column-wise X[i-1,j] dependence of kernel 23 — exactly
+/// the shape the Möbius route parallelizes (see livermore/parallel.hpp).
+double kernel23_paper_fragment(Workspace& ws);
+
+/// Run a kernel by 1-based id (the fragment above is not addressable here).
+double run_kernel(int id, Workspace& ws);
+
+/// Kernel display name by 1-based id.
+std::string kernel_name(int id);
+
+/// Number of kernels (24).
+inline constexpr int kKernelCount = 24;
+
+}  // namespace ir::livermore

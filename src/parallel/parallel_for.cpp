@@ -1,0 +1,65 @@
+#include "parallel/parallel_for.hpp"
+
+#include <algorithm>
+
+namespace ir::parallel {
+
+std::vector<Block> partition_blocks(std::size_t n, std::size_t parts) {
+  IR_REQUIRE(parts >= 1, "partition needs at least one part");
+  std::vector<Block> blocks;
+  if (n == 0) return blocks;
+  const std::size_t used = std::min(parts, n);
+  const std::size_t base = n / used;
+  const std::size_t extra = n % used;
+  std::size_t begin = 0;
+  for (std::size_t w = 0; w < used; ++w) {
+    const std::size_t len = base + (w < extra ? 1 : 0);
+    blocks.push_back(Block{begin, begin + len, w});
+    begin += len;
+  }
+  IR_INVARIANT(begin == n, "blocks must cover the range exactly");
+  return blocks;
+}
+
+void parallel_for_blocks(ThreadPool& pool, std::size_t n,
+                         const std::function<void(const Block&)>& body) {
+  const auto blocks = partition_blocks(n, pool.size());
+  if (blocks.size() <= 1) {
+    for (const auto& block : blocks) body(block);
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(blocks.size());
+  for (const auto& block : blocks) {
+    tasks.emplace_back([&body, block] { body(block); });
+  }
+  pool.run_batch(std::move(tasks));
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_blocks(pool, n, [&body](const Block& block) {
+    for (std::size_t i = block.begin; i < block.end; ++i) body(i);
+  });
+}
+
+void parallel_for_capped(ThreadPool& pool, std::size_t n, std::size_t max_workers,
+                         const std::function<void(std::size_t)>& body) {
+  IR_REQUIRE(max_workers >= 1, "worker cap must be at least one");
+  const auto blocks = partition_blocks(n, max_workers);
+  if (blocks.size() <= 1) {
+    for (const auto& block : blocks)
+      for (std::size_t i = block.begin; i < block.end; ++i) body(i);
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(blocks.size());
+  for (const auto& block : blocks) {
+    tasks.emplace_back([&body, block] {
+      for (std::size_t i = block.begin; i < block.end; ++i) body(i);
+    });
+  }
+  pool.run_batch(std::move(tasks));
+}
+
+}  // namespace ir::parallel

@@ -1,0 +1,48 @@
+// Blocked parallel-for and barrier-separated SPMD rounds over a thread pool.
+//
+// These are the two execution shapes the paper's algorithms need on a real
+// machine:
+//   * parallel_for      — one round over [0, n): block-partitioned, joined.
+//   * SpmdRounds        — a sequence of rounds where every round must be
+//                         globally complete before the next begins (the
+//                         synchronous-step structure of pointer jumping and
+//                         of CAP closure).
+//
+// Double buffering replaces the PRAM's buffered-write semantics: callers
+// read round t's input array and write round t's output array, then swap.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace ir::parallel {
+
+/// Inclusive-exclusive index block [begin, end) handed to each worker.
+struct Block {
+  std::size_t begin;
+  std::size_t end;
+  std::size_t worker;  ///< which of the P logical workers runs this block
+};
+
+/// Split [0, n) into at most `parts` contiguous blocks of near-equal size.
+std::vector<Block> partition_blocks(std::size_t n, std::size_t parts);
+
+/// Run body(i) for all i in [0, n) using at most `pool.size()` workers.
+/// `body` must be safe to invoke concurrently for distinct i.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// Run body(block) once per block; useful when per-worker state matters.
+void parallel_for_blocks(ThreadPool& pool, std::size_t n,
+                         const std::function<void(const Block&)>& body);
+
+/// Run body(i) with an explicit cap on logical parallelism: items are grouped
+/// into at most `max_workers` blocks regardless of pool size.  This is the
+/// paper's "fork only up to P processes" schedule.
+void parallel_for_capped(ThreadPool& pool, std::size_t n, std::size_t max_workers,
+                         const std::function<void(std::size_t)>& body);
+
+}  // namespace ir::parallel

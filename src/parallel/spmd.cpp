@@ -1,0 +1,40 @@
+#include "parallel/spmd.hpp"
+
+#include <mutex>
+
+namespace ir::parallel {
+
+void run_spmd(std::size_t workers, const std::function<void(SpmdContext&)>& body) {
+  IR_REQUIRE(workers >= 1, "SPMD region needs at least one worker");
+  if (workers == 1) {
+    std::barrier<> barrier(1);
+    SpmdContext ctx(0, 1, &barrier);
+    body(ctx);
+    return;
+  }
+
+  std::barrier<> barrier(static_cast<std::ptrdiff_t>(workers));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      SpmdContext ctx(w, workers, &barrier);
+      try {
+        body(ctx);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Leave the barrier so workers with differing barrier counts (an
+      // exception path) cannot deadlock the rest.
+      barrier.arrive_and_drop();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ir::parallel

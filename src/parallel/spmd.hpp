@@ -1,0 +1,60 @@
+// SPMD region: P persistent workers with a shared barrier.
+//
+// The paper's processor-capped algorithm forks P processes ONCE and runs all
+// ⌈log n⌉ rounds inside them, synchronizing at round boundaries — unlike the
+// parallel_for path, which pays a fork/join per round.  This module provides
+// that execution shape: run_spmd spawns P threads, every thread runs the same
+// body with its worker id, and ctx.barrier() lines them up between phases.
+// The ABL-6 bench measures what the fork-per-round overhead costs.
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "support/contract.hpp"
+
+namespace ir::parallel {
+
+/// Per-worker view of an SPMD region.
+class SpmdContext {
+ public:
+  /// This worker's id in [0, workers()).
+  [[nodiscard]] std::size_t worker() const noexcept { return worker_; }
+
+  /// Total workers in the region.
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+
+  /// Block-synchronize: returns when every worker reached the barrier.
+  void barrier() { barrier_->arrive_and_wait(); }
+
+  /// This worker's contiguous sub-range of [0, n): [begin, end).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> slice(std::size_t n) const noexcept {
+    const std::size_t base = n / workers_, extra = n % workers_;
+    const std::size_t begin = worker_ * base + std::min(worker_, extra);
+    return {begin, begin + base + (worker_ < extra ? 1 : 0)};
+  }
+
+ private:
+  friend void run_spmd(std::size_t, const std::function<void(SpmdContext&)>&);
+  SpmdContext(std::size_t worker, std::size_t workers, std::barrier<>* barrier)
+      : worker_(worker), workers_(workers), barrier_(barrier) {}
+
+  std::size_t worker_;
+  std::size_t workers_;
+  std::barrier<>* barrier_;
+};
+
+/// Run `body` on `workers` freshly spawned threads (ids 0..workers-1) and
+/// join them.  If any worker throws, the FIRST exception is rethrown after
+/// all workers finished.  CAUTION: a body that throws between barriers on
+/// one worker while others still wait would deadlock — bodies must keep
+/// their barrier() call counts identical across workers on all paths, so
+/// the implementation treats a thrown body as fatal only after draining the
+/// barrier (each worker's wrapper keeps arriving until join).
+void run_spmd(std::size_t workers, const std::function<void(SpmdContext&)>& body);
+
+}  // namespace ir::parallel

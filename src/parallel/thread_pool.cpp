@@ -1,0 +1,77 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ir::parallel {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  IR_REQUIRE(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw == 0 ? 4 : hw, 1, 256);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0 && queue_.empty()) batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::lock_guard lock(mutex_);
+    IR_REQUIRE(in_flight_ == 0 && queue_.empty(),
+               "run_batch is not reentrant: a batch is already in flight");
+    first_error_ = nullptr;
+    in_flight_ = tasks.size();
+    for (auto& task : tasks) queue_.push(std::move(task));
+  }
+  work_available_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    batch_done_.wait(lock, [this] { return in_flight_ == 0 && queue_.empty(); });
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ir::parallel

@@ -1,0 +1,61 @@
+// A small fixed-size thread pool with blocking task submission and a
+// fork/join batch primitive.
+//
+// The paper's algorithms are PRAM algorithms; on a real shared-memory machine
+// they run as a sequence of barrier-separated rounds over n items with the
+// processor-capped schedule T(n, P) = (n/P)·log n.  This pool provides the
+// execution substrate for those rounds (see parallel_for.hpp) and for the
+// wall-clock benches.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "support/contract.hpp"
+
+namespace ir::parallel {
+
+/// Fixed-size worker pool.  Tasks are std::function<void()>; run_batch()
+/// submits a group and blocks until the whole group finished.  Exceptions
+/// thrown by tasks are captured and rethrown (first one wins) from
+/// run_batch() on the calling thread.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins all workers; outstanding tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Run all tasks in `tasks` on the pool and wait for completion.
+  /// Rethrows the first captured task exception, if any.
+  void run_batch(std::vector<std::function<void()>> tasks);
+
+  /// Hardware concurrency clamped to [1, 256] — a sane default pool size.
+  static std::size_t default_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  std::queue<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace ir::parallel

@@ -1,0 +1,45 @@
+// Instruction-cost model for the synchronous PRAM simulator.
+//
+// The paper evaluates its algorithm on SimParC, a simulator that reports
+// running time "in units of assembly instructions" (its Figure 3).  SimParC
+// itself is not available; this cost model plays its role.  The constants are
+// not SimParC's — absolute instruction counts are therefore not comparable —
+// but every operation class the paper's algorithm performs is priced, so the
+// *shape* of the time-vs-processors curves (the reproduction target) is.
+#pragma once
+
+#include <cstdint>
+
+namespace ir::pram {
+
+/// Per-operation instruction prices, in simulated assembly instructions.
+///
+/// The defaults model a simple load/store RISC target:
+///  - shared reads/writes cost more than local ALU work (address arithmetic
+///    plus the memory operation),
+///  - applying the user's binary operator costs `apply_op` (a call plus the
+///    arithmetic; raise it for expensive operators such as matrix products),
+///  - forking a process and joining at a step barrier have fixed prices,
+///    charged per step as described in Machine.
+struct CostModel {
+  std::uint64_t shared_read = 3;    ///< load from shared memory
+  std::uint64_t shared_write = 3;   ///< store to shared memory
+  std::uint64_t local_op = 1;       ///< register ALU instruction
+  std::uint64_t apply_op = 4;       ///< one application of the user's ⊙
+  std::uint64_t loop_overhead = 3;  ///< per-item dispatch (index compare/increment/branch)
+  std::uint64_t fork = 40;          ///< spawning one process
+  std::uint64_t barrier = 12;       ///< per-processor step synchronization
+
+  /// A model with all prices 1 — useful for pure operation counting in tests.
+  static CostModel unit() {
+    return CostModel{.shared_read = 1,
+                     .shared_write = 1,
+                     .local_op = 1,
+                     .apply_op = 1,
+                     .loop_overhead = 0,
+                     .fork = 0,
+                     .barrier = 0};
+  }
+};
+
+}  // namespace ir::pram

@@ -1,0 +1,125 @@
+#include "pram/machine.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace ir::pram {
+
+Machine::Machine(std::size_t processors, AccessMode mode, CostModel cost, bool audit)
+    : processors_(processors), mode_(mode), cost_(cost), audit_(audit) {
+  IR_REQUIRE(processors >= 1, "a PRAM needs at least one processor");
+}
+
+void Machine::record_read(const void* address, std::size_t size, std::size_t item) {
+  (void)size;
+  reads_by_address_[address].push_back(item);
+}
+
+void Machine::record_write(PendingWrite write) { pending_writes_.push_back(std::move(write)); }
+
+void Machine::step(std::size_t count, const std::function<void(Pe&, std::size_t)>& body) {
+  run_step(count, std::min(count, processors_), body);
+}
+
+void Machine::sequential(std::size_t count, const std::function<void(Pe&, std::size_t)>& body) {
+  // The "original loop" baseline: one process, writes take effect
+  // immediately (iteration i sees iteration j < i's stores), no fork/barrier
+  // overhead beyond the single spawned process.
+  Pe pe(*this);
+  std::uint64_t time = cost_.fork;
+  ++stats_.forks;
+  for (std::size_t i = 0; i < count; ++i) {
+    pe.item_ = i;
+    pe.processor_ = 0;
+    pe.item_cost_ = cost_.loop_overhead;
+    body(pe, i);
+    time += pe.item_cost_;
+    // Apply the writes of this iteration immediately: sequential semantics.
+    for (auto& w : pending_writes_) w.apply();
+    pending_writes_.clear();
+    reads_by_address_.clear();
+  }
+  ++stats_.steps;
+  stats_.work += time;
+  stats_.time += time;
+}
+
+void Machine::run_step(std::size_t count, std::size_t processors_used,
+                       const std::function<void(Pe&, std::size_t)>& body) {
+  if (count == 0) return;
+  IR_INVARIANT(processors_used >= 1, "step must use at least one processor");
+
+  // Block partition: processor p owns items [p*chunk, min((p+1)*chunk, count)).
+  const std::size_t chunk = (count + processors_used - 1) / processors_used;
+  std::vector<std::uint64_t> proc_time(processors_used, 0);
+
+  Pe pe(*this);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t p = i / chunk;
+    pe.item_ = i;
+    pe.processor_ = p;
+    pe.item_cost_ = cost_.loop_overhead;
+    body(pe, i);
+    proc_time[p] += pe.item_cost_;
+    stats_.work += pe.item_cost_;
+  }
+
+  if (audit_) audit_step();
+
+  // Synchronous write phase.
+  for (auto& w : pending_writes_) w.apply();
+  pending_writes_.clear();
+  reads_by_address_.clear();
+
+  // Timing: tree-fork the worker processes (log-depth), run the blocks in
+  // lockstep (critical path = slowest processor), then barrier.
+  const auto fork_depth =
+      static_cast<std::uint64_t>(std::bit_width(std::uint64_t{processors_used}));
+  const std::uint64_t fork_time = cost_.fork * fork_depth;
+  const std::uint64_t busiest = *std::max_element(proc_time.begin(), proc_time.end());
+  stats_.time += fork_time + busiest + cost_.barrier;
+  stats_.work += cost_.fork * processors_used + cost_.barrier * processors_used;
+  stats_.forks += processors_used;
+  ++stats_.steps;
+}
+
+void Machine::audit_step() {
+  // Exclusive-write check (and common-CRCW image agreement).
+  std::unordered_map<const void*, std::size_t> first_writer;
+  std::unordered_map<const void*, const PendingWrite*> first_write;
+  for (const auto& w : pending_writes_) {
+    auto [it, inserted] = first_writer.try_emplace(w.address, w.item);
+    if (inserted) {
+      first_write[w.address] = &w;
+      continue;
+    }
+    if (it->second == w.item) continue;  // same item rewriting its own cell
+    if (mode_ == AccessMode::kCommonCrcw) {
+      const PendingWrite* prior = first_write[w.address];
+      if (!prior->image.empty() && prior->image == w.image) continue;
+      throw AccessConflict("common-CRCW violation: items " + std::to_string(it->second) +
+                           " and " + std::to_string(w.item) +
+                           " write different values to one cell");
+    }
+    throw AccessConflict("write conflict: items " + std::to_string(it->second) + " and " +
+                         std::to_string(w.item) + " write the same cell in one step");
+  }
+
+  if (mode_ == AccessMode::kErew) {
+    for (const auto& [address, readers] : reads_by_address_) {
+      std::size_t distinct = 0;
+      std::size_t last = static_cast<std::size_t>(-1);
+      for (std::size_t item : readers) {
+        if (distinct == 0 || item != last) {
+          ++distinct;
+          last = item;
+        }
+        if (distinct > 1)
+          throw AccessConflict("EREW violation: a cell is read by more than one item");
+      }
+      (void)address;
+    }
+  }
+}
+
+}  // namespace ir::pram

@@ -1,0 +1,36 @@
+// First-order linear recurrence solvers — the classic case IR generalizes.
+//
+//     x[i] = a[i] * x[i-1] + b[i],   i = 1..n,  x[0] given.
+//
+// The standard parallel solution (Kogge & Stone 1973, the paper's reference
+// [4]) scans over the affine coefficient pairs: composing (a2,b2)∘(a1,b1) =
+// (a2·a1, a2·b1 + b2) is associative, so a parallel prefix over pairs yields
+// every x[i] in O(log n) rounds.  The IR library reproduces the same answers
+// through the Möbius route (LinearIr with f(i) = i-1, g(i) = i), and the
+// tridiagonal-style benches compare the two.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace ir::scan {
+
+/// Affine map u -> coeff·u + offset; the scan element.
+struct AffinePair {
+  double coeff = 1.0;
+  double offset = 0.0;
+};
+
+/// Sequential reference: returns x[1..n] (vector index k holds x[k+1]).
+std::vector<double> linear_recurrence_sequential(std::span<const double> a,
+                                                 std::span<const double> b, double x0);
+
+/// Kogge-Stone pair-scan solution; identical output contract.
+/// Pass a pool to run rounds in parallel.
+std::vector<double> linear_recurrence_scan(std::span<const double> a,
+                                           std::span<const double> b, double x0,
+                                           parallel::ThreadPool* pool = nullptr);
+
+}  // namespace ir::scan

@@ -1,0 +1,108 @@
+// Classic parallel prefix (scan) algorithms.
+//
+// The paper positions IR solving as the indexed generalization of solving
+// ordinary recurrences with parallel prefix (its references [2][3][4]); these
+// baselines make that comparison executable:
+//   * inclusive_scan_sequential — the O(n) loop.
+//   * inclusive_scan_kogge_stone — the O(log n)-round recursive-doubling
+//     scan (Kogge & Stone 1973), n processors.
+//   * exclusive_scan_blelloch — work-efficient up/down-sweep scan.
+// All variants accept any associative operation (commutativity not needed)
+// and optionally run their rounds on a thread pool.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "algebra/concepts.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/contract.hpp"
+
+namespace ir::scan {
+
+/// In-place sequential inclusive scan: data[i] <- data[0] ⊙ ... ⊙ data[i].
+template <algebra::BinaryOperation Op>
+void inclusive_scan_sequential(const Op& op, std::span<typename Op::Value> data) {
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    data[i] = op.combine(data[i - 1], data[i]);
+  }
+}
+
+/// In-place Kogge-Stone inclusive scan: ceil(log2 n) rounds of
+/// data[i] <- data[i - 2^t] ⊙ data[i].  Rounds are double-buffered (the PRAM
+/// synchronous-write discipline) and optionally parallel over i.
+template <algebra::BinaryOperation Op>
+void inclusive_scan_kogge_stone(const Op& op, std::vector<typename Op::Value>& data,
+                                parallel::ThreadPool* pool = nullptr) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  std::vector<typename Op::Value> buffer(data);
+  auto* src = &data;
+  auto* dst = &buffer;
+  for (std::size_t stride = 1; stride < n; stride <<= 1) {
+    auto round = [&, stride](std::size_t i) {
+      (*dst)[i] = (i >= stride) ? op.combine((*src)[i - stride], (*src)[i]) : (*src)[i];
+    };
+    if (pool != nullptr) {
+      parallel::parallel_for(*pool, n, round);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) round(i);
+    }
+    std::swap(src, dst);
+  }
+  if (src != &data) data = *src;
+}
+
+/// In-place Blelloch exclusive scan: data[i] <- identity ⊙ data[0] ⊙ ... ⊙
+/// data[i-1].  Requires an identity element and a power-of-two-padded sweep
+/// (handled internally); work-efficient (O(n) applications of ⊙).
+template <algebra::BinaryOperation Op>
+void exclusive_scan_blelloch(const Op& op, std::vector<typename Op::Value>& data,
+                             typename Op::Value identity,
+                             parallel::ThreadPool* pool = nullptr) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  std::size_t padded = 1;
+  while (padded < n) padded <<= 1;
+  std::vector<typename Op::Value> tree(padded, identity);
+  for (std::size_t i = 0; i < n; ++i) tree[i] = data[i];
+
+  // Up-sweep (reduce).
+  for (std::size_t stride = 1; stride < padded; stride <<= 1) {
+    const std::size_t pairs = padded / (2 * stride);
+    auto up = [&, stride](std::size_t k) {
+      const std::size_t right = (2 * k + 2) * stride - 1;
+      const std::size_t left = right - stride;
+      tree[right] = op.combine(tree[left], tree[right]);
+    };
+    if (pool != nullptr) {
+      parallel::parallel_for(*pool, pairs, up);
+    } else {
+      for (std::size_t k = 0; k < pairs; ++k) up(k);
+    }
+  }
+
+  // Down-sweep.
+  tree[padded - 1] = identity;
+  for (std::size_t stride = padded / 2; stride >= 1; stride >>= 1) {
+    const std::size_t pairs = padded / (2 * stride);
+    auto down = [&, stride](std::size_t k) {
+      const std::size_t right = (2 * k + 2) * stride - 1;
+      const std::size_t left = right - stride;
+      auto tmp = tree[left];
+      tree[left] = tree[right];
+      tree[right] = op.combine(tmp, tree[right]);
+    };
+    if (pool != nullptr) {
+      parallel::parallel_for(*pool, pairs, down);
+    } else {
+      for (std::size_t k = 0; k < pairs; ++k) down(k);
+    }
+    if (stride == 1) break;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) data[i] = tree[i];
+}
+
+}  // namespace ir::scan

@@ -1,0 +1,78 @@
+#include "scan/second_order.hpp"
+
+#include <array>
+
+#include "algebra/concepts.hpp"
+#include "scan/prefix_scan.hpp"
+#include "support/contract.hpp"
+
+namespace ir::scan {
+
+namespace {
+
+/// Row-major 3x3 matrix product monoid, composed so that
+/// combine(earlier, later) = later · earlier (apply earlier first).
+struct Mat3Compose {
+  using Value = std::array<double, 9>;
+  static constexpr bool is_commutative = false;
+
+  Value combine(const Value& earlier, const Value& later) const {
+    Value out{};
+    for (int r = 0; r < 3; ++r) {
+      for (int col = 0; col < 3; ++col) {
+        double sum = 0.0;
+        for (int k = 0; k < 3; ++k) sum += later[r * 3 + k] * earlier[k * 3 + col];
+        out[r * 3 + col] = sum;
+      }
+    }
+    return out;
+  }
+};
+
+static_assert(algebra::BinaryOperation<Mat3Compose>);
+
+void check_sizes(std::span<const double> a, std::span<const double> b,
+                 std::span<const double> c) {
+  IR_REQUIRE(a.size() == b.size() && b.size() == c.size(),
+             "coefficient arrays must have equal length");
+}
+
+}  // namespace
+
+std::vector<double> second_order_recurrence_sequential(std::span<const double> a,
+                                                       std::span<const double> b,
+                                                       std::span<const double> c,
+                                                       double x_minus1, double x_minus2) {
+  check_sizes(a, b, c);
+  std::vector<double> x(a.size());
+  double prev1 = x_minus1, prev2 = x_minus2;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    x[i] = a[i] * prev1 + b[i] * prev2 + c[i];
+    prev2 = prev1;
+    prev1 = x[i];
+  }
+  return x;
+}
+
+std::vector<double> second_order_recurrence_scan(std::span<const double> a,
+                                                 std::span<const double> b,
+                                                 std::span<const double> c,
+                                                 double x_minus1, double x_minus2,
+                                                 parallel::ThreadPool* pool) {
+  check_sizes(a, b, c);
+  std::vector<Mat3Compose::Value> steps(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    steps[i] = {a[i], b[i], c[i],  //
+                1.0,  0.0, 0.0,    //
+                0.0,  0.0, 1.0};
+  }
+  inclusive_scan_kogge_stone(Mat3Compose{}, steps, pool);
+  std::vector<double> x(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& m = steps[i];
+    x[i] = m[0] * x_minus1 + m[1] * x_minus2 + m[2];
+  }
+  return x;
+}
+
+}  // namespace ir::scan

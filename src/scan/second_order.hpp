@@ -1,0 +1,39 @@
+// Second-order linear recurrences via companion-matrix scan.
+//
+//     x[i] = a[i]·x[i-1] + b[i]·x[i-2] + c[i],   x[-1], x[-2] given.
+//
+// Kogge & Stone's "general class of recurrence equations" (the paper's
+// reference [4]) solves m-th order linear recurrences by scanning companion
+// matrices; this is the m = 2 instance, provided as a baseline showing what
+// classic machinery covers — and, by contrast, what it does not: the indexed
+// forms (scattered f/g) that need the IR solvers.
+//
+// State vector s_i = (x[i], x[i-1], 1)ᵀ; step matrix
+//     M_i = | a_i  b_i  c_i |
+//           |  1    0    0  |
+//           |  0    0    1  |
+// so s_i = M_i · s_{i-1}, and a prefix scan over the M_i yields every x[i]
+// in O(log n) rounds.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace ir::scan {
+
+/// Sequential reference: returns x[0..n-1].
+std::vector<double> second_order_recurrence_sequential(std::span<const double> a,
+                                                       std::span<const double> b,
+                                                       std::span<const double> c,
+                                                       double x_minus1, double x_minus2);
+
+/// Companion-matrix Kogge-Stone scan; identical output contract.
+std::vector<double> second_order_recurrence_scan(std::span<const double> a,
+                                                 std::span<const double> b,
+                                                 std::span<const double> c,
+                                                 double x_minus1, double x_minus2,
+                                                 parallel::ThreadPool* pool = nullptr);
+
+}  // namespace ir::scan

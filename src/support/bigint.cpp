@@ -1,0 +1,252 @@
+#include "support/bigint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/contract.hpp"
+
+namespace ir::support {
+
+namespace {
+constexpr std::size_t kKaratsubaThreshold = 32;  // limbs
+}  // namespace
+
+BigUint::BigUint(std::uint64_t v) {
+  if (v != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(v & 0xffffffffu));
+    const auto hi = static_cast<std::uint32_t>(v >> 32);
+    if (hi != 0) limbs_.push_back(hi);
+  }
+}
+
+BigUint BigUint::from_decimal(std::string_view text) {
+  IR_REQUIRE(!text.empty(), "decimal string must be non-empty");
+  BigUint result;
+  for (char c : text) {
+    IR_REQUIRE(c >= '0' && c <= '9', std::string("non-digit character '") + c + "'");
+    result *= BigUint(10);
+    result += BigUint(static_cast<std::uint64_t>(c - '0'));
+  }
+  return result;
+}
+
+std::uint64_t BigUint::to_u64() const {
+  IR_REQUIRE(fits_u64(), "BigUint value exceeds 64 bits: " + to_string());
+  std::uint64_t v = 0;
+  if (limbs_.size() > 1) v = static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) v |= limbs_[0];
+  return v;
+}
+
+std::size_t BigUint::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  const std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  // top is non-zero by the trim invariant.
+  return bits + (32u - static_cast<std::size_t>(__builtin_clz(top)));
+}
+
+bool BigUint::bit(std::size_t i) const noexcept {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return ((limbs_[limb] >> (i % 32)) & 1u) != 0;
+}
+
+void BigUint::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint& BigUint::operator+=(const BigUint& rhs) {
+  const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry + limbs_[i];
+    if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(sum & 0xffffffffu);
+    carry = sum >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return *this;
+}
+
+BigUint& BigUint::operator-=(const BigUint& rhs) {
+  IR_REQUIRE(*this >= rhs, "BigUint subtraction would underflow");
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < rhs.limbs_.size()) diff -= rhs.limbs_[i];
+    if (diff < 0) {
+      diff += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  IR_INVARIANT(borrow == 0, "subtraction borrow out of range");
+  trim();
+  return *this;
+}
+
+BigUint BigUint::mul_schoolbook(const BigUint& a, const BigUint& b) {
+  if (a.is_zero() || b.is_zero()) return {};
+  BigUint result;
+  result.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      std::uint64_t cur = result.limbs_[i + j] + ai * b.limbs_[j] + carry;
+      result.limbs_[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t cur = result.limbs_[k] + carry;
+      result.limbs_[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  result.trim();
+  return result;
+}
+
+BigUint BigUint::slice_limbs(std::size_t from, std::size_t count) const {
+  BigUint out;
+  if (from >= limbs_.size()) return out;
+  const std::size_t end = std::min(limbs_.size(), from + count);
+  out.limbs_.assign(limbs_.begin() + static_cast<std::ptrdiff_t>(from),
+                    limbs_.begin() + static_cast<std::ptrdiff_t>(end));
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::mul_karatsuba(const BigUint& a, const BigUint& b) {
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  if (n < kKaratsubaThreshold) return mul_schoolbook(a, b);
+  const std::size_t half = n / 2;
+  const BigUint a0 = a.slice_limbs(0, half), a1 = a.slice_limbs(half, n);
+  const BigUint b0 = b.slice_limbs(0, half), b1 = b.slice_limbs(half, n);
+  BigUint z0 = mul_karatsuba(a0, b0);
+  BigUint z2 = mul_karatsuba(a1, b1);
+  BigUint z1 = mul_karatsuba(a0 + a1, b0 + b1);
+  z1 -= z0;
+  z1 -= z2;
+  BigUint result = z2 << (2 * half * 32);
+  result += z1 << (half * 32);
+  result += z0;
+  return result;
+}
+
+BigUint operator*(const BigUint& a, const BigUint& b) { return BigUint::mul_karatsuba(a, b); }
+
+BigUint& BigUint::operator*=(const BigUint& rhs) {
+  *this = *this * rhs;
+  return *this;
+}
+
+BigUint& BigUint::operator<<=(std::size_t bits) {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  limbs_.insert(limbs_.begin(), limb_shift, 0u);
+  if (bit_shift != 0) {
+    std::uint32_t carry = 0;
+    for (std::size_t i = limb_shift; i < limbs_.size(); ++i) {
+      const std::uint32_t v = limbs_[i];
+      limbs_[i] = (v << bit_shift) | carry;
+      carry = static_cast<std::uint32_t>(static_cast<std::uint64_t>(v) >> (32 - bit_shift));
+    }
+    if (carry != 0) limbs_.push_back(carry);
+  }
+  return *this;
+}
+
+BigUint& BigUint::operator>>=(std::size_t bits) {
+  if (is_zero()) return *this;
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    return *this;
+  }
+  limbs_.erase(limbs_.begin(), limbs_.begin() + static_cast<std::ptrdiff_t>(limb_shift));
+  const std::size_t bit_shift = bits % 32;
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+      std::uint32_t hi = (i + 1 < limbs_.size()) ? limbs_[i + 1] : 0u;
+      limbs_[i] = (limbs_[i] >> bit_shift) |
+                  static_cast<std::uint32_t>(static_cast<std::uint64_t>(hi) << (32 - bit_shift));
+    }
+  }
+  trim();
+  return *this;
+}
+
+BigUint BigUint::div_u32(std::uint32_t divisor, std::uint32_t& remainder) const {
+  IR_REQUIRE(divisor != 0, "division by zero");
+  BigUint quotient;
+  quotient.limbs_.assign(limbs_.size(), 0);
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    const std::uint64_t cur = (rem << 32) | limbs_[i];
+    quotient.limbs_[i] = static_cast<std::uint32_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  quotient.trim();
+  remainder = static_cast<std::uint32_t>(rem);
+  return quotient;
+}
+
+std::strong_ordering operator<=>(const BigUint& a, const BigUint& b) noexcept {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() <=> b.limbs_.size();
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] <=> b.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+std::string BigUint::to_string() const {
+  if (is_zero()) return "0";
+  std::string digits;
+  BigUint value = *this;
+  while (!value.is_zero()) {
+    std::uint32_t rem = 0;
+    // Peel nine decimal digits per division to cut the number of passes.
+    value = value.div_u32(1000000000u, rem);
+    if (value.is_zero()) {
+      digits.insert(0, std::to_string(rem));
+    } else {
+      std::string chunk = std::to_string(rem);
+      digits.insert(0, std::string(9 - chunk.size(), '0') + chunk);
+    }
+  }
+  return digits;
+}
+
+double BigUint::to_double() const noexcept {
+  double result = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    result = result * 4294967296.0 + static_cast<double>(limbs_[i]);
+    if (std::isinf(result)) return result;
+  }
+  return result;
+}
+
+BigUint BigUint::pow(const BigUint& base, std::uint64_t exponent) {
+  BigUint result{1};
+  BigUint b = base;
+  while (exponent != 0) {
+    if ((exponent & 1u) != 0) result *= b;
+    exponent >>= 1;
+    if (exponent != 0) b *= b;
+  }
+  return result;
+}
+
+std::string to_string(const BigUint& v) { return v.to_string(); }
+
+}  // namespace ir::support

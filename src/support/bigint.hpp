@@ -1,0 +1,94 @@
+// Arbitrary-precision unsigned integer.
+//
+// CAP (counting-all-paths) edge labels and GIR evaluation exponents grow like
+// Fibonacci numbers — Θ(φⁿ) — so 64-bit counters overflow around n ≈ 90.  The
+// paper treats "power" as an atomic operation precisely because exponents get
+// this large; BigUint is the exponent carrier that makes that assumption
+// implementable.
+//
+// Representation: little-endian vector of 32-bit limbs, no leading zero limb
+// (zero is the empty vector).  Schoolbook multiplication with a Karatsuba
+// path for large operands.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ir::support {
+
+/// Arbitrary-precision unsigned integer (value type, deep copies).
+class BigUint {
+ public:
+  /// Zero.
+  BigUint() = default;
+
+  /// From a built-in unsigned value.
+  BigUint(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal ergonomics
+
+  /// Parse a decimal string (digits only, no sign).  Throws ContractViolation
+  /// on empty input or non-digit characters.
+  static BigUint from_decimal(std::string_view text);
+
+  /// True iff the value is zero.
+  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+
+  /// True iff the value fits in an unsigned 64-bit integer.
+  [[nodiscard]] bool fits_u64() const noexcept { return limbs_.size() <= 2; }
+
+  /// Convert to uint64_t.  Throws ContractViolation if !fits_u64().
+  [[nodiscard]] std::uint64_t to_u64() const;
+
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+
+  /// Value of bit `i` (false beyond bit_length()).
+  [[nodiscard]] bool bit(std::size_t i) const noexcept;
+
+  /// Decimal rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Approximate conversion to double (may lose precision; +inf on overflow).
+  [[nodiscard]] double to_double() const noexcept;
+
+  BigUint& operator+=(const BigUint& rhs);
+  BigUint& operator-=(const BigUint& rhs);  ///< Throws ContractViolation if rhs > *this.
+  BigUint& operator*=(const BigUint& rhs);
+  BigUint& operator<<=(std::size_t bits);
+  BigUint& operator>>=(std::size_t bits);
+
+  friend BigUint operator+(BigUint a, const BigUint& b) { return a += b; }
+  friend BigUint operator-(BigUint a, const BigUint& b) { return a -= b; }
+  friend BigUint operator*(const BigUint& a, const BigUint& b);
+  friend BigUint operator<<(BigUint a, std::size_t bits) { return a <<= bits; }
+  friend BigUint operator>>(BigUint a, std::size_t bits) { return a >>= bits; }
+
+  /// Divide by a 32-bit divisor; returns quotient, sets `remainder`.
+  /// Throws ContractViolation on division by zero.
+  [[nodiscard]] BigUint div_u32(std::uint32_t divisor, std::uint32_t& remainder) const;
+
+  friend std::strong_ordering operator<=>(const BigUint& a, const BigUint& b) noexcept;
+  friend bool operator==(const BigUint& a, const BigUint& b) noexcept = default;
+
+  /// a^e via binary exponentiation (e is a built-in; BigUint exponents of
+  /// BigUint bases would be astronomically large).
+  [[nodiscard]] static BigUint pow(const BigUint& base, std::uint64_t exponent);
+
+  /// Access to the limb vector (little endian, for tests and hashing).
+  [[nodiscard]] const std::vector<std::uint32_t>& limbs() const noexcept { return limbs_; }
+
+ private:
+  void trim() noexcept;
+  static BigUint mul_schoolbook(const BigUint& a, const BigUint& b);
+  static BigUint mul_karatsuba(const BigUint& a, const BigUint& b);
+  [[nodiscard]] BigUint slice_limbs(std::size_t from, std::size_t count) const;
+
+  std::vector<std::uint32_t> limbs_;  // little endian; empty == 0
+};
+
+/// Convenience stream-style rendering.
+std::string to_string(const BigUint& v);
+
+}  // namespace ir::support

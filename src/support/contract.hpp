@@ -1,0 +1,52 @@
+// Lightweight contract checking used across the library.
+//
+// The library is a loop-parallelization engine: almost every entry point has
+// structural preconditions (index maps in range, injectivity, operator
+// properties).  Violations are programming errors on the caller's side, so we
+// throw rather than abort — callers embedding the library in a compiler pass
+// want to surface a diagnostic, not kill the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ir::support {
+
+/// Thrown when an argument violates a documented precondition.
+class ContractViolation : public std::invalid_argument {
+ public:
+  explicit ContractViolation(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when an internal invariant fails (a library bug, not a caller bug).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  throw ContractViolation(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement (" + expr + ") failed" +
+                          (msg.empty() ? "" : ": " + msg));
+}
+
+[[noreturn]] inline void invariant_fail(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  throw InternalError(std::string(file) + ":" + std::to_string(line) + ": invariant (" +
+                      expr + ") failed" + (msg.empty() ? "" : ": " + msg));
+}
+
+}  // namespace ir::support
+
+/// Precondition check: throws ir::support::ContractViolation with location info.
+#define IR_REQUIRE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) ::ir::support::contract_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Internal invariant check: throws ir::support::InternalError.
+#define IR_INVARIANT(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr)) ::ir::support::invariant_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

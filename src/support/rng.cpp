@@ -1,0 +1,31 @@
+#include "support/rng.hpp"
+
+#include <numeric>
+
+namespace ir::support {
+
+std::vector<std::size_t> random_permutation(std::size_t n, SplitMix64& rng) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<std::size_t> random_injection(std::size_t n, std::size_t m, SplitMix64& rng) {
+  IR_REQUIRE(m >= n, "injection needs codomain at least as large as domain");
+  // Partial Fisher-Yates over {0..m-1}: only the first n slots are needed.
+  std::vector<std::size_t> pool(m);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  std::vector<std::size_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = i + rng.below(m - i);
+    std::swap(pool[i], pool[j]);
+    out[i] = pool[i];
+  }
+  return out;
+}
+
+}  // namespace ir::support

@@ -1,0 +1,40 @@
+// Minimal fixed-width table renderer for the benchmark report harnesses.
+//
+// The benches print the same rows/series the paper reports; a small table
+// type keeps that output aligned and greppable without dragging in a
+// formatting library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ir::support {
+
+/// Column-aligned text table.  Add a header once, then rows; render() pads
+/// every column to its widest cell.
+class TextTable {
+ public:
+  /// Set the header row (resets nothing else).
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; ragged rows are allowed and padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with two-space column separation and a dashed rule under the header.
+  [[nodiscard]] std::string render() const;
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` significant digits (%g style).
+std::string fmt_g(double v, int digits = 4);
+
+/// Format a double as fixed with `digits` decimals.
+std::string fmt_f(double v, int digits = 2);
+
+}  // namespace ir::support

@@ -1,0 +1,71 @@
+#include "algebra/modular.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace ir::algebra {
+namespace {
+
+using support::BigUint;
+
+TEST(MulModTest, NoOverflowNearMax) {
+  const std::uint64_t m = 0xffffffffffffffc5ull;  // large prime
+  const std::uint64_t a = m - 1, b = m - 2;
+  // (m-1)(m-2) = m^2 - 3m + 2 == 2 mod m.
+  EXPECT_EQ(mul_mod(a, b, m), 2u);
+}
+
+TEST(MulModTest, SmallValues) {
+  EXPECT_EQ(mul_mod(7, 8, 10), 6u);
+  EXPECT_EQ(mul_mod(0, 123, 7), 0u);
+  EXPECT_THROW(mul_mod(1, 2, 0), support::ContractViolation);
+}
+
+TEST(AddModTest, WrapsWithoutOverflow) {
+  const std::uint64_t m = 0xfffffffffffffffbull;
+  EXPECT_EQ(add_mod(m - 1, m - 1, m), m - 2);
+  EXPECT_EQ(add_mod(3, 4, 10), 7u);
+  EXPECT_EQ(add_mod(13, 24, 10), 7u);
+}
+
+TEST(PowModTest, KnownValues) {
+  EXPECT_EQ(pow_mod(2, BigUint{10}, 1000000007ull), 1024u);
+  EXPECT_EQ(pow_mod(5, BigUint{0}, 97), 1u);
+  EXPECT_EQ(pow_mod(5, BigUint{1}, 97), 5u);
+  EXPECT_EQ(pow_mod(123, BigUint{1}, 1), 0u);
+}
+
+TEST(PowModTest, MatchesIteratedMultiplication) {
+  support::SplitMix64 rng(31);
+  const std::uint64_t m = 999999937ull;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t a = rng.below(m);
+    std::uint64_t acc = 1;
+    for (std::uint64_t e = 1; e <= 64; ++e) {
+      acc = mul_mod(acc, a, m);
+      ASSERT_EQ(pow_mod(a, BigUint{e}, m), acc);
+    }
+  }
+}
+
+TEST(ScaleModTest, MatchesMulModFor64Bit) {
+  support::SplitMix64 rng(17);
+  const std::uint64_t m = 1000000007ull;
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t k = rng.next(), a = rng.below(m);
+    EXPECT_EQ(scale_mod(BigUint{k}, a, m), mul_mod(k % m, a, m));
+  }
+}
+
+TEST(ScaleModTest, MultiLimbExponent) {
+  const std::uint64_t m = 1000000007ull;
+  // k = 2^100: reduce k mod m independently, then compare.
+  const BigUint k = BigUint::pow(BigUint(2), 100);
+  std::uint32_t k_mod = 0;
+  (void)k.div_u32(static_cast<std::uint32_t>(m), k_mod);
+  EXPECT_EQ(scale_mod(k, 123, m), mul_mod(k_mod, 123, m));
+}
+
+}  // namespace
+}  // namespace ir::algebra

@@ -1,0 +1,110 @@
+#include "algebra/moebius.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace ir::algebra {
+namespace {
+
+TEST(MoebiusMapTest, IdentityAndConstant) {
+  const auto id = MoebiusMap::identity();
+  EXPECT_DOUBLE_EQ(id.apply(3.5), 3.5);
+  EXPECT_FALSE(id.is_constant());
+
+  const auto c = MoebiusMap::constant(7.0);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_DOUBLE_EQ(c.apply(-100.0), 7.0);
+  EXPECT_DOUBLE_EQ(c.apply(42.0), 7.0);
+}
+
+TEST(MoebiusMapTest, AffineApply) {
+  const auto m = MoebiusMap::affine(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(m.apply(5.0), 13.0);
+  EXPECT_DOUBLE_EQ(m.det(), 2.0);
+}
+
+TEST(MoebiusMapTest, FractionalApply) {
+  const MoebiusMap m{1.0, 2.0, 3.0, 4.0};  // (x+2)/(3x+4)
+  EXPECT_DOUBLE_EQ(m.apply(1.0), 3.0 / 7.0);
+}
+
+TEST(MoebiusMapTest, ComposeIsFunctionComposition) {
+  const auto f = MoebiusMap::affine(2.0, 1.0);
+  const MoebiusMap g{1.0, 0.0, 1.0, 1.0};  // x/(x+1)
+  const auto fg = f.compose(g);
+  for (double x : {0.5, 1.0, 3.0, -0.25}) {
+    EXPECT_NEAR(fg.apply(x), f.apply(g.apply(x)), 1e-12);
+  }
+}
+
+TEST(MoebiusMapTest, Lemma2SingularShortCircuit) {
+  // A constant map composed over anything stays itself: A ⊗ B = A, det A = 0.
+  const auto c = MoebiusMap::constant(9.0);
+  const auto g = MoebiusMap::affine(5.0, -2.0);
+  EXPECT_EQ(c.compose(g), c);
+  // And composing a regular map with a constant yields a constant map with
+  // the image value mapped through.
+  const auto gc = g.compose(c);
+  EXPECT_TRUE(gc.is_constant());
+  EXPECT_DOUBLE_EQ(gc.apply(123.0), g.apply(9.0));
+}
+
+TEST(MoebiusMapTest, ComposeAssociativityIncludingSingulars) {
+  // Lemma 2's ⊗ stays associative even when singular matrices appear in any
+  // position — the property the Ordinary-IR engine requires.
+  support::SplitMix64 rng(2024);
+  auto random_map = [&rng]() {
+    if (rng.chance(0.3)) return MoebiusMap::constant(rng.uniform(-2.0, 2.0));
+    if (rng.chance(0.5))
+      return MoebiusMap::affine(rng.uniform(0.5, 2.0), rng.uniform(-1.0, 1.0));
+    return MoebiusMap{rng.uniform(0.5, 2.0), rng.uniform(-1.0, 1.0),
+                      rng.uniform(0.1, 0.9), rng.uniform(0.5, 2.0)};
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto a = random_map(), b = random_map(), c = random_map();
+    const auto left = a.compose(b).compose(c);
+    const auto right = a.compose(b.compose(c));
+    // Compare as maps (matrices may differ by a scalar factor only when both
+    // are non-singular; with the short-circuit they are bytewise equal).
+    for (double x : {0.0, 0.7, -1.3}) {
+      const double lv = left.apply(x), rv = right.apply(x);
+      if (std::isfinite(lv) && std::isfinite(rv)) {
+        EXPECT_NEAR(lv, rv, 1e-6) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(MoebiusMapTest, AffineChainsKeepBottomRowExact) {
+  // Compositions of affine/constant maps must keep c == 0, d == 1 exactly,
+  // so is_constant() stays an exact test along Ordinary-IR traces.
+  auto m = MoebiusMap::constant(0.3);
+  support::SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    m = MoebiusMap::affine(rng.uniform(0.5, 1.5), rng.uniform(-1.0, 1.0)).compose(m);
+    ASSERT_TRUE(m.is_constant());
+    ASSERT_EQ(m.c, 0.0);
+    ASSERT_EQ(m.d, 1.0);
+  }
+}
+
+TEST(MoebiusComposeTest, OperatorOrderMatchesTraceOrder) {
+  // combine(prefix, next) applies `prefix` (the rootward sub-trace) first.
+  MoebiusCompose op;
+  const auto root = MoebiusMap::constant(2.0);
+  const auto step = MoebiusMap::affine(3.0, 1.0);  // x -> 3x+1
+  const auto composed = op.combine(root, step);
+  EXPECT_DOUBLE_EQ(composed.apply(0.0), 7.0);  // 3*2+1
+}
+
+TEST(MoebiusMapTest, ToStringShapes) {
+  EXPECT_EQ(MoebiusMap::constant(4.0).to_string(), "x -> 4");
+  EXPECT_EQ(MoebiusMap::affine(2.0, 1.0).to_string(), "x -> 2*x + 1");
+  EXPECT_NE(MoebiusMap({1, 0, 1, 1}).to_string().find("/"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ir::algebra

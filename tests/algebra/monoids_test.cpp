@@ -1,0 +1,179 @@
+#include "algebra/monoids.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace ir::algebra {
+namespace {
+
+using support::BigUint;
+
+TEST(AddMonoidTest, CombineAndPow) {
+  AddMonoid<std::uint64_t> add;
+  EXPECT_EQ(add.combine(3, 4), 7u);
+  EXPECT_EQ(add.pow(5, BigUint{7}), 35u);
+  // Wraparound mod 2^64 stays exact under huge exponents:
+  // 2^64 * 5 == 0 (mod 2^64), so (2^64 + 3) * 5 == 15.
+  const BigUint huge = BigUint::pow(BigUint(2), 64) + BigUint(3);
+  EXPECT_EQ(add.pow(5, huge), 15u);
+}
+
+TEST(AddMonoidTest, DoublePowIsScale) {
+  AddMonoid<double> add;
+  EXPECT_DOUBLE_EQ(add.pow(2.5, BigUint{4}), 10.0);
+}
+
+TEST(MulMonoidTest, PowMatchesRepeatedCombine) {
+  MulMonoid mul;
+  double acc = 1.5;
+  for (int i = 1; i < 10; ++i) {
+    EXPECT_NEAR(mul.pow(1.5, BigUint{static_cast<std::uint64_t>(i)}), acc, 1e-9);
+    acc = mul.combine(acc, 1.5);
+  }
+}
+
+TEST(ModMulMonoidTest, MatchesNaivePow) {
+  ModMulMonoid mul(1000000007ull);
+  std::uint64_t acc = 1;
+  for (std::uint64_t e = 1; e <= 20; ++e) {
+    acc = mul.combine(acc, 37);
+    EXPECT_EQ(mul.pow(37, BigUint{e}), acc);
+  }
+}
+
+TEST(ModMulMonoidTest, FermatLittleTheorem) {
+  // a^(p-1) == 1 mod p for prime p, gcd(a, p) = 1 — a strong pow oracle.
+  const std::uint64_t p = 1000000007ull;
+  ModMulMonoid mul(p);
+  EXPECT_EQ(mul.pow(123456789ull, BigUint{p - 1}), 1u);
+}
+
+TEST(ModMulMonoidTest, HugeExponentViaEulerReduction) {
+  const std::uint64_t p = 1000003ull;
+  ModMulMonoid mul(p);
+  // a^(k*(p-1)+r) == a^r mod p.
+  const BigUint k = BigUint::from_decimal("123456789123456789123456789");
+  const BigUint exponent = k * BigUint(p - 1) + BigUint(17);
+  EXPECT_EQ(mul.pow(2, exponent), mul.pow(2, BigUint{17}));
+}
+
+TEST(ModAddMonoidTest, ScaleMatchesRepeatedAdd) {
+  ModAddMonoid add(97);
+  std::uint64_t acc = 0;
+  for (std::uint64_t k = 1; k <= 200; ++k) {
+    acc = add.combine(acc, 13);
+    EXPECT_EQ(add.pow(13, BigUint{k}), acc) << k;
+  }
+}
+
+TEST(ModAddMonoidTest, HugeScale) {
+  ModAddMonoid add(1000000007ull);
+  // (10^30 * 7) mod p computed independently via BigUint.
+  const BigUint k = BigUint::pow(BigUint(10), 30);
+  const BigUint expect = k * BigUint(7);
+  std::uint32_t rem = 0;
+  BigUint quotient = expect.div_u32(1000000007u, rem);
+  (void)quotient;
+  EXPECT_EQ(add.pow(7, k), rem);
+}
+
+TEST(MinMaxMonoidTest, IdempotentPower) {
+  MinMonoid<int> mn;
+  MaxMonoid<int> mx;
+  EXPECT_EQ(mn.combine(3, 5), 3);
+  EXPECT_EQ(mx.combine(3, 5), 5);
+  EXPECT_EQ(mn.pow(4, BigUint::pow(BigUint(2), 100)), 4);
+  EXPECT_EQ(mx.pow(4, BigUint{1}), 4);
+  EXPECT_THROW(mn.pow(4, BigUint{0}), support::ContractViolation);
+}
+
+TEST(ArgMinMonoidTest, PicksSmallerValueThenSmallerIndex) {
+  ArgMinMonoid<double> op;
+  using V = ArgMinMonoid<double>::Value;
+  EXPECT_EQ(op.combine(V{1.0, 5}, V{2.0, 1}), (V{1.0, 5}));
+  EXPECT_EQ(op.combine(V{3.0, 5}, V{2.0, 1}), (V{2.0, 1}));
+  EXPECT_EQ(op.combine(V{2.0, 5}, V{2.0, 1}), (V{2.0, 1}));
+  EXPECT_EQ(op.combine(V{2.0, 1}, V{2.0, 5}), (V{2.0, 1}));  // commutative on ties
+  EXPECT_EQ(op.pow(V{2.0, 1}, BigUint{1000}), (V{2.0, 1}));
+}
+
+TEST(ArgMinMonoidTest, AssociativeOnRandomTriples) {
+  support::SplitMix64 rng(77);
+  ArgMinMonoid<std::uint64_t> op;
+  using V = ArgMinMonoid<std::uint64_t>::Value;
+  for (int trial = 0; trial < 200; ++trial) {
+    const V a{rng.below(5), rng.below(10)}, b{rng.below(5), rng.below(10)},
+        c{rng.below(5), rng.below(10)};
+    EXPECT_EQ(op.combine(op.combine(a, b), c), op.combine(a, op.combine(b, c)));
+    EXPECT_EQ(op.combine(a, b), op.combine(b, a));
+  }
+}
+
+TEST(BigAddMonoidTest, ExactHugeArithmetic) {
+  BigAddMonoid op;
+  EXPECT_EQ(op.combine(BigUint(7), BigUint(8)), BigUint(15));
+  // pow is multiplication: k·a with both huge.
+  const BigUint k = BigUint::pow(BigUint(10), 30);
+  EXPECT_EQ(op.pow(BigUint(3), k).to_string(), "3" + std::string(30, '0'));
+}
+
+TEST(ConcatMonoidTest, OrderSensitive) {
+  ConcatMonoid cat;
+  EXPECT_EQ(cat.combine("ab", "cd"), "abcd");
+  EXPECT_NE(cat.combine("ab", "cd"), cat.combine("cd", "ab"));
+}
+
+TEST(Mat2MonoidTest, AssociativeNotCommutative) {
+  Mat2Monoid<long> mat;
+  using V = Mat2Monoid<long>::Value;
+  const V a{1, 2, 3, 4}, b{0, 1, 1, 0}, c{2, 0, 0, 2};
+  EXPECT_EQ(mat.combine(mat.combine(a, b), c), mat.combine(a, mat.combine(b, c)));
+  EXPECT_NE(mat.combine(a, b), mat.combine(b, a));
+}
+
+TEST(GenericPowTest, MatchesClosedForms) {
+  ModMulMonoid mul(999999937ull);
+  for (std::uint64_t e : {1ull, 2ull, 3ull, 17ull, 255ull, 256ull, 1000ull}) {
+    EXPECT_EQ(generic_pow(mul, 5, BigUint{e}), mul.pow(5, BigUint{e})) << e;
+  }
+  EXPECT_THROW(generic_pow(mul, 5, BigUint{0}), support::ContractViolation);
+}
+
+TEST(GenericPowTest, WorksWithoutIdentityOnStrings) {
+  ConcatMonoid cat;
+  EXPECT_EQ(generic_pow(cat, std::string("ab"), BigUint{3}), "ababab");
+  EXPECT_EQ(generic_pow(cat, std::string("x"), BigUint{1}), "x");
+}
+
+// Property sweep: associativity of every power monoid on random triples.
+class MonoidAssociativityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonoidAssociativityTest, ModMulAssociates) {
+  support::SplitMix64 rng(GetParam());
+  ModMulMonoid op(1000000007ull);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = rng.next() % 1000000007ull, b = rng.next() % 1000000007ull,
+               c = rng.next() % 1000000007ull;
+    EXPECT_EQ(op.combine(op.combine(a, b), c), op.combine(a, op.combine(b, c)));
+    EXPECT_EQ(op.combine(a, b), op.combine(b, a));
+  }
+}
+
+TEST_P(MonoidAssociativityTest, PowDistributesOverCombine) {
+  // pow(a, j + k) == combine(pow(a, j), pow(a, k)) — the law the GIR
+  // evaluation relies on when CAP merges parallel edges.
+  support::SplitMix64 rng(GetParam() ^ 0x5555);
+  ModMulMonoid op(1000000007ull);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t a = 2 + rng.below(1000000000ull);
+    const std::uint64_t j = 1 + rng.below(1000), k = 1 + rng.below(1000);
+    EXPECT_EQ(op.pow(a, BigUint{j + k}),
+              op.combine(op.pow(a, BigUint{j}), op.pow(a, BigUint{k})));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonoidAssociativityTest, ::testing::Values(3u, 11u, 29u));
+
+}  // namespace
+}  // namespace ir::algebra

@@ -1,0 +1,128 @@
+#include "core/classify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/random_systems.hpp"
+
+namespace ir::core {
+namespace {
+
+TEST(ClassifyTest, StreamingLoopIsNoRecurrence) {
+  // Every read hits cells nothing writes.
+  GeneralIrSystem sys{10, {5, 6, 7}, {0, 1, 2}, {8, 9, 8}};
+  EXPECT_EQ(classify(sys), LoopClass::kNoRecurrence);
+}
+
+TEST(ClassifyTest, SelfReadsOfOwnInitialValueAreNoRecurrence) {
+  // A[g(i)] = op(A[f(i)], A[g(i)]) with nothing read after being written.
+  OrdinaryIrSystem sys{10, {5, 6}, {0, 1}};
+  EXPECT_EQ(classify(sys), LoopClass::kNoRecurrence);
+}
+
+TEST(ClassifyTest, PrefixSumIsLinear) {
+  // x[k] = x[k-1] + y[k] (Livermore 11 shape).
+  GeneralIrSystem sys;
+  sys.cells = 20;
+  for (std::size_t i = 1; i < 10; ++i) {
+    sys.f.push_back(i - 1);
+    sys.g.push_back(i);
+    sys.h.push_back(10 + i);  // y[k], never written
+  }
+  EXPECT_EQ(classify(sys), LoopClass::kLinearRecurrence);
+}
+
+TEST(ClassifyTest, ReductionIsLinear) {
+  // q += z[k]*x[k]: every dependence targets the previous iteration.
+  GeneralIrSystem sys;
+  sys.cells = 11;
+  for (std::size_t i = 0; i < 10; ++i) {
+    sys.f.push_back(1 + i % 10);
+    sys.g.push_back(0);
+    sys.h.push_back(0);
+  }
+  EXPECT_EQ(classify(sys), LoopClass::kLinearRecurrence);
+}
+
+TEST(ClassifyTest, ScatteredChainStillLinear) {
+  // A chain through scattered cells: semantically the classic case even
+  // though the subscripts look indexed.
+  GeneralIrSystem sys;
+  sys.cells = 100;
+  const std::vector<std::size_t> cellseq{7, 93, 12, 55, 31};
+  for (std::size_t i = 1; i < cellseq.size(); ++i) {
+    sys.f.push_back(cellseq[i - 1]);
+    sys.g.push_back(cellseq[i]);
+    sys.h.push_back(cellseq[i]);
+  }
+  EXPECT_EQ(classify(sys), LoopClass::kLinearRecurrence);
+}
+
+TEST(ClassifyTest, OrdinaryIndexedRecurrence) {
+  // g injective, h = g, dependences skip around: the Section-2 class.
+  OrdinaryIrSystem sys{8, {0, 1, 1}, {1, 3, 5}};
+  // iteration 2 depends on iteration 0 (not 1): not linear.
+  EXPECT_EQ(classify(sys), LoopClass::kOrdinaryIndexed);
+}
+
+TEST(ClassifyTest, RepeatedWriteReductionIsLinear) {
+  // A[1] = op(A[f(i)], A[1]) repeatedly: a reduction — every dependence is
+  // on the previous iteration, so the semantic class is linear even though
+  // g repeats (classification is about dependence structure; the ordinary
+  // SOLVER still rejects the repeated writes and routes to GIR).
+  GeneralIrSystem sys{4, {0, 1, 0}, {1, 1, 1}, {1, 1, 1}};
+  EXPECT_EQ(classify(sys), LoopClass::kLinearRecurrence);
+}
+
+TEST(ClassifyTest, RepeatedWritesWithFarDependenceAreGeneral) {
+  // Iteration 2 re-writes cell 1 and reads it — last written by iteration 0,
+  // not the previous one: a genuine general indexed recurrence.
+  GeneralIrSystem sys{4, {0, 1, 0}, {1, 2, 1}, {1, 2, 1}};
+  EXPECT_EQ(classify(sys), LoopClass::kGeneralIndexed);
+}
+
+TEST(ClassifyTest, TwoOperandTreeIsGeneral) {
+  // A[i] = A[i-1] * A[i-2]: two dependences per equation.
+  GeneralIrSystem sys;
+  sys.cells = 8;
+  for (std::size_t i = 2; i < 8; ++i) {
+    sys.f.push_back(i - 1);
+    sys.g.push_back(i);
+    sys.h.push_back(i - 2);
+  }
+  EXPECT_EQ(classify(sys), LoopClass::kGeneralIndexed);
+}
+
+TEST(ClassifyTest, FibonacciIsNotLinearDespiteAdjacentReads) {
+  // i-2 dependences break the "previous iteration only" rule.
+  GeneralIrSystem sys;
+  sys.cells = 6;
+  sys.f = {1, 2, 3};
+  sys.g = {2, 3, 4};
+  sys.h = {0, 1, 2};
+  EXPECT_EQ(classify(sys), LoopClass::kGeneralIndexed);
+}
+
+TEST(ClassifyTest, EmptyLoopIsNoRecurrence) {
+  GeneralIrSystem sys{4, {}, {}, {}};
+  EXPECT_EQ(classify(sys), LoopClass::kNoRecurrence);
+}
+
+TEST(ClassifyTest, ToStringCoversAllClasses) {
+  EXPECT_EQ(to_string(LoopClass::kNoRecurrence), "no recurrence");
+  EXPECT_EQ(to_string(LoopClass::kLinearRecurrence), "linear recurrence");
+  EXPECT_EQ(to_string(LoopClass::kOrdinaryIndexed), "ordinary indexed recurrence");
+  EXPECT_EQ(to_string(LoopClass::kGeneralIndexed), "general indexed recurrence");
+}
+
+TEST(ClassifyTest, RandomOrdinarySystemsNeverClassifyGeneral) {
+  // An injective-g, h = g system is at most ordinary indexed.
+  support::SplitMix64 rng(61);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto sys = testing::random_ordinary_system(50, 80, rng, 0.6);
+    const auto cls = classify(sys);
+    EXPECT_NE(cls, LoopClass::kGeneralIndexed);
+  }
+}
+
+}  // namespace
+}  // namespace ir::core

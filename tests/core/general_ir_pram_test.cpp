@@ -1,0 +1,95 @@
+#include "core/general_ir_pram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/monoids.hpp"
+#include "testing/random_systems.hpp"
+
+namespace ir::core {
+namespace {
+
+using algebra::ModAddMonoid;
+using algebra::ModMulMonoid;
+using testing::random_general_system;
+
+GeneralIrSystem fibonacci_system(std::size_t n) {
+  GeneralIrSystem sys;
+  sys.cells = n;
+  for (std::size_t i = 2; i < n; ++i) {
+    sys.f.push_back(i - 1);
+    sys.g.push_back(i);
+    sys.h.push_back(i - 2);
+  }
+  return sys;
+}
+
+TEST(GirPramTest, OriginalLoopMatchesHost) {
+  support::SplitMix64 rng(121);
+  const auto sys = random_general_system(150, 100, rng, 0.7);
+  ModAddMonoid op(1'000'000'007ull);
+  std::vector<std::uint64_t> init(100);
+  for (auto& v : init) v = rng.below(1000);
+  pram::Machine machine(1);
+  EXPECT_EQ(general_ir_pram_original_loop(op, sys, init, machine),
+            general_ir_sequential(op, sys, init));
+}
+
+TEST(GirPramTest, ParallelMatchesAcrossProcessorCounts) {
+  support::SplitMix64 rng(122);
+  const auto sys = random_general_system(200, 120, rng, 0.7);
+  ModMulMonoid op(1'000'000'007ull);
+  std::vector<std::uint64_t> init(120);
+  for (auto& v : init) v = 1 + rng.below(1'000'000'006ull);
+  const auto expect = general_ir_sequential(op, sys, init);
+  for (std::size_t p : {1u, 4u, 64u}) {
+    pram::Machine machine(p, pram::AccessMode::kCrew, pram::CostModel{}, false);
+    EXPECT_EQ(general_ir_pram_parallel(op, sys, init, machine), expect) << "P=" << p;
+  }
+}
+
+TEST(GirPramTest, ScheduleIsCrewClean) {
+  const auto sys = fibonacci_system(40);
+  ModMulMonoid op(999999937ull);
+  std::vector<std::uint64_t> init(40, 3);
+  pram::Machine machine(8, pram::AccessMode::kCrew);  // audit ON
+  EXPECT_EQ(general_ir_pram_parallel(op, sys, init, machine),
+            general_ir_sequential(op, sys, init));
+}
+
+TEST(GirPramTest, StepCountIsLogarithmic) {
+  // Steps = 1 (graph) + CAP rounds (~log depth) + 1 (evaluation).
+  const auto sys = fibonacci_system(130);
+  ModMulMonoid op(1'000'000'007ull);
+  std::vector<std::uint64_t> init(130, 2);
+  pram::Machine machine(64, pram::AccessMode::kCrew, pram::CostModel{}, false);
+  (void)general_ir_pram_parallel(op, sys, init, machine);
+  EXPECT_LE(machine.stats().steps, 2u + 9u);  // ceil(log2 128) = 7, plus slack
+  EXPECT_GE(machine.stats().steps, 2u + 5u);
+}
+
+TEST(GirPramTest, TimeDecreasesWithProcessors) {
+  support::SplitMix64 rng(123);
+  const auto sys = random_general_system(600, 300, rng, 0.7);
+  ModMulMonoid op(1'000'000'007ull);
+  std::vector<std::uint64_t> init(300);
+  for (auto& v : init) v = 1 + rng.below(1'000'000'006ull);
+  std::uint64_t previous = ~0ull;
+  for (std::size_t p : {1u, 4u, 16u, 64u}) {
+    pram::Machine machine(p, pram::AccessMode::kCrew, pram::CostModel{}, false);
+    (void)general_ir_pram_parallel(op, sys, init, machine);
+    EXPECT_LE(machine.stats().time, previous) << "P=" << p;
+    previous = machine.stats().time;
+  }
+}
+
+TEST(GirPramTest, EmptySystem) {
+  GeneralIrSystem sys{3, {}, {}, {}};
+  ModAddMonoid op(97);
+  pram::Machine machine(4);
+  EXPECT_EQ(general_ir_pram_parallel(op, sys, {1, 2, 3}, machine),
+            (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(machine.stats().steps, 0u);
+}
+
+}  // namespace
+}  // namespace ir::core

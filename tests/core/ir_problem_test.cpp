@@ -1,0 +1,82 @@
+#include "core/ir_problem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ir::core {
+namespace {
+
+TEST(OrdinaryIrSystemTest, ValidSystemPasses) {
+  OrdinaryIrSystem sys{4, {0, 1, 2}, {1, 2, 3}};
+  EXPECT_NO_THROW(sys.validate());
+  EXPECT_EQ(sys.iterations(), 3u);
+}
+
+TEST(OrdinaryIrSystemTest, SizeMismatchRejected) {
+  OrdinaryIrSystem sys{4, {0, 1}, {1, 2, 3}};
+  EXPECT_THROW(sys.validate(), support::ContractViolation);
+}
+
+TEST(OrdinaryIrSystemTest, OutOfRangeRejected) {
+  OrdinaryIrSystem f_bad{4, {0, 4}, {1, 2}};
+  EXPECT_THROW(f_bad.validate(), support::ContractViolation);
+  OrdinaryIrSystem g_bad{4, {0, 1}, {1, 4}};
+  EXPECT_THROW(g_bad.validate(), support::ContractViolation);
+}
+
+TEST(OrdinaryIrSystemTest, NonInjectiveGRejected) {
+  OrdinaryIrSystem sys{4, {0, 1, 2}, {1, 2, 1}};
+  EXPECT_THROW(sys.validate(), support::ContractViolation);
+}
+
+TEST(GeneralIrSystemTest, RepeatedGAllowed) {
+  GeneralIrSystem sys{4, {0, 1, 2}, {1, 1, 1}, {3, 3, 3}};
+  EXPECT_NO_THROW(sys.validate());
+}
+
+TEST(GeneralIrSystemTest, FromOrdinarySetsHToG) {
+  OrdinaryIrSystem ord{4, {0, 1}, {1, 2}};
+  const auto gir = GeneralIrSystem::from_ordinary(ord);
+  EXPECT_EQ(gir.h, ord.g);
+  EXPECT_EQ(gir.cells, 4u);
+  EXPECT_NO_THROW(gir.validate());
+}
+
+TEST(LastWriterBeforeTest, BasicChain) {
+  // i: writes g[i], reads f[i]; pred = last earlier writer of f[i].
+  const std::vector<std::size_t> g{1, 2, 3};
+  const std::vector<std::size_t> f{0, 1, 2};
+  const auto pred = last_writer_before(g, f, 4);
+  EXPECT_EQ(pred, (std::vector<std::size_t>{kNone, 0, 1}));
+}
+
+TEST(LastWriterBeforeTest, LastWriterWinsOnRepeats) {
+  // Cell 5 written at iterations 0 and 2; iteration 3 reads it -> pred 2.
+  const std::vector<std::size_t> g{5, 6, 5, 7};
+  const std::vector<std::size_t> f{0, 5, 5, 5};
+  const auto pred = last_writer_before(g, f, 8);
+  EXPECT_EQ(pred[1], 0u);
+  EXPECT_EQ(pred[2], 0u);  // reads before its own write
+  EXPECT_EQ(pred[3], 2u);
+}
+
+TEST(LastWriterBeforeTest, SelfWriteDoesNotCount) {
+  // Iteration i reading the cell it writes sees earlier writers only.
+  const std::vector<std::size_t> g{3, 3};
+  const std::vector<std::size_t> f{3, 3};
+  const auto pred = last_writer_before(g, f, 4);
+  EXPECT_EQ(pred, (std::vector<std::size_t>{kNone, 0}));
+}
+
+TEST(FinalWriterTest, TracksLastWrite) {
+  const std::vector<std::size_t> g{2, 0, 2, 1};
+  const auto last = final_writer(g, 4);
+  EXPECT_EQ(last, (std::vector<std::size_t>{1, 3, 2, kNone}));
+}
+
+TEST(FinalWriterTest, EmptySystem) {
+  const auto last = final_writer({}, 3);
+  EXPECT_EQ(last, (std::vector<std::size_t>{kNone, kNone, kNone}));
+}
+
+}  // namespace
+}  // namespace ir::core

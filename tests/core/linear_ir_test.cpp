@@ -1,0 +1,163 @@
+#include "core/linear_ir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testing/random_systems.hpp"
+
+namespace ir::core {
+namespace {
+
+using algebra::MoebiusMap;
+
+/// Random coefficients with |mul| <= 0.95 keep long products conditioned.
+LinearIrLoop random_linear_loop(std::size_t iterations, std::size_t cells,
+                                support::SplitMix64& rng, double rewire = 0.8) {
+  LinearIrLoop loop;
+  loop.system = testing::random_ordinary_system(iterations, cells, rng, rewire);
+  loop.mul.resize(iterations);
+  loop.add.resize(iterations);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    loop.mul[i] = rng.uniform(-0.95, 0.95);
+    loop.add[i] = rng.uniform(-1.0, 1.0);
+  }
+  return loop;
+}
+
+std::vector<double> random_values(std::size_t cells, support::SplitMix64& rng) {
+  std::vector<double> v(cells);
+  for (auto& e : v) e = rng.uniform(-2.0, 2.0);
+  return v;
+}
+
+void expect_near(const std::vector<double>& a, const std::vector<double>& b,
+                 double tol = 1e-9) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], tol) << "cell " << i;
+}
+
+TEST(LinearIrTest, SequentialKnownValues) {
+  // X[1] = 2 X[0] + 1; X[2] = 2 X[1] + 1 with X = {1, 0, 0}.
+  LinearIrLoop loop{{3, {0, 1}, {1, 2}}, {2.0, 2.0}, {1.0, 1.0}};
+  const auto x = linear_ir_sequential(loop, {1.0, 0.0, 0.0});
+  EXPECT_EQ(x, (std::vector<double>{1.0, 3.0, 7.0}));
+}
+
+TEST(LinearIrTest, ParallelMatchesSequentialKnown) {
+  LinearIrLoop loop{{3, {0, 1}, {1, 2}}, {2.0, 2.0}, {1.0, 1.0}};
+  const auto x = linear_ir_parallel(loop, {1.0, 0.0, 0.0});
+  expect_near(x, {1.0, 3.0, 7.0});
+}
+
+TEST(LinearIrTest, ParallelMatchesSequentialRandom) {
+  support::SplitMix64 rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto loop = random_linear_loop(300, 400, rng);
+    const auto init = random_values(400, rng);
+    expect_near(linear_ir_parallel(loop, init), linear_ir_sequential(loop, init), 1e-8);
+  }
+}
+
+TEST(LinearIrTest, ZeroMultiplierResetsChains) {
+  // mul = 0 makes an equation constant — the det = 0 short-circuit path.
+  support::SplitMix64 rng(32);
+  auto loop = random_linear_loop(200, 300, rng, 0.9);
+  for (std::size_t i = 0; i < loop.mul.size(); i += 3) loop.mul[i] = 0.0;
+  const auto init = random_values(300, rng);
+  expect_near(linear_ir_parallel(loop, init), linear_ir_sequential(loop, init), 1e-8);
+}
+
+TEST(LinearIrTest, ChainReadsUpstreamWrittenCellAsInitialWhenUnwritten) {
+  // f hits a cell that IS in g's image but is written only LATER: the value
+  // read must be the initial one (the root_value hook, not the coefficient).
+  LinearIrLoop loop;
+  loop.system = OrdinaryIrSystem{3, {2, 0}, {1, 2}};  // i0 reads cell 2, i1 writes it
+  loop.mul = {3.0, 5.0};
+  loop.add = {1.0, 2.0};
+  const std::vector<double> init{10.0, 0.0, 4.0};
+  // Sequential: X[1] = 3*X[2]+1 = 13; X[2] = 5*X[0]+2 = 52.
+  const auto expect = linear_ir_sequential(loop, init);
+  EXPECT_EQ(expect, (std::vector<double>{10.0, 13.0, 52.0}));
+  expect_near(linear_ir_parallel(loop, init), expect);
+}
+
+TEST(SelfLinearIrTest, FoldsInitialValueOfG) {
+  // X[g] := X[g] + a*X[f] + b — the paper's rewriting with S[g(i)].
+  SelfLinearIrLoop loop;
+  loop.system = OrdinaryIrSystem{3, {0, 1}, {1, 2}};
+  loop.a = {2.0, 3.0};
+  loop.b = {0.5, 0.25};
+  loop.c = {0.0, 0.0};
+  loop.d = {1.0, 1.0};
+  const std::vector<double> init{1.0, 10.0, 20.0};
+  // X[1] = 10 + 2*1 + 0.5 = 12.5; X[2] = 20 + 3*12.5 + 0.25 = 57.75.
+  const auto expect = self_linear_ir_sequential(loop, init);
+  EXPECT_EQ(expect, (std::vector<double>{1.0, 12.5, 57.75}));
+  expect_near(self_linear_ir_parallel(loop, init), expect);
+}
+
+TEST(SelfLinearIrTest, FullFormRandom) {
+  support::SplitMix64 rng(33);
+  for (int trial = 0; trial < 8; ++trial) {
+    SelfLinearIrLoop loop;
+    loop.system = testing::random_ordinary_system(200, 280, rng, 0.8);
+    const std::size_t n = loop.system.iterations();
+    loop.a.resize(n);
+    loop.b.resize(n);
+    loop.c.resize(n);
+    loop.d.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      loop.a[i] = rng.uniform(-0.5, 0.5);
+      loop.b[i] = rng.uniform(-0.5, 0.5);
+      loop.c[i] = rng.uniform(-0.2, 0.2);
+      loop.d[i] = rng.uniform(0.3, 0.8);
+    }
+    const auto init = random_values(280, rng);
+    expect_near(self_linear_ir_parallel(loop, init),
+                self_linear_ir_sequential(loop, init), 1e-7);
+  }
+}
+
+TEST(MoebiusIrTest, FractionalLoopMatches) {
+  support::SplitMix64 rng(34);
+  for (int trial = 0; trial < 5; ++trial) {
+    MoebiusIrLoop loop;
+    loop.system = testing::random_ordinary_system(100, 150, rng, 0.7);
+    loop.maps.resize(100);
+    for (auto& m : loop.maps) {
+      // Well-conditioned fractional maps: dominant diagonal, positive det.
+      m = MoebiusMap{rng.uniform(0.8, 1.2), rng.uniform(-0.2, 0.2),
+                     rng.uniform(0.0, 0.1), rng.uniform(0.9, 1.1)};
+    }
+    std::vector<double> init(150);
+    for (auto& v : init) v = rng.uniform(0.5, 1.5);
+    const auto expect = moebius_ir_sequential(loop, init);
+    const auto actual = moebius_ir_parallel(loop, init);
+    ASSERT_EQ(actual.size(), expect.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_NEAR(actual[i], expect[i], 1e-6) << "cell " << i;
+    }
+  }
+}
+
+TEST(LinearIrTest, ThreadPoolMatches) {
+  support::SplitMix64 rng(35);
+  const auto loop = random_linear_loop(1000, 1200, rng, 0.9);
+  const auto init = random_values(1200, rng);
+  parallel::ThreadPool pool(4);
+  OrdinaryIrOptions options;
+  options.pool = &pool;
+  expect_near(linear_ir_parallel(loop, init, options), linear_ir_sequential(loop, init),
+              1e-8);
+}
+
+TEST(LinearIrTest, ValidationErrors) {
+  LinearIrLoop loop{{3, {0}, {1}}, {1.0, 2.0}, {0.0}};
+  EXPECT_THROW(loop.validate(), support::ContractViolation);
+  MoebiusIrLoop mloop{{3, {0}, {1}}, {}};
+  EXPECT_THROW(mloop.validate(), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace ir::core

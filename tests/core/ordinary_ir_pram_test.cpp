@@ -1,0 +1,148 @@
+#include "core/ordinary_ir_pram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "algebra/monoids.hpp"
+#include "core/ordinary_ir.hpp"
+#include "testing/random_systems.hpp"
+
+namespace ir::core {
+namespace {
+
+using algebra::AddMonoid;
+using algebra::ConcatMonoid;
+using testing::random_initial_u64;
+using testing::random_ordinary_system;
+
+TEST(PramIrTest, OriginalLoopMatchesHostSequential) {
+  support::SplitMix64 rng(1);
+  const auto sys = random_ordinary_system(100, 150, rng);
+  const auto init = random_initial_u64(150, rng);
+  const auto op = AddMonoid<std::uint64_t>{};
+  pram::Machine machine(1);
+  EXPECT_EQ(ordinary_ir_pram_original_loop(op, sys, init, machine),
+            ordinary_ir_sequential(op, sys, init));
+}
+
+TEST(PramIrTest, ParallelMatchesSequentialOnSimulator) {
+  support::SplitMix64 rng(2);
+  const auto op = AddMonoid<std::uint64_t>{};
+  for (std::size_t p : {1u, 2u, 7u, 32u, 1000u}) {
+    const auto sys = random_ordinary_system(200, 280, rng);
+    const auto init = random_initial_u64(280, rng);
+    pram::Machine machine(p);
+    EXPECT_EQ(ordinary_ir_pram_parallel(op, sys, init, machine),
+              ordinary_ir_sequential(op, sys, init))
+        << "P=" << p;
+  }
+}
+
+TEST(PramIrTest, ScheduleIsCrewClean) {
+  // The audit throws on any write conflict (and we run in CREW mode, so
+  // concurrent reads are allowed — pointer jumping needs them).
+  support::SplitMix64 rng(3);
+  const auto sys = random_ordinary_system(300, 400, rng, 0.9);
+  const auto init = random_initial_u64(400, rng);
+  pram::Machine machine(16, pram::AccessMode::kCrew);
+  EXPECT_NO_THROW(
+      ordinary_ir_pram_parallel(AddMonoid<std::uint64_t>{}, sys, init, machine));
+}
+
+TEST(PramIrTest, ScheduleNeedsConcurrentReads) {
+  // Two equations whose predecessors coincide force a concurrent read of the
+  // shared predecessor's value: EREW must reject, CREW must accept.
+  OrdinaryIrSystem sys;
+  sys.cells = 4;
+  sys.f = {0, 1, 1};  // iterations 1 and 2 both read cell 1 (written by 0)
+  sys.g = {1, 2, 3};
+  const std::vector<std::uint64_t> init{1, 2, 3, 4};
+  const auto op = AddMonoid<std::uint64_t>{};
+  pram::Machine crew(4, pram::AccessMode::kCrew);
+  EXPECT_NO_THROW(ordinary_ir_pram_parallel(op, sys, init, crew));
+  pram::Machine erew(4, pram::AccessMode::kErew);
+  EXPECT_THROW(ordinary_ir_pram_parallel(op, sys, init, erew), pram::AccessConflict);
+}
+
+TEST(PramIrTest, StepComplexity) {
+  // Steps: 1 init + rounds + 1 scatter, rounds <= ceil(log2 n).
+  const std::size_t n = 512;
+  OrdinaryIrSystem sys;
+  sys.cells = n + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.f.push_back(i);
+    sys.g.push_back(i + 1);
+  }
+  std::vector<std::uint64_t> init(n + 1, 1);
+  pram::Machine machine(64);
+  ordinary_ir_pram_parallel(AddMonoid<std::uint64_t>{}, sys, init, machine);
+  EXPECT_LE(machine.stats().steps, 2 + static_cast<std::size_t>(std::bit_width(n)));
+  EXPECT_GE(machine.stats().steps, 2 + static_cast<std::size_t>(std::bit_width(n)) - 2);
+}
+
+TEST(PramIrTest, TimeScalesInverselyWithProcessors) {
+  // T(n, P) = (n/P) log n: doubling P should roughly halve simulated time in
+  // the regime P << n.
+  support::SplitMix64 rng(4);
+  const auto sys = random_ordinary_system(4096, 5000, rng, 0.9);
+  const auto init = random_initial_u64(5000, rng);
+  const auto op = AddMonoid<std::uint64_t>{};
+  std::vector<std::uint64_t> times;
+  for (std::size_t p : {1u, 2u, 4u, 8u}) {
+    pram::Machine machine(p, pram::AccessMode::kCrew, pram::CostModel{}, /*audit=*/false);
+    ordinary_ir_pram_parallel(op, sys, init, machine);
+    times.push_back(machine.stats().time);
+  }
+  for (std::size_t k = 1; k < times.size(); ++k) {
+    const double ratio = static_cast<double>(times[k - 1]) / static_cast<double>(times[k]);
+    EXPECT_GT(ratio, 1.6) << "step " << k;
+    EXPECT_LT(ratio, 2.4) << "step " << k;
+  }
+}
+
+TEST(PramIrTest, ParallelBeatsSequentialOnlyWithEnoughProcessors) {
+  // The Figure-3 crossover: at P = 1 the parallel algorithm pays the log n
+  // factor; at large P it wins.
+  support::SplitMix64 rng(5);
+  const auto sys = random_ordinary_system(4096, 5000, rng, 0.9);
+  const auto init = random_initial_u64(5000, rng);
+  const auto op = AddMonoid<std::uint64_t>{};
+
+  pram::Machine sequential(1, pram::AccessMode::kCrew, pram::CostModel{}, false);
+  ordinary_ir_pram_original_loop(op, sys, init, sequential);
+
+  pram::Machine one(1, pram::AccessMode::kCrew, pram::CostModel{}, false);
+  ordinary_ir_pram_parallel(op, sys, init, one);
+  EXPECT_GT(one.stats().time, sequential.stats().time);
+
+  pram::Machine many(256, pram::AccessMode::kCrew, pram::CostModel{}, false);
+  ordinary_ir_pram_parallel(op, sys, init, many);
+  EXPECT_LT(many.stats().time, sequential.stats().time);
+}
+
+TEST(PramIrTest, EarlyTerminationReducesWork) {
+  support::SplitMix64 rng(6);
+  const auto sys = random_ordinary_system(2048, 3000, rng, 0.8);
+  const auto init = random_initial_u64(3000, rng);
+  const auto op = AddMonoid<std::uint64_t>{};
+  pram::Machine eager(8, pram::AccessMode::kCrew, pram::CostModel{}, false);
+  pram::Machine naive(8, pram::AccessMode::kCrew, pram::CostModel{}, false);
+  const auto a = ordinary_ir_pram_parallel(op, sys, init, naive, /*early_termination=*/false);
+  const auto b = ordinary_ir_pram_parallel(op, sys, init, eager, /*early_termination=*/true);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(eager.stats().work, naive.stats().work);
+}
+
+TEST(PramIrTest, NonCommutativeMatchesOnSimulator) {
+  support::SplitMix64 rng(7);
+  const auto sys = random_ordinary_system(60, 90, rng);
+  std::vector<std::string> init(90);
+  for (std::size_t c = 0; c < 90; ++c) init[c] = std::string(1, char('a' + c % 26));
+  pram::Machine machine(8);
+  EXPECT_EQ(ordinary_ir_pram_parallel(ConcatMonoid{}, sys, init, machine),
+            ordinary_ir_sequential(ConcatMonoid{}, sys, init));
+}
+
+}  // namespace
+}  // namespace ir::core

@@ -1,0 +1,194 @@
+#include "core/ordinary_ir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "algebra/monoids.hpp"
+#include "testing/random_systems.hpp"
+
+namespace ir::core {
+namespace {
+
+using algebra::AddMonoid;
+using algebra::ConcatMonoid;
+using algebra::Mat2Monoid;
+using testing::random_initial_u64;
+using testing::random_ordinary_system;
+
+TEST(OrdinaryIrSequentialTest, ExecutesLoopAsWritten) {
+  // A[1] = A[0]+A[1]; A[2] = A[1]+A[2] with A = {1, 10, 100}.
+  OrdinaryIrSystem sys{3, {0, 1}, {1, 2}};
+  const auto out = ordinary_ir_sequential(AddMonoid<std::uint64_t>{}, sys, {1, 10, 100});
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 11, 111}));
+}
+
+TEST(OrdinaryIrSequentialTest, ValidatesInitialSize) {
+  OrdinaryIrSystem sys{3, {0}, {1}};
+  EXPECT_THROW(ordinary_ir_sequential(AddMonoid<std::uint64_t>{}, sys, {1, 2}),
+               support::ContractViolation);
+}
+
+TEST(OrdinaryIrParallelTest, EmptySystem) {
+  OrdinaryIrSystem sys{3, {}, {}};
+  const auto out = ordinary_ir_parallel(AddMonoid<std::uint64_t>{}, sys, {5, 6, 7});
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{5, 6, 7}));
+}
+
+TEST(OrdinaryIrParallelTest, UntouchedCellsKeepInitialValues) {
+  OrdinaryIrSystem sys{5, {0}, {2}};
+  const auto out = ordinary_ir_parallel(AddMonoid<std::uint64_t>{}, sys, {1, 2, 3, 4, 5});
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 2, 4, 4, 5}));
+}
+
+TEST(OrdinaryIrParallelTest, SingleChainMatchesAndUsesLogRounds) {
+  const std::size_t n = 1000;
+  OrdinaryIrSystem sys;
+  sys.cells = n + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.f.push_back(i);
+    sys.g.push_back(i + 1);
+  }
+  std::vector<std::uint64_t> init(n + 1, 1);
+  const auto expect = ordinary_ir_sequential(AddMonoid<std::uint64_t>{}, sys, init);
+
+  OrdinaryIrStats stats;
+  OrdinaryIrOptions options;
+  options.stats = &stats;
+  const auto actual = ordinary_ir_parallel(AddMonoid<std::uint64_t>{}, sys, init, options);
+  EXPECT_EQ(actual, expect);
+  EXPECT_EQ(actual[n], n + 1);  // 1 + n additions of 1
+  EXPECT_LE(stats.rounds, static_cast<std::size_t>(std::bit_width(n)));
+  EXPECT_GE(stats.rounds, static_cast<std::size_t>(std::bit_width(n)) - 1);
+}
+
+TEST(OrdinaryIrParallelTest, NonCommutativeOrderPreserved) {
+  // Lemma 1's ordering claim, witnessed by string concatenation: the
+  // parallel result must equal the sequential left-to-right product.
+  support::SplitMix64 rng(424242);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto sys = random_ordinary_system(60, 100, rng);
+    std::vector<std::string> init(100);
+    for (std::size_t c = 0; c < 100; ++c) init[c] = std::string(1, char('a' + c % 26));
+    const auto expect = ordinary_ir_sequential(ConcatMonoid{}, sys, init);
+    const auto actual = ordinary_ir_parallel(ConcatMonoid{}, sys, init);
+    EXPECT_EQ(actual, expect) << "trial " << trial;
+  }
+}
+
+TEST(OrdinaryIrParallelTest, NonCommutativeMatricesMatch) {
+  support::SplitMix64 rng(99);
+  Mat2Monoid<long> op;
+  const auto sys = random_ordinary_system(40, 64, rng);
+  std::vector<Mat2Monoid<long>::Value> init(64);
+  for (auto& m : init) {
+    m = {static_cast<long>(rng.below(3)), static_cast<long>(rng.below(3)),
+         static_cast<long>(rng.below(3)), 1};
+  }
+  EXPECT_EQ(ordinary_ir_parallel(op, sys, init), ordinary_ir_sequential(op, sys, init));
+}
+
+TEST(OrdinaryIrParallelTest, EarlyTerminationDoesNotChangeResults) {
+  support::SplitMix64 rng(7);
+  const auto sys = random_ordinary_system(200, 300, rng);
+  const auto init = random_initial_u64(300, rng);
+  OrdinaryIrStats eager_stats, naive_stats;
+  OrdinaryIrOptions eager, naive;
+  eager.stats = &eager_stats;
+  naive.early_termination = false;
+  naive.stats = &naive_stats;
+  const auto op = AddMonoid<std::uint64_t>{};
+  const auto a = ordinary_ir_parallel(op, sys, init, eager);
+  const auto b = ordinary_ir_parallel(op, sys, init, naive);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(eager_stats.rounds, naive_stats.rounds);
+  EXPECT_LE(eager_stats.op_applications, naive_stats.op_applications);
+}
+
+TEST(OrdinaryIrParallelTest, ThreadPoolAndCapsMatch) {
+  support::SplitMix64 rng(8);
+  const auto sys = random_ordinary_system(500, 800, rng);
+  const auto init = random_initial_u64(800, rng);
+  const auto op = AddMonoid<std::uint64_t>{};
+  const auto expect = ordinary_ir_sequential(op, sys, init);
+
+  parallel::ThreadPool pool(4);
+  for (std::size_t cap : {0u, 1u, 2u, 5u, 64u}) {
+    OrdinaryIrOptions options;
+    options.pool = &pool;
+    options.processor_cap = cap;
+    EXPECT_EQ(ordinary_ir_parallel(op, sys, init, options), expect) << "cap " << cap;
+  }
+}
+
+TEST(OrdinaryIrParallelTest, RejectsNonInjectiveG) {
+  OrdinaryIrSystem sys{3, {0, 0}, {1, 1}};
+  EXPECT_THROW(ordinary_ir_parallel(AddMonoid<std::uint64_t>{}, sys, {1, 2, 3}),
+               support::ContractViolation);
+}
+
+TEST(OrdinaryIrEngineTest, CustomHooksAreHonoured) {
+  // root_value/self_value hooks: roots read 100+cell, self terms are 1000+i.
+  OrdinaryIrSystem sys{4, {0, 1}, {1, 2}};
+  const auto traces = ordinary_ir_iteration_values<AddMonoid<std::uint64_t>>(
+      AddMonoid<std::uint64_t>{}, sys,
+      [](std::size_t cell) { return 100 + cell; },
+      [](std::size_t i) { return 1000 + i; });
+  // i0: root -> (100+0) + (1000+0) = 1100; i1: 1100 + 1001 = 2101.
+  EXPECT_EQ(traces, (std::vector<std::uint64_t>{1100, 2101}));
+}
+
+// The main property sweep: parallel == sequential across sizes, aliasing
+// densities and seeds, for a commutative and a non-commutative monoid.
+struct SweepParam {
+  std::size_t iterations;
+  std::size_t cells;
+  double rewire;
+  std::uint64_t seed;
+};
+
+class OrdinaryIrSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(OrdinaryIrSweepTest, ParallelEqualsSequential) {
+  const auto p = GetParam();
+  support::SplitMix64 rng(p.seed);
+  const auto sys = random_ordinary_system(p.iterations, p.cells, rng, p.rewire);
+  const auto init = random_initial_u64(p.cells, rng);
+  const auto op = AddMonoid<std::uint64_t>{};
+  EXPECT_EQ(ordinary_ir_parallel(op, sys, init), ordinary_ir_sequential(op, sys, init));
+}
+
+TEST_P(OrdinaryIrSweepTest, OrderPreservedUnderSweep) {
+  const auto p = GetParam();
+  support::SplitMix64 rng(p.seed ^ 0xdead);
+  const auto sys = random_ordinary_system(p.iterations, p.cells, rng, p.rewire);
+  if (p.iterations <= 300) {
+    // Strings make reordering visible character by character.
+    std::vector<std::string> init(p.cells);
+    for (std::size_t c = 0; c < p.cells; ++c) {
+      init[c] = std::string(1, char('A' + c % 26));
+    }
+    EXPECT_EQ(ordinary_ir_parallel(ConcatMonoid{}, sys, init),
+              ordinary_ir_sequential(ConcatMonoid{}, sys, init));
+  } else {
+    // Large sizes: 2x2 matrix products over Z/2^64 — still non-commutative,
+    // but constant-size values.
+    Mat2Monoid<std::uint64_t> op;
+    std::vector<Mat2Monoid<std::uint64_t>::Value> init(p.cells);
+    for (auto& m : init) {
+      m = {rng.below(5), rng.below(5), rng.below(5), rng.below(5)};
+    }
+    EXPECT_EQ(ordinary_ir_parallel(op, sys, init), ordinary_ir_sequential(op, sys, init));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OrdinaryIrSweepTest,
+    ::testing::Values(SweepParam{1, 2, 0.0, 1}, SweepParam{2, 4, 1.0, 2},
+                      SweepParam{10, 10, 0.5, 3}, SweepParam{100, 120, 0.9, 4},
+                      SweepParam{100, 500, 0.2, 5}, SweepParam{1000, 1500, 0.7, 6},
+                      SweepParam{5000, 6000, 0.95, 7}, SweepParam{64, 64, 1.0, 8},
+                      SweepParam{333, 1000, 0.5, 9}, SweepParam{2048, 2048, 0.8, 10}));
+
+}  // namespace
+}  // namespace ir::core

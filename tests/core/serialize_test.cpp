@@ -1,0 +1,98 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/random_systems.hpp"
+
+namespace ir::core {
+namespace {
+
+TEST(SerializeSystemTest, RoundTripsHandWritten) {
+  GeneralIrSystem sys{8, {0, 1, 3}, {1, 3, 5}, {1, 3, 5}};
+  const auto text = to_text(sys);
+  const auto back = system_from_text(text);
+  EXPECT_EQ(back.cells, sys.cells);
+  EXPECT_EQ(back.f, sys.f);
+  EXPECT_EQ(back.g, sys.g);
+  EXPECT_EQ(back.h, sys.h);
+}
+
+TEST(SerializeSystemTest, RoundTripsRandom) {
+  support::SplitMix64 rng(31337);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto sys = testing::random_general_system(200, 120, rng, 0.6);
+    const auto back = system_from_text(to_text(sys));
+    EXPECT_EQ(back.f, sys.f);
+    EXPECT_EQ(back.g, sys.g);
+    EXPECT_EQ(back.h, sys.h);
+  }
+}
+
+TEST(SerializeSystemTest, OrdinarySerializesAsGirEmbedding) {
+  OrdinaryIrSystem ord{4, {0, 1}, {1, 2}};
+  const auto back = system_from_text(to_text(ord));
+  EXPECT_EQ(back.h, back.g);
+}
+
+TEST(SerializeSystemTest, CommentsAndBlanksIgnored) {
+  const char* text = R"(# a comment
+ir-system v1
+
+cells 4   # trailing comment
+equations 1
+0 1 1
+)";
+  const auto sys = system_from_text(text);
+  EXPECT_EQ(sys.cells, 4u);
+  EXPECT_EQ(sys.iterations(), 1u);
+}
+
+TEST(SerializeSystemTest, DiagnosticsCarryLineNumbers) {
+  try {
+    (void)system_from_text("ir-system v1\ncells 4\nequations 1\n0 x 1\n");
+    FAIL() << "expected throw";
+  } catch (const support::ContractViolation& error) {
+    EXPECT_NE(std::string(error.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(SerializeSystemTest, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)system_from_text(""), support::ContractViolation);
+  EXPECT_THROW((void)system_from_text("not-a-header\n"), support::ContractViolation);
+  EXPECT_THROW((void)system_from_text("ir-system v1\ncells 4\n"),
+               support::ContractViolation);
+  // Too few equations.
+  EXPECT_THROW((void)system_from_text("ir-system v1\ncells 4\nequations 2\n0 1 1\n"),
+               support::ContractViolation);
+  // Trailing garbage.
+  EXPECT_THROW(
+      (void)system_from_text("ir-system v1\ncells 4\nequations 1\n0 1 1\nextra\n"),
+      support::ContractViolation);
+  // Out-of-range index caught by validate().
+  EXPECT_THROW((void)system_from_text("ir-system v1\ncells 2\nequations 1\n0 5 1\n"),
+               support::ContractViolation);
+}
+
+TEST(SerializeValuesTest, RoundTripsExactly) {
+  const std::vector<double> values{0.0, -1.5, 3.14159265358979, 1e-300, 1e300, 42.0};
+  const auto back = values_from_text(to_text(values));
+  ASSERT_EQ(back.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(back[i], values[i]) << i;  // %.17g is lossless for doubles
+  }
+}
+
+TEST(SerializeValuesTest, EmptyArray) {
+  const auto back = values_from_text(to_text(std::vector<double>{}));
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(SerializeValuesTest, CountMismatchRejected) {
+  EXPECT_THROW((void)values_from_text("ir-values v1\ncount 3\n1 2\n"),
+               support::ContractViolation);
+  EXPECT_THROW((void)values_from_text("ir-values v1\ncount 1\n1 2\n"),
+               support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace ir::core

@@ -1,0 +1,104 @@
+#include "core/solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/monoids.hpp"
+#include "testing/random_systems.hpp"
+
+namespace ir::core {
+namespace {
+
+using algebra::ModMulMonoid;
+
+TEST(SolveRouterTest, StreamingGoesElementwise) {
+  GeneralIrSystem sys{8, {6, 7}, {0, 1}, {6, 6}};
+  ModMulMonoid op(97);
+  SystemReport report;
+  SolveOptions options;
+  options.report_out = &report;
+  const std::vector<std::uint64_t> init{2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(solve(op, sys, init, options), general_ir_sequential(op, sys, init));
+  EXPECT_EQ(report.route, SolverRoute::kElementwiseParallel);
+}
+
+TEST(SolveRouterTest, OrdinaryShapedAvoidsCap) {
+  support::SplitMix64 rng(141);
+  const auto ord = testing::random_ordinary_system(300, 400, rng, 0.9);
+  const auto sys = GeneralIrSystem::from_ordinary(ord);
+  ModMulMonoid op(1'000'000'007ull);
+  std::vector<std::uint64_t> init(400);
+  for (auto& v : init) v = 1 + rng.below(1'000'000'006ull);
+  SystemReport report;
+  SolveOptions options;
+  options.report_out = &report;
+  EXPECT_EQ(solve(op, sys, init, options), general_ir_sequential(op, sys, init));
+}
+
+TEST(SolveRouterTest, GeneralShapedUsesCap) {
+  support::SplitMix64 rng(142);
+  const auto sys = testing::random_general_system(200, 100, rng, 0.8);
+  ModMulMonoid op(1'000'000'007ull);
+  std::vector<std::uint64_t> init(100);
+  for (auto& v : init) v = 1 + rng.below(1'000'000'006ull);
+  EXPECT_EQ(solve(op, sys, init), general_ir_sequential(op, sys, init));
+}
+
+TEST(SolveRouterTest, OrdinaryOverloadAcceptsNonCommutativeOps) {
+  support::SplitMix64 rng(143);
+  const auto sys = testing::random_ordinary_system(150, 250, rng, 0.8);
+  std::vector<std::string> init(250);
+  for (std::size_t c = 0; c < 250; ++c) init[c] = std::string(1, char('a' + c % 26));
+  EXPECT_EQ(solve(algebra::ConcatMonoid{}, sys, init),
+            ordinary_ir_sequential(algebra::ConcatMonoid{}, sys, init));
+}
+
+TEST(SolveRouterTest, LocalChainPrefersBlockedSolver) {
+  const std::size_t n = 2048;
+  OrdinaryIrSystem sys;
+  sys.cells = n + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.f.push_back(i);
+    sys.g.push_back(i + 1);
+  }
+  std::vector<std::uint64_t> init(n + 1, 1);
+  SystemReport report;
+  SolveOptions options;
+  options.report_out = &report;
+  const auto op = algebra::AddMonoid<std::uint64_t>{};
+  EXPECT_EQ(solve(op, sys, init, options), ordinary_ir_sequential(op, sys, init));
+  ASSERT_FALSE(report.cross_block_fraction.empty());
+  EXPECT_TRUE(detail::prefer_blocked(report, 4, options.blocked_threshold));
+}
+
+TEST(SolveRouterTest, ScatteredSystemPrefersJumping) {
+  support::SplitMix64 rng(144);
+  const auto sys = testing::random_ordinary_system(2048, 4096, rng, 0.95);
+  const auto report = analyze(sys);
+  EXPECT_FALSE(detail::prefer_blocked(report, 4, 0.25));
+}
+
+TEST(SolveRouterTest, PooledRoutesMatch) {
+  parallel::ThreadPool pool(4);
+  support::SplitMix64 rng(145);
+  ModMulMonoid op(999999937ull);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto sys = testing::random_general_system(300, 200, rng, 0.7);
+    std::vector<std::uint64_t> init(200);
+    for (auto& v : init) v = 1 + rng.below(999999936ull);
+    SolveOptions options;
+    options.pool = &pool;
+    EXPECT_EQ(solve(op, sys, init, options), general_ir_sequential(op, sys, init))
+        << trial;
+  }
+}
+
+TEST(SolveRouterTest, PruningOnByDefaultStillCorrect) {
+  // Dead writes: every equation writes cell 1, only the last survives.
+  GeneralIrSystem sys{6, {2, 3, 4}, {1, 1, 1}, {5, 5, 5}};
+  ModMulMonoid op(101);
+  const std::vector<std::uint64_t> init{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(solve(op, sys, init), general_ir_sequential(op, sys, init));
+}
+
+}  // namespace
+}  // namespace ir::core

@@ -1,0 +1,121 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/monoids.hpp"
+#include "core/general_ir.hpp"
+#include "core/ordinary_ir.hpp"
+#include "testing/random_systems.hpp"
+
+namespace ir::core {
+namespace {
+
+TEST(TraceTest, PaperFigure1Style) {
+  // Reconstruction of the Figure-1 narrative: some cells keep their initial
+  // values, others accumulate multi-element traces through f/g chaining.
+  //   i0: A[1] := A[0]*A[1]
+  //   i1: A[3] := A[1]*A[3]     (f hits g(0): chain grows)
+  //   i2: A[5] := A[3]*A[5]     (chain grows again)
+  //   i3: A[7] := A[2]*A[7]     (fresh chain)
+  OrdinaryIrSystem sys{8, {0, 1, 3, 2}, {1, 3, 5, 7}};
+  EXPECT_EQ(ordinary_trace(sys, 0), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(ordinary_trace(sys, 1), (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_EQ(ordinary_trace(sys, 2), (std::vector<std::size_t>{0, 1, 3, 5}));
+  EXPECT_EQ(ordinary_trace(sys, 3), (std::vector<std::size_t>{2, 7}));
+
+  const auto finals = ordinary_final_traces(sys);
+  EXPECT_EQ(finals[0], (std::vector<std::size_t>{0}));  // untouched
+  EXPECT_EQ(finals[5], (std::vector<std::size_t>{0, 1, 3, 5}));
+  EXPECT_EQ(render_trace(finals[5]), "A[0]*A[1]*A[3]*A[5]");
+}
+
+TEST(TraceTest, TraceProductEqualsSolverOutput) {
+  // Lemma 1 as an executable statement: the ⊙-product of the extracted trace
+  // equals what the solvers compute.
+  support::SplitMix64 rng(11);
+  const auto sys = testing::random_ordinary_system(50, 80, rng);
+  std::vector<std::string> init(80);
+  for (std::size_t c = 0; c < 80; ++c) init[c] = "[" + std::to_string(c) + "]";
+  const auto out = ordinary_ir_sequential(algebra::ConcatMonoid{}, sys, init);
+  const auto finals = ordinary_final_traces(sys);
+  for (std::size_t x = 0; x < 80; ++x) {
+    std::string product;
+    for (std::size_t cell : finals[x]) product += init[cell];
+    EXPECT_EQ(product, out[x]) << "cell " << x;
+  }
+}
+
+TEST(TraceTest, RenderTraceCustomSymbols) {
+  EXPECT_EQ(render_trace({1, 2}, "X", " op "), "X[1] op X[2]");
+  EXPECT_EQ(render_trace({}), "");
+}
+
+TEST(TraceTest, IterationOutOfRangeThrows) {
+  OrdinaryIrSystem sys{4, {0}, {1}};
+  EXPECT_THROW(ordinary_trace(sys, 1), support::ContractViolation);
+}
+
+TEST(TraceTreeTest, PaperFigure4ListVersusTree) {
+  // IR loop A[i] := A[i-1] * A[i] has list traces; the GIR loop
+  // A[i] := A[i-1] * A[i-2] has tree traces (paper Figure 4).
+  OrdinaryIrSystem list_sys{5, {0, 1, 2, 3}, {1, 2, 3, 4}};
+  EXPECT_EQ(render_trace(ordinary_trace(list_sys, 3)), "A[0]*A[1]*A[2]*A[3]*A[4]");
+
+  GeneralIrSystem tree_sys;
+  tree_sys.cells = 5;
+  for (std::size_t i = 2; i < 5; ++i) {
+    tree_sys.f.push_back(i - 1);
+    tree_sys.g.push_back(i);
+    tree_sys.h.push_back(i - 2);
+  }
+  const auto tree = general_trace_tree(tree_sys, 2);  // computes A[4]
+  // W(i2) = W(i1) * W(i0); W(i1) = W(i0) * A[1]; W(i0) = A[1] * A[0].
+  EXPECT_EQ(tree.render(), "(((A[1]*A[0])*A[1])*(A[1]*A[0]))");
+}
+
+TEST(TraceTreeTest, Figure5FibonacciExpansion) {
+  // X_i = X_{i-1} * X_{i-2}, four equations: the trace of X_4 multiplies
+  // A[0]^fib and A[1]^fib — leaf_counts is the Figure-5 statement.
+  GeneralIrSystem sys;
+  sys.cells = 6;
+  for (std::size_t i = 2; i < 6; ++i) {
+    sys.f.push_back(i - 1);
+    sys.g.push_back(i);
+    sys.h.push_back(i - 2);
+  }
+  const auto tree = general_trace_tree(sys, 3);  // the equation writing A[5]
+  const auto counts = tree.leaf_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], (std::pair<std::size_t, std::uint64_t>{0, 3}));  // fib
+  EXPECT_EQ(counts[1], (std::pair<std::size_t, std::uint64_t>{1, 5}));  // fib
+}
+
+TEST(TraceTreeTest, LeafCountsMatchCapExponents) {
+  support::SplitMix64 rng(13);
+  const auto sys = testing::random_general_system(12, 16, rng, 0.7);
+  const auto exponents = general_ir_exponents(sys);
+  for (std::size_t i = 0; i < sys.iterations(); ++i) {
+    const auto tree = general_trace_tree(sys, i, 1u << 20);
+    const auto counts = tree.leaf_counts();
+    ASSERT_EQ(counts.size(), exponents[i].size()) << "iteration " << i;
+    for (std::size_t k = 0; k < counts.size(); ++k) {
+      EXPECT_EQ(counts[k].first, exponents[i][k].first);
+      EXPECT_EQ(support::BigUint(counts[k].second), exponents[i][k].second);
+    }
+  }
+}
+
+TEST(TraceTreeTest, ExponentialGuardTriggers) {
+  GeneralIrSystem sys;
+  sys.cells = 200;
+  for (std::size_t i = 2; i < 120; ++i) {
+    sys.f.push_back(i - 1);
+    sys.g.push_back(i);
+    sys.h.push_back(i - 2);
+  }
+  EXPECT_THROW(general_trace_tree(sys, sys.iterations() - 1, 10000),
+               support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace ir::core

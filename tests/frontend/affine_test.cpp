@@ -1,0 +1,64 @@
+#include "frontend/affine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ir::frontend {
+namespace {
+
+TEST(AffineExprTest, ConstantEvaluates) {
+  const auto e = AffineExpr::constant(42);
+  EXPECT_EQ(e.evaluate({}), 42);
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.variables_needed(), 0u);
+}
+
+TEST(AffineExprTest, LinearCombination) {
+  // 7*k + j - 1  with vars (j, k) = (3, 10)
+  auto e = AffineExpr::variable(1, 7);
+  e += AffineExpr::variable(0);
+  e -= AffineExpr::constant(1);
+  const std::int64_t vars[] = {3, 10};
+  EXPECT_EQ(e.evaluate(vars), 72);
+  EXPECT_EQ(e.variables_needed(), 2u);
+}
+
+TEST(AffineExprTest, TermsMergeAndCancel) {
+  auto e = AffineExpr::variable(2, 5);
+  e += AffineExpr::variable(2, -5);
+  EXPECT_TRUE(e.is_constant());
+  e += AffineExpr::variable(1, 3);
+  e += AffineExpr::variable(1, 4);
+  EXPECT_EQ(e.terms().size(), 1u);
+  EXPECT_EQ(e.terms()[0].second, 7);
+}
+
+TEST(AffineExprTest, ScalingAndZeroFactor) {
+  auto e = AffineExpr::variable(0, 2) + AffineExpr::constant(3);
+  e *= 4;
+  const std::int64_t vars[] = {5};
+  EXPECT_EQ(e.evaluate(vars), 52);
+  e *= 0;
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.constant_part(), 0);
+}
+
+TEST(AffineExprTest, EvaluateOutOfScopeThrows) {
+  const auto e = AffineExpr::variable(3);
+  const std::int64_t vars[] = {1, 2};
+  EXPECT_THROW((void)e.evaluate(vars), support::ContractViolation);
+}
+
+TEST(AffineExprTest, Rendering) {
+  const std::string names_array[] = {std::string("j"), std::string("k")};
+  const std::span<const std::string> names(names_array);
+  EXPECT_EQ(AffineExpr::constant(0).to_string(names), "0");
+  EXPECT_EQ(AffineExpr::constant(-5).to_string(names), "-5");
+  EXPECT_EQ(AffineExpr::variable(1).to_string(names), "k");
+  auto e = AffineExpr::variable(1, 7) + AffineExpr::variable(0) - AffineExpr::constant(1);
+  EXPECT_EQ(e.to_string(names), "j + 7*k - 1");
+  auto neg = AffineExpr::variable(0, -1) + AffineExpr::constant(2);
+  EXPECT_EQ(neg.to_string(names), "-j + 2");
+}
+
+}  // namespace
+}  // namespace ir::frontend

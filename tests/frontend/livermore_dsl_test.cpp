@@ -1,0 +1,137 @@
+// The Livermore kernels' recurrence-carrying loops written in the DSL, then
+// classified through parse -> lower -> classify — tying the frontend to the
+// paper's Section-1 analysis.  (Data-dependent kernels cannot be written in
+// the affine DSL at all, which is itself the point of the IR frame's
+// restriction on f, g, h.)
+#include <gtest/gtest.h>
+
+#include "core/classify.hpp"
+#include "frontend/lower.hpp"
+#include "frontend/parser.hpp"
+
+namespace ir::frontend {
+namespace {
+
+core::LoopClass classify_dsl(const char* source) {
+  return core::classify(lower(parse_program(source)).system);
+}
+
+TEST(LivermoreDslTest, Kernel1HydroIsStreaming) {
+  EXPECT_EQ(classify_dsl(R"(
+array X[1001]
+array Y[1001]
+array Z[1012]
+for k = 0 .. 1000 {
+  X[k] = Y[k] . Z[k+10]
+}
+)"),
+            core::LoopClass::kNoRecurrence);
+}
+
+TEST(LivermoreDslTest, Kernel5TridiagonalIsLinear) {
+  EXPECT_EQ(classify_dsl(R"(
+array X[1001]
+for i = 1 .. 1000 {
+  X[i] = X[i-1] . X[i]
+}
+)"),
+            core::LoopClass::kLinearRecurrence);
+}
+
+TEST(LivermoreDslTest, Kernel6DenseRecurrenceIsGeneral) {
+  EXPECT_EQ(classify_dsl(R"(
+array W[101]
+for i = 1 .. 100 {
+  for k = 0 .. i - 1 {
+    W[i] = W[i - k - 1] . W[i]
+  }
+}
+)"),
+            core::LoopClass::kGeneralIndexed);
+}
+
+TEST(LivermoreDslTest, Kernel11FirstSumIsLinear) {
+  EXPECT_EQ(classify_dsl(R"(
+array X[1001]
+array Y[1001]
+for k = 1 .. 1000 {
+  X[k] = X[k-1] . Y[k]
+}
+)"),
+            core::LoopClass::kLinearRecurrence);
+}
+
+TEST(LivermoreDslTest, Kernel12FirstDifferenceIsStreaming) {
+  EXPECT_EQ(classify_dsl(R"(
+array X[1001]
+array Y[1002]
+for k = 0 .. 1000 {
+  X[k] = Y[k+1] . Y[k]
+}
+)"),
+            core::LoopClass::kNoRecurrence);
+}
+
+TEST(LivermoreDslTest, Kernel23FullIsGeneralFragmentIsChains) {
+  // Full: both the row (j-1) and column (k-1) reads carry dependences.
+  EXPECT_EQ(classify_dsl(R"(
+array X[103][7]
+for k = 1 .. 100 {
+  for j = 1 .. 5 {
+    X[k][j] = X[k][j-1] . X[k-1][j]
+  }
+}
+)"),
+            core::LoopClass::kGeneralIndexed);
+  // Paper's fragment: only the column dependence — per-column chains.
+  EXPECT_EQ(classify_dsl(R"(
+array X[103][7]
+for j = 1 .. 6 {
+  for k = 1 .. 100 {
+    X[k][j] = X[k-1][j] . X[k][j]
+  }
+}
+)"),
+            core::LoopClass::kLinearRecurrence);
+}
+
+TEST(LivermoreDslTest, InterchangedFragmentBecomesOrdinaryIndexed) {
+  // Same fragment with the loops interchanged (k outer): the column chains
+  // are now interleaved, so dependences are no longer "previous iteration" —
+  // the ordinary indexed class, exactly what the paper's Section-2 machinery
+  // exists for.
+  EXPECT_EQ(classify_dsl(R"(
+array X[103][7]
+for k = 1 .. 100 {
+  for j = 1 .. 6 {
+    X[k][j] = X[k-1][j] . X[k][j]
+  }
+}
+)"),
+            core::LoopClass::kOrdinaryIndexed);
+}
+
+TEST(LivermoreDslTest, FibonacciStyleIsGeneral) {
+  EXPECT_EQ(classify_dsl(R"(
+array A[64]
+for i = 2 .. 63 {
+  A[i] = A[i-1] . A[i-2]
+}
+)"),
+            core::LoopClass::kGeneralIndexed);
+}
+
+TEST(LivermoreDslTest, ReductionIsLinear) {
+  // Kernel 3 (inner product): the accumulator as a 1-cell array.
+  EXPECT_EQ(classify_dsl(R"(
+array Q[1]
+array ZX[1001]
+for k = 0 .. 1000 {
+  Q[0] = ZX[k] . Q[0]
+}
+)"),
+            core::LoopClass::kLinearRecurrence);
+}
+
+}  // namespace
+}  // namespace ir::frontend

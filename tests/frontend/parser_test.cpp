@@ -1,0 +1,139 @@
+#include "frontend/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ir::frontend {
+namespace {
+
+constexpr const char* kLoop23 = R"(
+# Livermore 23 fragment (paper Section 3)
+array X[103][7]
+array Y[103]
+for j = 1 .. 6 {
+  for k = 1 .. 100 {
+    X[k][j] = X[k-1][j] . X[k][j]
+  }
+}
+)";
+
+TEST(ParserTest, ParsesLoop23Fragment) {
+  const auto program = parse_program(kLoop23);
+  ASSERT_EQ(program.arrays.size(), 2u);
+  EXPECT_EQ(program.arrays[0].name, "X");
+  EXPECT_EQ(program.arrays[0].extents, (std::vector<std::size_t>{103, 7}));
+  ASSERT_EQ(program.loops.size(), 2u);
+  EXPECT_EQ(program.loops[0].var, "j");
+  EXPECT_EQ(program.loops[1].var, "k");
+  ASSERT_EQ(program.body.size(), 1u);
+  const auto& statement = program.body[0];
+  EXPECT_EQ(statement.target.array, 0u);
+  // lhs subscript 0 is k-1.
+  const std::int64_t vars[] = {2, 10};  // j=2, k=10
+  EXPECT_EQ(statement.lhs.subscripts[0].evaluate(vars), 9);
+  EXPECT_EQ(statement.lhs.subscripts[1].evaluate(vars), 2);
+}
+
+TEST(ParserTest, RoundTripsThroughToString) {
+  const auto program = parse_program(kLoop23);
+  const auto again = parse_program(program.to_string());
+  EXPECT_EQ(again.to_string(), program.to_string());
+}
+
+TEST(ParserTest, MultipleStatementsAndSemicolons) {
+  const auto program = parse_program(R"(
+array A[10]
+array B[10]
+for i = 1 .. 9 {
+  A[i] = A[i-1] . A[i];
+  B[i] = A[i] . B[i]
+}
+)");
+  EXPECT_EQ(program.body.size(), 2u);
+}
+
+TEST(ParserTest, AffineSubscriptForms) {
+  const auto program = parse_program(R"(
+array A[100]
+for i = 0 .. 9 {
+  A[7*i + 3] = A[i*2] . A[-i + 50]
+}
+)");
+  const std::int64_t vars[] = {4};
+  EXPECT_EQ(program.body[0].target.subscripts[0].evaluate(vars), 31);
+  EXPECT_EQ(program.body[0].lhs.subscripts[0].evaluate(vars), 8);
+  EXPECT_EQ(program.body[0].rhs.subscripts[0].evaluate(vars), 46);
+}
+
+TEST(ParserTest, BoundsMayUseOuterVariables) {
+  const auto program = parse_program(R"(
+array A[64]
+for i = 0 .. 7 {
+  for k = i .. 2*i + 1 {
+    A[k+8] = A[k] . A[k+8]
+  }
+}
+)");
+  EXPECT_EQ(program.loops[1].lower, AffineExpr::variable(0));
+}
+
+TEST(ParserTest, SyntaxErrorsCarryPositions) {
+  try {
+    (void)parse_program("array A[4]\nfor i = 0 .. 3 {\n  A[i] = A[i] @ A[i]\n}\n");
+    FAIL() << "expected throw";
+  } catch (const support::ContractViolation& error) {
+    EXPECT_NE(std::string(error.what()).find("parse error at 3:"), std::string::npos);
+  }
+}
+
+TEST(ParserTest, RejectsMalformedPrograms) {
+  // Undeclared array.
+  EXPECT_THROW((void)parse_program("for i = 0 .. 3 { A[i] = A[i] . A[i] }"),
+               support::ContractViolation);
+  // Unknown loop variable in a subscript.
+  EXPECT_THROW(
+      (void)parse_program("array A[4]\nfor i = 0 .. 3 { A[q] = A[i] . A[i] }"),
+      support::ContractViolation);
+  // Missing operator.
+  EXPECT_THROW((void)parse_program("array A[4]\nfor i = 0 .. 3 { A[i] = A[i] }"),
+               support::ContractViolation);
+  // Statements mixed with a nested loop.
+  EXPECT_THROW((void)parse_program(R"(
+array A[9]
+for i = 1 .. 2 {
+  A[i] = A[i] . A[i]
+  for k = 0 .. 1 { A[k] = A[k] . A[k] }
+}
+)"),
+               support::ContractViolation);
+  // Shadowed loop variable.
+  EXPECT_THROW((void)parse_program(R"(
+array A[9]
+for i = 1 .. 2 {
+  for i = 1 .. 2 { A[i] = A[i] . A[i] }
+}
+)"),
+               support::ContractViolation);
+  // Trailing garbage.
+  EXPECT_THROW(
+      (void)parse_program("array A[4]\nfor i = 0 .. 3 { A[i] = A[i] . A[i] } extra"),
+      support::ContractViolation);
+  // Scalar array reference (no subscript).
+  EXPECT_THROW((void)parse_program("array A[4]\nfor i = 0 .. 3 { A = A . A }"),
+               support::ContractViolation);
+}
+
+TEST(ParserTest, CommentsEverywhere) {
+  const auto program = parse_program(R"(
+# leading
+array A[4]   # trailing
+for i = 0 .. 3 {  # loop
+  # inside
+  A[i] = A[i] . A[i]  # statement
+}
+# after
+)");
+  EXPECT_EQ(program.body.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ir::frontend

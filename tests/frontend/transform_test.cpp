@@ -1,0 +1,250 @@
+#include "frontend/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "algebra/monoids.hpp"
+#include "core/classify.hpp"
+#include "core/general_ir.hpp"
+#include "frontend/parser.hpp"
+
+namespace ir::frontend {
+namespace {
+
+constexpr const char* kFragmentJOuter = R"(
+array X[103][7]
+for j = 1 .. 6 {
+  for k = 1 .. 100 {
+    X[k][j] = X[k-1][j] . X[k][j]
+  }
+}
+)";
+
+/// Execute both lowered systems with an exact monoid and compare.
+void expect_same_results(const LoweredProgram& a, const LoweredProgram& b) {
+  algebra::ModMulMonoid op(1'000'000'007ull);
+  ASSERT_EQ(a.system.cells, b.system.cells);
+  std::vector<std::uint64_t> init(a.system.cells);
+  for (std::size_t c = 0; c < init.size(); ++c) init[c] = 1 + c % 89;
+  EXPECT_EQ(core::general_ir_sequential(op, a.system, init),
+            core::general_ir_sequential(op, b.system, init));
+}
+
+TEST(InterchangeTest, SwapsLoopsAndRenamesVariables) {
+  const auto program = parse_program(kFragmentJOuter);
+  const auto swapped = interchange(program, 0, 1);
+  EXPECT_EQ(swapped.loops[0].var, "k");
+  EXPECT_EQ(swapped.loops[1].var, "j");
+  // The subscript k-1 must still mean "k minus one" after renaming.
+  const std::int64_t vars[] = {10, 2};  // k=10 (now var 0), j=2
+  EXPECT_EQ(swapped.body[0].lhs.subscripts[0].evaluate(vars), 9);
+  EXPECT_EQ(swapped.body[0].lhs.subscripts[1].evaluate(vars), 2);
+}
+
+TEST(InterchangeTest, IdentityAndRoundTrip) {
+  const auto program = parse_program(kFragmentJOuter);
+  EXPECT_EQ(interchange(program, 1, 1).to_string(), program.to_string());
+  EXPECT_EQ(interchange(interchange(program, 0, 1), 0, 1).to_string(),
+            program.to_string());
+}
+
+TEST(InterchangeTest, FragmentInterchangeIsLegalAndChangesClass) {
+  // The paper connection: j-outer gives per-column consecutive chains
+  // (linear); k-outer interleaves them (ordinary indexed).  Interchange is
+  // legal — the column dependence never crosses columns.
+  const auto j_outer = parse_program(kFragmentJOuter);
+  const auto k_outer = interchange(j_outer, 0, 1);
+
+  const auto a = lower(j_outer);
+  const auto b = lower(k_outer);
+  EXPECT_EQ(core::classify(a.system), core::LoopClass::kLinearRecurrence);
+  EXPECT_EQ(core::classify(b.system), core::LoopClass::kOrdinaryIndexed);
+
+  const auto check = check_dependence_preservation(a, b);
+  EXPECT_TRUE(check.preserved) << check.violation;
+  EXPECT_GT(check.pairs_checked, 0u);
+  expect_same_results(a, b);
+}
+
+TEST(InterchangeTest, IllegalInterchangeIsDetected) {
+  // X[k][j] reads X[k-1][j-1]: the diagonal dependence makes (j,k) -> (k,j)
+  // interchange reverse it... actually the diagonal dependence (+1, +1)
+  // survives interchange; use the (+1, -1) anti-diagonal, which reverses.
+  const auto program = parse_program(R"(
+array X[103][9]
+for j = 1 .. 7 {
+  for k = 1 .. 100 {
+    X[k][j] = X[k-1][j+1] . X[k][j]
+  }
+}
+)");
+  const auto swapped = interchange(program, 0, 1);
+  const auto a = lower(program);
+  const auto b = lower(swapped);
+  const auto check = check_dependence_preservation(a, b);
+  EXPECT_FALSE(check.preserved);
+  EXPECT_NE(check.violation.find("dependence reversed"), std::string::npos);
+}
+
+TEST(InterchangeTest, TriangularNestRejected) {
+  const auto program = parse_program(R"(
+array A[40]
+for i = 0 .. 3 {
+  for k = 0 .. i {
+    A[10*i + k + 1] = A[10*i + k] . A[10*i + k + 1]
+  }
+}
+)");
+  EXPECT_THROW((void)interchange(program, 0, 1), support::ContractViolation);
+}
+
+TEST(InterchangeTest, OutOfRangeLevels) {
+  const auto program = parse_program(kFragmentJOuter);
+  EXPECT_THROW((void)interchange(program, 0, 2), support::ContractViolation);
+}
+
+TEST(ReverseTest, StreamingLoopReversalIsLegal) {
+  const auto program = parse_program(R"(
+array A[20]
+array B[20]
+for i = 2 .. 17 {
+  A[i] = B[i-1] . B[i+2]
+}
+)");
+  const auto reversed = reverse(program, 0);
+  const auto check = check_dependence_preservation(lower(program), lower(reversed),
+                                                   reverse_iteration_map(program, 0));
+  EXPECT_TRUE(check.preserved) << check.violation;
+  expect_same_results(lower(program), lower(reversed));
+}
+
+TEST(ReverseTest, ChainReversalIsIllegal) {
+  const auto program = parse_program(R"(
+array A[20]
+for i = 1 .. 17 {
+  A[i] = A[i-1] . A[i]
+}
+)");
+  const auto reversed = reverse(program, 0);
+  // The reversed program runs i = 17 first via the substitution, so A[i-1]
+  // now reads a value that has not been produced yet.
+  const auto check = check_dependence_preservation(lower(program), lower(reversed),
+                                                   reverse_iteration_map(program, 0));
+  EXPECT_FALSE(check.preserved);
+  EXPECT_NE(check.violation.find("flow dependence reversed"), std::string::npos);
+}
+
+TEST(ReverseTest, SubstitutionCoversTriangularInnerBounds) {
+  const auto program = parse_program(R"(
+array A[40]
+for i = 0 .. 3 {
+  for k = i .. 3 {
+    A[10*i + k + 1] = A[10*i + k] . A[10*i + k + 1]
+  }
+}
+)");
+  const auto reversed = reverse(program, 0);
+  // Same multiset of executed iterations: lowering must produce the same
+  // equation multiset (order differs).
+  auto a = lower(program).system;
+  auto b = lower(reversed).system;
+  auto key = [](const core::GeneralIrSystem& sys, std::size_t e) {
+    return std::tuple{sys.f[e], sys.g[e], sys.h[e]};
+  };
+  std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> ka, kb;
+  for (std::size_t e = 0; e < a.iterations(); ++e) ka.push_back(key(a, e));
+  for (std::size_t e = 0; e < b.iterations(); ++e) kb.push_back(key(b, e));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  EXPECT_EQ(ka, kb);
+}
+
+TEST(StripMineTest, ExecutionOrderIsBitIdentical) {
+  const auto program = parse_program(R"(
+array A[101]
+for i = 1 .. 100 {
+  A[i] = A[i-1] . A[i]
+}
+)");
+  const auto tiled = strip_mine(program, 0, 10);
+  ASSERT_EQ(tiled.loops.size(), 2u);
+  EXPECT_EQ(tiled.loops[0].var, "i__o");
+  EXPECT_EQ(tiled.loops[1].var, "i__i");
+  // Strip-mining never reorders: the lowered equation SEQUENCES are equal.
+  const auto a = lower(program).system;
+  const auto b = lower(tiled).system;
+  EXPECT_EQ(a.f, b.f);
+  EXPECT_EQ(a.g, b.g);
+  EXPECT_EQ(a.h, b.h);
+}
+
+TEST(StripMineTest, ComposesWithInterchangeIntoBlockedSchedule) {
+  // chain -> strip-mine -> (tile, intra) nest; interchanging the two tile
+  // loops of a 2-D streaming loop builds the classic blocked schedule.
+  const auto program = parse_program(R"(
+array X[64][64]
+array Y[64][64]
+for r = 0 .. 63 {
+  for c = 0 .. 63 {
+    X[r][c] = Y[r][c] . Y[c][r]
+  }
+}
+)");
+  const auto tiled_r = strip_mine(program, 0, 16);
+  const auto tiled_rc = strip_mine(tiled_r, 2, 16);
+  ASSERT_EQ(tiled_rc.loops.size(), 4u);
+  // (r__o, r__i, c__o, c__i) -> (r__o, c__o, r__i, c__i)
+  const auto blocked = interchange(tiled_rc, 1, 2);
+  EXPECT_EQ(blocked.loops[1].var, "c__o");
+  const auto check = check_dependence_preservation(lower(program), lower(program));
+  EXPECT_TRUE(check.preserved);
+  // The blocked schedule must still compute the same values (streaming loop:
+  // any order works; verified by execution).
+  expect_same_results(lower(program), lower(blocked));
+}
+
+TEST(StripMineTest, RejectsRaggedTiles) {
+  const auto program = parse_program(R"(
+array A[101]
+for i = 1 .. 100 {
+  A[i] = A[i-1] . A[i]
+}
+)");
+  EXPECT_THROW((void)strip_mine(program, 0, 7), support::ContractViolation);
+  EXPECT_THROW((void)strip_mine(program, 0, 0), support::ContractViolation);
+  EXPECT_THROW((void)strip_mine(program, 1, 10), support::ContractViolation);
+}
+
+TEST(DependenceCheckTest, DetectsMissingIterations) {
+  const auto a = lower(parse_program(R"(
+array A[10]
+for i = 1 .. 5 { A[i] = A[i-1] . A[i] }
+)"));
+  const auto b = lower(parse_program(R"(
+array A[10]
+for i = 1 .. 4 { A[i] = A[i-1] . A[i] }
+)"));
+  const auto check = check_dependence_preservation(a, b);
+  EXPECT_FALSE(check.preserved);
+  EXPECT_NE(check.violation.find("iteration counts differ"), std::string::npos);
+}
+
+TEST(DependenceCheckTest, SelfCheckAlwaysPasses) {
+  const auto lowered = lower(parse_program(kFragmentJOuter));
+  const auto check = check_dependence_preservation(lowered, lowered);
+  EXPECT_TRUE(check.preserved);
+}
+
+TEST(DependenceCheckTest, RequiresRecordedVars) {
+  LowerOptions no_vars;
+  no_vars.record_vars = false;
+  const auto program = parse_program(kFragmentJOuter);
+  const auto a = lower(program);
+  const auto b = lower(program, no_vars);
+  EXPECT_THROW((void)check_dependence_preservation(a, b), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace ir::frontend

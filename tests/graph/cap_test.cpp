@@ -1,0 +1,211 @@
+#include "graph/cap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "support/rng.hpp"
+
+namespace ir::graph {
+namespace {
+
+using support::BigUint;
+
+/// counts[v] as a map for order-independent comparison.
+std::map<NodeId, BigUint> as_map(const std::vector<Edge>& edges) {
+  std::map<NodeId, BigUint> m;
+  for (const auto& e : edges) m[e.to] += e.label;
+  return m;
+}
+
+TEST(CapTest, SingleEdge) {
+  LabeledDag g(2);
+  g.add_edge(0, 1);
+  const auto cap = cap_closure(g);
+  EXPECT_EQ(as_map(cap.counts[0]), (std::map<NodeId, BigUint>{{1, 1}}));
+  EXPECT_EQ(as_map(cap.counts[1]), (std::map<NodeId, BigUint>{{1, 1}}));  // leaf self
+}
+
+TEST(CapTest, PathMultiplication) {
+  // Paper Figure 7: i -[x]-> k -[y]-> j collapses to i -[x*y]-> j.
+  LabeledDag g(3);
+  g.add_edge(0, 1, PathCount{3});
+  g.add_edge(1, 2, PathCount{5});
+  const auto cap = cap_closure(g);
+  EXPECT_EQ(as_map(cap.counts[0]), (std::map<NodeId, BigUint>{{2, 15}}));
+}
+
+TEST(CapTest, PathAddition) {
+  // Paper Figure 8: parallel edges merge by summing labels.
+  LabeledDag g(2);
+  g.add_edge(0, 1, PathCount{2});
+  g.add_edge(0, 1, PathCount{7});
+  const auto cap = cap_closure(g);
+  EXPECT_EQ(as_map(cap.counts[0]), (std::map<NodeId, BigUint>{{1, 9}}));
+}
+
+TEST(CapTest, DiamondCountsBothPaths) {
+  //    0 -> 1 -> 3, 0 -> 2 -> 3: two paths from 0 to leaf 3.
+  LabeledDag g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const auto cap = cap_closure(g);
+  EXPECT_EQ(as_map(cap.counts[0]), (std::map<NodeId, BigUint>{{3, 2}}));
+}
+
+TEST(CapTest, DoubleChainGivesPowersOfTwo) {
+  // Paper's CAP example: a double chain v0 => v1 => ... => v_{n-1}
+  // (two edges per hop) has 2^(n-1-i) paths from v_i to the leaf.
+  const std::size_t n = 9;
+  LabeledDag g(n);
+  for (std::size_t v = 0; v + 1 < n; ++v) {
+    g.add_edge(v, v + 1);
+    g.add_edge(v, v + 1);
+  }
+  const auto cap = cap_closure(g);
+  for (std::size_t v = 0; v + 1 < n; ++v) {
+    EXPECT_EQ(as_map(cap.counts[v]),
+              (std::map<NodeId, BigUint>{{n - 1, BigUint::pow(BigUint(2), n - 1 - v)}}))
+        << "node " << v;
+  }
+}
+
+TEST(CapTest, FibonacciChain) {
+  // The paper's GIR motivator A[i] := A[i-1]*A[i-2]: node i points at i-1
+  // and i-2; the path counts to the two leaves are Fibonacci numbers.
+  const std::size_t n = 40;
+  LabeledDag g(n);
+  for (std::size_t i = 2; i < n; ++i) {
+    g.add_edge(i, i - 1);
+    g.add_edge(i, i - 2);
+  }
+  const auto cap = cap_closure(g);
+  std::vector<BigUint> fib(n);
+  fib[0] = 1;
+  fib[1] = 1;
+  for (std::size_t i = 2; i < n; ++i) fib[i] = fib[i - 1] + fib[i - 2];
+  for (std::size_t i = 2; i < n; ++i) {
+    // paths(i -> leaf 1) = fib(i-1), paths(i -> leaf 0) = fib(i-2).
+    EXPECT_EQ(as_map(cap.counts[i]),
+              (std::map<NodeId, BigUint>{{0, fib[i - 2]}, {1, fib[i - 1]}}))
+        << "node " << i;
+  }
+}
+
+TEST(CapTest, RoundsAreLogarithmic) {
+  // A single chain of length 256 must close in ~log2(256) rounds.
+  const std::size_t n = 257;
+  LabeledDag g(n);
+  for (std::size_t v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  const auto cap = cap_closure(g);
+  EXPECT_LE(cap.rounds, 9u);
+  EXPECT_GE(cap.rounds, 8u);
+  EXPECT_EQ(as_map(cap.counts[0]), (std::map<NodeId, BigUint>{{n - 1, 1}}));
+}
+
+TEST(CapTest, CyclicGraphRejected) {
+  LabeledDag g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW(cap_closure(g), support::ContractViolation);
+}
+
+TEST(CapTest, IsolatedNodesAreLeaves) {
+  LabeledDag g(3);
+  g.add_edge(0, 1);
+  const auto cap = cap_closure(g);
+  EXPECT_EQ(as_map(cap.counts[2]), (std::map<NodeId, BigUint>{{2, 1}}));
+}
+
+TEST(CapTest, DeferredCoalescingMatches) {
+  LabeledDag g(6);
+  g.add_edge(5, 4);
+  g.add_edge(5, 3);
+  g.add_edge(4, 3);
+  g.add_edge(4, 2);
+  g.add_edge(3, 1);
+  g.add_edge(3, 0);
+  g.add_edge(2, 0);
+  CapOptions eager, deferred;
+  deferred.coalesce_each_round = false;
+  const auto a = cap_closure(g, eager);
+  const auto b = cap_closure(g, deferred);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(as_map(a.counts[v]), as_map(b.counts[v]));
+  EXPECT_GE(b.peak_edges, a.peak_edges);
+}
+
+TEST(CapTest, ParallelPoolMatchesSequential) {
+  support::SplitMix64 rng(77);
+  LabeledDag g(64);
+  for (NodeId v = 1; v < 64; ++v) {
+    const std::size_t fanout = 1 + rng.below(3);
+    for (std::size_t e = 0; e < fanout; ++e) {
+      g.add_edge(v, rng.below(v));  // edges point to strictly smaller ids: acyclic
+    }
+  }
+  parallel::ThreadPool pool(4);
+  CapOptions with_pool;
+  with_pool.pool = &pool;
+  const auto seq = cap_closure(g);
+  const auto par = cap_closure(g, with_pool);
+  for (NodeId v = 0; v < 64; ++v) EXPECT_EQ(as_map(seq.counts[v]), as_map(par.counts[v]));
+}
+
+TEST(CapTest, MatchesReferenceDpOnRandomDags) {
+  for (std::uint64_t seed : {1u, 9u, 23u, 51u}) {
+    support::SplitMix64 rng(seed);
+    const std::size_t n = 40;
+    LabeledDag g(n);
+    for (NodeId v = 1; v < n; ++v) {
+      const std::size_t fanout = rng.below(4);  // some nodes become leaves
+      for (std::size_t e = 0; e < fanout; ++e) {
+        g.add_edge(v, rng.below(v), PathCount{1 + rng.below(3)});
+      }
+    }
+    const auto cap = cap_closure(g);
+    const auto reference = path_counts_reference(g);
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(as_map(cap.counts[v]), as_map(reference[v])) << "seed " << seed
+                                                             << " node " << v;
+    }
+  }
+}
+
+TEST(CapTest, MatchesExhaustiveEnumerationOnTinyDags) {
+  support::SplitMix64 rng(5);
+  const std::size_t n = 10;
+  LabeledDag g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    const std::size_t fanout = rng.below(3);
+    for (std::size_t e = 0; e < fanout; ++e) {
+      g.add_edge(v, rng.below(v), PathCount{1 + rng.below(2)});
+    }
+  }
+  const auto cap = cap_closure(g);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto& e : cap.counts[v]) {
+      if (e.to == v) continue;  // leaf self-entry
+      EXPECT_EQ(e.label, count_paths_exhaustive(g, v, e.to));
+    }
+  }
+}
+
+TEST(CapTest, ExponentialCountsNeedBigUint) {
+  // 120-node double chain: 2^119 paths — far beyond 64 bits.
+  const std::size_t n = 120;
+  LabeledDag g(n);
+  for (std::size_t v = 0; v + 1 < n; ++v) {
+    g.add_edge(v, v + 1);
+    g.add_edge(v, v + 1);
+  }
+  const auto cap = cap_closure(g);
+  const auto counts = as_map(cap.counts[0]);
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_FALSE(counts.begin()->second.fits_u64());
+  EXPECT_EQ(counts.begin()->second, BigUint::pow(BigUint(2), 119));
+}
+
+}  // namespace
+}  // namespace ir::graph

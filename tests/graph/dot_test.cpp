@@ -1,0 +1,62 @@
+#include "graph/dot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ir::graph {
+namespace {
+
+LabeledDag fibonacci_graph(std::size_t n) {
+  LabeledDag g(n);
+  for (std::size_t i = 2; i < n; ++i) {
+    g.add_edge(i, i - 1);
+    g.add_edge(i, i - 2);
+  }
+  return g;
+}
+
+TEST(DotTest, GraphStructureRendered) {
+  const auto g = fibonacci_graph(4);
+  const auto dot = to_dot(g, {"A0", "A1", "i0", "i1"});
+  EXPECT_NE(dot.find("digraph \"dependences\""), std::string::npos);
+  EXPECT_NE(dot.find("\"i0\" -> \"A1\""), std::string::npos);
+  EXPECT_NE(dot.find("\"i1\" -> \"i0\""), std::string::npos);
+  // Leaves get the box style and a shared rank.
+  EXPECT_NE(dot.find("\"A0\" [shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("rank=same; \"A0\"; \"A1\";"), std::string::npos);
+  // Unit labels are omitted.
+  EXPECT_EQ(dot.find("label=\"1\""), std::string::npos);
+}
+
+TEST(DotTest, MultiplicityLabelsShown) {
+  LabeledDag g(2);
+  g.add_edge(0, 1, PathCount{5});
+  const auto dot = to_dot(g);
+  EXPECT_NE(dot.find("\"v0\" -> \"v1\" [label=\"5\"]"), std::string::npos);
+}
+
+TEST(DotTest, NamesAreEscaped) {
+  LabeledDag g(1);
+  const auto dot = to_dot(g, {"say \"hi\""});
+  EXPECT_NE(dot.find("\\\"hi\\\""), std::string::npos);
+}
+
+TEST(DotTest, CapResultRendersClosureCounts) {
+  const auto g = fibonacci_graph(6);
+  const auto cap = cap_closure(g);
+  const auto dot = to_dot(cap, g.node_count());
+  // Node 5's exponents: 3 paths to leaf 0, 5 to leaf 1 (Fibonacci).
+  EXPECT_NE(dot.find("\"v5\" -> \"v0\" [label=\"3\"]"), std::string::npos);
+  EXPECT_NE(dot.find("\"v5\" -> \"v1\" [label=\"5\"]"), std::string::npos);
+  // Leaves show as boxes, with no self-edges drawn.
+  EXPECT_NE(dot.find("\"v0\" [shape=box"), std::string::npos);
+  EXPECT_EQ(dot.find("\"v0\" -> \"v0\""), std::string::npos);
+}
+
+TEST(DotTest, CapSizeMismatchRejected) {
+  const auto g = fibonacci_graph(4);
+  const auto cap = cap_closure(g);
+  EXPECT_THROW((void)to_dot(cap, 99), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace ir::graph

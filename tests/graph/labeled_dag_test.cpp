@@ -1,0 +1,89 @@
+#include "graph/labeled_dag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ir::graph {
+namespace {
+
+TEST(LabeledDagTest, EmptyGraph) {
+  LabeledDag g(0);
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.topological_order().has_value());
+}
+
+TEST(LabeledDagTest, AddEdgeValidatesEndpointsAndLabel) {
+  LabeledDag g(3);
+  EXPECT_NO_THROW(g.add_edge(0, 1));
+  EXPECT_THROW(g.add_edge(3, 1), support::ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 3), support::ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 1, PathCount{0}), support::ContractViolation);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(LabeledDagTest, LeafDetection) {
+  LabeledDag g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_FALSE(g.is_leaf(0));
+  EXPECT_FALSE(g.is_leaf(1));
+  EXPECT_TRUE(g.is_leaf(2));
+}
+
+TEST(LabeledDagTest, CoalesceSumsParallelEdges) {
+  LabeledDag g(2);
+  g.add_edge(0, 1, PathCount{2});
+  g.add_edge(0, 1, PathCount{3});
+  g.add_edge(0, 1, PathCount{5});
+  g.coalesce_parallel_edges();
+  ASSERT_EQ(g.out_edges(0).size(), 1u);
+  EXPECT_EQ(g.out_edges(0)[0].label, PathCount{10});
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(LabeledDagTest, CoalescePreservesDistinctTargets) {
+  LabeledDag g(3);
+  g.add_edge(0, 1, PathCount{2});
+  g.add_edge(0, 2, PathCount{3});
+  g.coalesce_parallel_edges();
+  EXPECT_EQ(g.out_edges(0).size(), 2u);
+}
+
+TEST(LabeledDagTest, TopologicalOrderRespectsEdges) {
+  LabeledDag g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  const auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> position(4);
+  for (std::size_t k = 0; k < order->size(); ++k) position[(*order)[k]] = k;
+  EXPECT_LT(position[0], position[1]);
+  EXPECT_LT(position[1], position[2]);
+  EXPECT_LT(position[0], position[3]);
+}
+
+TEST(LabeledDagTest, CycleDetected) {
+  LabeledDag g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_FALSE(g.topological_order().has_value());
+  EXPECT_THROW(g.verify_acyclic(), support::ContractViolation);
+}
+
+TEST(LabeledDagTest, SelfLoopIsACycle) {
+  LabeledDag g(1);
+  g.add_edge(0, 0);
+  EXPECT_FALSE(g.topological_order().has_value());
+}
+
+TEST(LabeledDagTest, ToStringUsesNames) {
+  LabeledDag g(2);
+  g.add_edge(0, 1, PathCount{4});
+  EXPECT_EQ(g.to_string({"a", "b"}), "a ->[4] b\n");
+  EXPECT_EQ(g.to_string(), "v0 ->[4] v1\n");
+}
+
+}  // namespace
+}  // namespace ir::graph

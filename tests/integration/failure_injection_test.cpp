@@ -1,0 +1,95 @@
+// Failure injection: operators that throw mid-computation.  Solvers must
+// propagate the exception (including across thread-pool and SPMD workers)
+// and leave the runtime reusable afterwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "algebra/monoids.hpp"
+#include "core/general_ir.hpp"
+#include "core/ordinary_ir.hpp"
+#include "core/ordinary_ir_blocked.hpp"
+#include "core/ordinary_ir_spmd.hpp"
+#include "testing/random_systems.hpp"
+
+namespace ir {
+namespace {
+
+/// Adds like AddMonoid but throws on the k-th combine() (global count).
+struct FusedMonoid {
+  using Value = std::uint64_t;
+  static constexpr bool is_commutative = true;
+
+  std::atomic<std::size_t>* counter;
+  std::size_t fuse;
+
+  Value combine(Value a, Value b) const {
+    if (counter->fetch_add(1) + 1 == fuse) throw std::runtime_error("fuse blown");
+    return a + b;
+  }
+  Value pow(Value a, const support::BigUint& k) const {
+    return algebra::AddMonoid<std::uint64_t>{}.pow(a, k);
+  }
+};
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  std::atomic<std::size_t> counter{0};
+  support::SplitMix64 rng{171};
+  core::OrdinaryIrSystem sys = testing::random_ordinary_system(400, 600, rng, 0.9);
+  std::vector<std::uint64_t> init = testing::random_initial_u64(600, rng);
+
+  FusedMonoid fused(std::size_t fuse) {
+    counter = 0;
+    return FusedMonoid{&counter, fuse};
+  }
+};
+
+TEST_F(FailureInjectionTest, SequentialPropagates) {
+  EXPECT_THROW((void)core::ordinary_ir_sequential(fused(10), sys, init),
+               std::runtime_error);
+}
+
+TEST_F(FailureInjectionTest, JumpingPropagatesAndPoolSurvives) {
+  parallel::ThreadPool pool(3);
+  core::OrdinaryIrOptions options;
+  options.pool = &pool;
+  EXPECT_THROW((void)core::ordinary_ir_parallel(fused(50), sys, init, options),
+               std::runtime_error);
+  // The pool must remain usable: run the real solve afterwards.
+  const auto op = algebra::AddMonoid<std::uint64_t>{};
+  EXPECT_EQ(core::ordinary_ir_parallel(op, sys, init, options),
+            core::ordinary_ir_sequential(op, sys, init));
+}
+
+TEST_F(FailureInjectionTest, BlockedPropagates) {
+  core::BlockedIrOptions options;
+  options.blocks = 8;
+  EXPECT_THROW((void)core::ordinary_ir_blocked(fused(50), sys, init, options),
+               std::runtime_error);
+}
+
+TEST_F(FailureInjectionTest, SpmdPropagatesWithoutDeadlock) {
+  EXPECT_THROW((void)core::ordinary_ir_spmd(fused(50), sys, init, 3),
+               std::runtime_error);
+  // And a clean run still works on fresh workers.
+  const auto op = algebra::AddMonoid<std::uint64_t>{};
+  EXPECT_EQ(core::ordinary_ir_spmd(op, sys, init, 3),
+            core::ordinary_ir_sequential(op, sys, init));
+}
+
+TEST_F(FailureInjectionTest, GirEvaluationPropagates) {
+  const auto gir = core::GeneralIrSystem::from_ordinary(sys);
+  EXPECT_THROW((void)core::general_ir_parallel(fused(20), gir, init),
+               std::runtime_error);
+}
+
+TEST_F(FailureInjectionTest, LateFuseMeansSuccess) {
+  // A fuse beyond the total combine count must not fire.
+  const auto op = fused(1u << 30);
+  EXPECT_EQ(core::ordinary_ir_parallel(op, sys, init),
+            core::ordinary_ir_sequential(algebra::AddMonoid<std::uint64_t>{}, sys, init));
+}
+
+}  // namespace
+}  // namespace ir

@@ -1,0 +1,54 @@
+// Golden regression checksums: every kernel's output on the standard
+// workspace (seed 1997) is pinned.  Any change to kernel code, workspace
+// initialization, or the RNG shows up here first — the numbers were
+// recorded from the initial verified implementation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "livermore/kernels.hpp"
+
+namespace ir::livermore {
+namespace {
+
+TEST(GoldenChecksumTest, AllKernelsMatchRecordedValues) {
+  // Regenerate with: for id in 1..24 run_kernel(id, Workspace::standard(1997))
+  // and print with "%.17g".
+  const double expected[kKernelCount] = {
+      /* k1  */ 69943.245959204083,
+      /* k2  */ 539.67819128449366,
+      /* k3  */ 501.8139937234742,
+      /* k4  */ -69.201307715715728,
+      /* k5  */ 165.50639881318457,
+      /* k6  */ 206424.39223589608,
+      /* k7  */ 81310999.505121887,
+      /* k8  */ 306.50147218901418,
+      /* k9  */ 3374.5603561465482,
+      /* k10 */ -3509.567525059957,
+      /* k11 */ 249255.34127026348,
+      /* k12 */ 0.15306539195243896,
+      /* k13 */ 128,
+      /* k14 */ 1000.9999999999994,
+      /* k15 */ 4.8546996153736828,
+      /* k16 */ 579.32868118729266,
+      /* k17 */ 312.96372061691301,
+      /* k18 */ 502.01832474643743,
+      /* k19 */ 592.6138230784361,
+      /* k20 */ -177.43084241654083,
+      /* k21 */ 2176.6687693754079,
+      /* k22 */ 2072.9249445844639,
+      /* k23 */ 461.04318865992605,
+      /* k24 */ 137,
+  };
+  for (int id = 1; id <= kKernelCount; ++id) {
+    auto ws = Workspace::standard(1997);
+    if (id == 24) ws.x[137] = -100.0;  // give the argmin a definite answer
+    const double checksum = run_kernel(id, ws);
+    EXPECT_NEAR(checksum, expected[id - 1],
+                1e-9 * (1.0 + std::fabs(expected[id - 1])))
+        << "kernel " << id << " drifted: " << std::scientific << checksum;
+  }
+}
+
+}  // namespace
+}  // namespace ir::livermore

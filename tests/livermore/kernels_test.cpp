@@ -1,0 +1,130 @@
+#include "livermore/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace ir::livermore {
+namespace {
+
+TEST(WorkspaceTest, StandardIsDeterministic) {
+  const auto a = Workspace::standard(7);
+  const auto b = Workspace::standard(7);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.za.data(), b.za.data());
+  const auto c = Workspace::standard(8);
+  EXPECT_NE(a.x, c.x);
+}
+
+TEST(WorkspaceTest, ScaleGrowsArrays) {
+  const auto a = Workspace::standard(1, 1);
+  const auto b = Workspace::standard(1, 3);
+  EXPECT_EQ(b.loop_n, 3 * a.loop_n);
+  EXPECT_GT(b.x.size(), a.x.size());
+}
+
+TEST(GridTest, IndexingAndBounds) {
+  Grid g(3, 4, 1.5);
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.cols(), 4u);
+  g.at(2, 3) = 7.0;
+  EXPECT_EQ(g.at(2, 3), 7.0);
+  EXPECT_EQ(g.flat(2, 3), 11u);
+  EXPECT_THROW((void)g.at(3, 0), support::ContractViolation);
+  EXPECT_THROW((void)g.flat(0, 4), support::ContractViolation);
+}
+
+TEST(KernelsTest, AllKernelsRunAndProduceFiniteChecksums) {
+  for (int id = 1; id <= kKernelCount; ++id) {
+    auto ws = Workspace::standard(1997);
+    const double checksum = run_kernel(id, ws);
+    EXPECT_TRUE(std::isfinite(checksum)) << "kernel " << id;
+  }
+}
+
+TEST(KernelsTest, ChecksumsAreDeterministic) {
+  for (int id = 1; id <= kKernelCount; ++id) {
+    auto ws1 = Workspace::standard(3);
+    auto ws2 = Workspace::standard(3);
+    EXPECT_EQ(run_kernel(id, ws1), run_kernel(id, ws2)) << "kernel " << id;
+  }
+}
+
+TEST(KernelsTest, KernelsActuallyMutateState) {
+  // Each recurrence-bearing kernel must change the workspace.
+  for (int id : {2, 3, 5, 6, 11, 19, 23}) {
+    auto ws = Workspace::standard(5);
+    const auto before = ws.x;
+    const auto za_before = ws.za.data();
+    const double q_before = ws.q;
+    run_kernel(id, ws);
+    const bool changed =
+        ws.x != before || ws.za.data() != za_before || ws.q != q_before ||
+        ws.b5 != Workspace::standard(5).b5 || ws.w != Workspace::standard(5).w;
+    EXPECT_TRUE(changed) << "kernel " << id;
+  }
+}
+
+TEST(KernelsTest, Kernel5IsTheTextbookRecurrence) {
+  auto ws = Workspace::standard(1);
+  const auto y = ws.y, z = ws.z;
+  const double x0 = ws.x[0];
+  kernel05_tridiagonal(ws);
+  double prev = x0;
+  for (std::size_t i = 1; i < 20; ++i) {
+    prev = z[i] * (y[i] - prev);
+    EXPECT_DOUBLE_EQ(ws.x[i], prev) << i;
+  }
+}
+
+TEST(KernelsTest, Kernel11IsPrefixSum) {
+  auto ws = Workspace::standard(2);
+  const auto y = ws.y;
+  kernel11_first_sum(ws);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < 50; ++k) {
+    sum += y[k];
+    EXPECT_NEAR(ws.x[k], sum, 1e-12);
+  }
+}
+
+TEST(KernelsTest, Kernel24FindsTheMinimum) {
+  auto ws = Workspace::standard(4);
+  ws.x[137] = -100.0;
+  EXPECT_EQ(kernel24_first_min(ws), 137.0);
+}
+
+TEST(KernelsTest, Kernel23FragmentMatchesManualExpansion) {
+  auto ws = Workspace::standard(6);
+  auto manual = Workspace::standard(6);
+  kernel23_paper_fragment(ws);
+  for (std::size_t j = 1; j < 7; ++j) {
+    for (std::size_t k = 1; k < manual.loop_2d; ++k) {
+      manual.za.at(k, j) =
+          manual.za.at(k, j) +
+          manual.dk * (manual.y[k] + manual.za.at(k - 1, j) * manual.zz.at(k, j));
+    }
+  }
+  EXPECT_EQ(ws.za.data(), manual.za.data());
+}
+
+TEST(KernelsTest, InvalidKernelIdRejected) {
+  auto ws = Workspace::standard(1);
+  EXPECT_THROW(run_kernel(0, ws), support::ContractViolation);
+  EXPECT_THROW(run_kernel(25, ws), support::ContractViolation);
+  EXPECT_THROW(kernel_name(0), support::ContractViolation);
+}
+
+TEST(KernelsTest, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (int id = 1; id <= kKernelCount; ++id) {
+    const auto name = kernel_name(id);
+    EXPECT_FALSE(name.empty());
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kKernelCount));
+}
+
+}  // namespace
+}  // namespace ir::livermore

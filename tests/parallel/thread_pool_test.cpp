@@ -1,0 +1,79 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+namespace ir::parallel {
+namespace {
+
+TEST(ThreadPoolTest, RequiresWorkers) {
+  EXPECT_THROW(ThreadPool(0), support::ContractViolation);
+}
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) tasks.emplace_back([&count] { ++count; });
+  pool.run_batch(std::move(tasks));
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, EmptyBatchReturnsImmediately) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.run_batch({}));
+}
+
+TEST(ThreadPoolTest, SequentialBatchesReuseWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 7; ++i) tasks.emplace_back([&count] { ++count; });
+    pool.run_batch(std::move(tasks));
+  }
+  EXPECT_EQ(count.load(), 140);
+}
+
+TEST(ThreadPoolTest, TasksActuallyRunOnMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> ids;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.emplace_back([&] {
+      // Small delay so several workers participate.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::lock_guard lock(mutex);
+      ids.insert(std::this_thread::get_id());
+    });
+  }
+  pool.run_batch(std::move(tasks));
+  EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(ThreadPoolTest, TaskExceptionIsRethrown) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 10; ++i) tasks.emplace_back([] {});
+  EXPECT_THROW(pool.run_batch(std::move(tasks)), std::runtime_error);
+  // Pool must remain usable after a failed batch.
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> more;
+  more.emplace_back([&count] { ++count; });
+  pool.run_batch(std::move(more));
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsSane) {
+  const std::size_t n = ThreadPool::default_threads();
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 256u);
+}
+
+}  // namespace
+}  // namespace ir::parallel

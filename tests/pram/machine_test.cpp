@@ -1,0 +1,153 @@
+#include "pram/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ir::pram {
+namespace {
+
+TEST(PramMachineTest, RequiresAtLeastOneProcessor) {
+  EXPECT_THROW(Machine(0), support::ContractViolation);
+  EXPECT_NO_THROW(Machine(1));
+}
+
+TEST(PramMachineTest, StepExecutesAllItems) {
+  Machine machine(4);
+  std::vector<int> data(10, 0);
+  machine.step(10, [&](Pe& pe, std::size_t i) { pe.write(data[i], static_cast<int>(i)); });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(data[i], i);
+}
+
+TEST(PramMachineTest, WritesAreSynchronous) {
+  // The classic swap test: every item reads its neighbour; buffered writes
+  // mean all reads observe the pre-step state.
+  Machine machine(2);
+  std::vector<int> data{1, 2, 3, 4};
+  machine.step(4, [&](Pe& pe, std::size_t i) {
+    const int neighbour = pe.read(data[(i + 1) % 4]);
+    pe.write(data[i], neighbour);
+  });
+  EXPECT_EQ(data, (std::vector<int>{2, 3, 4, 1}));
+}
+
+TEST(PramMachineTest, SequentialSemanticsApplyWritesImmediately) {
+  Machine machine(1);
+  std::vector<int> data{1, 0, 0, 0};
+  machine.sequential(3, [&](Pe& pe, std::size_t i) {
+    pe.write(data[i + 1], pe.read(data[i]) + 1);
+  });
+  EXPECT_EQ(data, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(PramMachineTest, WriteConflictDetected) {
+  Machine machine(2, AccessMode::kCrew);
+  int cell = 0;
+  EXPECT_THROW(
+      machine.step(2, [&](Pe& pe, std::size_t i) { pe.write(cell, static_cast<int>(i)); }),
+      AccessConflict);
+}
+
+TEST(PramMachineTest, CommonCrcwAllowsAgreeingWrites) {
+  Machine machine(2, AccessMode::kCommonCrcw);
+  int cell = 0;
+  EXPECT_NO_THROW(machine.step(4, [&](Pe& pe, std::size_t) { pe.write(cell, 7); }));
+  EXPECT_EQ(cell, 7);
+  EXPECT_THROW(
+      machine.step(2, [&](Pe& pe, std::size_t i) { pe.write(cell, static_cast<int>(i)); }),
+      AccessConflict);
+}
+
+TEST(PramMachineTest, ErewRejectsConcurrentReads) {
+  Machine crew(2, AccessMode::kCrew);
+  Machine erew(2, AccessMode::kErew);
+  int shared = 5;
+  std::vector<int> out(2);
+  auto body = [&](Pe& pe, std::size_t i) { pe.write(out[i], pe.read(shared)); };
+  EXPECT_NO_THROW(crew.step(2, body));
+  EXPECT_THROW(erew.step(2, body), AccessConflict);
+}
+
+TEST(PramMachineTest, ErewAllowsRepeatedReadsBySameItem) {
+  Machine erew(2, AccessMode::kErew);
+  int shared = 5;
+  int out = 0;
+  erew.step(1, [&](Pe& pe, std::size_t) { pe.write(out, pe.read(shared) + pe.read(shared)); });
+  EXPECT_EQ(out, 10);
+}
+
+TEST(PramMachineTest, AuditCanBeDisabled) {
+  Machine machine(2, AccessMode::kErew, CostModel{}, /*audit=*/false);
+  int shared = 5;
+  std::vector<int> out(2);
+  EXPECT_NO_THROW(
+      machine.step(2, [&](Pe& pe, std::size_t i) { pe.write(out[i], pe.read(shared)); }));
+}
+
+TEST(PramMachineTest, WorkCountsEveryItem) {
+  Machine machine(4, AccessMode::kCrew, CostModel::unit());
+  std::vector<int> data(16, 1);
+  machine.step(16, [&](Pe& pe, std::size_t i) {
+    pe.write(data[i], pe.read(data[i]) + 1);
+  });
+  // unit cost: 16 items x (1 read + 1 write); zero overheads.
+  EXPECT_EQ(machine.stats().work, 32u);
+  EXPECT_EQ(machine.stats().shared_reads, 16u);
+  EXPECT_EQ(machine.stats().shared_writes, 16u);
+  EXPECT_EQ(machine.stats().steps, 1u);
+}
+
+TEST(PramMachineTest, TimeIsCriticalPathOverProcessors) {
+  // 16 equal items on 4 processors -> 4 items per processor.
+  Machine machine(4, AccessMode::kCrew, CostModel::unit());
+  std::vector<int> data(16, 1);
+  machine.step(16, [&](Pe& pe, std::size_t i) { pe.write(data[i], 0); });
+  EXPECT_EQ(machine.stats().time, 4u);  // 4 items x 1 write each
+
+  Machine wide(16, AccessMode::kCrew, CostModel::unit());
+  wide.step(16, [&](Pe& pe, std::size_t i) { pe.write(data[i], 0); });
+  EXPECT_EQ(wide.stats().time, 1u);
+}
+
+TEST(PramMachineTest, MoreProcessorsNeverSlower) {
+  std::uint64_t previous = ~0ull;
+  for (std::size_t p : {1u, 2u, 4u, 8u, 32u}) {
+    Machine machine(p);
+    std::vector<int> data(100, 0);
+    machine.step(100, [&](Pe& pe, std::size_t i) {
+      pe.local(50);  // item cost dominates fork overhead at every P here
+      pe.write(data[i], 1);
+    });
+    EXPECT_LE(machine.stats().time, previous);
+    previous = machine.stats().time;
+  }
+}
+
+TEST(PramMachineTest, EmptyStepIsFree) {
+  Machine machine(4);
+  machine.step(0, [](Pe&, std::size_t) { FAIL() << "body must not run"; });
+  EXPECT_EQ(machine.stats().steps, 0u);
+  EXPECT_EQ(machine.stats().time, 0u);
+}
+
+TEST(PramMachineTest, ResetStatsClearsCounters) {
+  Machine machine(2);
+  std::vector<int> data(4, 0);
+  machine.step(4, [&](Pe& pe, std::size_t i) { pe.write(data[i], 1); });
+  EXPECT_GT(machine.stats().work, 0u);
+  machine.reset_stats();
+  EXPECT_EQ(machine.stats().work, 0u);
+  EXPECT_EQ(machine.stats().steps, 0u);
+}
+
+TEST(PramMachineTest, ApplyOpChargesConfiguredCost) {
+  CostModel cost = CostModel::unit();
+  cost.apply_op = 9;
+  Machine machine(1, AccessMode::kCrew, cost);
+  std::vector<int> data(1, 0);
+  machine.step(1, [&](Pe& pe, std::size_t) { pe.apply_op(); });
+  EXPECT_EQ(machine.stats().work, 9u);
+}
+
+}  // namespace
+}  // namespace ir::pram

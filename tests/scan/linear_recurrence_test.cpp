@@ -1,0 +1,50 @@
+#include "scan/linear_recurrence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace ir::scan {
+namespace {
+
+TEST(LinearRecurrenceTest, SequentialKnownValues) {
+  // x[i] = 2*x[i-1] + 1, x0 = 0 -> 1, 3, 7, 15
+  const std::vector<double> a{2, 2, 2, 2}, b{1, 1, 1, 1};
+  const auto x = linear_recurrence_sequential(a, b, 0.0);
+  EXPECT_EQ(x, (std::vector<double>{1, 3, 7, 15}));
+}
+
+TEST(LinearRecurrenceTest, ScanMatchesSequential) {
+  support::SplitMix64 rng(21);
+  for (std::size_t n : {0u, 1u, 2u, 17u, 256u, 1001u}) {
+    std::vector<double> a(n), b(n);
+    for (auto& e : a) e = rng.uniform(-0.9, 0.9);
+    for (auto& e : b) e = rng.uniform(-1.0, 1.0);
+    const auto expect = linear_recurrence_sequential(a, b, 0.5);
+    const auto actual = linear_recurrence_scan(a, b, 0.5);
+    ASSERT_EQ(actual.size(), expect.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(actual[i], expect[i], 1e-9) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(LinearRecurrenceTest, ScanWithPoolMatches) {
+  parallel::ThreadPool pool(4);
+  support::SplitMix64 rng(22);
+  std::vector<double> a(500), b(500);
+  for (auto& e : a) e = rng.uniform(-0.9, 0.9);
+  for (auto& e : b) e = rng.uniform(-1.0, 1.0);
+  const auto expect = linear_recurrence_sequential(a, b, 1.0);
+  const auto actual = linear_recurrence_scan(a, b, 1.0, &pool);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(actual[i], expect[i], 1e-9);
+}
+
+TEST(LinearRecurrenceTest, MismatchedSizesRejected) {
+  const std::vector<double> a{1.0}, b{};
+  EXPECT_THROW(linear_recurrence_sequential(a, b, 0.0), support::ContractViolation);
+  EXPECT_THROW(linear_recurrence_scan(a, b, 0.0), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace ir::scan

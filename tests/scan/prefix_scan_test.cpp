@@ -1,0 +1,81 @@
+#include "scan/prefix_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algebra/monoids.hpp"
+#include "support/rng.hpp"
+
+namespace ir::scan {
+namespace {
+
+using algebra::AddMonoid;
+using algebra::ConcatMonoid;
+
+std::vector<std::uint64_t> random_values(std::size_t n, std::uint64_t seed) {
+  support::SplitMix64 rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& e : v) e = rng.below(1000);
+  return v;
+}
+
+TEST(SequentialScanTest, PrefixSums) {
+  std::vector<std::uint64_t> v{1, 2, 3, 4};
+  inclusive_scan_sequential(AddMonoid<std::uint64_t>{}, v);
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{1, 3, 6, 10}));
+}
+
+TEST(KoggeStoneTest, MatchesSequentialAcrossSizes) {
+  for (std::size_t n : {0u, 1u, 2u, 3u, 7u, 8u, 63u, 64u, 65u, 1000u}) {
+    auto expect = random_values(n, n + 1);
+    auto actual = expect;
+    inclusive_scan_sequential(AddMonoid<std::uint64_t>{}, expect);
+    inclusive_scan_kogge_stone(AddMonoid<std::uint64_t>{}, actual);
+    EXPECT_EQ(actual, expect) << "n=" << n;
+  }
+}
+
+TEST(KoggeStoneTest, NonCommutativeOperatorOrderPreserved) {
+  ConcatMonoid cat;
+  std::vector<std::string> v{"a", "b", "c", "d", "e"};
+  inclusive_scan_kogge_stone(cat, v);
+  EXPECT_EQ(v.back(), "abcde");
+  EXPECT_EQ(v[2], "abc");
+}
+
+TEST(KoggeStoneTest, ParallelPoolMatches) {
+  parallel::ThreadPool pool(4);
+  auto expect = random_values(777, 3);
+  auto actual = expect;
+  inclusive_scan_sequential(AddMonoid<std::uint64_t>{}, expect);
+  inclusive_scan_kogge_stone(AddMonoid<std::uint64_t>{}, actual, &pool);
+  EXPECT_EQ(actual, expect);
+}
+
+TEST(BlellochTest, ExclusiveScanMatchesShiftedInclusive) {
+  for (std::size_t n : {1u, 2u, 5u, 8u, 33u, 128u, 500u}) {
+    const auto values = random_values(n, n + 99);
+    auto inclusive = values;
+    inclusive_scan_sequential(AddMonoid<std::uint64_t>{}, inclusive);
+    auto exclusive = values;
+    exclusive_scan_blelloch(AddMonoid<std::uint64_t>{}, exclusive, 0ull);
+    ASSERT_EQ(exclusive.size(), n);
+    EXPECT_EQ(exclusive[0], 0u) << "n=" << n;
+    for (std::size_t i = 1; i < n; ++i) {
+      EXPECT_EQ(exclusive[i], inclusive[i - 1]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(BlellochTest, ParallelPoolMatches) {
+  parallel::ThreadPool pool(4);
+  const auto values = random_values(300, 8);
+  auto a = values, b = values;
+  exclusive_scan_blelloch(AddMonoid<std::uint64_t>{}, a, 0ull);
+  exclusive_scan_blelloch(AddMonoid<std::uint64_t>{}, b, 0ull, &pool);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ir::scan

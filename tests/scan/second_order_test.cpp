@@ -1,0 +1,73 @@
+#include "scan/second_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace ir::scan {
+namespace {
+
+TEST(SecondOrderTest, FibonacciFromUnitCoefficients) {
+  // a = b = 1, c = 0, x[-1] = 1, x[-2] = 0 -> Fibonacci numbers.
+  const std::size_t n = 20;
+  std::vector<double> a(n, 1.0), b(n, 1.0), c(n, 0.0);
+  const auto x = second_order_recurrence_sequential(a, b, c, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+  EXPECT_DOUBLE_EQ(x[3], 5.0);
+  EXPECT_DOUBLE_EQ(x[19], 10946.0);  // x[i] = fib(i+2): fib(21)
+}
+
+TEST(SecondOrderTest, ScanMatchesSequential) {
+  support::SplitMix64 rng(51);
+  for (std::size_t n : {0u, 1u, 2u, 3u, 100u, 1001u}) {
+    std::vector<double> a(n), b(n), c(n);
+    for (auto& e : a) e = rng.uniform(-0.6, 0.6);
+    for (auto& e : b) e = rng.uniform(-0.3, 0.3);
+    for (auto& e : c) e = rng.uniform(-1.0, 1.0);
+    const auto expect = second_order_recurrence_sequential(a, b, c, 0.7, -0.2);
+    const auto actual = second_order_recurrence_scan(a, b, c, 0.7, -0.2);
+    ASSERT_EQ(actual.size(), expect.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(actual[i], expect[i], 1e-9) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SecondOrderTest, ScanWithPoolMatches) {
+  parallel::ThreadPool pool(4);
+  support::SplitMix64 rng(52);
+  const std::size_t n = 600;
+  std::vector<double> a(n), b(n), c(n);
+  for (auto& e : a) e = rng.uniform(-0.6, 0.6);
+  for (auto& e : b) e = rng.uniform(-0.3, 0.3);
+  for (auto& e : c) e = rng.uniform(-1.0, 1.0);
+  const auto expect = second_order_recurrence_sequential(a, b, c, 1.0, 1.0);
+  const auto actual = second_order_recurrence_scan(a, b, c, 1.0, 1.0, &pool);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(actual[i], expect[i], 1e-9);
+}
+
+TEST(SecondOrderTest, SizeMismatchRejected) {
+  const std::vector<double> a{1.0}, b{1.0, 2.0}, c{0.0};
+  EXPECT_THROW(second_order_recurrence_sequential(a, b, c, 0, 0),
+               support::ContractViolation);
+}
+
+TEST(SecondOrderTest, DegeneratesToFirstOrderWhenBZero) {
+  support::SplitMix64 rng(53);
+  const std::size_t n = 64;
+  std::vector<double> a(n), b(n, 0.0), c(n);
+  for (auto& e : a) e = rng.uniform(-0.9, 0.9);
+  for (auto& e : c) e = rng.uniform(-1.0, 1.0);
+  const auto second = second_order_recurrence_scan(a, b, c, 0.5, 99.0);
+  // First-order: x[i] = a[i] x[i-1] + c[i], x0 = 0.5; x[-2] must not matter.
+  double prev = 0.5;
+  for (std::size_t i = 0; i < n; ++i) {
+    prev = a[i] * prev + c[i];
+    EXPECT_NEAR(second[i], prev, 1e-9) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ir::scan

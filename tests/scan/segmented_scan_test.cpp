@@ -1,0 +1,97 @@
+#include "scan/segmented_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/monoids.hpp"
+#include "support/rng.hpp"
+
+namespace ir::scan {
+namespace {
+
+using algebra::AddMonoid;
+using algebra::ConcatMonoid;
+
+/// Reference: per-segment sequential scan.
+template <typename Op>
+std::vector<typename Op::Value> reference(const Op& op,
+                                          std::vector<typename Op::Value> data,
+                                          const std::vector<bool>& heads) {
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    if (!heads[i]) data[i] = op.combine(data[i - 1], data[i]);
+  }
+  return data;
+}
+
+TEST(SegmentedScanTest, HandExample) {
+  std::vector<std::uint64_t> data{1, 2, 3, 4, 5, 6};
+  const std::vector<bool> heads{false, false, true, false, true, false};
+  segmented_inclusive_scan(AddMonoid<std::uint64_t>{}, data, heads);
+  EXPECT_EQ(data, (std::vector<std::uint64_t>{1, 3, 3, 7, 5, 11}));
+}
+
+TEST(SegmentedScanTest, SingleSegmentEqualsPlainScan) {
+  support::SplitMix64 rng(61);
+  std::vector<std::uint64_t> data(300), plain;
+  for (auto& v : data) v = rng.below(100);
+  plain = data;
+  const std::vector<bool> heads(300, false);
+  segmented_inclusive_scan(AddMonoid<std::uint64_t>{}, data, heads);
+  inclusive_scan_kogge_stone(AddMonoid<std::uint64_t>{}, plain);
+  EXPECT_EQ(data, plain);
+}
+
+TEST(SegmentedScanTest, AllHeadsIsIdentity) {
+  std::vector<std::uint64_t> data{4, 5, 6, 7};
+  segmented_inclusive_scan(AddMonoid<std::uint64_t>{}, data,
+                           std::vector<bool>{true, true, true, true});
+  EXPECT_EQ(data, (std::vector<std::uint64_t>{4, 5, 6, 7}));
+}
+
+TEST(SegmentedScanTest, RandomSegmentsMatchReference) {
+  support::SplitMix64 rng(62);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 1 + rng.below(500);
+    std::vector<std::uint64_t> data(n);
+    std::vector<bool> heads(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] = rng.below(1000);
+      heads[i] = rng.chance(0.15);
+    }
+    auto expect = reference(AddMonoid<std::uint64_t>{}, data, heads);
+    expect[0] = data[0];  // element 0 is implicitly a head either way
+    segmented_inclusive_scan(AddMonoid<std::uint64_t>{}, data, heads);
+    EXPECT_EQ(data, expect) << "trial " << trial;
+  }
+}
+
+TEST(SegmentedScanTest, NonCommutativeOrderWithinSegments) {
+  std::vector<std::string> data{"a", "b", "c", "d", "e"};
+  const std::vector<bool> heads{false, false, true, false, false};
+  segmented_inclusive_scan(ConcatMonoid{}, data, heads);
+  EXPECT_EQ(data, (std::vector<std::string>{"a", "ab", "c", "cd", "cde"}));
+}
+
+TEST(SegmentedScanTest, PooledMatches) {
+  parallel::ThreadPool pool(4);
+  support::SplitMix64 rng(63);
+  std::vector<std::uint64_t> a(700), b;
+  std::vector<bool> heads(700);
+  for (std::size_t i = 0; i < 700; ++i) {
+    a[i] = rng.below(50);
+    heads[i] = i % 97 == 0;
+  }
+  b = a;
+  segmented_inclusive_scan(AddMonoid<std::uint64_t>{}, a, heads);
+  segmented_inclusive_scan(AddMonoid<std::uint64_t>{}, b, heads, &pool);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SegmentedScanTest, FlagSizeMismatchRejected) {
+  std::vector<std::uint64_t> data{1, 2};
+  EXPECT_THROW(
+      segmented_inclusive_scan(AddMonoid<std::uint64_t>{}, data, std::vector<bool>{true}),
+      support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace ir::scan

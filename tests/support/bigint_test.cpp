@@ -1,0 +1,175 @@
+#include "support/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "support/contract.hpp"
+#include "support/rng.hpp"
+
+namespace ir::support {
+namespace {
+
+TEST(BigUintTest, DefaultIsZero) {
+  BigUint z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.to_u64(), 0u);
+  EXPECT_EQ(z.bit_length(), 0u);
+}
+
+TEST(BigUintTest, FromU64RoundTrips) {
+  for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{42},
+                          std::uint64_t{0xffffffff}, std::uint64_t{0x100000000},
+                          std::numeric_limits<std::uint64_t>::max()}) {
+    BigUint b(v);
+    EXPECT_TRUE(b.fits_u64());
+    EXPECT_EQ(b.to_u64(), v);
+    EXPECT_EQ(b.to_string(), std::to_string(v));
+  }
+}
+
+TEST(BigUintTest, FromDecimalMatchesU64) {
+  EXPECT_EQ(BigUint::from_decimal("0"), BigUint(0));
+  EXPECT_EQ(BigUint::from_decimal("18446744073709551615"),
+            BigUint(std::numeric_limits<std::uint64_t>::max()));
+  EXPECT_EQ(BigUint::from_decimal("000123"), BigUint(123));
+}
+
+TEST(BigUintTest, FromDecimalRejectsGarbage) {
+  EXPECT_THROW(BigUint::from_decimal(""), ContractViolation);
+  EXPECT_THROW(BigUint::from_decimal("12a3"), ContractViolation);
+  EXPECT_THROW(BigUint::from_decimal("-5"), ContractViolation);
+}
+
+TEST(BigUintTest, AdditionCarriesAcrossLimbs) {
+  BigUint a(0xffffffffffffffffull);
+  BigUint b(1);
+  EXPECT_EQ((a + b).to_string(), "18446744073709551616");
+  EXPECT_FALSE((a + b).fits_u64());
+}
+
+TEST(BigUintTest, SubtractionBorrows) {
+  BigUint a = BigUint::from_decimal("18446744073709551616");
+  EXPECT_EQ((a - BigUint(1)).to_u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_TRUE((a - a).is_zero());
+}
+
+TEST(BigUintTest, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUint(1) - BigUint(2), ContractViolation);
+}
+
+TEST(BigUintTest, MultiplicationSmall) {
+  EXPECT_EQ((BigUint(7) * BigUint(6)).to_u64(), 42u);
+  EXPECT_TRUE((BigUint(0) * BigUint(12345)).is_zero());
+  EXPECT_EQ((BigUint(0xffffffffull) * BigUint(0xffffffffull)).to_string(),
+            "18446744065119617025");
+}
+
+TEST(BigUintTest, KnownLargeProduct) {
+  // 2^128 = (2^64)^2
+  BigUint two64 = BigUint::from_decimal("18446744073709551616");
+  EXPECT_EQ((two64 * two64).to_string(), "340282366920938463463374607431768211456");
+}
+
+TEST(BigUintTest, PowMatchesKnownValues) {
+  EXPECT_EQ(BigUint::pow(BigUint(2), 10).to_u64(), 1024u);
+  EXPECT_EQ(BigUint::pow(BigUint(3), 0).to_u64(), 1u);
+  EXPECT_EQ(BigUint::pow(BigUint(10), 30).to_string(),
+            "1000000000000000000000000000000");
+}
+
+TEST(BigUintTest, ShiftsMatchMultiplication) {
+  BigUint v = BigUint::from_decimal("123456789123456789");
+  EXPECT_EQ(v << 1, v * BigUint(2));
+  EXPECT_EQ(v << 37, v * BigUint::pow(BigUint(2), 37));
+  EXPECT_EQ((v << 95) >> 95, v);
+  EXPECT_TRUE((BigUint(1) >> 1).is_zero());
+}
+
+TEST(BigUintTest, DivU32RecoverQuotientRemainder) {
+  BigUint v = BigUint::from_decimal("987654321987654321987654321");
+  std::uint32_t rem = 0;
+  BigUint q = v.div_u32(97, rem);
+  EXPECT_EQ(q * BigUint(97) + BigUint(rem), v);
+  EXPECT_THROW(v.div_u32(0, rem), ContractViolation);
+}
+
+TEST(BigUintTest, ComparisonOrdersValues) {
+  BigUint small(5), large = BigUint::from_decimal("99999999999999999999");
+  EXPECT_LT(small, large);
+  EXPECT_GT(large, small);
+  EXPECT_EQ(small, BigUint(5));
+  EXPECT_LE(small, BigUint(5));
+}
+
+TEST(BigUintTest, BitAccess) {
+  BigUint v(0b1011);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.bit(64));
+  EXPECT_EQ(v.bit_length(), 4u);
+}
+
+TEST(BigUintTest, ToDoubleApproximates) {
+  EXPECT_DOUBLE_EQ(BigUint(1000).to_double(), 1000.0);
+  BigUint two100 = BigUint::pow(BigUint(2), 100);
+  EXPECT_DOUBLE_EQ(two100.to_double(), std::pow(2.0, 100));
+}
+
+TEST(BigUintTest, FibonacciKnownValue) {
+  // fib(200) — a classic cross-check for the CAP exponent arithmetic.
+  BigUint a(0), b(1);
+  for (int i = 0; i < 200; ++i) {
+    BigUint next = a + b;
+    a = b;
+    b = next;
+  }
+  EXPECT_EQ(a.to_string(), "280571172992510140037611932413038677189525");
+}
+
+// Randomized agreement with native 64-bit arithmetic (property sweep).
+class BigUintRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigUintRandomTest, MatchesNativeArithmetic) {
+  SplitMix64 rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    const std::uint64_t a = rng.next() >> 33;  // keep products in range
+    const std::uint64_t b = rng.next() >> 33;
+    EXPECT_EQ((BigUint(a) + BigUint(b)).to_u64(), a + b);
+    EXPECT_EQ((BigUint(a) * BigUint(b)).to_u64(), a * b);
+    if (a >= b) {
+      EXPECT_EQ((BigUint(a) - BigUint(b)).to_u64(), a - b);
+    }
+    EXPECT_EQ(BigUint(a) <=> BigUint(b), a <=> b);
+  }
+}
+
+TEST_P(BigUintRandomTest, KaratsubaMatchesSchoolbookViaIdentity) {
+  // (x + y)^2 == x^2 + 2xy + y^2 exercised at Karatsuba sizes.
+  SplitMix64 rng(GetParam() ^ 0xabcdef);
+  auto random_big = [&rng]() {
+    BigUint v;
+    for (int limbs = 0; limbs < 40; ++limbs) {
+      v <<= 32;
+      v += BigUint(rng.next() & 0xffffffffull);
+    }
+    return v;
+  };
+  for (int round = 0; round < 5; ++round) {
+    BigUint x = random_big(), y = random_big();
+    BigUint lhs = (x + y) * (x + y);
+    BigUint rhs = x * x + (x * y << 1) + y * y;
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigUintRandomTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 1997u));
+
+}  // namespace
+}  // namespace ir::support

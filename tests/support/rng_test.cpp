@@ -1,0 +1,97 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ir::support {
+namespace {
+
+TEST(SplitMix64Test, DeterministicFromSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SplitMix64Test, BelowStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(SplitMix64Test, BetweenIsInclusive) {
+  SplitMix64 rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.between(5, 4), ContractViolation);
+}
+
+TEST(SplitMix64Test, Uniform01InUnitInterval) {
+  SplitMix64 rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // law of large numbers sanity
+}
+
+TEST(RandomPermutationTest, IsAPermutation) {
+  SplitMix64 rng(5);
+  const auto perm = random_permutation(257, rng);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(RandomPermutationTest, EmptyAndSingleton) {
+  SplitMix64 rng(5);
+  EXPECT_TRUE(random_permutation(0, rng).empty());
+  EXPECT_EQ(random_permutation(1, rng), std::vector<std::size_t>{0});
+}
+
+TEST(RandomInjectionTest, ImagesAreDistinctAndInRange) {
+  SplitMix64 rng(13);
+  const auto inj = random_injection(100, 1000, rng);
+  ASSERT_EQ(inj.size(), 100u);
+  std::set<std::size_t> seen(inj.begin(), inj.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_LT(*seen.rbegin(), 1000u);
+}
+
+TEST(RandomInjectionTest, FullWidthIsPermutation) {
+  SplitMix64 rng(13);
+  const auto inj = random_injection(64, 64, rng);
+  std::set<std::size_t> seen(inj.begin(), inj.end());
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(RandomInjectionTest, RejectsTooSmallCodomain) {
+  SplitMix64 rng(13);
+  EXPECT_THROW(random_injection(10, 9, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ir::support

@@ -1,0 +1,41 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ir::support {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table;
+  table.set_header({"name", "n"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name    n"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, RaggedRowsArePadded) {
+  TextTable table;
+  table.set_header({"a", "b", "c"});
+  table.add_row({"1"});
+  EXPECT_NO_THROW(table.render());
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+TEST(TextTableTest, NoHeaderMeansNoRule) {
+  TextTable table;
+  table.add_row({"x", "y"});
+  EXPECT_EQ(table.render().find("---"), std::string::npos);
+}
+
+TEST(FormatTest, SignificantAndFixed) {
+  EXPECT_EQ(fmt_g(1234.5678, 4), "1235");
+  EXPECT_EQ(fmt_g(0.000123456, 3), "0.000123");
+  EXPECT_EQ(fmt_f(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_f(-1.0, 1), "-1.0");
+}
+
+}  // namespace
+}  // namespace ir::support

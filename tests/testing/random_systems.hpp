@@ -1,0 +1,71 @@
+// Shared generators of random IR systems for the property-test sweeps.
+//
+// The ground-truth property all solver tests rely on: for any valid system
+// and any associative op, the parallel solvers must equal direct sequential
+// loop execution.  These helpers produce valid-by-construction random systems
+// with controllable aliasing (how often reads hit previously written cells —
+// the knob that controls chain/tree depth).
+#pragma once
+
+#include <vector>
+
+#include "core/ir_problem.hpp"
+#include "support/rng.hpp"
+
+namespace ir::testing {
+
+/// Random ordinary IR system: g is a random injection into [0, cells),
+/// f is arbitrary; `rewire_fraction` of the f entries are redirected to
+/// cells written by strictly earlier iterations (creating real chains).
+inline core::OrdinaryIrSystem random_ordinary_system(std::size_t iterations,
+                                                     std::size_t cells,
+                                                     support::SplitMix64& rng,
+                                                     double rewire_fraction = 0.7) {
+  core::OrdinaryIrSystem sys;
+  sys.cells = cells;
+  sys.g = support::random_injection(iterations, cells, rng);
+  sys.f.resize(iterations);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    if (i > 0 && rng.chance(rewire_fraction)) {
+      sys.f[i] = sys.g[rng.below(i)];  // read something already written
+    } else {
+      sys.f[i] = rng.below(cells);
+    }
+  }
+  return sys;
+}
+
+/// Random general IR system: f, g, h all arbitrary (g may repeat), with the
+/// same rewiring knob applied independently to f and h.
+inline core::GeneralIrSystem random_general_system(std::size_t iterations,
+                                                   std::size_t cells,
+                                                   support::SplitMix64& rng,
+                                                   double rewire_fraction = 0.6) {
+  core::GeneralIrSystem sys;
+  sys.cells = cells;
+  sys.g.resize(iterations);
+  sys.f.resize(iterations);
+  sys.h.resize(iterations);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    sys.g[i] = rng.below(cells);
+    auto pick = [&]() {
+      if (i > 0 && rng.chance(rewire_fraction)) return sys.g[rng.below(i)];
+      return rng.below(cells);
+    };
+    sys.f[i] = pick();
+    sys.h[i] = pick();
+  }
+  return sys;
+}
+
+/// Random initial values in [1, bound) (kept positive and non-zero so
+/// multiplicative monoids stay informative).
+inline std::vector<std::uint64_t> random_initial_u64(std::size_t cells,
+                                                     support::SplitMix64& rng,
+                                                     std::uint64_t bound = 1000) {
+  std::vector<std::uint64_t> init(cells);
+  for (auto& v : init) v = 1 + rng.below(bound - 1);
+  return init;
+}
+
+}  // namespace ir::testing
