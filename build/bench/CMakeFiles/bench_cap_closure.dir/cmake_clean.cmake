@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cap_closure.dir/bench_cap_closure.cpp.o"
+  "CMakeFiles/bench_cap_closure.dir/bench_cap_closure.cpp.o.d"
+  "bench_cap_closure"
+  "bench_cap_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cap_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

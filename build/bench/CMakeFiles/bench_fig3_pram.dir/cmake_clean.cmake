@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_pram.dir/bench_fig3_pram.cpp.o"
+  "CMakeFiles/bench_fig3_pram.dir/bench_fig3_pram.cpp.o.d"
+  "bench_fig3_pram"
+  "bench_fig3_pram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gir_pram.dir/bench_gir_pram.cpp.o"
+  "CMakeFiles/bench_gir_pram.dir/bench_gir_pram.cpp.o.d"
+  "bench_gir_pram"
+  "bench_gir_pram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gir_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_livermore_table.dir/bench_livermore_table.cpp.o"
+  "CMakeFiles/bench_livermore_table.dir/bench_livermore_table.cpp.o.d"
+  "bench_livermore_table"
+  "bench_livermore_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_livermore_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

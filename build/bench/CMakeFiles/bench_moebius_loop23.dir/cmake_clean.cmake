@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_moebius_loop23.dir/bench_moebius_loop23.cpp.o"
+  "CMakeFiles/bench_moebius_loop23.dir/bench_moebius_loop23.cpp.o.d"
+  "bench_moebius_loop23"
+  "bench_moebius_loop23.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_moebius_loop23.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

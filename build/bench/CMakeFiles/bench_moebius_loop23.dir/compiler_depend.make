@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_moebius_loop23.
+# This may be replaced when dependencies are built.

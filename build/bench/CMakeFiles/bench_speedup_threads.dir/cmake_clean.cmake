@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speedup_threads.dir/bench_speedup_threads.cpp.o"
+  "CMakeFiles/bench_speedup_threads.dir/bench_speedup_threads.cpp.o.d"
+  "bench_speedup_threads"
+  "bench_speedup_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speedup_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

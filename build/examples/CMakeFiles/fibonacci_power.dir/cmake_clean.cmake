@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibonacci_power.dir/fibonacci_power.cpp.o"
+  "CMakeFiles/fibonacci_power.dir/fibonacci_power.cpp.o.d"
+  "fibonacci_power"
+  "fibonacci_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibonacci_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydro2d.dir/hydro2d.cpp.o"
+  "CMakeFiles/hydro2d.dir/hydro2d.cpp.o.d"
+  "hydro2d"
+  "hydro2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydro2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irtool.dir/irtool.cpp.o"
+  "CMakeFiles/irtool.dir/irtool.cpp.o.d"
+  "irtool"
+  "irtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_classifier.dir/loop_classifier.cpp.o"
+  "CMakeFiles/loop_classifier.dir/loop_classifier.cpp.o.d"
+  "loop_classifier"
+  "loop_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_frontend.dir/loop_frontend.cpp.o"
+  "CMakeFiles/loop_frontend.dir/loop_frontend.cpp.o.d"
+  "loop_frontend"
+  "loop_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

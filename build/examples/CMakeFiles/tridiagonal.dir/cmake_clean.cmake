@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tridiagonal.dir/tridiagonal.cpp.o"
+  "CMakeFiles/tridiagonal.dir/tridiagonal.cpp.o.d"
+  "tridiagonal"
+  "tridiagonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tridiagonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_algebra.dir/moebius.cpp.o"
+  "CMakeFiles/ir_algebra.dir/moebius.cpp.o.d"
+  "libir_algebra.a"
+  "libir_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libir_algebra.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyze.cpp" "src/core/CMakeFiles/ir_core.dir/analyze.cpp.o" "gcc" "src/core/CMakeFiles/ir_core.dir/analyze.cpp.o.d"
+  "/root/repo/src/core/classify.cpp" "src/core/CMakeFiles/ir_core.dir/classify.cpp.o" "gcc" "src/core/CMakeFiles/ir_core.dir/classify.cpp.o.d"
+  "/root/repo/src/core/general_ir.cpp" "src/core/CMakeFiles/ir_core.dir/general_ir.cpp.o" "gcc" "src/core/CMakeFiles/ir_core.dir/general_ir.cpp.o.d"
+  "/root/repo/src/core/ir_problem.cpp" "src/core/CMakeFiles/ir_core.dir/ir_problem.cpp.o" "gcc" "src/core/CMakeFiles/ir_core.dir/ir_problem.cpp.o.d"
+  "/root/repo/src/core/linear_ir.cpp" "src/core/CMakeFiles/ir_core.dir/linear_ir.cpp.o" "gcc" "src/core/CMakeFiles/ir_core.dir/linear_ir.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/ir_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/ir_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/ir_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/ir_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ir_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/ir_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ir_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/ir_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/ir_pram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

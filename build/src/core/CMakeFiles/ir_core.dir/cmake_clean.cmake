@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_core.dir/analyze.cpp.o"
+  "CMakeFiles/ir_core.dir/analyze.cpp.o.d"
+  "CMakeFiles/ir_core.dir/classify.cpp.o"
+  "CMakeFiles/ir_core.dir/classify.cpp.o.d"
+  "CMakeFiles/ir_core.dir/general_ir.cpp.o"
+  "CMakeFiles/ir_core.dir/general_ir.cpp.o.d"
+  "CMakeFiles/ir_core.dir/ir_problem.cpp.o"
+  "CMakeFiles/ir_core.dir/ir_problem.cpp.o.d"
+  "CMakeFiles/ir_core.dir/linear_ir.cpp.o"
+  "CMakeFiles/ir_core.dir/linear_ir.cpp.o.d"
+  "CMakeFiles/ir_core.dir/serialize.cpp.o"
+  "CMakeFiles/ir_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/ir_core.dir/trace.cpp.o"
+  "CMakeFiles/ir_core.dir/trace.cpp.o.d"
+  "libir_core.a"
+  "libir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

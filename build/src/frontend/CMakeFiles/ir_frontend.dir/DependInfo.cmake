@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/affine.cpp" "src/frontend/CMakeFiles/ir_frontend.dir/affine.cpp.o" "gcc" "src/frontend/CMakeFiles/ir_frontend.dir/affine.cpp.o.d"
+  "/root/repo/src/frontend/loop_program.cpp" "src/frontend/CMakeFiles/ir_frontend.dir/loop_program.cpp.o" "gcc" "src/frontend/CMakeFiles/ir_frontend.dir/loop_program.cpp.o.d"
+  "/root/repo/src/frontend/lower.cpp" "src/frontend/CMakeFiles/ir_frontend.dir/lower.cpp.o" "gcc" "src/frontend/CMakeFiles/ir_frontend.dir/lower.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/frontend/CMakeFiles/ir_frontend.dir/parser.cpp.o" "gcc" "src/frontend/CMakeFiles/ir_frontend.dir/parser.cpp.o.d"
+  "/root/repo/src/frontend/transform.cpp" "src/frontend/CMakeFiles/ir_frontend.dir/transform.cpp.o" "gcc" "src/frontend/CMakeFiles/ir_frontend.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ir_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/ir_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/ir_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/ir_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ir_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

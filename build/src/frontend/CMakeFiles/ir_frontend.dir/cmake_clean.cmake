@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_frontend.dir/affine.cpp.o"
+  "CMakeFiles/ir_frontend.dir/affine.cpp.o.d"
+  "CMakeFiles/ir_frontend.dir/loop_program.cpp.o"
+  "CMakeFiles/ir_frontend.dir/loop_program.cpp.o.d"
+  "CMakeFiles/ir_frontend.dir/lower.cpp.o"
+  "CMakeFiles/ir_frontend.dir/lower.cpp.o.d"
+  "CMakeFiles/ir_frontend.dir/parser.cpp.o"
+  "CMakeFiles/ir_frontend.dir/parser.cpp.o.d"
+  "CMakeFiles/ir_frontend.dir/transform.cpp.o"
+  "CMakeFiles/ir_frontend.dir/transform.cpp.o.d"
+  "libir_frontend.a"
+  "libir_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

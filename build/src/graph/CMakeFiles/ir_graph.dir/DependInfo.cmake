@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/cap.cpp" "src/graph/CMakeFiles/ir_graph.dir/cap.cpp.o" "gcc" "src/graph/CMakeFiles/ir_graph.dir/cap.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/graph/CMakeFiles/ir_graph.dir/dot.cpp.o" "gcc" "src/graph/CMakeFiles/ir_graph.dir/dot.cpp.o.d"
+  "/root/repo/src/graph/labeled_dag.cpp" "src/graph/CMakeFiles/ir_graph.dir/labeled_dag.cpp.o" "gcc" "src/graph/CMakeFiles/ir_graph.dir/labeled_dag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ir_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/ir_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_graph.dir/cap.cpp.o"
+  "CMakeFiles/ir_graph.dir/cap.cpp.o.d"
+  "CMakeFiles/ir_graph.dir/dot.cpp.o"
+  "CMakeFiles/ir_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/ir_graph.dir/labeled_dag.cpp.o"
+  "CMakeFiles/ir_graph.dir/labeled_dag.cpp.o.d"
+  "libir_graph.a"
+  "libir_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

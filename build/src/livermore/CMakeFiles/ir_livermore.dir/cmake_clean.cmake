@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_livermore.dir/data.cpp.o"
+  "CMakeFiles/ir_livermore.dir/data.cpp.o.d"
+  "CMakeFiles/ir_livermore.dir/info.cpp.o"
+  "CMakeFiles/ir_livermore.dir/info.cpp.o.d"
+  "CMakeFiles/ir_livermore.dir/kernels.cpp.o"
+  "CMakeFiles/ir_livermore.dir/kernels.cpp.o.d"
+  "CMakeFiles/ir_livermore.dir/parallel.cpp.o"
+  "CMakeFiles/ir_livermore.dir/parallel.cpp.o.d"
+  "libir_livermore.a"
+  "libir_livermore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_livermore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ir_livermore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ir_livermore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_parallel.dir/parallel_for.cpp.o"
+  "CMakeFiles/ir_parallel.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/ir_parallel.dir/spmd.cpp.o"
+  "CMakeFiles/ir_parallel.dir/spmd.cpp.o.d"
+  "CMakeFiles/ir_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/ir_parallel.dir/thread_pool.cpp.o.d"
+  "libir_parallel.a"
+  "libir_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_pram.dir/machine.cpp.o"
+  "CMakeFiles/ir_pram.dir/machine.cpp.o.d"
+  "libir_pram.a"
+  "libir_pram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ir_pram.
+# This may be replaced when dependencies are built.

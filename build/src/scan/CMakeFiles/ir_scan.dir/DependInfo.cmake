@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/linear_recurrence.cpp" "src/scan/CMakeFiles/ir_scan.dir/linear_recurrence.cpp.o" "gcc" "src/scan/CMakeFiles/ir_scan.dir/linear_recurrence.cpp.o.d"
+  "/root/repo/src/scan/second_order.cpp" "src/scan/CMakeFiles/ir_scan.dir/second_order.cpp.o" "gcc" "src/scan/CMakeFiles/ir_scan.dir/second_order.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ir_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/ir_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/ir_algebra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

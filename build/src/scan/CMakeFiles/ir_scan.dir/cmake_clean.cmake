@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_scan.dir/linear_recurrence.cpp.o"
+  "CMakeFiles/ir_scan.dir/linear_recurrence.cpp.o.d"
+  "CMakeFiles/ir_scan.dir/second_order.cpp.o"
+  "CMakeFiles/ir_scan.dir/second_order.cpp.o.d"
+  "libir_scan.a"
+  "libir_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_support.dir/bigint.cpp.o"
+  "CMakeFiles/ir_support.dir/bigint.cpp.o.d"
+  "CMakeFiles/ir_support.dir/rng.cpp.o"
+  "CMakeFiles/ir_support.dir/rng.cpp.o.d"
+  "CMakeFiles/ir_support.dir/table.cpp.o"
+  "CMakeFiles/ir_support.dir/table.cpp.o.d"
+  "libir_support.a"
+  "libir_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

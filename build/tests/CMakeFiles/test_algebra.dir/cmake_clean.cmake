@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algebra.dir/algebra/modular_test.cpp.o"
+  "CMakeFiles/test_algebra.dir/algebra/modular_test.cpp.o.d"
+  "CMakeFiles/test_algebra.dir/algebra/moebius_test.cpp.o"
+  "CMakeFiles/test_algebra.dir/algebra/moebius_test.cpp.o.d"
+  "CMakeFiles/test_algebra.dir/algebra/monoids_test.cpp.o"
+  "CMakeFiles/test_algebra.dir/algebra/monoids_test.cpp.o.d"
+  "test_algebra"
+  "test_algebra.pdb"
+  "test_algebra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

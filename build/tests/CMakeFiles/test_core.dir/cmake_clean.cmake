@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/analyze_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/analyze_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/classify_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/classify_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/general_ir_pram_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/general_ir_pram_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/general_ir_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/general_ir_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/inspector_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/inspector_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ir_problem_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ir_problem_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/linear_ir_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/linear_ir_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ordinary_ir_blocked_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ordinary_ir_blocked_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ordinary_ir_pram_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ordinary_ir_pram_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ordinary_ir_spmd_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ordinary_ir_spmd_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ordinary_ir_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ordinary_ir_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/serialize_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/serialize_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/solve_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/solve_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/trace_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/trace_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend.dir/frontend/affine_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/frontend/affine_test.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/frontend/fuzz_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/frontend/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/frontend/livermore_dsl_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/frontend/livermore_dsl_test.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/frontend/lower_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/frontend/lower_test.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/frontend/parser_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/frontend/parser_test.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/frontend/transform_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/frontend/transform_test.cpp.o.d"
+  "test_frontend"
+  "test_frontend.pdb"
+  "test_frontend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

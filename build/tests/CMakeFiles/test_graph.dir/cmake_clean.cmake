@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/cap_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/cap_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/dot_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/dot_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/labeled_dag_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/labeled_dag_test.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_livermore.dir/livermore/golden_test.cpp.o"
+  "CMakeFiles/test_livermore.dir/livermore/golden_test.cpp.o.d"
+  "CMakeFiles/test_livermore.dir/livermore/info_test.cpp.o"
+  "CMakeFiles/test_livermore.dir/livermore/info_test.cpp.o.d"
+  "CMakeFiles/test_livermore.dir/livermore/kernels_test.cpp.o"
+  "CMakeFiles/test_livermore.dir/livermore/kernels_test.cpp.o.d"
+  "CMakeFiles/test_livermore.dir/livermore/parallel_test.cpp.o"
+  "CMakeFiles/test_livermore.dir/livermore/parallel_test.cpp.o.d"
+  "test_livermore"
+  "test_livermore.pdb"
+  "test_livermore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_livermore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pram.dir/pram/machine_test.cpp.o"
+  "CMakeFiles/test_pram.dir/pram/machine_test.cpp.o.d"
+  "test_pram"
+  "test_pram.pdb"
+  "test_pram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scan.dir/scan/linear_recurrence_test.cpp.o"
+  "CMakeFiles/test_scan.dir/scan/linear_recurrence_test.cpp.o.d"
+  "CMakeFiles/test_scan.dir/scan/prefix_scan_test.cpp.o"
+  "CMakeFiles/test_scan.dir/scan/prefix_scan_test.cpp.o.d"
+  "CMakeFiles/test_scan.dir/scan/second_order_test.cpp.o"
+  "CMakeFiles/test_scan.dir/scan/second_order_test.cpp.o.d"
+  "CMakeFiles/test_scan.dir/scan/segmented_scan_test.cpp.o"
+  "CMakeFiles/test_scan.dir/scan/segmented_scan_test.cpp.o.d"
+  "test_scan"
+  "test_scan.pdb"
+  "test_scan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

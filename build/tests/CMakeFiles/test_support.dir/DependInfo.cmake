@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/bigint_test.cpp" "tests/CMakeFiles/test_support.dir/support/bigint_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/bigint_test.cpp.o.d"
+  "/root/repo/tests/support/rng_test.cpp" "tests/CMakeFiles/test_support.dir/support/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/rng_test.cpp.o.d"
+  "/root/repo/tests/support/table_test.cpp" "tests/CMakeFiles/test_support.dir/support/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ir_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/ir_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/ir_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ir_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/ir_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/ir_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ir_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/livermore/CMakeFiles/ir_livermore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
