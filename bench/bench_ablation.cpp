@@ -96,15 +96,14 @@ void ablation_cap_vs_dp() {
     graph::CapResult cap_stats;
     core::GeneralIrOptions cap_opt;
     cap_opt.cap_out = &cap_stats;
-    support::Stopwatch t_cap;
+    support::Stopwatch watch;
     const auto via_cap = core::general_ir_parallel(op, sys, init, cap_opt);
-    const double cap_ms = t_cap.millis();
+    const double cap_ms = watch.lap() * 1e3;
 
     core::GeneralIrOptions dp_opt;
     dp_opt.reference_counts = true;
-    support::Stopwatch t_dp;
     const auto via_dp = core::general_ir_parallel(op, sys, init, dp_opt);
-    const double dp_ms = t_dp.millis();
+    const double dp_ms = watch.lap() * 1e3;
 
     table.add_row({std::to_string(n), support::fmt_f(cap_ms, 2), support::fmt_f(dp_ms, 2),
                    std::to_string(cap_stats.rounds), std::to_string(cap_stats.peak_edges),
@@ -205,13 +204,12 @@ void ablation_spmd_vs_forkjoin() {
       parallel::ThreadPool pool(workers);
       core::OrdinaryIrOptions options;
       options.pool = &pool;
-      support::Stopwatch t_fork;
+      support::Stopwatch watch;
       const auto a = core::ordinary_ir_parallel(op, sys, init, options);
-      const double fork_ms = t_fork.millis();
+      const double fork_ms = watch.lap() * 1e3;
 
-      support::Stopwatch t_spmd;
       const auto b = core::ordinary_ir_spmd(op, sys, init, workers);
-      const double spmd_ms = t_spmd.millis();
+      const double spmd_ms = watch.lap() * 1e3;
       if (a != b) {
         std::printf("ERROR: solver mismatch\n");
         return;

@@ -11,17 +11,29 @@
 //   * it starts ABOVE the sequential line at P = 1 (the log n factor),
 //   * it crosses below around P ≈ c·log n,
 //   * it matches the (n/P)·log n model closely (fit column).
+//
+// Machine-readable output: `bench_fig3_pram --metrics=FILE` writes the flat
+// JSON metrics document (pram.* registry counters plus the P→time series)
+// for the bench trajectory; see docs/observability.md.
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "algebra/monoids.hpp"
 #include "core/ordinary_ir_pram.hpp"
+#include "obs/metrics_export.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "testing_workloads.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ir;
+
+  std::string metrics_file;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--metrics=", 0) == 0) metrics_file = arg.substr(10);
+  }
 
   const std::size_t n = 50000;
   const std::size_t cells = n + n / 2;
@@ -45,6 +57,7 @@ int main() {
 
   double time_at_p1 = 0.0;
   std::size_t crossover = 0;
+  std::string series;  // JSON [[P, simulated_time], ...] for the metrics dump
   for (std::size_t p = 1; p <= 1024; p *= 2) {
     pram::Machine machine(p, pram::AccessMode::kCrew, pram::CostModel{}, false);
     const auto out = core::ordinary_ir_pram_parallel(op, sys, init, machine);
@@ -55,6 +68,8 @@ int main() {
     const auto t = machine.stats().time;
     if (p == 1) time_at_p1 = static_cast<double>(t);
     if (crossover == 0 && t < original_time) crossover = p;
+    series += (series.empty() ? "[" : ", ");
+    series += "[" + std::to_string(p) + ", " + std::to_string(t) + "]";
 
     // The paper's model: T(n, P) = (n/P) * log2 n, up to the per-item
     // instruction constant; report the ratio so the fit is visible.
@@ -68,5 +83,16 @@ int main() {
   std::printf("crossover (parallel beats original loop) at P = %zu\n", crossover);
   std::printf("paper shape check: parallel above sequential at P = 1, ~1/P decay, "
               "single crossover — see EXPERIMENTS.md [FIG3]\n");
+
+  if (!metrics_file.empty()) {
+    obs::write_metrics_file(
+        metrics_file,
+        {{"bench", obs::json_quote("fig3_pram")},
+         {"n", std::to_string(n)},
+         {"original_time", std::to_string(original_time)},
+         {"crossover_p", std::to_string(crossover)},
+         {"parallel_time_by_p", series + "]"}});
+    std::fprintf(stderr, "metrics written to %s\n", metrics_file.c_str());
+  }
   return 0;
 }

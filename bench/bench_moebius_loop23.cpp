@@ -40,21 +40,19 @@ int main() {
     par.y = seq.y;
     auto seg = seq;
 
-    support::Stopwatch t_seq;
+    support::Stopwatch watch;
     livermore::kernel23_paper_fragment(seq);
-    const double seq_ms = t_seq.millis();
+    const double seq_ms = watch.lap() * 1e3;
 
     core::OrdinaryIrStats stats;
     core::OrdinaryIrOptions options;
     options.pool = &pool;
     options.stats = &stats;
-    support::Stopwatch t_par;
     livermore::kernel23_fragment_parallel(par, options);
-    const double par_ms = t_par.millis();
+    const double par_ms = watch.lap() * 1e3;
 
-    support::Stopwatch t_seg;
     livermore::kernel23_fragment_segmented(seg, &pool);
-    const double seg_ms = t_seg.millis();
+    const double seg_ms = watch.lap() * 1e3;
 
     double max_err = 0.0;
     for (std::size_t i = 0; i < seq.za.data().size(); ++i) {

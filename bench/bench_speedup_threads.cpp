@@ -8,13 +8,23 @@
 //     systems across n.
 //   BM_LinearSequential / BM_LinearScan / BM_LinearMoebius — kernel-5-shaped
 //     chains: direct loop vs classic scan vs the Möbius route.
+//
+// Machine-readable output: `bench_speedup_threads --metrics=FILE` (custom
+// main below) dumps the telemetry registry — rounds, op applications,
+// pool.task counts — accumulated over all benchmark iterations, next to
+// google-benchmark's own --benchmark_format=json wall-clock report.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "algebra/monoids.hpp"
 #include "core/linear_ir.hpp"
 #include "core/ordinary_ir.hpp"
 #include "core/ordinary_ir_blocked.hpp"
 #include "core/ordinary_ir_spmd.hpp"
+#include "obs/metrics_export.hpp"
 #include "scan/linear_recurrence.hpp"
 #include "testing_workloads.hpp"
 
@@ -141,3 +151,30 @@ void BM_LinearMoebius(benchmark::State& state) {
 BENCHMARK(BM_LinearMoebius)->Args({1000000, 2})->Args({1000000, 4})->Args({1000000, 8});
 
 }  // namespace
+
+// Custom main instead of benchmark_main: peel off --metrics=FILE, run the
+// benchmarks, then flush the telemetry registry for the bench trajectory.
+int main(int argc, char** argv) {
+  std::string metrics_file;
+  std::vector<char*> args;
+  for (int a = 0; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_file = arg.substr(10);
+    } else {
+      args.push_back(argv[a]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!metrics_file.empty()) {
+    ir::obs::write_metrics_file(metrics_file,
+                                {{"bench", ir::obs::json_quote("speedup_threads")}});
+    std::fprintf(stderr, "metrics written to %s\n", metrics_file.c_str());
+  }
+  return 0;
+}

@@ -3,8 +3,15 @@
 //   irtool gen {chain|fib|random} N [seed]      emit an ir-system v1 document
 //   irtool analyze <file>                       print the analysis report
 //   irtool classify <file>                      print the recurrence class
-//   irtool solve <file> [mod]                   auto-route and solve mod p
+//   irtool solve <file> [mod] [flags]           auto-route and solve mod p
 //                                               (values = 1 + cell mod 97)
+//     --metrics=FILE    flat JSON metrics dump (registry snapshot + run info)
+//     --trace=FILE      Chrome trace_event JSON (open in Perfetto or
+//                       chrome://tracing); one track per pool worker
+//     --engine=E        force the solver: auto (default), jumping, blocked,
+//                       or spmd (non-auto engines need an ordinary-shaped
+//                       system: h = g, g injective)
+//     see docs/observability.md for the metric/span name catalog
 //   irtool trace <file> <iteration>             print a Lemma-1 trace or a
 //                                               GIR exponent list
 //   irtool dot <file>                           dependence graph as Graphviz
@@ -24,6 +31,7 @@
 #include "algebra/monoids.hpp"
 #include "core/analyze.hpp"
 #include "core/general_ir.hpp"
+#include "core/ordinary_ir_spmd.hpp"
 #include "core/serialize.hpp"
 #include "core/solve.hpp"
 #include "core/trace.hpp"
@@ -31,7 +39,11 @@
 #include "frontend/parser.hpp"
 #include "frontend/transform.hpp"
 #include "graph/dot.hpp"
+#include "obs/metrics_export.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_export.hpp"
 #include "support/rng.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
@@ -43,7 +55,8 @@ int usage() {
                "  irtool gen {chain|fib|random} N [seed]\n"
                "  irtool analyze <file>\n"
                "  irtool classify <file>\n"
-               "  irtool solve <file> [mod]\n"
+               "  irtool solve <file> [mod] [--metrics=FILE] [--trace=FILE]\n"
+               "               [--engine={auto|jumping|blocked|spmd}]\n"
                "  irtool trace <file> <iteration>\n"
                "  irtool dot <file>\n"
                "  irtool lower <dsl-file>\n"
@@ -119,19 +132,75 @@ int cmd_classify(const std::string& path) {
   return 0;
 }
 
-int cmd_solve(const std::string& path, std::uint64_t mod) {
-  const auto sys = load(path);
-  algebra::ModMulMonoid op(mod);
+struct SolveFlags {
+  std::string path;
+  std::uint64_t mod = 1'000'000'007ull;
+  std::string metrics_file;  ///< --metrics=FILE: flat JSON registry dump
+  std::string trace_file;    ///< --trace=FILE: Chrome trace_event JSON
+  std::string engine = "auto";
+};
+
+int cmd_solve(const SolveFlags& flags) {
+  const auto sys = load(flags.path);
+  algebra::ModMulMonoid op(flags.mod);
   std::vector<std::uint64_t> init(sys.cells);
   for (std::size_t c = 0; c < sys.cells; ++c) init[c] = 1 + c % 97;
 
-  core::SystemReport report;
-  core::SolveOptions options;
-  options.report_out = &report;
-  const auto out = core::solve(op, sys, init, options);
+  const bool tracing = !flags.trace_file.empty();
+  if (tracing) {
+    obs::set_thread_name("irtool-main");
+    obs::tracer().set_enabled(true);
+  }
+
+  std::string route;
+  core::OrdinaryIrStats ord_stats;
+  bool have_ord_stats = false;
+  std::vector<std::uint64_t> out;
+  support::Stopwatch watch;
+  {
+    // Pool scope: destroying the pool retires the workers' span tracks, so
+    // the trace/metrics flush below sees every worker's data.
+    parallel::ThreadPool pool(parallel::ThreadPool::default_threads());
+    if (flags.engine == "auto") {
+      core::SystemReport report;
+      core::SolveOptions options;
+      options.pool = &pool;
+      options.report_out = &report;
+      out = core::solve(op, sys, init, options);
+      route = core::to_string(report.route);
+    } else {
+      // Forced engines bypass the router; they need the ordinary shape.
+      IR_REQUIRE(sys.h == sys.g,
+                 "--engine=" + flags.engine + " needs an ordinary-shaped system (h = g)");
+      core::OrdinaryIrSystem ord;
+      ord.cells = sys.cells;
+      ord.f = sys.f;
+      ord.g = sys.g;
+      if (flags.engine == "jumping") {
+        core::OrdinaryIrOptions options;
+        options.pool = &pool;
+        options.stats = &ord_stats;
+        out = core::ordinary_ir_parallel(op, ord, init, options);
+        have_ord_stats = true;
+      } else if (flags.engine == "blocked") {
+        core::BlockedIrOptions options;
+        options.pool = &pool;
+        out = core::ordinary_ir_blocked(op, ord, init, options);
+      } else if (flags.engine == "spmd") {
+        out = core::ordinary_ir_spmd(op, ord, init, pool.size(), &ord_stats);
+        have_ord_stats = true;
+      } else {
+        return usage();
+      }
+      route = flags.engine + " (forced)";
+    }
+  }
+  const double solve_seconds = watch.lap();
+  if (tracing) obs::tracer().set_enabled(false);
+
   const auto check = core::general_ir_sequential(op, sys, init);
 
-  std::printf("route: %s\n", core::to_string(report.route).c_str());
+  std::printf("route: %s\n", route.c_str());
   std::printf("first cells:");
   for (std::size_t c = 0; c < std::min<std::size_t>(8, out.size()); ++c) {
     std::printf(" %llu", static_cast<unsigned long long>(out[c]));
@@ -139,8 +208,33 @@ int cmd_solve(const std::string& path, std::uint64_t mod) {
   std::uint64_t checksum = 0;
   for (const auto v : out) checksum ^= v + 0x9e3779b9 + (checksum << 6) + (checksum >> 2);
   std::printf("\nchecksum: %llu\n", static_cast<unsigned long long>(checksum));
-  std::printf("matches sequential execution: %s\n", out == check ? "yes" : "NO");
-  return out == check ? 0 : 1;
+  if (have_ord_stats) {
+    std::printf("stats: rounds=%zu op_applications=%zu peak_active=%zu\n",
+                ord_stats.rounds, ord_stats.op_applications, ord_stats.peak_active);
+  }
+  const bool matches = out == check;
+  std::printf("matches sequential execution: %s\n", matches ? "yes" : "NO");
+
+  if (!flags.metrics_file.empty()) {
+    obs::ExtraFields extra = {
+        {"command", obs::json_quote("solve")},
+        {"input", obs::json_quote(flags.path)},
+        {"route", obs::json_quote(route)},
+        {"iterations", std::to_string(sys.iterations())},
+        {"cells", std::to_string(sys.cells)},
+        {"mod", std::to_string(flags.mod)},
+        {"solve_seconds", std::to_string(solve_seconds)},
+        {"matches_sequential", matches ? "true" : "false"},
+    };
+    obs::write_metrics_file(flags.metrics_file, extra);
+    std::fprintf(stderr, "metrics written to %s\n", flags.metrics_file.c_str());
+  }
+  if (tracing) {
+    obs::write_chrome_trace_file(flags.trace_file);
+    std::fprintf(stderr, "trace written to %s (open in Perfetto or chrome://tracing)\n",
+                 flags.trace_file.c_str());
+  }
+  return matches ? 0 : 1;
 }
 
 int cmd_trace(const std::string& path, std::size_t iteration) {
@@ -205,9 +299,28 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(argv[2]);
     if (command == "classify") return cmd_classify(argv[2]);
     if (command == "solve") {
-      const std::uint64_t mod =
-          argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1'000'000'007ull;
-      return cmd_solve(argv[2], mod);
+      SolveFlags flags;
+      bool have_path = false, have_mod = false;
+      for (int a = 2; a < argc; ++a) {
+        const std::string arg = argv[a];
+        if (arg.rfind("--metrics=", 0) == 0) {
+          flags.metrics_file = arg.substr(10);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+          flags.trace_file = arg.substr(8);
+        } else if (arg.rfind("--engine=", 0) == 0) {
+          flags.engine = arg.substr(9);
+        } else if (!have_path) {
+          flags.path = arg;
+          have_path = true;
+        } else if (!have_mod) {
+          flags.mod = std::strtoull(arg.c_str(), nullptr, 10);
+          have_mod = true;
+        } else {
+          return usage();
+        }
+      }
+      if (!have_path) return usage();
+      return cmd_solve(flags);
     }
     if (command == "trace") {
       if (argc < 4) return usage();

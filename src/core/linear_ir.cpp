@@ -1,5 +1,6 @@
 #include "core/linear_ir.hpp"
 
+#include "obs/telemetry.hpp"
 #include "support/contract.hpp"
 
 namespace ir::core {
@@ -59,9 +60,12 @@ std::vector<double> moebius_ir_sequential(const MoebiusIrLoop& loop, std::vector
 std::vector<double> moebius_ir_run(const OrdinaryIrSystem& sys,
                                    const std::vector<MoebiusMap>& iteration_maps,
                                    std::vector<double> x, const OrdinaryIrOptions& options) {
+  IR_SPAN("moebius.solve");
   IR_REQUIRE(x.size() == sys.cells, "initial array must have `cells` entries");
   IR_REQUIRE(iteration_maps.size() == sys.iterations(),
              "need exactly one map per iteration");
+  IR_COUNTER_ADD("moebius.solves", 1);
+  IR_COUNTER_ADD("moebius.iterations", sys.iterations());
 
   // Paper Section 3, steps 1-3, with the engine's hooks standing in for the
   // matrix array: chain roots read constant maps built from the scalar

@@ -31,6 +31,7 @@
 
 #include "algebra/concepts.hpp"
 #include "core/ir_problem.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/contract.hpp"
@@ -90,6 +91,7 @@ std::vector<typename Op::Value> ordinary_ir_iteration_values(
     const std::function<typename Op::Value(std::size_t)>& self_value,
     const OrdinaryIrOptions& options = {}) {
   using Value = typename Op::Value;
+  IR_SPAN("ordinary.solve");
   sys.validate();
   const std::size_t n = sys.iterations();
 
@@ -132,6 +134,8 @@ std::vector<typename Op::Value> ordinary_ir_iteration_values(
   };
 
   while (!active.empty()) {
+    IR_SPAN("ordinary.round");
+    IR_HISTOGRAM("ordinary.active_width", active.size());
     IR_INVARIANT(stats.rounds < max_rounds, "pointer jumping failed to converge");
     stats.peak_active = std::max(stats.peak_active, active.size());
     // Without early termination every equation is visited each round (the
@@ -172,6 +176,13 @@ std::vector<typename Op::Value> ordinary_ir_iteration_values(
     }
     active.resize(kept);
   }
+
+  // Bridge into the metrics registry so simulated and wall-clock runs share
+  // one vocabulary (docs/observability.md lists the catalog).
+  IR_COUNTER_ADD("ordinary.solves", 1);
+  IR_COUNTER_ADD("ordinary.rounds", stats.rounds);
+  IR_COUNTER_ADD("ordinary.op_applications", stats.op_applications);
+  IR_GAUGE_MAX("ordinary.peak_active", stats.peak_active);
 
   if (options.stats != nullptr) *options.stats = stats;
   return val;

@@ -56,6 +56,7 @@ std::vector<typename Op::Value> ordinary_ir_blocked_values(
     const std::function<typename Op::Value(std::size_t)>& self_value,
     const BlockedIrOptions& options = {}) {
   using Value = typename Op::Value;
+  IR_SPAN("blocked.solve");
   sys.validate();
   const std::size_t n = sys.iterations();
   BlockedIrStats stats;
@@ -98,10 +99,13 @@ std::vector<typename Op::Value> ordinary_ir_blocked_values(
     }
     block_ops[b] = ops;
   };
-  if (options.pool != nullptr) {
-    parallel::parallel_for(*options.pool, blocks.size(), sweep);
-  } else {
-    for (std::size_t b = 0; b < blocks.size(); ++b) sweep(b);
+  {
+    IR_SPAN("blocked.phase1");
+    if (options.pool != nullptr) {
+      parallel::parallel_for(*options.pool, blocks.size(), sweep);
+    } else {
+      for (std::size_t b = 0; b < blocks.size(); ++b) sweep(b);
+    }
   }
   for (const std::size_t ops : block_ops) stats.op_applications += ops;
 
@@ -117,6 +121,7 @@ std::vector<typename Op::Value> ordinary_ir_blocked_values(
       }
     }
   }
+  IR_SPAN("blocked.phase2");
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     const auto& fixups = partials_per_block[b];
     if (fixups.empty()) continue;
@@ -139,6 +144,12 @@ std::vector<typename Op::Value> ordinary_ir_blocked_values(
     stats.op_applications += fixups.size();
     ++stats.resolve_rounds;
   }
+
+  IR_COUNTER_ADD("blocked.solves", 1);
+  IR_COUNTER_ADD("blocked.blocks", stats.blocks);
+  IR_COUNTER_ADD("blocked.partials", stats.partials);
+  IR_COUNTER_ADD("blocked.resolve_rounds", stats.resolve_rounds);
+  IR_COUNTER_ADD("blocked.op_applications", stats.op_applications);
 
   if (options.stats != nullptr) *options.stats = stats;
   return val;

@@ -50,6 +50,8 @@ std::vector<typename Op::Value> ordinary_ir_spmd(const Op& op, const OrdinaryIrS
 
   const std::vector<Value>& init = initial;
   parallel::run_spmd(workers, [&](parallel::SpmdContext& ctx) {
+    IR_SET_THREAD_NAME("spmd-worker-" + std::to_string(ctx.worker()));
+    IR_SPAN("spmd.worker");
     const auto [begin, end] = ctx.slice(n);
     try {
       // Seed: traces of length one (roots fold in the untouched cell).
@@ -60,6 +62,7 @@ std::vector<typename Op::Value> ordinary_ir_spmd(const Op& op, const OrdinaryIrS
       ctx.barrier();
 
       for (;;) {
+        IR_SPAN("spmd.round");
         // Read phase: everything read is round-input (no writes until the
         // barrier below).
         std::size_t mine = 0;
@@ -104,6 +107,11 @@ std::vector<typename Op::Value> ordinary_ir_spmd(const Op& op, const OrdinaryIrS
     }
   });
   IR_INVARIANT(!aborted.load(), "SPMD solve aborted without rethrow");
+
+  IR_COUNTER_ADD("spmd.solves", 1);
+  IR_COUNTER_ADD("spmd.rounds", local_stats.rounds);
+  IR_COUNTER_ADD("spmd.op_applications", local_stats.op_applications);
+  IR_GAUGE_MAX("spmd.peak_active", local_stats.peak_active);
 
   std::vector<Value> result = std::move(initial);
   for (std::size_t i = 0; i < n; ++i) result[sys.g[i]] = std::move(val[i]);

@@ -1,0 +1,24 @@
+// Monotonic nanosecond clock shared by all telemetry.
+//
+// Every span timestamp and every exporter works in "nanoseconds since the
+// first telemetry clock read of this process".  Using one process-wide origin
+// (instead of raw steady_clock ticks) keeps Chrome-trace timestamps small and
+// makes traces from different threads directly comparable: steady_clock is
+// monotonic across threads on every platform we target.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ir::obs {
+
+/// Nanoseconds elapsed since the process's telemetry origin (the first call).
+/// Monotone and comparable across threads.
+inline std::uint64_t now_ns() {
+  static const auto origin = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - origin)
+                                        .count());
+}
+
+}  // namespace ir::obs

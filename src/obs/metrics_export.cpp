@@ -1,0 +1,90 @@
+#include "obs/metrics_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/contract.hpp"
+
+namespace ir::obs {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_quote(const std::string& text) { return "\"" + json_escape(text) + "\""; }
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot,
+                        const ExtraFields& extra) {
+  const auto emit_map = [&out](const std::map<std::string, std::uint64_t>& values) {
+    bool first = true;
+    for (const auto& [name, value] : values) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n    " << json_quote(name) << ": " << value;
+    }
+  };
+
+  out << "{\n  \"counters\": {";
+  emit_map(snapshot.counters);
+  out << "\n  },\n  \"gauges\": {";
+  emit_map(snapshot.gauges);
+  out << "\n  },\n  \"histograms\": {";
+  {
+    bool first = true;
+    for (const auto& [name, histogram] : snapshot.histograms) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n    " << json_quote(name) << ": {\"count\": " << histogram.count()
+          << ", \"buckets\": [";
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        if (b != 0) out << ", ";
+        out << histogram.buckets[b];
+      }
+      out << "]}";
+    }
+  }
+  out << "\n  },\n  \"extra\": {";
+  {
+    bool first = true;
+    for (const auto& [key, raw_value] : extra) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n    " << json_quote(key) << ": " << raw_value;
+    }
+  }
+  out << "\n  }\n}\n";
+}
+
+std::string metrics_json(const MetricsSnapshot& snapshot, const ExtraFields& extra) {
+  std::ostringstream out;
+  write_metrics_json(out, snapshot, extra);
+  return out.str();
+}
+
+void write_metrics_file(const std::string& path, const ExtraFields& extra) {
+  std::ofstream out(path);
+  IR_REQUIRE(out.good(), "cannot open metrics output file '" + path + "'");
+  write_metrics_json(out, registry().snapshot(), extra);
+}
+
+}  // namespace ir::obs

@@ -1,0 +1,48 @@
+// Flat JSON metrics exporter for the bench trajectory and irtool.
+//
+// The document shape is deliberately boring so shell pipelines and plotting
+// scripts can consume it without a schema:
+//
+//   {
+//     "counters":   { "ordinary.rounds": 17, ... },
+//     "gauges":     { "ordinary.peak_active": 4093, ... },
+//     "histograms": { "ordinary.active_width": {"count": 17, "buckets": [...]}, ... },
+//     "extra":      { ...caller-supplied fields... }
+//   }
+//
+// `extra` carries run parameters (n, P, route, wall-clock seconds) next to
+// the registry values; callers pass pre-rendered JSON value text so numbers
+// stay numbers and strings stay strings.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace ir::obs {
+
+/// Key/value pairs appended under "extra".  The value is RAW JSON text —
+/// use json_quote for strings, std::to_string for numbers.
+using ExtraFields = std::vector<std::pair<std::string, std::string>>;
+
+/// Escape a string's content for embedding inside JSON quotes.
+std::string json_escape(const std::string& text);
+
+/// Quote + escape: returns `"text"` ready to use as a JSON value.
+std::string json_quote(const std::string& text);
+
+/// Serialize a snapshot (plus extras) as the flat JSON document above.
+std::string metrics_json(const MetricsSnapshot& snapshot, const ExtraFields& extra = {});
+
+/// Stream variant of metrics_json.
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot,
+                        const ExtraFields& extra = {});
+
+/// Snapshot the process registry and write it to `path`.  Throws
+/// ir::support::ContractViolation when the file cannot be opened.
+void write_metrics_file(const std::string& path, const ExtraFields& extra = {});
+
+}  // namespace ir::obs

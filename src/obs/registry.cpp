@@ -1,0 +1,139 @@
+#include "obs/registry.hpp"
+
+#include <bit>
+
+namespace ir::obs {
+
+namespace detail {
+
+Shard::Shard() { registry().attach(this); }
+
+Shard::~Shard() { registry().detach(this); }
+
+Shard& local_shard() {
+  thread_local Shard shard;
+  return shard;
+}
+
+}  // namespace detail
+
+std::size_t Histogram::bucket_of(std::uint64_t value) noexcept {
+  const auto width = static_cast<std::size_t>(std::bit_width(value));
+  return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+}
+
+Registry& registry() {
+  // Leaked on purpose: thread_local Shard destructors run during thread and
+  // process teardown and must find a live registry to retire into.
+  static Registry* instance = new Registry;
+  return *instance;
+}
+
+std::size_t Registry::register_metric(const std::string& name, MetricKind kind,
+                                      std::size_t slots_needed) {
+  std::lock_guard lock(mutex_);
+  for (const auto& metric : metrics_) {
+    if (metric.name == name) {
+      IR_REQUIRE(metric.kind == kind,
+                 "metric '" + name + "' already registered with a different kind");
+      return metric.slot;
+    }
+  }
+  IR_REQUIRE(next_slot_ + slots_needed <= kShardSlots,
+             "metric registry is full (kShardSlots exceeded)");
+  const std::size_t slot = next_slot_;
+  next_slot_ += slots_needed;
+  for (std::size_t s = slot; s < slot + slots_needed; ++s) slot_kind_[s] = kind;
+  metrics_.push_back(MetricInfo{name, kind, slot});
+  return slot;
+}
+
+Counter Registry::counter(const std::string& name) {
+  return Counter(register_metric(name, MetricKind::kCounter, 1));
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  return Gauge(register_metric(name, MetricKind::kGauge, 1));
+}
+
+Histogram Registry::histogram(const std::string& name) {
+  return Histogram(register_metric(name, MetricKind::kHistogram, kHistogramBuckets));
+}
+
+void Registry::attach(detail::Shard* shard) {
+  std::lock_guard lock(mutex_);
+  shards_.push_back(shard);
+}
+
+void Registry::fold_into_retired(const detail::Shard& shard) {
+  // Caller holds mutex_.
+  for (std::size_t s = 0; s < kShardSlots; ++s) {
+    const std::uint64_t value = shard.slots[s].load(std::memory_order_relaxed);
+    if (value == 0) continue;
+    if (slot_kind_[s] == MetricKind::kGauge) {
+      if (value > retired_[s]) retired_[s] = value;
+    } else {
+      retired_[s] += value;
+    }
+  }
+}
+
+void Registry::detach(detail::Shard* shard) {
+  std::lock_guard lock(mutex_);
+  fold_into_retired(*shard);
+  for (auto it = shards_.begin(); it != shards_.end(); ++it) {
+    if (*it == shard) {
+      shards_.erase(it);
+      break;
+    }
+  }
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+
+  // Merge every slot first, then project through the metric table.
+  std::array<std::uint64_t, kShardSlots> merged = retired_;
+  for (const detail::Shard* shard : shards_) {
+    for (std::size_t s = 0; s < kShardSlots; ++s) {
+      const std::uint64_t value = shard->slots[s].load(std::memory_order_relaxed);
+      if (value == 0) continue;
+      if (slot_kind_[s] == MetricKind::kGauge) {
+        if (value > merged[s]) merged[s] = value;
+      } else {
+        merged[s] += value;
+      }
+    }
+  }
+
+  MetricsSnapshot snap;
+  for (const auto& metric : metrics_) {
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        snap.counters[metric.name] = merged[metric.slot];
+        break;
+      case MetricKind::kGauge:
+        snap.gauges[metric.name] = merged[metric.slot];
+        break;
+      case MetricKind::kHistogram: {
+        MetricsSnapshot::Histogram histogram;
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+          histogram.buckets[b] = merged[metric.slot + b];
+        }
+        snap.histograms[metric.name] = histogram;
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  retired_.fill(0);
+  for (detail::Shard* shard : shards_) {
+    for (auto& slot : shard->slots) slot.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace ir::obs

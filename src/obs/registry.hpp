@@ -1,0 +1,195 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms with thread-local shards.
+//
+// Design goals, in order:
+//   1. The hot path (Counter::add from inside a pointer-jumping round or a
+//      PRAM step) must be one relaxed atomic add on a cache line no other
+//      thread writes.  Thread-local shards give exactly that: each thread
+//      owns a slot array; only snapshot() ever reads across threads.
+//   2. Metric registration is rare (once per call site, via a function-local
+//      static handle) and may take a lock.
+//   3. Snapshots merge the shards: counters and histogram buckets SUM across
+//      threads, gauges take the MAX (the only gauge semantics the solvers
+//      need — peak widths).  A shard whose thread exited folds its values
+//      into a retired accumulator first, so no data is lost when a
+//      ThreadPool is destroyed before the flush.
+//
+// Exactness: a snapshot taken after the instrumented threads joined (e.g.
+// after parallel_for returned, or after a ThreadPool was destroyed) sees
+// every add that happened-before the join.  A snapshot taken concurrently
+// with writers is a consistent-per-slot but possibly torn-across-slots view;
+// the exporters only ever flush quiescent runs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/contract.hpp"
+
+namespace ir::obs {
+
+/// Histograms use power-of-two buckets: bucket 0 counts value 0, bucket b
+/// counts values in [2^(b-1), 2^b), and the last bucket absorbs the tail.
+inline constexpr std::size_t kHistogramBuckets = 24;
+
+/// Total metric slots available per thread shard.  Counters and gauges take
+/// one slot each; histograms take kHistogramBuckets.  Registration past the
+/// cap throws — the catalog is meant to be small and curated
+/// (docs/observability.md).
+inline constexpr std::size_t kShardSlots = 1024;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Merged view of all shards at one point in time.
+struct MetricsSnapshot {
+  struct Histogram {
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+    /// Total samples recorded.
+    [[nodiscard]] std::uint64_t count() const noexcept {
+      std::uint64_t total = 0;
+      for (const auto b : buckets) total += b;
+      return total;
+    }
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  /// Counter value, or 0 when the counter was never registered/bumped.
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+
+  /// Gauge value, or 0 when never recorded.
+  [[nodiscard]] std::uint64_t gauge(const std::string& name) const {
+    const auto it = gauges.find(name);
+    return it == gauges.end() ? 0 : it->second;
+  }
+};
+
+namespace detail {
+
+/// Per-thread slot array.  Only the owning thread writes; snapshot() reads
+/// with relaxed loads.  Construction/destruction register with the Registry.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kShardSlots> slots{};
+
+  Shard();
+  ~Shard();
+};
+
+Shard& local_shard();
+
+}  // namespace detail
+
+/// Handle to a registered counter.  Copyable, trivially cheap; add() is one
+/// relaxed fetch_add on the calling thread's shard.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::uint64_t delta = 1) noexcept {
+    detail::local_shard().slots[slot_].fetch_add(delta, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::size_t slot) : slot_(slot) {}
+  std::size_t slot_ = 0;
+};
+
+/// Handle to a registered max-gauge: record_max folds the sample into the
+/// thread's running maximum; snapshot() takes the max across threads.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void record_max(std::uint64_t value) noexcept {
+    auto& cell = detail::local_shard().slots[slot_];
+    // The shard is thread-local, so a plain load/compare/store is race-free
+    // against other writers; snapshot's concurrent relaxed load sees either
+    // the old or the new max, both valid.
+    if (value > cell.load(std::memory_order_relaxed)) {
+      cell.store(value, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::size_t slot) : slot_(slot) {}
+  std::size_t slot_ = 0;
+};
+
+/// Handle to a registered histogram (fixed power-of-two buckets).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void record(std::uint64_t value) noexcept {
+    detail::local_shard().slots[slot_ + bucket_of(value)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// Bucket index for a sample (see kHistogramBuckets for the bounds).
+  static std::size_t bucket_of(std::uint64_t value) noexcept;
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::size_t slot) : slot_(slot) {}
+  std::size_t slot_ = 0;
+};
+
+/// The process-wide registry.  Access through registry(); the singleton is
+/// intentionally leaked so thread-exit shard retirement is safe during
+/// static destruction.
+class Registry {
+ public:
+  /// Register (or look up) a metric.  Re-registering the same name returns
+  /// the same handle; re-registering under a different kind throws.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name);
+
+  /// Merge all shards (live and retired) into a snapshot.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every value (live shards and retired accumulator).  Metric
+  /// registrations survive.  Callers must quiesce instrumented threads
+  /// first; this is a test/bench convenience, not a concurrent primitive.
+  void reset();
+
+ private:
+  friend struct detail::Shard;
+
+  struct MetricInfo {
+    std::string name;
+    MetricKind kind;
+    std::size_t slot;  ///< first slot; histograms own kHistogramBuckets slots
+  };
+
+  std::size_t register_metric(const std::string& name, MetricKind kind,
+                              std::size_t slots_needed);
+  void attach(detail::Shard* shard);
+  void detach(detail::Shard* shard);
+  void fold_into_retired(const detail::Shard& shard);
+
+  mutable std::mutex mutex_;
+  std::vector<MetricInfo> metrics_;
+  std::array<MetricKind, kShardSlots> slot_kind_{};  // merge op per slot
+  std::size_t next_slot_ = 0;
+  std::vector<detail::Shard*> shards_;
+  std::array<std::uint64_t, kShardSlots> retired_{};
+};
+
+/// The process-wide registry instance.
+Registry& registry();
+
+}  // namespace ir::obs

@@ -1,0 +1,98 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+
+namespace ir::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+}  // namespace
+
+namespace detail {
+
+ThreadTrack::ThreadTrack() { tracer().attach(this); }
+
+ThreadTrack::~ThreadTrack() { tracer().detach(this); }
+
+ThreadTrack& local_track() {
+  thread_local ThreadTrack track;
+  return track;
+}
+
+}  // namespace detail
+
+Tracer& tracer() {
+  // Leaked on purpose (see obs/registry.cpp for the rationale).
+  static Tracer* instance = new Tracer;
+  return *instance;
+}
+
+void Tracer::set_enabled(bool on) noexcept {
+  g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Tracer::enabled() noexcept { return g_tracing_enabled.load(std::memory_order_relaxed); }
+
+void Tracer::set_thread_name(std::string name) {
+  auto& track = detail::local_track();
+  std::lock_guard lock(track.mutex);
+  track.name = std::move(name);
+}
+
+void set_thread_name(const std::string& name) { tracer().set_thread_name(name); }
+
+void Tracer::attach(detail::ThreadTrack* track) {
+  std::lock_guard lock(mutex_);
+  track->tid = next_tid_++;
+  live_.push_back(track);
+}
+
+void Tracer::detach(detail::ThreadTrack* track) {
+  std::lock_guard lock(mutex_);
+  {
+    std::lock_guard track_lock(track->mutex);
+    if (!track->events.empty()) {
+      TrackDump dump;
+      dump.tid = track->tid;
+      dump.name = std::move(track->name);
+      dump.events = std::move(track->events);
+      retired_.push_back(std::move(dump));
+    }
+  }
+  for (auto it = live_.begin(); it != live_.end(); ++it) {
+    if (*it == track) {
+      live_.erase(it);
+      break;
+    }
+  }
+}
+
+std::vector<TrackDump> Tracer::drain() {
+  std::lock_guard lock(mutex_);
+  std::vector<TrackDump> dumps = std::move(retired_);
+  retired_.clear();
+  for (detail::ThreadTrack* track : live_) {
+    std::lock_guard track_lock(track->mutex);
+    if (track->events.empty()) continue;
+    TrackDump dump;
+    dump.tid = track->tid;
+    dump.name = track->name;  // the live thread keeps its name
+    dump.events = std::move(track->events);
+    track->events.clear();
+    dumps.push_back(std::move(dump));
+  }
+  return dumps;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  retired_.clear();
+  for (detail::ThreadTrack* track : live_) {
+    std::lock_guard track_lock(track->mutex);
+    track->events.clear();
+  }
+}
+
+}  // namespace ir::obs

@@ -1,0 +1,128 @@
+// Scoped spans with nesting and per-thread buffers.
+//
+// A span is a named [start, end) interval on one thread.  IR_SPAN("round")
+// (see obs/telemetry.hpp) opens one for the enclosing scope; spans nest, and
+// the recorded depth lets exporters rebuild the stack.  Collection is opt-in:
+// until Tracer::set_enabled(true) every span is a single relaxed atomic load
+// and nothing is recorded, so leaving instrumentation compiled in costs
+// nothing measurable on production paths.
+//
+// Each thread owns a ThreadTrack (buffer + stable track id + display name).
+// Completed spans are appended under a per-track mutex — uncontended in
+// steady state, but it lets drain() safely collect from live worker threads.
+// Tracks whose thread exited are retired into the Tracer so a ThreadPool can
+// be destroyed before the trace is exported without losing its workers'
+// spans.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace ir::obs {
+
+/// One completed span.  `name` must point at storage that outlives the
+/// Tracer (string literals — which is what the IR_SPAN macro passes).
+struct SpanEvent {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t end_ns;
+  std::uint32_t depth;  ///< nesting depth at open time (0 = top level)
+};
+
+/// A thread's collected spans, as handed to the exporters.
+struct TrackDump {
+  std::uint64_t tid = 0;
+  std::string name;
+  std::vector<SpanEvent> events;
+};
+
+namespace detail {
+
+struct ThreadTrack {
+  std::mutex mutex;  ///< guards `events` and `name` against drain()
+  std::uint64_t tid = 0;
+  std::string name;
+  std::uint32_t depth = 0;  ///< owner-thread-only; not read by drain()
+  std::vector<SpanEvent> events;
+
+  ThreadTrack();
+  ~ThreadTrack();
+};
+
+ThreadTrack& local_track();
+
+}  // namespace detail
+
+/// Process-wide span collector.  Access through tracer(); leaked singleton
+/// for the same teardown-ordering reason as the metrics registry.
+class Tracer {
+ public:
+  /// Turn collection on/off.  Spans opened while disabled are never
+  /// recorded, even if collection is enabled before they close.
+  void set_enabled(bool on) noexcept;
+
+  /// Hot-path check used by ScopedSpan.
+  [[nodiscard]] static bool enabled() noexcept;
+
+  /// Set the calling thread's track name (shown as the Chrome-trace track
+  /// title).  Unnamed tracks render as "thread-<tid>".
+  void set_thread_name(std::string name);
+
+  /// Move all collected spans out (live tracks are emptied in place,
+  /// retired tracks are consumed).  Tracks with no events are dropped.
+  /// Ordering within a track is completion order; exporters sort by start.
+  std::vector<TrackDump> drain();
+
+  /// Discard everything collected so far.
+  void clear();
+
+ private:
+  friend struct detail::ThreadTrack;
+
+  void attach(detail::ThreadTrack* track);
+  void detach(detail::ThreadTrack* track);
+
+  std::mutex mutex_;
+  std::vector<detail::ThreadTrack*> live_;
+  std::vector<TrackDump> retired_;
+  std::uint64_t next_tid_ = 1;
+};
+
+/// The process-wide tracer instance.
+Tracer& tracer();
+
+/// Name the calling thread's track (convenience wrapper).
+void set_thread_name(const std::string& name);
+
+/// RAII span.  Construct with a string LITERAL (the pointer is kept).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept {
+    if (!Tracer::enabled()) return;
+    name_ = name;
+    start_ = now_ns();
+    ++detail::local_track().depth;
+  }
+
+  ~ScopedSpan() {
+    if (name_ == nullptr) return;
+    auto& track = detail::local_track();
+    const std::uint32_t depth = --track.depth;
+    const std::uint64_t end = now_ns();
+    std::lock_guard lock(track.mutex);
+    track.events.push_back(SpanEvent{name_, start_, end, depth});
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace ir::obs

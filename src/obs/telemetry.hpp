@@ -1,0 +1,89 @@
+// Telemetry macro surface — the ONLY header instrumented code includes.
+//
+// Build-time gate: the CMake option IR_TELEMETRY (default ON) defines
+// IR_TELEMETRY_ENABLED to 1 or 0 for every target.  With the option OFF all
+// macros below expand to no-ops that evaluate none of their arguments, so
+// the hot paths carry no obs symbols and no atomic traffic — the disabled
+// build must link and solve identically (tests/obs/telemetry_mode_test.cpp
+// asserts this in both configurations).
+//
+// Macro catalog (names are the metric/span names in docs/observability.md):
+//
+//   IR_SPAN("name");                  scoped span, RAII for the block
+//   IR_COUNTER_ADD("name", delta);    monotone counter += delta
+//   IR_GAUGE_MAX("name", value);      gauge = max(gauge, value)
+//   IR_HISTOGRAM("name", value);      one sample into power-of-two buckets
+//   IR_SET_THREAD_NAME(name);         Chrome-trace track title (std::string)
+//
+// Span/metric NAMES must be string literals (the span keeps the pointer;
+// the metric handle is a function-local static resolved on first hit, so
+// the name is read once per call site).
+#pragma once
+
+#ifndef IR_TELEMETRY_ENABLED
+#define IR_TELEMETRY_ENABLED 1
+#endif
+
+#if IR_TELEMETRY_ENABLED
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
+#define IR_OBS_CONCAT_INNER(a, b) a##b
+#define IR_OBS_CONCAT(a, b) IR_OBS_CONCAT_INNER(a, b)
+
+#define IR_SPAN(name) \
+  ::ir::obs::ScopedSpan IR_OBS_CONCAT(ir_obs_span_, __LINE__)(name)
+
+#define IR_COUNTER_ADD(name, delta)                                     \
+  do {                                                                  \
+    static ::ir::obs::Counter IR_OBS_CONCAT(ir_obs_counter_, __LINE__) = \
+        ::ir::obs::registry().counter(name);                            \
+    IR_OBS_CONCAT(ir_obs_counter_, __LINE__).add(delta);                \
+  } while (false)
+
+#define IR_GAUGE_MAX(name, value)                                     \
+  do {                                                                \
+    static ::ir::obs::Gauge IR_OBS_CONCAT(ir_obs_gauge_, __LINE__) =  \
+        ::ir::obs::registry().gauge(name);                            \
+    IR_OBS_CONCAT(ir_obs_gauge_, __LINE__).record_max(value);         \
+  } while (false)
+
+#define IR_HISTOGRAM(name, value)                                         \
+  do {                                                                    \
+    static ::ir::obs::Histogram IR_OBS_CONCAT(ir_obs_histogram_, __LINE__) = \
+        ::ir::obs::registry().histogram(name);                            \
+    IR_OBS_CONCAT(ir_obs_histogram_, __LINE__).record(value);             \
+  } while (false)
+
+#define IR_SET_THREAD_NAME(name) ::ir::obs::set_thread_name(name)
+
+#else  // !IR_TELEMETRY_ENABLED
+
+// No-op expansions.  Arguments are NOT evaluated; (void)sizeof silences
+// unused-variable warnings without generating code.
+#define IR_SPAN(name) \
+  do {                \
+  } while (false)
+
+#define IR_COUNTER_ADD(name, delta) \
+  do {                              \
+    (void)sizeof(delta);            \
+  } while (false)
+
+#define IR_GAUGE_MAX(name, value) \
+  do {                            \
+    (void)sizeof(value);          \
+  } while (false)
+
+#define IR_HISTOGRAM(name, value) \
+  do {                            \
+    (void)sizeof(value);          \
+  } while (false)
+
+#define IR_SET_THREAD_NAME(name) \
+  do {                           \
+    (void)sizeof(name);          \
+  } while (false)
+
+#endif  // IR_TELEMETRY_ENABLED

@@ -1,0 +1,77 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics_export.hpp"  // json_escape
+#include "support/contract.hpp"
+
+namespace ir::obs {
+
+namespace {
+
+// Trace Event Format timestamps are microseconds; keep nanosecond precision
+// with three decimals.
+std::string micros(std::uint64_t ns) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buffer;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(std::vector<TrackDump> tracks) {
+  std::ostringstream out;
+  write_chrome_trace(out, std::move(tracks));
+  return out.str();
+}
+
+void write_chrome_trace(std::ostream& out, std::vector<TrackDump> tracks) {
+  std::sort(tracks.begin(), tracks.end(),
+            [](const TrackDump& a, const TrackDump& b) { return a.tid < b.tid; });
+  for (auto& track : tracks) {
+    std::sort(track.events.begin(), track.events.end(),
+              [](const SpanEvent& a, const SpanEvent& b) {
+                // Equal starts: the deeper span opened later — emit it after
+                // its parent so viewers nest it correctly.
+                return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                                : a.depth < b.depth;
+              });
+  }
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+
+  for (const auto& track : tracks) {
+    const std::string name =
+        track.name.empty() ? "thread-" + std::to_string(track.tid) : track.name;
+    comma();
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << track.tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << json_escape(name)
+        << "\"}}";
+    for (const auto& event : track.events) {
+      comma();
+      out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << track.tid << ",\"name\":\""
+          << json_escape(event.name) << "\",\"cat\":\"ir\",\"ts\":" << micros(event.start_ns)
+          << ",\"dur\":" << micros(event.end_ns - event.start_ns)
+          << ",\"args\":{\"depth\":" << event.depth << "}}";
+    }
+  }
+  out << "]}\n";
+}
+
+void write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  IR_REQUIRE(out.good(), "cannot open trace output file '" + path + "'");
+  write_chrome_trace(out, tracer().drain());
+}
+
+}  // namespace ir::obs

@@ -1,0 +1,28 @@
+// Chrome trace_event exporter.
+//
+// Writes the JSON-object form of the Trace Event Format — the file
+// chrome://tracing and https://ui.perfetto.dev open directly.  Each
+// TrackDump becomes one track (a `thread_name` metadata event plus its
+// spans as "X" complete events); events within a track are sorted by start
+// time so `ts` is monotone per track.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace ir::obs {
+
+/// Serialize the tracks as a Chrome trace_event JSON document.
+std::string chrome_trace_json(std::vector<TrackDump> tracks);
+
+/// Stream variant of chrome_trace_json.
+void write_chrome_trace(std::ostream& out, std::vector<TrackDump> tracks);
+
+/// Drain the process tracer and write its trace to `path`.  Throws
+/// ir::support::ContractViolation when the file cannot be opened.
+void write_chrome_trace_file(const std::string& path);
+
+}  // namespace ir::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
+
 namespace ir::parallel {
 
 std::vector<Block> partition_blocks(std::size_t n, std::size_t parts) {
@@ -23,6 +25,9 @@ std::vector<Block> partition_blocks(std::size_t n, std::size_t parts) {
 
 void parallel_for_blocks(ThreadPool& pool, std::size_t n,
                          const std::function<void(const Block&)>& body) {
+  IR_SPAN("parallel.for");
+  IR_COUNTER_ADD("parallel.for_calls", 1);
+  IR_COUNTER_ADD("parallel.for_items", n);
   const auto blocks = partition_blocks(n, pool.size());
   if (blocks.size() <= 1) {
     for (const auto& block : blocks) body(block);
@@ -46,6 +51,9 @@ void parallel_for(ThreadPool& pool, std::size_t n,
 void parallel_for_capped(ThreadPool& pool, std::size_t n, std::size_t max_workers,
                          const std::function<void(std::size_t)>& body) {
   IR_REQUIRE(max_workers >= 1, "worker cap must be at least one");
+  IR_SPAN("parallel.for");
+  IR_COUNTER_ADD("parallel.for_calls", 1);
+  IR_COUNTER_ADD("parallel.for_items", n);
   const auto blocks = partition_blocks(n, max_workers);
   if (blocks.size() <= 1) {
     for (const auto& block : blocks)

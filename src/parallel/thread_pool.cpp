@@ -1,6 +1,9 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/telemetry.hpp"
 
 namespace ir::parallel {
 
@@ -8,7 +11,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   IR_REQUIRE(threads >= 1, "thread pool needs at least one worker");
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -26,10 +29,14 @@ std::size_t ThreadPool::default_threads() {
   return std::clamp<std::size_t>(hw == 0 ? 4 : hw, 1, 256);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  // One Chrome-trace track per pool worker; the trace shows task spans
+  // separated by pool.wait (idle) spans, so utilization reads off directly.
+  IR_SET_THREAD_NAME("pool-worker-" + std::to_string(index));
   for (;;) {
     std::function<void()> task;
     {
+      IR_SPAN("pool.wait");
       std::unique_lock lock(mutex_);
       work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
       if (queue_.empty()) {
@@ -40,6 +47,8 @@ void ThreadPool::worker_loop() {
       queue_.pop();
     }
     try {
+      IR_SPAN("pool.task");
+      IR_COUNTER_ADD("pool.tasks", 1);
       task();
     } catch (...) {
       std::lock_guard lock(mutex_);
@@ -55,6 +64,8 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  IR_SPAN("pool.batch");
+  IR_COUNTER_ADD("pool.batches", 1);
   {
     std::lock_guard lock(mutex_);
     IR_REQUIRE(in_flight_ == 0 && queue_.empty(),

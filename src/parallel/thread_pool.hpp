@@ -46,7 +46,7 @@ class ThreadPool {
   static std::size_t default_threads();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/telemetry.hpp"
+
 namespace ir::pram {
+
+namespace {
+
+/// Bridge one execution's Stats deltas into the metrics registry, so
+/// simulated (pram.*) and wall-clock (ordinary.* / pool.*) runs share one
+/// vocabulary in the flat metrics dump.
+void publish_delta(const Stats& before, const Stats& after) {
+  IR_COUNTER_ADD("pram.steps", after.steps - before.steps);
+  IR_COUNTER_ADD("pram.work", after.work - before.work);
+  IR_COUNTER_ADD("pram.time", after.time - before.time);
+  IR_COUNTER_ADD("pram.forks", after.forks - before.forks);
+  IR_COUNTER_ADD("pram.shared_reads", after.shared_reads - before.shared_reads);
+  IR_COUNTER_ADD("pram.shared_writes", after.shared_writes - before.shared_writes);
+}
+
+}  // namespace
 
 Machine::Machine(std::size_t processors, AccessMode mode, CostModel cost, bool audit)
     : processors_(processors), mode_(mode), cost_(cost), audit_(audit) {
@@ -25,6 +43,8 @@ void Machine::sequential(std::size_t count, const std::function<void(Pe&, std::s
   // The "original loop" baseline: one process, writes take effect
   // immediately (iteration i sees iteration j < i's stores), no fork/barrier
   // overhead beyond the single spawned process.
+  IR_SPAN("pram.sequential");
+  const Stats before = stats_;
   Pe pe(*this);
   std::uint64_t time = cost_.fork;
   ++stats_.forks;
@@ -42,12 +62,15 @@ void Machine::sequential(std::size_t count, const std::function<void(Pe&, std::s
   ++stats_.steps;
   stats_.work += time;
   stats_.time += time;
+  publish_delta(before, stats_);
 }
 
 void Machine::run_step(std::size_t count, std::size_t processors_used,
                        const std::function<void(Pe&, std::size_t)>& body) {
   if (count == 0) return;
   IR_INVARIANT(processors_used >= 1, "step must use at least one processor");
+  IR_SPAN("pram.step");
+  const Stats before = stats_;
 
   // Block partition: processor p owns items [p*chunk, min((p+1)*chunk, count)).
   const std::size_t chunk = (count + processors_used - 1) / processors_used;
@@ -81,6 +104,7 @@ void Machine::run_step(std::size_t count, std::size_t processors_used,
   stats_.work += cost_.fork * processors_used + cost_.barrier * processors_used;
   stats_.forks += processors_used;
   ++stats_.steps;
+  publish_delta(before, stats_);
 }
 
 void Machine::audit_step() {

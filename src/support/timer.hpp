@@ -2,16 +2,26 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace ir::support {
 
-/// Monotonic wall-clock stopwatch.
+/// Monotonic wall-clock stopwatch with an independent lap marker, so one
+/// instance can time a sequence of phases:
+///
+///   Stopwatch watch;
+///   run_phase_a();  const double a = watch.lap();
+///   run_phase_b();  const double b = watch.lap();
+///   const double total = watch.seconds();
 class Stopwatch {
  public:
-  Stopwatch() : start_(clock::now()) {}
+  Stopwatch() : start_(clock::now()), lap_(start_) {}
 
-  /// Restart the stopwatch.
-  void reset() { start_ = clock::now(); }
+  /// Restart the stopwatch (and the lap marker).
+  void reset() {
+    start_ = clock::now();
+    lap_ = start_;
+  }
 
   /// Seconds elapsed since construction or last reset().
   [[nodiscard]] double seconds() const {
@@ -21,9 +31,35 @@ class Stopwatch {
   /// Milliseconds elapsed.
   [[nodiscard]] double millis() const { return seconds() * 1e3; }
 
+  /// Nanoseconds elapsed (integer; for telemetry and machine-readable logs).
+  [[nodiscard]] std::uint64_t nanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_)
+            .count());
+  }
+
+  /// Seconds since the last lap()/reset()/construction, and advance the lap
+  /// marker.  Does not disturb seconds()/nanos(), which stay anchored at the
+  /// last reset().
+  double lap() {
+    const auto now = clock::now();
+    const double elapsed = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return elapsed;
+  }
+
+  /// Nanosecond variant of lap().
+  std::uint64_t lap_nanos() {
+    const auto now = clock::now();
+    const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(now - lap_);
+    lap_ = now;
+    return static_cast<std::uint64_t>(elapsed.count());
+  }
+
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+  clock::time_point lap_;
 };
 
 }  // namespace ir::support

@@ -1,0 +1,43 @@
+// Flat JSON metrics exporter: document shape, escaping, extra fields.
+#include "obs/metrics_export.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ir;
+
+TEST(MetricsExport, JsonEscape) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(obs::json_quote("x"), "\"x\"");
+}
+
+TEST(MetricsExport, DocumentShape) {
+  obs::MetricsSnapshot snap;
+  snap.counters["alpha.count"] = 7;
+  snap.gauges["alpha.peak"] = 99;
+  obs::MetricsSnapshot::Histogram histogram;
+  histogram.buckets[0] = 2;
+  histogram.buckets[3] = 5;
+  snap.histograms["alpha.widths"] = histogram;
+
+  const std::string json = obs::metrics_json(
+      snap, {{"route", obs::json_quote("jumping")}, {"n", "1024"}});
+
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha.count\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"alpha.peak\": 99"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 7, \"buckets\": [2, 0, 0, 5"), std::string::npos);
+  EXPECT_NE(json.find("\"route\": \"jumping\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\": 1024"), std::string::npos);
+}
+
+TEST(MetricsExport, EmptySnapshotIsStillAnObject) {
+  const std::string json = obs::metrics_json(obs::MetricsSnapshot{});
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"extra\""), std::string::npos);
+}
+
+}  // namespace

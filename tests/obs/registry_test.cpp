@@ -1,0 +1,104 @@
+// Metrics registry: shard merging, kinds, and merge-under-concurrency.
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace ir;
+
+TEST(Registry, CounterAccumulatesOnOneThread) {
+  auto counter = obs::registry().counter("test.registry.single");
+  const std::uint64_t before = obs::registry().snapshot().counter("test.registry.single");
+  counter.add();
+  counter.add(41);
+  const auto snap = obs::registry().snapshot();
+  EXPECT_EQ(snap.counter("test.registry.single"), before + 42);
+}
+
+TEST(Registry, ReRegisteringSameNameSharesTheSlot) {
+  auto a = obs::registry().counter("test.registry.shared");
+  auto b = obs::registry().counter("test.registry.shared");
+  const std::uint64_t before = obs::registry().snapshot().counter("test.registry.shared");
+  a.add(1);
+  b.add(2);
+  EXPECT_EQ(obs::registry().snapshot().counter("test.registry.shared"), before + 3);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  obs::registry().counter("test.registry.kind_clash");
+  EXPECT_THROW(obs::registry().gauge("test.registry.kind_clash"),
+               support::ContractViolation);
+  EXPECT_THROW(obs::registry().histogram("test.registry.kind_clash"),
+               support::ContractViolation);
+}
+
+TEST(Registry, UnknownMetricReadsAsZero) {
+  const auto snap = obs::registry().snapshot();
+  EXPECT_EQ(snap.counter("test.registry.never_registered"), 0u);
+  EXPECT_EQ(snap.gauge("test.registry.never_registered"), 0u);
+}
+
+// The tentpole requirement: N threads bump counters through parallel_for;
+// after the join the flush equals the exact expected totals — no lost or
+// double-counted shard merges.
+TEST(Registry, MergeUnderConcurrencyViaParallelFor) {
+  auto counter = obs::registry().counter("test.registry.concurrent");
+  auto histogram = obs::registry().histogram("test.registry.concurrent_hist");
+  const std::uint64_t count_before =
+      obs::registry().snapshot().counter("test.registry.concurrent");
+
+  constexpr std::size_t kItems = 100000;
+  parallel::ThreadPool pool(8);
+  parallel::parallel_for(pool, kItems, [&](std::size_t i) {
+    counter.add(i);
+    histogram.record(i);
+  });
+
+  // parallel_for joined, so every relaxed add happened-before this snapshot.
+  const auto snap = obs::registry().snapshot();
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kItems) * (kItems - 1) / 2;
+  EXPECT_EQ(snap.counter("test.registry.concurrent") - count_before, expected);
+  EXPECT_EQ(snap.histograms.at("test.registry.concurrent_hist").count(), kItems);
+}
+
+// A shard must survive its thread: counts bumped on pool workers that have
+// since been joined (pool destroyed) must still appear in the snapshot.
+TEST(Registry, RetiredShardsKeepTheirCounts) {
+  auto counter = obs::registry().counter("test.registry.retired");
+  const std::uint64_t before = obs::registry().snapshot().counter("test.registry.retired");
+  {
+    parallel::ThreadPool pool(4);
+    parallel::parallel_for(pool, 1000, [&](std::size_t) { counter.add(); });
+  }  // workers joined and their thread-local shards destroyed here
+  EXPECT_EQ(obs::registry().snapshot().counter("test.registry.retired") - before, 1000u);
+}
+
+TEST(Registry, GaugeMergesWithMaxAcrossThreads) {
+  auto gauge = obs::registry().gauge("test.registry.gauge_max");
+  std::vector<std::thread> threads;
+  for (std::uint64_t value : {7u, 100u, 23u}) {
+    threads.emplace_back([&gauge, value] { gauge.record_max(value); });
+  }
+  for (auto& thread : threads) thread.join();
+  gauge.record_max(5);
+  EXPECT_EQ(obs::registry().snapshot().gauge("test.registry.gauge_max"), 100u);
+}
+
+TEST(Registry, HistogramBucketsArePowersOfTwo) {
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(~0ull), obs::kHistogramBuckets - 1);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Scoped spans: nesting, per-thread buffers, enable gating, retirement.
+//
+// The tracer is process-global state shared with every other test in this
+// binary, so each test drains (or clears) before making assertions and
+// filters for its own span names.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+namespace {
+
+using namespace ir;
+
+const obs::SpanEvent* find_event(const std::vector<obs::TrackDump>& tracks,
+                                 const char* name) {
+  for (const auto& track : tracks) {
+    for (const auto& event : track.events) {
+      if (std::string(event.name) == name) return &event;
+    }
+  }
+  return nullptr;
+}
+
+TEST(Span, DisabledTracerRecordsNothing) {
+  obs::tracer().set_enabled(false);
+  obs::tracer().clear();
+  { obs::ScopedSpan span("test.span.disabled"); }
+  EXPECT_EQ(find_event(obs::tracer().drain(), "test.span.disabled"), nullptr);
+}
+
+TEST(Span, NestingRecordsDepthAndContainment) {
+  obs::tracer().set_enabled(true);
+  {
+    obs::ScopedSpan outer("test.span.outer");
+    {
+      obs::ScopedSpan inner("test.span.inner");
+      obs::ScopedSpan innermost("test.span.innermost");
+    }
+  }
+  obs::tracer().set_enabled(false);
+  const auto tracks = obs::tracer().drain();
+
+  const auto* outer = find_event(tracks, "test.span.outer");
+  const auto* inner = find_event(tracks, "test.span.inner");
+  const auto* innermost = find_event(tracks, "test.span.innermost");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(innermost, nullptr);
+
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(inner->depth, 1u);
+  EXPECT_EQ(innermost->depth, 2u);
+
+  // Children are contained in their parents.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->end_ns, outer->end_ns);
+  EXPECT_GE(innermost->start_ns, inner->start_ns);
+  EXPECT_LE(innermost->end_ns, inner->end_ns);
+  EXPECT_LE(outer->start_ns, outer->end_ns);
+}
+
+TEST(Span, EachThreadGetsItsOwnTrack) {
+  obs::tracer().set_enabled(true);
+  {
+    obs::ScopedSpan main_span("test.span.main_thread");
+  }
+  std::thread worker([] {
+    obs::set_thread_name("span-test-worker");
+    obs::ScopedSpan span("test.span.worker_thread");
+  });
+  worker.join();
+  obs::tracer().set_enabled(false);
+  const auto tracks = obs::tracer().drain();
+
+  std::uint64_t main_tid = 0, worker_tid = 0;
+  std::string worker_name;
+  for (const auto& track : tracks) {
+    for (const auto& event : track.events) {
+      if (std::string(event.name) == "test.span.main_thread") main_tid = track.tid;
+      if (std::string(event.name) == "test.span.worker_thread") {
+        worker_tid = track.tid;
+        worker_name = track.name;
+      }
+    }
+  }
+  ASSERT_NE(main_tid, 0u);
+  ASSERT_NE(worker_tid, 0u);
+  EXPECT_NE(main_tid, worker_tid);
+  // The worker exited before the drain: its track was retired with its name.
+  EXPECT_EQ(worker_name, "span-test-worker");
+}
+
+TEST(Span, DrainConsumesEvents) {
+  obs::tracer().set_enabled(true);
+  { obs::ScopedSpan span("test.span.drain_once"); }
+  obs::tracer().set_enabled(false);
+  EXPECT_NE(find_event(obs::tracer().drain(), "test.span.drain_once"), nullptr);
+  EXPECT_EQ(find_event(obs::tracer().drain(), "test.span.drain_once"), nullptr);
+}
+
+TEST(Span, SpanOpenedWhileDisabledStaysUnrecorded) {
+  obs::tracer().set_enabled(false);
+  {
+    obs::ScopedSpan span("test.span.straddle");
+    obs::tracer().set_enabled(true);  // enabling mid-span must not record it
+  }
+  obs::tracer().set_enabled(false);
+  EXPECT_EQ(find_event(obs::tracer().drain(), "test.span.straddle"), nullptr);
+}
+
+}  // namespace

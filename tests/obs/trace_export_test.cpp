@@ -1,0 +1,128 @@
+// Chrome trace_event export: structure, per-worker tracks, monotone ts.
+//
+// These checks scan the writer's own output format; the stricter
+// full-JSON-parse check lives in tools/check_trace_json.py, which CTest runs
+// against a real `irtool solve --trace=` invocation (telemetry-ON builds).
+#include "obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace ir;
+
+// Split the document into event objects (the writer emits one per "{\"ph\":").
+std::vector<std::string> event_objects(const std::string& json) {
+  std::vector<std::string> events;
+  std::size_t at = json.find("{\"ph\":");
+  while (at != std::string::npos) {
+    const std::size_t next = json.find("{\"ph\":", at + 1);
+    events.push_back(json.substr(at, next == std::string::npos ? json.size() - at
+                                                               : next - at));
+    at = next;
+  }
+  return events;
+}
+
+std::string field(const std::string& event, const std::string& key) {
+  const std::string marker = "\"" + key + "\":";
+  const std::size_t at = event.find(marker);
+  if (at == std::string::npos) return {};
+  std::size_t begin = at + marker.size();
+  std::size_t end = begin;
+  while (end < event.size() && event[end] != ',' && event[end] != '}') ++end;
+  return event.substr(begin, end - begin);
+}
+
+TEST(TraceExport, EmptyTraceIsStillAValidDocument) {
+  const std::string json = obs::chrome_trace_json({});
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("]}"), std::string::npos);
+}
+
+TEST(TraceExport, PoolWorkersGetOneTrackEach) {
+#if !IR_TELEMETRY_ENABLED
+  GTEST_SKIP() << "pool instrumentation is compiled out with IR_TELEMETRY=OFF";
+#endif
+  obs::tracer().clear();
+  obs::tracer().set_enabled(true);
+  constexpr std::size_t kWorkers = 4;
+  {
+    parallel::ThreadPool pool(kWorkers);
+    // Several batches so every worker records at least one task span.
+    for (int round = 0; round < 16; ++round) {
+      parallel::parallel_for(pool, 1000, [](std::size_t) {});
+    }
+  }
+  obs::tracer().set_enabled(false);
+  const std::string json = obs::chrome_trace_json(obs::tracer().drain());
+
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    const std::string name = "pool-worker-" + std::to_string(w);
+    EXPECT_NE(json.find("\"name\":\"" + name + "\""), std::string::npos)
+        << "missing thread_name track for " << name;
+  }
+  EXPECT_NE(json.find("\"name\":\"pool.task\""), std::string::npos);
+}
+
+// Uses the direct ScopedSpan API (not the macros) so the exporter contract
+// is checked in both telemetry build modes.
+TEST(TraceExport, TimestampsAreMonotonePerTrack) {
+  obs::tracer().clear();
+  obs::tracer().set_enabled(true);
+  std::thread side([] {
+    obs::set_thread_name("export-test-side");
+    for (int round = 0; round < 8; ++round) {
+      obs::ScopedSpan span("export-test-side-round");
+    }
+  });
+  for (int round = 0; round < 8; ++round) {
+    obs::ScopedSpan span("export-test-round");
+  }
+  side.join();
+  obs::tracer().set_enabled(false);
+  const std::string json = obs::chrome_trace_json(obs::tracer().drain());
+
+  std::map<std::string, double> last_ts;
+  std::size_t x_events = 0;
+  for (const auto& event : event_objects(json)) {
+    if (field(event, "ph") != "\"X\"") continue;
+    ++x_events;
+    const std::string tid = field(event, "tid");
+    const double ts = std::stod(field(event, "ts"));
+    ASSERT_FALSE(tid.empty());
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << "ts went backwards on track " << tid;
+    }
+    last_ts[tid] = ts;
+    EXPECT_GE(std::stod(field(event, "dur")), 0.0);
+  }
+  EXPECT_GT(x_events, 0u);
+  EXPECT_GE(last_ts.size(), 2u);  // main thread + at least one worker
+}
+
+TEST(TraceExport, EscapesThreadNames) {
+  obs::tracer().clear();
+  obs::tracer().set_enabled(true);
+  std::thread worker([] {
+    obs::set_thread_name("quote\"and\\slash");
+    obs::ScopedSpan span("escape-test");
+  });
+  worker.join();
+  obs::tracer().set_enabled(false);
+  const std::string json = obs::chrome_trace_json(obs::tracer().drain());
+  EXPECT_NE(json.find("quote\\\"and\\\\slash"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate the Chrome trace_event JSON (and metrics JSON) emitted by irtool.
+
+Usage:
+  check_trace_json.py <path-to-irtool>        generate + validate end to end
+  check_trace_json.py --validate <trace.json> validate an existing trace file
+
+End-to-end mode generates an ordinary chain system with `irtool gen`, solves
+it with `--engine=jumping --trace= --metrics=`, then checks:
+  * the trace is strict JSON in Trace Event Format (object form),
+  * every track has a thread_name metadata event,
+  * per track, X-event `ts` values are monotone non-decreasing in file order,
+  * at least one pool-worker track and one `ordinary.round` span exist,
+  * the metrics dump parses and its ordinary.rounds / ordinary.op_applications
+    / ordinary.peak_active agree with the `stats:` line irtool printed.
+
+Exit code 0 on success; a diagnostic plus exit code 1 otherwise.
+"""
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def fail(message):
+    print(f"check_trace_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path, expect_workers=False, expect_round_spans=False):
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        fail(f"{path} is not valid JSON: {error}")
+
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        fail("document must be the object form with a traceEvents array")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents must be an array")
+
+    tracks_named = set()
+    worker_tracks = set()
+    last_ts = {}
+    span_names = set()
+    for event in events:
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in event:
+                fail(f"event missing required key '{key}': {event}")
+        tid = event["tid"]
+        if event["ph"] == "M" and event["name"] == "thread_name":
+            tracks_named.add(tid)
+            if event["args"]["name"].startswith("pool-worker-"):
+                worker_tracks.add(tid)
+        elif event["ph"] == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(event.get(key), (int, float)):
+                    fail(f"X event needs numeric '{key}': {event}")
+            if event["dur"] < 0:
+                fail(f"negative duration: {event}")
+            if tid in last_ts and event["ts"] < last_ts[tid]:
+                fail(f"ts not monotone on track {tid}: "
+                     f"{event['ts']} after {last_ts[tid]}")
+            last_ts[tid] = event["ts"]
+            span_names.add(event["name"])
+        else:
+            fail(f"unexpected event phase '{event['ph']}'")
+
+    for tid in last_ts:
+        if tid not in tracks_named:
+            fail(f"track {tid} has spans but no thread_name metadata")
+    if expect_workers and not worker_tracks:
+        fail("no pool-worker-* tracks in the trace")
+    if expect_round_spans and "ordinary.round" not in span_names:
+        fail(f"no ordinary.round spans; saw {sorted(span_names)}")
+    return len(events), len(last_ts)
+
+
+def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--validate":
+        n_events, n_tracks = validate_trace(sys.argv[2])
+        print(f"check_trace_json: OK ({n_events} events, {n_tracks} tracks)")
+        return
+
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    irtool = sys.argv[1]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        system_file = tmp / "system.ir"
+        trace_file = tmp / "trace.json"
+        metrics_file = tmp / "metrics.json"
+
+        generated = subprocess.run([irtool, "gen", "chain", "4000"],
+                                   capture_output=True, text=True)
+        if generated.returncode != 0:
+            fail(f"irtool gen failed: {generated.stderr}")
+        system_file.write_text(generated.stdout)
+
+        solved = subprocess.run(
+            [irtool, "solve", str(system_file), "--engine=jumping",
+             f"--trace={trace_file}", f"--metrics={metrics_file}"],
+            capture_output=True, text=True)
+        if solved.returncode != 0:
+            fail(f"irtool solve failed: {solved.stdout}\n{solved.stderr}")
+
+        n_events, n_tracks = validate_trace(trace_file, expect_workers=True,
+                                            expect_round_spans=True)
+
+        try:
+            metrics = json.loads(metrics_file.read_text())
+        except json.JSONDecodeError as error:
+            fail(f"metrics file is not valid JSON: {error}")
+        counters = metrics.get("counters", {})
+        gauges = metrics.get("gauges", {})
+
+        # The stats line is the ground truth already exposed by
+        # OrdinaryIrStats; the registry must agree with it exactly.
+        stats_line = re.search(
+            r"stats: rounds=(\d+) op_applications=(\d+) peak_active=(\d+)",
+            solved.stdout)
+        if not stats_line:
+            fail(f"irtool did not print a stats line:\n{solved.stdout}")
+        rounds, op_applications, peak_active = map(int, stats_line.groups())
+        checks = [
+            ("counters.ordinary.rounds", counters.get("ordinary.rounds"), rounds),
+            ("counters.ordinary.op_applications",
+             counters.get("ordinary.op_applications"), op_applications),
+            ("gauges.ordinary.peak_active",
+             gauges.get("ordinary.peak_active"), peak_active),
+        ]
+        for label, actual, expected in checks:
+            if actual != expected:
+                fail(f"{label} = {actual}, but OrdinaryIrStats says {expected}")
+        if "matches_sequential" not in metrics.get("extra", {}):
+            fail("metrics extra block is missing run info")
+
+    print(f"check_trace_json: OK ({n_events} trace events on {n_tracks} tracks; "
+          f"metrics agree with OrdinaryIrStats)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification flow: tier-1 build + tests in the default (telemetry-ON)
+# configuration, then a second configure/build/test pass with -DIR_TELEMETRY=OFF
+# to prove the macros compile to no-ops and the solvers still pass.
+#
+# Usage: tools/verify.sh [build-dir-prefix]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PREFIX="${1:-build}"
+
+echo "== telemetry ON: configure + build + ctest =="
+cmake -B "${PREFIX}" -S . >/dev/null
+cmake --build "${PREFIX}" -j"$(nproc)"
+ctest --test-dir "${PREFIX}" --output-on-failure -j"$(nproc)"
+
+echo "== telemetry OFF: configure + build + ctest =="
+cmake -B "${PREFIX}-notelemetry" -S . -DIR_TELEMETRY=OFF >/dev/null
+cmake --build "${PREFIX}-notelemetry" -j"$(nproc)"
+ctest --test-dir "${PREFIX}-notelemetry" --output-on-failure -j"$(nproc)"
+
+echo "== verify: all green in both configurations =="
