@@ -1,0 +1,153 @@
+// bench_plan_reuse — what the plan/execute split buys when one system is
+// solved many times (the inspector/executor amortization argument).
+//
+// For each ordinary engine (jumping, blocked, SPMD) at a fixed n and K:
+//
+//   cold     K full solves: compile_plan + execute_plan every repetition
+//            (what every pre-plan API call paid)
+//   warm     compile_plan once, then K execute_plan calls on the same plan
+//   batched  compile_plan once, then one execute_many over K value arrays
+//            (executions themselves run in parallel where legal)
+//
+// and prints one row per engine with the cold/warm speedup.  The acceptance
+// target for this PR is warm >= 1.5x cold on the jumping engine at
+// n = 50,000, K = 16.
+//
+//   bench_plan_reuse [--smoke] [--n=N] [--k=K] [--threads=T] [--metrics=FILE]
+//
+// --smoke shrinks the workload (n = 2,000, K = 4) so CI can run the bench as
+// a correctness/telemetry exercise without meaningful wall-clock cost;
+// --metrics=FILE dumps the telemetry registry plus the measured seconds.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "algebra/monoids.hpp"
+#include "core/plan.hpp"
+#include "obs/metrics_export.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+#include "testing_workloads.hpp"
+
+namespace {
+
+using namespace ir;
+
+struct CaseResult {
+  std::string engine;
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;     // compile once + K executes (compile included)
+  double batched_seconds = 0.0;  // compile once + execute_many (compile included)
+};
+
+CaseResult run_case(core::EngineChoice engine, const std::string& name,
+                    const core::OrdinaryIrSystem& sys,
+                    const std::vector<std::uint64_t>& init, std::size_t repeats,
+                    parallel::ThreadPool& pool) {
+  const auto op = algebra::AddMonoid<std::uint64_t>{};
+  core::PlanOptions plan_options;
+  plan_options.engine = engine;
+  plan_options.pool = &pool;
+  core::ExecOptions exec;
+  exec.pool = &pool;
+  exec.workers = pool.size();  // SPMD executor only
+
+  CaseResult result;
+  result.engine = name;
+  std::vector<std::uint64_t> out;
+  support::Stopwatch watch;
+
+  watch.lap();
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    const core::Plan plan = core::compile_plan(sys, plan_options);
+    out = core::execute_plan(plan, op, init, exec);
+  }
+  result.cold_seconds = watch.lap();
+
+  {
+    const core::Plan plan = core::compile_plan(sys, plan_options);
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      out = core::execute_plan(plan, op, init, exec);
+    }
+  }
+  result.warm_seconds = watch.lap();
+
+  {
+    const core::Plan plan = core::compile_plan(sys, plan_options);
+    std::vector<std::vector<std::uint64_t>> initials(repeats, init);
+    auto outs = core::execute_many(plan, op, std::move(initials), exec);
+    out = std::move(outs.back());
+  }
+  result.batched_seconds = watch.lap();
+
+  // Keep `out` observable so the solves cannot be optimized away.
+  std::uint64_t checksum = 0;
+  for (const auto v : out) checksum ^= v;
+  std::printf("%-8s n=%zu K=%zu cold=%.4fs warm=%.4fs batched=%.4fs speedup=%.2fx"
+              " (checksum %llu)\n",
+              name.c_str(), sys.iterations(), repeats, result.cold_seconds,
+              result.warm_seconds, result.batched_seconds,
+              result.cold_seconds / result.warm_seconds,
+              static_cast<unsigned long long>(checksum));
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 50'000;
+  std::size_t repeats = 16;
+  std::size_t threads = parallel::ThreadPool::default_threads();
+  std::string metrics_file;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--smoke") {
+      n = 2'000;
+      repeats = 4;
+    } else if (arg.rfind("--n=", 0) == 0) {
+      n = std::strtoull(arg.c_str() + 4, nullptr, 10);
+    } else if (arg.rfind("--k=", 0) == 0) {
+      repeats = std::strtoull(arg.c_str() + 4, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_file = arg.substr(10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_plan_reuse [--smoke] [--n=N] [--k=K]"
+                   " [--threads=T] [--metrics=FILE]\n");
+      return 2;
+    }
+  }
+
+  support::SplitMix64 rng(n);
+  const core::OrdinaryIrSystem sys = ir::bench::random_ordinary_system(n, n + n / 2, rng, 0.9);
+  const std::vector<std::uint64_t> init = ir::bench::random_initial_u64(n + n / 2, rng);
+  parallel::ThreadPool pool(threads);
+
+  std::printf("# plan-once/execute-K vs K cold solves (threads=%zu)\n", pool.size());
+  std::vector<CaseResult> rows;
+  rows.push_back(run_case(core::EngineChoice::kJumping, "jumping", sys, init, repeats, pool));
+  rows.push_back(run_case(core::EngineChoice::kBlocked, "blocked", sys, init, repeats, pool));
+  rows.push_back(run_case(core::EngineChoice::kSpmd, "spmd", sys, init, repeats, pool));
+
+  if (!metrics_file.empty()) {
+    obs::ExtraFields extra = {
+        {"bench", obs::json_quote("plan_reuse")},
+        {"n", std::to_string(n)},
+        {"repeats", std::to_string(repeats)},
+        {"threads", std::to_string(pool.size())},
+    };
+    for (const auto& row : rows) {
+      extra.emplace_back(row.engine + "_cold_seconds", std::to_string(row.cold_seconds));
+      extra.emplace_back(row.engine + "_warm_seconds", std::to_string(row.warm_seconds));
+      extra.emplace_back(row.engine + "_batched_seconds",
+                         std::to_string(row.batched_seconds));
+    }
+    obs::write_metrics_file(metrics_file, extra);
+    std::fprintf(stderr, "metrics written to %s\n", metrics_file.c_str());
+  }
+  return 0;
+}

@@ -21,9 +21,7 @@
 
 #include "algebra/monoids.hpp"
 #include "core/linear_ir.hpp"
-#include "core/ordinary_ir.hpp"
-#include "core/ordinary_ir_blocked.hpp"
-#include "core/ordinary_ir_spmd.hpp"
+#include "core/plan.hpp"
 #include "obs/metrics_export.hpp"
 #include "scan/linear_recurrence.hpp"
 #include "testing_workloads.hpp"
@@ -57,10 +55,16 @@ void BM_OrdinaryParallel(benchmark::State& state) {
   const OrdinaryFixture fx(static_cast<std::size_t>(state.range(0)));
   const auto op = algebra::AddMonoid<std::uint64_t>{};
   parallel::ThreadPool pool(static_cast<std::size_t>(state.range(1)));
-  core::OrdinaryIrOptions options;
-  options.pool = &pool;
+  // Plan once outside the timed loop (the plan is a pure function of the
+  // index maps); the loop measures execution only — the steady-state cost a
+  // caller reusing the schedule actually pays.
+  core::PlanOptions plan_options;
+  plan_options.engine = core::EngineChoice::kJumping;
+  const core::Plan plan = core::compile_plan(fx.sys, plan_options);
+  core::ExecOptions exec;
+  exec.pool = &pool;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::ordinary_ir_parallel(op, fx.sys, fx.init, options));
+    benchmark::DoNotOptimize(core::execute_plan(plan, op, fx.init, exec));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -77,10 +81,14 @@ void BM_OrdinaryBlocked(benchmark::State& state) {
   const OrdinaryFixture fx(static_cast<std::size_t>(state.range(0)));
   const auto op = algebra::AddMonoid<std::uint64_t>{};
   parallel::ThreadPool pool(static_cast<std::size_t>(state.range(1)));
-  core::BlockedIrOptions options;
-  options.pool = &pool;
+  core::PlanOptions plan_options;
+  plan_options.engine = core::EngineChoice::kBlocked;
+  plan_options.pool = &pool;  // block partition follows the pool size
+  const core::Plan plan = core::compile_plan(fx.sys, plan_options);
+  core::ExecOptions exec;
+  exec.pool = &pool;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::ordinary_ir_blocked(op, fx.sys, fx.init, options));
+    benchmark::DoNotOptimize(core::execute_plan(plan, op, fx.init, exec));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -93,9 +101,13 @@ BENCHMARK(BM_OrdinaryBlocked)
 void BM_OrdinarySpmd(benchmark::State& state) {
   const OrdinaryFixture fx(static_cast<std::size_t>(state.range(0)));
   const auto op = algebra::AddMonoid<std::uint64_t>{};
-  const auto workers = static_cast<std::size_t>(state.range(1));
+  core::PlanOptions plan_options;
+  plan_options.engine = core::EngineChoice::kSpmd;
+  const core::Plan plan = core::compile_plan(fx.sys, plan_options);
+  core::ExecOptions exec;
+  exec.workers = static_cast<std::size_t>(state.range(1));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::ordinary_ir_spmd(op, fx.sys, fx.init, workers));
+    benchmark::DoNotOptimize(core::execute_plan(plan, op, fx.init, exec));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }

@@ -9,9 +9,13 @@
 //     --trace=FILE      Chrome trace_event JSON (open in Perfetto or
 //                       chrome://tracing); one track per pool worker
 //     --engine=E        force the solver: auto (default), jumping, blocked,
-//                       or spmd (non-auto engines need an ordinary-shaped
-//                       system: h = g, g injective)
-//     see docs/observability.md for the metric/span name catalog
+//                       spmd (these three need an ordinary-shaped system:
+//                       h = g, g injective), or gir (CAP on anything)
+//     --repeat=K        solve K times through the Solver plan cache; the
+//                       schedule compiles once and is reused, and compile
+//                       vs execute time is reported separately
+//     see docs/observability.md for the metric/span name catalog and
+//     docs/solver_api.md for the plan/execute model
 //   irtool trace <file> <iteration>             print a Lemma-1 trace or a
 //                                               GIR exponent list
 //   irtool dot <file>                           dependence graph as Graphviz
@@ -31,9 +35,8 @@
 #include "algebra/monoids.hpp"
 #include "core/analyze.hpp"
 #include "core/general_ir.hpp"
-#include "core/ordinary_ir_spmd.hpp"
 #include "core/serialize.hpp"
-#include "core/solve.hpp"
+#include "core/solver.hpp"
 #include "core/trace.hpp"
 #include "frontend/lower.hpp"
 #include "frontend/parser.hpp"
@@ -56,7 +59,7 @@ int usage() {
                "  irtool analyze <file>\n"
                "  irtool classify <file>\n"
                "  irtool solve <file> [mod] [--metrics=FILE] [--trace=FILE]\n"
-               "               [--engine={auto|jumping|blocked|spmd}]\n"
+               "               [--engine={auto|jumping|blocked|spmd|gir}] [--repeat=K]\n"
                "  irtool trace <file> <iteration>\n"
                "  irtool dot <file>\n"
                "  irtool lower <dsl-file>\n"
@@ -138,6 +141,7 @@ struct SolveFlags {
   std::string metrics_file;  ///< --metrics=FILE: flat JSON registry dump
   std::string trace_file;    ///< --trace=FILE: Chrome trace_event JSON
   std::string engine = "auto";
+  std::size_t repeat = 1;  ///< --repeat=K: K solves through the plan cache
 };
 
 int cmd_solve(const SolveFlags& flags) {
@@ -145,6 +149,7 @@ int cmd_solve(const SolveFlags& flags) {
   algebra::ModMulMonoid op(flags.mod);
   std::vector<std::uint64_t> init(sys.cells);
   for (std::size_t c = 0; c < sys.cells; ++c) init[c] = 1 + c % 97;
+  IR_REQUIRE(flags.repeat >= 1, "--repeat needs K >= 1");
 
   const bool tracing = !flags.trace_file.empty();
   if (tracing) {
@@ -152,55 +157,71 @@ int cmd_solve(const SolveFlags& flags) {
     obs::tracer().set_enabled(true);
   }
 
+  core::EngineChoice engine = core::EngineChoice::kAuto;
+  if (flags.engine == "jumping") {
+    engine = core::EngineChoice::kJumping;
+  } else if (flags.engine == "blocked") {
+    engine = core::EngineChoice::kBlocked;
+  } else if (flags.engine == "spmd") {
+    engine = core::EngineChoice::kSpmd;
+  } else if (flags.engine == "gir") {
+    engine = core::EngineChoice::kGeneralCap;
+  } else if (flags.engine != "auto") {
+    return usage();
+  }
+  if (engine == core::EngineChoice::kJumping || engine == core::EngineChoice::kBlocked ||
+      engine == core::EngineChoice::kSpmd) {
+    // Friendlier message than compile_plan's for the common shape mistake.
+    IR_REQUIRE(sys.h == sys.g,
+               "--engine=" + flags.engine + " needs an ordinary-shaped system (h = g)");
+  }
+
   std::string route;
   core::OrdinaryIrStats ord_stats;
   bool have_ord_stats = false;
   std::vector<std::uint64_t> out;
-  support::Stopwatch watch;
+  std::string plan_engine;
+  double compile_seconds = 0.0, execute_seconds = 0.0;
+  core::Solver solver;
   {
     // Pool scope: destroying the pool retires the workers' span tracks, so
     // the trace/metrics flush below sees every worker's data.
     parallel::ThreadPool pool(parallel::ThreadPool::default_threads());
-    if (flags.engine == "auto") {
-      core::SystemReport report;
-      core::SolveOptions options;
-      options.pool = &pool;
-      options.report_out = &report;
-      out = core::solve(op, sys, init, options);
-      route = core::to_string(report.route);
-    } else {
-      // Forced engines bypass the router; they need the ordinary shape.
-      IR_REQUIRE(sys.h == sys.g,
-                 "--engine=" + flags.engine + " needs an ordinary-shaped system (h = g)");
-      core::OrdinaryIrSystem ord;
-      ord.cells = sys.cells;
-      ord.f = sys.f;
-      ord.g = sys.g;
-      if (flags.engine == "jumping") {
-        core::OrdinaryIrOptions options;
-        options.pool = &pool;
-        options.stats = &ord_stats;
-        out = core::ordinary_ir_parallel(op, ord, init, options);
-        have_ord_stats = true;
-      } else if (flags.engine == "blocked") {
-        core::BlockedIrOptions options;
-        options.pool = &pool;
-        out = core::ordinary_ir_blocked(op, ord, init, options);
-      } else if (flags.engine == "spmd") {
-        out = core::ordinary_ir_spmd(op, ord, init, pool.size(), &ord_stats);
-        have_ord_stats = true;
-      } else {
-        return usage();
-      }
-      route = flags.engine + " (forced)";
+    core::PlanOptions plan_options;
+    plan_options.engine = engine;
+    plan_options.pool = &pool;
+    core::ExecOptions exec;
+    exec.pool = &pool;
+    exec.workers = pool.size();  // used only by the SPMD executor
+    if (engine == core::EngineChoice::kJumping || engine == core::EngineChoice::kSpmd) {
+      exec.ordinary_stats = &ord_stats;
+      have_ord_stats = true;
     }
+    // Every rep goes compile-then-execute; from rep 2 on the compile is a
+    // plan-cache hit, so the split shows exactly what reuse saves.
+    std::shared_ptr<const core::Plan> plan;
+    support::Stopwatch watch;
+    for (std::size_t rep = 0; rep < flags.repeat; ++rep) {
+      watch.lap();
+      plan = solver.compile(sys, plan_options);
+      compile_seconds += watch.lap();
+      out = core::execute_plan(*plan, op, init, exec);
+      execute_seconds += watch.lap();
+    }
+    route = engine == core::EngineChoice::kAuto ? core::to_string(plan->report.route)
+                                                : flags.engine + " (forced)";
+    plan_engine = core::to_string(plan->engine);
   }
-  const double solve_seconds = watch.lap();
+  const double solve_seconds = compile_seconds + execute_seconds;
   if (tracing) obs::tracer().set_enabled(false);
 
   const auto check = core::general_ir_sequential(op, sys, init);
 
   std::printf("route: %s\n", route.c_str());
+  std::printf("plan: engine=%s compile_s=%.6f execute_s=%.6f repeats=%zu\n",
+              plan_engine.c_str(), compile_seconds, execute_seconds, flags.repeat);
+  std::printf("plan cache: hits=%zu misses=%zu\n", solver.plan_cache().hits(),
+              solver.plan_cache().misses());
   std::printf("first cells:");
   for (std::size_t c = 0; c < std::min<std::size_t>(8, out.size()); ++c) {
     std::printf(" %llu", static_cast<unsigned long long>(out[c]));
@@ -220,10 +241,16 @@ int cmd_solve(const SolveFlags& flags) {
         {"command", obs::json_quote("solve")},
         {"input", obs::json_quote(flags.path)},
         {"route", obs::json_quote(route)},
+        {"plan_engine", obs::json_quote(plan_engine)},
         {"iterations", std::to_string(sys.iterations())},
         {"cells", std::to_string(sys.cells)},
         {"mod", std::to_string(flags.mod)},
+        {"repeat", std::to_string(flags.repeat)},
         {"solve_seconds", std::to_string(solve_seconds)},
+        {"compile_seconds", std::to_string(compile_seconds)},
+        {"execute_seconds", std::to_string(execute_seconds)},
+        {"plan_cache_hits", std::to_string(solver.plan_cache().hits())},
+        {"plan_cache_misses", std::to_string(solver.plan_cache().misses())},
         {"matches_sequential", matches ? "true" : "false"},
     };
     obs::write_metrics_file(flags.metrics_file, extra);
@@ -309,6 +336,8 @@ int main(int argc, char** argv) {
           flags.trace_file = arg.substr(8);
         } else if (arg.rfind("--engine=", 0) == 0) {
           flags.engine = arg.substr(9);
+        } else if (arg.rfind("--repeat=", 0) == 0) {
+          flags.repeat = std::strtoull(arg.c_str() + 9, nullptr, 10);
         } else if (!have_path) {
           flags.path = arg;
           have_path = true;

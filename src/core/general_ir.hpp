@@ -31,6 +31,7 @@
 
 #include "algebra/concepts.hpp"
 #include "core/ir_problem.hpp"
+#include "core/plan.hpp"
 #include "graph/cap.hpp"
 #include "parallel/parallel_for.hpp"
 
@@ -110,113 +111,32 @@ std::vector<typename Op::Value> general_ir_sequential(
 
 /// Parallel GIR solver.  Requires a commutative power monoid (compile-time
 /// enforced) — exactly the paper's requirements on op.
+///
+/// DEPRECATED shim: compiles a single-use general-CAP plan per call (the
+/// dependence graph, CAP counts, and leaf resolution all live in the plan).
+/// Prefer compile_plan + execute_plan (plan.hpp), or Solver (solver.hpp)
+/// for content-cached reuse across calls.
 template <algebra::PowerOperation Op>
 std::vector<typename Op::Value> general_ir_parallel(
     const Op& op, const GeneralIrSystem& sys, std::vector<typename Op::Value> initial,
     const GeneralIrOptions& options = {}) {
-  using Value = typename Op::Value;
   sys.validate();
   IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
-
-  const DependenceGraph graph = build_dependence_graph(sys);
-  const std::vector<std::size_t> last = final_writer(sys.g, sys.cells);
-
-  std::vector<std::vector<graph::Edge>> counts;
-  if (options.reference_counts) {
-    counts = graph::path_counts_reference(graph.dag);
-    if (options.live_equations != nullptr) *options.live_equations = sys.iterations();
-  } else {
-    graph::CapOptions cap_options;
-    cap_options.coalesce_each_round = options.coalesce_each_round;
-    cap_options.pool = options.pool;
-    if (options.prune_dead) {
-      // Mark the ancestors of every final-writer node (descendant closure
-      // along consumer -> producer edges, found by DFS from the final
-      // writers).  Everything else is a dead write nobody reads.
-      std::vector<bool> active(graph.dag.node_count(), false);
-      std::vector<std::size_t> stack;
-      for (std::size_t cell = 0; cell < sys.cells; ++cell) {
-        if (last[cell] != kNone && !active[last[cell]]) {
-          active[last[cell]] = true;
-          stack.push_back(last[cell]);
-        }
-      }
-      while (!stack.empty()) {
-        const std::size_t v = stack.back();
-        stack.pop_back();
-        for (const auto& e : graph.dag.out_edges(v)) {
-          if (!active[e.to]) {
-            active[e.to] = true;
-            stack.push_back(e.to);
-          }
-        }
-      }
-      if (options.live_equations != nullptr) {
-        std::size_t live = 0;
-        for (std::size_t i = 0; i < graph.iterations; ++i) live += active[i] ? 1 : 0;
-        *options.live_equations = live;
-      }
-      cap_options.active = std::move(active);
-    } else if (options.live_equations != nullptr) {
-      *options.live_equations = sys.iterations();
-    }
-    graph::CapResult cap = graph::cap_closure(graph.dag, cap_options);
-    counts = std::move(cap.counts);
-    if (options.cap_out != nullptr) {
-      options.cap_out->rounds = cap.rounds;
-      options.cap_out->peak_edges = cap.peak_edges;
-    }
+  PlanOptions plan_options;
+  plan_options.engine = EngineChoice::kGeneralCap;
+  plan_options.pool = options.pool;
+  plan_options.prune_dead = options.prune_dead;
+  plan_options.coalesce_each_round = options.coalesce_each_round;
+  plan_options.reference_counts = options.reference_counts;
+  const Plan plan = compile_plan(sys, plan_options);
+  if (options.cap_out != nullptr) {
+    options.cap_out->rounds = plan.gir.cap_rounds;
+    options.cap_out->peak_edges = plan.gir.cap_peak_edges;
   }
-
-  // Evaluate the final value of every written cell from its last writer's
-  // leaf powers; each trace is a balanced ⊙-fold over its powered leaves
-  // (O(log k) depth, matching the paper's "computed in parallel in log k
-  // steps").
-  std::vector<Value> result = std::move(initial);
-
-  // NOTE: evaluation reads initial values at leaf cells.  A leaf cell is
-  // read before any write, but it may ALSO be written later — so evaluation
-  // must not overwrite leaves while other cells still read them.  Freeze a
-  // snapshot and compute into a scratch array first.
-  std::vector<Value> finals(sys.cells);
-  {
-    const std::vector<Value> snapshot = result;  // initial values frozen for leaves
-    auto eval_into = [&](std::size_t cell) {
-      const std::size_t writer = last[cell];
-      if (writer == kNone) return;
-      const auto& powers = counts[writer];
-      IR_INVARIANT(!powers.empty(), "an equation node must reach at least one leaf");
-      std::vector<Value> terms;
-      terms.reserve(powers.size());
-      for (const auto& edge : powers) {
-        const std::size_t leaf_local = edge.to - graph.iterations;
-        IR_INVARIANT(leaf_local < graph.leaf_cell.size(), "CAP edge must point at a leaf");
-        const Value& base = snapshot[graph.leaf_cell[leaf_local]];
-        terms.push_back(edge.label == support::BigUint{1} ? base : op.pow(base, edge.label));
-      }
-      while (terms.size() > 1) {
-        std::size_t half = terms.size() / 2;
-        for (std::size_t k = 0; k < half; ++k) {
-          terms[k] = op.combine(terms[2 * k], terms[2 * k + 1]);
-        }
-        if (terms.size() % 2 == 1) {
-          terms[half] = terms.back();
-          ++half;
-        }
-        terms.resize(half);
-      }
-      finals[cell] = terms.front();
-    };
-    if (options.pool != nullptr) {
-      parallel::parallel_for(*options.pool, sys.cells, eval_into);
-    } else {
-      for (std::size_t cell = 0; cell < sys.cells; ++cell) eval_into(cell);
-    }
-  }
-  for (std::size_t cell = 0; cell < sys.cells; ++cell) {
-    if (last[cell] != kNone) result[cell] = std::move(finals[cell]);
-  }
-  return result;
+  if (options.live_equations != nullptr) *options.live_equations = plan.gir.live_equations;
+  ExecOptions exec;
+  exec.pool = options.pool;
+  return execute_plan(plan, op, std::move(initial), exec);
 }
 
 }  // namespace ir::core

@@ -1,5 +1,6 @@
 #include "core/linear_ir.hpp"
 
+#include "core/solver.hpp"
 #include "obs/telemetry.hpp"
 #include "support/contract.hpp"
 
@@ -57,33 +58,72 @@ std::vector<double> moebius_ir_sequential(const MoebiusIrLoop& loop, std::vector
   return x;
 }
 
-std::vector<double> moebius_ir_run(const OrdinaryIrSystem& sys,
+std::vector<double> moebius_ir_run(const Plan& plan,
                                    const std::vector<MoebiusMap>& iteration_maps,
-                                   std::vector<double> x, const OrdinaryIrOptions& options) {
+                                   std::vector<double> x, const ExecOptions& exec) {
   IR_SPAN("moebius.solve");
-  IR_REQUIRE(x.size() == sys.cells, "initial array must have `cells` entries");
-  IR_REQUIRE(iteration_maps.size() == sys.iterations(),
+  IR_REQUIRE(plan.engine == PlanEngine::kJumping || plan.engine == PlanEngine::kBlocked ||
+                 plan.engine == PlanEngine::kSpmd,
+             "moebius_ir_run needs an ordinary-engine plan");
+  IR_REQUIRE(x.size() == plan.cells, "initial array must have `cells` entries");
+  IR_REQUIRE(iteration_maps.size() == plan.iterations,
              "need exactly one map per iteration");
   IR_COUNTER_ADD("moebius.solves", 1);
-  IR_COUNTER_ADD("moebius.iterations", sys.iterations());
+  IR_COUNTER_ADD("moebius.iterations", plan.iterations);
 
-  // Paper Section 3, steps 1-3, with the engine's hooks standing in for the
-  // matrix array: chain roots read constant maps built from the scalar
+  // Paper Section 3, steps 1-3, with the executor's hooks standing in for
+  // the matrix array: chain roots read constant maps built from the scalar
   // initial values; each iteration's self operand is its coefficient map.
   const std::vector<double>& init = x;
-  auto traces = ordinary_ir_iteration_values<MoebiusCompose>(
-      MoebiusCompose{}, sys,
+  auto traces = execute_iteration_values<MoebiusCompose>(
+      plan, MoebiusCompose{},
       [&init](std::size_t cell) { return MoebiusMap::constant(init[cell]); },
-      [&iteration_maps](std::size_t i) { return iteration_maps[i]; }, options);
+      [&iteration_maps](std::size_t i) { return iteration_maps[i]; }, exec);
 
   std::vector<double> result = std::move(x);
-  for (std::size_t i = 0; i < sys.iterations(); ++i) {
+  for (std::size_t i = 0; i < plan.iterations; ++i) {
     // Every complete trace starts at a constant root, so the composed map is
     // constant; evaluating it anywhere yields the final value.
     IR_INVARIANT(traces[i].is_constant(), "composed Moebius trace must be constant");
-    result[sys.g[i]] = traces[i].apply(0.0);
+    result[plan.write_cell[i]] = traces[i].apply(0.0);
   }
   return result;
+}
+
+std::vector<double> moebius_ir_run(const OrdinaryIrSystem& sys,
+                                   const std::vector<MoebiusMap>& iteration_maps,
+                                   std::vector<double> x, const OrdinaryIrOptions& options) {
+  IR_REQUIRE(x.size() == sys.cells, "initial array must have `cells` entries");
+  IR_REQUIRE(iteration_maps.size() == sys.iterations(),
+             "need exactly one map per iteration");
+  if (!options.early_termination) {
+    // The naive cost model only exists in the legacy hook engine (see
+    // ordinary_ir_parallel); run it directly.
+    IR_SPAN("moebius.solve");
+    IR_COUNTER_ADD("moebius.solves", 1);
+    IR_COUNTER_ADD("moebius.iterations", sys.iterations());
+    const std::vector<double>& init = x;
+    auto traces = ordinary_ir_iteration_values<MoebiusCompose>(
+        MoebiusCompose{}, sys,
+        [&init](std::size_t cell) { return MoebiusMap::constant(init[cell]); },
+        [&iteration_maps](std::size_t i) { return iteration_maps[i]; }, options);
+    std::vector<double> result = std::move(x);
+    for (std::size_t i = 0; i < sys.iterations(); ++i) {
+      IR_INVARIANT(traces[i].is_constant(), "composed Moebius trace must be constant");
+      result[sys.g[i]] = traces[i].apply(0.0);
+    }
+    return result;
+  }
+  PlanOptions plan_options;
+  plan_options.engine = EngineChoice::kJumping;
+  // Content-cached: a Livermore kernel calling this once per timed rep pays
+  // the schedule construction only on the first rep.
+  const auto plan = shared_solver().compile(sys, plan_options);
+  ExecOptions exec;
+  exec.pool = options.pool;
+  exec.processor_cap = options.processor_cap;
+  exec.ordinary_stats = options.stats;
+  return moebius_ir_run(*plan, iteration_maps, std::move(x), exec);
 }
 
 std::vector<double> linear_ir_parallel(const LinearIrLoop& loop, std::vector<double> x,

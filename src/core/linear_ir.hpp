@@ -75,9 +75,20 @@ std::vector<double> moebius_ir_parallel(const MoebiusIrLoop& loop, std::vector<d
 /// The generic engine behind the three wrappers: run Ordinary IR over the
 /// per-iteration maps and read the (constant) composed maps off.  Exposed so
 /// the Livermore module can feed custom coefficient maps.
+///
+/// Compiles (or, via the shared Solver's plan cache, reuses) a jumping plan
+/// for `sys`; repeated calls on the same system pay the schedule cost once.
 std::vector<double> moebius_ir_run(const OrdinaryIrSystem& sys,
                                    const std::vector<algebra::MoebiusMap>& iteration_maps,
                                    std::vector<double> x,
                                    const OrdinaryIrOptions& options = {});
+
+/// Plan-based variant: run a precompiled ordinary plan (jumping, blocked or
+/// SPMD) over the coefficient maps.  The plan carries the whole schedule, so
+/// this touches no index maps beyond the plan's own tables — callers timing
+/// repeated solves should compile once and call this in the loop.
+std::vector<double> moebius_ir_run(const Plan& plan,
+                                   const std::vector<algebra::MoebiusMap>& iteration_maps,
+                                   std::vector<double> x, const ExecOptions& exec = {});
 
 }  // namespace ir::core

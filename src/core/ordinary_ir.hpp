@@ -30,40 +30,15 @@
 #include <vector>
 
 #include "algebra/concepts.hpp"
+#include "core/engine_types.hpp"
 #include "core/ir_problem.hpp"
+#include "core/plan.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/contract.hpp"
 
 namespace ir::core {
-
-/// Execution statistics of a parallel Ordinary-IR run (observability for
-/// tests and the ablation benches).
-struct OrdinaryIrStats {
-  std::size_t rounds = 0;           ///< pointer-jumping rounds executed
-  std::size_t op_applications = 0;  ///< total ⊙ applications across rounds
-  std::size_t peak_active = 0;      ///< widest round (active traces)
-};
-
-/// Options for the parallel solver.
-struct OrdinaryIrOptions {
-  /// Thread pool for the rounds; nullptr runs them on the calling thread
-  /// (still the same O(log n)-round schedule, useful for determinism).
-  parallel::ThreadPool* pool = nullptr;
-
-  /// The paper's "fork only up to P processes" cap on logical parallelism.
-  /// 0 means "one block per pool thread".
-  std::size_t processor_cap = 0;
-
-  /// Drop completed traces from subsequent rounds (the paper's "once a trace
-  /// has been completed we must not continue to concatenate").  Turning this
-  /// off reproduces the naive variant measured by the ablation bench.
-  bool early_termination = true;
-
-  /// If non-null, filled with run statistics.
-  OrdinaryIrStats* stats = nullptr;
-};
 
 /// Sequential reference: executes the loop as written.  Ground truth for
 /// every parallel variant.
@@ -191,21 +166,36 @@ std::vector<typename Op::Value> ordinary_ir_iteration_values(
 /// Parallel Ordinary-IR solver (paper Section 2): O(log n) rounds of trace
 /// concatenation.  Returns the final array; equals ordinary_ir_sequential on
 /// every valid system, for any associative (not necessarily commutative) op.
+///
+/// DEPRECATED shim: compiles a single-use jumping plan per call.  Prefer
+/// compile_plan + execute_plan (plan.hpp), or Solver (solver.hpp) for
+/// content-cached reuse across calls.
 template <algebra::BinaryOperation Op>
 std::vector<typename Op::Value> ordinary_ir_parallel(
     const Op& op, const OrdinaryIrSystem& sys, std::vector<typename Op::Value> initial,
     const OrdinaryIrOptions& options = {}) {
   IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
-  const std::vector<typename Op::Value>& init_ref = initial;
-  auto traces = ordinary_ir_iteration_values<Op>(
-      op, sys, [&init_ref](std::size_t cell) { return init_ref[cell]; },
-      [&init_ref, &sys](std::size_t i) { return init_ref[sys.g[i]]; }, options);
-  // g is injective, so each written cell has exactly one trace.
-  std::vector<typename Op::Value> result = std::move(initial);
-  for (std::size_t i = 0; i < sys.iterations(); ++i) {
-    result[sys.g[i]] = std::move(traces[i]);
+  if (!options.early_termination) {
+    // The naive cost model (completed traces keep paying no-op visits) only
+    // exists in the legacy hook engine; plans always terminate early.
+    const std::vector<typename Op::Value>& init_ref = initial;
+    auto traces = ordinary_ir_iteration_values<Op>(
+        op, sys, [&init_ref](std::size_t cell) { return init_ref[cell]; },
+        [&init_ref, &sys](std::size_t i) { return init_ref[sys.g[i]]; }, options);
+    std::vector<typename Op::Value> result = std::move(initial);
+    for (std::size_t i = 0; i < sys.iterations(); ++i) {
+      result[sys.g[i]] = std::move(traces[i]);
+    }
+    return result;
   }
-  return result;
+  PlanOptions plan_options;
+  plan_options.engine = EngineChoice::kJumping;
+  const Plan plan = compile_plan(sys, plan_options);
+  ExecOptions exec;
+  exec.pool = options.pool;
+  exec.processor_cap = options.processor_cap;
+  exec.ordinary_stats = options.stats;
+  return execute_plan(plan, op, std::move(initial), exec);
 }
 
 }  // namespace ir::core

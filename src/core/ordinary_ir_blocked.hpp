@@ -28,24 +28,10 @@
 #include <functional>
 #include <vector>
 
+#include "core/engine_types.hpp"
 #include "core/ordinary_ir.hpp"
 
 namespace ir::core {
-
-/// Statistics of a blocked run.
-struct BlockedIrStats {
-  std::size_t blocks = 0;           ///< blocks used in phase 1
-  std::size_t partials = 0;         ///< equations with cross-block predecessors
-  std::size_t resolve_rounds = 0;   ///< pointer-jumping rounds over the partials
-  std::size_t op_applications = 0;  ///< total ⊙ applications (work)
-};
-
-/// Options for the blocked solver.
-struct BlockedIrOptions {
-  parallel::ThreadPool* pool = nullptr;  ///< phases 1/2 run here when set
-  std::size_t blocks = 0;                ///< 0 = one block per pool thread (or 1)
-  BlockedIrStats* stats = nullptr;
-};
 
 /// Iteration values W(i) via the two-level scheme; hooks as in
 /// ordinary_ir_iteration_values.
@@ -157,20 +143,24 @@ std::vector<typename Op::Value> ordinary_ir_blocked_values(
 
 /// Blocked Ordinary-IR solver: final array, same contract as
 /// ordinary_ir_parallel.
+///
+/// DEPRECATED shim: compiles a single-use blocked plan per call.  Prefer
+/// compile_plan + execute_plan (plan.hpp), or Solver (solver.hpp) for
+/// content-cached reuse across calls.
 template <algebra::BinaryOperation Op>
 std::vector<typename Op::Value> ordinary_ir_blocked(
     const Op& op, const OrdinaryIrSystem& sys, std::vector<typename Op::Value> initial,
     const BlockedIrOptions& options = {}) {
   IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
-  const std::vector<typename Op::Value>& init_ref = initial;
-  auto traces = ordinary_ir_blocked_values<Op>(
-      op, sys, [&init_ref](std::size_t cell) { return init_ref[cell]; },
-      [&init_ref, &sys](std::size_t i) { return init_ref[sys.g[i]]; }, options);
-  std::vector<typename Op::Value> result = std::move(initial);
-  for (std::size_t i = 0; i < sys.iterations(); ++i) {
-    result[sys.g[i]] = std::move(traces[i]);
-  }
-  return result;
+  PlanOptions plan_options;
+  plan_options.engine = EngineChoice::kBlocked;
+  plan_options.pool = options.pool;
+  plan_options.blocks = options.blocks;
+  const Plan plan = compile_plan(sys, plan_options);
+  ExecOptions exec;
+  exec.pool = options.pool;
+  exec.blocked_stats = options.stats;
+  return execute_plan(plan, op, std::move(initial), exec);
 }
 
 }  // namespace ir::core

@@ -6,15 +6,16 @@
 // in contrast to the parallel_for path which forks/joins per round.  On a
 // real machine the difference is round-boundary overhead; ABL-6 measures it.
 //
-// The algorithm is the same trace concatenation as ordinary_ir.hpp:
+// The round structure is the same trace concatenation as ordinary_ir.hpp:
 //   round:  new_val[i] = val[ptr[i]] ⊙ val[i];  new_ptr[i] = ptr[ptr[i]]
 //           (read phase)  — barrier —  (write phase)  — barrier —
-// Each worker owns a contiguous slice of equations; reads reach across
-// slices, writes never do.
+// Since the Plan/execute split, the rounds come precompiled (plan.hpp's
+// JumpSchedule): workers replay fixed per-round move slices, so no
+// convergence voting or abort flag is needed — the round count is known up
+// front, and a throwing op simply drops its worker from the barrier
+// (run_spmd's arrive_and_drop) and rethrows after the join.
 #pragma once
 
-#include <atomic>
-#include <numeric>
 #include <vector>
 
 #include "core/ordinary_ir.hpp"
@@ -25,98 +26,26 @@ namespace ir::core {
 /// SPMD Ordinary-IR solver with `workers` persistent threads.  Results match
 /// ordinary_ir_sequential exactly (associativity permitting); `stats`
 /// receives round counts when non-null.
+///
+/// DEPRECATED shim: compiles a single-use SPMD plan per call.  Prefer
+/// compile_plan with EngineChoice::kSpmd + execute_plan (plan.hpp) to reuse
+/// the schedule across solves.
 template <algebra::BinaryOperation Op>
 std::vector<typename Op::Value> ordinary_ir_spmd(const Op& op, const OrdinaryIrSystem& sys,
                                                  std::vector<typename Op::Value> initial,
                                                  std::size_t workers,
                                                  OrdinaryIrStats* stats = nullptr) {
-  using Value = typename Op::Value;
   sys.validate();
   IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
   IR_REQUIRE(workers >= 1, "need at least one worker");
-  const std::size_t n = sys.iterations();
-  if (n == 0) return initial;
-
-  const std::vector<std::size_t> pred = last_writer_before(sys.g, sys.f, sys.cells);
-  std::vector<std::size_t> ptr = pred;
-  std::vector<Value> val(n, initial[0]);
-  std::vector<Value> new_val(n, initial[0]);
-  std::vector<std::size_t> new_ptr(n, kNone);
-  std::vector<std::size_t> active_count(workers, 0);
-  OrdinaryIrStats local_stats;
-  // Set when a worker dies mid-round (a throwing op): survivors must stop
-  // instead of waiting for the dead worker's active_count to drain.
-  std::atomic<bool> aborted{false};
-
-  const std::vector<Value>& init = initial;
-  parallel::run_spmd(workers, [&](parallel::SpmdContext& ctx) {
-    IR_SET_THREAD_NAME("spmd-worker-" + std::to_string(ctx.worker()));
-    IR_SPAN("spmd.worker");
-    const auto [begin, end] = ctx.slice(n);
-    try {
-      // Seed: traces of length one (roots fold in the untouched cell).
-      for (std::size_t i = begin; i < end; ++i) {
-        val[i] = (pred[i] == kNone) ? op.combine(init[sys.f[i]], init[sys.g[i]])
-                                    : init[sys.g[i]];
-      }
-      ctx.barrier();
-
-      for (;;) {
-        IR_SPAN("spmd.round");
-        // Read phase: everything read is round-input (no writes until the
-        // barrier below).
-        std::size_t mine = 0;
-        for (std::size_t i = begin; i < end; ++i) {
-          const std::size_t p = ptr[i];
-          if (p == kNone) continue;
-          new_val[i] = op.combine(val[p], val[i]);
-          new_ptr[i] = ptr[p];
-          ++mine;
-        }
-        active_count[ctx.worker()] = mine;
-        ctx.barrier();
-
-        // Write phase: slices are disjoint, so writes are conflict-free.
-        for (std::size_t i = begin; i < end; ++i) {
-          if (ptr[i] == kNone) continue;
-          val[i] = std::move(new_val[i]);
-          ptr[i] = new_ptr[i];
-        }
-        ctx.barrier();
-
-        // Every worker computes the same total and abort state (both were
-        // settled before the barrier), so every worker takes the same branch.
-        if (aborted.load()) break;
-        const std::size_t total =
-            std::accumulate(active_count.begin(), active_count.end(), std::size_t{0});
-        if (ctx.worker() == 0 && total != 0) {
-          ++local_stats.rounds;
-          local_stats.op_applications += total;
-          local_stats.peak_active = std::max(local_stats.peak_active, total);
-        }
-        if (total == 0) break;
-        ctx.barrier();  // round boundary: stats/val settled before next reads
-      }
-    } catch (...) {
-      // Unblock survivors: this worker's count must not keep `total` > 0,
-      // and the flag stops their loop at the next check (run_spmd drops this
-      // worker from the barrier, so phases still complete).
-      active_count[ctx.worker()] = 0;
-      aborted.store(true);
-      throw;
-    }
-  });
-  IR_INVARIANT(!aborted.load(), "SPMD solve aborted without rethrow");
-
-  IR_COUNTER_ADD("spmd.solves", 1);
-  IR_COUNTER_ADD("spmd.rounds", local_stats.rounds);
-  IR_COUNTER_ADD("spmd.op_applications", local_stats.op_applications);
-  IR_GAUGE_MAX("spmd.peak_active", local_stats.peak_active);
-
-  std::vector<Value> result = std::move(initial);
-  for (std::size_t i = 0; i < n; ++i) result[sys.g[i]] = std::move(val[i]);
-  if (stats != nullptr) *stats = local_stats;
-  return result;
+  if (sys.iterations() == 0) return initial;
+  PlanOptions plan_options;
+  plan_options.engine = EngineChoice::kSpmd;
+  const Plan plan = compile_plan(sys, plan_options);
+  ExecOptions exec;
+  exec.workers = workers;
+  exec.ordinary_stats = stats;
+  return execute_plan(plan, op, std::move(initial), exec);
 }
 
 }  // namespace ir::core

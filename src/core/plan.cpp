@@ -1,0 +1,320 @@
+#include "core/plan.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "core/general_ir.hpp"
+#include "core/serialize.hpp"
+#include "graph/cap.hpp"
+
+namespace ir::core {
+
+std::string to_string(PlanEngine engine) {
+  switch (engine) {
+    case PlanEngine::kElementwise: return "elementwise";
+    case PlanEngine::kJumping: return "jumping";
+    case PlanEngine::kBlocked: return "blocked";
+    case PlanEngine::kSpmd: return "spmd";
+    case PlanEngine::kGeneralCap: return "gir-cap";
+  }
+  return "?";
+}
+
+namespace detail {
+
+bool prefer_blocked(const SystemReport& report, std::size_t blocks, double threshold) {
+  for (const auto& [b, fraction] : report.cross_block_fraction) {
+    if (b >= blocks) return fraction < threshold;
+  }
+  return !report.cross_block_fraction.empty() &&
+         report.cross_block_fraction.back().second < threshold;
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix_u64(std::uint64_t& hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xFFu;
+    hash *= kFnvPrime;
+  }
+}
+
+/// Record the per-iteration seed structure: write cell (= g) and, for chain
+/// roots, the untouched cell the root folds in (= f).
+void build_seed_tables(Plan& plan, const std::vector<std::size_t>& f,
+                       const std::vector<std::size_t>& g,
+                       const std::vector<std::size_t>& pred) {
+  const std::size_t n = g.size();
+  plan.write_cell.resize(n);
+  plan.root_cell.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.write_cell[i] = static_cast<std::uint32_t>(g[i]);
+    plan.root_cell[i] = pred[i] == kNone ? static_cast<std::uint32_t>(f[i]) : kNoIndex32;
+  }
+}
+
+/// Simulate pointer jumping over the pred forest structurally, recording
+/// every round's (dst, src) moves.  This is exactly the legacy engine's
+/// control flow with values stripped out; the recorded order per round
+/// matches its active-set order, so an executor replay is bit-identical.
+JumpSchedule build_jump_schedule(const std::vector<std::size_t>& pred) {
+  JumpSchedule js;
+  const std::size_t n = pred.size();
+  std::vector<std::size_t> ptr = pred;
+  std::vector<std::size_t> active;
+  active.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ptr[i] != kNone) active.push_back(i);
+  }
+  js.seed_ops = n - active.size();
+
+  const std::size_t max_rounds = static_cast<std::size_t>(std::bit_width(n)) + 2;
+  std::vector<std::size_t> new_ptr;
+  while (!active.empty()) {
+    IR_INVARIANT(js.rounds() < max_rounds, "pointer jumping failed to converge");
+    js.peak_active = std::max(js.peak_active, active.size());
+    new_ptr.resize(active.size());
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      const std::size_t i = active[k];
+      js.dst.push_back(static_cast<std::uint32_t>(i));
+      js.src.push_back(static_cast<std::uint32_t>(ptr[i]));
+      new_ptr[k] = ptr[ptr[i]];
+    }
+    for (std::size_t k = 0; k < active.size(); ++k) ptr[active[k]] = new_ptr[k];
+    std::size_t kept = 0;
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      if (ptr[active[k]] != kNone) active[kept++] = active[k];
+    }
+    active.resize(kept);
+    js.round_begin.push_back(js.dst.size());
+  }
+  return js;
+}
+
+/// Precompute the two-level schedule: in-block predecessor links for the
+/// phase-1 sweeps and the (dst, src) fix-up pairs for phase 2, block-major.
+BlockedSchedule build_blocked_schedule(const std::vector<std::size_t>& pred,
+                                       std::size_t want_blocks) {
+  BlockedSchedule bs;
+  const std::size_t n = pred.size();
+  bs.local_pred.assign(n, kNoIndex32);
+  if (n == 0) {
+    bs.fix_begin.push_back(0);
+    return bs;
+  }
+  bs.blocks = parallel::partition_blocks(n, want_blocks);
+
+  // ext[i]: the still-unresolved predecessor outside i's block, propagated
+  // along in-block chains exactly as the legacy phase-1 sweep does.
+  std::vector<std::size_t> ext(n, kNone);
+  for (const auto& block : bs.blocks) {
+    for (std::size_t i = block.begin; i < block.end; ++i) {
+      const std::size_t p = pred[i];
+      if (p == kNone) {
+        ++bs.phase1_ops;  // root seed
+      } else if (p >= block.begin) {
+        bs.local_pred[i] = static_cast<std::uint32_t>(p);
+        ext[i] = ext[p];
+        ++bs.phase1_ops;
+      } else {
+        ext[i] = p;  // cross-block: resolve in phase 2
+      }
+    }
+  }
+
+  bs.fix_begin.reserve(bs.blocks.size() + 1);
+  bs.fix_begin.push_back(0);
+  for (const auto& block : bs.blocks) {
+    for (std::size_t i = block.begin; i < block.end; ++i) {
+      if (ext[i] != kNone) {
+        bs.fix_dst.push_back(static_cast<std::uint32_t>(i));
+        bs.fix_src.push_back(static_cast<std::uint32_t>(ext[i]));
+      }
+    }
+    if (bs.fix_dst.size() != bs.fix_begin.back()) ++bs.resolve_rounds;
+    bs.fix_begin.push_back(bs.fix_dst.size());
+  }
+  return bs;
+}
+
+ElementwiseSchedule build_elementwise_schedule(const GeneralIrSystem& sys) {
+  ElementwiseSchedule es;
+  const std::vector<std::size_t> last = final_writer(sys.g, sys.cells);
+  for (std::size_t cell = 0; cell < sys.cells; ++cell) {
+    const std::size_t i = last[cell];
+    if (i == kNone) continue;
+    es.cell.push_back(static_cast<std::uint32_t>(cell));
+    es.f.push_back(static_cast<std::uint32_t>(sys.f[i]));
+    es.h.push_back(static_cast<std::uint32_t>(sys.h[i]));
+  }
+  return es;
+}
+
+GirSchedule build_gir_schedule(const GeneralIrSystem& sys, const PlanOptions& options) {
+  GirSchedule gs;
+  const DependenceGraph graph = build_dependence_graph(sys);
+  const std::vector<std::size_t> last = final_writer(sys.g, sys.cells);
+
+  std::vector<std::vector<graph::Edge>> counts;
+  if (options.reference_counts) {
+    counts = graph::path_counts_reference(graph.dag);
+    gs.live_equations = sys.iterations();
+  } else {
+    graph::CapOptions cap_options;
+    cap_options.coalesce_each_round = options.coalesce_each_round;
+    cap_options.pool = options.pool;
+    if (options.prune_dead) {
+      // Mark the ancestors of every final-writer node (DFS along
+      // consumer -> producer edges); everything else is a dead write.
+      std::vector<bool> active(graph.dag.node_count(), false);
+      std::vector<std::size_t> stack;
+      for (std::size_t cell = 0; cell < sys.cells; ++cell) {
+        if (last[cell] != kNone && !active[last[cell]]) {
+          active[last[cell]] = true;
+          stack.push_back(last[cell]);
+        }
+      }
+      while (!stack.empty()) {
+        const std::size_t v = stack.back();
+        stack.pop_back();
+        for (const auto& e : graph.dag.out_edges(v)) {
+          if (!active[e.to]) {
+            active[e.to] = true;
+            stack.push_back(e.to);
+          }
+        }
+      }
+      std::size_t live = 0;
+      for (std::size_t i = 0; i < graph.iterations; ++i) live += active[i] ? 1 : 0;
+      gs.live_equations = live;
+      cap_options.active = std::move(active);
+    } else {
+      gs.live_equations = sys.iterations();
+    }
+    graph::CapResult cap = graph::cap_closure(graph.dag, cap_options);
+    counts = std::move(cap.counts);
+    gs.cap_rounds = cap.rounds;
+    gs.cap_peak_edges = cap.peak_edges;
+  }
+
+  // Resolve graph node ids down to cells so the executor never sees the
+  // dependence graph: one powered-leaf term list per written cell.
+  for (std::size_t cell = 0; cell < sys.cells; ++cell) {
+    const std::size_t writer = last[cell];
+    if (writer == kNone) continue;
+    const auto& powers = counts[writer];
+    IR_INVARIANT(!powers.empty(), "an equation node must reach at least one leaf");
+    gs.cell.push_back(static_cast<std::uint32_t>(cell));
+    for (const auto& edge : powers) {
+      const std::size_t leaf_local = edge.to - graph.iterations;
+      IR_INVARIANT(leaf_local < graph.leaf_cell.size(), "CAP edge must point at a leaf");
+      gs.term_cell.push_back(static_cast<std::uint32_t>(graph.leaf_cell[leaf_local]));
+      gs.term_exp.push_back(edge.label);
+    }
+    gs.term_begin.push_back(gs.term_cell.size());
+  }
+  return gs;
+}
+
+}  // namespace
+
+std::uint64_t plan_cache_key(std::uint64_t fingerprint, const PlanOptions& options) {
+  std::uint64_t hash = kFnvOffset;
+  mix_u64(hash, fingerprint);
+  mix_u64(hash, static_cast<std::uint64_t>(options.engine));
+  // Resolve every pool-derived hint to a number so pool identity (and
+  // lifetime) never leaks into the key.
+  const std::size_t pool_size = options.pool != nullptr ? options.pool->size() : 0;
+  mix_u64(hash, options.blocks != 0 ? options.blocks
+                                    : (pool_size != 0 ? pool_size : 1));  // blocked partition
+  mix_u64(hash, pool_size != 0 ? pool_size : 4);  // kAuto routing block hint
+  std::uint64_t threshold_bits = 0;
+  static_assert(sizeof threshold_bits == sizeof options.blocked_threshold);
+  std::memcpy(&threshold_bits, &options.blocked_threshold, sizeof threshold_bits);
+  mix_u64(hash, threshold_bits);
+  mix_u64(hash, (options.prune_dead ? 1u : 0u) | (options.coalesce_each_round ? 2u : 0u) |
+                    (options.reference_counts ? 4u : 0u));
+  return hash;
+}
+
+Plan compile_plan(const GeneralIrSystem& sys, const PlanOptions& options) {
+  IR_SPAN("plan.compile");
+  sys.validate();
+  IR_REQUIRE(sys.cells < kNoIndex32 && sys.iterations() < kNoIndex32,
+             "plans support systems below 2^32-1 cells/iterations");
+
+  Plan plan;
+  plan.fingerprint = content_fingerprint(sys);
+  plan.report = analyze(sys);
+  plan.cells = sys.cells;
+  plan.iterations = sys.iterations();
+
+  // Routing: kAuto reproduces the classic solve() decision tree exactly.
+  EngineChoice choice = options.engine;
+  if (choice == EngineChoice::kAuto) {
+    if (plan.report.dependences == 0) {
+      choice = EngineChoice::kElementwise;
+    } else if (sys.h == sys.g && plan.report.repeated_writes == 0) {
+      const std::size_t blocks = options.pool != nullptr ? options.pool->size() : 4;
+      choice = detail::prefer_blocked(plan.report, blocks, options.blocked_threshold)
+                   ? EngineChoice::kBlocked
+                   : EngineChoice::kJumping;
+    } else {
+      choice = EngineChoice::kGeneralCap;
+    }
+  }
+
+  switch (choice) {
+    case EngineChoice::kElementwise:
+      IR_REQUIRE(plan.report.dependences == 0,
+                 "the elementwise engine needs a recurrence-free system");
+      plan.engine = PlanEngine::kElementwise;
+      plan.elementwise = build_elementwise_schedule(sys);
+      break;
+
+    case EngineChoice::kJumping:
+    case EngineChoice::kBlocked:
+    case EngineChoice::kSpmd: {
+      IR_REQUIRE(sys.h == sys.g && plan.report.repeated_writes == 0,
+                 "ordinary engines need an ordinary-shaped system (h = g, g injective)");
+      const std::vector<std::size_t> pred = last_writer_before(sys.g, sys.f, sys.cells);
+      build_seed_tables(plan, sys.f, sys.g, pred);
+      if (choice == EngineChoice::kBlocked) {
+        plan.engine = PlanEngine::kBlocked;
+        const std::size_t want_blocks =
+            options.blocks != 0 ? options.blocks
+                                : (options.pool != nullptr ? options.pool->size() : 1);
+        plan.blocked = build_blocked_schedule(pred, want_blocks);
+      } else {
+        plan.engine = choice == EngineChoice::kSpmd ? PlanEngine::kSpmd
+                                                    : PlanEngine::kJumping;
+        plan.jump = build_jump_schedule(pred);
+      }
+      break;
+    }
+
+    case EngineChoice::kGeneralCap:
+      plan.engine = PlanEngine::kGeneralCap;
+      plan.gir = build_gir_schedule(sys, options);
+      break;
+
+    case EngineChoice::kAuto:
+      IR_REQUIRE(false, "routing must have resolved kAuto");
+      break;
+  }
+
+  IR_COUNTER_ADD("plan.compiles", 1);
+  return plan;
+}
+
+Plan compile_plan(const OrdinaryIrSystem& sys, const PlanOptions& options) {
+  sys.validate();  // injectivity of g, before the GIR embedding loses the check
+  return compile_plan(GeneralIrSystem::from_ordinary(sys), options);
+}
+
+}  // namespace ir::core

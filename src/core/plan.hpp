@@ -1,0 +1,519 @@
+// Plan/execute split of every solver (inspector/executor at the API level).
+//
+// The paper's defining restriction — index maps f, g, h are data-independent
+// — means the entire *schedule* of a solve (classification, pred forest,
+// pointer-jumping rounds, block partition, CAP exponents) is a pure function
+// of the maps.  compile_plan() does all of that work once; execute_plan()
+// then replays the schedule against any number of initial-value arrays with
+// pure ⊙ applications and ZERO index-map inspection.  One plan amortizes
+// across repeated solves (the common production shape: same loop, new data
+// every tick) and across batches (execute_many).
+//
+//   Plan plan = compile_plan(sys, options);      // structure work, once
+//   auto out  = execute_plan(plan, op, values);  // value work, many times
+//
+// The engines' legacy free functions (ordinary_ir_parallel, ...) remain as
+// deprecated shims that compile a plan per call; the Solver facade in
+// solver.hpp adds a content-addressed PlanCache so even those calls reuse
+// schedules across invocations.
+//
+// Schedules store indices as uint32 (plans refuse systems with 2^32 or more
+// cells/iterations): the jumping schedule is O(n log n) entries in the worst
+// case, and halving its footprint is what keeps plan reuse attractive at the
+// million-equation scale the benches run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algebra/concepts.hpp"
+#include "core/analyze.hpp"
+#include "core/engine_types.hpp"
+#include "core/ir_problem.hpp"
+#include "obs/telemetry.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/spmd.hpp"
+#include "support/bigint.hpp"
+#include "support/contract.hpp"
+
+namespace ir::core {
+
+/// Sentinel for "no index" in the uint32-encoded schedule arrays.
+inline constexpr std::uint32_t kNoIndex32 = 0xFFFFFFFFu;
+
+/// The engine a plan was compiled for.
+enum class PlanEngine { kElementwise, kJumping, kBlocked, kSpmd, kGeneralCap };
+
+[[nodiscard]] std::string to_string(PlanEngine engine);
+
+/// Engine selection knob for compile_plan: kAuto reproduces the classic
+/// solve() routing (elementwise / blocked-vs-jumping / GIR); the rest force
+/// one engine (the ordinary engines require h = g with injective g).
+enum class EngineChoice { kAuto, kElementwise, kJumping, kBlocked, kSpmd, kGeneralCap };
+
+/// Structure-side options: everything here is resolved at compile time and
+/// baked into the plan (the pool pointer itself is only a sizing hint — it
+/// never outlives the call).
+struct PlanOptions {
+  EngineChoice engine = EngineChoice::kAuto;
+
+  /// Sizing hint for routing and the blocked partition, and the worker pool
+  /// for the CAP rounds of a general-IR compile.  Not stored in the plan.
+  parallel::ThreadPool* pool = nullptr;
+
+  /// Cross-block dependence fraction below which kAuto prefers the blocked
+  /// solver over pointer jumping (same knob as SolveOptions).
+  double blocked_threshold = 0.25;
+
+  /// Blocked partition size; 0 = one block per pool thread (or 1).
+  std::size_t blocks = 0;
+
+  /// General-IR route: skip equations nobody reads (kAuto routing keeps the
+  /// classic solve() default of true; the general_ir_parallel shim passes
+  /// its own default of false through).
+  bool prune_dead = true;
+
+  /// General-IR route: CAP edge coalescing per round vs at the end.
+  bool coalesce_each_round = true;
+
+  /// General-IR route: sequential reference DP instead of the CAP closure.
+  bool reference_counts = false;
+};
+
+/// Value-side options: these choose *where* the fixed schedule runs, never
+/// *what* it computes.
+struct ExecOptions {
+  parallel::ThreadPool* pool = nullptr;  ///< jumping/blocked/elementwise/GIR phases
+  std::size_t processor_cap = 0;         ///< jumping fork cap (0 = pool size)
+  std::size_t workers = 0;               ///< SPMD persistent workers (0 = 1)
+  OrdinaryIrStats* ordinary_stats = nullptr;  ///< filled for jumping/SPMD plans
+  BlockedIrStats* blocked_stats = nullptr;    ///< filled for blocked plans
+};
+
+/// Precomputed pointer-jumping schedule: move k of round r is
+/// val[dst[k]] = val[src[k]] ⊙ val[dst[k]], with the round's moves in
+/// [round_begin[r], round_begin[r+1]).  Reads of a round all precede its
+/// writes (the executor double-buffers), so the recorded order is exactly
+/// the synchronous-PRAM round structure.
+struct JumpSchedule {
+  std::vector<std::uint32_t> dst;
+  std::vector<std::uint32_t> src;
+  std::vector<std::size_t> round_begin = {0};  ///< size rounds()+1
+  std::size_t peak_active = 0;                 ///< widest round
+  std::size_t seed_ops = 0;                    ///< root seeds (one ⊙ each)
+
+  [[nodiscard]] std::size_t rounds() const noexcept { return round_begin.size() - 1; }
+  [[nodiscard]] std::size_t moves() const noexcept { return dst.size(); }
+};
+
+/// Precomputed two-level blocked schedule.  Phase 1 sweeps each block
+/// sequentially: an equation folds its in-block predecessor (local_pred) or
+/// its root seed; phase 2 applies the cross-block fix-ups block by block,
+/// ascending, each a single ⊙.
+struct BlockedSchedule {
+  std::vector<parallel::Block> blocks;
+  std::vector<std::uint32_t> local_pred;  ///< in-block predecessor or kNoIndex32
+  std::vector<std::uint32_t> fix_dst;     ///< partial equations, block-major
+  std::vector<std::uint32_t> fix_src;     ///< their (complete) external targets
+  std::vector<std::size_t> fix_begin;     ///< per-block slice of fix_*, size blocks+1
+  std::size_t phase1_ops = 0;             ///< ⊙ count of phase 1 (incl. root seeds)
+  std::size_t resolve_rounds = 0;         ///< blocks with a non-empty fix-up step
+
+  [[nodiscard]] std::size_t partials() const noexcept { return fix_dst.size(); }
+};
+
+/// No-recurrence route: written cell k takes one ⊙ of two initial values.
+struct ElementwiseSchedule {
+  std::vector<std::uint32_t> cell;  ///< written cell (its final writer's g)
+  std::vector<std::uint32_t> f;     ///< final writer's two read cells
+  std::vector<std::uint32_t> h;
+};
+
+/// General-IR route: written cell k is the ⊙-fold of powered initial values
+/// term_cell[t]^term_exp[t] over t in [term_begin[k], term_begin[k+1]).
+/// This is the CAP result with graph node ids already resolved to cells.
+struct GirSchedule {
+  std::vector<std::uint32_t> cell;
+  std::vector<std::size_t> term_begin = {0};
+  std::vector<std::uint32_t> term_cell;
+  std::vector<support::BigUint> term_exp;
+  std::size_t cap_rounds = 0;      ///< CAP closure rounds (0 for reference DP)
+  std::size_t cap_peak_edges = 0;  ///< CAP peak live edges
+  std::size_t live_equations = 0;  ///< equations CAP processed after pruning
+};
+
+/// A compiled solve schedule.  Owns everything execute() needs — including
+/// the SystemReport the routing was based on — so callers never thread raw
+/// out-pointers through the routing layer and never re-touch f, g, h.
+struct Plan {
+  PlanEngine engine = PlanEngine::kJumping;
+  std::uint64_t fingerprint = 0;  ///< content fingerprint of the source system
+  SystemReport report;            ///< the analysis the routing was based on
+  std::size_t cells = 0;
+  std::size_t iterations = 0;
+
+  /// Per-iteration write cell (copy of g); scatter target for the ordinary
+  /// engines and the self-operand seed cell.  Empty for elementwise/GIR.
+  std::vector<std::uint32_t> write_cell;
+
+  /// Per-iteration root seed: f(i) for chain roots, kNoIndex32 otherwise.
+  std::vector<std::uint32_t> root_cell;
+
+  JumpSchedule jump;                ///< kJumping and kSpmd
+  BlockedSchedule blocked;          ///< kBlocked
+  ElementwiseSchedule elementwise;  ///< kElementwise
+  GirSchedule gir;                  ///< kGeneralCap
+};
+
+/// Compile a plan for `sys`.  Runs analyze(), builds the pred forest and the
+/// chosen engine's full schedule; throws ContractViolation if a forced
+/// engine does not fit the system's shape.
+[[nodiscard]] Plan compile_plan(const GeneralIrSystem& sys, const PlanOptions& options = {});
+[[nodiscard]] Plan compile_plan(const OrdinaryIrSystem& sys, const PlanOptions& options = {});
+
+/// Cache key for (system fingerprint, structure-affecting options).  Pool
+/// identity never enters the key — only its resolved size hints do.
+[[nodiscard]] std::uint64_t plan_cache_key(std::uint64_t fingerprint,
+                                           const PlanOptions& options);
+
+namespace detail {
+
+/// Pick blocked vs one-level jumping from the report's cross-block profile.
+bool prefer_blocked(const SystemReport& report, std::size_t blocks, double threshold);
+
+template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> execute_jump_values(
+    const Op& op, const Plan& plan,
+    const std::function<typename Op::Value(std::size_t)>& root_value,
+    const std::function<typename Op::Value(std::size_t)>& self_value,
+    const ExecOptions& exec) {
+  using Value = typename Op::Value;
+  IR_SPAN("ordinary.solve");
+  const JumpSchedule& js = plan.jump;
+  const std::size_t n = plan.iterations;
+
+  std::vector<Value> val;
+  val.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t root = plan.root_cell[i];
+    if (root != kNoIndex32) {
+      // Chain root: its trace already starts with the untouched cell's value.
+      val.push_back(op.combine(root_value(root), self_value(i)));
+    } else {
+      val.push_back(self_value(i));
+    }
+  }
+
+  auto run_indexed = [&](std::size_t count, const std::function<void(std::size_t)>& body) {
+    if (exec.pool != nullptr) {
+      const std::size_t cap =
+          exec.processor_cap != 0 ? exec.processor_cap : exec.pool->size();
+      parallel::parallel_for_capped(*exec.pool, count, cap, body);
+    } else {
+      for (std::size_t k = 0; k < count; ++k) body(k);
+    }
+  };
+
+  std::vector<Value> new_val;
+  for (std::size_t r = 0; r < js.rounds(); ++r) {
+    IR_SPAN("ordinary.round");
+    const std::size_t begin = js.round_begin[r];
+    const std::size_t width = js.round_begin[r + 1] - begin;
+    IR_HISTOGRAM("ordinary.active_width", width);
+    // Read phase into the side buffer, then write phase — the same
+    // synchronous-step discipline as the legacy engine, but the active set
+    // is a precompiled slice instead of a maintained vector.
+    new_val.resize(width);
+    run_indexed(width, [&](std::size_t k) {
+      new_val[k] = op.combine(val[js.src[begin + k]], val[js.dst[begin + k]]);
+    });
+    run_indexed(width, [&](std::size_t k) {
+      val[js.dst[begin + k]] = std::move(new_val[k]);
+    });
+  }
+
+  IR_COUNTER_ADD("ordinary.solves", 1);
+  IR_COUNTER_ADD("ordinary.rounds", js.rounds());
+  IR_COUNTER_ADD("ordinary.op_applications", js.seed_ops + js.moves());
+  IR_GAUGE_MAX("ordinary.peak_active", js.peak_active);
+  if (exec.ordinary_stats != nullptr) {
+    exec.ordinary_stats->rounds = js.rounds();
+    exec.ordinary_stats->op_applications = js.seed_ops + js.moves();
+    exec.ordinary_stats->peak_active = js.peak_active;
+  }
+  return val;
+}
+
+template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> execute_blocked_values(
+    const Op& op, const Plan& plan,
+    const std::function<typename Op::Value(std::size_t)>& root_value,
+    const std::function<typename Op::Value(std::size_t)>& self_value,
+    const ExecOptions& exec) {
+  using Value = typename Op::Value;
+  IR_SPAN("blocked.solve");
+  const BlockedSchedule& bs = plan.blocked;
+  const std::size_t n = plan.iterations;
+
+  std::vector<Value> val;
+  val.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) val.push_back(self_value(i));
+
+  BlockedIrStats stats;
+  stats.blocks = bs.blocks.size();
+  stats.partials = bs.partials();
+  stats.resolve_rounds = bs.resolve_rounds;
+  stats.op_applications = bs.phase1_ops + bs.partials();
+
+  // Phase 1: block-local sequential sweeps over the precompiled local preds.
+  auto sweep = [&](std::size_t b) {
+    const auto& block = bs.blocks[b];
+    for (std::size_t i = block.begin; i < block.end; ++i) {
+      const std::uint32_t root = plan.root_cell[i];
+      if (root != kNoIndex32) {
+        val[i] = op.combine(root_value(root), val[i]);
+      } else if (bs.local_pred[i] != kNoIndex32) {
+        val[i] = op.combine(val[bs.local_pred[i]], val[i]);
+      }
+    }
+  };
+  {
+    IR_SPAN("blocked.phase1");
+    if (exec.pool != nullptr) {
+      parallel::parallel_for(*exec.pool, bs.blocks.size(), sweep);
+    } else {
+      for (std::size_t b = 0; b < bs.blocks.size(); ++b) sweep(b);
+    }
+  }
+
+  // Phase 2: ascending blocks; each fix-up target is complete, one ⊙ each.
+  IR_SPAN("blocked.phase2");
+  for (std::size_t b = 0; b < bs.blocks.size(); ++b) {
+    const std::size_t begin = bs.fix_begin[b];
+    const std::size_t count = bs.fix_begin[b + 1] - begin;
+    if (count == 0) continue;
+    auto resolve = [&](std::size_t k) {
+      const std::uint32_t i = bs.fix_dst[begin + k];
+      val[i] = op.combine(val[bs.fix_src[begin + k]], val[i]);
+    };
+    if (exec.pool != nullptr) {
+      parallel::parallel_for(*exec.pool, count, resolve);
+    } else {
+      for (std::size_t k = 0; k < count; ++k) resolve(k);
+    }
+  }
+
+  IR_COUNTER_ADD("blocked.solves", 1);
+  IR_COUNTER_ADD("blocked.blocks", stats.blocks);
+  IR_COUNTER_ADD("blocked.partials", stats.partials);
+  IR_COUNTER_ADD("blocked.resolve_rounds", stats.resolve_rounds);
+  IR_COUNTER_ADD("blocked.op_applications", stats.op_applications);
+  if (exec.blocked_stats != nullptr) *exec.blocked_stats = stats;
+  return val;
+}
+
+template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> execute_spmd_values(
+    const Op& op, const Plan& plan,
+    const std::function<typename Op::Value(std::size_t)>& root_value,
+    const std::function<typename Op::Value(std::size_t)>& self_value,
+    const ExecOptions& exec) {
+  using Value = typename Op::Value;
+  const JumpSchedule& js = plan.jump;
+  const std::size_t n = plan.iterations;
+  if (n == 0) return {};
+  const std::size_t workers = exec.workers != 0 ? exec.workers : 1;
+
+  std::vector<Value> val(n, self_value(0));
+  std::vector<Value> new_val(js.peak_active, self_value(0));
+
+  parallel::run_spmd(workers, [&](parallel::SpmdContext& ctx) {
+    IR_SET_THREAD_NAME("spmd-worker-" + std::to_string(ctx.worker()));
+    IR_SPAN("spmd.worker");
+    const auto [begin, end] = ctx.slice(n);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t root = plan.root_cell[i];
+      val[i] = (root != kNoIndex32) ? op.combine(root_value(root), self_value(i))
+                                    : self_value(i);
+    }
+    ctx.barrier();
+
+    // The round count is fixed by the schedule, so no convergence voting is
+    // needed; a throwing op simply drops this worker from the barrier
+    // (run_spmd's arrive_and_drop) and rethrows after the join.
+    for (std::size_t r = 0; r < js.rounds(); ++r) {
+      IR_SPAN("spmd.round");
+      const std::size_t round_begin = js.round_begin[r];
+      const std::size_t width = js.round_begin[r + 1] - round_begin;
+      const auto [wb, we] = ctx.slice(width);
+      for (std::size_t k = wb; k < we; ++k) {
+        new_val[k] = op.combine(val[js.src[round_begin + k]], val[js.dst[round_begin + k]]);
+      }
+      ctx.barrier();
+      for (std::size_t k = wb; k < we; ++k) {
+        val[js.dst[round_begin + k]] = std::move(new_val[k]);
+      }
+      ctx.barrier();
+    }
+  });
+
+  IR_COUNTER_ADD("spmd.solves", 1);
+  IR_COUNTER_ADD("spmd.rounds", js.rounds());
+  IR_COUNTER_ADD("spmd.op_applications", js.moves());
+  IR_GAUGE_MAX("spmd.peak_active", js.peak_active);
+  if (exec.ordinary_stats != nullptr) {
+    // Legacy SPMD parity: op_applications counts round moves, not seeds.
+    exec.ordinary_stats->rounds = js.rounds();
+    exec.ordinary_stats->op_applications = js.moves();
+    exec.ordinary_stats->peak_active = js.peak_active;
+  }
+  return val;
+}
+
+}  // namespace detail
+
+/// Run an ordinary-engine plan with custom root/self hooks (the Möbius
+/// solver's entry): returns the per-iteration trace values W(i).
+template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> execute_iteration_values(
+    const Plan& plan, const Op& op,
+    const std::function<typename Op::Value(std::size_t)>& root_value,
+    const std::function<typename Op::Value(std::size_t)>& self_value,
+    const ExecOptions& exec = {}) {
+  switch (plan.engine) {
+    case PlanEngine::kJumping:
+      return detail::execute_jump_values(op, plan, root_value, self_value, exec);
+    case PlanEngine::kBlocked:
+      return detail::execute_blocked_values(op, plan, root_value, self_value, exec);
+    case PlanEngine::kSpmd:
+      return detail::execute_spmd_values(op, plan, root_value, self_value, exec);
+    default:
+      IR_REQUIRE(false, "execute_iteration_values needs an ordinary-engine plan");
+      return {};
+  }
+}
+
+/// Execute a compiled plan against one initial-value array.  Pure value
+/// work: no index map of the source system is consulted (they may even have
+/// been destroyed since compile).  The GIR route additionally requires a
+/// PowerOperation, checked at compile time only when such a plan can reach
+/// this instantiation.
+template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> execute_plan(const Plan& plan, const Op& op,
+                                             std::vector<typename Op::Value> initial,
+                                             const ExecOptions& exec = {}) {
+  using Value = typename Op::Value;
+  IR_REQUIRE(initial.size() == plan.cells, "initial array must have `cells` entries");
+  IR_COUNTER_ADD("plan.executes", 1);
+
+  switch (plan.engine) {
+    case PlanEngine::kElementwise: {
+      const ElementwiseSchedule& es = plan.elementwise;
+      std::vector<Value> result = initial;
+      auto eval = [&](std::size_t k) {
+        result[es.cell[k]] = op.combine(initial[es.f[k]], initial[es.h[k]]);
+      };
+      if (exec.pool != nullptr) {
+        parallel::parallel_for(*exec.pool, es.cell.size(), eval);
+      } else {
+        for (std::size_t k = 0; k < es.cell.size(); ++k) eval(k);
+      }
+      return result;
+    }
+
+    case PlanEngine::kJumping:
+    case PlanEngine::kBlocked:
+    case PlanEngine::kSpmd: {
+      const std::vector<Value>& init_ref = initial;
+      auto traces = execute_iteration_values<Op>(
+          plan, op, [&init_ref](std::size_t cell) { return init_ref[cell]; },
+          [&init_ref, &plan](std::size_t i) { return init_ref[plan.write_cell[i]]; },
+          exec);
+      // g is injective on these routes, so each written cell has one trace.
+      std::vector<Value> result = std::move(initial);
+      for (std::size_t i = 0; i < plan.iterations; ++i) {
+        result[plan.write_cell[i]] = std::move(traces[i]);
+      }
+      return result;
+    }
+
+    case PlanEngine::kGeneralCap: {
+      if constexpr (algebra::PowerOperation<Op>) {
+        const GirSchedule& gs = plan.gir;
+        std::vector<Value> result = std::move(initial);
+        std::vector<Value> finals(gs.cell.size());
+        {
+          // Freeze the initial values: a leaf cell may also be written, so
+          // evaluation must not observe half-updated neighbours.
+          const std::vector<Value> snapshot = result;
+          auto eval_into = [&](std::size_t e) {
+            std::vector<Value> terms;
+            terms.reserve(gs.term_begin[e + 1] - gs.term_begin[e]);
+            for (std::size_t t = gs.term_begin[e]; t < gs.term_begin[e + 1]; ++t) {
+              const Value& base = snapshot[gs.term_cell[t]];
+              terms.push_back(gs.term_exp[t] == support::BigUint{1}
+                                  ? base
+                                  : op.pow(base, gs.term_exp[t]));
+            }
+            while (terms.size() > 1) {
+              std::size_t half = terms.size() / 2;
+              for (std::size_t k = 0; k < half; ++k) {
+                terms[k] = op.combine(terms[2 * k], terms[2 * k + 1]);
+              }
+              if (terms.size() % 2 == 1) {
+                terms[half] = terms.back();
+                ++half;
+              }
+              terms.resize(half);
+            }
+            finals[e] = terms.front();
+          };
+          if (exec.pool != nullptr) {
+            parallel::parallel_for(*exec.pool, gs.cell.size(), eval_into);
+          } else {
+            for (std::size_t e = 0; e < gs.cell.size(); ++e) eval_into(e);
+          }
+        }
+        for (std::size_t e = 0; e < gs.cell.size(); ++e) {
+          result[gs.cell[e]] = std::move(finals[e]);
+        }
+        return result;
+      } else {
+        IR_REQUIRE(false,
+                   "executing a general-IR plan requires a commutative power operation");
+        return initial;
+      }
+    }
+  }
+  IR_REQUIRE(false, "unknown plan engine");
+  return initial;
+}
+
+/// Amortize one plan across K initial-value arrays.  With a pool, the K
+/// solves run as one parallel_for with serial inner executes (SPMD plans
+/// keep their own worker teams and run the batch serially instead).
+template <algebra::BinaryOperation Op>
+std::vector<std::vector<typename Op::Value>> execute_many(
+    const Plan& plan, const Op& op,
+    std::vector<std::vector<typename Op::Value>> initials, const ExecOptions& exec = {}) {
+  std::vector<std::vector<typename Op::Value>> results(initials.size());
+  if (plan.engine == PlanEngine::kSpmd || exec.pool == nullptr) {
+    for (std::size_t k = 0; k < initials.size(); ++k) {
+      results[k] = execute_plan(plan, op, std::move(initials[k]), exec);
+    }
+    return results;
+  }
+  IR_SPAN("plan.execute_many");
+  ExecOptions inner = exec;
+  inner.pool = nullptr;  // outer parallel_for supplies the parallelism
+  inner.ordinary_stats = nullptr;
+  inner.blocked_stats = nullptr;
+  parallel::parallel_for(*exec.pool, initials.size(), [&](std::size_t k) {
+    results[k] = execute_plan(plan, op, std::move(initials[k]), inner);
+  });
+  return results;
+}
+
+}  // namespace ir::core

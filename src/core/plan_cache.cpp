@@ -1,0 +1,67 @@
+#include "core/plan_cache.hpp"
+
+#include "obs/telemetry.hpp"
+
+namespace ir::core {
+
+std::shared_ptr<const Plan> PlanCache::find(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    IR_COUNTER_ADD("plan_cache.misses", 1);
+    return nullptr;
+  }
+  ++hits_;
+  IR_COUNTER_ADD("plan_cache.hits", 1);
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void PlanCache::insert(std::uint64_t key, std::shared_ptr<const Plan> plan) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+    IR_COUNTER_ADD("plan_cache.evictions", 1);
+  }
+  IR_GAUGE_MAX("plan_cache.size", lru_.size());
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t PlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace ir::core

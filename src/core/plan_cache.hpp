@@ -1,0 +1,58 @@
+// Content-addressed LRU cache of compiled plans.
+//
+// Keys are plan_cache_key(content_fingerprint(system), options) — pure
+// functions of the system's serialized bytes and the structure-affecting
+// option knobs, so two textually identical systems share one plan and any
+// mutation (or different routing knob) misses.  Entries are shared_ptr<const
+// Plan>: a hit can be executed long after the entry was evicted.
+//
+// Thread safe (one mutex — compile is orders of magnitude more expensive
+// than the lookup).  Hit/miss/eviction counts are exposed both as instance
+// accessors and as plan_cache.* metrics in the observability registry
+// (docs/observability.md).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/plan.hpp"
+
+namespace ir::core {
+
+class PlanCache {
+ public:
+  /// `capacity` = max cached plans; 0 disables caching entirely.
+  explicit PlanCache(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Look up a plan; bumps it to most-recently-used on a hit.
+  [[nodiscard]] std::shared_ptr<const Plan> find(std::uint64_t key);
+
+  /// Insert (or refresh) a plan, evicting the least-recently-used entry
+  /// beyond capacity.
+  void insert(std::uint64_t key, std::shared_ptr<const Plan> plan);
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t evictions() const;
+
+ private:
+  using Entry = std::pair<std::uint64_t, std::shared_ptr<const Plan>>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace ir::core

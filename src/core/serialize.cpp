@@ -121,6 +121,59 @@ std::string to_text(const OrdinaryIrSystem& sys) {
   return to_text(GeneralIrSystem::from_ordinary(sys));
 }
 
+namespace {
+
+/// Streamed FNV-1a 64 over exactly the bytes to_text emits.
+class Fnv1a {
+ public:
+  void bytes(std::string_view text) {
+    for (const char c : text) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void number(std::size_t value) {
+    char buffer[24];
+    const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof buffer, value);
+    IR_INVARIANT(ec == std::errc{}, "size_t must fit the fingerprint buffer");
+    bytes(std::string_view(buffer, static_cast<std::size_t>(ptr - buffer)));
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;
+};
+
+std::uint64_t fingerprint_impl(std::size_t cells, const std::vector<std::size_t>& f,
+                               const std::vector<std::size_t>& g,
+                               const std::vector<std::size_t>& h) {
+  Fnv1a fnv;
+  fnv.bytes("ir-system v1\ncells ");
+  fnv.number(cells);
+  fnv.bytes("\nequations ");
+  fnv.number(g.size());
+  fnv.bytes("\n");
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    fnv.number(f[i]);
+    fnv.bytes(" ");
+    fnv.number(g[i]);
+    fnv.bytes(" ");
+    fnv.number(h[i]);
+    fnv.bytes("\n");
+  }
+  return fnv.value();
+}
+
+}  // namespace
+
+std::uint64_t content_fingerprint(const GeneralIrSystem& sys) {
+  return fingerprint_impl(sys.cells, sys.f, sys.g, sys.h);
+}
+
+std::uint64_t content_fingerprint(const OrdinaryIrSystem& sys) {
+  return fingerprint_impl(sys.cells, sys.f, sys.g, sys.g);
+}
+
 GeneralIrSystem system_from_text(std::string_view text) {
   LineReader reader(text);
   expect_header(reader, "ir-system v1");

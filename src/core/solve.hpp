@@ -12,6 +12,11 @@
 //   everything else    -> general IR via CAP (requires a commutative power
 //                         monoid, enforced at compile time)
 //
+// Since the plan/execute split, classification and routing live in
+// compile_plan (plan.hpp); solve() is the one-shot convenience that compiles
+// a plan and runs it once.  Callers who solve the same system repeatedly
+// should hold a Solver (solver.hpp) and reuse the cached plan instead.
+//
 // The OrdinaryIrSystem overload accepts any associative op (no GIR fallback
 // can be needed); the GeneralIrSystem overload requires a PowerOperation.
 #pragma once
@@ -20,7 +25,7 @@
 #include "core/general_ir.hpp"
 #include "core/ordinary_ir.hpp"
 #include "core/ordinary_ir_blocked.hpp"
-#include "parallel/parallel_for.hpp"
+#include "core/plan.hpp"
 
 namespace ir::core {
 
@@ -35,40 +40,26 @@ struct SolveOptions {
   /// the work-efficient blocked solver over pointer jumping.
   double blocked_threshold = 0.25;
 
-  /// If non-null, receives the analysis report the routing was based on.
+  /// If non-null, receives the analysis report the routing was based on
+  /// (every route, including elementwise).
   SystemReport* report_out = nullptr;
 };
 
 namespace detail {
 
-/// Elementwise route: every equation reads only pre-loop values, so each
-/// written cell is just its final writer's single ⊙ application.
-template <algebra::BinaryOperation Op>
-std::vector<typename Op::Value> solve_elementwise(const Op& op, const GeneralIrSystem& sys,
-                                                  std::vector<typename Op::Value> initial,
-                                                  parallel::ThreadPool* pool) {
-  const std::vector<std::size_t> last = final_writer(sys.g, sys.cells);
-  std::vector<typename Op::Value> result = initial;
-  auto eval = [&](std::size_t cell) {
-    const std::size_t i = last[cell];
-    if (i != kNone) result[cell] = op.combine(initial[sys.f[i]], initial[sys.h[i]]);
-  };
-  if (pool != nullptr) {
-    parallel::parallel_for(*pool, sys.cells, eval);
-  } else {
-    for (std::size_t cell = 0; cell < sys.cells; ++cell) eval(cell);
-  }
-  return result;
-}
-
-/// Pick blocked vs one-level jumping from the report's cross-block profile.
-inline bool prefer_blocked(const SystemReport& report, std::size_t blocks,
-                           double threshold) {
-  for (const auto& [b, fraction] : report.cross_block_fraction) {
-    if (b >= blocks) return fraction < threshold;
-  }
-  return !report.cross_block_fraction.empty() &&
-         report.cross_block_fraction.back().second < threshold;
+template <typename Op, typename System>
+std::vector<typename Op::Value> solve_via_plan(const Op& op, const System& sys,
+                                               std::vector<typename Op::Value> initial,
+                                               const SolveOptions& options) {
+  PlanOptions plan_options;
+  plan_options.pool = options.pool;
+  plan_options.prune_dead = options.prune_dead;
+  plan_options.blocked_threshold = options.blocked_threshold;
+  const Plan plan = compile_plan(sys, plan_options);
+  if (options.report_out != nullptr) *options.report_out = plan.report;
+  ExecOptions exec;
+  exec.pool = options.pool;
+  return execute_plan(plan, op, std::move(initial), exec);
 }
 
 }  // namespace detail
@@ -78,21 +69,7 @@ template <algebra::BinaryOperation Op>
 std::vector<typename Op::Value> solve(const Op& op, const OrdinaryIrSystem& sys,
                                       std::vector<typename Op::Value> initial,
                                       const SolveOptions& options = {}) {
-  const SystemReport report = analyze(sys);
-  if (options.report_out != nullptr) *options.report_out = report;
-  if (report.dependences == 0) {
-    GeneralIrSystem gir = GeneralIrSystem::from_ordinary(sys);
-    return detail::solve_elementwise(op, gir, std::move(initial), options.pool);
-  }
-  const std::size_t blocks = options.pool != nullptr ? options.pool->size() : 4;
-  if (detail::prefer_blocked(report, blocks, options.blocked_threshold)) {
-    BlockedIrOptions blocked;
-    blocked.pool = options.pool;
-    return ordinary_ir_blocked(op, sys, std::move(initial), blocked);
-  }
-  OrdinaryIrOptions jumping;
-  jumping.pool = options.pool;
-  return ordinary_ir_parallel(op, sys, std::move(initial), jumping);
+  return detail::solve_via_plan(op, sys, std::move(initial), options);
 }
 
 /// Route-and-solve a general IR system (commutative power monoid required —
@@ -102,26 +79,7 @@ template <algebra::PowerOperation Op>
 std::vector<typename Op::Value> solve(const Op& op, const GeneralIrSystem& sys,
                                       std::vector<typename Op::Value> initial,
                                       const SolveOptions& options = {}) {
-  const SystemReport report = analyze(sys);
-  if (options.report_out != nullptr) *options.report_out = report;
-
-  if (report.dependences == 0) {
-    return detail::solve_elementwise(op, sys, std::move(initial), options.pool);
-  }
-
-  const bool ordinary_shaped = (sys.h == sys.g) && report.repeated_writes == 0;
-  if (ordinary_shaped) {
-    OrdinaryIrSystem ord;
-    ord.cells = sys.cells;
-    ord.f = sys.f;
-    ord.g = sys.g;
-    return solve(op, ord, std::move(initial), options);
-  }
-
-  GeneralIrOptions gir;
-  gir.pool = options.pool;
-  gir.prune_dead = options.prune_dead;
-  return general_ir_parallel(op, sys, std::move(initial), gir);
+  return detail::solve_via_plan(op, sys, std::move(initial), options);
 }
 
 }  // namespace ir::core

@@ -1,0 +1,34 @@
+#include "core/solver.hpp"
+
+namespace ir::core {
+
+namespace {
+
+template <typename System>
+std::shared_ptr<const Plan> compile_cached(PlanCache& cache, const System& sys,
+                                           const PlanOptions& options) {
+  const std::uint64_t key = plan_cache_key(content_fingerprint(sys), options);
+  if (auto cached = cache.find(key)) return cached;
+  auto plan = std::make_shared<const Plan>(compile_plan(sys, options));
+  cache.insert(key, plan);
+  return plan;
+}
+
+}  // namespace
+
+std::shared_ptr<const Plan> Solver::compile(const GeneralIrSystem& sys,
+                                            const PlanOptions& options) {
+  return compile_cached(cache_, sys, options);
+}
+
+std::shared_ptr<const Plan> Solver::compile(const OrdinaryIrSystem& sys,
+                                            const PlanOptions& options) {
+  return compile_cached(cache_, sys, options);
+}
+
+Solver& shared_solver() {
+  static Solver solver;
+  return solver;
+}
+
+}  // namespace ir::core

@@ -1,0 +1,74 @@
+// The unified solver facade: compile once (content-cached), execute many.
+//
+//   Solver solver;
+//   auto plan = solver.compile(sys);                  // PlanCache hit after #1
+//   auto out  = solver.execute(*plan, op, values);    // pure value work
+//   auto outs = solver.execute_many(*plan, op, batch);
+//
+// compile() keys the cache by the system's serialized content plus the
+// structure-affecting options, so repeated traffic with the same loop shape
+// (the ROADMAP's production pattern) pays the analysis/pred-forest/schedule
+// cost exactly once.  solve() is the one-shot convenience wrapper the
+// deprecated free functions route through via shared_solver().
+#pragma once
+
+#include <memory>
+
+#include "core/plan.hpp"
+#include "core/plan_cache.hpp"
+#include "core/serialize.hpp"
+
+namespace ir::core {
+
+struct SolverConfig {
+  std::size_t plan_cache_capacity = 64;  ///< 0 disables plan caching
+};
+
+class Solver {
+ public:
+  explicit Solver(const SolverConfig& config = {}) : cache_(config.plan_cache_capacity) {}
+
+  /// Compile (or fetch from cache) a plan for `sys`.
+  [[nodiscard]] std::shared_ptr<const Plan> compile(const GeneralIrSystem& sys,
+                                                    const PlanOptions& options = {});
+  [[nodiscard]] std::shared_ptr<const Plan> compile(const OrdinaryIrSystem& sys,
+                                                    const PlanOptions& options = {});
+
+  /// Execute a plan against one initial-value array (see execute_plan).
+  template <algebra::BinaryOperation Op>
+  [[nodiscard]] std::vector<typename Op::Value> execute(
+      const Plan& plan, const Op& op, std::vector<typename Op::Value> initial,
+      const ExecOptions& exec = {}) const {
+    return execute_plan(plan, op, std::move(initial), exec);
+  }
+
+  /// Execute a plan against K initial-value arrays (see execute_many).
+  template <algebra::BinaryOperation Op>
+  [[nodiscard]] std::vector<std::vector<typename Op::Value>> execute_many(
+      const Plan& plan, const Op& op, std::vector<std::vector<typename Op::Value>> initials,
+      const ExecOptions& exec = {}) const {
+    return core::execute_many(plan, op, std::move(initials), exec);
+  }
+
+  /// One-shot convenience: compile (cached) + execute.
+  template <algebra::BinaryOperation Op, typename System>
+  [[nodiscard]] std::vector<typename Op::Value> solve(const Op& op, const System& sys,
+                                                      std::vector<typename Op::Value> initial,
+                                                      const PlanOptions& options = {},
+                                                      const ExecOptions& exec = {}) {
+    const auto plan = compile(sys, options);
+    return execute_plan(*plan, op, std::move(initial), exec);
+  }
+
+  [[nodiscard]] PlanCache& plan_cache() noexcept { return cache_; }
+
+ private:
+  PlanCache cache_;
+};
+
+/// Process-wide solver: the deprecated free-function shims and the Möbius
+/// route compile through this instance, so even legacy call sites reuse
+/// plans across repeated solves of the same system.
+[[nodiscard]] Solver& shared_solver();
+
+}  // namespace ir::core

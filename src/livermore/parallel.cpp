@@ -8,6 +8,7 @@
 #include "core/general_ir.hpp"
 #include "core/inspector.hpp"
 #include "core/linear_ir.hpp"
+#include "core/plan.hpp"
 #include "parallel/parallel_for.hpp"
 #include "scan/linear_recurrence.hpp"
 #include "scan/prefix_scan.hpp"
@@ -229,10 +230,16 @@ double kernel13_parallel(Workspace& ws, parallel::ThreadPool* pool) {
   sys.h = deposit;
   std::vector<double> init = ws.h_k13.data();
   init.push_back(1.0);
-  core::GeneralIrOptions options;
-  options.pool = pool;
-  auto out =
-      core::general_ir_parallel(algebra::AddMonoid<double>{}, sys, std::move(init), options);
+  // The scatter pattern is data-dependent (it changes with the particle
+  // state every call), so compile a one-shot CAP plan and run it directly.
+  core::PlanOptions plan_options;
+  plan_options.engine = core::EngineChoice::kGeneralCap;
+  plan_options.pool = pool;
+  plan_options.prune_dead = false;  // the paper's plain algorithm, as before
+  const core::Plan plan = core::compile_plan(sys, plan_options);
+  core::ExecOptions exec;
+  exec.pool = pool;
+  auto out = core::execute_plan(plan, algebra::AddMonoid<double>{}, std::move(init), exec);
   out.pop_back();
   ws.h_k13.data() = std::move(out);
   return std::accumulate(ws.h_k13.data().begin(), ws.h_k13.data().end(), 0.0);
@@ -324,10 +331,15 @@ double kernel14_parallel(Workspace& ws, parallel::ThreadPool* pool) {
     recorder.record_self(rh_cells + 2 * k + 1, (i + 1) % n);
   }
   const auto sys = std::move(recorder).finish();
-  core::GeneralIrOptions options;
-  options.pool = pool;
-  auto out =
-      core::general_ir_parallel(algebra::AddMonoid<double>{}, sys, std::move(init), options);
+  // Data-dependent scatter, fresh every call: one-shot CAP plan.
+  core::PlanOptions plan_options;
+  plan_options.engine = core::EngineChoice::kGeneralCap;
+  plan_options.pool = pool;
+  plan_options.prune_dead = false;  // the paper's plain algorithm, as before
+  const core::Plan plan = core::compile_plan(sys, plan_options);
+  core::ExecOptions exec;
+  exec.pool = pool;
+  auto out = core::execute_plan(plan, algebra::AddMonoid<double>{}, std::move(init), exec);
   out.resize(rh_cells);
   ws.rh = std::move(out);
   double sum = 0.0;

@@ -1,0 +1,76 @@
+// PlanCache unit behavior: LRU order, capacity 0, refresh semantics.
+#include "core/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ir::core {
+namespace {
+
+std::shared_ptr<const Plan> dummy_plan(std::uint64_t fingerprint) {
+  auto plan = std::make_shared<Plan>();
+  plan->fingerprint = fingerprint;
+  return plan;
+}
+
+TEST(PlanCacheTest, FindMissThenHit) {
+  PlanCache cache(4);
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.insert(1, dummy_plan(1));
+  const auto hit = cache.find(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->fingerprint, 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  PlanCache cache(2);
+  cache.insert(1, dummy_plan(1));
+  cache.insert(2, dummy_plan(2));
+  ASSERT_NE(cache.find(1), nullptr);  // bump 1 to most-recent
+  cache.insert(3, dummy_plan(3));     // evicts 2, the LRU entry
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.find(2), nullptr);
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_NE(cache.find(3), nullptr);
+}
+
+TEST(PlanCacheTest, CapacityZeroDisablesCaching) {
+  PlanCache cache(0);
+  cache.insert(1, dummy_plan(1));
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCacheTest, InsertRefreshReplacesAndKeepsOneEntry) {
+  PlanCache cache(4);
+  cache.insert(1, dummy_plan(10));
+  cache.insert(1, dummy_plan(20));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.find(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->fingerprint, 20u);
+}
+
+TEST(PlanCacheTest, HitOutlivesEviction) {
+  // A fetched plan is a shared_ptr: using it after eviction is safe.
+  PlanCache cache(1);
+  cache.insert(1, dummy_plan(1));
+  const auto held = cache.find(1);
+  cache.insert(2, dummy_plan(2));  // evicts key 1
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_EQ(held->fingerprint, 1u);  // still alive through our reference
+}
+
+TEST(PlanCacheTest, ClearResetsEntriesButKeepsCounters) {
+  PlanCache cache(4);
+  cache.insert(1, dummy_plan(1));
+  ASSERT_NE(cache.find(1), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);  // counters survive clear()
+}
+
+}  // namespace
+}  // namespace ir::core

@@ -1,0 +1,147 @@
+// The deprecated free-function solvers are now thin shims over the plan API.
+// This suite pins the compatibility contract: each shim still compiles, still
+// returns exactly what the direct compile_plan + execute_plan pair returns,
+// and still fills its stats struct the way the legacy engine did.
+#include <gtest/gtest.h>
+
+#include "algebra/monoids.hpp"
+#include "core/general_ir.hpp"
+#include "core/ordinary_ir.hpp"
+#include "core/ordinary_ir_blocked.hpp"
+#include "core/ordinary_ir_spmd.hpp"
+#include "core/plan.hpp"
+#include "core/solve.hpp"
+#include "testing/random_systems.hpp"
+
+namespace ir::core {
+namespace {
+
+using algebra::ModMulMonoid;
+
+struct ShimFixture {
+  OrdinaryIrSystem sys;
+  std::vector<std::uint64_t> init;
+  ModMulMonoid op{1'000'000'007ull};
+
+  explicit ShimFixture(std::uint64_t seed, std::size_t n = 400) {
+    support::SplitMix64 rng(seed);
+    sys = testing::random_ordinary_system(n, n + n / 2, rng, 0.85);
+    init.resize(n + n / 2);
+    for (auto& v : init) v = 1 + rng.below(1'000'000'006ull);
+  }
+};
+
+TEST(ShimCompatTest, OrdinaryParallelAgreesWithPlanApi) {
+  const ShimFixture fx(91);
+  OrdinaryIrStats shim_stats;
+  OrdinaryIrOptions options;
+  options.stats = &shim_stats;
+  const auto via_shim = ordinary_ir_parallel(fx.op, fx.sys, fx.init, options);
+
+  PlanOptions plan_options;
+  plan_options.engine = EngineChoice::kJumping;
+  const Plan plan = compile_plan(fx.sys, plan_options);
+  OrdinaryIrStats plan_stats;
+  ExecOptions exec;
+  exec.ordinary_stats = &plan_stats;
+  EXPECT_EQ(via_shim, execute_plan(plan, fx.op, fx.init, exec));
+  EXPECT_EQ(shim_stats.rounds, plan_stats.rounds);
+  EXPECT_EQ(shim_stats.op_applications, plan_stats.op_applications);
+  EXPECT_EQ(shim_stats.peak_active, plan_stats.peak_active);
+}
+
+TEST(ShimCompatTest, OrdinaryParallelLegacyCostModelStillWorks) {
+  // early_termination = false only exists in the legacy hook engine; the shim
+  // must keep routing it there and keep the inflated visit count.
+  const ShimFixture fx(92, 200);
+  OrdinaryIrStats eager, lazy;
+  OrdinaryIrOptions eager_options;
+  eager_options.stats = &eager;
+  OrdinaryIrOptions lazy_options;
+  lazy_options.early_termination = false;
+  lazy_options.stats = &lazy;
+  EXPECT_EQ(ordinary_ir_parallel(fx.op, fx.sys, fx.init, eager_options),
+            ordinary_ir_parallel(fx.op, fx.sys, fx.init, lazy_options));
+  EXPECT_GE(lazy.op_applications, eager.op_applications);
+}
+
+TEST(ShimCompatTest, BlockedAgreesWithPlanApi) {
+  const ShimFixture fx(93);
+  parallel::ThreadPool pool(4);
+  BlockedIrStats shim_stats;
+  BlockedIrOptions options;
+  options.pool = &pool;
+  options.stats = &shim_stats;
+  const auto via_shim = ordinary_ir_blocked(fx.op, fx.sys, fx.init, options);
+
+  PlanOptions plan_options;
+  plan_options.engine = EngineChoice::kBlocked;
+  plan_options.pool = &pool;
+  const Plan plan = compile_plan(fx.sys, plan_options);
+  BlockedIrStats plan_stats;
+  ExecOptions exec;
+  exec.pool = &pool;
+  exec.blocked_stats = &plan_stats;
+  EXPECT_EQ(via_shim, execute_plan(plan, fx.op, fx.init, exec));
+  EXPECT_EQ(shim_stats.blocks, plan_stats.blocks);
+  EXPECT_EQ(shim_stats.partials, plan_stats.partials);
+  EXPECT_EQ(shim_stats.resolve_rounds, plan_stats.resolve_rounds);
+  EXPECT_EQ(shim_stats.op_applications, plan_stats.op_applications);
+}
+
+TEST(ShimCompatTest, SpmdAgreesWithPlanApi) {
+  const ShimFixture fx(94);
+  OrdinaryIrStats shim_stats;
+  const auto via_shim = ordinary_ir_spmd(fx.op, fx.sys, fx.init, 3, &shim_stats);
+
+  PlanOptions plan_options;
+  plan_options.engine = EngineChoice::kSpmd;
+  const Plan plan = compile_plan(fx.sys, plan_options);
+  OrdinaryIrStats plan_stats;
+  ExecOptions exec;
+  exec.workers = 3;
+  exec.ordinary_stats = &plan_stats;
+  EXPECT_EQ(via_shim, execute_plan(plan, fx.op, fx.init, exec));
+  EXPECT_EQ(shim_stats.rounds, plan_stats.rounds);
+  EXPECT_EQ(shim_stats.op_applications, plan_stats.op_applications);
+}
+
+TEST(ShimCompatTest, GeneralIrParallelAgreesWithPlanApi) {
+  support::SplitMix64 rng(95);
+  const auto sys = testing::random_general_system(150, 100, rng, 0.7);
+  ModMulMonoid op(999999937ull);
+  std::vector<std::uint64_t> init(100);
+  for (auto& v : init) v = 1 + rng.below(999999936ull);
+
+  graph::CapResult shim_cap;
+  std::size_t shim_live = 0;
+  GeneralIrOptions options;
+  options.cap_out = &shim_cap;
+  options.live_equations = &shim_live;
+  const auto via_shim = general_ir_parallel(op, sys, init, options);
+
+  PlanOptions plan_options;
+  plan_options.engine = EngineChoice::kGeneralCap;
+  plan_options.prune_dead = false;  // the shim's default
+  const Plan plan = compile_plan(sys, plan_options);
+  EXPECT_EQ(via_shim, execute_plan(plan, op, init));
+  EXPECT_EQ(via_shim, general_ir_sequential(op, sys, init));
+  EXPECT_EQ(shim_cap.rounds, plan.gir.cap_rounds);
+  EXPECT_EQ(shim_cap.peak_edges, plan.gir.cap_peak_edges);
+  EXPECT_EQ(shim_live, plan.gir.live_equations);
+}
+
+TEST(ShimCompatTest, SolveAgreesWithPlanApiOnAutoRoute) {
+  const ShimFixture fx(96);
+  SystemReport report;
+  SolveOptions options;
+  options.report_out = &report;
+  const auto via_solve = solve(fx.op, fx.sys, fx.init, options);
+
+  const Plan plan = compile_plan(fx.sys);
+  EXPECT_EQ(via_solve, execute_plan(plan, fx.op, fx.init));
+  EXPECT_EQ(report.route, plan.report.route);
+}
+
+}  // namespace
+}  // namespace ir::core

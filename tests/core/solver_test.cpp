@@ -1,0 +1,148 @@
+// Solver facade: content-addressed plan caching and one-call solve.
+#include "core/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/monoids.hpp"
+#include "core/general_ir.hpp"
+#include "core/ordinary_ir.hpp"
+#include "core/solve.hpp"
+#include "testing/random_systems.hpp"
+
+namespace ir::core {
+namespace {
+
+using algebra::ModMulMonoid;
+
+TEST(SolverTest, RecompileIsACacheHit) {
+  support::SplitMix64 rng(81);
+  const auto sys = testing::random_ordinary_system(200, 300, rng, 0.8);
+  Solver solver;
+  const auto first = solver.compile(sys);
+  const auto second = solver.compile(sys);
+  EXPECT_EQ(first.get(), second.get());  // literally the same plan object
+  EXPECT_EQ(solver.plan_cache().misses(), 1u);
+  EXPECT_EQ(solver.plan_cache().hits(), 1u);
+
+  // A structurally identical copy hits too: the key is content, not identity.
+  const OrdinaryIrSystem copy = sys;
+  EXPECT_EQ(solver.compile(copy).get(), first.get());
+  EXPECT_EQ(solver.plan_cache().hits(), 2u);
+}
+
+TEST(SolverTest, DistinctSystemsNeverShareAPlan) {
+  support::SplitMix64 rng(82);
+  const auto sys = testing::random_ordinary_system(150, 200, rng, 0.8);
+  auto mutated = sys;
+  mutated.f[3] = (mutated.f[3] + 1) % mutated.cells;
+
+  Solver solver;
+  const auto a = solver.compile(sys);
+  const auto b = solver.compile(mutated);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a->fingerprint, b->fingerprint);
+  EXPECT_EQ(solver.plan_cache().misses(), 2u);
+}
+
+TEST(SolverTest, DistinctOptionsGetDistinctPlans) {
+  support::SplitMix64 rng(83);
+  const auto sys = testing::random_ordinary_system(150, 200, rng, 0.8);
+  Solver solver;
+  PlanOptions jumping;
+  jumping.engine = EngineChoice::kJumping;
+  PlanOptions blocked;
+  blocked.engine = EngineChoice::kBlocked;
+  const auto a = solver.compile(sys, jumping);
+  const auto b = solver.compile(sys, blocked);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->engine, PlanEngine::kJumping);
+  EXPECT_EQ(b->engine, PlanEngine::kBlocked);
+}
+
+TEST(SolverTest, CapacityBoundEvictsLeastRecentlyUsed) {
+  support::SplitMix64 rng(84);
+  SolverConfig config;
+  config.plan_cache_capacity = 2;
+  Solver solver(config);
+  const auto a = testing::random_ordinary_system(50, 80, rng, 0.8);
+  const auto b = testing::random_ordinary_system(60, 90, rng, 0.8);
+  const auto c = testing::random_ordinary_system(70, 100, rng, 0.8);
+  solver.compile(a);
+  solver.compile(b);
+  solver.compile(c);  // evicts a
+  EXPECT_EQ(solver.plan_cache().evictions(), 1u);
+  EXPECT_EQ(solver.plan_cache().size(), 2u);
+  solver.compile(a);  // gone: a fresh miss, not a hit
+  EXPECT_EQ(solver.plan_cache().hits(), 0u);
+  EXPECT_EQ(solver.plan_cache().misses(), 4u);
+}
+
+TEST(SolverTest, SolveMatchesSequentialAcrossEnginesRandomized) {
+  support::SplitMix64 rng(85);
+  ModMulMonoid op(1'000'000'007ull);
+  parallel::ThreadPool pool(3);
+  Solver solver;
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 100 + 60 * static_cast<std::size_t>(trial);
+    const auto sys = testing::random_ordinary_system(n, n + n / 2, rng, 0.85);
+    std::vector<std::uint64_t> init(n + n / 2);
+    for (auto& v : init) v = 1 + rng.below(1'000'000'006ull);
+    const auto expected = ordinary_ir_sequential(op, sys, init);
+    for (const auto engine : {EngineChoice::kAuto, EngineChoice::kJumping,
+                              EngineChoice::kBlocked, EngineChoice::kSpmd}) {
+      PlanOptions options;
+      options.engine = engine;
+      options.pool = &pool;
+      ExecOptions exec;
+      exec.pool = &pool;
+      exec.workers = 2;
+      EXPECT_EQ(solver.solve(op, sys, init, options, exec), expected)
+          << "trial " << trial << " engine " << static_cast<int>(engine);
+    }
+  }
+}
+
+TEST(SolverTest, GeneralSystemsThroughTheFacade) {
+  support::SplitMix64 rng(86);
+  ModMulMonoid op(999999937ull);
+  Solver solver;
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto sys = testing::random_general_system(200, 120, rng, 0.7);
+    std::vector<std::uint64_t> init(120);
+    for (auto& v : init) v = 1 + rng.below(999999936ull);
+    EXPECT_EQ(solver.solve(op, sys, init), general_ir_sequential(op, sys, init)) << trial;
+  }
+}
+
+TEST(SolverTest, SharedSolverIsAProcessSingleton) {
+  EXPECT_EQ(&shared_solver(), &shared_solver());
+}
+
+TEST(SolveRouterReportTest, ReportOutFilledOnEveryRoute) {
+  // The elementwise route historically skipped report_out population on one
+  // overload; the plan owns its report now, so every route fills it.
+  ModMulMonoid op(97);
+  {
+    GeneralIrSystem streaming{8, {6, 7}, {0, 1}, {6, 6}};
+    SystemReport report;
+    SolveOptions options;
+    options.report_out = &report;
+    (void)solve(op, streaming, std::vector<std::uint64_t>(8, 1), options);
+    EXPECT_EQ(report.route, SolverRoute::kElementwiseParallel);
+  }
+  {
+    OrdinaryIrSystem streaming;
+    streaming.cells = 8;
+    streaming.f = {6, 7};
+    streaming.g = {0, 1};
+    SystemReport report;
+    SolveOptions options;
+    options.report_out = &report;
+    (void)solve(op, streaming, std::vector<std::uint64_t>(8, 1), options);
+    EXPECT_EQ(report.route, SolverRoute::kElementwiseParallel);
+    EXPECT_EQ(report.dependences, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ir::core

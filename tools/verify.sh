@@ -14,9 +14,15 @@ cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j"$(nproc)"
 ctest --test-dir "${PREFIX}" --output-on-failure -j"$(nproc)"
 
+echo "== telemetry ON: bench_plan_reuse smoke =="
+"${PREFIX}/bench/bench_plan_reuse" --smoke --metrics="${PREFIX}/plan_reuse_smoke.json"
+
 echo "== telemetry OFF: configure + build + ctest =="
 cmake -B "${PREFIX}-notelemetry" -S . -DIR_TELEMETRY=OFF >/dev/null
 cmake --build "${PREFIX}-notelemetry" -j"$(nproc)"
 ctest --test-dir "${PREFIX}-notelemetry" --output-on-failure -j"$(nproc)"
+
+echo "== telemetry OFF: bench_plan_reuse smoke =="
+"${PREFIX}-notelemetry/bench/bench_plan_reuse" --smoke
 
 echo "== verify: all green in both configurations =="
