@@ -3,7 +3,40 @@
 #include <algorithm>
 #include <bit>
 
+#include "parallel/parallel_for.hpp"
+
 namespace ir::core {
+
+namespace {
+
+/// Crossing fraction over precomputed pred arrays, using the real
+/// partition_blocks split (uneven tail blocks and all) — never the
+/// ceil-division chunks an estimator might guess.
+double cross_block_fraction_of(const std::vector<std::size_t>& pred_f,
+                               const std::vector<std::size_t>& pred_h,
+                               std::size_t blocks) {
+  const std::size_t n = pred_f.size();
+  if (n == 0) return 0.0;
+  const auto parts = parallel::partition_blocks(n, std::max<std::size_t>(blocks, 1));
+  std::vector<std::uint32_t> block_of(n);
+  for (std::size_t b = 0; b < parts.size(); ++b) {
+    for (std::size_t i = parts[b].begin; i < parts[b].end; ++i) {
+      block_of[i] = static_cast<std::uint32_t>(b);
+    }
+  }
+  std::size_t crossing = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t p : {pred_f[i], pred_h[i]}) {
+      if (p != kNone && block_of[p] != block_of[i]) {
+        ++crossing;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(crossing) / static_cast<double>(n);
+}
+
+}  // namespace
 
 std::string to_string(SolverRoute route) {
   switch (route) {
@@ -72,20 +105,17 @@ SystemReport analyze(const GeneralIrSystem& sys) {
   for (std::size_t blocks = 2; blocks <= 256 && blocks <= std::max<std::size_t>(n, 2);
        blocks *= 2) {
     if (n == 0) break;
-    const std::size_t chunk = (n + blocks - 1) / blocks;
-    std::size_t crossing = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      for (const std::size_t p : {pred_f[i], pred_h[i]}) {
-        if (p != kNone && p / chunk != i / chunk) {
-          ++crossing;
-          break;
-        }
-      }
-    }
     report.cross_block_fraction.emplace_back(
-        blocks, static_cast<double>(crossing) / static_cast<double>(n));
+        blocks, cross_block_fraction_of(pred_f, pred_h, blocks));
   }
   return report;
+}
+
+double measure_cross_block_fraction(const GeneralIrSystem& sys, std::size_t blocks) {
+  sys.validate();
+  const auto pred_f = last_writer_before(sys.g, sys.f, sys.cells);
+  const auto pred_h = last_writer_before(sys.g, sys.h, sys.cells);
+  return cross_block_fraction_of(pred_f, pred_h, blocks);
 }
 
 SystemReport analyze(const OrdinaryIrSystem& sys) {

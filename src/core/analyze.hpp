@@ -64,4 +64,14 @@ struct SystemReport {
 /// Analyze an ordinary IR system (h := g embedding).
 [[nodiscard]] SystemReport analyze(const OrdinaryIrSystem& sys);
 
+/// Exact fraction of equations whose dependence (through f or h) crosses a
+/// block boundary under parallel::partition_blocks(n, blocks) — the *same*
+/// partition the blocked engine executes, including its uneven tail blocks
+/// when n is not divisible by the block count.  The profile entries in
+/// SystemReport::cross_block_fraction are computed with this function, and
+/// the kAuto routing (plan.cpp's prefer_blocked) judges the exact requested
+/// block count through it rather than a nearest-bucket lookup.
+[[nodiscard]] double measure_cross_block_fraction(const GeneralIrSystem& sys,
+                                                  std::size_t blocks);
+
 }  // namespace ir::core

@@ -22,12 +22,8 @@ std::string to_string(PlanEngine engine) {
 
 namespace detail {
 
-bool prefer_blocked(const SystemReport& report, std::size_t blocks, double threshold) {
-  for (const auto& [b, fraction] : report.cross_block_fraction) {
-    if (b >= blocks) return fraction < threshold;
-  }
-  return !report.cross_block_fraction.empty() &&
-         report.cross_block_fraction.back().second < threshold;
+bool prefer_blocked(const GeneralIrSystem& sys, std::size_t blocks, double threshold) {
+  return measure_cross_block_fraction(sys, blocks) < threshold;
 }
 
 }  // namespace detail
@@ -223,23 +219,89 @@ GirSchedule build_gir_schedule(const GeneralIrSystem& sys, const PlanOptions& op
 
 }  // namespace
 
-std::uint64_t plan_cache_key(std::uint64_t fingerprint, const PlanOptions& options) {
+namespace {
+
+/// The routes a cache key distinguishes.  kAuto ordinary stays its own class
+/// (the blocked-vs-jumping decision is made at compile time from the block
+/// hint and threshold, so both must stay in the key), while a forced engine
+/// collapses to exactly the knobs its schedule reads.
+enum class KeyRoute : std::uint64_t {
+  kElementwise = 1,
+  kJumping,
+  kBlocked,
+  kSpmd,
+  kAutoOrdinary,
+  kGeneralCap,
+};
+
+/// Resolve which engine family compile_plan would pick for (sys, options),
+/// from the index maps alone — the same class tests routing performs, but
+/// without building any schedule.
+KeyRoute resolve_key_route(const GeneralIrSystem& sys, const PlanOptions& options) {
+  switch (options.engine) {
+    case EngineChoice::kElementwise: return KeyRoute::kElementwise;
+    case EngineChoice::kJumping: return KeyRoute::kJumping;
+    case EngineChoice::kBlocked: return KeyRoute::kBlocked;
+    case EngineChoice::kSpmd: return KeyRoute::kSpmd;
+    case EngineChoice::kGeneralCap: return KeyRoute::kGeneralCap;
+    case EngineChoice::kAuto: break;
+  }
+  const auto pred_f = last_writer_before(sys.g, sys.f, sys.cells);
+  const auto pred_h = last_writer_before(sys.g, sys.h, sys.cells);
+  bool any_dependence = false;
+  for (std::size_t i = 0; i < sys.iterations() && !any_dependence; ++i) {
+    any_dependence = pred_f[i] != kNone || pred_h[i] != kNone;
+  }
+  if (!any_dependence) return KeyRoute::kElementwise;
+  if (sys.h != sys.g) return KeyRoute::kGeneralCap;
+  std::vector<bool> written(sys.cells, false);
+  for (const std::size_t cell : sys.g) {
+    if (written[cell]) return KeyRoute::kGeneralCap;  // repeated write
+    written[cell] = true;
+  }
+  return KeyRoute::kAutoOrdinary;
+}
+
+}  // namespace
+
+std::uint64_t plan_cache_key(const GeneralIrSystem& sys, const PlanOptions& options) {
+  const KeyRoute route = resolve_key_route(sys, options);
   std::uint64_t hash = kFnvOffset;
-  mix_u64(hash, fingerprint);
-  mix_u64(hash, static_cast<std::uint64_t>(options.engine));
+  mix_u64(hash, content_fingerprint(sys));
+  mix_u64(hash, static_cast<std::uint64_t>(route));
   // Resolve every pool-derived hint to a number so pool identity (and
   // lifetime) never leaks into the key.
   const std::size_t pool_size = options.pool != nullptr ? options.pool->size() : 0;
-  mix_u64(hash, options.blocks != 0 ? options.blocks
-                                    : (pool_size != 0 ? pool_size : 1));  // blocked partition
-  mix_u64(hash, pool_size != 0 ? pool_size : 4);  // kAuto routing block hint
-  std::uint64_t threshold_bits = 0;
-  static_assert(sizeof threshold_bits == sizeof options.blocked_threshold);
-  std::memcpy(&threshold_bits, &options.blocked_threshold, sizeof threshold_bits);
-  mix_u64(hash, threshold_bits);
-  mix_u64(hash, (options.prune_dead ? 1u : 0u) | (options.coalesce_each_round ? 2u : 0u) |
-                    (options.reference_counts ? 4u : 0u));
+  const std::uint64_t resolved_blocks =
+      options.blocks != 0 ? options.blocks : (pool_size != 0 ? pool_size : 1);
+  switch (route) {
+    case KeyRoute::kElementwise:
+    case KeyRoute::kJumping:
+    case KeyRoute::kSpmd:
+      break;  // schedule depends on the system content alone
+    case KeyRoute::kBlocked:
+      mix_u64(hash, resolved_blocks);
+      break;
+    case KeyRoute::kAutoOrdinary: {
+      mix_u64(hash, resolved_blocks);
+      mix_u64(hash, pool_size != 0 ? pool_size : 4);  // routing block hint
+      std::uint64_t threshold_bits = 0;
+      static_assert(sizeof threshold_bits == sizeof options.blocked_threshold);
+      std::memcpy(&threshold_bits, &options.blocked_threshold, sizeof threshold_bits);
+      mix_u64(hash, threshold_bits);
+      break;
+    }
+    case KeyRoute::kGeneralCap:
+      mix_u64(hash, (options.prune_dead ? 1u : 0u) |
+                        (options.coalesce_each_round ? 2u : 0u) |
+                        (options.reference_counts ? 4u : 0u));
+      break;
+  }
   return hash;
+}
+
+std::uint64_t plan_cache_key(const OrdinaryIrSystem& sys, const PlanOptions& options) {
+  return plan_cache_key(GeneralIrSystem::from_ordinary(sys), options);
 }
 
 Plan compile_plan(const GeneralIrSystem& sys, const PlanOptions& options) {
@@ -261,7 +323,7 @@ Plan compile_plan(const GeneralIrSystem& sys, const PlanOptions& options) {
       choice = EngineChoice::kElementwise;
     } else if (sys.h == sys.g && plan.report.repeated_writes == 0) {
       const std::size_t blocks = options.pool != nullptr ? options.pool->size() : 4;
-      choice = detail::prefer_blocked(plan.report, blocks, options.blocked_threshold)
+      choice = detail::prefer_blocked(sys, blocks, options.blocked_threshold)
                    ? EngineChoice::kBlocked
                    : EngineChoice::kJumping;
     } else {

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "algebra/concepts.hpp"
@@ -173,15 +174,24 @@ struct Plan {
 [[nodiscard]] Plan compile_plan(const GeneralIrSystem& sys, const PlanOptions& options = {});
 [[nodiscard]] Plan compile_plan(const OrdinaryIrSystem& sys, const PlanOptions& options = {});
 
-/// Cache key for (system fingerprint, structure-affecting options).  Pool
-/// identity never enters the key — only its resolved size hints do.
-[[nodiscard]] std::uint64_t plan_cache_key(std::uint64_t fingerprint,
+/// Cache key for (system content, structure-affecting options).  The key
+/// first resolves which route compile_plan would take and then mixes in only
+/// the option knobs that can change *that* route's compiled schedule: GIR
+/// flags are masked off ordinary/elementwise keys, block hints and the
+/// routing threshold are masked off elementwise/GIR keys, and pool identity
+/// never enters the key — only its resolved size hints do.  Two option sets
+/// that would compile byte-identical plans therefore share one cache entry.
+[[nodiscard]] std::uint64_t plan_cache_key(const GeneralIrSystem& sys,
+                                           const PlanOptions& options);
+[[nodiscard]] std::uint64_t plan_cache_key(const OrdinaryIrSystem& sys,
                                            const PlanOptions& options);
 
 namespace detail {
 
-/// Pick blocked vs one-level jumping from the report's cross-block profile.
-bool prefer_blocked(const SystemReport& report, std::size_t blocks, double threshold);
+/// Pick blocked vs one-level jumping for an exact block count: measures the
+/// crossing fraction of the real partition_blocks split (analyze.hpp's
+/// measure_cross_block_fraction), never a nearest-bucket profile lookup.
+bool prefer_blocked(const GeneralIrSystem& sys, std::size_t blocks, double threshold);
 
 template <algebra::BinaryOperation Op>
 std::vector<typename Op::Value> execute_jump_values(
@@ -224,8 +234,14 @@ std::vector<typename Op::Value> execute_jump_values(
     IR_HISTOGRAM("ordinary.active_width", width);
     // Read phase into the side buffer, then write phase — the same
     // synchronous-step discipline as the legacy engine, but the active set
-    // is a precompiled slice instead of a maintained vector.
-    new_val.resize(width);
+    // is a precompiled slice instead of a maintained vector.  Values without
+    // a default constructor clone an existing element instead of resizing;
+    // either way the hooks are never re-invoked here.
+    if constexpr (std::is_default_constructible_v<Value>) {
+      new_val.resize(width);
+    } else {
+      new_val.assign(width, val.front());
+    }
     run_indexed(width, [&](std::size_t k) {
       new_val[k] = op.combine(val[js.src[begin + k]], val[js.dst[begin + k]]);
     });
@@ -326,17 +342,39 @@ std::vector<typename Op::Value> execute_spmd_values(
   if (n == 0) return {};
   const std::size_t workers = exec.workers != 0 ? exec.workers : 1;
 
-  std::vector<Value> val(n, self_value(0));
-  std::vector<Value> new_val(js.peak_active, self_value(0));
+  // Buffer construction must not invoke the caller's hooks: root_value /
+  // self_value may be stateful (the Möbius solver's counting tests pin the
+  // exact call counts), so filling with self_value(0) copies would be an
+  // observable double evaluation.  Default-constructible values get empty
+  // buffers seeded inside the workers; anything else is seeded sequentially
+  // up front (still exactly one hook call per iteration) and the side buffer
+  // is cloned from an existing element — copies, never hook calls.
+  constexpr bool kSeedInWorkers = std::is_default_constructible_v<Value>;
+  std::vector<Value> val;
+  std::vector<Value> new_val;
+  if constexpr (kSeedInWorkers) {
+    val.resize(n);
+    new_val.resize(js.peak_active);
+  } else {
+    val.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t root = plan.root_cell[i];
+      val.push_back(root != kNoIndex32 ? op.combine(root_value(root), self_value(i))
+                                       : self_value(i));
+    }
+    new_val.assign(js.peak_active, val.front());
+  }
 
   parallel::run_spmd(workers, [&](parallel::SpmdContext& ctx) {
     IR_SET_THREAD_NAME("spmd-worker-" + std::to_string(ctx.worker()));
     IR_SPAN("spmd.worker");
-    const auto [begin, end] = ctx.slice(n);
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::uint32_t root = plan.root_cell[i];
-      val[i] = (root != kNoIndex32) ? op.combine(root_value(root), self_value(i))
-                                    : self_value(i);
+    if constexpr (kSeedInWorkers) {
+      const auto [begin, end] = ctx.slice(n);
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t root = plan.root_cell[i];
+        val[i] = (root != kNoIndex32) ? op.combine(root_value(root), self_value(i))
+                                      : self_value(i);
+      }
     }
     ctx.barrier();
 

@@ -1,9 +1,11 @@
 // Content-addressed LRU cache of compiled plans.
 //
-// Keys are plan_cache_key(content_fingerprint(system), options) — pure
-// functions of the system's serialized bytes and the structure-affecting
-// option knobs, so two textually identical systems share one plan and any
-// mutation (or different routing knob) misses.  Entries are shared_ptr<const
+// Keys are plan_cache_key(system, options) — pure functions of the system's
+// serialized bytes and the structure-affecting option knobs *of the resolved
+// route*, so two textually identical systems share one plan, any content
+// mutation (or relevant routing knob) misses, and knobs the resolved route
+// never reads (e.g. GIR flags on an ordinary system) cannot cause spurious
+// misses.  Entries are shared_ptr<const
 // Plan>: a hit can be executed long after the entry was evicted.
 //
 // Thread safe (one mutex — compile is orders of magnitude more expensive

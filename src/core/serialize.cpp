@@ -103,6 +103,19 @@ std::size_t expect_sized_field(LineReader& reader, std::string_view key) {
   return parse_size(reader, tokens[1]);
 }
 
+/// Reject declared element counts that cannot possibly fit the document —
+/// every element occupies at least one byte of text.  Without this guard an
+/// overflow-sized count reaches vector::reserve and raises bad_alloc /
+/// length_error instead of a ContractViolation with a line number.
+void check_count_plausible(const LineReader& reader, std::size_t count,
+                           std::size_t document_bytes) {
+  if (count > document_bytes) {
+    reader.fail("declared count " + std::to_string(count) +
+                " exceeds what a " + std::to_string(document_bytes) +
+                "-byte document can hold");
+  }
+}
+
 }  // namespace
 
 std::string to_text(const GeneralIrSystem& sys) {
@@ -180,6 +193,7 @@ GeneralIrSystem system_from_text(std::string_view text) {
   GeneralIrSystem sys;
   sys.cells = expect_sized_field(reader, "cells");
   const std::size_t n = expect_sized_field(reader, "equations");
+  check_count_plausible(reader, n, text.size());
   sys.f.reserve(n);
   sys.g.reserve(n);
   sys.h.reserve(n);
@@ -206,9 +220,10 @@ std::string to_text(const std::vector<double>& values) {
   for (std::size_t i = 0; i < values.size(); ++i) {
     std::snprintf(buffer, sizeof buffer, "%.17g", values[i]);
     out += buffer;
-    out += (i + 1) % 8 == 0 ? '\n' : ' ';
+    // Canonical emission: a separator only *between* values, so every line —
+    // including a short final one — ends in exactly '\n' with no padding.
+    out += (i + 1) % 8 == 0 || i + 1 == values.size() ? '\n' : ' ';
   }
-  if (!values.empty() && out.back() != '\n') out += '\n';
   return out;
 }
 
@@ -216,6 +231,7 @@ std::vector<double> values_from_text(std::string_view text) {
   LineReader reader(text);
   expect_header(reader, "ir-values v1");
   const std::size_t count = expect_sized_field(reader, "count");
+  check_count_plausible(reader, count, text.size());
   std::vector<double> values;
   values.reserve(count);
   std::string_view line;

@@ -7,7 +7,7 @@ namespace {
 template <typename System>
 std::shared_ptr<const Plan> compile_cached(PlanCache& cache, const System& sys,
                                            const PlanOptions& options) {
-  const std::uint64_t key = plan_cache_key(content_fingerprint(sys), options);
+  const std::uint64_t key = plan_cache_key(sys, options);
   if (auto cached = cache.find(key)) return cached;
   auto plan = std::make_shared<const Plan>(compile_plan(sys, options));
   cache.insert(key, plan);

@@ -69,11 +69,15 @@ double kernel03_inner_product(Workspace& ws) {
 double kernel04_banded_linear(Workspace& ws) {
   const std::size_t n = ws.loop_n;
   const std::size_t m = (1001 - 7) / 2;
+  // The last band starts at k = n - 1 and its lw walk would run ~n/5 cells
+  // past x's end (the classic LFK sizing quirk); truncate the band at the
+  // array edge instead of reading out of bounds.
+  const std::size_t limit = ws.x.size();
   double total = 0.0;
   for (std::size_t k = 6; k < n; k += m) {
     std::size_t lw = k - 6;
     double temp = ws.x[k - 1];
-    for (std::size_t j = 4; j < n; j += 5) {
+    for (std::size_t j = 4; j < n && lw < limit; j += 5) {
       temp -= ws.x[lw] * ws.y[j];
       ++lw;
     }

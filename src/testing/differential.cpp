@@ -1,0 +1,266 @@
+#include "testing/differential.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "algebra/monoids.hpp"
+#include "core/general_ir.hpp"
+#include "core/ordinary_ir.hpp"
+#include "core/ordinary_ir_blocked.hpp"
+#include "core/ordinary_ir_spmd.hpp"
+#include "core/plan.hpp"
+#include "core/serialize.hpp"
+#include "core/solver.hpp"
+#include "testing/generators.hpp"
+
+namespace ir::testing {
+
+namespace {
+
+using core::EngineChoice;
+using core::ExecOptions;
+using core::GeneralIrSystem;
+using core::OrdinaryIrSystem;
+using core::PlanOptions;
+
+/// SplitMix64 finalizer: initial values are a pure function of the cell
+/// index, so the differential verdict depends only on the system — the
+/// shrinker's predicate stays deterministic as cells and equations change.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::uint64_t> deterministic_initial(std::size_t cells, std::uint64_t modulus) {
+  std::vector<std::uint64_t> init(cells);
+  for (std::size_t c = 0; c < cells; ++c) init[c] = 1 + mix64(c) % (modulus - 1);
+  return init;
+}
+
+std::vector<std::string> deterministic_strings(std::size_t cells) {
+  std::vector<std::string> init(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    init[c] = std::string(1, static_cast<char>('a' + c % 26));
+    if (c >= 26) init[c] += static_cast<char>('0' + (c / 26) % 10);
+  }
+  return init;
+}
+
+/// Run one engine leg; any disagreement with `expected` (or any escape) is
+/// recorded under `label`.
+template <typename Expected, typename Run>
+void check_leg(DifferentialReport& report, const std::string& label,
+               const Expected& expected, Run&& run) {
+  ++report.engines_run;
+  try {
+    if (run() != expected) report.mismatches.push_back(label);
+  } catch (const std::exception& e) {
+    report.mismatches.push_back(label + ":threw:" + e.what());
+  } catch (...) {
+    report.mismatches.push_back(label + ":threw:unknown");
+  }
+}
+
+}  // namespace
+
+std::string DifferentialReport::summary() const {
+  if (ok()) return "ok (" + std::to_string(engines_run) + " engines)";
+  std::string out = "MISMATCH:";
+  for (const auto& label : mismatches) {
+    out += ' ';
+    out += label;
+  }
+  return out;
+}
+
+DifferentialReport run_differential(const GeneralIrSystem& sys,
+                                    const DifferentialOptions& options) {
+  IR_REQUIRE(options.modulus >= 3, "differential modulus must be at least 3");
+  sys.validate();
+
+  DifferentialReport report;
+  const algebra::ModMulMonoid op(options.modulus);
+  const std::vector<std::uint64_t> init = deterministic_initial(sys.cells, options.modulus);
+
+  auto oracle = core::general_ir_sequential(op, sys, init);
+  if (options.corrupt_oracle && sys.iterations() > 0) {
+    // Perturb a written cell: every correctly computing route must now
+    // disagree.  (A never-written cell would be copied through unchanged by
+    // every engine and also "disagree", but corrupting a written one is the
+    // honest simulation of a wrong engine result.)
+    std::uint64_t& cell = oracle[sys.g[0]];
+    cell = cell % options.modulus + 1;  // stays in [1, modulus], always differs
+  }
+
+  // Serializer round trip rides along on every case: the text format is the
+  // exchange format for reproducers, so it must reproduce the system exactly.
+  ++report.engines_run;
+  try {
+    const GeneralIrSystem again = core::system_from_text(core::to_text(sys));
+    if (again.cells != sys.cells || again.f != sys.f || again.g != sys.g ||
+        again.h != sys.h) {
+      report.mismatches.push_back("serialize-roundtrip");
+    }
+  } catch (const std::exception& e) {
+    report.mismatches.push_back(std::string("serialize-roundtrip:threw:") + e.what());
+  }
+
+  // --- General route: every system qualifies. -----------------------------
+  check_leg(report, "gir-cap", oracle, [&] {
+    return core::general_ir_parallel(op, sys, init);
+  });
+  check_leg(report, "gir-dp", oracle, [&] {
+    core::GeneralIrOptions o;
+    o.reference_counts = true;
+    return core::general_ir_parallel(op, sys, init, o);
+  });
+  check_leg(report, "gir-cap-prune", oracle, [&] {
+    core::GeneralIrOptions o;
+    o.prune_dead = true;
+    return core::general_ir_parallel(op, sys, init, o);
+  });
+  if (sys.iterations() <= options.late_coalesce_max_iterations) {
+    check_leg(report, "gir-cap-late-coalesce", oracle, [&] {
+      core::GeneralIrOptions o;
+      o.coalesce_each_round = false;
+      return core::general_ir_parallel(op, sys, init, o);
+    });
+  }
+  if (options.pool != nullptr) {
+    check_leg(report, "gir-cap-pooled", oracle, [&] {
+      core::GeneralIrOptions o;
+      o.pool = options.pool;
+      o.prune_dead = true;
+      return core::general_ir_parallel(op, sys, init, o);
+    });
+  }
+
+  check_leg(report, "plan-auto", oracle, [&] {
+    return core::execute_plan(core::compile_plan(sys), op, init);
+  });
+  if (options.pool != nullptr) {
+    check_leg(report, "plan-auto-pooled", oracle, [&] {
+      PlanOptions plan_options;
+      plan_options.pool = options.pool;
+      ExecOptions exec;
+      exec.pool = options.pool;
+      return core::execute_plan(core::compile_plan(sys, plan_options), op, init, exec);
+    });
+  }
+  check_leg(report, "plan-gir-forced", oracle, [&] {
+    PlanOptions plan_options;
+    plan_options.engine = EngineChoice::kGeneralCap;
+    return core::execute_plan(core::compile_plan(sys, plan_options), op, init);
+  });
+
+  // execute_many must agree entry-wise, with and without a pool.
+  ++report.engines_run;
+  try {
+    const core::Plan plan = core::compile_plan(sys);
+    ExecOptions exec;
+    exec.pool = options.pool;
+    const auto outs = core::execute_many(plan, op, {init, init, init}, exec);
+    for (const auto& out : outs) {
+      if (out != oracle) {
+        report.mismatches.push_back("plan-execute-many");
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    report.mismatches.push_back(std::string("plan-execute-many:threw:") + e.what());
+  }
+
+  // Solver facade: a cache miss then a guaranteed hit through a fresh cache,
+  // so the key masking can never hand back a plan for a different schedule.
+  check_leg(report, "solver-cache-hit", oracle, [&] {
+    core::Solver solver;
+    (void)solver.compile(sys);
+    const auto plan = solver.compile(sys);  // second lookup: served by the cache
+    return solver.execute(*plan, op, init);
+  });
+  if (options.use_shared_solver) {
+    check_leg(report, "solver-shared", oracle, [&] {
+      return core::shared_solver().solve(op, sys, init);
+    });
+  }
+
+  // --- Ordinary route: h = g with injective g. ----------------------------
+  if (is_ordinary_shape(sys)) {
+    const OrdinaryIrSystem ord = to_ordinary(sys);
+
+    check_leg(report, "ord-sequential", oracle, [&] {
+      return core::ordinary_ir_sequential(op, ord, init);
+    });
+    check_leg(report, "ord-jumping", oracle, [&] {
+      return core::ordinary_ir_parallel(op, ord, init);
+    });
+    check_leg(report, "ord-jumping-legacy-hooks", oracle, [&] {
+      core::OrdinaryIrOptions o;
+      o.early_termination = false;  // the hook-engine path, not a plan
+      return core::ordinary_ir_parallel(op, ord, init, o);
+    });
+    if (options.pool != nullptr) {
+      check_leg(report, "ord-jumping-pooled-capped", oracle, [&] {
+        core::OrdinaryIrOptions o;
+        o.pool = options.pool;
+        o.processor_cap = 2;
+        return core::ordinary_ir_parallel(op, ord, init, o);
+      });
+    }
+    check_leg(report, "ord-blocked", oracle, [&] {
+      core::BlockedIrOptions o;
+      o.blocks = options.blocks;
+      return core::ordinary_ir_blocked(op, ord, init, o);
+    });
+    if (options.pool != nullptr) {
+      check_leg(report, "ord-blocked-pooled", oracle, [&] {
+        core::BlockedIrOptions o;
+        o.pool = options.pool;  // blocks = 0: one block per pool thread
+        return core::ordinary_ir_blocked(op, ord, init, o);
+      });
+    }
+    check_leg(report, "ord-spmd", oracle, [&] {
+      return core::ordinary_ir_spmd(op, ord, init, options.spmd_workers);
+    });
+
+    for (const auto& [engine, label] :
+         {std::pair{EngineChoice::kJumping, "plan-jumping"},
+          std::pair{EngineChoice::kBlocked, "plan-blocked"},
+          std::pair{EngineChoice::kSpmd, "plan-spmd"}}) {
+      check_leg(report, label, oracle, [&, engine = engine] {
+        PlanOptions plan_options;
+        plan_options.engine = engine;
+        plan_options.blocks = options.blocks;
+        ExecOptions exec;
+        exec.workers = options.spmd_workers;
+        return core::execute_plan(core::compile_plan(ord, plan_options), op, init, exec);
+      });
+    }
+
+    // Non-commutative witness: string concatenation catches any engine that
+    // reorders operands, which the modular product would silently forgive.
+    if (sys.iterations() <= options.concat_max_iterations) {
+      const algebra::ConcatMonoid cat;
+      const std::vector<std::string> cinit = deterministic_strings(sys.cells);
+      auto coracle = core::ordinary_ir_sequential(cat, ord, cinit);
+      if (options.corrupt_oracle && sys.iterations() > 0) coracle[sys.g[0]] += '!';
+      check_leg(report, "concat-jumping", coracle, [&] {
+        return core::ordinary_ir_parallel(cat, ord, cinit);
+      });
+      check_leg(report, "concat-blocked", coracle, [&] {
+        core::BlockedIrOptions o;
+        o.blocks = options.blocks;
+        return core::ordinary_ir_blocked(cat, ord, cinit, o);
+      });
+      check_leg(report, "concat-spmd", coracle, [&] {
+        return core::ordinary_ir_spmd(cat, ord, cinit, options.spmd_workers);
+      });
+    }
+  }
+
+  return report;
+}
+
+}  // namespace ir::testing

@@ -1,0 +1,151 @@
+#include "testing/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/contract.hpp"
+
+namespace ir::testing {
+
+namespace {
+
+using core::GeneralIrSystem;
+
+GeneralIrSystem drop_equations(const GeneralIrSystem& sys, std::size_t begin,
+                               std::size_t count) {
+  GeneralIrSystem out;
+  out.cells = sys.cells;
+  const std::size_t n = sys.iterations();
+  const std::size_t end = std::min(begin + count, n);
+  out.f.reserve(n - (end - begin));
+  out.g.reserve(n - (end - begin));
+  out.h.reserve(n - (end - begin));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i >= begin && i < end) continue;
+    out.f.push_back(sys.f[i]);
+    out.g.push_back(sys.g[i]);
+    out.h.push_back(sys.h[i]);
+  }
+  return out;
+}
+
+/// Remap every referenced cell to its rank among referenced cells and drop
+/// the rest.  Preserves all equality/ordering relations between indices, so
+/// the dependence structure (and therefore the failure) usually survives.
+GeneralIrSystem compact_cells(const GeneralIrSystem& sys) {
+  std::vector<std::size_t> remap(sys.cells, core::kNone);
+  std::size_t next = 0;
+  for (const auto* map : {&sys.f, &sys.g, &sys.h}) {
+    for (const std::size_t cell : *map) {
+      if (remap[cell] == core::kNone) remap[cell] = 1;  // mark referenced
+    }
+  }
+  for (std::size_t c = 0; c < sys.cells; ++c) {
+    if (remap[c] != core::kNone) remap[c] = next++;
+  }
+  GeneralIrSystem out;
+  out.cells = next;
+  auto apply = [&](const std::vector<std::size_t>& map) {
+    std::vector<std::size_t> mapped(map.size());
+    for (std::size_t i = 0; i < map.size(); ++i) mapped[i] = remap[map[i]];
+    return mapped;
+  };
+  out.f = apply(sys.f);
+  out.g = apply(sys.g);
+  out.h = apply(sys.h);
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_system(GeneralIrSystem sys, const FailurePredicate& still_fails,
+                           std::size_t max_probes) {
+  ShrinkResult out;
+  auto probe = [&](const GeneralIrSystem& candidate) {
+    if (out.probes >= max_probes) return false;
+    ++out.probes;
+    return still_fails(candidate);
+  };
+
+  IR_REQUIRE(probe(sys), "shrink_system needs an input the predicate fails on");
+
+  bool changed = true;
+  while (changed && out.probes < max_probes) {
+    changed = false;
+
+    // 1. Equation chunk removal, halving window sizes (ddmin).
+    for (std::size_t window = std::max<std::size_t>(sys.iterations() / 2, 1);
+         sys.iterations() > 0; window = window / 2) {
+      std::size_t pos = 0;
+      while (pos < sys.iterations() && out.probes < max_probes) {
+        const GeneralIrSystem candidate = drop_equations(sys, pos, window);
+        if (probe(candidate)) {
+          sys = candidate;  // retry the same position against the new tail
+          ++out.accepted;
+          changed = true;
+        } else {
+          pos += window;
+        }
+      }
+      if (window <= 1) break;
+    }
+
+    // 2. Cell compaction (only worth a probe if it actually removes cells).
+    {
+      GeneralIrSystem candidate = compact_cells(sys);
+      if (candidate.cells < sys.cells && probe(candidate)) {
+        sys = std::move(candidate);
+        ++out.accepted;
+        changed = true;
+      }
+    }
+
+    // 3. Index lowering: pull entries toward 0 (try 0, then halving).
+    for (std::size_t map_id = 0; map_id < 3 && out.probes < max_probes; ++map_id) {
+      for (std::size_t i = 0; i < sys.iterations() && out.probes < max_probes; ++i) {
+        auto& entry = map_id == 0 ? sys.f[i] : map_id == 1 ? sys.g[i] : sys.h[i];
+        for (const std::size_t target : {std::size_t{0}, entry / 2}) {
+          if (entry == 0 || target >= entry) continue;
+          GeneralIrSystem candidate = sys;
+          (map_id == 0 ? candidate.f[i] : map_id == 1 ? candidate.g[i]
+                                                      : candidate.h[i]) = target;
+          if (probe(candidate)) {
+            entry = target;
+            ++out.accepted;
+            changed = true;
+          }
+        }
+      }
+    }
+
+    // 4. Global cell substitution: rewrite every occurrence of one cell id to
+    //    a smaller one across all three maps at once.  Entries that must move
+    //    in lockstep (an f == g equality the failure depends on) can never be
+    //    lowered one at a time by step 3, but fall together here.
+    for (std::size_t value = 1; value < sys.cells && out.probes < max_probes; ++value) {
+      const bool present =
+          std::find(sys.f.begin(), sys.f.end(), value) != sys.f.end() ||
+          std::find(sys.g.begin(), sys.g.end(), value) != sys.g.end() ||
+          std::find(sys.h.begin(), sys.h.end(), value) != sys.h.end();
+      if (!present) continue;
+      for (const std::size_t target : {std::size_t{0}, value / 2}) {
+        if (target >= value) continue;
+        GeneralIrSystem candidate = sys;
+        for (auto* map : {&candidate.f, &candidate.g, &candidate.h}) {
+          std::replace(map->begin(), map->end(), value, target);
+        }
+        if (probe(candidate)) {
+          sys = std::move(candidate);
+          ++out.accepted;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  out.sys = std::move(sys);
+  return out;
+}
+
+}  // namespace ir::testing

@@ -1,0 +1,37 @@
+// Greedy delta-debugging minimizer for failing differential cases.
+//
+// Given a system on which a failure predicate holds (typically
+// !run_differential(sys).ok()), shrink_system() repeatedly applies three
+// failure-preserving reductions until none makes progress:
+//   1. equation removal — ddmin-style chunk deletion, halving window sizes;
+//   2. cell compaction  — drop never-referenced cells, remapping indices;
+//   3. index lowering   — pull individual f/g/h entries toward 0.
+// Every accepted step strictly decreases (equations, cells, Σ indices)
+// lexicographically, so the loop terminates; `max_probes` additionally
+// bounds the predicate evaluations since each probe can be a full engine
+// sweep.  Candidates are valid by construction, so the minimized system
+// serializes straight into an ir-system v1 reproducer for tests/corpus/.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/ir_problem.hpp"
+
+namespace ir::testing {
+
+using FailurePredicate = std::function<bool(const core::GeneralIrSystem&)>;
+
+struct ShrinkResult {
+  core::GeneralIrSystem sys;  ///< minimized system; the predicate still holds
+  std::size_t accepted = 0;   ///< reductions that kept the failure alive
+  std::size_t probes = 0;     ///< predicate evaluations spent
+};
+
+/// Minimize `sys` under `still_fails`.  Throws ContractViolation if the
+/// predicate does not hold on the input (nothing to shrink).
+[[nodiscard]] ShrinkResult shrink_system(core::GeneralIrSystem sys,
+                                         const FailurePredicate& still_fails,
+                                         std::size_t max_probes = 4096);
+
+}  // namespace ir::testing

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <type_traits>
+
 #include "algebra/monoids.hpp"
 #include "testing/random_systems.hpp"
 
@@ -102,6 +105,97 @@ TEST(SpmdRegionTest, ExceptionIsRethrownWithoutDeadlock) {
 TEST(SpmdRegionTest, RejectsZeroWorkers) {
   EXPECT_THROW(parallel::run_spmd(0, [](parallel::SpmdContext&) {}),
                support::ContractViolation);
+}
+
+TEST(SpmdIrTest, HooksCalledExactlyOncePerIteration) {
+  // Buffer construction used to fill val/new_val with self_value(0) copies:
+  // n + peak_active spurious hook calls.  The hooks may be stateful (the
+  // Möbius solver counts on exact call counts), so the SPMD executor must
+  // call self_value exactly once per iteration and root_value once per root.
+  OrdinaryIrSystem sys;
+  sys.cells = 9;
+  sys.g = {1, 2, 3, 4, 5, 6, 7, 8};
+  sys.f = {0, 1, 2, 3, 0, 5, 6, 7};  // two chains rooted at cell 0
+  std::vector<std::uint64_t> init(sys.cells);
+  for (std::size_t c = 0; c < sys.cells; ++c) init[c] = 10 + c;
+
+  PlanOptions options;
+  options.engine = EngineChoice::kSpmd;
+  const Plan plan = compile_plan(sys, options);
+
+  std::atomic<std::size_t> root_calls{0};
+  std::atomic<std::size_t> self_calls{0};
+  ExecOptions exec;
+  exec.workers = 3;
+  const auto op = AddMonoid<std::uint64_t>{};
+  const auto traces = execute_iteration_values<AddMonoid<std::uint64_t>>(
+      plan, op,
+      [&](std::size_t cell) {
+        ++root_calls;
+        return init[cell];
+      },
+      [&](std::size_t i) {
+        ++self_calls;
+        return init[sys.g[i]];
+      },
+      exec);
+
+  EXPECT_EQ(self_calls.load(), sys.iterations());
+  EXPECT_EQ(root_calls.load(), 2u);  // exactly the two chain roots
+  ASSERT_EQ(traces.size(), sys.iterations());
+  const auto expected = ordinary_ir_sequential(op, sys, init);
+  for (std::size_t i = 0; i < sys.iterations(); ++i) {
+    EXPECT_EQ(traces[i], expected[sys.g[i]]) << i;
+  }
+}
+
+namespace {
+
+/// A value type without a default constructor: forces the SPMD executor's
+/// sequential-seed path (it cannot resize buffers, so it must construct every
+/// entry from the hooks — still exactly once each).
+struct Tagged {
+  std::uint64_t v;
+  explicit Tagged(std::uint64_t value) : v(value) {}
+  friend bool operator==(const Tagged&, const Tagged&) = default;
+};
+
+struct TaggedAdd {
+  using Value = Tagged;
+  static constexpr bool is_commutative = true;
+  Value combine(const Value& a, const Value& b) const { return Tagged(a.v + b.v); }
+};
+
+}  // namespace
+
+TEST(SpmdIrTest, NonDefaultConstructibleValuesStillSeedOncePerIteration) {
+  static_assert(!std::is_default_constructible_v<Tagged>);
+  OrdinaryIrSystem sys;
+  sys.cells = 6;
+  sys.g = {1, 2, 3, 4, 5};
+  sys.f = {0, 1, 2, 3, 4};  // one chain
+  PlanOptions options;
+  options.engine = EngineChoice::kSpmd;
+  const Plan plan = compile_plan(sys, options);
+
+  std::atomic<std::size_t> self_calls{0};
+  ExecOptions exec;
+  exec.workers = 2;
+  const auto traces = execute_iteration_values<TaggedAdd>(
+      plan, TaggedAdd{}, [](std::size_t cell) { return Tagged(100 + cell); },
+      [&](std::size_t i) {
+        ++self_calls;
+        return Tagged(i + 1);
+      },
+      exec);
+  EXPECT_EQ(self_calls.load(), sys.iterations());
+  // Chain i folds root 100 + all self values 1..i+1.
+  ASSERT_EQ(traces.size(), 5u);
+  std::uint64_t acc = 100;
+  for (std::size_t i = 0; i < 5; ++i) {
+    acc += i + 1;
+    EXPECT_EQ(traces[i].v, acc) << i;
+  }
 }
 
 }  // namespace

@@ -174,22 +174,61 @@ TEST(PlanTest, RejectsNonInjectiveGOnOrdinaryCompile) {
 TEST(PlanTest, CacheKeySeparatesStructureAffectingOptions) {
   support::SplitMix64 rng(77);
   const auto sys = testing::random_ordinary_system(50, 80, rng, 0.8);
-  const std::uint64_t fp = content_fingerprint(sys);
 
   PlanOptions jumping;
   jumping.engine = EngineChoice::kJumping;
   PlanOptions blocked;
   blocked.engine = EngineChoice::kBlocked;
-  EXPECT_NE(plan_cache_key(fp, jumping), plan_cache_key(fp, blocked));
+  EXPECT_NE(plan_cache_key(sys, jumping), plan_cache_key(sys, blocked));
 
   PlanOptions four_blocks = blocked;
   four_blocks.blocks = 4;
   PlanOptions eight_blocks = blocked;
   eight_blocks.blocks = 8;
-  EXPECT_NE(plan_cache_key(fp, four_blocks), plan_cache_key(fp, eight_blocks));
+  EXPECT_NE(plan_cache_key(sys, four_blocks), plan_cache_key(sys, eight_blocks));
 
-  // Distinct fingerprints never collide on the same options (smoke check).
-  EXPECT_NE(plan_cache_key(fp, jumping), plan_cache_key(fp + 1, jumping));
+  // Distinct content never collides on the same options (smoke check).
+  auto mutated = sys;
+  mutated.f[3] = (mutated.f[3] + 1) % mutated.cells;
+  EXPECT_NE(plan_cache_key(sys, jumping), plan_cache_key(mutated, jumping));
+}
+
+TEST(PlanTest, CacheKeyMasksOptionsTheResolvedRouteNeverReads) {
+  support::SplitMix64 rng(78);
+  const auto ord = testing::random_ordinary_system(60, 90, rng, 0.8);
+
+  // GIR-only flags must not perturb keys of systems that route ordinary.
+  PlanOptions base;  // kAuto
+  PlanOptions gir_flags = base;
+  gir_flags.prune_dead = !base.prune_dead;
+  gir_flags.coalesce_each_round = !base.coalesce_each_round;
+  gir_flags.reference_counts = !base.reference_counts;
+  EXPECT_EQ(plan_cache_key(ord, base), plan_cache_key(ord, gir_flags));
+
+  // Forced jumping/spmd schedules read no block hint or threshold either.
+  PlanOptions jumping;
+  jumping.engine = EngineChoice::kJumping;
+  PlanOptions jumping_hints = jumping;
+  jumping_hints.blocks = 16;
+  jumping_hints.blocked_threshold = 0.9;
+  jumping_hints.prune_dead = false;
+  EXPECT_EQ(plan_cache_key(ord, jumping), plan_cache_key(ord, jumping_hints));
+
+  // Block hints must not perturb keys of systems that route elementwise.
+  GeneralIrSystem streaming{8, {6, 7}, {0, 1}, {6, 6}};
+  PlanOptions hints;
+  hints.blocks = 8;
+  hints.blocked_threshold = 0.5;
+  EXPECT_EQ(plan_cache_key(streaming, PlanOptions{}), plan_cache_key(streaming, hints));
+
+  // Conversely a knob the route *does* read still splits the key.
+  const auto gir = testing::random_general_system(40, 30, rng, 0.7);
+  PlanOptions dp;
+  dp.reference_counts = true;
+  EXPECT_NE(plan_cache_key(gir, PlanOptions{}), plan_cache_key(gir, dp));
+  PlanOptions gir_block_hints;
+  gir_block_hints.blocks = 32;
+  EXPECT_EQ(plan_cache_key(gir, PlanOptions{}), plan_cache_key(gir, gir_block_hints));
 }
 
 }  // namespace

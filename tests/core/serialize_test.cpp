@@ -73,6 +73,35 @@ TEST(SerializeSystemTest, RejectsMalformedDocuments) {
                support::ContractViolation);
 }
 
+TEST(SerializeSystemTest, OverflowSizedCountsRejectedWithLineNumbers) {
+  // A declared count larger than the document can physically hold must be a
+  // parse error with a line number, never a vector::reserve length_error or
+  // bad_alloc (the fuzzer's overflow-count mutation).
+  try {
+    (void)system_from_text(
+        "ir-system v1\ncells 4\nequations 18446744073709551615\n");
+    FAIL() << "expected throw";
+  } catch (const support::ContractViolation& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos)
+        << error.what();
+  }
+  EXPECT_THROW(
+      (void)system_from_text("ir-system v1\ncells 4\nequations 99999999999999999\n"),
+      support::ContractViolation);
+}
+
+TEST(SerializeSystemTest, DuplicateHeadersRejected) {
+  EXPECT_THROW((void)system_from_text("ir-system v1\nir-system v1\ncells 2\n"
+                                      "equations 1\n0 1 1\n"),
+               support::ContractViolation);
+  EXPECT_THROW((void)system_from_text("ir-system v1\ncells 2\ncells 2\n"
+                                      "equations 1\n0 1 1\n"),
+               support::ContractViolation);
+  EXPECT_THROW((void)system_from_text("ir-system v1\ncells 2\nequations 1\n"
+                                      "equations 1\n0 1 1\n"),
+               support::ContractViolation);
+}
+
 TEST(SerializeValuesTest, RoundTripsExactly) {
   const std::vector<double> values{0.0, -1.5, 3.14159265358979, 1e-300, 1e300, 42.0};
   const auto back = values_from_text(to_text(values));
@@ -85,6 +114,33 @@ TEST(SerializeValuesTest, RoundTripsExactly) {
 TEST(SerializeValuesTest, EmptyArray) {
   const auto back = values_from_text(to_text(std::vector<double>{}));
   EXPECT_TRUE(back.empty());
+}
+
+TEST(SerializeValuesTest, CanonicalEmissionHasNoTrailingSpaces) {
+  // Counts not divisible by the 8-per-line wrap used to emit "value \n" on
+  // the final line; canonical emission separates values only *between* them.
+  EXPECT_EQ(to_text(std::vector<double>{1.0, 2.0, 3.0}),
+            "ir-values v1\ncount 3\n1 2 3\n");
+  EXPECT_EQ(to_text(std::vector<double>{1.0}), "ir-values v1\ncount 1\n1\n");
+  for (std::size_t count : {1u, 3u, 7u, 8u, 9u, 16u, 17u}) {
+    std::vector<double> values(count);
+    for (std::size_t i = 0; i < count; ++i) values[i] = 0.25 * static_cast<double>(i);
+    const std::string text = to_text(values);
+    EXPECT_EQ(text.find(" \n"), std::string::npos) << "count " << count;
+    EXPECT_EQ(text.back(), '\n') << "count " << count;
+    // Byte-exact round trip: parse then re-emit reproduces the same bytes.
+    EXPECT_EQ(to_text(values_from_text(text)), text) << "count " << count;
+  }
+}
+
+TEST(SerializeValuesTest, OverflowSizedCountRejectedWithLineNumber) {
+  try {
+    (void)values_from_text("ir-values v1\ncount 18446744073709551615\n");
+    FAIL() << "expected throw";
+  } catch (const support::ContractViolation& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+        << error.what();
+  }
 }
 
 TEST(SerializeValuesTest, CountMismatchRejected) {

@@ -67,14 +67,33 @@ TEST(SolveRouterTest, LocalChainPrefersBlockedSolver) {
   const auto op = algebra::AddMonoid<std::uint64_t>{};
   EXPECT_EQ(solve(op, sys, init, options), ordinary_ir_sequential(op, sys, init));
   ASSERT_FALSE(report.cross_block_fraction.empty());
-  EXPECT_TRUE(detail::prefer_blocked(report, 4, options.blocked_threshold));
+  EXPECT_TRUE(detail::prefer_blocked(GeneralIrSystem::from_ordinary(sys), 4,
+                                     options.blocked_threshold));
 }
 
 TEST(SolveRouterTest, ScatteredSystemPrefersJumping) {
   support::SplitMix64 rng(144);
   const auto sys = testing::random_ordinary_system(2048, 4096, rng, 0.95);
-  const auto report = analyze(sys);
-  EXPECT_FALSE(detail::prefer_blocked(report, 4, 0.25));
+  EXPECT_FALSE(detail::prefer_blocked(GeneralIrSystem::from_ordinary(sys), 4, 0.25));
+}
+
+TEST(SolveRouterTest, PreferBlockedJudgesExactBlockCountNotNearestBucket) {
+  // n = 12 with dependences crossing exactly the 3-block boundaries (4 and
+  // 8) but none of the 4-block ones: the old nearest-power-of-two lookup
+  // rounded a 3-block request up to the 4-block profile entry (fraction 0)
+  // and wrongly preferred blocked; the exact partition sees 2/12 crossings.
+  OrdinaryIrSystem sys;
+  sys.cells = 24;
+  for (std::size_t i = 0; i < 12; ++i) {
+    sys.g.push_back(i);
+    sys.f.push_back(i == 4 || i == 8 ? i - 1 : 12 + i);  // else read untouched cells
+  }
+  EXPECT_NEAR(measure_cross_block_fraction(GeneralIrSystem::from_ordinary(sys), 3),
+              2.0 / 12.0, 1e-12);
+  EXPECT_NEAR(measure_cross_block_fraction(GeneralIrSystem::from_ordinary(sys), 4),
+              0.0, 1e-12);
+  EXPECT_FALSE(detail::prefer_blocked(GeneralIrSystem::from_ordinary(sys), 3, 0.1));
+  EXPECT_TRUE(detail::prefer_blocked(GeneralIrSystem::from_ordinary(sys), 4, 0.1));
 }
 
 TEST(SolveRouterTest, PooledRoutesMatch) {

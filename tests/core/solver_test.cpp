@@ -59,6 +59,48 @@ TEST(SolverTest, DistinctOptionsGetDistinctPlans) {
   EXPECT_EQ(b->engine, PlanEngine::kBlocked);
 }
 
+TEST(SolverTest, RouteIrrelevantOptionsHitTheSameCacheEntry) {
+  // The cache key masks knobs the resolved route never reads, so flipping
+  // GIR-only flags on an ordinary-routed system must be a hit, not a second
+  // compile of a byte-identical plan.
+  support::SplitMix64 rng(87);
+  const auto sys = testing::random_ordinary_system(120, 180, rng, 0.8);
+  Solver solver;
+  (void)solver.compile(sys);
+  EXPECT_EQ(solver.plan_cache().misses(), 1u);
+
+  PlanOptions gir_flags;
+  gir_flags.prune_dead = false;
+  gir_flags.coalesce_each_round = false;
+  gir_flags.reference_counts = true;
+  (void)solver.compile(sys, gir_flags);
+  EXPECT_EQ(solver.plan_cache().hits(), 1u);
+  EXPECT_EQ(solver.plan_cache().misses(), 1u);
+  EXPECT_EQ(solver.plan_cache().size(), 1u);
+
+  // Forced jumping ignores block hints and the routing threshold as well.
+  PlanOptions jumping;
+  jumping.engine = EngineChoice::kJumping;
+  (void)solver.compile(sys, jumping);
+  EXPECT_EQ(solver.plan_cache().misses(), 2u);
+  PlanOptions jumping_hints = jumping;
+  jumping_hints.blocks = 16;
+  jumping_hints.blocked_threshold = 0.75;
+  (void)solver.compile(sys, jumping_hints);
+  EXPECT_EQ(solver.plan_cache().hits(), 2u);
+  EXPECT_EQ(solver.plan_cache().misses(), 2u);
+
+  // A knob the resolved route does read still misses.
+  PlanOptions blocked;
+  blocked.engine = EngineChoice::kBlocked;
+  blocked.blocks = 4;
+  (void)solver.compile(sys, blocked);
+  PlanOptions blocked8 = blocked;
+  blocked8.blocks = 8;
+  (void)solver.compile(sys, blocked8);
+  EXPECT_EQ(solver.plan_cache().misses(), 4u);
+}
+
 TEST(SolverTest, CapacityBoundEvictsLeastRecentlyUsed) {
   support::SplitMix64 rng(84);
   SolverConfig config;

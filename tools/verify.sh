@@ -1,28 +1,54 @@
 #!/usr/bin/env bash
 # Full verification flow: tier-1 build + tests in the default (telemetry-ON)
 # configuration, then a second configure/build/test pass with -DIR_TELEMETRY=OFF
-# to prove the macros compile to no-ops and the solvers still pass.
+# to prove the macros compile to no-ops and the solvers still pass.  Every
+# configuration also runs the bounded differential fuzzer (irfuzz --smoke +
+# --selftest), so the engine sweep and the shrinker are exercised on each pass.
 #
-# Usage: tools/verify.sh [build-dir-prefix]   (default: build)
+# Usage: tools/verify.sh [--asan] [build-dir-prefix]   (default prefix: build)
+#   --asan   add a third pass built with -DIR_SANITIZE=address;undefined
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-PREFIX="${1:-build}"
 
-echo "== telemetry ON: configure + build + ctest =="
+ASAN=0
+PREFIX="build"
+for arg in "$@"; do
+  case "${arg}" in
+    --asan) ASAN=1 ;;
+    *) PREFIX="${arg}" ;;
+  esac
+done
+
+run_suite() {
+  local dir="$1"
+  ctest --test-dir "${dir}" --output-on-failure -j"$(nproc)"
+  "${dir}/tools/irfuzz" --smoke --corpus="${dir}/fuzz-corpus"
+  "${dir}/tools/irfuzz" --selftest
+  "${dir}/tools/irfuzz" tests/corpus/*.ir
+}
+
+echo "== telemetry ON: configure + build + ctest + irfuzz =="
 cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j"$(nproc)"
-ctest --test-dir "${PREFIX}" --output-on-failure -j"$(nproc)"
+run_suite "${PREFIX}"
 
 echo "== telemetry ON: bench_plan_reuse smoke =="
 "${PREFIX}/bench/bench_plan_reuse" --smoke --metrics="${PREFIX}/plan_reuse_smoke.json"
 
-echo "== telemetry OFF: configure + build + ctest =="
+echo "== telemetry OFF: configure + build + ctest + irfuzz =="
 cmake -B "${PREFIX}-notelemetry" -S . -DIR_TELEMETRY=OFF >/dev/null
 cmake --build "${PREFIX}-notelemetry" -j"$(nproc)"
-ctest --test-dir "${PREFIX}-notelemetry" --output-on-failure -j"$(nproc)"
+run_suite "${PREFIX}-notelemetry"
 
 echo "== telemetry OFF: bench_plan_reuse smoke =="
 "${PREFIX}-notelemetry/bench/bench_plan_reuse" --smoke
 
-echo "== verify: all green in both configurations =="
+if [[ "${ASAN}" == "1" ]]; then
+  echo "== ASan/UBSan: configure + build + ctest + irfuzz =="
+  cmake -B "${PREFIX}-asan" -S . -DIR_SANITIZE="address;undefined" >/dev/null
+  cmake --build "${PREFIX}-asan" -j"$(nproc)"
+  run_suite "${PREFIX}-asan"
+fi
+
+echo "== verify: all green =="
