@@ -18,6 +18,16 @@
 //     docs/solver_api.md for the plan/execute model
 //   irtool trace <file> <iteration>             print a Lemma-1 trace or a
 //                                               GIR exponent list
+//   irtool lint <file> [--json] [--engine=E]    statically verify compiled
+//                                               schedules (src/verify/): PRAM
+//                                               hazard analysis, symbolic
+//                                               order-preservation replay,
+//                                               precondition lint.  Default
+//                                               checks the auto route plus
+//                                               every forced engine that fits
+//                                               the system's shape; --json
+//                                               emits the machine-readable
+//                                               report (docs/static_analysis.md)
 //   irtool dot <file>                           dependence graph as Graphviz
 //   irtool lower <dsl-file>                     loop DSL -> ir-system text
 //   irtool interchange <dsl-file> <a> <b>       swap nest levels a and b
@@ -47,6 +57,7 @@
 #include "obs/trace_export.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
+#include "verify/verify.hpp"
 
 namespace {
 
@@ -61,9 +72,15 @@ int usage() {
                "  irtool solve <file> [mod] [--metrics=FILE] [--trace=FILE]\n"
                "               [--engine={auto|jumping|blocked|spmd|gir}] [--repeat=K]\n"
                "  irtool trace <file> <iteration>\n"
+               "  irtool lint <file> [--json]\n"
+               "              [--engine={all|auto|jumping|blocked|spmd|gir|elementwise}]\n"
                "  irtool dot <file>\n"
                "  irtool lower <dsl-file>\n"
-               "  irtool interchange <dsl-file> <a> <b>\n");
+               "  irtool interchange <dsl-file> <a> <b>\n"
+               "\n"
+               "lint exit codes: 0 = every checked plan certified;\n"
+               "                 1 = at least one violation (or runtime error);\n"
+               "                 2 = usage error\n");
   return 2;
 }
 
@@ -264,6 +281,88 @@ int cmd_solve(const SolveFlags& flags) {
   return matches ? 0 : 1;
 }
 
+struct LintFlags {
+  std::string path;
+  std::string engine = "all";  ///< all | auto | one forced engine
+  bool json = false;
+};
+
+/// Statically verify the compiled schedule(s) of one ir-system file.
+/// "all" checks the auto route plus every forced engine whose shape
+/// preconditions the system meets (the shape gate mirrors compile_plan's own
+/// contract — lint reports what it skipped and why).
+int cmd_lint(const LintFlags& flags) {
+  const auto sys = load(flags.path);
+  const auto report = core::analyze(sys);
+  const bool ordinary_fits = [&] {
+    if (sys.h != sys.g || report.repeated_writes != 0) return false;
+    return true;
+  }();
+
+  struct Leg {
+    std::string label;
+    core::EngineChoice choice;
+  };
+  std::vector<Leg> legs;
+  auto want = [&](const std::string& name) {
+    return flags.engine == "all" || flags.engine == name;
+  };
+  if (want("auto")) legs.push_back({"auto", core::EngineChoice::kAuto});
+  if (want("gir")) legs.push_back({"gir", core::EngineChoice::kGeneralCap});
+  if (ordinary_fits) {
+    if (want("jumping")) legs.push_back({"jumping", core::EngineChoice::kJumping});
+    if (want("blocked")) legs.push_back({"blocked", core::EngineChoice::kBlocked});
+    if (want("spmd")) legs.push_back({"spmd", core::EngineChoice::kSpmd});
+  }
+  if (report.dependences == 0 && want("elementwise")) {
+    legs.push_back({"elementwise", core::EngineChoice::kElementwise});
+  }
+  if (legs.empty()) {
+    std::fprintf(stderr,
+                 "irtool lint: engine '%s' does not fit this system's shape "
+                 "(ordinary engines need h = g with injective g; elementwise "
+                 "needs a recurrence-free system)\n",
+                 flags.engine.c_str());
+    return 1;
+  }
+
+  std::size_t certified = 0;
+  std::string json = "{\n  \"file\": " + obs::json_quote(flags.path) +
+                     ",\n  \"plans\": [";
+  for (std::size_t leg = 0; leg < legs.size(); ++leg) {
+    core::PlanOptions plan_options;
+    plan_options.engine = legs[leg].choice;
+    const core::Plan plan = core::compile_plan(sys, plan_options);
+    const verify::VerifyReport verdict = verify::verify_plan(plan, sys);
+    if (verdict.ok()) ++certified;
+    if (flags.json) {
+      std::string entry = verdict.to_json();
+      // Inline the per-plan report under its requested-engine label.
+      entry.insert(entry.find('{') + 1,
+                   "\"requested\": " + obs::json_quote(legs[leg].label) +
+                       ", \"schedule\": " + obs::json_quote(plan.describe()) + ",");
+      json += (leg == 0 ? "\n" : ",\n") + entry;
+    } else {
+      std::printf("%-12s %s\n             (%s)\n", legs[leg].label.c_str(),
+                  verdict.summary().c_str(), plan.describe().c_str());
+      for (const auto& violation : verdict.violations) {
+        std::printf("             [%s] %s: %s\n",
+                    verify::to_string(violation.family).c_str(),
+                    violation.code.c_str(), violation.message.c_str());
+      }
+    }
+  }
+  if (flags.json) {
+    json += "  ],\n  \"certified\": " + std::to_string(certified) +
+            ",\n  \"checked\": " + std::to_string(legs.size()) +
+            ",\n  \"ok\": " + (certified == legs.size() ? "true" : "false") + "\n}\n";
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::printf("lint: %zu/%zu plans certified\n", certified, legs.size());
+  }
+  return certified == legs.size() ? 0 : 1;
+}
+
 int cmd_trace(const std::string& path, std::size_t iteration) {
   const auto sys = load(path);
   if (sys.h == sys.g) {
@@ -354,6 +453,31 @@ int main(int argc, char** argv) {
     if (command == "trace") {
       if (argc < 4) return usage();
       return cmd_trace(argv[2], std::strtoull(argv[3], nullptr, 10));
+    }
+    if (command == "lint") {
+      LintFlags flags;
+      bool have_path = false;
+      for (int a = 2; a < argc; ++a) {
+        const std::string arg = argv[a];
+        if (arg == "--json") {
+          flags.json = true;
+        } else if (arg.rfind("--engine=", 0) == 0) {
+          flags.engine = arg.substr(9);
+        } else if (!have_path) {
+          flags.path = arg;
+          have_path = true;
+        } else {
+          return usage();
+        }
+      }
+      if (!have_path) return usage();
+      const bool known_engine =
+          flags.engine == "all" || flags.engine == "auto" ||
+          flags.engine == "jumping" || flags.engine == "blocked" ||
+          flags.engine == "spmd" || flags.engine == "gir" ||
+          flags.engine == "elementwise";
+      if (!known_engine) return usage();
+      return cmd_lint(flags);
     }
     if (command == "dot") return cmd_dot(argv[2]);
     if (command == "lower") return cmd_lower(argv[2]);

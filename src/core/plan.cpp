@@ -20,6 +20,33 @@ std::string to_string(PlanEngine engine) {
   return "?";
 }
 
+std::string Plan::describe() const {
+  std::string out = to_string(engine) + ": n=" + std::to_string(iterations) +
+                    " m=" + std::to_string(cells);
+  switch (engine) {
+    case PlanEngine::kJumping:
+    case PlanEngine::kSpmd:
+      out += ", " + std::to_string(jump.rounds()) + " rounds, " +
+             std::to_string(jump.moves()) + " moves, peak " +
+             std::to_string(jump.peak_active);
+      break;
+    case PlanEngine::kBlocked:
+      out += ", " + std::to_string(blocked.blocks.size()) + " blocks, " +
+             std::to_string(blocked.partials()) + " fix-ups over " +
+             std::to_string(blocked.resolve_rounds) + " resolve rounds";
+      break;
+    case PlanEngine::kElementwise:
+      out += ", " + std::to_string(elementwise.cell.size()) + " written cells";
+      break;
+    case PlanEngine::kGeneralCap:
+      out += ", " + std::to_string(gir.cell.size()) + " written cells, " +
+             std::to_string(gir.term_cell.size()) + " leaf powers, " +
+             std::to_string(gir.cap_rounds) + " CAP rounds";
+      break;
+  }
+  return out;
+}
+
 namespace detail {
 
 bool prefer_blocked(const GeneralIrSystem& sys, std::size_t blocks, double threshold) {

@@ -27,6 +27,7 @@
 #include <functional>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "algebra/concepts.hpp"
@@ -107,6 +108,11 @@ struct JumpSchedule {
 
   [[nodiscard]] std::size_t rounds() const noexcept { return round_begin.size() - 1; }
   [[nodiscard]] std::size_t moves() const noexcept { return dst.size(); }
+
+  /// Half-open [begin, end) slice of dst/src holding round r's moves.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> round_span(std::size_t r) const {
+    return {round_begin[r], round_begin[r + 1]};
+  }
 };
 
 /// Precomputed two-level blocked schedule.  Phase 1 sweeps each block
@@ -123,6 +129,11 @@ struct BlockedSchedule {
   std::size_t resolve_rounds = 0;         ///< blocks with a non-empty fix-up step
 
   [[nodiscard]] std::size_t partials() const noexcept { return fix_dst.size(); }
+
+  /// Half-open [begin, end) slice of fix_dst/fix_src for block b's fix-ups.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> fix_span(std::size_t b) const {
+    return {fix_begin[b], fix_begin[b + 1]};
+  }
 };
 
 /// No-recurrence route: written cell k takes one ⊙ of two initial values.
@@ -143,6 +154,11 @@ struct GirSchedule {
   std::size_t cap_rounds = 0;      ///< CAP closure rounds (0 for reference DP)
   std::size_t cap_peak_edges = 0;  ///< CAP peak live edges
   std::size_t live_equations = 0;  ///< equations CAP processed after pruning
+
+  /// Half-open [begin, end) slice of term_cell/term_exp for written entry e.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> term_span(std::size_t e) const {
+    return {term_begin[e], term_begin[e + 1]};
+  }
 };
 
 /// A compiled solve schedule.  Owns everything execute() needs — including
@@ -166,6 +182,11 @@ struct Plan {
   BlockedSchedule blocked;          ///< kBlocked
   ElementwiseSchedule elementwise;  ///< kElementwise
   GirSchedule gir;                  ///< kGeneralCap
+
+  /// One-line human summary of the compiled schedule, e.g.
+  /// "jumping: n=12 m=13, 4 rounds, 31 moves, peak 12" — what `irtool lint`
+  /// prints next to each verdict.
+  [[nodiscard]] std::string describe() const;
 };
 
 /// Compile a plan for `sys`.  Runs analyze(), builds the pred forest and the
@@ -229,8 +250,8 @@ std::vector<typename Op::Value> execute_jump_values(
   std::vector<Value> new_val;
   for (std::size_t r = 0; r < js.rounds(); ++r) {
     IR_SPAN("ordinary.round");
-    const std::size_t begin = js.round_begin[r];
-    const std::size_t width = js.round_begin[r + 1] - begin;
+    const auto [begin, round_end] = js.round_span(r);
+    const std::size_t width = round_end - begin;
     IR_HISTOGRAM("ordinary.active_width", width);
     // Read phase into the side buffer, then write phase — the same
     // synchronous-step discipline as the legacy engine, but the active set
@@ -307,8 +328,8 @@ std::vector<typename Op::Value> execute_blocked_values(
   // Phase 2: ascending blocks; each fix-up target is complete, one ⊙ each.
   IR_SPAN("blocked.phase2");
   for (std::size_t b = 0; b < bs.blocks.size(); ++b) {
-    const std::size_t begin = bs.fix_begin[b];
-    const std::size_t count = bs.fix_begin[b + 1] - begin;
+    const auto [begin, fix_end] = bs.fix_span(b);
+    const std::size_t count = fix_end - begin;
     if (count == 0) continue;
     auto resolve = [&](std::size_t k) {
       const std::uint32_t i = bs.fix_dst[begin + k];
@@ -383,8 +404,8 @@ std::vector<typename Op::Value> execute_spmd_values(
     // (run_spmd's arrive_and_drop) and rethrows after the join.
     for (std::size_t r = 0; r < js.rounds(); ++r) {
       IR_SPAN("spmd.round");
-      const std::size_t round_begin = js.round_begin[r];
-      const std::size_t width = js.round_begin[r + 1] - round_begin;
+      const auto [round_begin, round_end] = js.round_span(r);
+      const std::size_t width = round_end - round_begin;
       const auto [wb, we] = ctx.slice(width);
       for (std::size_t k = wb; k < we; ++k) {
         new_val[k] = op.combine(val[js.src[round_begin + k]], val[js.dst[round_begin + k]]);

@@ -1,8 +1,27 @@
 #include "core/solver.hpp"
 
+#if defined(IR_VERIFY_PLANS_ENABLED)
+#include "verify/verify.hpp"
+#endif
+
 namespace ir::core {
 
 namespace {
+
+#if defined(IR_VERIFY_PLANS_ENABLED)
+/// Debug-build gate (-DIR_VERIFY_PLANS=ON): no plan enters the cache without
+/// passing the static verifier.  A violation here is a schedule-builder bug,
+/// so it throws InternalError with the verifier's diagnostic.  The symbolic
+/// budget is kept small — this runs on every cache miss.
+template <typename System>
+void verify_before_insert(const Plan& plan, const System& sys) {
+  verify::VerifyOptions options;
+  options.max_symbolic_terms = std::size_t{1} << 18;
+  const verify::VerifyReport report = verify::verify_plan(plan, sys, options);
+  IR_INVARIANT(report.ok(), "IR_VERIFY_PLANS rejected a compiled plan: " +
+                                report.summary());
+}
+#endif
 
 template <typename System>
 std::shared_ptr<const Plan> compile_cached(PlanCache& cache, const System& sys,
@@ -10,6 +29,9 @@ std::shared_ptr<const Plan> compile_cached(PlanCache& cache, const System& sys,
   const std::uint64_t key = plan_cache_key(sys, options);
   if (auto cached = cache.find(key)) return cached;
   auto plan = std::make_shared<const Plan>(compile_plan(sys, options));
+#if defined(IR_VERIFY_PLANS_ENABLED)
+  verify_before_insert(*plan, sys);
+#endif
   cache.insert(key, plan);
   return plan;
 }

@@ -12,6 +12,7 @@
 #include "core/serialize.hpp"
 #include "core/solver.hpp"
 #include "testing/generators.hpp"
+#include "verify/verify.hpp"
 
 namespace ir::testing {
 
@@ -56,6 +57,31 @@ void check_leg(DifferentialReport& report, const std::string& label,
   ++report.engines_run;
   try {
     if (run() != expected) report.mismatches.push_back(label);
+  } catch (const std::exception& e) {
+    report.mismatches.push_back(label + ":threw:" + e.what());
+  } catch (...) {
+    report.mismatches.push_back(label + ":threw:unknown");
+  }
+}
+
+/// Compile a plan for `sys` under `plan_options` and run the static verifier
+/// over it.  Each violation lands as its own mismatch label — the code alone
+/// (e.g. "jump.write-write") is enough to triage without re-running, and the
+/// shrinker can minimise against any single label.
+template <typename System>
+void check_verify_leg(DifferentialReport& report, const std::string& label,
+                      const System& sys, const PlanOptions& plan_options) {
+  ++report.engines_run;
+  try {
+    const core::Plan plan = core::compile_plan(sys, plan_options);
+    verify::VerifyOptions verify_options;
+    // Fuzz cases are small; this budget keeps the symbolic replay live on all
+    // of them while bounding the pathological chain shapes.
+    verify_options.max_symbolic_terms = std::size_t{1} << 18;
+    const verify::VerifyReport vr = verify::verify_plan(plan, sys, verify_options);
+    for (const auto& v : vr.violations) {
+      report.mismatches.push_back(label + ":" + v.code);
+    }
   } catch (const std::exception& e) {
     report.mismatches.push_back(label + ":threw:" + e.what());
   } catch (...) {
@@ -155,6 +181,13 @@ DifferentialReport run_differential(const GeneralIrSystem& sys,
     return core::execute_plan(core::compile_plan(sys, plan_options), op, init);
   });
 
+  if (options.verify_plans) {
+    check_verify_leg(report, "verify-auto", sys, PlanOptions{});
+    PlanOptions gir_options;
+    gir_options.engine = EngineChoice::kGeneralCap;
+    check_verify_leg(report, "verify-gir", sys, gir_options);
+  }
+
   // execute_many must agree entry-wise, with and without a pool.
   ++report.engines_run;
   try {
@@ -237,6 +270,18 @@ DifferentialReport run_differential(const GeneralIrSystem& sys,
         exec.workers = options.spmd_workers;
         return core::execute_plan(core::compile_plan(ord, plan_options), op, init, exec);
       });
+    }
+
+    if (options.verify_plans) {
+      for (const auto& [engine, label] :
+           {std::pair{EngineChoice::kJumping, "verify-jumping"},
+            std::pair{EngineChoice::kBlocked, "verify-blocked"},
+            std::pair{EngineChoice::kSpmd, "verify-spmd"}}) {
+        PlanOptions plan_options;
+        plan_options.engine = engine;
+        plan_options.blocks = options.blocks;
+        check_verify_leg(report, label, ord, plan_options);
+      }
     }
 
     // Non-commutative witness: string concatenation catches any engine that

@@ -55,6 +55,14 @@ struct DifferentialOptions {
   /// left in it).
   bool use_shared_solver = false;
 
+  /// Statically verify every compiled plan (bounds, preconditions, hazard
+  /// analysis, symbolic replay — see verify/verify.hpp) alongside the value
+  /// comparison.  A violation is reported as "verify-<route>:<code>".  The
+  /// static pass catches schedule bugs the commutative ModMul sweep would
+  /// forgive (operand reordering) and localises them to a round/move instead
+  /// of a final value.
+  bool verify_plans = false;
+
   /// Fault injection: perturb the oracle so every route must disagree.
   bool corrupt_oracle = false;
 };

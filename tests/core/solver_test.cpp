@@ -109,12 +109,12 @@ TEST(SolverTest, CapacityBoundEvictsLeastRecentlyUsed) {
   const auto a = testing::random_ordinary_system(50, 80, rng, 0.8);
   const auto b = testing::random_ordinary_system(60, 90, rng, 0.8);
   const auto c = testing::random_ordinary_system(70, 100, rng, 0.8);
-  solver.compile(a);
-  solver.compile(b);
-  solver.compile(c);  // evicts a
+  (void)solver.compile(a);
+  (void)solver.compile(b);
+  (void)solver.compile(c);  // evicts a
   EXPECT_EQ(solver.plan_cache().evictions(), 1u);
   EXPECT_EQ(solver.plan_cache().size(), 2u);
-  solver.compile(a);  // gone: a fresh miss, not a hit
+  (void)solver.compile(a);  // gone: a fresh miss, not a hit
   EXPECT_EQ(solver.plan_cache().hits(), 0u);
   EXPECT_EQ(solver.plan_cache().misses(), 4u);
 }

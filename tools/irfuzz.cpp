@@ -17,6 +17,9 @@
 //     --threads=K          pool size for pooled legs; 0 disables (default 3)
 //     --smoke              bounded CI run (equivalent to --cases=96 --max-n=40)
 //     --corpus=DIR         where shrunk reproducers are written (default ".")
+//     --no-verify          skip the static plan verifier legs (on by default:
+//                          every compiled plan is hazard-checked and
+//                          symbolically replayed — see src/verify/)
 //     --inject-oracle-bug  corrupt the oracle — every case must be flagged
 //                          (a detector check, so nothing is written to corpus)
 //     --selftest           prove detection + shrinking fire on an injected
@@ -53,6 +56,7 @@ struct Config {
   std::string corpus = ".";
   bool inject_oracle_bug = false;
   bool selftest = false;
+  bool no_verify = false;
   std::vector<std::string> replay_files;
 };
 
@@ -60,7 +64,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: irfuzz [--seed=S] [--cases=N] [--max-n=N] [--threads=K]\n"
                "              [--smoke] [--corpus=DIR] [--inject-oracle-bug]\n"
-               "              [--selftest] [FILE...]\n");
+               "              [--no-verify] [--selftest] [FILE...]\n");
   return 2;
 }
 
@@ -87,6 +91,8 @@ bool parse_args(int argc, char** argv, Config& config) {
       config.inject_oracle_bug = true;
     } else if (arg == "--selftest") {
       config.selftest = true;
+    } else if (arg == "--no-verify") {
+      config.no_verify = true;
     } else if (arg == "--replay") {
       // Optional marker; the files themselves are positional.
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -118,6 +124,7 @@ testing::DifferentialOptions make_options(const Config& config,
   options.pool = pool;
   options.use_shared_solver = true;
   options.corrupt_oracle = config.inject_oracle_bug;
+  options.verify_plans = !config.no_verify;
   return options;
 }
 

@@ -5,17 +5,23 @@
 # configuration also runs the bounded differential fuzzer (irfuzz --smoke +
 # --selftest), so the engine sweep and the shrinker are exercised on each pass.
 #
-# Usage: tools/verify.sh [--asan] [build-dir-prefix]   (default prefix: build)
+# Usage: tools/verify.sh [--asan] [--lint] [build-dir-prefix]   (default prefix: build)
 #   --asan   add a third pass built with -DIR_SANITIZE=address;undefined
+#   --lint   statically certify every corpus witness and generated schedule
+#            with `irtool lint` (exit 0 = certified, 1 = violation, 2 = usage),
+#            plus a full test pass built with -DIR_VERIFY_PLANS=ON so every
+#            plan the suite compiles goes through the verifier on cache insert
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 ASAN=0
+LINT=0
 PREFIX="build"
 for arg in "$@"; do
   case "${arg}" in
     --asan) ASAN=1 ;;
+    --lint) LINT=1 ;;
     *) PREFIX="${arg}" ;;
   esac
 done
@@ -43,6 +49,22 @@ run_suite "${PREFIX}-notelemetry"
 
 echo "== telemetry OFF: bench_plan_reuse smoke =="
 "${PREFIX}-notelemetry/bench/bench_plan_reuse" --smoke
+
+if [[ "${LINT}" == "1" ]]; then
+  echo "== lint: irtool lint over corpus witnesses and generated systems =="
+  for f in tests/corpus/*.ir; do
+    "${PREFIX}/examples/irtool" lint "${f}"
+  done
+  for spec in "chain 64" "fib 48" "random 40 7" "random 40 8"; do
+    # shellcheck disable=SC2086  # word-splitting the spec is the point
+    "${PREFIX}/examples/irtool" gen ${spec} | "${PREFIX}/examples/irtool" lint -
+  done
+
+  echo "== lint: IR_VERIFY_PLANS=ON build + ctest (verifier on every cache insert) =="
+  cmake -B "${PREFIX}-verifyplans" -S . -DIR_VERIFY_PLANS=ON >/dev/null
+  cmake --build "${PREFIX}-verifyplans" -j"$(nproc)"
+  ctest --test-dir "${PREFIX}-verifyplans" --output-on-failure -j"$(nproc)"
+fi
 
 if [[ "${ASAN}" == "1" ]]; then
   echo "== ASan/UBSan: configure + build + ctest + irfuzz =="
