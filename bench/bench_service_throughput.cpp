@@ -1,0 +1,169 @@
+// bench_service_throughput — what plan-keyed coalescing buys under request
+// traffic (the service-layer argument, docs/service.md).
+//
+// One system, K identical-fingerprint requests at n = 50,000:
+//
+//   sequential  K independent solve() calls (compile_plan + execute_plan
+//               each) — what K callers without the service pay: nobody
+//               shares a plan cache, so every request compiles
+//   service     the same K requests submitted to ir::service::Server —
+//               requests share ONE single-flighted compile (plan-keyed
+//               coalescing + the server's content-addressed cache), queued
+//               requests batch into execute_many, and value arrays replay
+//               in parallel on the dispatcher's pool where cores allow
+//
+// The acceptance target for this PR is service < sequential wall-clock at
+// n = 50,000, K = 16.
+//
+//   bench_service_throughput [--smoke] [--n=N] [--k=K] [--threads=T]
+//                            [--metrics=FILE]
+//
+// --smoke shrinks the workload (n = 2,000, K = 4) so CI can run the bench as
+// a correctness/telemetry exercise; --metrics=FILE dumps the telemetry
+// registry (service.* counters included) plus the measured seconds.
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "algebra/monoids.hpp"
+#include "core/solver.hpp"
+#include "obs/metrics_export.hpp"
+#include "service/server.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+#include "testing_workloads.hpp"
+
+namespace {
+
+using namespace ir;
+
+core::GeneralIrSystem embed(const core::OrdinaryIrSystem& ord) {
+  core::GeneralIrSystem sys;
+  sys.cells = ord.cells;
+  sys.f = ord.f;
+  sys.g = ord.g;
+  sys.h = ord.g;
+  return sys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 50'000;
+  std::size_t repeats = 16;
+  std::size_t threads = parallel::ThreadPool::default_threads();
+  std::string metrics_file;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--smoke") {
+      n = 2'000;
+      repeats = 4;
+    } else if (arg.rfind("--n=", 0) == 0) {
+      n = std::strtoull(arg.c_str() + 4, nullptr, 10);
+    } else if (arg.rfind("--k=", 0) == 0) {
+      repeats = std::strtoull(arg.c_str() + 4, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_file = arg.substr(10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_service_throughput [--smoke] [--n=N] [--k=K]"
+                   " [--threads=T] [--metrics=FILE]\n");
+      return 2;
+    }
+  }
+
+  support::SplitMix64 rng(n);
+  const core::GeneralIrSystem sys =
+      embed(ir::bench::random_ordinary_system(n, n + n / 2, rng, 0.9));
+  const std::vector<std::uint64_t> init = ir::bench::random_initial_u64(n + n / 2, rng);
+  const algebra::ModMulMonoid op(1'000'000'007ull);
+  support::Stopwatch watch;
+
+  // --- sequential: K independent solve() calls, each compiling -------------
+  std::vector<std::uint64_t> seq_out;
+  watch.lap();
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    seq_out = core::execute_plan(core::compile_plan(sys), op, init);
+  }
+  const double sequential_seconds = watch.lap();
+
+  // --- service: the same K requests through the batch-solve server ---------
+  // Request construction (the copies a client would hand over) happens
+  // outside the timed region; admission, keying, coalescing, compile, and
+  // execution are all inside it.
+  std::vector<service::Server<algebra::ModMulMonoid>::Request> requests(repeats);
+  for (auto& request : requests) {
+    request.sys = sys;
+    request.initial = init;
+  }
+  std::vector<std::uint64_t> svc_out;
+  service::ServiceStats stats;
+  watch.lap();
+  {
+    service::ServiceConfig config;
+    config.dispatchers = 2;
+    config.exec_threads = threads > 1 ? threads : 0;
+    config.max_batch = repeats;
+    service::Server<algebra::ModMulMonoid> server(op, config);
+    using Response = service::Server<algebra::ModMulMonoid>::Response;
+    std::vector<std::future<Response>> futures;
+    futures.reserve(repeats);
+    for (auto& request : requests) {
+      futures.push_back(server.submit_async(std::move(request)));
+    }
+    server.drain();
+    for (auto& future : futures) {
+      auto response = future.get();
+      if (!response.ok()) {
+        std::fprintf(stderr, "service solve failed: %s\n", response.error.c_str());
+        return 1;
+      }
+      svc_out = std::move(response.values);
+    }
+    stats = server.stats();
+  }
+  const double service_seconds = watch.lap();
+
+  if (svc_out != seq_out) {
+    std::fprintf(stderr, "service and sequential answers disagree\n");
+    return 1;
+  }
+  std::uint64_t checksum = 0;
+  for (const auto v : svc_out) checksum ^= v;
+
+  std::printf("# K identical-fingerprint requests: sequential loop vs service"
+              " (threads=%zu)\n",
+              threads);
+  std::printf("n=%zu K=%zu sequential=%.4fs service=%.4fs speedup=%.2fx "
+              "batches=%llu coalesced=%llu peak_batch=%llu compiles=%llu "
+              "(checksum %llu)\n",
+              n, repeats, sequential_seconds, service_seconds,
+              sequential_seconds / service_seconds,
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.coalesced_requests),
+              static_cast<unsigned long long>(stats.peak_batch),
+              static_cast<unsigned long long>(stats.plan_compiles),
+              static_cast<unsigned long long>(checksum));
+
+  if (!metrics_file.empty()) {
+    obs::ExtraFields extra = {
+        {"bench", obs::json_quote("service_throughput")},
+        {"n", std::to_string(n)},
+        {"repeats", std::to_string(repeats)},
+        {"threads", std::to_string(threads)},
+        {"sequential_seconds", std::to_string(sequential_seconds)},
+        {"service_seconds", std::to_string(service_seconds)},
+        {"service_batches", std::to_string(stats.batches)},
+        {"service_coalesced_requests", std::to_string(stats.coalesced_requests)},
+        {"service_peak_batch", std::to_string(stats.peak_batch)},
+        {"service_plan_compiles", std::to_string(stats.plan_compiles)},
+    };
+    obs::write_metrics_file(metrics_file, extra);
+    std::fprintf(stderr, "metrics written to %s\n", metrics_file.c_str());
+  }
+  return 0;
+}

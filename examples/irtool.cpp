@@ -14,6 +14,11 @@
 //     --repeat=K        solve K times through the Solver plan cache; the
 //                       schedule compiles once and is reused, and compile
 //                       vs execute time is reported separately
+//     --jobs=J          replay the K repeats through the batch-solve service
+//                       (src/service/) with J dispatchers: requests sharing
+//                       the plan key coalesce into execute_many batches, and
+//                       the coalesced-batch counts are reported next to the
+//                       plan-cache line (docs/service.md)
 //     see docs/observability.md for the metric/span name catalog and
 //     docs/solver_api.md for the plan/execute model
 //   irtool trace <file> <iteration>             print a Lemma-1 trace or a
@@ -38,6 +43,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -55,6 +61,7 @@
 #include "obs/metrics_export.hpp"
 #include "obs/span.hpp"
 #include "obs/trace_export.hpp"
+#include "service/server.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 #include "verify/verify.hpp"
@@ -71,6 +78,7 @@ int usage() {
                "  irtool classify <file>\n"
                "  irtool solve <file> [mod] [--metrics=FILE] [--trace=FILE]\n"
                "               [--engine={auto|jumping|blocked|spmd|gir}] [--repeat=K]\n"
+               "               [--jobs=J]\n"
                "  irtool trace <file> <iteration>\n"
                "  irtool lint <file> [--json]\n"
                "              [--engine={all|auto|jumping|blocked|spmd|gir|elementwise}]\n"
@@ -159,6 +167,7 @@ struct SolveFlags {
   std::string trace_file;    ///< --trace=FILE: Chrome trace_event JSON
   std::string engine = "auto";
   std::size_t repeat = 1;  ///< --repeat=K: K solves through the plan cache
+  std::size_t jobs = 0;    ///< --jobs=J: J service dispatchers (0 = no service)
 };
 
 int cmd_solve(const SolveFlags& flags) {
@@ -200,7 +209,40 @@ int cmd_solve(const SolveFlags& flags) {
   std::string plan_engine;
   double compile_seconds = 0.0, execute_seconds = 0.0;
   core::Solver solver;
-  {
+  service::ServiceStats svc;
+  const bool use_service = flags.jobs > 0;
+  if (use_service) {
+    // --jobs=J: replay the repeats through the batch-solve service instead
+    // of a sequential compile/execute loop.  All K requests share one plan
+    // key, so queued repeats coalesce into execute_many batches; the
+    // "service:" line below shows how many batches the K solves actually
+    // took.  Server scope: dispatcher threads retire before the trace flush.
+    service::ServiceConfig config;
+    config.dispatchers = flags.jobs;
+    service::Server<algebra::ModMulMonoid> server(op, config);
+    support::Stopwatch watch;
+    watch.lap();
+    std::vector<std::future<service::Server<algebra::ModMulMonoid>::Response>> futures;
+    futures.reserve(flags.repeat);
+    for (std::size_t rep = 0; rep < flags.repeat; ++rep) {
+      service::Server<algebra::ModMulMonoid>::Request request;
+      request.sys = sys;
+      request.initial = init;
+      request.plan.engine = engine;
+      futures.push_back(server.submit_async(std::move(request)));
+    }
+    server.drain();
+    execute_seconds = watch.lap();  // the service overlaps compile + execute
+    for (auto& future : futures) {
+      auto response = future.get();
+      IR_REQUIRE(response.ok(), "service solve failed: " + response.error);
+      plan_engine = response.info.engine;
+      out = std::move(response.values);
+    }
+    svc = server.stats();
+    route = engine == core::EngineChoice::kAuto ? plan_engine + " (service)"
+                                                : flags.engine + " (forced)";
+  } else {
     // Pool scope: destroying the pool retires the workers' span tracks, so
     // the trace/metrics flush below sees every worker's data.
     parallel::ThreadPool pool(parallel::ThreadPool::default_threads());
@@ -237,8 +279,20 @@ int cmd_solve(const SolveFlags& flags) {
   std::printf("route: %s\n", route.c_str());
   std::printf("plan: engine=%s compile_s=%.6f execute_s=%.6f repeats=%zu\n",
               plan_engine.c_str(), compile_seconds, execute_seconds, flags.repeat);
-  std::printf("plan cache: hits=%zu misses=%zu\n", solver.plan_cache().hits(),
-              solver.plan_cache().misses());
+  if (use_service) {
+    std::printf("plan cache: hits=%llu misses=%llu compiles=%llu\n",
+                static_cast<unsigned long long>(svc.plan_cache_hits),
+                static_cast<unsigned long long>(svc.plan_cache_misses),
+                static_cast<unsigned long long>(svc.plan_compiles));
+    std::printf("service: jobs=%zu batches=%llu coalesced_requests=%llu "
+                "peak_batch=%llu\n",
+                flags.jobs, static_cast<unsigned long long>(svc.batches),
+                static_cast<unsigned long long>(svc.coalesced_requests),
+                static_cast<unsigned long long>(svc.peak_batch));
+  } else {
+    std::printf("plan cache: hits=%zu misses=%zu\n", solver.plan_cache().hits(),
+                solver.plan_cache().misses());
+  }
   std::printf("first cells:");
   for (std::size_t c = 0; c < std::min<std::size_t>(8, out.size()); ++c) {
     std::printf(" %llu", static_cast<unsigned long long>(out[c]));
@@ -263,11 +317,17 @@ int cmd_solve(const SolveFlags& flags) {
         {"cells", std::to_string(sys.cells)},
         {"mod", std::to_string(flags.mod)},
         {"repeat", std::to_string(flags.repeat)},
+        {"jobs", std::to_string(flags.jobs)},
         {"solve_seconds", std::to_string(solve_seconds)},
         {"compile_seconds", std::to_string(compile_seconds)},
         {"execute_seconds", std::to_string(execute_seconds)},
-        {"plan_cache_hits", std::to_string(solver.plan_cache().hits())},
-        {"plan_cache_misses", std::to_string(solver.plan_cache().misses())},
+        {"plan_cache_hits", std::to_string(use_service ? svc.plan_cache_hits
+                                                       : solver.plan_cache().hits())},
+        {"plan_cache_misses",
+         std::to_string(use_service ? svc.plan_cache_misses
+                                    : solver.plan_cache().misses())},
+        {"service_batches", std::to_string(svc.batches)},
+        {"service_coalesced_requests", std::to_string(svc.coalesced_requests)},
         {"matches_sequential", matches ? "true" : "false"},
     };
     obs::write_metrics_file(flags.metrics_file, extra);
@@ -437,6 +497,8 @@ int main(int argc, char** argv) {
           flags.engine = arg.substr(9);
         } else if (arg.rfind("--repeat=", 0) == 0) {
           flags.repeat = std::strtoull(arg.c_str() + 9, nullptr, 10);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+          flags.jobs = std::strtoull(arg.c_str() + 7, nullptr, 10);
         } else if (!have_path) {
           flags.path = arg;
           have_path = true;

@@ -18,6 +18,12 @@ std::shared_ptr<const Plan> PlanCache::find(std::uint64_t key) {
   return it->second->second;
 }
 
+std::shared_ptr<const Plan> PlanCache::peek(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : it->second->second;
+}
+
 void PlanCache::insert(std::uint64_t key, std::shared_ptr<const Plan> plan) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mutex_);

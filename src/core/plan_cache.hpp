@@ -33,6 +33,11 @@ class PlanCache {
   /// Look up a plan; bumps it to most-recently-used on a hit.
   [[nodiscard]] std::shared_ptr<const Plan> find(std::uint64_t key);
 
+  /// find() without counters or an LRU bump — the Solver's single-flight
+  /// double-check uses this so one compile() call never records more than
+  /// one hit or miss.
+  [[nodiscard]] std::shared_ptr<const Plan> peek(std::uint64_t key) const;
+
   /// Insert (or refresh) a plan, evicting the least-recently-used entry
   /// beyond capacity.
   void insert(std::uint64_t key, std::shared_ptr<const Plan> plan);

@@ -1,5 +1,9 @@
 #include "core/solver.hpp"
 
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
 #if defined(IR_VERIFY_PLANS_ENABLED)
 #include "verify/verify.hpp"
 #endif
@@ -23,33 +27,91 @@ void verify_before_insert(const Plan& plan, const System& sys) {
 }
 #endif
 
-template <typename System>
-std::shared_ptr<const Plan> compile_cached(PlanCache& cache, const System& sys,
-                                           const PlanOptions& options) {
-  const std::uint64_t key = plan_cache_key(sys, options);
-  if (auto cached = cache.find(key)) return cached;
-  auto plan = std::make_shared<const Plan>(compile_plan(sys, options));
-#if defined(IR_VERIFY_PLANS_ENABLED)
-  verify_before_insert(*plan, sys);
-#endif
-  cache.insert(key, plan);
-  return plan;
-}
-
 }  // namespace
+
+std::shared_ptr<const Plan> Solver::compile_keyed(
+    std::uint64_t key, const std::function<std::shared_ptr<const Plan>()>& build) {
+  if (auto cached = cache_.find(key)) return cached;
+
+  // Single-flight: exactly one caller per key becomes the leader and builds;
+  // concurrent racers park on the leader's future.  The leader publishes to
+  // the cache before retiring the in-flight entry, so a caller arriving in
+  // between is served by one of the two.
+  std::promise<std::shared_ptr<const Plan>> promise;
+  std::shared_future<std::shared_ptr<const Plan>> flight;
+  bool leader = false;
+  {
+    std::lock_guard lock(inflight_mutex_);
+    // peek, not find: the fast path above already recorded this call's miss.
+    if (auto cached = cache_.peek(key)) return cached;
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      flight = it->second;
+    } else {
+      leader = true;
+      flight = promise.get_future().share();
+      inflight_.emplace(key, flight);
+    }
+  }
+  if (!leader) return flight.get();  // rethrows the leader's exception, if any
+
+  try {
+    auto plan = build();
+    compiles_.fetch_add(1, std::memory_order_relaxed);
+    cache_.insert(key, plan);
+    promise.set_value(plan);
+    {
+      std::lock_guard lock(inflight_mutex_);
+      inflight_.erase(key);
+    }
+    return plan;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    {
+      std::lock_guard lock(inflight_mutex_);
+      inflight_.erase(key);
+    }
+    throw;
+  }
+}
 
 std::shared_ptr<const Plan> Solver::compile(const GeneralIrSystem& sys,
                                             const PlanOptions& options) {
-  return compile_cached(cache_, sys, options);
+  return compile_keyed(plan_cache_key(sys, options), [&] {
+    auto plan = std::make_shared<const Plan>(compile_plan(sys, options));
+#if defined(IR_VERIFY_PLANS_ENABLED)
+    verify_before_insert(*plan, sys);
+#endif
+    return plan;
+  });
 }
 
 std::shared_ptr<const Plan> Solver::compile(const OrdinaryIrSystem& sys,
                                             const PlanOptions& options) {
-  return compile_cached(cache_, sys, options);
+  return compile_keyed(plan_cache_key(sys, options), [&] {
+    auto plan = std::make_shared<const Plan>(compile_plan(sys, options));
+#if defined(IR_VERIFY_PLANS_ENABLED)
+    verify_before_insert(*plan, sys);
+#endif
+    return plan;
+  });
+}
+
+std::size_t plan_cache_capacity_from_env(std::size_t fallback) {
+  const char* raw = std::getenv("IR_PLAN_CACHE_CAP");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  // Strict parse: the whole string must be a base-10 size.  Anything else
+  // (negative, trailing junk, overflow) keeps the fallback — a typo in a
+  // deployment environment must not silently disable caching.
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE || raw[0] == '-') return fallback;
+  return static_cast<std::size_t>(value);
 }
 
 Solver& shared_solver() {
-  static Solver solver;
+  static Solver solver(SolverConfig{plan_cache_capacity_from_env()});
   return solver;
 }
 

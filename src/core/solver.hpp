@@ -12,7 +12,13 @@
 // deprecated free functions route through via shared_solver().
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "core/plan.hpp"
 #include "core/plan_cache.hpp"
@@ -24,15 +30,33 @@ struct SolverConfig {
   std::size_t plan_cache_capacity = 64;  ///< 0 disables plan caching
 };
 
+/// Plan-cache capacity from the IR_PLAN_CACHE_CAP environment variable, or
+/// `fallback` when the variable is unset or not a valid size ("0" is valid:
+/// it disables caching).  shared_solver() and the service layer size their
+/// caches through this, so deployments (irserve in particular) tune cache
+/// footprint without a rebuild.
+[[nodiscard]] std::size_t plan_cache_capacity_from_env(std::size_t fallback = 64);
+
 class Solver {
  public:
   explicit Solver(const SolverConfig& config = {}) : cache_(config.plan_cache_capacity) {}
 
-  /// Compile (or fetch from cache) a plan for `sys`.
+  /// Compile (or fetch from cache) a plan for `sys`.  Concurrent compiles of
+  /// the same key are single-flighted: the first caller builds the plan,
+  /// racers block on its result instead of compiling a duplicate — under a
+  /// batch-solve server, N concurrent submits of one system cost exactly one
+  /// compile (plan_compiles() counts the builds that actually ran; misses()
+  /// counts cache lookups that missed, which can exceed it under races).
   [[nodiscard]] std::shared_ptr<const Plan> compile(const GeneralIrSystem& sys,
                                                     const PlanOptions& options = {});
   [[nodiscard]] std::shared_ptr<const Plan> compile(const OrdinaryIrSystem& sys,
                                                     const PlanOptions& options = {});
+
+  /// Number of compile_plan runs this solver actually performed (cache hits
+  /// and single-flight followers excluded).
+  [[nodiscard]] std::uint64_t plan_compiles() const noexcept {
+    return compiles_.load(std::memory_order_relaxed);
+  }
 
   /// Execute a plan against one initial-value array (see execute_plan).
   template <algebra::BinaryOperation Op>
@@ -61,9 +85,19 @@ class Solver {
   }
 
   [[nodiscard]] PlanCache& plan_cache() noexcept { return cache_; }
+  [[nodiscard]] const PlanCache& plan_cache() const noexcept { return cache_; }
 
  private:
+  /// Cache lookup + single-flight build keyed on `key`; `build` runs at most
+  /// once per concurrent group of callers.
+  std::shared_ptr<const Plan> compile_keyed(
+      std::uint64_t key, const std::function<std::shared_ptr<const Plan>()>& build);
+
   PlanCache cache_;
+  std::atomic<std::uint64_t> compiles_{0};
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_future<std::shared_ptr<const Plan>>>
+      inflight_;
 };
 
 /// Process-wide solver: the deprecated free-function shims and the Möbius

@@ -1,0 +1,155 @@
+// Request/response vocabulary of the batch-solve service (docs/service.md).
+//
+// The service accepts solve requests — a system, its initial values, and
+// per-request policy (engine choice, deadline, cancellation token) — and
+// answers each with a BasicResponse: either the solved value array or a
+// typed non-OK status explaining exactly why no values were produced
+// (admission reject, expired deadline, cooperative cancel, engine failure).
+// Statuses are deliberately a closed enum, not free-form strings: admission
+// control is part of the API contract, and callers route on it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ir::service {
+
+/// Steady clock used for enqueue timestamps and deadlines — wall-clock jumps
+/// must never expire a request.
+using Clock = std::chrono::steady_clock;
+
+/// Terminal state of one request.
+enum class Status {
+  kOk,                    ///< executed; `values` holds the solved array
+  kRejectedQueueFull,     ///< admission: queue at hard capacity
+  kRejectedBackpressure,  ///< admission: above the high watermark (hysteresis)
+  kRejectedShutdown,      ///< admission: server draining or shut down
+  kRejectedInvalid,       ///< admission: request malformed (sizes, validation)
+  kDeadlineExpired,       ///< accepted, but its deadline passed before execute
+  kCancelled,             ///< accepted, but its cancel token fired before execute
+  kFailed,                ///< accepted, but compile/execute threw
+};
+
+[[nodiscard]] std::string to_string(Status status);
+
+/// True for the three admission-control rejects (the request was never
+/// queued); deadline/cancel/failure happen to *accepted* requests.
+[[nodiscard]] constexpr bool is_rejected(Status status) noexcept {
+  return status == Status::kRejectedQueueFull ||
+         status == Status::kRejectedBackpressure ||
+         status == Status::kRejectedShutdown || status == Status::kRejectedInvalid;
+}
+
+/// Per-request execution facts, filled for kOk responses (and partially for
+/// the terminal-without-execute statuses, where wait is still meaningful).
+struct ResponseInfo {
+  std::size_t batch_size = 0;         ///< live requests in the coalesced batch
+  bool coalesced = false;             ///< rode a batch with other requests
+  std::uint64_t plan_fingerprint = 0; ///< content fingerprint of the plan used
+  std::string engine;                 ///< plan engine name ("jumping", ...)
+  Clock::duration wait{};             ///< enqueue -> dispatch
+  Clock::duration execute{};          ///< the batch's execute_many wall time
+};
+
+/// One completed request.  `values` is populated iff `status == kOk`.
+template <typename ValueT>
+struct BasicResponse {
+  Status status = Status::kFailed;
+  std::string error;  ///< human-readable detail for non-OK statuses
+  std::vector<ValueT> values;
+  ResponseInfo info;
+
+  [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
+};
+
+/// Counter snapshot of a running (or drained) server.  Monotone except the
+/// two depth fields; `accepted == executed_ok + executed_failed +
+/// deadline_misses + cancelled` once the server has drained.
+struct ServiceStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_backpressure = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t executed_ok = 0;
+  std::uint64_t executed_failed = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t batches = 0;             ///< execute_many dispatches
+  std::uint64_t coalesced_requests = 0;  ///< requests that shared a batch
+  std::uint64_t peak_batch = 0;
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t queue_depth = 0;  ///< at snapshot time
+  std::uint64_t in_flight = 0;    ///< dispatched but not yet completed
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+  std::uint64_t plan_compiles = 0;  ///< compile_plan runs (single-flighted)
+
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    return executed_ok + executed_failed + deadline_misses + cancelled;
+  }
+  [[nodiscard]] std::uint64_t rejected() const noexcept {
+    return rejected_queue_full + rejected_backpressure + rejected_shutdown +
+           rejected_invalid;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Service sizing and policy.  Everything is fixed at construction; the
+/// irserve frontend maps its flags straight onto these fields.
+struct ServiceConfig {
+  /// Hard queue capacity: admission rejects kRejectedQueueFull beyond it.
+  std::size_t queue_capacity = 1024;
+
+  /// Backpressure hysteresis: once depth reaches `high_watermark` the server
+  /// rejects kRejectedBackpressure until depth falls to `low_watermark`.
+  /// 0 disables the soft gate (only the hard capacity rejects).
+  std::size_t high_watermark = 0;
+  std::size_t low_watermark = 0;
+
+  /// Dispatcher threads: each repeatedly claims one plan-keyed group from
+  /// the queue and runs it as a single execute_many.
+  std::size_t dispatchers = 2;
+
+  /// Max requests coalesced into one batch.
+  std::size_t max_batch = 64;
+
+  /// Per-dispatcher ThreadPool size for the inner execute_many / compile;
+  /// 0 = no pool (serial inner execute, parallelism across dispatchers only).
+  std::size_t exec_threads = 0;
+
+  /// ExecOptions::workers for SPMD plans (0 = 1).
+  std::size_t spmd_workers = 0;
+
+  /// Plan-cache capacity of the server's Solver; 0 = the IR_PLAN_CACHE_CAP
+  /// environment override (default 64) — see core/solver.hpp.
+  std::size_t plan_cache_capacity = 0;
+};
+
+namespace detail {
+
+/// Queue entry seen by the type-erased core: everything admission, the
+/// coalescer, and the deadline/cancel triage need, plus a virtual completion
+/// hook the typed layer implements by fulfilling its promise.
+class PendingBase {
+ public:
+  virtual ~PendingBase() = default;
+
+  /// Complete the request *without* executing it (reject, deadline, cancel,
+  /// batch-level failure).  Called at most once, never concurrently.
+  virtual void finish(Status status, const std::string& error,
+                      const ResponseInfo& info) = 0;
+
+  std::uint64_t coalesce_key = 0;  ///< plan_cache_key of (system, options)
+  Clock::time_point enqueued_at{};
+  Clock::time_point deadline = Clock::time_point::max();
+  std::shared_ptr<std::atomic<bool>> cancel;  ///< null = not cancellable
+};
+
+}  // namespace detail
+
+}  // namespace ir::service

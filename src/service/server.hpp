@@ -1,0 +1,227 @@
+// The embeddable batch-solve server (docs/service.md).
+//
+//   ir::service::Server server(algebra::ModMulMonoid(p), config);
+//   auto future = server.submit_async({sys, initial});
+//   auto response = future.get();            // or server.submit(...) to block
+//   if (response.ok()) use(response.values);
+//   server.drain();                          // stop admitting, finish the rest
+//
+// Requests are keyed by plan_cache_key(system, options); queued requests
+// sharing a key are coalesced into ONE compile (served by the server's
+// content-addressed PlanCache) and ONE execute_many — the compile-once /
+// replay-many economics of the plan API (docs/solver_api.md) turned into
+// per-request throughput.  Admission control (hard capacity + watermark
+// hysteresis), per-request deadlines, and cooperative cancellation live in
+// the type-erased ServerCore; this template adds the operation: compiling
+// through a Solver, batching the initial arrays, and fulfilling each
+// request's promise.  Batching never reorders operands — each initial array
+// replays the schedule independently inside execute_many, which the
+// ConcatMonoid differential leg (src/testing/) pins.
+#pragma once
+
+#include <exception>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/concepts.hpp"
+#include "core/plan.hpp"
+#include "core/solver.hpp"
+#include "service/request.hpp"
+#include "service/server_core.hpp"
+
+namespace ir::service {
+
+template <algebra::BinaryOperation Op>
+class Server {
+ public:
+  using Value = typename Op::Value;
+  using Response = BasicResponse<Value>;
+
+  /// One solve request.  `deadline` is relative to submit time (zero = no
+  /// deadline); `cancel` is an optional cooperative token — set it to true
+  /// any time before dispatch and the request completes kCancelled without
+  /// touching the operation.  `plan.pool` is ignored: execution placement
+  /// belongs to the server (ServiceConfig::exec_threads).
+  struct Request {
+    core::GeneralIrSystem sys;
+    std::vector<Value> initial;
+    core::PlanOptions plan;
+    Clock::duration deadline{0};
+    std::shared_ptr<std::atomic<bool>> cancel;
+  };
+
+  explicit Server(Op op, const ServiceConfig& config = {})
+      : op_(std::move(op)),
+        config_(config),
+        solver_(core::SolverConfig{config.plan_cache_capacity != 0
+                                       ? config.plan_cache_capacity
+                                       : core::plan_cache_capacity_from_env()}),
+        core_(config, [this](std::vector<std::shared_ptr<detail::PendingBase>> batch,
+                             parallel::ThreadPool* pool) {
+          execute_batch(std::move(batch), pool);
+        }) {}
+
+  ~Server() { core_.shutdown(); }
+
+  /// Submit without blocking.  The returned future always becomes ready:
+  /// immediately (with a reject status) when admission refuses the request,
+  /// otherwise when the request reaches a terminal state.  Never throws on
+  /// overload — admission outcomes are data, not exceptions.
+  [[nodiscard]] std::future<Response> submit_async(Request request) {
+    auto pending = std::make_shared<Pending>();
+    std::future<Response> future = pending->promise.get_future();
+
+    if (request.initial.size() != request.sys.cells) {
+      finish_now(*pending, Status::kRejectedInvalid,
+                 "initial array has " + std::to_string(request.initial.size()) +
+                     " entries, system has " + std::to_string(request.sys.cells) +
+                     " cells");
+      return future;
+    }
+    request.plan.pool = nullptr;  // placement is the server's, not the caller's
+    pending->coalesce_key = core::plan_cache_key(request.sys, request.plan);
+    if (request.deadline.count() > 0) {
+      pending->deadline = Clock::now() + request.deadline;
+    }
+    pending->cancel = std::move(request.cancel);
+    pending->sys = std::move(request.sys);
+    pending->options = request.plan;
+    pending->initial = std::move(request.initial);
+
+    switch (core_.try_submit(pending)) {
+      case detail::Admission::kAccepted:
+        break;
+      case detail::Admission::kQueueFull:
+        finish_now(*pending, Status::kRejectedQueueFull, "queue at capacity");
+        break;
+      case detail::Admission::kBackpressure:
+        finish_now(*pending, Status::kRejectedBackpressure,
+                   "queue above the high watermark");
+        break;
+      case detail::Admission::kShuttingDown:
+        finish_now(*pending, Status::kRejectedShutdown, "server is draining");
+        break;
+    }
+    return future;
+  }
+
+  /// Blocking submit: submit_async + get.
+  [[nodiscard]] Response submit(Request request) {
+    return submit_async(std::move(request)).get();
+  }
+
+  /// Stop admitting and wait for every accepted request to complete.
+  void drain() { core_.drain(); }
+
+  /// drain() + join the dispatchers.  The destructor calls this too.
+  void shutdown() { core_.shutdown(); }
+
+  [[nodiscard]] ServiceStats stats() const {
+    ServiceStats out = core_.stats();
+    out.plan_cache_hits = solver_.plan_cache().hits();
+    out.plan_cache_misses = solver_.plan_cache().misses();
+    out.plan_compiles = solver_.plan_compiles();
+    return out;
+  }
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Pending : detail::PendingBase {
+    core::GeneralIrSystem sys;
+    core::PlanOptions options;
+    std::vector<Value> initial;
+    std::promise<Response> promise;
+
+    void finish(Status status, const std::string& error,
+                const ResponseInfo& info) override {
+      Response response;
+      response.status = status;
+      response.error = error;
+      response.info = info;
+      promise.set_value(std::move(response));
+    }
+  };
+
+  static void finish_now(Pending& pending, Status status, const std::string& error) {
+    pending.finish(status, error, ResponseInfo{});
+  }
+
+  /// The BatchFn: one compile (plan-cache served), one execute_many, one
+  /// promise fulfillment per request.  Never throws — a compile/execute
+  /// escape fails the whole batch request-by-request instead.
+  void execute_batch(std::vector<std::shared_ptr<detail::PendingBase>> batch,
+                     parallel::ThreadPool* pool) {
+    const Clock::time_point dispatched = Clock::now();
+    auto fail_all = [&](const std::string& error) {
+      core_.note_failed(batch.size());
+      for (auto& base : batch) {
+        auto& pending = static_cast<Pending&>(*base);
+        ResponseInfo info;
+        info.wait = dispatched - pending.enqueued_at;
+        pending.finish(Status::kFailed, error, info);
+      }
+    };
+
+    std::shared_ptr<const core::Plan> plan;
+    try {
+      // All batch members share a coalesce key, and the key is a pure
+      // function of (content fingerprint, options), so the first member's
+      // system stands in for the whole group.
+      auto& first = static_cast<Pending&>(*batch.front());
+      plan = solver_.compile(first.sys, first.options);
+    } catch (const std::exception& e) {
+      fail_all(std::string("compile failed: ") + e.what());
+      return;
+    } catch (...) {
+      fail_all("compile failed: unknown exception");
+      return;
+    }
+
+    std::vector<std::vector<Value>> initials;
+    initials.reserve(batch.size());
+    for (auto& base : batch) {
+      initials.push_back(std::move(static_cast<Pending&>(*base).initial));
+    }
+
+    std::vector<std::vector<Value>> outputs;
+    try {
+      core::ExecOptions exec;
+      exec.pool = pool;
+      exec.workers = config_.spmd_workers;
+      outputs = core::execute_many(*plan, op_, std::move(initials), exec);
+    } catch (const std::exception& e) {
+      fail_all(std::string("execute failed: ") + e.what());
+      return;
+    } catch (...) {
+      fail_all("execute failed: unknown exception");
+      return;
+    }
+
+    const Clock::duration execute_time = Clock::now() - dispatched;
+    core_.note_ok(batch.size());
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      auto& pending = static_cast<Pending&>(*batch[k]);
+      Response response;
+      response.status = Status::kOk;
+      response.values = std::move(outputs[k]);
+      response.info.batch_size = batch.size();
+      response.info.coalesced = batch.size() > 1;
+      response.info.plan_fingerprint = plan->fingerprint;
+      response.info.engine = core::to_string(plan->engine);
+      response.info.wait = dispatched - pending.enqueued_at;
+      response.info.execute = execute_time;
+      pending.promise.set_value(std::move(response));
+    }
+  }
+
+  Op op_;
+  ServiceConfig config_;
+  core::Solver solver_;
+  detail::ServerCore core_;
+};
+
+}  // namespace ir::service

@@ -1,0 +1,251 @@
+#include "service/server_core.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/telemetry.hpp"
+#include "support/contract.hpp"
+
+namespace ir::service {
+
+std::string to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kRejectedQueueFull: return "queue-full";
+    case Status::kRejectedBackpressure: return "backpressure";
+    case Status::kRejectedShutdown: return "shutdown";
+    case Status::kRejectedInvalid: return "invalid";
+    case Status::kDeadlineExpired: return "deadline-expired";
+    case Status::kCancelled: return "cancelled";
+    case Status::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+std::string ServiceStats::to_string() const {
+  std::string out;
+  auto field = [&out](const char* name, std::uint64_t value) {
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+  };
+  field("accepted", accepted);
+  field("rejected_queue_full", rejected_queue_full);
+  field("rejected_backpressure", rejected_backpressure);
+  field("rejected_shutdown", rejected_shutdown);
+  field("rejected_invalid", rejected_invalid);
+  field("executed_ok", executed_ok);
+  field("executed_failed", executed_failed);
+  field("deadline_misses", deadline_misses);
+  field("cancelled", cancelled);
+  field("batches", batches);
+  field("coalesced_requests", coalesced_requests);
+  field("peak_batch", peak_batch);
+  field("peak_queue_depth", peak_queue_depth);
+  field("queue_depth", queue_depth);
+  field("in_flight", in_flight);
+  field("plan_cache_hits", plan_cache_hits);
+  field("plan_cache_misses", plan_cache_misses);
+  field("plan_compiles", plan_compiles);
+  return out;
+}
+
+namespace detail {
+
+namespace {
+
+std::uint64_t micros(Clock::duration d) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  return us < 0 ? 0 : static_cast<std::uint64_t>(us);
+}
+
+void bump_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ServerCore::ServerCore(const ServiceConfig& config, BatchFn execute_batch)
+    : config_(config), execute_batch_(std::move(execute_batch)) {
+  IR_REQUIRE(config_.queue_capacity >= 1, "service queue needs capacity >= 1");
+  IR_REQUIRE(config_.dispatchers >= 1, "service needs at least one dispatcher");
+  IR_REQUIRE(config_.max_batch >= 1, "service max_batch must be >= 1");
+  IR_REQUIRE(config_.high_watermark <= config_.queue_capacity,
+             "high watermark cannot exceed the queue capacity");
+  IR_REQUIRE(config_.low_watermark <= config_.high_watermark,
+             "low watermark cannot exceed the high watermark");
+  IR_REQUIRE(execute_batch_ != nullptr, "service needs a batch executor");
+  if (config_.exec_threads > 0) {
+    pools_.reserve(config_.dispatchers);
+    for (std::size_t i = 0; i < config_.dispatchers; ++i) {
+      pools_.push_back(std::make_unique<parallel::ThreadPool>(config_.exec_threads));
+    }
+  }
+  dispatchers_.reserve(config_.dispatchers);
+  for (std::size_t i = 0; i < config_.dispatchers; ++i) {
+    dispatchers_.emplace_back([this, i] { dispatch_loop(i); });
+  }
+}
+
+ServerCore::~ServerCore() { shutdown(); }
+
+Admission ServerCore::try_submit(std::shared_ptr<PendingBase> pending) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!accepting_) {
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      IR_COUNTER_ADD("service.rejected", 1);
+      return Admission::kShuttingDown;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      IR_COUNTER_ADD("service.rejected", 1);
+      return Admission::kQueueFull;
+    }
+    if (config_.high_watermark > 0) {
+      // Hysteresis: trip at high, re-admit only once drained to low — a
+      // queue oscillating around one threshold would otherwise flap between
+      // accept and reject on every dispatch.
+      if (overloaded_ && queue_.size() <= config_.low_watermark) overloaded_ = false;
+      if (!overloaded_ && queue_.size() >= config_.high_watermark) overloaded_ = true;
+      if (overloaded_) {
+        rejected_backpressure_.fetch_add(1, std::memory_order_relaxed);
+        IR_COUNTER_ADD("service.rejected", 1);
+        return Admission::kBackpressure;
+      }
+    }
+    pending->enqueued_at = Clock::now();
+    queue_.push_back(std::move(pending));
+    peak_queue_depth_ = std::max<std::uint64_t>(peak_queue_depth_, queue_.size());
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    IR_COUNTER_ADD("service.accepted", 1);
+    IR_GAUGE_MAX("service.queue_depth", queue_.size());
+  }
+  work_available_.notify_one();
+  return Admission::kAccepted;
+}
+
+void ServerCore::drain() {
+  std::unique_lock lock(mutex_);
+  accepting_ = false;
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ServerCore::shutdown() {
+  std::lock_guard lifecycle(lifecycle_mutex_);
+  if (joined_) return;
+  drain();
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& thread : dispatchers_) thread.join();
+  joined_ = true;
+}
+
+ServiceStats ServerCore::stats() const {
+  ServiceStats out;
+  out.accepted = accepted_.load(std::memory_order_relaxed);
+  out.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  out.rejected_backpressure = rejected_backpressure_.load(std::memory_order_relaxed);
+  out.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  out.executed_ok = executed_ok_.load(std::memory_order_relaxed);
+  out.executed_failed = executed_failed_.load(std::memory_order_relaxed);
+  out.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  out.cancelled = cancelled_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.coalesced_requests = coalesced_requests_.load(std::memory_order_relaxed);
+  out.peak_batch = peak_batch_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mutex_);
+    out.peak_queue_depth = peak_queue_depth_;
+    out.queue_depth = queue_.size();
+    out.in_flight = in_flight_;
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<PendingBase>> ServerCore::claim_group_locked() {
+  std::vector<std::shared_ptr<PendingBase>> group;
+  group.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  const std::uint64_t key = group.front()->coalesce_key;
+  for (auto it = queue_.begin();
+       it != queue_.end() && group.size() < config_.max_batch;) {
+    if ((*it)->coalesce_key == key) {
+      group.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return group;
+}
+
+void ServerCore::run_batch(std::vector<std::shared_ptr<PendingBase>> batch,
+                           parallel::ThreadPool* pool) {
+  const Clock::time_point now = Clock::now();
+  std::vector<std::shared_ptr<PendingBase>> live;
+  live.reserve(batch.size());
+  for (auto& pending : batch) {
+    ResponseInfo info;
+    info.wait = now - pending->enqueued_at;
+    if (pending->cancel && pending->cancel->load(std::memory_order_acquire)) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      IR_COUNTER_ADD("service.cancelled", 1);
+      pending->finish(Status::kCancelled, "cancel token fired before execute", info);
+    } else if (pending->deadline <= now) {
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      IR_COUNTER_ADD("service.deadline_misses", 1);
+      pending->finish(Status::kDeadlineExpired, "deadline expired before execute",
+                      info);
+    } else {
+      IR_HISTOGRAM("service.wait_us", micros(info.wait));
+      live.push_back(std::move(pending));
+    }
+  }
+  if (live.empty()) return;
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  if (live.size() > 1) {
+    coalesced_requests_.fetch_add(live.size(), std::memory_order_relaxed);
+  }
+  bump_max(peak_batch_, live.size());
+  IR_COUNTER_ADD("service.batches", 1);
+  IR_HISTOGRAM("service.batch_size", live.size());
+  IR_SPAN("service.batch");
+  const Clock::time_point begin = Clock::now();
+  execute_batch_(std::move(live), pool);
+  IR_HISTOGRAM("service.execute_us", micros(Clock::now() - begin));
+}
+
+void ServerCore::dispatch_loop(std::size_t index) {
+  IR_SET_THREAD_NAME("service-dispatch-" + std::to_string(index));
+  parallel::ThreadPool* pool = pools_.empty() ? nullptr : pools_[index].get();
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    auto group = claim_group_locked();
+    in_flight_ += group.size();
+    lock.unlock();
+    const std::size_t count = group.size();
+    run_batch(std::move(group), pool);
+    lock.lock();
+    in_flight_ -= count;
+    if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+  }
+}
+
+}  // namespace detail
+
+}  // namespace ir::service

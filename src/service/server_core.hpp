@@ -1,0 +1,126 @@
+// Type-erased machinery of the batch-solve service: the bounded MPMC request
+// queue with admission control, the plan-keyed coalescer, the dispatcher
+// threads, and drain/shutdown.  Everything operation-specific (compiling the
+// plan, running execute_many, fulfilling the typed promise) lives behind the
+// BatchFn callback the templated Server facade (server.hpp) installs, so
+// this translation unit compiles once and every Server<Op> instantiation
+// stays thin.
+//
+// Queue discipline: FIFO across groups, coalesced within a group.  A
+// dispatcher claims the front request, then sweeps the queue for every
+// request sharing its coalesce_key (up to max_batch) — the front request's
+// latency is never sacrificed to batching, and requests that share a plan
+// ride along for free.  Expired deadlines and fired cancel tokens are
+// triaged out *after* the sweep and before execute, so a doomed request
+// costs one queue traversal, never an op application.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "service/request.hpp"
+
+namespace ir::service::detail {
+
+/// Admission verdict of try_submit.  kAccepted means the core now owns the
+/// pending and will finish() it exactly once; any reject leaves completion
+/// to the caller (which still holds the promise).
+enum class Admission { kAccepted, kQueueFull, kBackpressure, kShuttingDown };
+
+class ServerCore {
+ public:
+  /// Executes one coalesced batch of live (non-expired, non-cancelled)
+  /// requests.  Must finish() every entry and must not throw.  `pool` is the
+  /// claiming dispatcher's private ThreadPool (null when exec_threads == 0).
+  using BatchFn =
+      std::function<void(std::vector<std::shared_ptr<PendingBase>> batch,
+                         parallel::ThreadPool* pool)>;
+
+  ServerCore(const ServiceConfig& config, BatchFn execute_batch);
+
+  /// shutdown()s if the owner didn't.
+  ~ServerCore();
+
+  ServerCore(const ServerCore&) = delete;
+  ServerCore& operator=(const ServerCore&) = delete;
+
+  /// Admission control: hard capacity, then watermark hysteresis, then
+  /// enqueue.  Never blocks and never completes `pending` itself on reject.
+  [[nodiscard]] Admission try_submit(std::shared_ptr<PendingBase> pending);
+
+  /// Stop admitting (new submits get kShuttingDown) and block until every
+  /// accepted request completed.  Idempotent; dispatchers keep running.
+  void drain();
+
+  /// drain(), then stop and join the dispatcher threads.  Idempotent.
+  void shutdown();
+
+  /// Counter snapshot (plan-cache fields left zero; the typed layer merges
+  /// its Solver's numbers on top).
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Completion bookkeeping for the typed batch executor.
+  void note_ok(std::uint64_t n) { executed_ok_.fetch_add(n, std::memory_order_relaxed); }
+  void note_failed(std::uint64_t n) {
+    executed_failed_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+ private:
+  void dispatch_loop(std::size_t index);
+
+  /// Pop the front request plus every same-key request behind it (bounded by
+  /// max_batch).  Requires the lock; requires a non-empty queue.
+  std::vector<std::shared_ptr<PendingBase>> claim_group_locked();
+
+  /// Deadline/cancel triage + BatchFn + per-batch metrics.  Runs unlocked.
+  void run_batch(std::vector<std::shared_ptr<PendingBase>> batch,
+                 parallel::ThreadPool* pool);
+
+  ServiceConfig config_;
+  BatchFn execute_batch_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;  ///< queue empty and nothing in flight
+  std::deque<std::shared_ptr<PendingBase>> queue_;
+  bool accepting_ = true;
+  bool overloaded_ = false;  ///< watermark hysteresis state
+  bool stopping_ = false;
+  std::size_t in_flight_ = 0;
+  std::uint64_t peak_queue_depth_ = 0;
+
+  std::mutex lifecycle_mutex_;  ///< serializes shutdown() callers
+  bool joined_ = false;
+
+  // Monotone counters; relaxed atomics so run_batch never takes mutex_ for
+  // bookkeeping (stats() reads are point-in-time snapshots anyway).
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_queue_full_{0};
+  std::atomic<std::uint64_t> rejected_backpressure_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> executed_ok_{0};
+  std::atomic<std::uint64_t> executed_failed_{0};
+  std::atomic<std::uint64_t> deadline_misses_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> coalesced_requests_{0};
+  std::atomic<std::uint64_t> peak_batch_{0};
+
+  /// Per-dispatcher pools (empty when exec_threads == 0): reused across
+  /// every batch a dispatcher runs, so pool threads are created once per
+  /// server, not once per batch.  ThreadPool::run_batch is not reentrant,
+  /// which is exactly why the pools are per-dispatcher and never shared.
+  std::vector<std::unique_ptr<parallel::ThreadPool>> pools_;
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace ir::service::detail

@@ -1,6 +1,7 @@
 #include "testing/differential.hpp"
 
 #include <exception>
+#include <future>
 #include <utility>
 
 #include "algebra/monoids.hpp"
@@ -11,6 +12,7 @@
 #include "core/plan.hpp"
 #include "core/serialize.hpp"
 #include "core/solver.hpp"
+#include "service/server.hpp"
 #include "testing/generators.hpp"
 #include "verify/verify.hpp"
 
@@ -219,6 +221,40 @@ DifferentialReport run_differential(const GeneralIrSystem& sys,
     });
   }
 
+  // Batch-solve service: three identical submits must coalesce (same plan
+  // key) and each come back byte-identical to the oracle — the service's
+  // batching/queueing must be invisible in the values.
+  ++report.engines_run;
+  try {
+    service::ServiceConfig config;
+    config.dispatchers = 2;
+    service::Server<algebra::ModMulMonoid> server(op, config);
+    std::vector<std::future<service::Server<algebra::ModMulMonoid>::Response>> futures;
+    for (int k = 0; k < 3; ++k) {
+      service::Server<algebra::ModMulMonoid>::Request request;
+      request.sys = sys;
+      request.initial = init;
+      futures.push_back(server.submit_async(std::move(request)));
+    }
+    server.drain();
+    for (auto& future : futures) {
+      auto response = future.get();
+      if (!response.ok()) {
+        report.mismatches.push_back("service-submit:status:" +
+                                    service::to_string(response.status));
+        break;
+      }
+      if (response.values != oracle) {
+        report.mismatches.push_back("service-submit");
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    report.mismatches.push_back(std::string("service-submit:threw:") + e.what());
+  } catch (...) {
+    report.mismatches.push_back("service-submit:threw:unknown");
+  }
+
   // --- Ordinary route: h = g with injective g. ----------------------------
   if (is_ordinary_shape(sys)) {
     const OrdinaryIrSystem ord = to_ordinary(sys);
@@ -302,6 +338,42 @@ DifferentialReport run_differential(const GeneralIrSystem& sys,
       check_leg(report, "concat-spmd", coracle, [&] {
         return core::ordinary_ir_spmd(cat, ord, cinit, options.spmd_workers);
       });
+
+      // The same witness through the service: coalesced execute_many batches
+      // must not perturb operand order either.  Engine forced to jumping —
+      // ConcatMonoid has no pow, so the GIR route is out of bounds.
+      ++report.engines_run;
+      try {
+        service::ServiceConfig config;
+        config.dispatchers = 2;
+        service::Server<algebra::ConcatMonoid> server(cat, config);
+        std::vector<std::future<service::Server<algebra::ConcatMonoid>::Response>>
+            futures;
+        for (int k = 0; k < 3; ++k) {
+          service::Server<algebra::ConcatMonoid>::Request request;
+          request.sys = sys;
+          request.initial = cinit;
+          request.plan.engine = EngineChoice::kJumping;
+          futures.push_back(server.submit_async(std::move(request)));
+        }
+        server.drain();
+        for (auto& future : futures) {
+          auto response = future.get();
+          if (!response.ok()) {
+            report.mismatches.push_back("service-concat:status:" +
+                                        service::to_string(response.status));
+            break;
+          }
+          if (response.values != coracle) {
+            report.mismatches.push_back("service-concat");
+            break;
+          }
+        }
+      } catch (const std::exception& e) {
+        report.mismatches.push_back(std::string("service-concat:threw:") + e.what());
+      } catch (...) {
+        report.mismatches.push_back("service-concat:threw:unknown");
+      }
     }
   }
 

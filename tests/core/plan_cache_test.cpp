@@ -1,7 +1,13 @@
-// PlanCache unit behavior: LRU order, capacity 0, refresh semantics.
+// PlanCache unit behavior: LRU order, capacity 0, refresh semantics — plus
+// the multi-thread hammer the TSan CI leg runs against the cache's one-mutex
+// claim.
 #include "core/plan_cache.hpp"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
 
 namespace ir::core {
 namespace {
@@ -70,6 +76,57 @@ TEST(PlanCacheTest, ClearResetsEntriesButKeepsCounters) {
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.find(1), nullptr);
   EXPECT_EQ(cache.hits(), 1u);  // counters survive clear()
+}
+
+TEST(PlanCacheTest, ConcurrentFindInsertClearHammer) {
+  // Race find/insert/clear from many threads against a small (eviction-heavy)
+  // cache.  Correctness here is (1) no data race — the TSan leg's job — and
+  // (2) the counter ledger stays consistent: every find is exactly one hit or
+  // one miss, and a returned plan always carries the fingerprint of the key
+  // it was found under.
+  PlanCache cache(8);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOpsPerThread = 4000;
+  constexpr std::uint64_t kKeySpace = 32;  // 4x capacity: constant eviction
+
+  std::atomic<std::uint64_t> observed_hits{0};
+  std::atomic<std::uint64_t> observed_misses{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t state = 0x9e3779b97f4a7c15ull * (t + 1);
+      auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+      };
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t key = next() % kKeySpace;
+        const std::uint64_t action = next() % 16;
+        if (action < 10) {
+          if (const auto plan = cache.find(key)) {
+            observed_hits.fetch_add(1, std::memory_order_relaxed);
+            EXPECT_EQ(plan->fingerprint, key);  // never someone else's plan
+          } else {
+            observed_misses.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (action < 15) {
+          cache.insert(key, dummy_plan(key));
+        } else {
+          cache.clear();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Ledger: the cache saw exactly the finds the threads issued, each counted
+  // once, and its population never exceeds capacity.
+  EXPECT_EQ(cache.hits(), observed_hits.load());
+  EXPECT_EQ(cache.misses(), observed_misses.load());
+  EXPECT_EQ(cache.hits() + cache.misses(), observed_hits + observed_misses);
+  EXPECT_LE(cache.size(), cache.capacity());
 }
 
 }  // namespace

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
 #include "algebra/monoids.hpp"
 #include "core/general_ir.hpp"
 #include "core/ordinary_ir.hpp"
@@ -158,6 +162,72 @@ TEST(SolverTest, GeneralSystemsThroughTheFacade) {
 
 TEST(SolverTest, SharedSolverIsAProcessSingleton) {
   EXPECT_EQ(&shared_solver(), &shared_solver());
+}
+
+TEST(SolverTest, PlanCacheCapacityFromEnv) {
+  // RAII guard: whatever these cases do, the variable leaves the process
+  // environment exactly as it entered.
+  const char* saved = std::getenv("IR_PLAN_CACHE_CAP");
+  const std::string restore = saved != nullptr ? saved : "";
+  const bool had = saved != nullptr;
+
+  unsetenv("IR_PLAN_CACHE_CAP");
+  EXPECT_EQ(plan_cache_capacity_from_env(), 64u);  // unset: default fallback
+  EXPECT_EQ(plan_cache_capacity_from_env(7), 7u);  // caller-chosen fallback
+
+  setenv("IR_PLAN_CACHE_CAP", "128", 1);
+  EXPECT_EQ(plan_cache_capacity_from_env(), 128u);
+
+  setenv("IR_PLAN_CACHE_CAP", "0", 1);  // "0" is valid: disables caching
+  EXPECT_EQ(plan_cache_capacity_from_env(), 0u);
+
+  // Invalid values keep the fallback rather than silently disabling the cache.
+  for (const char* bad : {"", "  ", "12x", "x12", "-3", "1.5",
+                          "99999999999999999999999999"}) {
+    setenv("IR_PLAN_CACHE_CAP", bad, 1);
+    EXPECT_EQ(plan_cache_capacity_from_env(), 64u) << "value '" << bad << "'";
+  }
+
+  // The override actually reaches a Solver built the way shared_solver()
+  // builds one: capacity 1 means the second distinct system evicts the first.
+  setenv("IR_PLAN_CACHE_CAP", "1", 1);
+  Solver solver(SolverConfig{plan_cache_capacity_from_env()});
+  support::SplitMix64 rng(91);
+  const auto a = testing::random_ordinary_system(40, 60, rng, 0.8);
+  const auto b = testing::random_ordinary_system(50, 70, rng, 0.8);
+  (void)solver.compile(a);
+  (void)solver.compile(b);
+  EXPECT_EQ(solver.plan_cache().evictions(), 1u);
+  EXPECT_EQ(solver.plan_cache().size(), 1u);
+
+  if (had) {
+    setenv("IR_PLAN_CACHE_CAP", restore.c_str(), 1);
+  } else {
+    unsetenv("IR_PLAN_CACHE_CAP");
+  }
+}
+
+TEST(SolverTest, ConcurrentCompilesOfOneKeyAreSingleFlighted) {
+  support::SplitMix64 rng(92);
+  const auto sys = testing::random_ordinary_system(400, 500, rng, 0.8);
+  Solver solver;
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::shared_ptr<const Plan>> plans(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] { plans[t] = solver.compile(sys); });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  // Every caller got the same plan object and only one build actually ran —
+  // racers parked on the leader's future instead of compiling duplicates.
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(plans[t].get(), plans[0].get()) << t;
+  }
+  EXPECT_EQ(solver.plan_compiles(), 1u);
+  EXPECT_EQ(solver.plan_cache().size(), 1u);
 }
 
 TEST(SolveRouterReportTest, ReportOutFilledOnEveryRoute) {

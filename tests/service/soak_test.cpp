@@ -1,0 +1,236 @@
+// Multi-threaded service soak: many submitters, mixed plan keys, deadlines,
+// cancel tokens, and a queue small enough that admission control actually
+// fires — all at once, the way irserve sees traffic.  The assertions are
+// invariants, not schedules: every future completes, every kOk response
+// matches its system's sequential oracle, the stats ledger balances
+// (accepted == completed, rejected counted per reason), and single-flight
+// keeps plan_compiles bounded by the number of distinct keys.  Run under
+// TSan in CI (the service-soak leg).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "algebra/monoids.hpp"
+#include "core/general_ir.hpp"
+#include "service/server.hpp"
+#include "support/rng.hpp"
+#include "testing/random_systems.hpp"
+
+namespace ir::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// ModMul whose combine burns a little time — the slow-operation injection
+/// that makes queue pressure, coalescing, and deadline misses real without
+/// nondeterministic sleeps in the control path.
+struct SlowModMul {
+  using Value = std::uint64_t;
+  static constexpr bool is_commutative = true;
+  std::uint64_t modulus = 1'000'000'007ull;
+  std::uint32_t spin = 0;  ///< extra iterations of busy work per combine
+
+  Value combine(const Value& a, const Value& b) const {
+    std::uint64_t noise = a ^ b;
+    for (std::uint32_t i = 0; i < spin; ++i) {
+      noise = noise * 6364136223846793005ull + 1442695040888963407ull;
+    }
+    volatile std::uint64_t sink = noise;  // keep the spin loop alive
+    (void)sink;
+    return static_cast<std::uint64_t>(static_cast<unsigned __int128>(a) * b % modulus);
+  }
+  Value pow(const Value& base, std::uint64_t exponent) const {
+    Value result = 1 % modulus;
+    Value factor = base % modulus;
+    std::uint64_t e = exponent;
+    while (e != 0) {
+      if (e & 1) result = combine(result, factor);
+      factor = combine(factor, factor);
+      e >>= 1;
+    }
+    return result;
+  }
+};
+
+struct Workload {
+  core::GeneralIrSystem sys;
+  std::vector<std::uint64_t> init;
+  std::vector<std::uint64_t> oracle;
+};
+
+std::vector<Workload> make_workloads(const SlowModMul& op, std::size_t count,
+                                     std::uint64_t seed) {
+  std::vector<Workload> out;
+  out.reserve(count);
+  support::SplitMix64 rng(seed);
+  for (std::size_t w = 0; w < count; ++w) {
+    Workload item;
+    const auto ord = testing::random_ordinary_system(40 + 20 * w, 80 + 30 * w, rng, 0.8);
+    item.sys.cells = ord.cells;
+    item.sys.f = ord.f;
+    item.sys.g = ord.g;
+    item.sys.h = ord.g;
+    item.init.resize(item.sys.cells);
+    for (std::size_t c = 0; c < item.sys.cells; ++c) item.init[c] = 1 + c % 89;
+    item.oracle = core::general_ir_sequential(op, item.sys, item.init);
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+TEST(ServiceSoakTest, MixedKeysDeadlinesCancelsAndBackpressure) {
+  SlowModMul op;
+  op.spin = 32;
+  const auto workloads = make_workloads(op, 5, 1234);
+
+  ServiceConfig config;
+  config.dispatchers = 3;
+  config.exec_threads = 2;
+  config.queue_capacity = 24;  // small enough that queue-full can fire
+  config.high_watermark = 20;
+  config.low_watermark = 8;
+  config.max_batch = 8;
+  Server<SlowModMul> server(op, config);
+
+  constexpr std::size_t kSubmitters = 6;
+  constexpr std::size_t kPerThread = 48;
+  struct Submitted {
+    std::future<Server<SlowModMul>::Response> future;
+    std::size_t workload = 0;
+    bool may_cancel = false;
+  };
+  std::vector<Submitted> submitted(kSubmitters * kPerThread);
+  std::vector<std::shared_ptr<std::atomic<bool>>> tokens;
+  std::mutex tokens_mutex;
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&, t] {
+      support::SplitMix64 rng(9000 + t);
+      for (std::size_t k = 0; k < kPerThread; ++k) {
+        const std::size_t slot = t * kPerThread + k;
+        const std::size_t w = rng.next() % workloads.size();
+        Server<SlowModMul>::Request request;
+        request.sys = workloads[w].sys;
+        request.initial = workloads[w].init;
+        const std::uint64_t roll = rng.next() % 10;
+        if (roll == 0) {
+          request.deadline = 1ns;  // all but guaranteed to expire in queue
+        } else if (roll == 1) {
+          request.deadline = 5s;  // generous: must NOT expire
+        } else if (roll == 2) {
+          auto token = std::make_shared<std::atomic<bool>>(false);
+          request.cancel = token;
+          submitted[slot].may_cancel = true;
+          std::lock_guard lock(tokens_mutex);
+          tokens.push_back(token);
+        }
+        submitted[slot].workload = w;
+        submitted[slot].future = server.submit_async(std::move(request));
+      }
+    });
+  }
+  // Fire half the cancel tokens while traffic is in flight.
+  std::thread canceller([&] {
+    for (int round = 0; round < 20; ++round) {
+      std::this_thread::sleep_for(1ms);
+      std::lock_guard lock(tokens_mutex);
+      for (std::size_t i = 0; i < tokens.size(); i += 2) {
+        tokens[i]->store(true, std::memory_order_release);
+      }
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  canceller.join();
+  server.drain();
+
+  std::uint64_t ok = 0, rejected = 0, expired = 0, cancelled = 0;
+  for (auto& entry : submitted) {
+    ASSERT_EQ(entry.future.wait_for(0s), std::future_status::ready);
+    const auto response = entry.future.get();
+    switch (response.status) {
+      case Status::kOk:
+        ++ok;
+        EXPECT_EQ(response.values, workloads[entry.workload].oracle);
+        break;
+      case Status::kDeadlineExpired:
+        ++expired;
+        EXPECT_TRUE(response.values.empty());
+        break;
+      case Status::kCancelled:
+        ++cancelled;
+        EXPECT_TRUE(entry.may_cancel);
+        break;
+      default:
+        ASSERT_TRUE(is_rejected(response.status)) << to_string(response.status);
+        ++rejected;
+        break;
+    }
+  }
+  EXPECT_EQ(ok + rejected + expired + cancelled, kSubmitters * kPerThread);
+
+  const ServiceStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, stats.completed());  // no accepted request lost
+  EXPECT_EQ(stats.executed_ok, ok);
+  EXPECT_EQ(stats.deadline_misses, expired);
+  EXPECT_EQ(stats.cancelled, cancelled);
+  EXPECT_EQ(stats.rejected(), rejected);
+  EXPECT_EQ(stats.executed_failed, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  // Single-flight: at most one compile per distinct plan key ever ran.
+  EXPECT_LE(stats.plan_compiles, workloads.size());
+  EXPECT_GE(stats.plan_compiles, 1u);
+}
+
+TEST(ServiceSoakTest, SustainedSameKeyTrafficCoalescesAndBalances) {
+  SlowModMul op;
+  op.spin = 16;
+  const auto workloads = make_workloads(op, 1, 77);
+  const auto& work = workloads.front();
+
+  ServiceConfig config;
+  config.dispatchers = 2;
+  config.exec_threads = 2;
+  config.max_batch = 16;
+  Server<SlowModMul> server(op, config);
+
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kPerThread = 64;
+  std::vector<std::future<Server<SlowModMul>::Response>> futures(kSubmitters *
+                                                                 kPerThread);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t k = 0; k < kPerThread; ++k) {
+        Server<SlowModMul>::Request request;
+        request.sys = work.sys;
+        request.initial = work.init;
+        futures[t * kPerThread + k] = server.submit_async(std::move(request));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  server.drain();
+
+  for (auto& future : futures) {
+    const auto response = future.get();
+    ASSERT_EQ(response.status, Status::kOk) << response.error;
+    EXPECT_EQ(response.values, work.oracle);
+  }
+  const ServiceStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, kSubmitters * kPerThread);
+  EXPECT_EQ(stats.executed_ok, kSubmitters * kPerThread);
+  EXPECT_EQ(stats.plan_compiles, 1u);
+  // One key + queue pressure => far fewer batches than requests.
+  EXPECT_LT(stats.batches, stats.accepted);
+  EXPECT_GT(stats.coalesced_requests, 0u);
+}
+
+}  // namespace
+}  // namespace ir::service

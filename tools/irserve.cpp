@@ -1,0 +1,481 @@
+// irserve — the batch-solve service (src/service/) as a standalone server.
+//
+// Speaks a newline-delimited protocol over stdin/stdout (default) or a TCP
+// socket (--socket=PORT).  Requests are pipelined: the client may send many
+// solves without waiting; responses come back in submission order.  See
+// docs/service.md for the full protocol and semantics.
+//
+//   solve [id=N] [deadline_ms=D] [engine=auto|jumping|blocked|spmd|gir]
+//         [values=inline]
+//   <ir-system v1 document>
+//   .
+//   [<ir-values v1 document>      only with values=inline
+//   .]
+//
+//   ping | stats | drain | quit
+//
+// Responses (one per request, in order):
+//
+//   ok id=N engine=E fingerprint=F batch=K coalesced=0|1 wait_us=W exec_us=X
+//      cells=C checksum=S
+//   values C v0 v1 ... v{C-1}     (follows each ok line)
+//   error id=N status=<reason> detail=<text>
+//   pong | stats <fields> | drained | bye
+//
+// The operation is modular multiplication with a server-wide modulus
+// (--mod=P); without values=inline the initial array is 1 + cell mod 97,
+// matching `irtool solve`.  --inject-slow-ns=NS busy-waits NS nanoseconds in
+// every combine — the load-injection knob the CI soak leg uses to create
+// real queue pressure and deadline misses.
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "algebra/monoids.hpp"
+#include "core/serialize.hpp"
+#include "obs/metrics_export.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using namespace ir;
+
+/// ModMul with an optional busy-wait per combine/pow — slow-operation
+/// injection for soak testing.  spin of 0 is the production configuration.
+struct ServeOp {
+  using Value = std::uint64_t;
+  static constexpr bool is_commutative = true;
+
+  algebra::ModMulMonoid inner;
+  std::uint64_t slow_ns = 0;
+
+  void burn() const {
+    if (slow_ns == 0) return;
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(slow_ns);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+  }
+  Value combine(Value a, Value b) const {
+    burn();
+    return inner.combine(a, b);
+  }
+  Value pow(Value a, const support::BigUint& k) const {
+    burn();
+    return inner.pow(a, k);
+  }
+};
+
+using Serve = service::Server<ServeOp>;
+
+struct ServeFlags {
+  std::uint64_t mod = 1'000'000'007ull;
+  std::uint64_t slow_ns = 0;
+  int socket_port = -1;  ///< -1 = stdin/stdout
+  std::string metrics_file;
+  service::ServiceConfig config;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: irserve [--socket=PORT] [--mod=P] [--dispatchers=N]\n"
+               "               [--exec-threads=N] [--queue-cap=N] [--max-batch=N]\n"
+               "               [--high-watermark=N] [--low-watermark=N]\n"
+               "               [--inject-slow-ns=NS] [--metrics=FILE]\n"
+               "\n"
+               "Reads the docs/service.md line protocol from stdin (or the\n"
+               "socket) and writes one response per request in order.\n");
+  return 2;
+}
+
+/// One queued reply: either already-final text, or a future to await.  The
+/// writer thread drains these in FIFO order, so pipelined clients see
+/// responses in submission order even when batches complete out of order.
+struct Reply {
+  std::string ready;  ///< used when !pending.valid()
+  std::future<Serve::Response> pending;
+  std::uint64_t id = 0;
+  bool quit = false;
+
+  static Reply text(std::string line) {
+    Reply reply;
+    reply.ready = std::move(line);
+    return reply;
+  }
+  static Reply stop() {
+    Reply reply;
+    reply.quit = true;
+    return reply;
+  }
+};
+
+class ReplyWriter {
+ public:
+  explicit ReplyWriter(std::FILE* out) : out_(out), thread_([this] { run(); }) {}
+  ~ReplyWriter() {
+    push(Reply::stop());
+    thread_.join();
+  }
+
+  void push(Reply reply) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(reply));
+    }
+    ready_.notify_one();
+  }
+
+ private:
+  void run() {
+    for (;;) {
+      Reply reply;
+      {
+        std::unique_lock lock(mutex_);
+        ready_.wait(lock, [this] { return !queue_.empty(); });
+        reply = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      if (reply.quit) return;
+      if (reply.pending.valid()) {
+        write_response(reply.id, reply.pending.get());
+      } else {
+        std::fprintf(out_, "%s\n", reply.ready.c_str());
+      }
+      std::fflush(out_);
+    }
+  }
+
+  void write_response(std::uint64_t id, const Serve::Response& response) {
+    if (!response.ok()) {
+      std::fprintf(out_, "error id=%llu status=%s detail=%s\n",
+                   static_cast<unsigned long long>(id),
+                   service::to_string(response.status).c_str(),
+                   response.error.c_str());
+      return;
+    }
+    std::uint64_t checksum = 0;
+    for (const auto v : response.values) {
+      checksum ^= v + 0x9e3779b9 + (checksum << 6) + (checksum >> 2);
+    }
+    const auto us = [](service::Clock::duration d) {
+      return static_cast<unsigned long long>(
+          std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+    };
+    std::fprintf(out_,
+                 "ok id=%llu engine=%s fingerprint=%llu batch=%zu coalesced=%d "
+                 "wait_us=%llu exec_us=%llu cells=%zu checksum=%llu\n",
+                 static_cast<unsigned long long>(id), response.info.engine.c_str(),
+                 static_cast<unsigned long long>(response.info.plan_fingerprint),
+                 response.info.batch_size, response.info.coalesced ? 1 : 0,
+                 us(response.info.wait), us(response.info.execute),
+                 response.values.size(),
+                 static_cast<unsigned long long>(checksum));
+    std::fprintf(out_, "values %zu", response.values.size());
+    for (const auto v : response.values) {
+      std::fprintf(out_, " %llu", static_cast<unsigned long long>(v));
+    }
+    std::fputc('\n', out_);
+  }
+
+  std::FILE* out_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Reply> queue_;
+  std::thread thread_;
+};
+
+/// Read lines until a line containing only "." — the document terminator.
+/// Returns false on EOF before the terminator.
+bool read_document(std::FILE* in, std::string& doc) {
+  doc.clear();
+  char* line = nullptr;
+  std::size_t cap = 0;
+  ssize_t len;
+  bool terminated = false;
+  while ((len = getline(&line, &cap, in)) != -1) {
+    std::string_view view(line, static_cast<std::size_t>(len));
+    while (!view.empty() && (view.back() == '\n' || view.back() == '\r')) {
+      view.remove_suffix(1);
+    }
+    if (view == ".") {
+      terminated = true;
+      break;
+    }
+    doc.append(view);
+    doc.push_back('\n');
+  }
+  std::free(line);
+  return terminated;
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    std::size_t start = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::optional<core::EngineChoice> engine_from_name(const std::string& name) {
+  if (name == "auto") return core::EngineChoice::kAuto;
+  if (name == "jumping") return core::EngineChoice::kJumping;
+  if (name == "blocked") return core::EngineChoice::kBlocked;
+  if (name == "spmd") return core::EngineChoice::kSpmd;
+  if (name == "gir") return core::EngineChoice::kGeneralCap;
+  return std::nullopt;
+}
+
+/// Serve one connection (stdin/stdout or an accepted socket) until EOF or
+/// `quit`.  Returns false when the server should stop accepting connections.
+bool serve_session(std::FILE* in, std::FILE* out, Serve& server) {
+  ReplyWriter writer(out);
+  char* line = nullptr;
+  std::size_t cap = 0;
+  ssize_t len;
+  bool keep_listening = true;
+  while ((len = getline(&line, &cap, in)) != -1) {
+    (void)len;
+    const auto tokens = split_tokens(line);
+    if (tokens.empty()) continue;
+    const std::string& command = tokens.front();
+
+    if (command == "ping") {
+      writer.push(Reply::text("pong"));
+    } else if (command == "stats") {
+      writer.push(Reply::text("stats " + server.stats().to_string()));
+    } else if (command == "drain") {
+      // Terminal: stops admission, waits for in-flight work.  Subsequent
+      // solves answer status=shutdown.
+      server.drain();
+      writer.push(Reply::text("drained"));
+    } else if (command == "quit") {
+      writer.push(Reply::text("bye"));
+      keep_listening = false;
+      break;
+    } else if (command == "solve") {
+      std::uint64_t id = 0;
+      Serve::Request request;
+      bool inline_values = false;
+      bool bad = false;
+      std::string bad_detail;
+      for (std::size_t t = 1; t < tokens.size() && !bad; ++t) {
+        const std::string& token = tokens[t];
+        const std::size_t eq = token.find('=');
+        const std::string key = token.substr(0, eq);
+        const std::string value =
+            eq == std::string::npos ? std::string() : token.substr(eq + 1);
+        if (key == "id") {
+          id = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "deadline_ms") {
+          request.deadline =
+              std::chrono::milliseconds(std::strtoull(value.c_str(), nullptr, 10));
+        } else if (key == "engine") {
+          if (const auto choice = engine_from_name(value)) {
+            request.plan.engine = *choice;
+          } else {
+            bad = true;
+            bad_detail = "unknown engine '" + value + "'";
+          }
+        } else if (key == "values") {
+          if (value == "inline") {
+            inline_values = true;
+          } else {
+            bad = true;
+            bad_detail = "unknown values mode '" + value + "'";
+          }
+        } else {
+          bad = true;
+          bad_detail = "unknown attribute '" + key + "'";
+        }
+      }
+
+      std::string doc;
+      if (!read_document(in, doc)) {
+        writer.push(Reply::text("error id=" + std::to_string(id) +
+                                   " status=invalid detail=eof-before-terminator"));
+        break;
+      }
+      std::string values_doc;
+      if (inline_values && !read_document(in, values_doc)) {
+        writer.push(Reply::text("error id=" + std::to_string(id) +
+                                   " status=invalid detail=eof-before-terminator"));
+        break;
+      }
+      if (bad) {
+        writer.push(Reply::text("error id=" + std::to_string(id) +
+                                   " status=invalid detail=" + bad_detail));
+        continue;
+      }
+      try {
+        request.sys = core::system_from_text(doc);
+        if (inline_values) {
+          const auto doubles = core::values_from_text(values_doc);
+          request.initial.reserve(doubles.size());
+          for (const double v : doubles) {
+            request.initial.push_back(static_cast<std::uint64_t>(v));
+          }
+        } else {
+          request.initial.resize(request.sys.cells);
+          for (std::size_t c = 0; c < request.sys.cells; ++c) {
+            request.initial[c] = 1 + c % 97;
+          }
+        }
+      } catch (const std::exception& error) {
+        std::string detail = error.what();
+        for (auto& ch : detail) {
+          if (ch == '\n') ch = ' ';
+        }
+        writer.push(Reply::text("error id=" + std::to_string(id) +
+                                   " status=invalid detail=" + detail));
+        continue;
+      }
+      Reply reply;
+      reply.id = id;
+      reply.pending = server.submit_async(std::move(request));
+      writer.push(std::move(reply));
+    } else {
+      writer.push(Reply::text("error id=0 status=invalid detail=unknown-command-" +
+                                 command));
+    }
+  }
+  std::free(line);
+  return keep_listening;
+}
+
+int serve_socket(int port, Serve& server) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("irserve: socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 8) < 0) {
+    std::perror("irserve: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  // Report the actual port (PORT=0 asks the kernel to pick one — the soak
+  // harness uses this to avoid collisions).
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  std::fprintf(stderr, "irserve: listening on 127.0.0.1:%d\n",
+               ntohs(addr.sin_port));
+
+  // Connections are served one at a time; `quit` on any connection stops
+  // the listener.  Batch concurrency lives in the service, not in the
+  // number of sockets.
+  bool keep_listening = true;
+  while (keep_listening) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      std::perror("irserve: accept");
+      break;
+    }
+    std::FILE* in = ::fdopen(fd, "r");
+    std::FILE* out = ::fdopen(::dup(fd), "w");
+    if (in == nullptr || out == nullptr) {
+      std::perror("irserve: fdopen");
+      if (in != nullptr) std::fclose(in);
+      if (out != nullptr) std::fclose(out);
+      continue;
+    }
+    keep_listening = serve_session(in, out, server);
+    std::fclose(out);
+    std::fclose(in);
+  }
+  ::close(listener);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeFlags flags;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto number = [&arg](std::size_t prefix) {
+      return std::strtoull(arg.c_str() + prefix, nullptr, 10);
+    };
+    if (arg.rfind("--socket=", 0) == 0) {
+      flags.socket_port = static_cast<int>(number(9));
+    } else if (arg.rfind("--mod=", 0) == 0) {
+      flags.mod = number(6);
+    } else if (arg.rfind("--dispatchers=", 0) == 0) {
+      flags.config.dispatchers = number(14);
+    } else if (arg.rfind("--exec-threads=", 0) == 0) {
+      flags.config.exec_threads = number(15);
+    } else if (arg.rfind("--queue-cap=", 0) == 0) {
+      flags.config.queue_capacity = number(12);
+    } else if (arg.rfind("--max-batch=", 0) == 0) {
+      flags.config.max_batch = number(12);
+    } else if (arg.rfind("--high-watermark=", 0) == 0) {
+      flags.config.high_watermark = number(17);
+    } else if (arg.rfind("--low-watermark=", 0) == 0) {
+      flags.config.low_watermark = number(16);
+    } else if (arg.rfind("--inject-slow-ns=", 0) == 0) {
+      flags.slow_ns = number(17);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      flags.metrics_file = arg.substr(10);
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    ServeOp op{algebra::ModMulMonoid(flags.mod), flags.slow_ns};
+    Serve server(op, flags.config);
+    int rc = 0;
+    if (flags.socket_port >= 0) {
+      rc = serve_socket(flags.socket_port, server);
+    } else {
+      serve_session(stdin, stdout, server);
+    }
+    server.shutdown();
+    if (!flags.metrics_file.empty()) {
+      const service::ServiceStats stats = server.stats();
+      obs::ExtraFields extra = {
+          {"command", obs::json_quote("irserve")},
+          {"accepted", std::to_string(stats.accepted)},
+          {"rejected", std::to_string(stats.rejected())},
+          {"executed_ok", std::to_string(stats.executed_ok)},
+          {"deadline_misses", std::to_string(stats.deadline_misses)},
+          {"batches", std::to_string(stats.batches)},
+          {"coalesced_requests", std::to_string(stats.coalesced_requests)},
+          {"peak_batch", std::to_string(stats.peak_batch)},
+          {"plan_compiles", std::to_string(stats.plan_compiles)},
+      };
+      obs::write_metrics_file(flags.metrics_file, extra);
+      std::fprintf(stderr, "metrics written to %s\n", flags.metrics_file.c_str());
+    }
+    return rc;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "irserve: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Soak-smoke the irserve frontend (docs/service.md): pipeline many solve
+# requests at a deliberately tiny queue with a slow injected operation
+# (--inject-slow-ns) and per-request deadline pressure, then check the
+# protocol invariants that must survive overload:
+#
+#   * every solve is answered exactly once (ok or a typed error) in order,
+#   * control commands still answer under load (pong / stats / drained / bye),
+#   * the process exits cleanly after quit.
+#
+# Run against a sanitizer build (CI runs it under TSan) this doubles as a
+# race/leak check on the queue, coalescer, and reply-writer paths.
+#
+# Usage: tools/serve_soak.sh BUILD_DIR
+set -euo pipefail
+
+if [[ $# -ne 1 ]]; then
+  echo "usage: tools/serve_soak.sh BUILD_DIR" >&2
+  exit 2
+fi
+DIR="$1"
+REQUESTS=150
+SYS="${DIR}/serve-soak-system.ir"
+OUT="${DIR}/serve-soak-out.txt"
+
+"${DIR}/examples/irtool" gen chain 128 > "${SYS}"
+
+{
+  echo "ping"
+  for ((i = 1; i <= REQUESTS; ++i)); do
+    # Every 5th request carries a 1 ms deadline — with the injected slow op
+    # and a backed-up queue these expire before dispatch on purpose.
+    if ((i % 5 == 0)); then
+      echo "solve id=${i} deadline_ms=1"
+    else
+      echo "solve id=${i}"
+    fi
+    cat "${SYS}"
+    echo "."
+  done
+  echo "stats"
+  echo "drain"
+  echo "quit"
+} | "${DIR}/tools/irserve" \
+      --inject-slow-ns=40000 --queue-cap=16 --high-watermark=12 \
+      --low-watermark=4 --dispatchers=2 --max-batch=8 \
+      --metrics="${DIR}/serve-soak-metrics.json" > "${OUT}"
+
+answered="$(grep -c -E '^(ok|error) ' "${OUT}" || true)"
+if [[ "${answered}" != "${REQUESTS}" ]]; then
+  echo "serve soak: expected ${REQUESTS} solve responses, got ${answered}" >&2
+  exit 1
+fi
+for marker in '^pong$' '^stats ' '^drained$' '^bye$'; do
+  if ! grep -q "${marker}" "${OUT}"; then
+    echo "serve soak: missing '${marker}' in ${OUT}" >&2
+    exit 1
+  fi
+done
+
+echo "serve soak: ${REQUESTS} requests answered;" \
+     "$(grep -c -E '^ok ' "${OUT}" || true) ok," \
+     "$(grep -c -E '^error ' "${OUT}" || true) rejected/expired"

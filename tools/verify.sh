@@ -5,23 +5,28 @@
 # configuration also runs the bounded differential fuzzer (irfuzz --smoke +
 # --selftest), so the engine sweep and the shrinker are exercised on each pass.
 #
-# Usage: tools/verify.sh [--asan] [--lint] [build-dir-prefix]   (default prefix: build)
+# Usage: tools/verify.sh [--asan] [--lint] [--serve] [build-dir-prefix]   (default prefix: build)
 #   --asan   add a third pass built with -DIR_SANITIZE=address;undefined
 #   --lint   statically certify every corpus witness and generated schedule
 #            with `irtool lint` (exit 0 = certified, 1 = violation, 2 = usage),
 #            plus a full test pass built with -DIR_VERIFY_PLANS=ON so every
 #            plan the suite compiles goes through the verifier on cache insert
+#   --serve  soak-smoke the irserve batch-solve frontend under injected-slow
+#            load and deadline pressure (tools/serve_soak.sh) in every
+#            configuration this invocation builds
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 ASAN=0
 LINT=0
+SERVE=0
 PREFIX="build"
 for arg in "$@"; do
   case "${arg}" in
     --asan) ASAN=1 ;;
     --lint) LINT=1 ;;
+    --serve) SERVE=1 ;;
     *) PREFIX="${arg}" ;;
   esac
 done
@@ -32,6 +37,9 @@ run_suite() {
   "${dir}/tools/irfuzz" --smoke --corpus="${dir}/fuzz-corpus"
   "${dir}/tools/irfuzz" --selftest
   "${dir}/tools/irfuzz" tests/corpus/*.ir
+  if [[ "${SERVE}" == "1" ]]; then
+    tools/serve_soak.sh "${dir}"
+  fi
 }
 
 echo "== telemetry ON: configure + build + ctest + irfuzz =="
@@ -39,16 +47,18 @@ cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j"$(nproc)"
 run_suite "${PREFIX}"
 
-echo "== telemetry ON: bench_plan_reuse smoke =="
+echo "== telemetry ON: bench_plan_reuse + bench_service_throughput smoke =="
 "${PREFIX}/bench/bench_plan_reuse" --smoke --metrics="${PREFIX}/plan_reuse_smoke.json"
+"${PREFIX}/bench/bench_service_throughput" --smoke --metrics="${PREFIX}/service_smoke.json"
 
 echo "== telemetry OFF: configure + build + ctest + irfuzz =="
 cmake -B "${PREFIX}-notelemetry" -S . -DIR_TELEMETRY=OFF >/dev/null
 cmake --build "${PREFIX}-notelemetry" -j"$(nproc)"
 run_suite "${PREFIX}-notelemetry"
 
-echo "== telemetry OFF: bench_plan_reuse smoke =="
+echo "== telemetry OFF: bench_plan_reuse + bench_service_throughput smoke =="
 "${PREFIX}-notelemetry/bench/bench_plan_reuse" --smoke
+"${PREFIX}-notelemetry/bench/bench_service_throughput" --smoke
 
 if [[ "${LINT}" == "1" ]]; then
   echo "== lint: irtool lint over corpus witnesses and generated systems =="
