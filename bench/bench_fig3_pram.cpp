@@ -18,8 +18,10 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "algebra/monoids.hpp"
+#include "bench_report.hpp"
 #include "core/ordinary_ir_pram.hpp"
 #include "obs/metrics_export.hpp"
 #include "support/rng.hpp"
@@ -30,12 +32,23 @@ int main(int argc, char** argv) {
   using namespace ir;
 
   std::string metrics_file;
+  std::string report_file;
+  bool smoke = false;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
-    if (arg.rfind("--metrics=", 0) == 0) metrics_file = arg.substr(10);
+    if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_file = arg.substr(10);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_file = arg.substr(9);
+    } else if (arg == "--smoke") {
+      // CI quick mode: small n, few processor counts — exercises the
+      // measurement and report paths without the full simulation cost.
+      smoke = true;
+    }
   }
 
-  const std::size_t n = 50000;
+  const std::size_t n = smoke ? 2000 : 50000;
+  const std::size_t max_p = smoke ? 64 : 1024;
   const std::size_t cells = n + n / 2;
   support::SplitMix64 rng(1997);
   const auto sys = bench::random_ordinary_system(n, cells, rng, 0.9);
@@ -58,7 +71,8 @@ int main(int argc, char** argv) {
   double time_at_p1 = 0.0;
   std::size_t crossover = 0;
   std::string series;  // JSON [[P, simulated_time], ...] for the metrics dump
-  for (std::size_t p = 1; p <= 1024; p *= 2) {
+  std::vector<std::pair<std::size_t, std::uint64_t>> timings;  // P -> instructions
+  for (std::size_t p = 1; p <= max_p; p *= 2) {
     pram::Machine machine(p, pram::AccessMode::kCrew, pram::CostModel{}, false);
     const auto out = core::ordinary_ir_pram_parallel(op, sys, init, machine);
     if (out != expected) {
@@ -70,6 +84,7 @@ int main(int argc, char** argv) {
     if (crossover == 0 && t < original_time) crossover = p;
     series += (series.empty() ? "[" : ", ");
     series += "[" + std::to_string(p) + ", " + std::to_string(t) + "]";
+    timings.emplace_back(p, t);
 
     // The paper's model: T(n, P) = (n/P) * log2 n, up to the per-item
     // instruction constant; report the ratio so the fit is visible.
@@ -93,6 +108,21 @@ int main(int argc, char** argv) {
          {"crossover_p", std::to_string(crossover)},
          {"parallel_time_by_p", series + "]"}});
     std::fprintf(stderr, "metrics written to %s\n", metrics_file.c_str());
+  }
+  if (!report_file.empty()) {
+    // The PRAM simulation is deterministic — one sample per variant, in
+    // cost-model instructions rather than wall-clock.
+    bench::BenchReport report("fig3_pram");
+    report.set_config("n", n);
+    report.set_config("max_p", max_p);
+    report.add_variant("original_loop",
+                       {static_cast<double>(original_time)}, "instructions");
+    for (const auto& [p, t] : timings) {
+      report.add_variant("parallel/P=" + std::to_string(p),
+                         {static_cast<double>(t)}, "instructions");
+    }
+    report.write(report_file);
+    std::fprintf(stderr, "bench report written to %s\n", report_file.c_str());
   }
   return 0;
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "algebra/monoids.hpp"
+#include "bench_report.hpp"
 #include "core/plan.hpp"
 #include "obs/metrics_export.hpp"
 #include "parallel/thread_pool.hpp"
@@ -40,6 +41,8 @@ struct CaseResult {
   double cold_seconds = 0.0;
   double warm_seconds = 0.0;     // compile once + K executes (compile included)
   double batched_seconds = 0.0;  // compile once + execute_many (compile included)
+  std::vector<double> cold_ns;   // per-repetition samples for the report
+  std::vector<double> warm_ns;
 };
 
 CaseResult run_case(core::EngineChoice engine, const std::string& name,
@@ -61,15 +64,21 @@ CaseResult run_case(core::EngineChoice engine, const std::string& name,
 
   watch.lap();
   for (std::size_t rep = 0; rep < repeats; ++rep) {
+    support::Stopwatch rep_watch;
+    rep_watch.lap();
     const core::Plan plan = core::compile_plan(sys, plan_options);
     out = core::execute_plan(plan, op, init, exec);
+    result.cold_ns.push_back(rep_watch.lap() * 1e9);
   }
   result.cold_seconds = watch.lap();
 
   {
     const core::Plan plan = core::compile_plan(sys, plan_options);
     for (std::size_t rep = 0; rep < repeats; ++rep) {
+      support::Stopwatch rep_watch;
+      rep_watch.lap();
       out = core::execute_plan(plan, op, init, exec);
+      result.warm_ns.push_back(rep_watch.lap() * 1e9);
     }
   }
   result.warm_seconds = watch.lap();
@@ -101,6 +110,7 @@ int main(int argc, char** argv) {
   std::size_t repeats = 16;
   std::size_t threads = parallel::ThreadPool::default_threads();
   std::string metrics_file;
+  std::string report_file;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--smoke") {
@@ -114,10 +124,12 @@ int main(int argc, char** argv) {
       threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
     } else if (arg.rfind("--metrics=", 0) == 0) {
       metrics_file = arg.substr(10);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_file = arg.substr(9);
     } else {
       std::fprintf(stderr,
                    "usage: bench_plan_reuse [--smoke] [--n=N] [--k=K]"
-                   " [--threads=T] [--metrics=FILE]\n");
+                   " [--threads=T] [--metrics=FILE] [--report=FILE]\n");
       return 2;
     }
   }
@@ -148,6 +160,23 @@ int main(int argc, char** argv) {
     }
     obs::write_metrics_file(metrics_file, extra);
     std::fprintf(stderr, "metrics written to %s\n", metrics_file.c_str());
+  }
+  if (!report_file.empty()) {
+    ir::bench::BenchReport report("plan_reuse");
+    report.set_config("n", n);
+    report.set_config("k", repeats);
+    report.set_config("threads", pool.size());
+    for (const auto& row : rows) {
+      report.add_variant(row.engine + "/cold", row.cold_ns);
+      report.add_variant(row.engine + "/warm", row.warm_ns);
+      // execute_many is one wall measurement over K arrays — one per-op
+      // sample (wall / K), not a distribution.
+      report.add_variant(
+          row.engine + "/batched",
+          {row.batched_seconds * 1e9 / static_cast<double>(repeats)});
+    }
+    report.write(report_file);
+    std::fprintf(stderr, "bench report written to %s\n", report_file.c_str());
   }
   return 0;
 }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "algebra/monoids.hpp"
+#include "bench_report.hpp"
 #include "core/solver.hpp"
 #include "obs/metrics_export.hpp"
 #include "service/server.hpp"
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
   std::size_t repeats = 16;
   std::size_t threads = parallel::ThreadPool::default_threads();
   std::string metrics_file;
+  std::string report_file;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--smoke") {
@@ -68,10 +70,12 @@ int main(int argc, char** argv) {
       threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
     } else if (arg.rfind("--metrics=", 0) == 0) {
       metrics_file = arg.substr(10);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_file = arg.substr(9);
     } else {
       std::fprintf(stderr,
                    "usage: bench_service_throughput [--smoke] [--n=N] [--k=K]"
-                   " [--threads=T] [--metrics=FILE]\n");
+                   " [--threads=T] [--metrics=FILE] [--report=FILE]\n");
       return 2;
     }
   }
@@ -85,9 +89,14 @@ int main(int argc, char** argv) {
 
   // --- sequential: K independent solve() calls, each compiling -------------
   std::vector<std::uint64_t> seq_out;
+  std::vector<double> sequential_ns;
+  sequential_ns.reserve(repeats);
   watch.lap();
   for (std::size_t rep = 0; rep < repeats; ++rep) {
+    support::Stopwatch rep_watch;
+    rep_watch.lap();
     seq_out = core::execute_plan(core::compile_plan(sys), op, init);
+    sequential_ns.push_back(rep_watch.lap() * 1e9);
   }
   const double sequential_seconds = watch.lap();
 
@@ -101,6 +110,8 @@ int main(int argc, char** argv) {
     request.initial = init;
   }
   std::vector<std::uint64_t> svc_out;
+  std::vector<double> request_latency_ns;  // per-request wait + execute
+  request_latency_ns.reserve(repeats);
   service::ServiceStats stats;
   watch.lap();
   {
@@ -122,6 +133,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "service solve failed: %s\n", response.error.c_str());
         return 1;
       }
+      request_latency_ns.push_back(
+          static_cast<double>(response.info.trace.total_ns()));
       svc_out = std::move(response.values);
     }
     stats = server.stats();
@@ -164,6 +177,19 @@ int main(int argc, char** argv) {
     };
     obs::write_metrics_file(metrics_file, extra);
     std::fprintf(stderr, "metrics written to %s\n", metrics_file.c_str());
+  }
+  if (!report_file.empty()) {
+    ir::bench::BenchReport report("service_throughput");
+    report.set_config("n", n);
+    report.set_config("k", repeats);
+    report.set_config("threads", threads);
+    report.add_variant("sequential/solve", sequential_ns);
+    report.add_variant("service/request_latency", request_latency_ns);
+    report.add_variant(
+        "service/wall_per_request",
+        {service_seconds * 1e9 / static_cast<double>(repeats)});
+    report.write(report_file);
+    std::fprintf(stderr, "bench report written to %s\n", report_file.c_str());
   }
   return 0;
 }

@@ -17,9 +17,11 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "algebra/monoids.hpp"
+#include "bench_report.hpp"
 #include "core/linear_ir.hpp"
 #include "core/plan.hpp"
 #include "obs/metrics_export.hpp"
@@ -162,17 +164,43 @@ void BM_LinearMoebius(benchmark::State& state) {
 }
 BENCHMARK(BM_LinearMoebius)->Args({1000000, 2})->Args({1000000, 4})->Args({1000000, 8});
 
+// Console reporter that additionally captures (name, real time per iteration)
+// for every measurement run, so --report can emit BENCH_threads.json without
+// a second pass over google-benchmark's own JSON format.
+class CollectReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      collected_.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& collected()
+      const {
+    return collected_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> collected_;
+};
+
 }  // namespace
 
-// Custom main instead of benchmark_main: peel off --metrics=FILE, run the
-// benchmarks, then flush the telemetry registry for the bench trajectory.
+// Custom main instead of benchmark_main: peel off --metrics=FILE and
+// --report=FILE, run the benchmarks, then flush the telemetry registry and
+// the BENCH_*.json report for the bench trajectory.
 int main(int argc, char** argv) {
   std::string metrics_file;
+  std::string report_file;
   std::vector<char*> args;
   for (int a = 0; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg.rfind("--metrics=", 0) == 0) {
       metrics_file = arg.substr(10);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_file = arg.substr(9);
     } else {
       args.push_back(argv[a]);
     }
@@ -180,8 +208,20 @@ int main(int argc, char** argv) {
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  CollectReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+
+  if (!report_file.empty()) {
+    ir::bench::BenchReport report("speedup_threads");
+    // google-benchmark already aggregates iterations into one adjusted real
+    // time per run; each run is one single-sample variant.
+    for (const auto& [name, real_ns] : reporter.collected()) {
+      report.add_variant(name, {real_ns});
+    }
+    report.write(report_file);
+    std::fprintf(stderr, "bench report written to %s\n", report_file.c_str());
+  }
 
   if (!metrics_file.empty()) {
     ir::obs::write_metrics_file(metrics_file,

@@ -1,0 +1,101 @@
+// Log-linear (HDR-style) histogram bucketing shared by the metrics registry
+// and every consumer that estimates quantiles from bucket counts.
+//
+// The old scheme was one bucket per power of two: by the time a latency
+// sample reached the milliseconds, a bucket spanned half its own value and
+// p99 estimates were useless.  The log-linear scheme subdivides every
+// power-of-two octave into 2^kHistogramSubBits linear sub-buckets, so the
+// relative width of any bucket is bounded by 2^-kHistogramSubBits (12.5%
+// with the default 3 bits) across the entire uint64 range — the classic
+// HdrHistogram layout, minus the configurability we don't need.
+//
+// Index layout (kHistogramSubBits = B):
+//   * values v < 2^B get one exact bucket each (index == v),
+//   * larger values index by (octave, sub-bucket): the octave is
+//     bit_width(v) - 1, the sub-bucket is the B bits after the leading one.
+// The mapping is monotone and contiguous, lower/upper bounds are exact
+// inverses, and the whole thing is constexpr so tests can sweep it.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace ir::obs {
+
+/// Linear sub-bucket bits per power-of-two octave.  3 bits = 8 sub-buckets
+/// = worst-case bucket width 12.5% of the value — the bound quantile
+/// estimates inherit.
+inline constexpr std::size_t kHistogramSubBits = 3;
+
+/// Sub-buckets per octave.
+inline constexpr std::size_t kHistogramSubBuckets = std::size_t{1} << kHistogramSubBits;
+
+/// Total buckets needed to cover all of uint64: the exact linear region
+/// (2^B buckets) plus (64 - B) octaves of 2^B sub-buckets each.
+inline constexpr std::size_t kHistogramBuckets =
+    kHistogramSubBuckets + (64 - kHistogramSubBits) * kHistogramSubBuckets;
+
+/// Bucket index for a sample.  Monotone in `value`; exact for
+/// value < kHistogramSubBuckets.
+[[nodiscard]] constexpr std::size_t histogram_bucket_of(std::uint64_t value) noexcept {
+  if (value < kHistogramSubBuckets) return static_cast<std::size_t>(value);
+  const auto octave = static_cast<std::size_t>(std::bit_width(value)) - 1;
+  const auto sub = static_cast<std::size_t>(
+      (value >> (octave - kHistogramSubBits)) & (kHistogramSubBuckets - 1));
+  return ((octave - kHistogramSubBits + 1) << kHistogramSubBits) + sub;
+}
+
+/// Smallest value that lands in `bucket` (inverse of histogram_bucket_of).
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_lower(std::size_t bucket) noexcept {
+  if (bucket < kHistogramSubBuckets) return bucket;
+  const std::size_t octave = (bucket >> kHistogramSubBits) + kHistogramSubBits - 1;
+  const std::uint64_t sub = bucket & (kHistogramSubBuckets - 1);
+  return (std::uint64_t{1} << octave) | (sub << (octave - kHistogramSubBits));
+}
+
+/// Width of `bucket` in value space (upper bound = lower + width; the last
+/// bucket's upper bound saturates past uint64, which only quantile
+/// interpolation cares about — it works in doubles).
+[[nodiscard]] constexpr double histogram_bucket_width(std::size_t bucket) noexcept {
+  if (bucket < kHistogramSubBuckets) return 1.0;
+  const std::size_t octave = (bucket >> kHistogramSubBits) + kHistogramSubBits - 1;
+  return static_cast<double>(std::uint64_t{1} << (octave - kHistogramSubBits));
+}
+
+/// Quantile estimate over a bucket-count array laid out by
+/// histogram_bucket_of.  `q` in [0, 1]; nearest-rank target with linear
+/// interpolation inside the bucket, so the absolute error is bounded by one
+/// bucket width at the quantile's value (≤ 12.5% relative).  Returns 0 when
+/// the histogram is empty.
+[[nodiscard]] inline double histogram_quantile(const std::uint64_t* buckets,
+                                               std::size_t n_buckets,
+                                               std::uint64_t count, double q) noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: the sample with (1-based) rank ceil(q * count).
+  std::uint64_t target = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(target) < q * static_cast<double>(count)) ++target;
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] >= target) {
+      const double within =
+          static_cast<double>(target - seen) / static_cast<double>(buckets[b]);
+      return static_cast<double>(histogram_bucket_lower(b)) +
+             within * histogram_bucket_width(b);
+    }
+    seen += buckets[b];
+  }
+  // count overstated vs buckets (torn concurrent snapshot): clamp to the top.
+  for (std::size_t b = n_buckets; b-- > 0;) {
+    if (buckets[b] != 0) {
+      return static_cast<double>(histogram_bucket_lower(b)) + histogram_bucket_width(b);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace ir::obs

@@ -56,11 +56,17 @@ void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot,
       first = false;
       out << "\n    " << json_quote(name) << ": {\"count\": " << histogram.count()
           << ", \"buckets\": [";
+      // Trailing zero buckets carry no information and the log-linear layout
+      // has 496 of them — emit up to the last occupied bucket only.
+      std::size_t last = 0;
       for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        if (histogram.buckets[b] != 0) last = b + 1;
+      }
+      for (std::size_t b = 0; b < last; ++b) {
         if (b != 0) out << ", ";
         out << histogram.buckets[b];
       }
-      out << "]}";
+      out << "], \"sum\": " << histogram.sum << "}";
     }
   }
   out << "\n  },\n  \"extra\": {";

@@ -1,0 +1,75 @@
+#include "obs/prometheus_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/contract.hpp"
+
+namespace ir::obs {
+
+namespace {
+
+bool prometheus_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+// Quantiles exposed per histogram; matches the stats v2 surface.
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+constexpr const char* kQuantileLabels[] = {"0.5", "0.9", "0.99", "0.999"};
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "ir_";
+  out.reserve(name.size() + 3);
+  for (const char c : name) {
+    out += prometheus_name_char(c) ? c : '_';
+  }
+  return out;
+}
+
+void write_prometheus_text(std::ostream& out, const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string pn = prometheus_name(name);
+    out << "# TYPE " << pn << " counter\n" << pn << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string pn = prometheus_name(name);
+    out << "# TYPE " << pn << " gauge\n" << pn << " " << value << "\n";
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string pn = prometheus_name(name);
+    out << "# TYPE " << pn << " summary\n";
+    const std::uint64_t count = histogram.count();
+    for (std::size_t q = 0; q < std::size(kQuantiles); ++q) {
+      out << pn << "{quantile=\"" << kQuantileLabels[q] << "\"} "
+          << histogram.quantile(kQuantiles[q]) << "\n";
+    }
+    out << pn << "_sum " << histogram.sum << "\n";
+    out << pn << "_count " << count << "\n";
+  }
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  write_prometheus_text(out, snapshot);
+  return out.str();
+}
+
+void write_prometheus_file(const std::string& path, const MetricsSnapshot& snapshot) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    IR_REQUIRE(out.good(), "cannot open metrics output file '" + tmp + "'");
+    write_prometheus_text(out, snapshot);
+    out.flush();
+    IR_REQUIRE(out.good(), "failed writing metrics output file '" + tmp + "'");
+  }
+  IR_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+             "failed to rename '" + tmp + "' to '" + path + "'");
+}
+
+}  // namespace ir::obs

@@ -1,0 +1,36 @@
+// Prometheus text-format exposition for a MetricsSnapshot.
+//
+// Counters and gauges render as one sample each; histograms render as
+// Prometheus *summaries* — pre-computed quantile lines plus `_sum` and
+// `_count` — rather than 496 cumulative `le` buckets, which would bloat
+// every scrape for no extra fidelity (the quantiles already carry the
+// log-linear bucket error bound of ≤ 12.5%).
+//
+// Metric names are sanitized to the Prometheus grammar: dots and any other
+// non-[a-zA-Z0-9_] become '_', and everything gains an "ir_" prefix so the
+// scrape namespaces cleanly ("service.latency.total_us" →
+// "ir_service_latency_total_us").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace ir::obs {
+
+/// Sanitized Prometheus metric name: "ir_" + name with every character
+/// outside [a-zA-Z0-9_] replaced by '_'.
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+/// Render the snapshot in Prometheus text exposition format.
+void write_prometheus_text(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Same, as a string.
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+/// Write the snapshot to `path` atomically (tmp file + rename), so a scraper
+/// reading the file concurrently never sees a torn exposition.
+void write_prometheus_file(const std::string& path, const MetricsSnapshot& snapshot);
+
+}  // namespace ir::obs

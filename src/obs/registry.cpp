@@ -1,7 +1,5 @@
 #include "obs/registry.hpp"
 
-#include <bit>
-
 namespace ir::obs {
 
 namespace detail {
@@ -17,9 +15,32 @@ Shard& local_shard() {
 
 }  // namespace detail
 
-std::size_t Histogram::bucket_of(std::uint64_t value) noexcept {
-  const auto width = static_cast<std::size_t>(std::bit_width(value));
-  return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+MetricsSnapshot MetricsSnapshot::delta_since(const MetricsSnapshot& earlier) const {
+  const auto sub = [](std::uint64_t now, std::uint64_t then) {
+    return now > then ? now - then : 0;
+  };
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : counters) {
+    const auto it = earlier.counters.find(name);
+    delta.counters[name] = sub(value, it == earlier.counters.end() ? 0 : it->second);
+  }
+  // Gauges are max-since-start; a window delta has no meaning, so pass the
+  // cumulative value through.
+  delta.gauges = gauges;
+  for (const auto& [name, histogram] : histograms) {
+    const auto it = earlier.histograms.find(name);
+    Histogram d;
+    if (it == earlier.histograms.end()) {
+      d = histogram;
+    } else {
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        d.buckets[b] = sub(histogram.buckets[b], it->second.buckets[b]);
+      }
+      d.sum = sub(histogram.sum, it->second.sum);
+    }
+    delta.histograms[name] = d;
+  }
+  return delta;
 }
 
 Registry& registry() {
@@ -57,7 +78,8 @@ Gauge Registry::gauge(const std::string& name) {
 }
 
 Histogram Registry::histogram(const std::string& name) {
-  return Histogram(register_metric(name, MetricKind::kHistogram, kHistogramBuckets));
+  // Slot 0 holds the running sum (merges like a counter); the buckets follow.
+  return Histogram(register_metric(name, MetricKind::kHistogram, kHistogramBuckets + 1));
 }
 
 void Registry::attach(detail::Shard* shard) {
@@ -117,8 +139,9 @@ MetricsSnapshot Registry::snapshot() const {
         break;
       case MetricKind::kHistogram: {
         MetricsSnapshot::Histogram histogram;
+        histogram.sum = merged[metric.slot];
         for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
-          histogram.buckets[b] = merged[metric.slot + b];
+          histogram.buckets[b] = merged[metric.slot + 1 + b];
         }
         snap.histograms[metric.name] = histogram;
         break;
@@ -134,6 +157,14 @@ void Registry::reset() {
   for (detail::Shard* shard : shards_) {
     for (auto& slot : shard->slots) slot.store(0, std::memory_order_relaxed);
   }
+}
+
+MetricsSnapshot ScrapeWindow::scrape() {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot now = registry().snapshot();
+  MetricsSnapshot delta = now.delta_since(last_);
+  last_ = std::move(now);
+  return delta;
 }
 
 }  // namespace ir::obs

@@ -1,4 +1,4 @@
-// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// Process-wide metrics registry: named counters, gauges, and log-linear
 // histograms with thread-local shards.
 //
 // Design goals, in order:
@@ -14,11 +14,18 @@
 //      into a retired accumulator first, so no data is lost when a
 //      ThreadPool is destroyed before the flush.
 //
+// Histograms use the log-linear bucketing in obs/histogram.hpp (exact below
+// 2^kHistogramSubBits, ≤12.5% relative bucket width everywhere else), carry
+// a running sum next to the buckets, and support quantile estimation
+// (MetricsSnapshot::Histogram::quantile) plus windowed delta snapshots
+// (ScrapeWindow) for live scraping.
+//
 // Exactness: a snapshot taken after the instrumented threads joined (e.g.
 // after parallel_for returned, or after a ThreadPool was destroyed) sees
 // every add that happened-before the join.  A snapshot taken concurrently
 // with writers is a consistent-per-slot but possibly torn-across-slots view;
-// the exporters only ever flush quiescent runs.
+// per-slot values are monotone, so windowed deltas never go negative and
+// always telescope to the cumulative totals.
 #pragma once
 
 #include <array>
@@ -29,19 +36,16 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "support/contract.hpp"
 
 namespace ir::obs {
 
-/// Histograms use power-of-two buckets: bucket 0 counts value 0, bucket b
-/// counts values in [2^(b-1), 2^b), and the last bucket absorbs the tail.
-inline constexpr std::size_t kHistogramBuckets = 24;
-
 /// Total metric slots available per thread shard.  Counters and gauges take
-/// one slot each; histograms take kHistogramBuckets.  Registration past the
-/// cap throws — the catalog is meant to be small and curated
-/// (docs/observability.md).
-inline constexpr std::size_t kShardSlots = 1024;
+/// one slot each; histograms take kHistogramBuckets + 1 (running sum).
+/// Registration past the cap throws — the catalog is meant to be small and
+/// curated (docs/observability.md).
+inline constexpr std::size_t kShardSlots = 12288;
 
 enum class MetricKind { kCounter, kGauge, kHistogram };
 
@@ -49,12 +53,26 @@ enum class MetricKind { kCounter, kGauge, kHistogram };
 struct MetricsSnapshot {
   struct Histogram {
     std::array<std::uint64_t, kHistogramBuckets> buckets{};
+    std::uint64_t sum = 0;  ///< sum of all recorded values
 
     /// Total samples recorded.
     [[nodiscard]] std::uint64_t count() const noexcept {
       std::uint64_t total = 0;
       for (const auto b : buckets) total += b;
       return total;
+    }
+
+    /// Quantile estimate (q in [0, 1]): nearest-rank with linear
+    /// interpolation inside the bucket; error bounded by one bucket width
+    /// (≤ 12.5% relative).  0 when empty.
+    [[nodiscard]] double quantile(double q) const noexcept {
+      return histogram_quantile(buckets.data(), buckets.size(), count(), q);
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    [[nodiscard]] double mean() const noexcept {
+      const std::uint64_t n = count();
+      return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
     }
   };
 
@@ -73,6 +91,18 @@ struct MetricsSnapshot {
     const auto it = gauges.find(name);
     return it == gauges.end() ? 0 : it->second;
   }
+
+  /// Histogram by name, or a zeroed one when never registered.
+  [[nodiscard]] Histogram histogram(const std::string& name) const {
+    const auto it = histograms.find(name);
+    return it == histograms.end() ? Histogram{} : it->second;
+  }
+
+  /// Windowed view: this snapshot minus `earlier`.  Counters and histogram
+  /// buckets/sums subtract (clamped at 0, so a Registry::reset inside the
+  /// window cannot produce wrap-around garbage); gauges keep this snapshot's
+  /// value — a max-since-start has no meaningful delta.
+  [[nodiscard]] MetricsSnapshot delta_since(const MetricsSnapshot& earlier) const;
 };
 
 namespace detail {
@@ -128,18 +158,22 @@ class Gauge {
   std::size_t slot_ = 0;
 };
 
-/// Handle to a registered histogram (fixed power-of-two buckets).
+/// Handle to a registered histogram (log-linear buckets + running sum; see
+/// obs/histogram.hpp for the layout).  Slot 0 is the sum, buckets follow.
 class Histogram {
  public:
   Histogram() = default;
 
   void record(std::uint64_t value) noexcept {
-    detail::local_shard().slots[slot_ + bucket_of(value)].fetch_add(
-        1, std::memory_order_relaxed);
+    auto& slots = detail::local_shard().slots;
+    slots[slot_].fetch_add(value, std::memory_order_relaxed);
+    slots[slot_ + 1 + bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Bucket index for a sample (see kHistogramBuckets for the bounds).
-  static std::size_t bucket_of(std::uint64_t value) noexcept;
+  /// Bucket index for a sample (log-linear; see obs/histogram.hpp).
+  static std::size_t bucket_of(std::uint64_t value) noexcept {
+    return histogram_bucket_of(value);
+  }
 
  private:
   friend class Registry;
@@ -172,7 +206,7 @@ class Registry {
   struct MetricInfo {
     std::string name;
     MetricKind kind;
-    std::size_t slot;  ///< first slot; histograms own kHistogramBuckets slots
+    std::size_t slot;  ///< first slot; histograms own kHistogramBuckets + 1
   };
 
   std::size_t register_metric(const std::string& name, MetricKind kind,
@@ -191,5 +225,20 @@ class Registry {
 
 /// The process-wide registry instance.
 Registry& registry();
+
+/// Windowed scraping: each scrape() returns the delta since the previous
+/// scrape (counters and histogram buckets subtract; gauges pass through
+/// cumulative).  The first scrape is the delta since process start.  Safe to
+/// call concurrently with recording threads: per-slot monotonicity makes
+/// window deltas non-negative and telescoping — the sum of every window
+/// equals the cumulative snapshot.
+class ScrapeWindow {
+ public:
+  [[nodiscard]] MetricsSnapshot scrape();
+
+ private:
+  std::mutex mutex_;
+  MetricsSnapshot last_;
+};
 
 }  // namespace ir::obs

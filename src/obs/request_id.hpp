@@ -1,0 +1,34 @@
+// Monotonic id generators for request tracing.
+//
+// next_request_id() hands out process-unique ids starting at 1, so 0 can be
+// used as "no request" everywhere a RequestTrace is default-constructed.
+// IdSequence is the same idea as an owned object, used for scoped counters
+// (e.g. per-ServerCore batch ids) that should restart per instance.
+//
+// Always available regardless of IR_TELEMETRY — ids are part of request
+// identity (slow logs, drain ledgers, replies), not optional metrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ir::obs {
+
+/// Owned monotonic counter; next() starts at 1.
+class IdSequence {
+ public:
+  [[nodiscard]] std::uint64_t next() noexcept {
+    return next_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_{1};
+};
+
+/// Process-wide request-id generator: unique, monotone, never 0.
+[[nodiscard]] inline std::uint64_t next_request_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace ir::obs

@@ -16,7 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/clock.hpp"
+
 namespace ir::service {
+
+class SlowLog;
 
 /// Steady clock used for enqueue timestamps and deadlines — wall-clock jumps
 /// must never expire a request.
@@ -44,6 +48,41 @@ enum class Status {
          status == Status::kRejectedShutdown || status == Status::kRejectedInvalid;
 }
 
+/// Timestamped lifecycle edges of one request, in process-monotonic
+/// nanoseconds (obs::now_ns — available regardless of IR_TELEMETRY, because
+/// ids and phase timings are part of request identity, not optional
+/// metrics).  A zero timestamp means the request never reached that edge:
+/// an admission reject has only request_id set; a deadline miss has
+/// accepted/coalesced but no dispatched.
+struct RequestTrace {
+  std::uint64_t request_id = 0;    ///< process-unique, assigned at submit
+  std::uint64_t accepted_ns = 0;   ///< admission accepted, enqueued
+  std::uint64_t coalesced_ns = 0;  ///< claimed into a plan-keyed group
+  std::uint64_t dispatched_ns = 0; ///< survived triage, handed to the executor
+  std::uint64_t finished_ns = 0;   ///< terminal edge stamped (reply imminent)
+  std::uint64_t batch_id = 0;      ///< coalesced group id (0 = never claimed)
+  std::size_t batch_size = 0;      ///< live size of the executed batch
+  std::int64_t deadline_slack_ns = 0;  ///< deadline - finish; <0 = missed
+
+  /// Queue phase: accept -> dispatch (or -> finish for triaged-out requests).
+  [[nodiscard]] std::uint64_t queue_ns() const noexcept {
+    const std::uint64_t end = dispatched_ns != 0 ? dispatched_ns : finished_ns;
+    return end > accepted_ns ? end - accepted_ns : 0;
+  }
+  /// Execute phase: dispatch -> finish (0 when never dispatched).
+  [[nodiscard]] std::uint64_t execute_ns() const noexcept {
+    return dispatched_ns != 0 && finished_ns > dispatched_ns
+               ? finished_ns - dispatched_ns
+               : 0;
+  }
+  /// Whole lifetime: accept -> finish (0 for admission rejects).
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return accepted_ns != 0 && finished_ns > accepted_ns
+               ? finished_ns - accepted_ns
+               : 0;
+  }
+};
+
 /// Per-request execution facts, filled for kOk responses (and partially for
 /// the terminal-without-execute statuses, where wait is still meaningful).
 struct ResponseInfo {
@@ -53,6 +92,7 @@ struct ResponseInfo {
   std::string engine;                 ///< plan engine name ("jumping", ...)
   Clock::duration wait{};             ///< enqueue -> dispatch
   Clock::duration execute{};          ///< the batch's execute_many wall time
+  RequestTrace trace;                 ///< lifecycle edges (docs/observability.md)
 };
 
 /// One completed request.  `values` is populated iff `status == kOk`.
@@ -79,6 +119,9 @@ struct ServiceStats {
   std::uint64_t executed_failed = 0;
   std::uint64_t deadline_misses = 0;
   std::uint64_t cancelled = 0;
+  std::uint64_t dispatched = 0;      ///< survived triage, handed to executor
+  std::uint64_t replied = 0;         ///< accepted requests whose promise was fulfilled
+  std::uint64_t ticker_samples = 0;  ///< background gauge samples taken
   std::uint64_t batches = 0;             ///< execute_many dispatches
   std::uint64_t coalesced_requests = 0;  ///< requests that shared a batch
   std::uint64_t peak_batch = 0;
@@ -128,9 +171,24 @@ struct ServiceConfig {
   /// Plan-cache capacity of the server's Solver; 0 = the IR_PLAN_CACHE_CAP
   /// environment override (default 64) — see core/solver.hpp.
   std::size_t plan_cache_capacity = 0;
+
+  /// Background ticker interval sampling queue-depth / in-flight gauges and
+  /// histograms; 0 disables the ticker thread (tests and embedders that
+  /// snapshot deterministically don't want a sampler racing them).
+  std::size_t ticker_interval_ms = 0;
+
+  /// Slow-request threshold: an accepted request whose accept→finish time
+  /// reaches this many nanoseconds is written to `slow_log` as one JSON
+  /// line.  0 disables the slow log even when `slow_log` is set.
+  std::uint64_t slow_request_ns = 0;
+
+  /// Sink for slow-request records (borrowed, must outlive the server).
+  SlowLog* slow_log = nullptr;
 };
 
 namespace detail {
+
+class ServerCore;
 
 /// Queue entry seen by the type-erased core: everything admission, the
 /// coalescer, and the deadline/cancel triage need, plus a virtual completion
@@ -139,15 +197,29 @@ class PendingBase {
  public:
   virtual ~PendingBase() = default;
 
-  /// Complete the request *without* executing it (reject, deadline, cancel,
-  /// batch-level failure).  Called at most once, never concurrently.
-  virtual void finish(Status status, const std::string& error,
-                      const ResponseInfo& info) = 0;
+  /// Terminal edge: stamps the trace, routes ledger/latency/slow-log
+  /// bookkeeping through the owning core (when the request was accepted —
+  /// admission rejects have no core and skip the ledger), then hands the
+  /// final ResponseInfo to fulfill().  Idempotent: the first caller wins,
+  /// later calls are no-ops — "every accepted request ends in exactly one
+  /// terminal edge" is enforced here, not by caller discipline.
+  void finish(Status status, const std::string& error, const ResponseInfo& info);
 
   std::uint64_t coalesce_key = 0;  ///< plan_cache_key of (system, options)
   Clock::time_point enqueued_at{};
   Clock::time_point deadline = Clock::time_point::max();
   std::shared_ptr<std::atomic<bool>> cancel;  ///< null = not cancellable
+  RequestTrace trace;              ///< lifecycle edges, stamped by the core
+  ServerCore* core = nullptr;      ///< set on admission; null = rejected
+
+ protected:
+  /// Deliver the terminal response (fulfill the promise).  Called exactly
+  /// once, never concurrently, after all bookkeeping.
+  virtual void fulfill(Status status, const std::string& error,
+                       const ResponseInfo& info) = 0;
+
+ private:
+  std::atomic<bool> finished_{false};
 };
 
 }  // namespace detail

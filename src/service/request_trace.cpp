@@ -1,0 +1,50 @@
+#include "service/request_trace.hpp"
+
+#include "obs/metrics_export.hpp"
+#include "support/contract.hpp"
+
+namespace ir::service {
+
+namespace {
+
+std::uint64_t to_us(std::uint64_t ns) { return ns / 1000; }
+
+}  // namespace
+
+std::string slow_log_line(const RequestTrace& trace, Status terminal,
+                          const ResponseInfo& info) {
+  std::string out = "{";
+  out += "\"request_id\":" + std::to_string(trace.request_id);
+  out += ",\"terminal\":" + obs::json_quote(to_string(terminal));
+  out += ",\"plan_fingerprint\":" + std::to_string(info.plan_fingerprint);
+  out += ",\"engine\":" + obs::json_quote(info.engine);
+  out += ",\"batch_id\":" + std::to_string(trace.batch_id);
+  out += ",\"batch_size\":" + std::to_string(trace.batch_size);
+  out += ",\"coalesced\":" + std::string(info.coalesced ? "true" : "false");
+  out += ",\"queue_us\":" + std::to_string(to_us(trace.queue_ns()));
+  out += ",\"execute_us\":" + std::to_string(to_us(trace.execute_ns()));
+  out += ",\"total_us\":" + std::to_string(to_us(trace.total_ns()));
+  out += ",\"deadline_slack_us\":" + std::to_string(trace.deadline_slack_ns / 1000);
+  out += "}";
+  return out;
+}
+
+SlowLog::SlowLog(std::ostream& out) : out_(out) {}
+
+SlowLog::SlowLog(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::app)), out_(*owned_) {
+  IR_REQUIRE(owned_->good(), "cannot open slow-request log '" + path + "'");
+}
+
+void SlowLog::record(const RequestTrace& trace, Status terminal,
+                     const ResponseInfo& info) {
+  const std::string line = slow_log_line(trace, terminal, info);
+  {
+    std::lock_guard lock(mutex_);
+    out_ << line << '\n';
+    out_.flush();
+  }
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace ir::service

@@ -1,0 +1,65 @@
+// Structured slow-request log (docs/observability.md).
+//
+// When ServiceConfig::slow_request_ns is set, every accepted request whose
+// accept→finish time reaches the threshold is appended to the SlowLog as one
+// self-contained JSON line — the production pattern for "why was THIS request
+// slow?", which aggregate histograms cannot answer.  One line carries the
+// request id, terminal status, plan identity, batch context, and the phase
+// breakdown in microseconds:
+//
+//   {"request_id":17,"terminal":"ok","plan_fingerprint":123,"engine":"jumping",
+//    "batch_id":4,"batch_size":3,"coalesced":true,"queue_us":812,
+//    "execute_us":45210,"total_us":46022,"deadline_slack_us":-3000}
+//
+// The log is plain code (no IR_TELEMETRY gate): slow-request forensics must
+// work in release builds, and a disabled threshold costs one branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "service/request.hpp"
+
+namespace ir::service {
+
+/// Thread-safe JSON-lines sink for slow-request records.  Either borrows a
+/// stream (caller keeps ownership, e.g. std::cerr or a test stringstream) or
+/// owns a file opened for append.
+class SlowLog {
+ public:
+  /// Borrow `out`; the stream must outlive the SlowLog.
+  explicit SlowLog(std::ostream& out);
+
+  /// Open `path` for appending and own the handle.  Throws ContractViolation
+  /// when the file cannot be opened.
+  explicit SlowLog(const std::string& path);
+
+  SlowLog(const SlowLog&) = delete;
+  SlowLog& operator=(const SlowLog&) = delete;
+
+  /// Append one record.  Safe from any thread; lines are never interleaved.
+  void record(const RequestTrace& trace, Status terminal, const ResponseInfo& info);
+
+  /// Records written so far.
+  [[nodiscard]] std::uint64_t lines() const noexcept {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream& out_;
+  std::mutex mutex_;
+  std::atomic<std::uint64_t> lines_{0};
+};
+
+/// The JSON line for one record, without the trailing newline.  Exposed so
+/// tests can pin the format without going through a stream.
+[[nodiscard]] std::string slow_log_line(const RequestTrace& trace, Status terminal,
+                                        const ResponseInfo& info);
+
+}  // namespace ir::service

@@ -29,6 +29,7 @@
 #include "algebra/concepts.hpp"
 #include "core/plan.hpp"
 #include "core/solver.hpp"
+#include "obs/request_id.hpp"
 #include "service/request.hpp"
 #include "service/server_core.hpp"
 
@@ -72,9 +73,11 @@ class Server {
   /// overload — admission outcomes are data, not exceptions.
   [[nodiscard]] std::future<Response> submit_async(Request request) {
     auto pending = std::make_shared<Pending>();
+    pending->trace.request_id = obs::next_request_id();
     std::future<Response> future = pending->promise.get_future();
 
     if (request.initial.size() != request.sys.cells) {
+      core_.note_rejected_invalid();
       finish_now(*pending, Status::kRejectedInvalid,
                  "initial array has " + std::to_string(request.initial.size()) +
                      " entries, system has " + std::to_string(request.sys.cells) +
@@ -134,14 +137,16 @@ class Server {
     core::GeneralIrSystem sys;
     core::PlanOptions options;
     std::vector<Value> initial;
+    std::vector<Value> values;  ///< solved array, set by execute_batch for kOk
     std::promise<Response> promise;
 
-    void finish(Status status, const std::string& error,
-                const ResponseInfo& info) override {
+    void fulfill(Status status, const std::string& error,
+                 const ResponseInfo& info) override {
       Response response;
       response.status = status;
       response.error = error;
       response.info = info;
+      response.values = std::move(values);
       promise.set_value(std::move(response));
     }
   };
@@ -157,7 +162,6 @@ class Server {
                      parallel::ThreadPool* pool) {
     const Clock::time_point dispatched = Clock::now();
     auto fail_all = [&](const std::string& error) {
-      core_.note_failed(batch.size());
       for (auto& base : batch) {
         auto& pending = static_cast<Pending&>(*base);
         ResponseInfo info;
@@ -202,19 +206,17 @@ class Server {
     }
 
     const Clock::duration execute_time = Clock::now() - dispatched;
-    core_.note_ok(batch.size());
     for (std::size_t k = 0; k < batch.size(); ++k) {
       auto& pending = static_cast<Pending&>(*batch[k]);
-      Response response;
-      response.status = Status::kOk;
-      response.values = std::move(outputs[k]);
-      response.info.batch_size = batch.size();
-      response.info.coalesced = batch.size() > 1;
-      response.info.plan_fingerprint = plan->fingerprint;
-      response.info.engine = core::to_string(plan->engine);
-      response.info.wait = dispatched - pending.enqueued_at;
-      response.info.execute = execute_time;
-      pending.promise.set_value(std::move(response));
+      ResponseInfo info;
+      info.batch_size = batch.size();
+      info.coalesced = batch.size() > 1;
+      info.plan_fingerprint = plan->fingerprint;
+      info.engine = core::to_string(plan->engine);
+      info.wait = dispatched - pending.enqueued_at;
+      info.execute = execute_time;
+      pending.values = std::move(outputs[k]);
+      pending.finish(Status::kOk, "", info);
     }
   }
 

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/clock.hpp"
 #include "obs/telemetry.hpp"
+#include "service/request_trace.hpp"
 #include "support/contract.hpp"
 
 namespace ir::service {
@@ -40,6 +42,9 @@ std::string ServiceStats::to_string() const {
   field("executed_failed", executed_failed);
   field("deadline_misses", deadline_misses);
   field("cancelled", cancelled);
+  field("dispatched", dispatched);
+  field("replied", replied);
+  field("ticker_samples", ticker_samples);
   field("batches", batches);
   field("coalesced_requests", coalesced_requests);
   field("peak_batch", peak_batch);
@@ -56,11 +61,6 @@ namespace detail {
 
 namespace {
 
-std::uint64_t micros(Clock::duration d) {
-  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(d).count();
-  return us < 0 ? 0 : static_cast<std::uint64_t>(us);
-}
-
 void bump_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
   std::uint64_t seen = slot.load(std::memory_order_relaxed);
   while (seen < value &&
@@ -68,7 +68,23 @@ void bump_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
   }
 }
 
+std::int64_t signed_nanos(Clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+}
+
 }  // namespace
+
+// PendingBase::finish lives here (not in a request.cpp) because the
+// bookkeeping it routes to needs the complete ServerCore type.
+void PendingBase::finish(Status status, const std::string& error,
+                         const ResponseInfo& info) {
+  if (finished_.exchange(true, std::memory_order_acq_rel)) return;
+  trace.finished_ns = obs::now_ns();
+  ResponseInfo out = info;
+  if (core != nullptr) core->on_finished(*this, status, out);
+  out.trace = trace;
+  fulfill(status, error, out);
+}
 
 ServerCore::ServerCore(const ServiceConfig& config, BatchFn execute_batch)
     : config_(config), execute_batch_(std::move(execute_batch)) {
@@ -89,6 +105,9 @@ ServerCore::ServerCore(const ServiceConfig& config, BatchFn execute_batch)
   dispatchers_.reserve(config_.dispatchers);
   for (std::size_t i = 0; i < config_.dispatchers; ++i) {
     dispatchers_.emplace_back([this, i] { dispatch_loop(i); });
+  }
+  if (config_.ticker_interval_ms > 0) {
+    ticker_ = std::thread([this] { ticker_loop(); });
   }
 }
 
@@ -120,6 +139,8 @@ Admission ServerCore::try_submit(std::shared_ptr<PendingBase> pending) {
       }
     }
     pending->enqueued_at = Clock::now();
+    pending->trace.accepted_ns = obs::now_ns();
+    pending->core = this;
     queue_.push_back(std::move(pending));
     peak_queue_depth_ = std::max<std::uint64_t>(peak_queue_depth_, queue_.size());
     accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -143,10 +164,83 @@ void ServerCore::shutdown() {
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
+    ticker_stop_ = true;
   }
   work_available_.notify_all();
+  ticker_cv_.notify_all();
   for (auto& thread : dispatchers_) thread.join();
+  if (ticker_.joinable()) ticker_.join();
   joined_ = true;
+}
+
+void ServerCore::note_rejected_invalid() {
+  rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+  IR_COUNTER_ADD("service.rejected", 1);
+}
+
+void ServerCore::on_finished(PendingBase& pending, Status status,
+                             const ResponseInfo& info) {
+  switch (status) {
+    case Status::kOk:
+      executed_ok_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::kFailed:
+      executed_failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::kDeadlineExpired:
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      IR_COUNTER_ADD("service.deadline_misses", 1);
+      break;
+    case Status::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      IR_COUNTER_ADD("service.cancelled", 1);
+      break;
+    default:
+      // Rejects never carry a core pointer; reaching here is a logic error,
+      // but the ledger must not silently swallow it in release builds.
+      executed_failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  replied_.fetch_add(1, std::memory_order_relaxed);
+  IR_COUNTER_ADD("service.replied", 1);
+
+  RequestTrace& trace = pending.trace;
+  if (pending.deadline != Clock::time_point::max()) {
+    trace.deadline_slack_ns = signed_nanos(pending.deadline - Clock::now());
+    // Slack is only meaningful in the histogram when non-negative (misses
+    // are already a counter); clamp rather than wrap.
+    IR_HISTOGRAM("service.deadline_slack_us",
+                 trace.deadline_slack_ns > 0
+                     ? static_cast<std::uint64_t>(trace.deadline_slack_ns) / 1000
+                     : 0);
+  }
+  IR_HISTOGRAM("service.latency.queue_us", trace.queue_ns() / 1000);
+  if (trace.dispatched_ns != 0) {
+    IR_HISTOGRAM("service.latency.execute_us", trace.execute_ns() / 1000);
+  }
+  IR_HISTOGRAM("service.latency.total_us", trace.total_ns() / 1000);
+
+  if (config_.slow_log != nullptr && config_.slow_request_ns > 0 &&
+      trace.total_ns() >= config_.slow_request_ns) {
+    config_.slow_log->record(trace, status, info);
+  }
+}
+
+void ServerCore::ticker_loop() {
+  IR_SET_THREAD_NAME("service-ticker");
+  std::unique_lock lock(mutex_);
+  while (!ticker_stop_) {
+    const std::size_t depth = queue_.size();
+    const std::size_t inflight = in_flight_;
+    lock.unlock();
+    IR_GAUGE_MAX("service.queue_depth", depth);
+    IR_GAUGE_MAX("service.in_flight", inflight);
+    IR_HISTOGRAM("service.queue_depth_sample", depth);
+    ticker_samples_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    ticker_cv_.wait_for(lock, std::chrono::milliseconds(config_.ticker_interval_ms),
+                        [this] { return ticker_stop_; });
+  }
 }
 
 ServiceStats ServerCore::stats() const {
@@ -155,10 +249,14 @@ ServiceStats ServerCore::stats() const {
   out.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
   out.rejected_backpressure = rejected_backpressure_.load(std::memory_order_relaxed);
   out.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  out.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
   out.executed_ok = executed_ok_.load(std::memory_order_relaxed);
   out.executed_failed = executed_failed_.load(std::memory_order_relaxed);
   out.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
   out.cancelled = cancelled_.load(std::memory_order_relaxed);
+  out.dispatched = dispatched_.load(std::memory_order_relaxed);
+  out.replied = replied_.load(std::memory_order_relaxed);
+  out.ticker_samples = ticker_samples_.load(std::memory_order_relaxed);
   out.batches = batches_.load(std::memory_order_relaxed);
   out.coalesced_requests = coalesced_requests_.load(std::memory_order_relaxed);
   out.peak_batch = peak_batch_.load(std::memory_order_relaxed);
@@ -191,38 +289,44 @@ std::vector<std::shared_ptr<PendingBase>> ServerCore::claim_group_locked() {
 void ServerCore::run_batch(std::vector<std::shared_ptr<PendingBase>> batch,
                            parallel::ThreadPool* pool) {
   const Clock::time_point now = Clock::now();
+  const std::uint64_t coalesced_ns = obs::now_ns();
+  const std::uint64_t batch_id = batch_ids_.next();
   std::vector<std::shared_ptr<PendingBase>> live;
   live.reserve(batch.size());
   for (auto& pending : batch) {
+    pending->trace.coalesced_ns = coalesced_ns;
+    pending->trace.batch_id = batch_id;
     ResponseInfo info;
     info.wait = now - pending->enqueued_at;
+    // Terminal counters (cancelled/deadline_misses) are bumped centrally by
+    // on_finished via finish() — triage only decides the status.
     if (pending->cancel && pending->cancel->load(std::memory_order_acquire)) {
-      cancelled_.fetch_add(1, std::memory_order_relaxed);
-      IR_COUNTER_ADD("service.cancelled", 1);
       pending->finish(Status::kCancelled, "cancel token fired before execute", info);
     } else if (pending->deadline <= now) {
-      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
-      IR_COUNTER_ADD("service.deadline_misses", 1);
       pending->finish(Status::kDeadlineExpired, "deadline expired before execute",
                       info);
     } else {
-      IR_HISTOGRAM("service.wait_us", micros(info.wait));
       live.push_back(std::move(pending));
     }
   }
   if (live.empty()) return;
 
+  const std::uint64_t dispatched_ns = obs::now_ns();
+  for (auto& pending : live) {
+    pending->trace.dispatched_ns = dispatched_ns;
+    pending->trace.batch_size = live.size();
+  }
+  dispatched_.fetch_add(live.size(), std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
   if (live.size() > 1) {
     coalesced_requests_.fetch_add(live.size(), std::memory_order_relaxed);
   }
   bump_max(peak_batch_, live.size());
   IR_COUNTER_ADD("service.batches", 1);
+  IR_COUNTER_ADD("service.dispatched", live.size());
   IR_HISTOGRAM("service.batch_size", live.size());
   IR_SPAN("service.batch");
-  const Clock::time_point begin = Clock::now();
   execute_batch_(std::move(live), pool);
-  IR_HISTOGRAM("service.execute_us", micros(Clock::now() - begin));
 }
 
 void ServerCore::dispatch_loop(std::size_t index) {

@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/request_id.hpp"
 #include "parallel/thread_pool.hpp"
 #include "service/request.hpp"
 
@@ -68,14 +69,22 @@ class ServerCore {
   /// its Solver's numbers on top).
   [[nodiscard]] ServiceStats stats() const;
 
-  /// Completion bookkeeping for the typed batch executor.
-  void note_ok(std::uint64_t n) { executed_ok_.fetch_add(n, std::memory_order_relaxed); }
-  void note_failed(std::uint64_t n) {
-    executed_failed_.fetch_add(n, std::memory_order_relaxed);
-  }
+  /// Ledger bump for a request the typed layer rejected before admission
+  /// (malformed sizes) — the only reject try_submit never sees.
+  void note_rejected_invalid();
 
  private:
+  friend class PendingBase;  // finish() routes terminal edges to on_finished
+
+  /// Centralized terminal-edge accounting: bumps exactly one of the
+  /// executed_ok/executed_failed/deadline_misses/cancelled ledger counters,
+  /// the replied counter, the per-phase latency and deadline-slack
+  /// histograms, and the slow-request log.  Called (once per request) from
+  /// PendingBase::finish, from whichever thread finishes the request.
+  void on_finished(PendingBase& pending, Status status, const ResponseInfo& info);
+
   void dispatch_loop(std::size_t index);
+  void ticker_loop();
 
   /// Pop the front request plus every same-key request behind it (bounded by
   /// max_batch).  Requires the lock; requires a non-empty queue.
@@ -95,6 +104,7 @@ class ServerCore {
   bool accepting_ = true;
   bool overloaded_ = false;  ///< watermark hysteresis state
   bool stopping_ = false;
+  bool ticker_stop_ = false;
   std::size_t in_flight_ = 0;
   std::uint64_t peak_queue_depth_ = 0;
 
@@ -107,13 +117,22 @@ class ServerCore {
   std::atomic<std::uint64_t> rejected_queue_full_{0};
   std::atomic<std::uint64_t> rejected_backpressure_{0};
   std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> rejected_invalid_{0};
   std::atomic<std::uint64_t> executed_ok_{0};
   std::atomic<std::uint64_t> executed_failed_{0};
   std::atomic<std::uint64_t> deadline_misses_{0};
   std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> dispatched_{0};
+  std::atomic<std::uint64_t> replied_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> coalesced_requests_{0};
   std::atomic<std::uint64_t> peak_batch_{0};
+  std::atomic<std::uint64_t> ticker_samples_{0};
+
+  obs::IdSequence batch_ids_;  ///< per-core coalesced-group ids, from 1
+
+  std::condition_variable ticker_cv_;
+  std::thread ticker_;  ///< background gauge sampler (ticker_interval_ms > 0)
 
   /// Per-dispatcher pools (empty when exec_threads == 0): reused across
   /// every batch a dispatcher runs, so pool threads are created once per

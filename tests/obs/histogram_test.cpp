@@ -1,0 +1,229 @@
+// Log-linear histogram bucketing + quantile estimation, windowed snapshots
+// under concurrent recording, and the process-wide request-id sequence.
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/request_id.hpp"
+
+namespace {
+
+using namespace ir;
+
+// --- bucketing ------------------------------------------------------------
+
+TEST(Histogram, BucketIndexIsMonotoneNonDecreasing) {
+  // Exhaustive over the first few octaves, then spot-check across the full
+  // 64-bit range at octave boundaries where regressions hide.
+  std::size_t last = 0;
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    const std::size_t bucket = obs::histogram_bucket_of(v);
+    EXPECT_GE(bucket, last) << "value " << v;
+    last = bucket;
+  }
+  for (int shift = 12; shift < 64; ++shift) {
+    const std::uint64_t boundary = std::uint64_t{1} << shift;
+    for (const std::uint64_t v : {boundary - 1, boundary, boundary + 1}) {
+      const std::size_t bucket = obs::histogram_bucket_of(v);
+      EXPECT_GE(bucket, last) << "value " << v;
+      EXPECT_LT(bucket, obs::kHistogramBuckets);
+      last = bucket;
+    }
+  }
+  EXPECT_EQ(obs::histogram_bucket_of(~std::uint64_t{0}),
+            obs::kHistogramBuckets - 1);
+}
+
+TEST(Histogram, BucketLowerInvertsBucketOf) {
+  // Every bucket's lower bound must map back to that bucket, and the value
+  // one below the lower bound must map strictly before it.
+  for (std::size_t b = 0; b < obs::kHistogramBuckets; ++b) {
+    const std::uint64_t lower = obs::histogram_bucket_lower(b);
+    EXPECT_EQ(obs::histogram_bucket_of(lower), b) << "bucket " << b;
+    if (lower > 0) {
+      EXPECT_LT(obs::histogram_bucket_of(lower - 1), b) << "bucket " << b;
+    }
+  }
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  for (std::uint64_t v = 0; v < obs::kHistogramSubBuckets; ++v) {
+    EXPECT_EQ(obs::histogram_bucket_of(v), v);
+    EXPECT_EQ(obs::histogram_bucket_lower(v), v);
+    EXPECT_EQ(obs::histogram_bucket_width(v), 1u);
+  }
+}
+
+TEST(Histogram, RelativeBucketWidthIsBounded) {
+  // The log-linear guarantee: width / lower <= 1 / sub_buckets == 12.5%.
+  for (std::size_t b = obs::kHistogramSubBuckets; b < obs::kHistogramBuckets;
+       ++b) {
+    const double lower = static_cast<double>(obs::histogram_bucket_lower(b));
+    const double width = static_cast<double>(obs::histogram_bucket_width(b));
+    EXPECT_LE(width / lower, 1.0 / obs::kHistogramSubBuckets + 1e-12)
+        << "bucket " << b;
+  }
+}
+
+// --- quantiles ------------------------------------------------------------
+
+// Record a known distribution and require the quantile estimate to land
+// within the containing bucket's width of the exact answer.
+void expect_quantiles_within_bucket_error(const std::vector<std::uint64_t>& values) {
+  std::array<std::uint64_t, obs::kHistogramBuckets> buckets{};
+  for (const auto v : values) buckets[obs::histogram_bucket_of(v)] += 1;
+  std::vector<std::uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const std::size_t rank = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+    const std::uint64_t exact = sorted[rank];
+    const double estimate = obs::histogram_quantile(
+        buckets.data(), buckets.size(), values.size(), q);
+    const double tolerance = static_cast<double>(
+        obs::histogram_bucket_width(obs::histogram_bucket_of(exact)) + 1);
+    EXPECT_NEAR(estimate, static_cast<double>(exact), tolerance)
+        << "q=" << q << " n=" << values.size();
+  }
+}
+
+TEST(Histogram, QuantilesOfUniformRamp) {
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 1; v <= 10'000; ++v) values.push_back(v);
+  expect_quantiles_within_bucket_error(values);
+}
+
+TEST(Histogram, QuantilesOfBimodalLatency) {
+  // The shape the slow-log exists for: a fast mode near 100 and a slow tail
+  // near 100k.  p50 must sit in the fast mode, p99 in the slow tail.
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 980; ++i) values.push_back(100 + i % 7);
+  for (int i = 0; i < 20; ++i) values.push_back(100'000 + i);
+  expect_quantiles_within_bucket_error(values);
+
+  std::array<std::uint64_t, obs::kHistogramBuckets> buckets{};
+  for (const auto v : values) buckets[obs::histogram_bucket_of(v)] += 1;
+  EXPECT_LT(obs::histogram_quantile(buckets.data(), buckets.size(),
+                                    values.size(), 0.5),
+            200.0);
+  EXPECT_GT(obs::histogram_quantile(buckets.data(), buckets.size(),
+                                    values.size(), 0.99),
+            90'000.0);
+}
+
+TEST(Histogram, QuantileDegenerateInputs) {
+  std::array<std::uint64_t, obs::kHistogramBuckets> buckets{};
+  EXPECT_EQ(obs::histogram_quantile(buckets.data(), buckets.size(), 0, 0.5),
+            0.0);
+  buckets[obs::histogram_bucket_of(42)] = 1;
+  EXPECT_NEAR(obs::histogram_quantile(buckets.data(), buckets.size(), 1, 0.5),
+              42.0, 1.0 + obs::histogram_bucket_width(obs::histogram_bucket_of(42)));
+}
+
+// --- windowed snapshots ---------------------------------------------------
+
+TEST(Histogram, WindowedDeltaIsExactBetweenQuietScrapes) {
+  auto histogram = obs::registry().histogram("test.window.quiet");
+  obs::ScrapeWindow window;
+  (void)window.scrape();  // baseline
+
+  histogram.record(10);
+  histogram.record(1000);
+  auto delta = window.scrape();
+  EXPECT_EQ(delta.histogram("test.window.quiet").count(), 2u);
+  EXPECT_EQ(delta.histogram("test.window.quiet").sum, 1010u);
+
+  // Nothing recorded since: the next window is empty.
+  delta = window.scrape();
+  EXPECT_EQ(delta.histogram("test.window.quiet").count(), 0u);
+  EXPECT_EQ(delta.histogram("test.window.quiet").sum, 0u);
+}
+
+TEST(Histogram, WindowedDeltasTelescopeUnderConcurrentRecording) {
+  // Writers hammer one histogram while a scraper takes windows; every
+  // recorded value must land in exactly one window (sum of window counts ==
+  // total recorded), and no window may go negative (clamped subtraction
+  // would hide a non-monotone merge, so check via exact totals instead).
+  auto histogram = obs::registry().histogram("test.window.concurrent");
+  const auto base = obs::registry().snapshot().histogram("test.window.concurrent");
+
+  constexpr std::size_t kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20'000;
+  obs::ScrapeWindow window;
+  (void)window.scrape();
+
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&histogram] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) histogram.record(i & 1023);
+    });
+  }
+  std::uint64_t windowed_count = base.count();
+  std::uint64_t windowed_sum = base.sum;
+  for (int scrapes = 0; scrapes < 50; ++scrapes) {
+    const auto delta = window.scrape();
+    windowed_count += delta.histogram("test.window.concurrent").count();
+    windowed_sum += delta.histogram("test.window.concurrent").sum;
+  }
+  for (auto& thread : writers) thread.join();
+  const auto final_delta = window.scrape();
+  windowed_count += final_delta.histogram("test.window.concurrent").count();
+  windowed_sum += final_delta.histogram("test.window.concurrent").sum;
+
+  const auto total = obs::registry().snapshot().histogram("test.window.concurrent");
+  EXPECT_EQ(windowed_count, total.count());
+  EXPECT_EQ(windowed_sum, total.sum);
+}
+
+TEST(Histogram, SnapshotDeltaPassesGaugesThrough) {
+  auto gauge = obs::registry().gauge("test.window.gauge");
+  gauge.record_max(77);
+  obs::ScrapeWindow window;
+  const auto delta = window.scrape();
+  // Gauges are levels, not flows: the window reports the current value.
+  EXPECT_EQ(delta.gauge("test.window.gauge"), 77u);
+}
+
+// --- request ids ----------------------------------------------------------
+
+TEST(RequestId, SequenceIsDenseFromOne) {
+  obs::IdSequence sequence;
+  EXPECT_EQ(sequence.next(), 1u);
+  EXPECT_EQ(sequence.next(), 2u);
+  EXPECT_EQ(sequence.next(), 3u);
+}
+
+TEST(RequestId, ProcessWideIdsAreUniqueAcrossThreads) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 10'000;
+  std::vector<std::vector<std::uint64_t>> drawn(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&drawn, t] {
+      drawn[t].reserve(kPerThread);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        drawn[t].push_back(obs::next_request_id());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::set<std::uint64_t> unique;
+  for (const auto& ids : drawn) {
+    for (const auto id : ids) {
+      EXPECT_NE(id, 0u);  // 0 is reserved for "no request"
+      EXPECT_TRUE(unique.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(unique.size(), kThreads * kPerThread);
+}
+
+}  // namespace

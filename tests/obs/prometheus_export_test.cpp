@@ -1,0 +1,105 @@
+// Prometheus text exposition: name sanitization, exposition shape for all
+// three metric kinds, and the atomic file write.
+#include "obs/prometheus_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+
+namespace {
+
+using namespace ir;
+
+TEST(PrometheusExport, NameSanitization) {
+  EXPECT_EQ(obs::prometheus_name("service.latency.total_us"),
+            "ir_service_latency_total_us");
+  EXPECT_EQ(obs::prometheus_name("already_clean_123"), "ir_already_clean_123");
+  EXPECT_EQ(obs::prometheus_name("weird-chars:and spaces"),
+            "ir_weird_chars_and_spaces");
+}
+
+// A hand-built snapshot keeps the expected text independent of whatever other
+// tests recorded into the process-wide registry.
+obs::MetricsSnapshot sample_snapshot() {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters["service.replied"] = 42;
+  snapshot.gauges["service.queue_depth"] = 7;
+  obs::MetricsSnapshot::Histogram histogram;
+  for (int i = 0; i < 10; ++i) {
+    histogram.buckets[obs::histogram_bucket_of(100)] += 1;
+    histogram.sum += 100;
+  }
+  snapshot.histograms["service.latency.total_us"] = histogram;
+  return snapshot;
+}
+
+TEST(PrometheusExport, CounterAndGaugeLines) {
+  const std::string text = obs::prometheus_text(sample_snapshot());
+  EXPECT_NE(text.find("# TYPE ir_service_replied counter\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ir_service_replied 42\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE ir_service_queue_depth gauge\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ir_service_queue_depth 7\n"), std::string::npos) << text;
+}
+
+TEST(PrometheusExport, HistogramRendersAsSummary) {
+  const std::string text = obs::prometheus_text(sample_snapshot());
+  EXPECT_NE(text.find("# TYPE ir_service_latency_total_us summary"),
+            std::string::npos)
+      << text;
+  // All four quantile labels present; every sample was 100, so the rendered
+  // quantile must parse back within one bucket width of 100.
+  for (const char* label : {"0.5", "0.9", "0.99", "0.999"}) {
+    const std::string needle =
+        std::string("ir_service_latency_total_us{quantile=\"") + label + "\"} ";
+    const auto at = text.find(needle);
+    ASSERT_NE(at, std::string::npos) << "missing " << needle << "\n" << text;
+    const double value = std::stod(text.substr(at + needle.size()));
+    EXPECT_NEAR(value, 100.0,
+                obs::histogram_bucket_width(obs::histogram_bucket_of(100)) + 1)
+        << label;
+  }
+  EXPECT_NE(text.find("ir_service_latency_total_us_sum 1000\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ir_service_latency_total_us_count 10\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusExport, EveryLineIsCommentOrSample) {
+  // Grammar smoke: each non-empty line is a '#' comment or
+  // "name[{labels}] value".
+  std::istringstream text(obs::prometheus_text(sample_snapshot()));
+  std::string line;
+  while (std::getline(text, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << "no value on line: " << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+    const std::string name = line.substr(0, space);
+    EXPECT_EQ(name.rfind("ir_", 0), 0u) << "unprefixed metric: " << line;
+  }
+}
+
+TEST(PrometheusExport, FileWriteMatchesText) {
+  const std::string path = ::testing::TempDir() + "prometheus_export_test.prom";
+  const auto snapshot = sample_snapshot();
+  obs::write_prometheus_file(path, snapshot);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), obs::prometheus_text(snapshot));
+  std::remove(path.c_str());
+}
+
+}  // namespace

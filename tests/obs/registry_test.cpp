@@ -92,13 +92,26 @@ TEST(Registry, GaugeMergesWithMaxAcrossThreads) {
   EXPECT_EQ(obs::registry().snapshot().gauge("test.registry.gauge_max"), 100u);
 }
 
-TEST(Registry, HistogramBucketsArePowersOfTwo) {
-  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
-  EXPECT_EQ(obs::Histogram::bucket_of(1), 1u);
-  EXPECT_EQ(obs::Histogram::bucket_of(2), 2u);
-  EXPECT_EQ(obs::Histogram::bucket_of(3), 2u);
-  EXPECT_EQ(obs::Histogram::bucket_of(4), 3u);
+TEST(Registry, HistogramBucketsAreLogLinear) {
+  // The linear region is exact: one bucket per value below 2^kSubBits.
+  for (std::uint64_t v = 0; v < obs::kHistogramSubBuckets; ++v) {
+    EXPECT_EQ(obs::Histogram::bucket_of(v), v);
+  }
+  // Past the linear region, values 3 and 4 no longer share a bucket — the
+  // old power-of-two scheme collapsed them, which is what this pins against.
+  EXPECT_NE(obs::Histogram::bucket_of(8), obs::Histogram::bucket_of(15));
   EXPECT_EQ(obs::Histogram::bucket_of(~0ull), obs::kHistogramBuckets - 1);
+}
+
+TEST(Registry, HistogramSnapshotCarriesSumAndQuantiles) {
+  auto histogram = obs::registry().histogram("test.registry.sum_hist");
+  for (std::uint64_t v : {10u, 20u, 30u, 40u}) histogram.record(v);
+  const auto snap = obs::registry().snapshot().histogram("test.registry.sum_hist");
+  EXPECT_EQ(snap.count(), 4u);
+  EXPECT_EQ(snap.sum, 100u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 25.0);
+  // p50 is the 2nd of 4 samples (value 20); bucket error ≤ 12.5%.
+  EXPECT_NEAR(snap.quantile(0.5), 20.0, 20.0 * 0.125 + 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json bench reports against the ir-bench-report schema.
+
+Usage:
+  check_bench_json.py FILE [FILE...]          validate existing report files
+  check_bench_json.py --bench BIN [ARG...]    run a bench binary end to end
+
+File mode checks each report parses and conforms to schema version 1
+(docs/benchmarking.md): schema/version/bench/machine/config/variants fields,
+every variant carrying name/unit/samples/per_op/p50/p90/p99/min/max with
+finite non-negative numbers, min <= p50 <= p90 <= p99 <= max, and variant
+names unique within a report.
+
+End-to-end mode runs `BIN ARG... --report=TMP` and validates the file the
+binary wrote — what the ctest entry `bench.report_json_format` does.
+
+Exit code 0 on success; a diagnostic plus exit code 1 otherwise.
+"""
+
+import json
+import math
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SCHEMA = "ir-bench-report"
+VERSION = 1
+VARIANT_NUMBERS = ("per_op", "p50", "p90", "p99", "min", "max")
+
+
+def fail(message):
+    print(f"check_bench_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_report(path):
+    try:
+        report = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{path}: {error}")
+
+    if report.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {report.get('schema')!r}, want {SCHEMA!r}")
+    if report.get("version") != VERSION:
+        fail(f"{path}: version is {report.get('version')!r}, want {VERSION}")
+    if not isinstance(report.get("bench"), str) or not report["bench"]:
+        fail(f"{path}: 'bench' must be a non-empty string")
+
+    machine = report.get("machine")
+    if not isinstance(machine, dict):
+        fail(f"{path}: 'machine' must be an object")
+    for key in ("hardware_concurrency", "compiler", "pointer_bits"):
+        if key not in machine:
+            fail(f"{path}: machine is missing '{key}'")
+
+    if not isinstance(report.get("config"), dict):
+        fail(f"{path}: 'config' must be an object")
+
+    variants = report.get("variants")
+    if not isinstance(variants, list) or not variants:
+        fail(f"{path}: 'variants' must be a non-empty array")
+    names = set()
+    for variant in variants:
+        name = variant.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{path}: variant missing a name: {variant}")
+        if name in names:
+            fail(f"{path}: duplicate variant name '{name}'")
+        names.add(name)
+        if variant.get("unit") not in ("ns", "instructions"):
+            fail(f"{path}: variant '{name}' has unknown unit "
+                 f"{variant.get('unit')!r}")
+        if not isinstance(variant.get("samples"), int) or variant["samples"] < 1:
+            fail(f"{path}: variant '{name}' needs samples >= 1")
+        for key in VARIANT_NUMBERS:
+            value = variant.get(key)
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                fail(f"{path}: variant '{name}' field '{key}' must be a "
+                     f"finite number, got {value!r}")
+            if value < 0:
+                fail(f"{path}: variant '{name}' field '{key}' is negative")
+        if not (variant["min"] <= variant["p50"] <= variant["p90"]
+                <= variant["p99"] <= variant["max"]):
+            fail(f"{path}: variant '{name}' percentiles are not ordered: "
+                 f"{[variant[k] for k in VARIANT_NUMBERS[1:]]}")
+    return report["bench"], len(variants)
+
+
+def main():
+    if len(sys.argv) >= 3 and sys.argv[1] == "--bench":
+        with tempfile.TemporaryDirectory() as tmp:
+            report_file = Path(tmp) / "BENCH_report.json"
+            command = sys.argv[2:] + [f"--report={report_file}"]
+            run = subprocess.run(command, capture_output=True, text=True)
+            if run.returncode != 0:
+                fail(f"bench exited {run.returncode}:\n{run.stdout}\n{run.stderr}")
+            if not report_file.exists():
+                fail(f"bench did not write {report_file}")
+            bench, n_variants = validate_report(report_file)
+        print(f"check_bench_json: OK (end-to-end: bench '{bench}', "
+              f"{n_variants} variants)")
+        return
+
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        bench, n_variants = validate_report(path)
+        print(f"check_bench_json: OK ({path}: bench '{bench}', "
+              f"{n_variants} variants)")
+
+
+if __name__ == "__main__":
+    main()

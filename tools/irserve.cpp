@@ -12,21 +12,32 @@
 //   [<ir-values v1 document>      only with values=inline
 //   .]
 //
-//   ping | stats | drain | quit
+//   ping | stats | metrics | drain | quit
 //
 // Responses (one per request, in order):
 //
-//   ok id=N engine=E fingerprint=F batch=K coalesced=0|1 wait_us=W exec_us=X
-//      cells=C checksum=S
+//   ok id=N rid=R engine=E fingerprint=F batch=K coalesced=0|1 wait_us=W
+//      exec_us=X cells=C checksum=S
 //   values C v0 v1 ... v{C-1}     (follows each ok line)
 //   error id=N status=<reason> detail=<text>
-//   pong | stats <fields> | drained | bye
+//   pong | stats v=2 <fields> | <prometheus text> . | drained <ledger> | bye
+//
+// `stats` answers one line: the ServiceStats ledger plus live latency
+// quantiles (p50/p90/p99/p999 of service.latency.total_us) and the delta
+// since the previous stats call (win_count/win_p99_us).  `metrics` answers a
+// Prometheus text exposition terminated by a lone "." line; --metrics-file
+// with --metrics-interval-ms dumps the same exposition to a file on a timer
+// (atomic rename, scrape-safe).  `drain` reports the final ledger inline —
+// `drained accepted=... replied=... ... balanced=0|1` — so soak scripts
+// assert the lifecycle balance without parsing stderr.
 //
 // The operation is modular multiplication with a server-wide modulus
 // (--mod=P); without values=inline the initial array is 1 + cell mod 97,
 // matching `irtool solve`.  --inject-slow-ns=NS busy-waits NS nanoseconds in
 // every combine — the load-injection knob the CI soak leg uses to create
-// real queue pressure and deadline misses.
+// real queue pressure and deadline misses.  --slow-log=FILE with
+// --slow-threshold-us=T appends one JSON line per slow request
+// (docs/observability.md).
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -36,6 +47,7 @@
 #include <cstring>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -49,6 +61,9 @@
 #include "algebra/monoids.hpp"
 #include "core/serialize.hpp"
 #include "obs/metrics_export.hpp"
+#include "obs/prometheus_export.hpp"
+#include "obs/registry.hpp"
+#include "service/request_trace.hpp"
 #include "service/server.hpp"
 
 namespace {
@@ -88,6 +103,11 @@ struct ServeFlags {
   std::uint64_t slow_ns = 0;
   int socket_port = -1;  ///< -1 = stdin/stdout
   std::string metrics_file;
+  std::string slow_log_file;
+  std::uint64_t slow_threshold_us = 0;  ///< 0 = 10ms default when slow-log set
+  std::size_t ticker_ms = 20;
+  std::string prom_file;               ///< --metrics-file periodic exposition
+  std::size_t prom_interval_ms = 1000;
   service::ServiceConfig config;
 };
 
@@ -97,11 +117,85 @@ int usage() {
                "               [--exec-threads=N] [--queue-cap=N] [--max-batch=N]\n"
                "               [--high-watermark=N] [--low-watermark=N]\n"
                "               [--inject-slow-ns=NS] [--metrics=FILE]\n"
+               "               [--slow-log=FILE] [--slow-threshold-us=T]\n"
+               "               [--ticker-ms=MS] [--metrics-file=FILE]\n"
+               "               [--metrics-interval-ms=MS]\n"
                "\n"
                "Reads the docs/service.md line protocol from stdin (or the\n"
                "socket) and writes one response per request in order.\n");
   return 2;
 }
+
+/// Registry snapshot with the ServiceStats ledger merged in as
+/// service.stats.* counters/gauges, so one Prometheus exposition carries
+/// both the histogram quantiles and the request ledger.
+obs::MetricsSnapshot service_snapshot(const Serve& server) {
+  obs::MetricsSnapshot snap = obs::registry().snapshot();
+  const service::ServiceStats stats = server.stats();
+  snap.counters["service.stats.accepted"] = stats.accepted;
+  snap.counters["service.stats.rejected"] = stats.rejected();
+  snap.counters["service.stats.executed_ok"] = stats.executed_ok;
+  snap.counters["service.stats.executed_failed"] = stats.executed_failed;
+  snap.counters["service.stats.deadline_misses"] = stats.deadline_misses;
+  snap.counters["service.stats.cancelled"] = stats.cancelled;
+  snap.counters["service.stats.dispatched"] = stats.dispatched;
+  snap.counters["service.stats.replied"] = stats.replied;
+  snap.counters["service.stats.batches"] = stats.batches;
+  snap.counters["service.stats.coalesced_requests"] = stats.coalesced_requests;
+  snap.counters["service.stats.plan_compiles"] = stats.plan_compiles;
+  snap.gauges["service.stats.queue_depth"] = stats.queue_depth;
+  snap.gauges["service.stats.in_flight"] = stats.in_flight;
+  snap.gauges["service.stats.peak_queue_depth"] = stats.peak_queue_depth;
+  snap.gauges["service.stats.peak_batch"] = stats.peak_batch;
+  return snap;
+}
+
+/// Background timer writing the Prometheus exposition to a file every
+/// interval (and once more at shutdown), via atomic rename.
+class MetricsDumper {
+ public:
+  MetricsDumper(std::string path, std::size_t interval_ms, const Serve& server)
+      : path_(std::move(path)), interval_ms_(interval_ms), server_(server),
+        thread_([this] { run(); }) {}
+
+  ~MetricsDumper() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    dump();  // final exposition reflects the drained ledger
+  }
+
+ private:
+  void dump() {
+    try {
+      obs::write_prometheus_file(path_, service_snapshot(server_));
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "irserve: metrics dump failed: %s\n", error.what());
+    }
+  }
+
+  void run() {
+    std::unique_lock lock(mutex_);
+    while (!stop_) {
+      lock.unlock();
+      dump();
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                   [this] { return stop_; });
+    }
+  }
+
+  std::string path_;
+  std::size_t interval_ms_;
+  const Serve& server_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 /// One queued reply: either already-final text, or a future to await.  The
 /// writer thread drains these in FIFO order, so pipelined clients see
@@ -177,9 +271,11 @@ class ReplyWriter {
           std::chrono::duration_cast<std::chrono::microseconds>(d).count());
     };
     std::fprintf(out_,
-                 "ok id=%llu engine=%s fingerprint=%llu batch=%zu coalesced=%d "
-                 "wait_us=%llu exec_us=%llu cells=%zu checksum=%llu\n",
-                 static_cast<unsigned long long>(id), response.info.engine.c_str(),
+                 "ok id=%llu rid=%llu engine=%s fingerprint=%llu batch=%zu "
+                 "coalesced=%d wait_us=%llu exec_us=%llu cells=%zu checksum=%llu\n",
+                 static_cast<unsigned long long>(id),
+                 static_cast<unsigned long long>(response.info.trace.request_id),
+                 response.info.engine.c_str(),
                  static_cast<unsigned long long>(response.info.plan_fingerprint),
                  response.info.batch_size, response.info.coalesced ? 1 : 0,
                  us(response.info.wait), us(response.info.execute),
@@ -244,9 +340,52 @@ std::optional<core::EngineChoice> engine_from_name(const std::string& name) {
   return std::nullopt;
 }
 
+/// The one-line `stats` v2 reply: ledger + latency quantiles + the window
+/// delta since the previous stats call.
+std::string stats_v2_line(Serve& server, obs::ScrapeWindow& window) {
+  std::string line = "stats v=2 " + server.stats().to_string();
+  const auto quantile_us = [](const obs::MetricsSnapshot::Histogram& h, double q) {
+    return std::to_string(static_cast<std::uint64_t>(h.quantile(q)));
+  };
+  const auto total =
+      obs::registry().snapshot().histogram("service.latency.total_us");
+  line += " p50_us=" + quantile_us(total, 0.5);
+  line += " p90_us=" + quantile_us(total, 0.9);
+  line += " p99_us=" + quantile_us(total, 0.99);
+  line += " p999_us=" + quantile_us(total, 0.999);
+  const auto win = window.scrape().histogram("service.latency.total_us");
+  line += " win_count=" + std::to_string(win.count());
+  line += " win_p99_us=" + quantile_us(win, 0.99);
+  return line;
+}
+
+/// The `drained <ledger>` reply: final totals plus the balance verdict —
+/// every accepted request reached exactly one terminal edge and was replied.
+std::string drained_line(const service::ServiceStats& stats) {
+  const bool balanced =
+      stats.accepted == stats.completed() && stats.replied == stats.accepted;
+  std::string line = "drained";
+  const auto field = [&line](const char* name, std::uint64_t value) {
+    line += ' ';
+    line += name;
+    line += '=';
+    line += std::to_string(value);
+  };
+  field("accepted", stats.accepted);
+  field("replied", stats.replied);
+  field("executed_ok", stats.executed_ok);
+  field("executed_failed", stats.executed_failed);
+  field("deadline_misses", stats.deadline_misses);
+  field("cancelled", stats.cancelled);
+  field("rejected", stats.rejected());
+  field("balanced", balanced ? 1 : 0);
+  return line;
+}
+
 /// Serve one connection (stdin/stdout or an accepted socket) until EOF or
 /// `quit`.  Returns false when the server should stop accepting connections.
-bool serve_session(std::FILE* in, std::FILE* out, Serve& server) {
+bool serve_session(std::FILE* in, std::FILE* out, Serve& server,
+                   obs::ScrapeWindow& window) {
   ReplyWriter writer(out);
   char* line = nullptr;
   std::size_t cap = 0;
@@ -261,12 +400,16 @@ bool serve_session(std::FILE* in, std::FILE* out, Serve& server) {
     if (command == "ping") {
       writer.push(Reply::text("pong"));
     } else if (command == "stats") {
-      writer.push(Reply::text("stats " + server.stats().to_string()));
+      writer.push(Reply::text(stats_v2_line(server, window)));
+    } else if (command == "metrics") {
+      // Prometheus text exposition, terminated by a lone "." so pipelined
+      // clients can find the end without content-length framing.
+      writer.push(Reply::text(obs::prometheus_text(service_snapshot(server)) + "."));
     } else if (command == "drain") {
       // Terminal: stops admission, waits for in-flight work.  Subsequent
       // solves answer status=shutdown.
       server.drain();
-      writer.push(Reply::text("drained"));
+      writer.push(Reply::text(drained_line(server.stats())));
     } else if (command == "quit") {
       writer.push(Reply::text("bye"));
       keep_listening = false;
@@ -361,7 +504,7 @@ bool serve_session(std::FILE* in, std::FILE* out, Serve& server) {
   return keep_listening;
 }
 
-int serve_socket(int port, Serve& server) {
+int serve_socket(int port, Serve& server, obs::ScrapeWindow& window) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
     std::perror("irserve: socket");
@@ -405,7 +548,7 @@ int serve_socket(int port, Serve& server) {
       if (out != nullptr) std::fclose(out);
       continue;
     }
-    keep_listening = serve_session(in, out, server);
+    keep_listening = serve_session(in, out, server, window);
     std::fclose(out);
     std::fclose(in);
   }
@@ -442,21 +585,47 @@ int main(int argc, char** argv) {
       flags.slow_ns = number(17);
     } else if (arg.rfind("--metrics=", 0) == 0) {
       flags.metrics_file = arg.substr(10);
+    } else if (arg.rfind("--slow-log=", 0) == 0) {
+      flags.slow_log_file = arg.substr(11);
+    } else if (arg.rfind("--slow-threshold-us=", 0) == 0) {
+      flags.slow_threshold_us = number(20);
+    } else if (arg.rfind("--ticker-ms=", 0) == 0) {
+      flags.ticker_ms = number(12);
+    } else if (arg.rfind("--metrics-file=", 0) == 0) {
+      flags.prom_file = arg.substr(15);
+    } else if (arg.rfind("--metrics-interval-ms=", 0) == 0) {
+      flags.prom_interval_ms = number(22);
     } else {
       return usage();
     }
   }
 
   try {
+    std::unique_ptr<service::SlowLog> slow_log;
+    if (!flags.slow_log_file.empty()) {
+      slow_log = std::make_unique<service::SlowLog>(flags.slow_log_file);
+      flags.config.slow_log = slow_log.get();
+      flags.config.slow_request_ns =
+          (flags.slow_threshold_us != 0 ? flags.slow_threshold_us : 10'000) * 1000;
+    }
+    flags.config.ticker_interval_ms = flags.ticker_ms;
+
     ServeOp op{algebra::ModMulMonoid(flags.mod), flags.slow_ns};
     Serve server(op, flags.config);
+    obs::ScrapeWindow window;
+    std::unique_ptr<MetricsDumper> dumper;
+    if (!flags.prom_file.empty()) {
+      dumper = std::make_unique<MetricsDumper>(flags.prom_file,
+                                               flags.prom_interval_ms, server);
+    }
     int rc = 0;
     if (flags.socket_port >= 0) {
-      rc = serve_socket(flags.socket_port, server);
+      rc = serve_socket(flags.socket_port, server, window);
     } else {
-      serve_session(stdin, stdout, server);
+      serve_session(stdin, stdout, server, window);
     }
     server.shutdown();
+    dumper.reset();  // final dump sees the drained ledger
     if (!flags.metrics_file.empty()) {
       const service::ServiceStats stats = server.stats();
       obs::ExtraFields extra = {

@@ -2,14 +2,20 @@
 # Soak-smoke the irserve frontend (docs/service.md): pipeline many solve
 # requests at a deliberately tiny queue with a slow injected operation
 # (--inject-slow-ns) and per-request deadline pressure, then check the
-# protocol invariants that must survive overload:
+# protocol and observability invariants that must survive overload:
 #
 #   * every solve is answered exactly once (ok or a typed error) in order,
-#   * control commands still answer under load (pong / stats / drained / bye),
-#   * the process exits cleanly after quit.
+#   * every ok reply carries a request id (rid=),
+#   * control commands still answer under load (pong / stats v=2 / metrics /
+#     drained / bye),
+#   * the drained ledger balances: accepted == completed == replied,
+#   * the slow-request log captured JSON lines (threshold 1 us, slow op
+#     injected, so every executed request is "slow"),
+#   * the Prometheus metrics file exists; when the build has telemetry the
+#     service.latency summary is present with a non-zero quantile.
 #
 # Run against a sanitizer build (CI runs it under TSan) this doubles as a
-# race/leak check on the queue, coalescer, and reply-writer paths.
+# race/leak check on the queue, coalescer, ticker, and reply-writer paths.
 #
 # Usage: tools/serve_soak.sh BUILD_DIR
 set -euo pipefail
@@ -22,7 +28,10 @@ DIR="$1"
 REQUESTS=150
 SYS="${DIR}/serve-soak-system.ir"
 OUT="${DIR}/serve-soak-out.txt"
+SLOW_LOG="${DIR}/serve-soak-slow.jsonl"
+PROM="${DIR}/serve-soak-metrics.prom"
 
+rm -f "${SLOW_LOG}" "${PROM}"
 "${DIR}/examples/irtool" gen chain 128 > "${SYS}"
 
 {
@@ -39,11 +48,14 @@ OUT="${DIR}/serve-soak-out.txt"
     echo "."
   done
   echo "stats"
+  echo "metrics"
   echo "drain"
   echo "quit"
 } | "${DIR}/tools/irserve" \
       --inject-slow-ns=40000 --queue-cap=16 --high-watermark=12 \
-      --low-watermark=4 --dispatchers=2 --max-batch=8 \
+      --low-watermark=4 --dispatchers=2 --max-batch=8 --ticker-ms=5 \
+      --slow-log="${SLOW_LOG}" --slow-threshold-us=1 \
+      --metrics-file="${PROM}" --metrics-interval-ms=50 \
       --metrics="${DIR}/serve-soak-metrics.json" > "${OUT}"
 
 answered="$(grep -c -E '^(ok|error) ' "${OUT}" || true)"
@@ -51,13 +63,59 @@ if [[ "${answered}" != "${REQUESTS}" ]]; then
   echo "serve soak: expected ${REQUESTS} solve responses, got ${answered}" >&2
   exit 1
 fi
-for marker in '^pong$' '^stats ' '^drained$' '^bye$'; do
+for marker in '^pong$' '^stats v=2 ' '^drained ' '^bye$'; do
   if ! grep -q "${marker}" "${OUT}"; then
     echo "serve soak: missing '${marker}' in ${OUT}" >&2
     exit 1
   fi
 done
 
+# Every ok reply must carry the process-unique request id.
+ok_count="$(grep -c -E '^ok ' "${OUT}" || true)"
+rid_count="$(grep -c -E '^ok id=[0-9]+ rid=[0-9]+ ' "${OUT}" || true)"
+if [[ "${ok_count}" != "${rid_count}" ]]; then
+  echo "serve soak: ${ok_count} ok replies but only ${rid_count} carry rid=" >&2
+  exit 1
+fi
+
+# The inline `metrics` scrape answers in Prometheus text ended by ".".
+if ! grep -q '^# TYPE ir_' "${OUT}"; then
+  echo "serve soak: 'metrics' reply carried no Prometheus text" >&2
+  exit 1
+fi
+
+# The drained ledger must balance: every accepted request reached exactly one
+# terminal edge and was replied to.
+drained="$(grep -E '^drained ' "${OUT}" | tail -1)"
+if ! grep -qE '^drained .*balanced=1' <<< "${drained}"; then
+  echo "serve soak: drained ledger does not balance: ${drained}" >&2
+  exit 1
+fi
+
+# Slow log: 1 us threshold + 40 us injected slow op => every executed request
+# logged one JSON record.
+if [[ ! -s "${SLOW_LOG}" ]] || ! grep -q '"request_id":' "${SLOW_LOG}"; then
+  echo "serve soak: slow log ${SLOW_LOG} is empty or malformed" >&2
+  exit 1
+fi
+
+# Prometheus file dump (periodic + final): must exist; with telemetry on, the
+# latency summary must carry a non-zero p50 (telemetry-off builds expose only
+# the service.stats ledger, so the check is conditional on the summary).
+if [[ ! -s "${PROM}" ]]; then
+  echo "serve soak: metrics file ${PROM} was not written" >&2
+  exit 1
+fi
+if grep -q '^ir_service_latency_total_us_count' "${PROM}"; then
+  p50="$(grep -E '^ir_service_latency_total_us\{quantile="0.5"\} ' "${PROM}" \
+         | awk '{print $2}')"
+  if [[ -z "${p50}" || "${p50}" == "0" ]]; then
+    echo "serve soak: service.latency p50 missing or zero in ${PROM}" >&2
+    exit 1
+  fi
+fi
+
 echo "serve soak: ${REQUESTS} requests answered;" \
-     "$(grep -c -E '^ok ' "${OUT}" || true) ok," \
-     "$(grep -c -E '^error ' "${OUT}" || true) rejected/expired"
+     "${ok_count} ok," \
+     "$(grep -c -E '^error ' "${OUT}" || true) rejected/expired;" \
+     "$(wc -l < "${SLOW_LOG}") slow-log records; ledger balanced"

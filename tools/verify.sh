@@ -5,7 +5,8 @@
 # configuration also runs the bounded differential fuzzer (irfuzz --smoke +
 # --selftest), so the engine sweep and the shrinker are exercised on each pass.
 #
-# Usage: tools/verify.sh [--asan] [--lint] [--serve] [build-dir-prefix]   (default prefix: build)
+# Usage: tools/verify.sh [--asan] [--lint] [--serve] [--bench-report] [build-dir-prefix]
+#   (default prefix: build)
 #   --asan   add a third pass built with -DIR_SANITIZE=address;undefined
 #   --lint   statically certify every corpus witness and generated schedule
 #            with `irtool lint` (exit 0 = certified, 1 = violation, 2 = usage),
@@ -14,6 +15,11 @@
 #   --serve  soak-smoke the irserve batch-solve frontend under injected-slow
 #            load and deadline pressure (tools/serve_soak.sh) in every
 #            configuration this invocation builds
+#   --bench-report  run all four benches quick-mode with --report=BENCH_*.json
+#            in both telemetry configurations, schema-validate the reports
+#            (tools/check_bench_json.py), and diff them against the committed
+#            baseline in bench/baseline/ (tools/bench_compare.py --warn-only;
+#            warn-only because verify machines differ from the baseline host)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,15 +27,34 @@ cd "$(dirname "$0")/.."
 ASAN=0
 LINT=0
 SERVE=0
+BENCH_REPORT=0
 PREFIX="build"
 for arg in "$@"; do
   case "${arg}" in
     --asan) ASAN=1 ;;
     --lint) LINT=1 ;;
     --serve) SERVE=1 ;;
+    --bench-report) BENCH_REPORT=1 ;;
     *) PREFIX="${arg}" ;;
   esac
 done
+
+# Quick-mode bench sweep writing BENCH_*.json into DIR/bench-reports, then
+# schema validation + baseline comparison.
+run_bench_reports() {
+  local dir="$1"
+  local out="${dir}/bench-reports"
+  mkdir -p "${out}"
+  "${dir}/bench/bench_plan_reuse" --smoke --report="${out}/BENCH_plan_reuse.json"
+  "${dir}/bench/bench_service_throughput" --smoke \
+      --report="${out}/BENCH_service_throughput.json"
+  "${dir}/bench/bench_fig3_pram" --smoke --report="${out}/BENCH_fig3_pram.json"
+  "${dir}/bench/bench_speedup_threads" --benchmark_min_time=0.01 \
+      --benchmark_filter=/100000 --report="${out}/BENCH_speedup_threads.json" \
+      >/dev/null
+  python3 tools/check_bench_json.py "${out}"/BENCH_*.json
+  python3 tools/bench_compare.py --warn-only bench/baseline "${out}"
+}
 
 run_suite() {
   local dir="$1"
@@ -51,6 +76,11 @@ echo "== telemetry ON: bench_plan_reuse + bench_service_throughput smoke =="
 "${PREFIX}/bench/bench_plan_reuse" --smoke --metrics="${PREFIX}/plan_reuse_smoke.json"
 "${PREFIX}/bench/bench_service_throughput" --smoke --metrics="${PREFIX}/service_smoke.json"
 
+if [[ "${BENCH_REPORT}" == "1" ]]; then
+  echo "== telemetry ON: BENCH_*.json reports + schema check + baseline diff =="
+  run_bench_reports "${PREFIX}"
+fi
+
 echo "== telemetry OFF: configure + build + ctest + irfuzz =="
 cmake -B "${PREFIX}-notelemetry" -S . -DIR_TELEMETRY=OFF >/dev/null
 cmake --build "${PREFIX}-notelemetry" -j"$(nproc)"
@@ -59,6 +89,11 @@ run_suite "${PREFIX}-notelemetry"
 echo "== telemetry OFF: bench_plan_reuse + bench_service_throughput smoke =="
 "${PREFIX}-notelemetry/bench/bench_plan_reuse" --smoke
 "${PREFIX}-notelemetry/bench/bench_service_throughput" --smoke
+
+if [[ "${BENCH_REPORT}" == "1" ]]; then
+  echo "== telemetry OFF: BENCH_*.json reports + schema check + baseline diff =="
+  run_bench_reports "${PREFIX}-notelemetry"
+fi
 
 if [[ "${LINT}" == "1" ]]; then
   echo "== lint: irtool lint over corpus witnesses and generated systems =="
