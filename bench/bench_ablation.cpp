@@ -11,6 +11,10 @@
 //          edge blowup for O(log) depth.  Metric: wall time + peak edges.
 //   ABL-4  CAP per-round coalescing (paper's paths-addition every round)
 //          vs merging once at the end.  Metric: peak intermediate edges.
+// Exercises the deprecated one-shot shims (core/compat.hpp) on purpose;
+// the define keeps -Werror builds green without losing the diagnostic
+// elsewhere.
+#define IR_COMPAT_ALLOW_DEPRECATED
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -20,7 +24,7 @@
 #include "core/ordinary_ir.hpp"
 #include "core/ordinary_ir_blocked.hpp"
 #include "core/ordinary_ir_pram.hpp"
-#include "core/ordinary_ir_spmd.hpp"
+#include "core/compat.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 #include "testing_workloads.hpp"

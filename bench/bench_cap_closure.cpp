@@ -6,9 +6,14 @@
 //                      power-as-atomic assumption.
 //   BM_CapReferenceDp— the sequential work-efficient DP on the same graphs.
 //   BM_GirEndToEnd   — full GIR solve (graph build + CAP + powered eval).
+// Exercises the deprecated one-shot shims (core/compat.hpp) on purpose;
+// the define keeps -Werror builds green without losing the diagnostic
+// elsewhere.
+#define IR_COMPAT_ALLOW_DEPRECATED
 #include <benchmark/benchmark.h>
 
 #include "algebra/monoids.hpp"
+#include "core/compat.hpp"
 #include "core/general_ir.hpp"
 #include "graph/cap.hpp"
 #include "testing_workloads.hpp"

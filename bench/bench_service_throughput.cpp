@@ -10,7 +10,10 @@
 //               requests share ONE single-flighted compile (plan-keyed
 //               coalescing + the server's content-addressed cache), queued
 //               requests batch into execute_many, and value arrays replay
-//               in parallel on the dispatcher's pool where cores allow
+//               in parallel on the dispatcher's pool where cores allow.
+//               Measured twice: with coalesced batches routed through the
+//               wide SoA executor (service/*, the default) and with wide
+//               dispatch off (service-scalar/*)
 //
 // The acceptance target for this PR is service < sequential wall-clock at
 // n = 50,000, K = 16.
@@ -103,45 +106,65 @@ int main(int argc, char** argv) {
   // --- service: the same K requests through the batch-solve server ---------
   // Request construction (the copies a client would hand over) happens
   // outside the timed region; admission, keying, coalescing, compile, and
-  // execution are all inside it.
-  std::vector<service::Server<algebra::ModMulMonoid>::Request> requests(repeats);
-  for (auto& request : requests) {
-    request.sys = sys;
-    request.initial = init;
-  }
-  std::vector<std::uint64_t> svc_out;
-  std::vector<double> request_latency_ns;  // per-request wait + execute
-  request_latency_ns.reserve(repeats);
-  service::ServiceStats stats;
-  watch.lap();
-  {
-    service::ServiceConfig config;
-    config.dispatchers = 2;
-    config.exec_threads = threads > 1 ? threads : 0;
-    config.max_batch = repeats;
-    service::Server<algebra::ModMulMonoid> server(op, config);
-    using Response = service::Server<algebra::ModMulMonoid>::Response;
-    std::vector<std::future<Response>> futures;
-    futures.reserve(repeats);
+  // execution are all inside it.  Run twice: coalesced batches routed through
+  // the wide SoA executor (the default) and with wide dispatch disabled, so
+  // the report carries both variants.
+  struct ServiceRun {
+    bool ok = false;
+    double seconds = 0.0;
+    std::vector<std::uint64_t> out;
+    std::vector<double> request_latency_ns;  // per-request wait + execute
+    service::ServiceStats stats;
+  };
+  const auto run_service = [&](bool wide_batches) {
+    ServiceRun run;
+    std::vector<service::Server<algebra::ModMulMonoid>::Request> requests(repeats);
     for (auto& request : requests) {
-      futures.push_back(server.submit_async(std::move(request)));
+      request.sys = sys;
+      request.initial = init;
     }
-    server.drain();
-    for (auto& future : futures) {
-      auto response = future.get();
-      if (!response.ok()) {
-        std::fprintf(stderr, "service solve failed: %s\n", response.error.c_str());
-        return 1;
+    run.request_latency_ns.reserve(repeats);
+    support::Stopwatch run_watch;
+    run_watch.lap();
+    {
+      service::ServiceConfig config;
+      config.dispatchers = 2;
+      config.exec_threads = threads > 1 ? threads : 0;
+      config.max_batch = repeats;
+      config.wide_batches = wide_batches;
+      service::Server<algebra::ModMulMonoid> server(op, config);
+      using Response = service::Server<algebra::ModMulMonoid>::Response;
+      std::vector<std::future<Response>> futures;
+      futures.reserve(repeats);
+      for (auto& request : requests) {
+        futures.push_back(server.submit_async(std::move(request)));
       }
-      request_latency_ns.push_back(
-          static_cast<double>(response.info.trace.total_ns()));
-      svc_out = std::move(response.values);
+      server.drain();
+      for (auto& future : futures) {
+        auto response = future.get();
+        if (!response.ok()) {
+          std::fprintf(stderr, "service solve failed: %s\n", response.error.c_str());
+          return run;
+        }
+        run.request_latency_ns.push_back(
+            static_cast<double>(response.info.trace.total_ns()));
+        run.out = std::move(response.values);
+      }
+      run.stats = server.stats();
     }
-    stats = server.stats();
-  }
-  const double service_seconds = watch.lap();
+    run.seconds = run_watch.lap();
+    run.ok = true;
+    return run;
+  };
+  const ServiceRun wide_run = run_service(true);
+  const ServiceRun scalar_run = run_service(false);
+  if (!wide_run.ok || !scalar_run.ok) return 1;
+  const double service_seconds = wide_run.seconds;
+  const std::vector<std::uint64_t>& svc_out = wide_run.out;
+  const std::vector<double>& request_latency_ns = wide_run.request_latency_ns;
+  const service::ServiceStats& stats = wide_run.stats;
 
-  if (svc_out != seq_out) {
+  if (svc_out != seq_out || scalar_run.out != seq_out) {
     std::fprintf(stderr, "service and sequential answers disagree\n");
     return 1;
   }
@@ -151,11 +174,12 @@ int main(int argc, char** argv) {
   std::printf("# K identical-fingerprint requests: sequential loop vs service"
               " (threads=%zu)\n",
               threads);
-  std::printf("n=%zu K=%zu sequential=%.4fs service=%.4fs speedup=%.2fx "
+  std::printf("n=%zu K=%zu sequential=%.4fs service_wide=%.4fs"
+              " service_scalar=%.4fs speedup=%.2fx "
               "batches=%llu coalesced=%llu peak_batch=%llu compiles=%llu "
               "(checksum %llu)\n",
               n, repeats, sequential_seconds, service_seconds,
-              sequential_seconds / service_seconds,
+              scalar_run.seconds, sequential_seconds / service_seconds,
               static_cast<unsigned long long>(stats.batches),
               static_cast<unsigned long long>(stats.coalesced_requests),
               static_cast<unsigned long long>(stats.peak_batch),
@@ -170,6 +194,7 @@ int main(int argc, char** argv) {
         {"threads", std::to_string(threads)},
         {"sequential_seconds", std::to_string(sequential_seconds)},
         {"service_seconds", std::to_string(service_seconds)},
+        {"service_scalar_seconds", std::to_string(scalar_run.seconds)},
         {"service_batches", std::to_string(stats.batches)},
         {"service_coalesced_requests", std::to_string(stats.coalesced_requests)},
         {"service_peak_batch", std::to_string(stats.peak_batch)},
@@ -188,6 +213,11 @@ int main(int argc, char** argv) {
     report.add_variant(
         "service/wall_per_request",
         {service_seconds * 1e9 / static_cast<double>(repeats)});
+    report.add_variant("service-scalar/request_latency",
+                       scalar_run.request_latency_ns);
+    report.add_variant(
+        "service-scalar/wall_per_request",
+        {scalar_run.seconds * 1e9 / static_cast<double>(repeats)});
     report.write(report_file);
     std::fprintf(stderr, "bench report written to %s\n", report_file.c_str());
   }

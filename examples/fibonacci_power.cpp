@@ -10,6 +10,7 @@
 
 #include "algebra/monoids.hpp"
 #include "core/general_ir.hpp"
+#include "core/solver.hpp"
 #include "core/trace.hpp"
 #include "graph/dot.hpp"
 
@@ -69,7 +70,9 @@ int main() {
   std::vector<std::uint64_t> init(n, 1);
   init[0] = 12345;
   init[1] = 67890;
-  const auto parallel = core::general_ir_parallel(op, big, init);
+  core::Solver solver;
+  const auto plan = solver.compile(big);
+  const auto parallel = solver.execute(*plan, op, init);
   const auto sequential = core::general_ir_sequential(op, big, init);
   std::printf("\nA'[%zu] mod p: parallel = %llu, sequential = %llu  (%s)\n", n - 1,
               static_cast<unsigned long long>(parallel[n - 1]),

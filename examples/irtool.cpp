@@ -9,8 +9,10 @@
 //     --trace=FILE      Chrome trace_event JSON (open in Perfetto or
 //                       chrome://tracing); one track per pool worker
 //     --engine=E        force the solver: auto (default), jumping, blocked,
-//                       spmd (these three need an ordinary-shaped system:
-//                       h = g, g injective), or gir (CAP on anything)
+//                       spmd, scan (these need an ordinary-shaped system:
+//                       h = g, g injective; scan additionally needs the
+//                       chain structure f(i) = previous iteration), or
+//                       gir (CAP on anything)
 //     --repeat=K        solve K times through the Solver plan cache; the
 //                       schedule compiles once and is reused, and compile
 //                       vs execute time is reported separately
@@ -77,11 +79,13 @@ int usage() {
                "  irtool analyze <file>\n"
                "  irtool classify <file>\n"
                "  irtool solve <file> [mod] [--metrics=FILE] [--trace=FILE]\n"
-               "               [--engine={auto|jumping|blocked|spmd|gir}] [--repeat=K]\n"
+               "               [--engine={auto|jumping|blocked|spmd|scan|gir}]\n"
+               "               [--repeat=K]\n"
                "               [--jobs=J]\n"
                "  irtool trace <file> <iteration>\n"
                "  irtool lint <file> [--json]\n"
-               "              [--engine={all|auto|jumping|blocked|spmd|gir|elementwise}]\n"
+               "              [--engine={all|auto|jumping|blocked|spmd|scan|gir|"
+               "elementwise}]\n"
                "  irtool dot <file>\n"
                "  irtool lower <dsl-file>\n"
                "  irtool interchange <dsl-file> <a> <b>\n"
@@ -190,13 +194,15 @@ int cmd_solve(const SolveFlags& flags) {
     engine = core::EngineChoice::kBlocked;
   } else if (flags.engine == "spmd") {
     engine = core::EngineChoice::kSpmd;
+  } else if (flags.engine == "scan") {
+    engine = core::EngineChoice::kScan;
   } else if (flags.engine == "gir") {
     engine = core::EngineChoice::kGeneralCap;
   } else if (flags.engine != "auto") {
     return usage();
   }
   if (engine == core::EngineChoice::kJumping || engine == core::EngineChoice::kBlocked ||
-      engine == core::EngineChoice::kSpmd) {
+      engine == core::EngineChoice::kSpmd || engine == core::EngineChoice::kScan) {
     // Friendlier message than compile_plan's for the common shape mistake.
     IR_REQUIRE(sys.h == sys.g,
                "--engine=" + flags.engine + " needs an ordinary-shaped system (h = g)");
@@ -252,7 +258,8 @@ int cmd_solve(const SolveFlags& flags) {
     core::ExecOptions exec;
     exec.pool = &pool;
     exec.workers = pool.size();  // used only by the SPMD executor
-    if (engine == core::EngineChoice::kJumping || engine == core::EngineChoice::kSpmd) {
+    if (engine == core::EngineChoice::kJumping || engine == core::EngineChoice::kSpmd ||
+        engine == core::EngineChoice::kScan) {
       exec.ordinary_stats = &ord_stats;
       have_ord_stats = true;
     }
@@ -358,6 +365,15 @@ int cmd_lint(const LintFlags& flags) {
     if (sys.h != sys.g || report.repeated_writes != 0) return false;
     return true;
   }();
+  // The scan fast route additionally needs the chain structure: every
+  // iteration folds the previous one (or starts a fresh segment).
+  const bool chain_fits = ordinary_fits && [&] {
+    const auto pred = core::last_writer_before(sys.g, sys.f, sys.cells);
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      if (pred[i] != core::kNone && pred[i] != i - 1) return false;
+    }
+    return true;
+  }();
 
   struct Leg {
     std::string label;
@@ -373,6 +389,7 @@ int cmd_lint(const LintFlags& flags) {
     if (want("jumping")) legs.push_back({"jumping", core::EngineChoice::kJumping});
     if (want("blocked")) legs.push_back({"blocked", core::EngineChoice::kBlocked});
     if (want("spmd")) legs.push_back({"spmd", core::EngineChoice::kSpmd});
+    if (chain_fits && want("scan")) legs.push_back({"scan", core::EngineChoice::kScan});
   }
   if (report.dependences == 0 && want("elementwise")) {
     legs.push_back({"elementwise", core::EngineChoice::kElementwise});
@@ -380,8 +397,9 @@ int cmd_lint(const LintFlags& flags) {
   if (legs.empty()) {
     std::fprintf(stderr,
                  "irtool lint: engine '%s' does not fit this system's shape "
-                 "(ordinary engines need h = g with injective g; elementwise "
-                 "needs a recurrence-free system)\n",
+                 "(ordinary engines need h = g with injective g; scan further "
+                 "needs a chain-structured system; elementwise needs a "
+                 "recurrence-free system)\n",
                  flags.engine.c_str());
     return 1;
   }
@@ -400,6 +418,8 @@ int cmd_lint(const LintFlags& flags) {
       // Inline the per-plan report under its requested-engine label.
       entry.insert(entry.find('{') + 1,
                    "\"requested\": " + obs::json_quote(legs[leg].label) +
+                       ", \"engine\": " + obs::json_quote(core::to_string(plan.engine)) +
+                       ", \"chain_structure\": " + (plan.chain ? "true" : "false") +
                        ", \"schedule\": " + obs::json_quote(plan.describe()) + ",");
       json += (leg == 0 ? "\n" : ",\n") + entry;
     } else {
@@ -536,8 +556,8 @@ int main(int argc, char** argv) {
       const bool known_engine =
           flags.engine == "all" || flags.engine == "auto" ||
           flags.engine == "jumping" || flags.engine == "blocked" ||
-          flags.engine == "spmd" || flags.engine == "gir" ||
-          flags.engine == "elementwise";
+          flags.engine == "spmd" || flags.engine == "scan" ||
+          flags.engine == "gir" || flags.engine == "elementwise";
       if (!known_engine) return usage();
       return cmd_lint(flags);
     }

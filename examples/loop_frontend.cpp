@@ -12,7 +12,7 @@
 #include "algebra/monoids.hpp"
 #include "core/analyze.hpp"
 #include "core/general_ir.hpp"
-#include "core/solve.hpp"
+#include "core/solver.hpp"
 #include "frontend/lower.hpp"
 #include "frontend/parser.hpp"
 
@@ -59,7 +59,11 @@ int main(int argc, char** argv) {
     std::vector<std::uint64_t> init(lowered.system.cells);
     for (std::size_t c = 0; c < init.size(); ++c) init[c] = 1 + c % 89;
 
-    const auto parallel = core::solve(op, lowered.system, init);
+    core::Solver solver;
+    const auto plan = solver.compile(lowered.system);
+    std::printf("compiled plan: %s\n", plan->describe().c_str());
+
+    const auto parallel = solver.execute(*plan, op, init);
     const auto sequential = core::general_ir_sequential(op, lowered.system, init);
     std::printf("parallel solve matches sequential execution: %s\n",
                 parallel == sequential ? "yes" : "NO");

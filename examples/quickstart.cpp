@@ -6,6 +6,7 @@
 
 #include "algebra/monoids.hpp"
 #include "core/ordinary_ir.hpp"
+#include "core/solver.hpp"
 #include "core/trace.hpp"
 
 int main() {
@@ -36,31 +37,44 @@ int main() {
   const algebra::ConcatMonoid cat;
 
   const auto sequential = core::ordinary_ir_sequential(cat, sys, labels);
-  core::OrdinaryIrStats stats;
-  core::OrdinaryIrOptions options;
-  options.stats = &stats;
-  const auto parallel = core::ordinary_ir_parallel(cat, sys, labels, options);
 
-  std::printf("\nsequential vs parallel (pointer-jumping, %zu rounds):\n", stats.rounds);
+  // Compile once, execute many: the plan owns the whole schedule, so
+  // repeated solves (and batches) never re-touch the index maps.
+  core::Solver solver;
+  const auto plan = solver.compile(sys);
+  const auto parallel = solver.execute(*plan, cat, labels);
+
+  std::printf("\ncompiled plan: %s\n", plan->describe().c_str());
+  std::printf("sequential vs plan execute:\n");
   for (std::size_t x = 0; x < sys.cells; ++x) {
     std::printf("  A'[%zu]: \"%s\" vs \"%s\"%s\n", x, sequential[x].c_str(),
                 parallel[x].c_str(), sequential[x] == parallel[x] ? "" : "  MISMATCH");
   }
 
-  // And with plain numbers on a bigger random-ish chain.
+  // And with plain numbers on a deep chain — the router detects the
+  // f(i) = i-1 structure and takes the O(n) scan fast route.
   core::OrdinaryIrSystem chain;
   chain.cells = 1001;
   for (std::size_t i = 0; i < 1000; ++i) {
     chain.f.push_back(i);
     chain.g.push_back(i + 1);
   }
-  std::vector<std::uint64_t> ones(1001, 1);
-  core::OrdinaryIrStats chain_stats;
-  core::OrdinaryIrOptions chain_options;
-  chain_options.stats = &chain_stats;
-  const auto sums = core::ordinary_ir_parallel(algebra::AddMonoid<std::uint64_t>{}, chain,
-                                               ones, chain_options);
-  std::printf("\n1000-deep chain solved in %zu rounds; A'[1000] = %llu (expect 1001)\n",
-              chain_stats.rounds, static_cast<unsigned long long>(sums[1000]));
+  const auto chain_plan = solver.compile(chain);
+  std::printf("\nchain plan: %s\n", chain_plan->describe().c_str());
+
+  // Batch-first execute: K value-sets in one SoA batch, solved in lockstep
+  // by the wide executor (execute_wide.hpp).
+  const std::size_t kLanes = 4;
+  core::BatchView<std::uint64_t> batch(chain.cells, kLanes);
+  for (std::size_t cell = 0; cell < chain.cells; ++cell) {
+    for (std::size_t lane = 0; lane < kLanes; ++lane) batch.at(cell, lane) = lane + 1;
+  }
+  const auto wide = solver.execute_many(*chain_plan, algebra::AddMonoid<std::uint64_t>{},
+                                        std::move(batch));
+  std::printf("1000-deep chain, %zu lanes wide; A'[1000] per lane:", kLanes);
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    std::printf(" %llu", static_cast<unsigned long long>(wide.at(1000, lane)));
+  }
+  std::printf("  (expect 1001, 2002, 3003, 4004)\n");
   return 0;
 }

@@ -1,0 +1,102 @@
+// BatchView — the SoA (structure-of-arrays) value layout of the batch-first
+// execute API.
+//
+// A batch of K initial value-sets for an n-cell system is stored cell-major:
+// all K lanes of cell 0, then all K lanes of cell 1, ...  The wide executor
+// (execute_wide.hpp) walks one schedule table and applies each entry across
+// a contiguous K-lane row, so a table entry is loaded once per batch instead
+// of once per value-set, and the row arithmetic vectorizes.
+//
+//   data[cell * stride + lane]     with  stride >= lanes
+//
+// `stride` may exceed `lanes` to keep rows aligned or to reuse a larger
+// allocation; the padding lanes are never read or written by the executors.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace ir::core {
+
+template <typename Value>
+class BatchView {
+ public:
+  BatchView() = default;
+
+  /// An owning batch of `cells` rows x `lanes` lanes, value-initialized.
+  BatchView(std::size_t cells, std::size_t lanes, std::size_t stride = 0)
+      : cells_(cells), lanes_(lanes), stride_(stride == 0 ? lanes : stride) {
+    if (stride_ < lanes_) {
+      throw std::invalid_argument("BatchView: stride < lanes");
+    }
+    data_.resize(cells_ * stride_);
+  }
+
+  /// Transpose K row-major value-sets (each of length `cells`) into a batch.
+  /// Every row must have the same length; `rows` may be empty (K = 0).
+  /// Cell-outer loop order: the SoA array is written once, sequentially,
+  /// instead of re-streamed K times with stride-K scatters.
+  static BatchView from_rows(const std::vector<std::vector<Value>>& rows,
+                             std::size_t cells) {
+    BatchView batch(cells, rows.size());
+    std::vector<const Value*> lane_ptr(rows.size());
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (rows[k].size() != cells) {
+        throw std::invalid_argument("BatchView::from_rows: row length mismatch");
+      }
+      lane_ptr[k] = rows[k].data();
+    }
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      Value* out = batch.row(cell);
+      for (std::size_t k = 0; k < lane_ptr.size(); ++k) out[k] = lane_ptr[k][cell];
+    }
+    return batch;
+  }
+
+  /// Transpose back to K row-major value-sets (the legacy execute_many
+  /// result shape).  Cell-outer for the same streaming reason as from_rows.
+  [[nodiscard]] std::vector<std::vector<Value>> to_rows() const {
+    std::vector<std::vector<Value>> rows(lanes_);
+    std::vector<Value*> lane_ptr(lanes_);
+    for (std::size_t k = 0; k < lanes_; ++k) {
+      rows[k].resize(cells_);
+      lane_ptr[k] = rows[k].data();
+    }
+    for (std::size_t cell = 0; cell < cells_; ++cell) {
+      const Value* in = row(cell);
+      for (std::size_t k = 0; k < lanes_; ++k) lane_ptr[k][cell] = in[k];
+    }
+    return rows;
+  }
+
+  [[nodiscard]] std::size_t cells() const { return cells_; }
+  [[nodiscard]] std::size_t lanes() const { return lanes_; }
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+  [[nodiscard]] bool empty() const { return cells_ == 0 || lanes_ == 0; }
+
+  /// Pointer to the K-lane row of one cell.
+  [[nodiscard]] Value* row(std::size_t cell) { return data_.data() + cell * stride_; }
+  [[nodiscard]] const Value* row(std::size_t cell) const {
+    return data_.data() + cell * stride_;
+  }
+
+  [[nodiscard]] Value& at(std::size_t cell, std::size_t lane) {
+    return data_[cell * stride_ + lane];
+  }
+  [[nodiscard]] const Value& at(std::size_t cell, std::size_t lane) const {
+    return data_[cell * stride_ + lane];
+  }
+
+  [[nodiscard]] Value* data() { return data_.data(); }
+  [[nodiscard]] const Value* data() const { return data_.data(); }
+
+ private:
+  std::size_t cells_ = 0;
+  std::size_t lanes_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<Value> data_;
+};
+
+}  // namespace ir::core

@@ -1,0 +1,226 @@
+// Deprecated pre-plan API shims, collected in one header.
+//
+// PR 2 introduced the plan/execute split and turned the original one-shot
+// solver entry points into thin wrappers that compile a single-use plan per
+// call.  The batch-first API redesign moves every one of those wrappers
+// here and marks them [[deprecated]]: new code should hold a Solver
+// (solver.hpp) — or compile_plan/execute_plan/execute_many directly — and
+// reuse schedules instead of recompiling per call.
+//
+// Intentional users (the differential harness and the ablation benches
+// exercise these paths on purpose, and the shim-compat tests pin their
+// behavior) define IR_COMPAT_ALLOW_DEPRECATED before including this header
+// to silence the diagnostic without turning off -Werror for the TU.
+//
+// Everything here is a pure forwarding layer: identical results, identical
+// stats plumbing, one plan compile per call.  The hook-based legacy engines
+// (ordinary_ir_iteration_values, ordinary_ir_blocked_values, the sequential
+// references) are NOT deprecated and stay in their own headers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/analyze.hpp"
+#include "core/general_ir.hpp"
+#include "core/ordinary_ir.hpp"
+#include "core/plan.hpp"
+#include "graph/cap.hpp"
+
+#if defined(IR_COMPAT_ALLOW_DEPRECATED)
+#define IR_COMPAT_DEPRECATED(msg)
+#else
+#define IR_COMPAT_DEPRECATED(msg) [[deprecated(msg)]]
+#endif
+
+namespace ir::core {
+
+/// Options for the routing solve() shim.
+struct SolveOptions {
+  parallel::ThreadPool* pool = nullptr;
+
+  /// Skip dead equations on the GIR route (see PlanOptions::prune_dead).
+  bool prune_dead = true;
+
+  /// Cross-block dependence fraction below which the ordinary route prefers
+  /// the work-efficient blocked solver over pointer jumping.
+  double blocked_threshold = 0.25;
+
+  /// If non-null, receives the analysis report the routing was based on
+  /// (every route, including elementwise).
+  SystemReport* report_out = nullptr;
+};
+
+/// Options for the general_ir_parallel shim.
+struct GeneralIrOptions {
+  /// Pool used for CAP rounds and the per-cell evaluations.
+  parallel::ThreadPool* pool = nullptr;
+
+  /// Use the sequential reverse-topological DP instead of the CAP closure
+  /// for path counting (the ablation comparing the parallel closure against
+  /// the work-efficient sequential algorithm).
+  bool reference_counts = false;
+
+  /// Merge parallel edges every CAP round (paper behaviour) or only at the
+  /// end; see graph::CapOptions.
+  bool coalesce_each_round = true;
+
+  /// Skip equations whose results are overwritten before ever being read —
+  /// CAP then only processes ancestors of final writers (the paper's
+  /// "version which avoids spawning unnecessary processes").  Off by
+  /// default so the default run is the paper's plain algorithm; ABL-7
+  /// measures the saving.
+  bool prune_dead = false;
+
+  /// If non-null, receives the CAP statistics (rounds, peak edges).
+  graph::CapResult* cap_out = nullptr;
+
+  /// If non-null, receives the number of equation nodes CAP processed
+  /// (== iterations unless prune_dead dropped some).
+  std::size_t* live_equations = nullptr;
+};
+
+namespace detail {
+
+template <typename Op, typename System>
+std::vector<typename Op::Value> solve_via_plan(const Op& op, const System& sys,
+                                               std::vector<typename Op::Value> initial,
+                                               const SolveOptions& options) {
+  PlanOptions plan_options;
+  plan_options.pool = options.pool;
+  plan_options.prune_dead = options.prune_dead;
+  plan_options.blocked_threshold = options.blocked_threshold;
+  const Plan plan = compile_plan(sys, plan_options);
+  if (options.report_out != nullptr) *options.report_out = plan.report;
+  ExecOptions exec;
+  exec.pool = options.pool;
+  return execute_plan(plan, op, std::move(initial), exec);
+}
+
+}  // namespace detail
+
+/// Route-and-solve an ordinary IR system (any associative op).
+template <algebra::BinaryOperation Op>
+IR_COMPAT_DEPRECATED("compiles a plan per call; hold a Solver (solver.hpp) instead")
+std::vector<typename Op::Value> solve(const Op& op, const OrdinaryIrSystem& sys,
+                                      std::vector<typename Op::Value> initial,
+                                      const SolveOptions& options = {}) {
+  return detail::solve_via_plan(op, sys, std::move(initial), options);
+}
+
+/// Route-and-solve a general IR system (commutative power monoid required —
+/// the general route may need it; ordinary-shaped inputs are still steered
+/// to the cheaper solvers).
+template <algebra::PowerOperation Op>
+IR_COMPAT_DEPRECATED("compiles a plan per call; hold a Solver (solver.hpp) instead")
+std::vector<typename Op::Value> solve(const Op& op, const GeneralIrSystem& sys,
+                                      std::vector<typename Op::Value> initial,
+                                      const SolveOptions& options = {}) {
+  return detail::solve_via_plan(op, sys, std::move(initial), options);
+}
+
+/// Parallel Ordinary-IR solver (paper Section 2): O(log n) rounds of trace
+/// concatenation.  Returns the final array; equals ordinary_ir_sequential on
+/// every valid system, for any associative (not necessarily commutative) op.
+template <algebra::BinaryOperation Op>
+IR_COMPAT_DEPRECATED(
+    "compiles a single-use jumping plan per call; use compile_plan + execute_plan")
+std::vector<typename Op::Value> ordinary_ir_parallel(
+    const Op& op, const OrdinaryIrSystem& sys, std::vector<typename Op::Value> initial,
+    const OrdinaryIrOptions& options = {}) {
+  IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
+  if (!options.early_termination) {
+    // The naive cost model (completed traces keep paying no-op visits) only
+    // exists in the legacy hook engine; plans always terminate early.
+    const std::vector<typename Op::Value>& init_ref = initial;
+    auto traces = ordinary_ir_iteration_values<Op>(
+        op, sys, [&init_ref](std::size_t cell) { return init_ref[cell]; },
+        [&init_ref, &sys](std::size_t i) { return init_ref[sys.g[i]]; }, options);
+    std::vector<typename Op::Value> result = std::move(initial);
+    for (std::size_t i = 0; i < sys.iterations(); ++i) {
+      result[sys.g[i]] = std::move(traces[i]);
+    }
+    return result;
+  }
+  PlanOptions plan_options;
+  plan_options.engine = EngineChoice::kJumping;
+  const Plan plan = compile_plan(sys, plan_options);
+  ExecOptions exec;
+  exec.pool = options.pool;
+  exec.processor_cap = options.processor_cap;
+  exec.ordinary_stats = options.stats;
+  return execute_plan(plan, op, std::move(initial), exec);
+}
+
+/// Blocked Ordinary-IR solver: final array, same contract as
+/// ordinary_ir_parallel.
+template <algebra::BinaryOperation Op>
+IR_COMPAT_DEPRECATED(
+    "compiles a single-use blocked plan per call; use compile_plan + execute_plan")
+std::vector<typename Op::Value> ordinary_ir_blocked(
+    const Op& op, const OrdinaryIrSystem& sys, std::vector<typename Op::Value> initial,
+    const BlockedIrOptions& options = {}) {
+  IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
+  PlanOptions plan_options;
+  plan_options.engine = EngineChoice::kBlocked;
+  plan_options.pool = options.pool;
+  plan_options.blocks = options.blocks;
+  const Plan plan = compile_plan(sys, plan_options);
+  ExecOptions exec;
+  exec.pool = options.pool;
+  exec.blocked_stats = options.stats;
+  return execute_plan(plan, op, std::move(initial), exec);
+}
+
+/// SPMD Ordinary-IR solver with `workers` persistent threads.  Results match
+/// ordinary_ir_sequential exactly (associativity permitting); `stats`
+/// receives round counts when non-null.
+template <algebra::BinaryOperation Op>
+IR_COMPAT_DEPRECATED(
+    "compiles a single-use SPMD plan per call; use compile_plan with "
+    "EngineChoice::kSpmd + execute_plan")
+std::vector<typename Op::Value> ordinary_ir_spmd(const Op& op, const OrdinaryIrSystem& sys,
+                                                 std::vector<typename Op::Value> initial,
+                                                 std::size_t workers,
+                                                 OrdinaryIrStats* stats = nullptr) {
+  sys.validate();
+  IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
+  IR_REQUIRE(workers >= 1, "need at least one worker");
+  if (sys.iterations() == 0) return initial;
+  PlanOptions plan_options;
+  plan_options.engine = EngineChoice::kSpmd;
+  const Plan plan = compile_plan(sys, plan_options);
+  ExecOptions exec;
+  exec.workers = workers;
+  exec.ordinary_stats = stats;
+  return execute_plan(plan, op, std::move(initial), exec);
+}
+
+/// Parallel GIR solver.  Requires a commutative power monoid (compile-time
+/// enforced) — exactly the paper's requirements on op.
+template <algebra::PowerOperation Op>
+IR_COMPAT_DEPRECATED(
+    "compiles a single-use general-CAP plan per call; use compile_plan + execute_plan")
+std::vector<typename Op::Value> general_ir_parallel(
+    const Op& op, const GeneralIrSystem& sys, std::vector<typename Op::Value> initial,
+    const GeneralIrOptions& options = {}) {
+  sys.validate();
+  IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
+  PlanOptions plan_options;
+  plan_options.engine = EngineChoice::kGeneralCap;
+  plan_options.pool = options.pool;
+  plan_options.prune_dead = options.prune_dead;
+  plan_options.coalesce_each_round = options.coalesce_each_round;
+  plan_options.reference_counts = options.reference_counts;
+  const Plan plan = compile_plan(sys, plan_options);
+  if (options.cap_out != nullptr) {
+    options.cap_out->rounds = plan.gir.cap_rounds;
+    options.cap_out->peak_edges = plan.gir.cap_peak_edges;
+  }
+  if (options.live_equations != nullptr) *options.live_equations = plan.gir.live_equations;
+  ExecOptions exec;
+  exec.pool = options.pool;
+  return execute_plan(plan, op, std::move(initial), exec);
+}
+
+}  // namespace ir::core

@@ -66,35 +66,6 @@ struct DependenceGraph {
 [[nodiscard]] std::vector<std::vector<std::pair<std::size_t, support::BigUint>>>
 general_ir_exponents(const GeneralIrSystem& sys, const graph::CapOptions& cap_options = {});
 
-/// Options for the parallel GIR solver.
-struct GeneralIrOptions {
-  /// Pool used for CAP rounds and the per-cell evaluations.
-  parallel::ThreadPool* pool = nullptr;
-
-  /// Use the sequential reverse-topological DP instead of the CAP closure
-  /// for path counting (the ablation comparing the parallel closure against
-  /// the work-efficient sequential algorithm).
-  bool reference_counts = false;
-
-  /// Merge parallel edges every CAP round (paper behaviour) or only at the
-  /// end; see graph::CapOptions.
-  bool coalesce_each_round = true;
-
-  /// Skip equations whose results are overwritten before ever being read —
-  /// CAP then only processes ancestors of final writers (the paper's
-  /// "version which avoids spawning unnecessary processes").  Off by
-  /// default so the default run is the paper's plain algorithm; ABL-7
-  /// measures the saving.
-  bool prune_dead = false;
-
-  /// If non-null, receives the CAP statistics (rounds, peak edges).
-  graph::CapResult* cap_out = nullptr;
-
-  /// If non-null, receives the number of equation nodes CAP processed
-  /// (== iterations unless prune_dead dropped some).
-  std::size_t* live_equations = nullptr;
-};
-
 /// Sequential reference (ground truth): execute the loop as written.
 /// Associativity/commutativity are irrelevant here — this is the defining
 /// semantics every parallel variant must match.
@@ -109,34 +80,8 @@ std::vector<typename Op::Value> general_ir_sequential(
   return values;
 }
 
-/// Parallel GIR solver.  Requires a commutative power monoid (compile-time
-/// enforced) — exactly the paper's requirements on op.
-///
-/// DEPRECATED shim: compiles a single-use general-CAP plan per call (the
-/// dependence graph, CAP counts, and leaf resolution all live in the plan).
-/// Prefer compile_plan + execute_plan (plan.hpp), or Solver (solver.hpp)
-/// for content-cached reuse across calls.
-template <algebra::PowerOperation Op>
-std::vector<typename Op::Value> general_ir_parallel(
-    const Op& op, const GeneralIrSystem& sys, std::vector<typename Op::Value> initial,
-    const GeneralIrOptions& options = {}) {
-  sys.validate();
-  IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
-  PlanOptions plan_options;
-  plan_options.engine = EngineChoice::kGeneralCap;
-  plan_options.pool = options.pool;
-  plan_options.prune_dead = options.prune_dead;
-  plan_options.coalesce_each_round = options.coalesce_each_round;
-  plan_options.reference_counts = options.reference_counts;
-  const Plan plan = compile_plan(sys, plan_options);
-  if (options.cap_out != nullptr) {
-    options.cap_out->rounds = plan.gir.cap_rounds;
-    options.cap_out->peak_edges = plan.gir.cap_peak_edges;
-  }
-  if (options.live_equations != nullptr) *options.live_equations = plan.gir.live_equations;
-  ExecOptions exec;
-  exec.pool = options.pool;
-  return execute_plan(plan, op, std::move(initial), exec);
-}
+// The one-shot general_ir_parallel wrapper (and its GeneralIrOptions) now
+// lives in core/compat.hpp (deprecated): new code compiles a plan once and
+// replays it.
 
 }  // namespace ir::core

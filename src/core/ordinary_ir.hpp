@@ -163,39 +163,7 @@ std::vector<typename Op::Value> ordinary_ir_iteration_values(
   return val;
 }
 
-/// Parallel Ordinary-IR solver (paper Section 2): O(log n) rounds of trace
-/// concatenation.  Returns the final array; equals ordinary_ir_sequential on
-/// every valid system, for any associative (not necessarily commutative) op.
-///
-/// DEPRECATED shim: compiles a single-use jumping plan per call.  Prefer
-/// compile_plan + execute_plan (plan.hpp), or Solver (solver.hpp) for
-/// content-cached reuse across calls.
-template <algebra::BinaryOperation Op>
-std::vector<typename Op::Value> ordinary_ir_parallel(
-    const Op& op, const OrdinaryIrSystem& sys, std::vector<typename Op::Value> initial,
-    const OrdinaryIrOptions& options = {}) {
-  IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
-  if (!options.early_termination) {
-    // The naive cost model (completed traces keep paying no-op visits) only
-    // exists in the legacy hook engine; plans always terminate early.
-    const std::vector<typename Op::Value>& init_ref = initial;
-    auto traces = ordinary_ir_iteration_values<Op>(
-        op, sys, [&init_ref](std::size_t cell) { return init_ref[cell]; },
-        [&init_ref, &sys](std::size_t i) { return init_ref[sys.g[i]]; }, options);
-    std::vector<typename Op::Value> result = std::move(initial);
-    for (std::size_t i = 0; i < sys.iterations(); ++i) {
-      result[sys.g[i]] = std::move(traces[i]);
-    }
-    return result;
-  }
-  PlanOptions plan_options;
-  plan_options.engine = EngineChoice::kJumping;
-  const Plan plan = compile_plan(sys, plan_options);
-  ExecOptions exec;
-  exec.pool = options.pool;
-  exec.processor_cap = options.processor_cap;
-  exec.ordinary_stats = options.stats;
-  return execute_plan(plan, op, std::move(initial), exec);
-}
+// The one-shot ordinary_ir_parallel wrapper now lives in core/compat.hpp
+// (deprecated): new code compiles a plan once and replays it.
 
 }  // namespace ir::core

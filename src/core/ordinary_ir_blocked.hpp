@@ -141,26 +141,7 @@ std::vector<typename Op::Value> ordinary_ir_blocked_values(
   return val;
 }
 
-/// Blocked Ordinary-IR solver: final array, same contract as
-/// ordinary_ir_parallel.
-///
-/// DEPRECATED shim: compiles a single-use blocked plan per call.  Prefer
-/// compile_plan + execute_plan (plan.hpp), or Solver (solver.hpp) for
-/// content-cached reuse across calls.
-template <algebra::BinaryOperation Op>
-std::vector<typename Op::Value> ordinary_ir_blocked(
-    const Op& op, const OrdinaryIrSystem& sys, std::vector<typename Op::Value> initial,
-    const BlockedIrOptions& options = {}) {
-  IR_REQUIRE(initial.size() == sys.cells, "initial array must have `cells` entries");
-  PlanOptions plan_options;
-  plan_options.engine = EngineChoice::kBlocked;
-  plan_options.pool = options.pool;
-  plan_options.blocks = options.blocks;
-  const Plan plan = compile_plan(sys, plan_options);
-  ExecOptions exec;
-  exec.pool = options.pool;
-  exec.blocked_stats = options.stats;
-  return execute_plan(plan, op, std::move(initial), exec);
-}
+// The one-shot ordinary_ir_blocked wrapper now lives in core/compat.hpp
+// (deprecated): new code compiles a plan once and replays it.
 
 }  // namespace ir::core

@@ -16,6 +16,16 @@ std::string to_string(PlanEngine engine) {
     case PlanEngine::kBlocked: return "blocked";
     case PlanEngine::kSpmd: return "spmd";
     case PlanEngine::kGeneralCap: return "gir-cap";
+    case PlanEngine::kScan: return "scan";
+  }
+  return "?";
+}
+
+const char* to_string(ExecVariant variant) {
+  switch (variant) {
+    case ExecVariant::kAuto: return "auto";
+    case ExecVariant::kScalar: return "scalar";
+    case ExecVariant::kWide: return "wide";
   }
   return "?";
 }
@@ -43,7 +53,12 @@ std::string Plan::describe() const {
              std::to_string(gir.term_cell.size()) + " leaf powers, " +
              std::to_string(gir.cap_rounds) + " CAP rounds";
       break;
+    case PlanEngine::kScan:
+      out += ", " + std::to_string(scan.segments) + " segments, longest " +
+             std::to_string(scan.longest);
+      break;
   }
+  if (chain && engine != PlanEngine::kScan) out += ", chain-structured";
   return out;
 }
 
@@ -79,6 +94,36 @@ void build_seed_tables(Plan& plan, const std::vector<std::size_t>& f,
     plan.write_cell[i] = static_cast<std::uint32_t>(g[i]);
     plan.root_cell[i] = pred[i] == kNone ? static_cast<std::uint32_t>(f[i]) : kNoIndex32;
   }
+}
+
+/// True when the pred forest is pure chains in iteration order: every
+/// iteration either starts a chain or continues the immediately preceding
+/// one.  This is the structure the kScan route replays as a sequential
+/// segmented fold.
+bool is_chain_structured(const std::vector<std::size_t>& pred) {
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] != kNone && (i == 0 || pred[i] != i - 1)) return false;
+  }
+  return true;
+}
+
+ScanSchedule build_scan_schedule(const std::vector<std::size_t>& pred) {
+  ScanSchedule ss;
+  const std::size_t n = pred.size();
+  ss.head.resize(n);
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool head = pred[i] == kNone;
+    ss.head[i] = head ? 1 : 0;
+    if (head) {
+      ++ss.segments;
+      run = 1;
+    } else {
+      ++run;
+    }
+    ss.longest = std::max(ss.longest, run);
+  }
+  return ss;
 }
 
 /// Simulate pointer jumping over the pred forest structurally, recording
@@ -259,6 +304,7 @@ enum class KeyRoute : std::uint64_t {
   kSpmd,
   kAutoOrdinary,
   kGeneralCap,
+  kScan,
 };
 
 /// Resolve which engine family compile_plan would pick for (sys, options),
@@ -271,6 +317,7 @@ KeyRoute resolve_key_route(const GeneralIrSystem& sys, const PlanOptions& option
     case EngineChoice::kBlocked: return KeyRoute::kBlocked;
     case EngineChoice::kSpmd: return KeyRoute::kSpmd;
     case EngineChoice::kGeneralCap: return KeyRoute::kGeneralCap;
+    case EngineChoice::kScan: return KeyRoute::kScan;
     case EngineChoice::kAuto: break;
   }
   const auto pred_f = last_writer_before(sys.g, sys.f, sys.cells);
@@ -286,6 +333,10 @@ KeyRoute resolve_key_route(const GeneralIrSystem& sys, const PlanOptions& option
     if (written[cell]) return KeyRoute::kGeneralCap;  // repeated write
     written[cell] = true;
   }
+  // Chain-structured ordinary systems take the scan fast route, whose
+  // schedule depends on the system content alone — no block hint or routing
+  // threshold ever enters it, so it must not share the kAutoOrdinary class.
+  if (is_chain_structured(pred_f)) return KeyRoute::kScan;
   return KeyRoute::kAutoOrdinary;
 }
 
@@ -305,6 +356,7 @@ std::uint64_t plan_cache_key(const GeneralIrSystem& sys, const PlanOptions& opti
     case KeyRoute::kElementwise:
     case KeyRoute::kJumping:
     case KeyRoute::kSpmd:
+    case KeyRoute::kScan:
       break;  // schedule depends on the system content alone
     case KeyRoute::kBlocked:
       mix_u64(hash, resolved_blocks);
@@ -343,16 +395,34 @@ Plan compile_plan(const GeneralIrSystem& sys, const PlanOptions& options) {
   plan.cells = sys.cells;
   plan.iterations = sys.iterations();
 
-  // Routing: kAuto reproduces the classic solve() decision tree exactly.
+  // The ordinary engines and the routing both need the pred forest; compute
+  // it at most once.
+  std::vector<std::size_t> pred;
+  bool have_pred = false;
+  auto pred_forest = [&]() -> const std::vector<std::size_t>& {
+    if (!have_pred) {
+      pred = last_writer_before(sys.g, sys.f, sys.cells);
+      have_pred = true;
+    }
+    return pred;
+  };
+
+  // Routing: kAuto reproduces the classic solve() decision tree, with one
+  // refinement — chain-structured ordinary systems take the scan fast route
+  // (O(n) sequential fold instead of O(n log n) jumping moves).
   EngineChoice choice = options.engine;
   if (choice == EngineChoice::kAuto) {
     if (plan.report.dependences == 0) {
       choice = EngineChoice::kElementwise;
     } else if (sys.h == sys.g && plan.report.repeated_writes == 0) {
-      const std::size_t blocks = options.pool != nullptr ? options.pool->size() : 4;
-      choice = detail::prefer_blocked(sys, blocks, options.blocked_threshold)
-                   ? EngineChoice::kBlocked
-                   : EngineChoice::kJumping;
+      if (is_chain_structured(pred_forest())) {
+        choice = EngineChoice::kScan;
+      } else {
+        const std::size_t blocks = options.pool != nullptr ? options.pool->size() : 4;
+        choice = detail::prefer_blocked(sys, blocks, options.blocked_threshold)
+                     ? EngineChoice::kBlocked
+                     : EngineChoice::kJumping;
+      }
     } else {
       choice = EngineChoice::kGeneralCap;
     }
@@ -368,21 +438,29 @@ Plan compile_plan(const GeneralIrSystem& sys, const PlanOptions& options) {
 
     case EngineChoice::kJumping:
     case EngineChoice::kBlocked:
-    case EngineChoice::kSpmd: {
+    case EngineChoice::kSpmd:
+    case EngineChoice::kScan: {
       IR_REQUIRE(sys.h == sys.g && plan.report.repeated_writes == 0,
                  "ordinary engines need an ordinary-shaped system (h = g, g injective)");
-      const std::vector<std::size_t> pred = last_writer_before(sys.g, sys.f, sys.cells);
-      build_seed_tables(plan, sys.f, sys.g, pred);
-      if (choice == EngineChoice::kBlocked) {
+      const std::vector<std::size_t>& forest = pred_forest();
+      build_seed_tables(plan, sys.f, sys.g, forest);
+      plan.chain = is_chain_structured(forest);
+      if (choice == EngineChoice::kScan) {
+        IR_REQUIRE(plan.chain,
+                   "the scan engine needs a chain-structured system "
+                   "(every pred is the previous iteration or none)");
+        plan.engine = PlanEngine::kScan;
+        plan.scan = build_scan_schedule(forest);
+      } else if (choice == EngineChoice::kBlocked) {
         plan.engine = PlanEngine::kBlocked;
         const std::size_t want_blocks =
             options.blocks != 0 ? options.blocks
                                 : (options.pool != nullptr ? options.pool->size() : 1);
-        plan.blocked = build_blocked_schedule(pred, want_blocks);
+        plan.blocked = build_blocked_schedule(forest, want_blocks);
       } else {
         plan.engine = choice == EngineChoice::kSpmd ? PlanEngine::kSpmd
                                                     : PlanEngine::kJumping;
-        plan.jump = build_jump_schedule(pred);
+        plan.jump = build_jump_schedule(forest);
       }
       break;
     }

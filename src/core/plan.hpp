@@ -32,11 +32,13 @@
 
 #include "algebra/concepts.hpp"
 #include "core/analyze.hpp"
+#include "core/batch_view.hpp"
 #include "core/engine_types.hpp"
 #include "core/ir_problem.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/spmd.hpp"
+#include "scan/segmented_scan.hpp"
 #include "support/bigint.hpp"
 #include "support/contract.hpp"
 
@@ -45,15 +47,22 @@ namespace ir::core {
 /// Sentinel for "no index" in the uint32-encoded schedule arrays.
 inline constexpr std::uint32_t kNoIndex32 = 0xFFFFFFFFu;
 
-/// The engine a plan was compiled for.
-enum class PlanEngine { kElementwise, kJumping, kBlocked, kSpmd, kGeneralCap };
+/// The engine a plan was compiled for.  kScan is the chain fast route:
+/// ordinary-shaped systems whose pred forest is pure f(i) = i-1 chains are
+/// detected at compile time and replayed as an O(n) sequential segmented
+/// scan (src/scan/) instead of O(n log n) pointer jumping.
+enum class PlanEngine { kElementwise, kJumping, kBlocked, kSpmd, kGeneralCap, kScan };
 
 [[nodiscard]] std::string to_string(PlanEngine engine);
 
 /// Engine selection knob for compile_plan: kAuto reproduces the classic
-/// solve() routing (elementwise / blocked-vs-jumping / GIR); the rest force
-/// one engine (the ordinary engines require h = g with injective g).
-enum class EngineChoice { kAuto, kElementwise, kJumping, kBlocked, kSpmd, kGeneralCap };
+/// solve() routing (elementwise / blocked-vs-jumping / GIR) with one
+/// refinement — chain-structured ordinary systems take the kScan fast route.
+/// The rest force one engine (the ordinary engines require h = g with
+/// injective g; kScan additionally requires the chain structure).
+enum class EngineChoice {
+  kAuto, kElementwise, kJumping, kBlocked, kSpmd, kGeneralCap, kScan
+};
 
 /// Structure-side options: everything here is resolved at compile time and
 /// baked into the plan (the pool pointer itself is only a sizing hint — it
@@ -84,13 +93,28 @@ struct PlanOptions {
   bool reference_counts = false;
 };
 
-/// Value-side options: these choose *where* the fixed schedule runs, never
-/// *what* it computes.
+/// Executor-variant selection for the batch entry points.  All variants
+/// compute bit-identical results; they differ only in memory layout and
+/// instruction mix:
+///   * kScalar — per-lane replay: each value-set runs through execute_plan
+///     on its own (the legacy shape).
+///   * kWide   — the SoA lockstep executor (execute_wide.hpp): every
+///     schedule entry is loaded once and applied across all K lanes as a
+///     contiguous row, with SIMD kernels for ops that register WideOps.
+///   * kAuto   — the library chooses: BatchView entry points go wide,
+///     row-of-rows execute_many keeps the legacy per-lane path.
+enum class ExecVariant { kAuto, kScalar, kWide };
+
+[[nodiscard]] const char* to_string(ExecVariant variant);
+
+/// Value-side options: these choose *where* and *how* the fixed schedule
+/// runs, never *what* it computes.
 struct ExecOptions {
   parallel::ThreadPool* pool = nullptr;  ///< jumping/blocked/elementwise/GIR phases
   std::size_t processor_cap = 0;         ///< jumping fork cap (0 = pool size)
   std::size_t workers = 0;               ///< SPMD persistent workers (0 = 1)
-  OrdinaryIrStats* ordinary_stats = nullptr;  ///< filled for jumping/SPMD plans
+  ExecVariant variant = ExecVariant::kAuto;   ///< batch executor selection
+  OrdinaryIrStats* ordinary_stats = nullptr;  ///< filled for jumping/SPMD/scan plans
   BlockedIrStats* blocked_stats = nullptr;    ///< filled for blocked plans
 };
 
@@ -136,6 +160,15 @@ struct BlockedSchedule {
   }
 };
 
+/// Chain fast route: the pred forest is pure f(i) = i-1 chains, so the
+/// traces fold left-to-right as a segmented scan — O(n) ⊙ total, no rounds,
+/// bit-identical to the sequential reference for any op.
+struct ScanSchedule {
+  std::vector<std::uint8_t> head;  ///< 1 = segment head (chain root), size n
+  std::size_t segments = 0;        ///< independent chains
+  std::size_t longest = 0;         ///< longest chain (sequential depth)
+};
+
 /// No-recurrence route: written cell k takes one ⊙ of two initial values.
 struct ElementwiseSchedule {
   std::vector<std::uint32_t> cell;  ///< written cell (its final writer's g)
@@ -178,8 +211,15 @@ struct Plan {
   /// Per-iteration root seed: f(i) for chain roots, kNoIndex32 otherwise.
   std::vector<std::uint32_t> root_cell;
 
+  /// True when the pred forest is pure f(i) = i-1 chains — the structure
+  /// the kScan fast route exploits.  Set for every ordinary-engine compile
+  /// (so a forced kJumping plan on a chain still reports it); surfaced by
+  /// describe(), `irtool lint --json`, and distinguished by plan_cache_key.
+  bool chain = false;
+
   JumpSchedule jump;                ///< kJumping and kSpmd
   BlockedSchedule blocked;          ///< kBlocked
+  ScanSchedule scan;                ///< kScan
   ElementwiseSchedule elementwise;  ///< kElementwise
   GirSchedule gir;                  ///< kGeneralCap
 
@@ -352,6 +392,41 @@ std::vector<typename Op::Value> execute_blocked_values(
 }
 
 template <algebra::BinaryOperation Op>
+std::vector<typename Op::Value> execute_scan_values(
+    const Op& op, const Plan& plan,
+    const std::function<typename Op::Value(std::size_t)>& root_value,
+    const std::function<typename Op::Value(std::size_t)>& self_value,
+    const ExecOptions& exec) {
+  using Value = typename Op::Value;
+  IR_SPAN("scan.solve");
+  const ScanSchedule& ss = plan.scan;
+  const std::size_t n = plan.iterations;
+
+  std::vector<Value> val;
+  val.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t root = plan.root_cell[i];
+    val.push_back(root != kNoIndex32 ? op.combine(root_value(root), self_value(i))
+                                     : self_value(i));
+  }
+  // The chain fold runs left-to-right exactly like the sequential reference,
+  // so it is bit-identical for ANY op — a Kogge-Stone segmented scan would
+  // reassociate.  It is also O(n) work versus jumping's O(n log n) moves;
+  // the pool is deliberately ignored (the fold is the critical path).
+  scan::segmented_inclusive_scan_sequential(op, val, ss.head);
+
+  IR_COUNTER_ADD("scan.solves", 1);
+  IR_COUNTER_ADD("scan.op_applications", n);
+  IR_GAUGE_MAX("scan.longest_segment", ss.longest);
+  if (exec.ordinary_stats != nullptr) {
+    exec.ordinary_stats->rounds = n == 0 ? 0 : 1;
+    exec.ordinary_stats->op_applications = n;
+    exec.ordinary_stats->peak_active = ss.longest;
+  }
+  return val;
+}
+
+template <algebra::BinaryOperation Op>
 std::vector<typename Op::Value> execute_spmd_values(
     const Op& op, const Plan& plan,
     const std::function<typename Op::Value(std::size_t)>& root_value,
@@ -448,6 +523,8 @@ std::vector<typename Op::Value> execute_iteration_values(
       return detail::execute_blocked_values(op, plan, root_value, self_value, exec);
     case PlanEngine::kSpmd:
       return detail::execute_spmd_values(op, plan, root_value, self_value, exec);
+    case PlanEngine::kScan:
+      return detail::execute_scan_values(op, plan, root_value, self_value, exec);
     default:
       IR_REQUIRE(false, "execute_iteration_values needs an ordinary-engine plan");
       return {};
@@ -484,7 +561,8 @@ std::vector<typename Op::Value> execute_plan(const Plan& plan, const Op& op,
 
     case PlanEngine::kJumping:
     case PlanEngine::kBlocked:
-    case PlanEngine::kSpmd: {
+    case PlanEngine::kSpmd:
+    case PlanEngine::kScan: {
       const std::vector<Value>& init_ref = initial;
       auto traces = execute_iteration_values<Op>(
           plan, op, [&init_ref](std::size_t cell) { return init_ref[cell]; },
@@ -550,13 +628,32 @@ std::vector<typename Op::Value> execute_plan(const Plan& plan, const Op& op,
   return initial;
 }
 
-/// Amortize one plan across K initial-value arrays.  With a pool, the K
-/// solves run as one parallel_for with serial inner executes (SPMD plans
+/// Run a compiled plan over a whole SoA batch in lockstep: each schedule
+/// entry is loaded once and applied across all K lanes as a contiguous row.
+/// Bit-identical to per-lane execute_plan for every engine.  Defined in
+/// execute_wide.hpp (which also registers the SIMD row kernels); include it
+/// in any TU that requests the wide variant.
+template <algebra::BinaryOperation Op>
+BatchView<typename Op::Value> execute_wide(const Plan& plan, const Op& op,
+                                           BatchView<typename Op::Value> batch,
+                                           const ExecOptions& exec = {});
+
+/// Amortize one plan across K initial-value arrays (row-of-rows shape).
+/// Variant selection: kWide transposes into a BatchView and runs the wide
+/// executor; kAuto/kScalar keep the legacy per-lane path — with a pool, the
+/// K solves run as one parallel_for with serial inner executes (SPMD plans
 /// keep their own worker teams and run the batch serially instead).
+/// Batch-first callers should prefer the BatchView overload in
+/// execute_wide.hpp, which skips both transposes.
 template <algebra::BinaryOperation Op>
 std::vector<std::vector<typename Op::Value>> execute_many(
     const Plan& plan, const Op& op,
     std::vector<std::vector<typename Op::Value>> initials, const ExecOptions& exec = {}) {
+  if (exec.variant == ExecVariant::kWide) {
+    using Value = typename Op::Value;
+    auto batch = BatchView<Value>::from_rows(initials, plan.cells);
+    return execute_wide(plan, op, std::move(batch), exec).to_rows();
+  }
   std::vector<std::vector<typename Op::Value>> results(initials.size());
   if (plan.engine == PlanEngine::kSpmd || exec.pool == nullptr) {
     for (std::size_t k = 0; k < initials.size(); ++k) {
@@ -576,3 +673,9 @@ std::vector<std::vector<typename Op::Value>> execute_many(
 }
 
 }  // namespace ir::core
+
+// Completes the execute_wide declaration above (and adds the BatchView
+// overload of execute_many): trailing include so every execute_many caller
+// links without naming the wide header themselves.  Safe against the cycle —
+// by this point the whole of plan.hpp has been seen.
+#include "core/execute_wide.hpp"  // IWYU pragma: keep

@@ -1,0 +1,99 @@
+// Runtime-dispatched SIMD kernels for the wide executor (execute_wide.hpp).
+//
+// The wide executor runs K value-sets through one plan in lockstep over an
+// SoA layout, so its inner loops are either row ⊙ row (two contiguous
+// K-lane rows combined elementwise) or an indexed gather over a round's
+// move table.  For plain machine arithmetic those loops vectorize; this
+// header is the seam that decides — once per process — whether the AVX2
+// kernels (simd_avx2.cpp, compiled with -mavx2 in its own TU) or the
+// portable scalar fallbacks run.
+//
+// Dispatch contract:
+//   * Build-time: the IR_SIMD CMake option (default ON) compiles the AVX2
+//     TU and defines IR_SIMD_ENABLED=1.  With IR_SIMD=OFF only the scalar
+//     fallbacks exist and active_mode() is always kScalar.
+//   * Run-time: active_mode() probes the CPU (__builtin_cpu_supports) and
+//     honours the IR_SIMD environment variable — "scalar"/"off"/"0" masks
+//     vector units away, which is how the dispatch-seam ctest pins the
+//     fallback path on AVX2 hosts.
+//   * Semantics: every kernel is LANE-INDEPENDENT (no horizontal
+//     reassociation), so the vector and scalar paths are bit-identical —
+//     the wide differential legs assert this, and it is why execute_wide
+//     may pick either path without changing any result.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ir::core::simd {
+
+/// The instruction set the process-wide dispatch resolved to.
+enum class Mode { kScalar, kAvx2 };
+
+[[nodiscard]] const char* to_string(Mode mode);
+
+/// The mode every kernel below runs with.  Resolved once (thread-safe) from
+/// build configuration, CPU capability, and the IR_SIMD environment
+/// variable; stable for the life of the process.
+[[nodiscard]] Mode active_mode();
+
+/// True when this binary carries the AVX2 kernels at all (IR_SIMD=ON at
+/// configure time) — active_mode() can still be kScalar on older CPUs or
+/// under an IR_SIMD=scalar environment mask.
+[[nodiscard]] bool compiled_with_avx2();
+
+/// out[i] = a[i] + b[i] over uint64 rows.  In-place safe (out may alias a
+/// or b).  The row ⊙ row kernel of the wide executor's jump rounds and
+/// elementwise scatters for AddMonoid<uint64_t>.
+void add_rows_u64(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out,
+                  std::size_t count);
+
+/// out[k] = val[src[k]] + val[dst[k]] for k in [0, count) — one whole jump
+/// round gathered through its move table (the K = 1 lane shape, where rows
+/// degenerate to scalars and the win is gathering 4 moves per instruction).
+/// `out` must not alias `val`.
+void gather_add_u64(const std::uint64_t* val, const std::uint32_t* dst,
+                    const std::uint32_t* src, std::uint64_t* out, std::size_t count);
+
+/// One whole K-lane jump round: phase 1 computes
+/// scratch[k*lanes..] = val[src[k]*stride..] + val[dst[k]*stride..] for every
+/// move k (all reads), phase 2 copies scratch row k back over
+/// val[dst[k]*stride..] in ascending k — the double-buffered CREW round
+/// semantics in one call, so the dispatch branch and call overhead are paid
+/// once per round instead of once per move.  `scratch` must hold
+/// width*lanes elements and must not alias `val`.
+void jump_round_u64(std::uint64_t* val, std::size_t stride, const std::uint32_t* dst,
+                    const std::uint32_t* src, std::uint64_t* scratch,
+                    std::size_t width, std::size_t lanes);
+
+namespace detail {
+
+// Portable references; also the AVX2 kernels' remainder loops.
+void add_rows_u64_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                         std::uint64_t* out, std::size_t count);
+void gather_add_u64_scalar(const std::uint64_t* val, const std::uint32_t* dst,
+                           const std::uint32_t* src, std::uint64_t* out,
+                           std::size_t count);
+void jump_round_u64_scalar(std::uint64_t* val, std::size_t stride,
+                           const std::uint32_t* dst, const std::uint32_t* src,
+                           std::uint64_t* scratch, std::size_t width,
+                           std::size_t lanes);
+
+#if IR_SIMD_ENABLED
+// Definitions live in simd_avx2.cpp (the only -mavx2 TU); calling them on a
+// CPU without AVX2 is undefined — always route through the dispatched
+// entry points above.
+void add_rows_u64_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                       std::uint64_t* out, std::size_t count);
+void gather_add_u64_avx2(const std::uint64_t* val, const std::uint32_t* dst,
+                         const std::uint32_t* src, std::uint64_t* out,
+                         std::size_t count);
+void jump_round_u64_avx2(std::uint64_t* val, std::size_t stride,
+                         const std::uint32_t* dst, const std::uint32_t* src,
+                         std::uint64_t* scratch, std::size_t width,
+                         std::size_t lanes);
+#endif
+
+}  // namespace detail
+
+}  // namespace ir::core::simd

@@ -1,0 +1,96 @@
+// AVX2 kernels — the only translation unit compiled with -mavx2, so the
+// rest of the binary stays runnable on non-AVX2 CPUs.  These functions must
+// only be reached through the dispatched entry points in simd.cpp (which
+// check active_mode() first).
+//
+// Both kernels are lane-independent: each output element depends on exactly
+// the inputs its scalar counterpart reads, combined in the same order, so
+// results are bit-identical to the scalar fallbacks for every input.
+#include "core/simd.hpp"
+
+#if IR_SIMD_ENABLED
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace ir::core::simd::detail {
+
+void add_rows_u64_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                       std::uint64_t* out, std::size_t count) {
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), _mm256_add_epi64(va, vb));
+  }
+  add_rows_u64_scalar(a + i, b + i, out + i, count - i);
+}
+
+void gather_add_u64_avx2(const std::uint64_t* val, const std::uint32_t* dst,
+                         const std::uint32_t* src, std::uint64_t* out,
+                         std::size_t count) {
+  const auto* base = reinterpret_cast<const long long*>(val);
+  std::size_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const __m128i vsrc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + k));
+    const __m128i vdst = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + k));
+    const __m256i gathered_src = _mm256_i32gather_epi64(base, vsrc, 8);
+    const __m256i gathered_dst = _mm256_i32gather_epi64(base, vdst, 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k),
+                        _mm256_add_epi64(gathered_src, gathered_dst));
+  }
+  gather_add_u64_scalar(val, dst + k, src + k, out + k, count - k);
+}
+
+void jump_round_u64_avx2(std::uint64_t* val, std::size_t stride,
+                         const std::uint32_t* dst, const std::uint32_t* src,
+                         std::uint64_t* scratch, std::size_t width,
+                         std::size_t lanes) {
+  // Phase 1: all of the round's reads, with the next moves' rows prefetched
+  // far enough ahead to cover cache-miss latency at one move per row add
+  // (distance tuned on the n=50k K=16 bench shape).
+  constexpr std::size_t kAhead = 32;
+  for (std::size_t k = 0; k < width; ++k) {
+    if (k + kAhead < width) {
+      const char* ps = reinterpret_cast<const char*>(
+          val + std::size_t{src[k + kAhead]} * stride);
+      const char* pd = reinterpret_cast<const char*>(
+          val + std::size_t{dst[k + kAhead]} * stride);
+      _mm_prefetch(ps, _MM_HINT_T0);
+      _mm_prefetch(ps + 64, _MM_HINT_T0);
+      _mm_prefetch(pd, _MM_HINT_T0);
+      _mm_prefetch(pd + 64, _MM_HINT_T0);
+    }
+    const std::uint64_t* a = val + std::size_t{src[k]} * stride;
+    const std::uint64_t* b = val + std::size_t{dst[k]} * stride;
+    std::uint64_t* out = scratch + k * lanes;
+    std::size_t lane = 0;
+    for (; lane + 4 <= lanes; lane += 4) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + lane));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + lane));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + lane),
+                          _mm256_add_epi64(va, vb));
+    }
+    for (; lane < lanes; ++lane) out[lane] = a[lane] + b[lane];
+  }
+  // Phase 2: the round's writes, ascending k — identical to the scalar
+  // reference's write order.  Destination rows are random within the batch,
+  // so prefetch them ahead too (a store still has to pull the line in).
+  for (std::size_t k = 0; k < width; ++k) {
+    if (k + kAhead < width) {
+      const char* pd = reinterpret_cast<const char*>(
+          val + std::size_t{dst[k + kAhead]} * stride);
+      _mm_prefetch(pd, _MM_HINT_T0);
+      _mm_prefetch(pd + 64, _MM_HINT_T0);
+    }
+    std::memcpy(val + std::size_t{dst[k]} * stride, scratch + k * lanes,
+                lanes * sizeof(std::uint64_t));
+  }
+}
+
+}  // namespace ir::core::simd::detail
+
+#endif  // IR_SIMD_ENABLED

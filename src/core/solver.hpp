@@ -20,6 +20,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "core/execute_wide.hpp"
 #include "core/plan.hpp"
 #include "core/plan_cache.hpp"
 #include "core/serialize.hpp"
@@ -72,6 +73,24 @@ class Solver {
       const Plan& plan, const Op& op, std::vector<std::vector<typename Op::Value>> initials,
       const ExecOptions& exec = {}) const {
     return core::execute_many(plan, op, std::move(initials), exec);
+  }
+
+  /// Batch-first execute: one plan over an SoA batch (see execute_many's
+  /// BatchView overload in execute_wide.hpp).
+  template <algebra::BinaryOperation Op>
+  [[nodiscard]] BatchView<typename Op::Value> execute_many(
+      const Plan& plan, const Op& op, BatchView<typename Op::Value> batch,
+      const ExecOptions& exec = {}) const {
+    return core::execute_many(plan, op, std::move(batch), exec);
+  }
+
+  /// Force the wide SoA executor regardless of exec.variant (see
+  /// execute_wide in execute_wide.hpp).
+  template <algebra::BinaryOperation Op>
+  [[nodiscard]] BatchView<typename Op::Value> execute_wide(
+      const Plan& plan, const Op& op, BatchView<typename Op::Value> batch,
+      const ExecOptions& exec = {}) const {
+    return core::execute_wide(plan, op, std::move(batch), exec);
   }
 
   /// One-shot convenience: compile (cached) + execute.

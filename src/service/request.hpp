@@ -90,6 +90,7 @@ struct ResponseInfo {
   bool coalesced = false;             ///< rode a batch with other requests
   std::uint64_t plan_fingerprint = 0; ///< content fingerprint of the plan used
   std::string engine;                 ///< plan engine name ("jumping", ...)
+  std::string variant;                ///< execute variant ("wide" or "scalar")
   Clock::duration wait{};             ///< enqueue -> dispatch
   Clock::duration execute{};          ///< the batch's execute_many wall time
   RequestTrace trace;                 ///< lifecycle edges (docs/observability.md)
@@ -167,6 +168,12 @@ struct ServiceConfig {
 
   /// ExecOptions::workers for SPMD plans (0 = 1).
   std::size_t spmd_workers = 0;
+
+  /// Route coalesced batches (2+ requests) through the wide SoA executor
+  /// (core/execute_wide.hpp): the batch is transposed once and all lanes run
+  /// the schedule in lockstep, which vectorizes the jump-round gathers.
+  /// Off = per-request execute_plan, the pre-wide behaviour.
+  bool wide_batches = true;
 
   /// Plan-cache capacity of the server's Solver; 0 = the IR_PLAN_CACHE_CAP
   /// environment override (default 64) — see core/solver.hpp.

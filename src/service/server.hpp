@@ -30,6 +30,7 @@
 #include "core/plan.hpp"
 #include "core/solver.hpp"
 #include "obs/request_id.hpp"
+#include "obs/telemetry.hpp"
 #include "service/request.hpp"
 #include "service/server_core.hpp"
 
@@ -191,11 +192,18 @@ class Server {
       initials.push_back(std::move(static_cast<Pending&>(*base).initial));
     }
 
+    // Coalesced batches ride the wide SoA executor when enabled — one
+    // transpose, all lanes in lockstep; singletons keep the scalar path,
+    // where the transpose would be pure overhead.
+    const bool wide = config_.wide_batches && batch.size() > 1;
+    IR_COUNTER_ADD(wide ? "service.wide_batches" : "service.scalar_batches", 1);
+
     std::vector<std::vector<Value>> outputs;
     try {
       core::ExecOptions exec;
       exec.pool = pool;
       exec.workers = config_.spmd_workers;
+      exec.variant = wide ? core::ExecVariant::kWide : core::ExecVariant::kScalar;
       outputs = core::execute_many(*plan, op_, std::move(initials), exec);
     } catch (const std::exception& e) {
       fail_all(std::string("execute failed: ") + e.what());
@@ -213,6 +221,7 @@ class Server {
       info.coalesced = batch.size() > 1;
       info.plan_fingerprint = plan->fingerprint;
       info.engine = core::to_string(plan->engine);
+      info.variant = wide ? "wide" : "scalar";
       info.wait = dispatched - pending.enqueued_at;
       info.execute = execute_time;
       pending.values = std::move(outputs[k]);

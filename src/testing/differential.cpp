@@ -4,11 +4,14 @@
 #include <future>
 #include <utility>
 
+// The harness exercises the deprecated one-shot shims ON PURPOSE: every
+// legacy entry point is a differential leg against the sequential oracle.
+#define IR_COMPAT_ALLOW_DEPRECATED
 #include "algebra/monoids.hpp"
+#include "core/compat.hpp"
 #include "core/general_ir.hpp"
 #include "core/ordinary_ir.hpp"
 #include "core/ordinary_ir_blocked.hpp"
-#include "core/ordinary_ir_spmd.hpp"
 #include "core/plan.hpp"
 #include "core/serialize.hpp"
 #include "core/solver.hpp"
@@ -83,6 +86,37 @@ void check_verify_leg(DifferentialReport& report, const std::string& label,
     const verify::VerifyReport vr = verify::verify_plan(plan, sys, verify_options);
     for (const auto& v : vr.violations) {
       report.mismatches.push_back(label + ":" + v.code);
+    }
+  } catch (const std::exception& e) {
+    report.mismatches.push_back(label + ":threw:" + e.what());
+  } catch (...) {
+    report.mismatches.push_back(label + ":threw:unknown");
+  }
+}
+
+/// Wide-executor leg: run distinct value-sets through execute_wide in one
+/// SoA batch and demand bit-equality with the per-lane sequential oracle —
+/// the wide path must be invisible in the values for ANY operation and
+/// engine.  `expected` carries one oracle row per lane (corrupted rows, like
+/// the scalar legs' oracle, when the harness is proving its own teeth).
+template <typename Op, typename System>
+void check_wide_leg(DifferentialReport& report, const std::string& label,
+                    const System& sys, const Op& op, const PlanOptions& plan_options,
+                    const std::vector<std::vector<typename Op::Value>>& rows,
+                    const std::vector<std::vector<typename Op::Value>>& expected,
+                    const ExecOptions& exec = {}) {
+  ++report.engines_run;
+  try {
+    const core::Plan plan = core::compile_plan(sys, plan_options);
+    auto batch = core::BatchView<typename Op::Value>::from_rows(rows, sys.cells);
+    const auto wide = core::execute_wide(plan, op, std::move(batch), exec);
+    for (std::size_t lane = 0; lane < rows.size(); ++lane) {
+      for (std::size_t c = 0; c < sys.cells; ++c) {
+        if (wide.at(c, lane) != expected[lane][c]) {
+          report.mismatches.push_back(label);
+          return;
+        }
+      }
     }
   } catch (const std::exception& e) {
     report.mismatches.push_back(label + ":threw:" + e.what());
@@ -207,6 +241,34 @@ DifferentialReport run_differential(const GeneralIrSystem& sys,
     report.mismatches.push_back(std::string("plan-execute-many:threw:") + e.what());
   }
 
+  // Wide SoA executor on the auto plan: three DISTINCT lanes (a shared lane
+  // value would mask cross-lane index mix-ups) against per-lane oracles.
+  std::vector<std::vector<std::uint64_t>> lane_rows;
+  std::vector<std::vector<std::uint64_t>> lane_oracle;
+  for (std::size_t lane = 0; lane < 3; ++lane) {
+    lane_rows.push_back(init);
+    for (auto& v : lane_rows.back()) v = 1 + (v + lane * 7919) % (options.modulus - 1);
+    lane_oracle.push_back(core::general_ir_sequential(op, sys, lane_rows.back()));
+    if (options.corrupt_oracle && sys.iterations() > 0) {
+      std::uint64_t& cell = lane_oracle.back()[sys.g[0]];
+      cell = cell % options.modulus + 1;
+    }
+  }
+  check_wide_leg(report, "wide-auto", sys, op, PlanOptions{}, lane_rows, lane_oracle);
+
+  // The rows-of-values API must route to the same lockstep executor when the
+  // caller picks the wide variant explicitly.
+  check_leg(report, "execute-many-wide-variant", oracle, [&] {
+    const core::Plan plan = core::compile_plan(sys);
+    ExecOptions exec;
+    exec.variant = core::ExecVariant::kWide;
+    const auto outs = core::execute_many(plan, op, {init, init, init}, exec);
+    for (const auto& out : outs) {
+      if (out != oracle) return std::vector<std::uint64_t>{};
+    }
+    return oracle;
+  });
+
   // Solver facade: a cache miss then a guaranteed hit through a fresh cache,
   // so the key masking can never hand back a plan for a different schedule.
   check_leg(report, "solver-cache-hit", oracle, [&] {
@@ -308,6 +370,41 @@ DifferentialReport run_differential(const GeneralIrSystem& sys,
       });
     }
 
+    // Every forced ordinary engine again, through the wide executor.
+    for (const auto& [engine, label] :
+         {std::pair{EngineChoice::kJumping, "wide-jumping"},
+          std::pair{EngineChoice::kBlocked, "wide-blocked"},
+          std::pair{EngineChoice::kSpmd, "wide-spmd"}}) {
+      PlanOptions plan_options;
+      plan_options.engine = engine;
+      plan_options.blocks = options.blocks;
+      ExecOptions exec;
+      exec.workers = options.spmd_workers;
+      check_wide_leg(report, label, ord, op, plan_options, lane_rows, lane_oracle, exec);
+    }
+
+    // Chain-structured systems additionally pin the O(n) scan fast route,
+    // forced, wide, and under the static verifier.
+    const auto pred = core::last_writer_before(ord.g, ord.f, ord.cells);
+    bool chain = true;
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      if (pred[i] != core::kNone && pred[i] != i - 1) {
+        chain = false;
+        break;
+      }
+    }
+    PlanOptions scan_options;
+    scan_options.engine = EngineChoice::kScan;
+    if (chain) {
+      check_leg(report, "plan-scan", oracle, [&] {
+        return core::execute_plan(core::compile_plan(ord, scan_options), op, init);
+      });
+      check_wide_leg(report, "wide-scan", ord, op, scan_options, lane_rows, lane_oracle);
+      if (options.verify_plans) {
+        check_verify_leg(report, "verify-scan", ord, scan_options);
+      }
+    }
+
     if (options.verify_plans) {
       for (const auto& [engine, label] :
            {std::pair{EngineChoice::kJumping, "verify-jumping"},
@@ -338,6 +435,29 @@ DifferentialReport run_differential(const GeneralIrSystem& sys,
       check_leg(report, "concat-spmd", coracle, [&] {
         return core::ordinary_ir_spmd(cat, ord, cinit, options.spmd_workers);
       });
+
+      // Wide executor with a non-commutative op: WideOps has no string
+      // kernels, so this pins the generic per-lane fold path AND operand
+      // order at once.  Lanes get distinct suffixes so a lane swap shows.
+      std::vector<std::vector<std::string>> concat_rows;
+      std::vector<std::vector<std::string>> concat_oracle;
+      for (std::size_t lane = 0; lane < 3; ++lane) {
+        concat_rows.push_back(cinit);
+        for (auto& s : concat_rows.back()) s += static_cast<char>('x' + lane);
+        concat_oracle.push_back(
+            core::ordinary_ir_sequential(cat, ord, concat_rows.back()));
+        if (options.corrupt_oracle && sys.iterations() > 0) {
+          concat_oracle.back()[sys.g[0]] += '!';
+        }
+      }
+      PlanOptions concat_jump;
+      concat_jump.engine = EngineChoice::kJumping;
+      check_wide_leg(report, "wide-concat-jumping", ord, cat, concat_jump, concat_rows,
+                     concat_oracle);
+      if (chain) {
+        check_wide_leg(report, "wide-concat-scan", ord, cat, scan_options, concat_rows,
+                       concat_oracle);
+      }
 
       // The same witness through the service: coalesced execute_many batches
       // must not perturb operand order either.  Engine forced to jumping —

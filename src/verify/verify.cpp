@@ -65,7 +65,7 @@ class Reporter {
 
 bool is_ordinary_engine(PlanEngine engine) {
   return engine == PlanEngine::kJumping || engine == PlanEngine::kBlocked ||
-         engine == PlanEngine::kSpmd;
+         engine == PlanEngine::kSpmd || engine == PlanEngine::kScan;
 }
 
 // ---------------------------------------------------------------------------
@@ -181,6 +181,30 @@ bool check_bounds(Reporter& rep, const Plan& plan, const GeneralIrSystem& sys) {
       ok &= check_indices(rep, "blocked.fix-src-bounds", bs.fix_src, n, false);
       break;
     }
+    case PlanEngine::kScan: {
+      const core::ScanSchedule& ss = plan.scan;
+      if (ss.head.size() != n) {
+        rep.add(CheckFamily::kPrecondition, "scan.table-size",
+                "head-flag table must hold one entry per iteration, has " +
+                    std::to_string(ss.head.size()));
+        return false;
+      }
+      std::size_t heads = 0;
+      for (std::size_t i = 0; i < n; ++i) heads += ss.head[i] != 0 ? 1 : 0;
+      if (ss.segments != heads) {
+        rep.add(CheckFamily::kPrecondition, "scan.segment-count",
+                "schedule claims " + std::to_string(ss.segments) + " segments, head "
+                    "flags mark " + std::to_string(heads));
+        ok = false;
+      }
+      if (n > 0 && (ss.longest == 0 || ss.longest > n)) {
+        rep.add(CheckFamily::kPrecondition, "scan.longest-range",
+                "longest-segment gauge " + std::to_string(ss.longest) +
+                    " outside [1, " + std::to_string(n) + "]");
+        ok = false;
+      }
+      break;
+    }
     case PlanEngine::kElementwise: {
       const core::ElementwiseSchedule& es = plan.elementwise;
       if (es.cell.size() != es.f.size() || es.cell.size() != es.h.size()) {
@@ -284,6 +308,26 @@ void check_preconditions(Reporter& rep, const Plan& plan, const GeneralIrSystem&
                 "root_cell[" + std::to_string(i) + "] disagrees with the recomputed "
                 "predecessor forest (chain roots fold A[f(i)], others must not)",
                 kNoCoord, i);
+      }
+    }
+
+    if (plan.engine == PlanEngine::kScan) {
+      const core::ScanSchedule& ss = plan.scan;
+      for (std::size_t i = 0; i < plan.iterations && !rep.saturated(); ++i) {
+        if ((ss.head[i] != 0) != (pred[i] == kNone)) {
+          rep.add(CheckFamily::kPrecondition, "scan.head-mismatch",
+                  "head flag of iteration " + std::to_string(i) +
+                      " disagrees with the recomputed predecessor forest (heads are "
+                      "exactly the chain roots)",
+                  kNoCoord, i);
+        } else if (ss.head[i] == 0 && pred[i] != i - 1) {
+          rep.add(CheckFamily::kPrecondition, "scan.not-chain",
+                  "iteration " + std::to_string(i) + " depends on iteration " +
+                      std::to_string(pred[i]) +
+                      ", not its left neighbour — the sequential scan sweep would "
+                      "fold the wrong value",
+                  kNoCoord, i, pred[i]);
+        }
       }
     }
 
@@ -447,6 +491,10 @@ void check_hazards(Reporter& rep, const Plan& plan) {
       break;
     case PlanEngine::kGeneralCap:
       check_scatter_hazards(rep, "gir.write-write", plan.gir.cell, plan.cells);
+      break;
+    case PlanEngine::kScan:
+      // One left-to-right sequential sweep: no concurrent writes exist, so the
+      // PRAM hazard families are vacuous by construction.
       break;
   }
 }

@@ -1,0 +1,85 @@
+// BatchView layout contract: cell-major SoA addressing, stride >= lanes,
+// lossless row <-> batch transposition, and loud rejection of shape errors —
+// the wide executor indexes straight through this math.
+#include "core/batch_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ir::core {
+namespace {
+
+TEST(BatchViewTest, CellMajorAddressing) {
+  BatchView<int> batch(3, 4);
+  EXPECT_EQ(batch.cells(), 3u);
+  EXPECT_EQ(batch.lanes(), 4u);
+  EXPECT_EQ(batch.stride(), 4u);
+  EXPECT_FALSE(batch.empty());
+
+  for (std::size_t cell = 0; cell < 3; ++cell) {
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      batch.at(cell, lane) = static_cast<int>(cell * 100 + lane);
+    }
+  }
+  // row(cell) is a contiguous K-lane slice at data() + cell * stride.
+  for (std::size_t cell = 0; cell < 3; ++cell) {
+    EXPECT_EQ(batch.row(cell), batch.data() + cell * batch.stride());
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      EXPECT_EQ(batch.row(cell)[lane], static_cast<int>(cell * 100 + lane));
+    }
+  }
+}
+
+TEST(BatchViewTest, StrideMayExceedLanesAndPaddingIsPreserved) {
+  BatchView<int> batch(2, 3, 8);
+  EXPECT_EQ(batch.stride(), 8u);
+  for (std::size_t cell = 0; cell < 2; ++cell) {
+    for (std::size_t lane = 0; lane < 3; ++lane) {
+      batch.at(cell, lane) = static_cast<int>(10 * cell + lane);
+    }
+  }
+  // Rows land stride apart, not lanes apart.
+  EXPECT_EQ(batch.row(1) - batch.row(0), 8);
+  EXPECT_EQ(batch.at(1, 0), 10);
+  // Padding lanes stay value-initialized.
+  EXPECT_EQ(batch.data()[3], 0);
+  EXPECT_EQ(batch.data()[7], 0);
+}
+
+TEST(BatchViewTest, StrideBelowLanesThrows) {
+  EXPECT_THROW(BatchView<int>(4, 8, 2), std::invalid_argument);
+}
+
+TEST(BatchViewTest, FromRowsToRowsRoundTrips) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"a", "b", "c"}, {"d", "e", "f"}, {"g", "h", "i"}, {"j", "k", "l"}};
+  const auto batch = BatchView<std::string>::from_rows(rows, 3);
+  EXPECT_EQ(batch.cells(), 3u);
+  EXPECT_EQ(batch.lanes(), 4u);
+  // from_rows transposes: lane k carries row k.
+  EXPECT_EQ(batch.at(0, 0), "a");
+  EXPECT_EQ(batch.at(2, 1), "f");
+  EXPECT_EQ(batch.at(1, 3), "k");
+  EXPECT_EQ(batch.to_rows(), rows);
+}
+
+TEST(BatchViewTest, FromRowsRejectsRaggedRows) {
+  const std::vector<std::vector<int>> ragged = {{1, 2, 3}, {4, 5}};
+  EXPECT_THROW(BatchView<int>::from_rows(ragged, 3), std::invalid_argument);
+}
+
+TEST(BatchViewTest, EmptyShapes) {
+  const BatchView<int> none;
+  EXPECT_TRUE(none.empty());
+  const auto zero_lanes = BatchView<int>::from_rows({}, 5);
+  EXPECT_TRUE(zero_lanes.empty());
+  EXPECT_EQ(zero_lanes.cells(), 5u);
+  EXPECT_EQ(zero_lanes.to_rows().size(), 0u);
+  const BatchView<int> zero_cells(0, 3);
+  EXPECT_TRUE(zero_cells.empty());
+}
+
+}  // namespace
+}  // namespace ir::core

@@ -1,3 +1,8 @@
+// Exercises the deprecated one-shot shims (core/compat.hpp) on purpose;
+// the define keeps -Werror builds green without losing the diagnostic
+// elsewhere.
+#define IR_COMPAT_ALLOW_DEPRECATED
+#include "core/compat.hpp"
 #include "core/inspector.hpp"
 
 #include <gtest/gtest.h>

@@ -2,15 +2,18 @@
 // This suite pins the compatibility contract: each shim still compiles, still
 // returns exactly what the direct compile_plan + execute_plan pair returns,
 // and still fills its stats struct the way the legacy engine did.
+// Exercises the deprecated one-shot shims (core/compat.hpp) on purpose;
+// the define keeps -Werror builds green without losing the diagnostic
+// elsewhere.
+#define IR_COMPAT_ALLOW_DEPRECATED
 #include <gtest/gtest.h>
 
 #include "algebra/monoids.hpp"
 #include "core/general_ir.hpp"
 #include "core/ordinary_ir.hpp"
 #include "core/ordinary_ir_blocked.hpp"
-#include "core/ordinary_ir_spmd.hpp"
+#include "core/compat.hpp"
 #include "core/plan.hpp"
-#include "core/solve.hpp"
 #include "testing/random_systems.hpp"
 
 namespace ir::core {

@@ -1,0 +1,58 @@
+// Runs with IR_SIMD=scalar in the environment (set by tests/CMakeLists.txt):
+// the dispatch seam must pick the portable fallback even on an AVX2-capable
+// CPU in an IR_SIMD=ON build, and the kernels must keep producing the same
+// bytes.  This is the runtime half of the CI IR_SIMD=OFF leg — same
+// contract, probed without a reconfigure.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "algebra/monoids.hpp"
+#include "core/execute_wide.hpp"
+#include "core/ordinary_ir.hpp"
+#include "core/simd.hpp"
+
+namespace ir::core {
+namespace {
+
+TEST(SimdEnvMaskTest, EnvironmentMaskForcesScalarDispatch) {
+  ASSERT_NE(std::getenv("IR_SIMD"), nullptr)
+      << "this binary must run with IR_SIMD=scalar (see tests/CMakeLists.txt)";
+  EXPECT_EQ(simd::active_mode(), simd::Mode::kScalar);
+  EXPECT_STREQ(simd::to_string(simd::active_mode()), "scalar");
+}
+
+TEST(SimdEnvMaskTest, MaskedKernelsStillComputeCorrectRows) {
+  std::vector<std::uint64_t> a{1, 2, 3, 4, 5, 6, 7};
+  std::vector<std::uint64_t> b{10, 20, 30, 40, 50, 60, 70};
+  std::vector<std::uint64_t> out(a.size());
+  simd::add_rows_u64(a.data(), b.data(), out.data(), a.size());
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{11, 22, 33, 44, 55, 66, 77}));
+}
+
+TEST(SimdEnvMaskTest, WideExecutionIsUnchangedUnderTheMask) {
+  OrdinaryIrSystem chain;
+  chain.cells = 129;
+  for (std::size_t i = 0; i + 1 < chain.cells; ++i) {
+    chain.f.push_back(i);
+    chain.g.push_back(i + 1);
+  }
+  const Plan plan = compile_plan(chain);
+  const algebra::AddMonoid<std::uint64_t> add;
+  std::vector<std::vector<std::uint64_t>> rows(4);
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    for (std::size_t c = 0; c < chain.cells; ++c) rows[k].push_back(c + k + 1);
+  }
+  const auto wide =
+      execute_wide(plan, add, BatchView<std::uint64_t>::from_rows(rows, plan.cells));
+  for (std::size_t lane = 0; lane < rows.size(); ++lane) {
+    const auto scalar = execute_plan(plan, add, rows[lane]);
+    for (std::size_t cell = 0; cell < plan.cells; ++cell) {
+      ASSERT_EQ(wide.at(cell, lane), scalar[cell]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ir::core

@@ -2,9 +2,14 @@
 // parallel, PRAM-simulated, thread-pooled, GIR-via-CAP, GIR-via-DP) must
 // agree on the same random systems — the strongest end-to-end statement of
 // the paper's correctness claims this library can execute.
+// Exercises the deprecated one-shot shims (core/compat.hpp) on purpose;
+// the define keeps -Werror builds green without losing the diagnostic
+// elsewhere.
+#define IR_COMPAT_ALLOW_DEPRECATED
 #include <gtest/gtest.h>
 
 #include "algebra/monoids.hpp"
+#include "core/compat.hpp"
 #include "core/general_ir.hpp"
 #include "core/ordinary_ir.hpp"
 #include "core/ordinary_ir_pram.hpp"

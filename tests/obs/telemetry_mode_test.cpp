@@ -3,9 +3,14 @@
 // (and its solver smoke test must pass) in BOTH configurations — the
 // telemetry-OFF ctest run in tools/verify.sh is what exercises the other
 // branch of each #if below.
+// Exercises the deprecated one-shot shims (core/compat.hpp) on purpose;
+// the define keeps -Werror builds green without losing the diagnostic
+// elsewhere.
+#define IR_COMPAT_ALLOW_DEPRECATED
 #include <gtest/gtest.h>
 
 #include "algebra/monoids.hpp"
+#include "core/compat.hpp"
 #include "core/ordinary_ir.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"

@@ -119,7 +119,7 @@ int usage() {
                "               [--inject-slow-ns=NS] [--metrics=FILE]\n"
                "               [--slow-log=FILE] [--slow-threshold-us=T]\n"
                "               [--ticker-ms=MS] [--metrics-file=FILE]\n"
-               "               [--metrics-interval-ms=MS]\n"
+               "               [--metrics-interval-ms=MS] [--wide={on|off}]\n"
                "\n"
                "Reads the docs/service.md line protocol from stdin (or the\n"
                "socket) and writes one response per request in order.\n");
@@ -595,6 +595,10 @@ int main(int argc, char** argv) {
       flags.prom_file = arg.substr(15);
     } else if (arg.rfind("--metrics-interval-ms=", 0) == 0) {
       flags.prom_interval_ms = number(22);
+    } else if (arg == "--wide=on") {
+      flags.config.wide_batches = true;
+    } else if (arg == "--wide=off") {
+      flags.config.wide_batches = false;
     } else {
       return usage();
     }
