@@ -39,6 +39,15 @@
 //   irtool lower <dsl-file>                     loop DSL -> ir-system text
 //   irtool interchange <dsl-file> <a> <b>       swap nest levels a and b
 //                                               (legality-checked), print DSL
+//   irtool plan export <file> <store-dir> [--engine=E]
+//                                               compile and persist the plan
+//                                               into an on-disk plan store
+//                                               (docs/plan_store.md)
+//   irtool plan import <plan-file> [<store-dir>]
+//                                               validate + statically verify a
+//                                               plan file; with a store dir,
+//                                               install it under its key
+//   irtool plan info <plan-file>                header facts and section map
 //
 // ir-system files use core/serialize.hpp's format; DSL files use
 // frontend/parser.hpp's; "-" reads stdin.
@@ -53,6 +62,7 @@
 #include "algebra/monoids.hpp"
 #include "core/analyze.hpp"
 #include "core/general_ir.hpp"
+#include "core/plan_io.hpp"
 #include "core/serialize.hpp"
 #include "core/solver.hpp"
 #include "core/trace.hpp"
@@ -89,6 +99,10 @@ int usage() {
                "  irtool dot <file>\n"
                "  irtool lower <dsl-file>\n"
                "  irtool interchange <dsl-file> <a> <b>\n"
+               "  irtool plan export <file> <store-dir>\n"
+               "              [--engine={auto|jumping|blocked|spmd|scan|gir}]\n"
+               "  irtool plan import <plan-file> [<store-dir>]\n"
+               "  irtool plan info <plan-file>\n"
                "\n"
                "lint exit codes: 0 = every checked plan certified;\n"
                "                 1 = at least one violation (or runtime error);\n"
@@ -494,6 +508,118 @@ int cmd_interchange(const std::string& path, std::size_t a, std::size_t b) {
   return 0;
 }
 
+void print_plan_header(const core::PlanFileInfo& info) {
+  std::printf("version      %u\n", info.version);
+  std::printf("engine       %s%s\n", core::to_string(info.engine).c_str(),
+              info.chain ? " (chain)" : "");
+  std::printf("fingerprint  %016llx\n",
+              static_cast<unsigned long long>(info.fingerprint));
+  std::printf("store-key    %016llx\n",
+              static_cast<unsigned long long>(info.store_key));
+  std::printf("check        bytes=%llu hash2=%016llx\n",
+              static_cast<unsigned long long>(info.check.bytes),
+              static_cast<unsigned long long>(info.check.hash2));
+  std::printf("cells        %llu\n", static_cast<unsigned long long>(info.cells));
+  std::printf("iterations   %llu\n",
+              static_cast<unsigned long long>(info.iterations));
+  std::printf("file-bytes   %llu\n",
+              static_cast<unsigned long long>(info.file_bytes));
+  std::printf("checksum     %016llx\n",
+              static_cast<unsigned long long>(info.checksum));
+}
+
+int cmd_plan(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string verb = argv[0];
+
+  if (verb == "export") {
+    // export <system-file> <store-dir> [--engine=E]: compile and persist.
+    std::string path, store_dir, engine_name = "auto";
+    for (int a = 1; a < argc; ++a) {
+      const std::string arg = argv[a];
+      if (arg.rfind("--engine=", 0) == 0) {
+        engine_name = arg.substr(9);
+      } else if (path.empty()) {
+        path = arg;
+      } else if (store_dir.empty()) {
+        store_dir = arg;
+      } else {
+        return usage();
+      }
+    }
+    if (path.empty() || store_dir.empty()) return usage();
+    core::EngineChoice engine = core::EngineChoice::kAuto;
+    if (engine_name == "jumping") {
+      engine = core::EngineChoice::kJumping;
+    } else if (engine_name == "blocked") {
+      engine = core::EngineChoice::kBlocked;
+    } else if (engine_name == "spmd") {
+      engine = core::EngineChoice::kSpmd;
+    } else if (engine_name == "scan") {
+      engine = core::EngineChoice::kScan;
+    } else if (engine_name == "gir") {
+      engine = core::EngineChoice::kGeneralCap;
+    } else if (engine_name != "auto") {
+      return usage();
+    }
+
+    const auto sys = load(path);
+    core::PlanOptions options;
+    options.engine = engine;
+    const core::Plan plan = core::compile_plan(sys, options);
+    const std::uint64_t key = core::plan_cache_key(sys, options);
+    const core::PlanKeyCheck check = core::plan_key_check(sys, options);
+    core::PlanStore store(store_dir);
+    const std::string entry = store.put(key, check, plan, sys);
+    std::fprintf(stderr, "# exported %s plan (%zu cells, %zu iterations)\n",
+                 core::to_string(plan.engine).c_str(), plan.cells,
+                 plan.iterations);
+    std::printf("%s\n", entry.c_str());
+    return 0;
+  }
+
+  if (verb == "import") {
+    // import <plan-file> [<store-dir>]: full validation + static verification
+    // (the same gate PlanStore::get applies); with a store dir, install the
+    // verified plan under its recorded key.
+    if (argc < 2) return usage();
+    const std::string path = argv[1];
+    const std::string store_dir = argc > 2 ? argv[2] : "";
+    core::LoadedPlan loaded;
+    try {
+      loaded = core::load_plan_file(path);  // verify=true by default
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "irtool: REJECTED %s: %s\n", path.c_str(), error.what());
+      return 1;
+    }
+    std::printf("verified     yes (header + checksum + static verifier)\n");
+    print_plan_header(core::plan_file_info(path));
+    if (!store_dir.empty()) {
+      core::PlanStore store(store_dir);
+      const std::string entry =
+          store.put(loaded.store_key, loaded.check, *loaded.plan, loaded.system);
+      std::printf("installed    %s\n", entry.c_str());
+    }
+    return 0;
+  }
+
+  if (verb == "info") {
+    // info <plan-file>: header facts + section map, tables untouched.
+    if (argc < 2) return usage();
+    const core::PlanFileInfo info = core::plan_file_info(argv[1]);
+    print_plan_header(info);
+    std::printf("sections     %zu\n", info.sections.size());
+    for (const auto& section : info.sections) {
+      std::printf("  %-18s offset=%-8llu bytes=%llu\n", section.name,
+                  static_cast<unsigned long long>(section.offset),
+                  static_cast<unsigned long long>(section.bytes));
+    }
+    return 0;
+  }
+
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -561,6 +687,7 @@ int main(int argc, char** argv) {
       if (!known_engine) return usage();
       return cmd_lint(flags);
     }
+    if (command == "plan") return cmd_plan(argc - 2, argv + 2);
     if (command == "dot") return cmd_dot(argv[2]);
     if (command == "lower") return cmd_lower(argv[2]);
     if (command == "interchange") {

@@ -129,7 +129,7 @@ void wide_seed_in_place(const Op& op, const Plan& plan, BatchView<Value>& batch)
 /// Translate a trace-indexed move table into cell space once per execute:
 /// the rounds then address batch rows directly.
 inline std::vector<std::uint32_t> to_cell_space(
-    const std::vector<std::uint32_t>& trace_idx, const Plan& plan) {
+    const PlanTable<std::uint32_t>& trace_idx, const Plan& plan) {
   std::vector<std::uint32_t> cells(trace_idx.size());
   for (std::size_t k = 0; k < trace_idx.size(); ++k) {
     cells[k] = plan.write_cell[trace_idx[k]];

@@ -340,13 +340,20 @@ KeyRoute resolve_key_route(const GeneralIrSystem& sys, const PlanOptions& option
   return KeyRoute::kAutoOrdinary;
 }
 
-}  // namespace
+/// The option words that enter the key for the resolved route, in mixing
+/// order — shared by plan_cache_key and plan_key_check so the two always
+/// agree on *what* distinguishes two compiles and differ only in *how* they
+/// hash it.
+struct KeyWords {
+  std::uint64_t route = 0;
+  std::uint64_t words[3] = {0, 0, 0};
+  std::size_t count = 0;
+};
 
-std::uint64_t plan_cache_key(const GeneralIrSystem& sys, const PlanOptions& options) {
+KeyWords key_words(const GeneralIrSystem& sys, const PlanOptions& options) {
   const KeyRoute route = resolve_key_route(sys, options);
-  std::uint64_t hash = kFnvOffset;
-  mix_u64(hash, content_fingerprint(sys));
-  mix_u64(hash, static_cast<std::uint64_t>(route));
+  KeyWords out;
+  out.route = static_cast<std::uint64_t>(route);
   // Resolve every pool-derived hint to a number so pool identity (and
   // lifetime) never leaks into the key.
   const std::size_t pool_size = options.pool != nullptr ? options.pool->size() : 0;
@@ -359,28 +366,57 @@ std::uint64_t plan_cache_key(const GeneralIrSystem& sys, const PlanOptions& opti
     case KeyRoute::kScan:
       break;  // schedule depends on the system content alone
     case KeyRoute::kBlocked:
-      mix_u64(hash, resolved_blocks);
+      out.words[out.count++] = resolved_blocks;
       break;
     case KeyRoute::kAutoOrdinary: {
-      mix_u64(hash, resolved_blocks);
-      mix_u64(hash, pool_size != 0 ? pool_size : 4);  // routing block hint
+      out.words[out.count++] = resolved_blocks;
+      out.words[out.count++] = pool_size != 0 ? pool_size : 4;  // routing block hint
       std::uint64_t threshold_bits = 0;
       static_assert(sizeof threshold_bits == sizeof options.blocked_threshold);
       std::memcpy(&threshold_bits, &options.blocked_threshold, sizeof threshold_bits);
-      mix_u64(hash, threshold_bits);
+      out.words[out.count++] = threshold_bits;
       break;
     }
     case KeyRoute::kGeneralCap:
-      mix_u64(hash, (options.prune_dead ? 1u : 0u) |
-                        (options.coalesce_each_round ? 2u : 0u) |
-                        (options.reference_counts ? 4u : 0u));
+      out.words[out.count++] = (options.prune_dead ? 1u : 0u) |
+                               (options.coalesce_each_round ? 2u : 0u) |
+                               (options.reference_counts ? 4u : 0u);
       break;
   }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t plan_cache_key(const GeneralIrSystem& sys, const PlanOptions& options) {
+  const KeyWords kw = key_words(sys, options);
+  std::uint64_t hash = kFnvOffset;
+  mix_u64(hash, content_fingerprint(sys));
+  mix_u64(hash, kw.route);
+  for (std::size_t i = 0; i < kw.count; ++i) mix_u64(hash, kw.words[i]);
   return hash;
 }
 
 std::uint64_t plan_cache_key(const OrdinaryIrSystem& sys, const PlanOptions& options) {
   return plan_cache_key(GeneralIrSystem::from_ordinary(sys), options);
+}
+
+PlanKeyCheck plan_key_check(const GeneralIrSystem& sys, const PlanOptions& options) {
+  const KeyWords kw = key_words(sys, options);
+  const ContentIdentity id = content_identity(sys);
+  // hash_combine-style mixing — deliberately not FNV-1a, so an input pair
+  // that collides the primary key has no structural reason to collide here.
+  std::uint64_t hash = id.hash2;
+  auto mix2 = [&hash](std::uint64_t value) {
+    hash ^= value + 0x9e3779b97f4a7c15ull + (hash << 6) + (hash >> 2);
+  };
+  mix2(kw.route);
+  for (std::size_t i = 0; i < kw.count; ++i) mix2(kw.words[i]);
+  return {id.bytes, hash};
+}
+
+PlanKeyCheck plan_key_check(const OrdinaryIrSystem& sys, const PlanOptions& options) {
+  return plan_key_check(GeneralIrSystem::from_ordinary(sys), options);
 }
 
 Plan compile_plan(const GeneralIrSystem& sys, const PlanOptions& options) {

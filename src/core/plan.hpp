@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -35,6 +36,7 @@
 #include "core/batch_view.hpp"
 #include "core/engine_types.hpp"
 #include "core/ir_problem.hpp"
+#include "core/plan_table.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/spmd.hpp"
@@ -124,9 +126,9 @@ struct ExecOptions {
 /// writes (the executor double-buffers), so the recorded order is exactly
 /// the synchronous-PRAM round structure.
 struct JumpSchedule {
-  std::vector<std::uint32_t> dst;
-  std::vector<std::uint32_t> src;
-  std::vector<std::size_t> round_begin = {0};  ///< size rounds()+1
+  PlanTable<std::uint32_t> dst;
+  PlanTable<std::uint32_t> src;
+  PlanTable<std::size_t> round_begin = {0};  ///< size rounds()+1
   std::size_t peak_active = 0;                 ///< widest round
   std::size_t seed_ops = 0;                    ///< root seeds (one ⊙ each)
 
@@ -144,11 +146,11 @@ struct JumpSchedule {
 /// its root seed; phase 2 applies the cross-block fix-ups block by block,
 /// ascending, each a single ⊙.
 struct BlockedSchedule {
-  std::vector<parallel::Block> blocks;
-  std::vector<std::uint32_t> local_pred;  ///< in-block predecessor or kNoIndex32
-  std::vector<std::uint32_t> fix_dst;     ///< partial equations, block-major
-  std::vector<std::uint32_t> fix_src;     ///< their (complete) external targets
-  std::vector<std::size_t> fix_begin;     ///< per-block slice of fix_*, size blocks+1
+  PlanTable<parallel::Block> blocks;
+  PlanTable<std::uint32_t> local_pred;  ///< in-block predecessor or kNoIndex32
+  PlanTable<std::uint32_t> fix_dst;     ///< partial equations, block-major
+  PlanTable<std::uint32_t> fix_src;     ///< their (complete) external targets
+  PlanTable<std::size_t> fix_begin;     ///< per-block slice of fix_*, size blocks+1
   std::size_t phase1_ops = 0;             ///< ⊙ count of phase 1 (incl. root seeds)
   std::size_t resolve_rounds = 0;         ///< blocks with a non-empty fix-up step
 
@@ -164,25 +166,28 @@ struct BlockedSchedule {
 /// traces fold left-to-right as a segmented scan — O(n) ⊙ total, no rounds,
 /// bit-identical to the sequential reference for any op.
 struct ScanSchedule {
-  std::vector<std::uint8_t> head;  ///< 1 = segment head (chain root), size n
+  PlanTable<std::uint8_t> head;  ///< 1 = segment head (chain root), size n
   std::size_t segments = 0;        ///< independent chains
   std::size_t longest = 0;         ///< longest chain (sequential depth)
 };
 
 /// No-recurrence route: written cell k takes one ⊙ of two initial values.
 struct ElementwiseSchedule {
-  std::vector<std::uint32_t> cell;  ///< written cell (its final writer's g)
-  std::vector<std::uint32_t> f;     ///< final writer's two read cells
-  std::vector<std::uint32_t> h;
+  PlanTable<std::uint32_t> cell;  ///< written cell (its final writer's g)
+  PlanTable<std::uint32_t> f;     ///< final writer's two read cells
+  PlanTable<std::uint32_t> h;
 };
 
 /// General-IR route: written cell k is the ⊙-fold of powered initial values
 /// term_cell[t]^term_exp[t] over t in [term_begin[k], term_begin[k+1]).
 /// This is the CAP result with graph node ids already resolved to cells.
 struct GirSchedule {
-  std::vector<std::uint32_t> cell;
-  std::vector<std::size_t> term_begin = {0};
-  std::vector<std::uint32_t> term_cell;
+  PlanTable<std::uint32_t> cell;
+  PlanTable<std::size_t> term_begin = {0};
+  PlanTable<std::uint32_t> term_cell;
+  /// CAP exponents are arbitrary-precision, so they are the one table
+  /// plan_io cannot borrow from a mapping — loads materialize them from the
+  /// file's limb pool (see docs/plan_store.md).
   std::vector<support::BigUint> term_exp;
   std::size_t cap_rounds = 0;      ///< CAP closure rounds (0 for reference DP)
   std::size_t cap_peak_edges = 0;  ///< CAP peak live edges
@@ -206,10 +211,10 @@ struct Plan {
 
   /// Per-iteration write cell (copy of g); scatter target for the ordinary
   /// engines and the self-operand seed cell.  Empty for elementwise/GIR.
-  std::vector<std::uint32_t> write_cell;
+  PlanTable<std::uint32_t> write_cell;
 
   /// Per-iteration root seed: f(i) for chain roots, kNoIndex32 otherwise.
-  std::vector<std::uint32_t> root_cell;
+  PlanTable<std::uint32_t> root_cell;
 
   /// True when the pred forest is pure f(i) = i-1 chains — the structure
   /// the kScan fast route exploits.  Set for every ordinary-engine compile
@@ -222,6 +227,12 @@ struct Plan {
   ScanSchedule scan;                ///< kScan
   ElementwiseSchedule elementwise;  ///< kElementwise
   GirSchedule gir;                  ///< kGeneralCap
+
+  /// Keeps borrowed storage alive: a plan loaded zero-copy from a plan file
+  /// (core/plan_io.hpp) points its schedule tables into the mapped file, and
+  /// this handle owns that mapping.  Null for compiled plans, whose tables
+  /// own their storage.
+  std::shared_ptr<const void> backing;
 
   /// One-line human summary of the compiled schedule, e.g.
   /// "jumping: n=12 m=13, 4 rounds, 31 moves, peak 12" — what `irtool lint`
@@ -246,6 +257,24 @@ struct Plan {
                                            const PlanOptions& options);
 [[nodiscard]] std::uint64_t plan_cache_key(const OrdinaryIrSystem& sys,
                                            const PlanOptions& options);
+
+/// Collision double-check carried alongside every cache key.  plan_cache_key
+/// is a bare 64-bit hash, so two distinct (system, options) pairs can —
+/// however improbably — share a key; serving whichever plan got there first
+/// would be silently wrong.  The check pairs the exact serialized-system
+/// byte length with a second hash computed by an independent mixing function
+/// over the same bytes and option knobs; PlanCache and PlanStore reject (and
+/// count, as plan_cache.collisions) any key whose stored check disagrees.
+struct PlanKeyCheck {
+  std::uint64_t bytes = 0;  ///< exact ir-system v1 serialized length
+  std::uint64_t hash2 = 0;  ///< independent hash of the same identity
+  friend bool operator==(const PlanKeyCheck&, const PlanKeyCheck&) = default;
+};
+
+[[nodiscard]] PlanKeyCheck plan_key_check(const GeneralIrSystem& sys,
+                                          const PlanOptions& options);
+[[nodiscard]] PlanKeyCheck plan_key_check(const OrdinaryIrSystem& sys,
+                                          const PlanOptions& options);
 
 namespace detail {
 

@@ -4,39 +4,57 @@
 
 namespace ir::core {
 
-std::shared_ptr<const Plan> PlanCache::find(std::uint64_t key) {
+std::shared_ptr<const Plan> PlanCache::find(std::uint64_t key,
+                                            const PlanKeyCheck& check) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
+  const auto it = capacity_ != 0 ? index_.find(key) : index_.end();
   if (it == index_.end()) {
     ++misses_;
+    IR_COUNTER_ADD("plan_cache.misses", 1);
+    return nullptr;
+  }
+  if (!(it->second->check == check)) {
+    // Key collision: same 64-bit key, different identity.  Serving the
+    // stored plan would be silently wrong; treat as a (counted) miss.
+    ++collisions_;
+    ++misses_;
+    IR_COUNTER_ADD("plan_cache.collisions", 1);
     IR_COUNTER_ADD("plan_cache.misses", 1);
     return nullptr;
   }
   ++hits_;
   IR_COUNTER_ADD("plan_cache.hits", 1);
   lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->second;
+  return it->second->plan;
 }
 
-std::shared_ptr<const Plan> PlanCache::peek(std::uint64_t key) const {
+std::shared_ptr<const Plan> PlanCache::peek(std::uint64_t key,
+                                            const PlanKeyCheck& check) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  return it == index_.end() ? nullptr : it->second->second;
+  const auto it = capacity_ != 0 ? index_.find(key) : index_.end();
+  if (it == index_.end() || !(it->second->check == check)) return nullptr;
+  return it->second->plan;
 }
 
-void PlanCache::insert(std::uint64_t key, std::shared_ptr<const Plan> plan) {
+void PlanCache::insert(std::uint64_t key, const PlanKeyCheck& check,
+                       std::shared_ptr<const Plan> plan) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(plan);
+    if (!(it->second->check == check)) {
+      ++collisions_;
+      IR_COUNTER_ADD("plan_cache.collisions", 1);
+      it->second->check = check;  // newest identity wins the key
+    }
+    it->second->plan = std::move(plan);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(plan));
+  lru_.emplace_front(Entry{key, check, std::move(plan)});
   index_.emplace(key, lru_.begin());
   while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
+    index_.erase(lru_.back().key);
     lru_.pop_back();
     ++evictions_;
     IR_COUNTER_ADD("plan_cache.evictions", 1);
@@ -68,6 +86,11 @@ std::uint64_t PlanCache::misses() const {
 std::uint64_t PlanCache::evictions() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return evictions_;
+}
+
+std::uint64_t PlanCache::collisions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return collisions_;
 }
 
 }  // namespace ir::core

@@ -8,10 +8,20 @@
 // misses.  Entries are shared_ptr<const
 // Plan>: a hit can be executed long after the entry was evicted.
 //
+// The key is a bare 64-bit hash, so every entry also stores its
+// PlanKeyCheck (serialized byte length + an independent second hash); a
+// lookup whose check disagrees with the stored one is a detected collision
+// — counted (collisions(), plan_cache.collisions) and treated as a miss,
+// never served.  An insert under a colliding key replaces the entry: the
+// newest identity wins, both identities keep compiling.
+//
+// A capacity of 0 disables caching outright: find/peek always miss, insert
+// is a no-op — the documented IR_PLAN_CACHE_CAP=0 semantics (solver.hpp).
+//
 // Thread safe (one mutex — compile is orders of magnitude more expensive
-// than the lookup).  Hit/miss/eviction counts are exposed both as instance
-// accessors and as plan_cache.* metrics in the observability registry
-// (docs/observability.md).
+// than the lookup).  Hit/miss/eviction/collision counts are exposed both as
+// instance accessors and as plan_cache.* metrics in the observability
+// registry (docs/observability.md).
 #pragma once
 
 #include <cstdint>
@@ -30,17 +40,23 @@ class PlanCache {
   /// `capacity` = max cached plans; 0 disables caching entirely.
   explicit PlanCache(std::size_t capacity = 64) : capacity_(capacity) {}
 
-  /// Look up a plan; bumps it to most-recently-used on a hit.
-  [[nodiscard]] std::shared_ptr<const Plan> find(std::uint64_t key);
+  /// Look up a plan; bumps it to most-recently-used on a hit.  A present
+  /// key whose stored check differs from `check` counts one collision and
+  /// one miss and returns null.
+  [[nodiscard]] std::shared_ptr<const Plan> find(std::uint64_t key,
+                                                 const PlanKeyCheck& check);
 
   /// find() without counters or an LRU bump — the Solver's single-flight
   /// double-check uses this so one compile() call never records more than
-  /// one hit or miss.
-  [[nodiscard]] std::shared_ptr<const Plan> peek(std::uint64_t key) const;
+  /// one hit or miss.  A check mismatch returns null without counting.
+  [[nodiscard]] std::shared_ptr<const Plan> peek(std::uint64_t key,
+                                                 const PlanKeyCheck& check) const;
 
   /// Insert (or refresh) a plan, evicting the least-recently-used entry
-  /// beyond capacity.
-  void insert(std::uint64_t key, std::shared_ptr<const Plan> plan);
+  /// beyond capacity.  Inserting under a key held by a different identity
+  /// counts a collision and replaces the entry.
+  void insert(std::uint64_t key, const PlanKeyCheck& check,
+              std::shared_ptr<const Plan> plan);
 
   void clear();
 
@@ -49,9 +65,14 @@ class PlanCache {
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
   [[nodiscard]] std::uint64_t evictions() const;
+  [[nodiscard]] std::uint64_t collisions() const;
 
  private:
-  using Entry = std::pair<std::uint64_t, std::shared_ptr<const Plan>>;
+  struct Entry {
+    std::uint64_t key;
+    PlanKeyCheck check;
+    std::shared_ptr<const Plan> plan;
+  };
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
@@ -60,6 +81,7 @@ class PlanCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t collisions_ = 0;
 };
 
 }  // namespace ir::core

@@ -1,0 +1,179 @@
+// Binary plan format + on-disk plan store (docs/plan_store.md).
+//
+// Compiled plans are pure functions of (system content, routing options), so
+// they are durable artifacts: compile once, persist, and every later process
+// — an irserve restart, a future shard fleet sharing one read-only store —
+// replays the schedule without paying analysis or schedule construction
+// again.  The format is designed around the fact that every schedule table
+// is already a flat array (uint32 indices, size_t offsets, uint8 flags):
+//
+//   * versioned + endianness-tagged header with per-section offset/length
+//     table and a whole-file checksum;
+//   * every section 8-byte aligned, so a loaded Plan BORROWS its tables
+//     straight out of the mapping (PlanTable's borrowing state — zero copy,
+//     no deserialization of table payloads).  The one exception is the GIR
+//     exponent table, whose arbitrary-precision values are materialized
+//     from the file's limb pool;
+//   * the source system is embedded as its canonical ir-system v1 text, so
+//     a plan file is self-contained: the loader re-derives the fingerprint
+//     and the SystemReport and can run the full static verifier against it.
+//
+// Trust model: plan files are data, not code, and are treated as untrusted.
+// Loading validates the header, the checksum, and every section bound
+// before touching a table, then runs verify_plan() (precondition lint +
+// PRAM hazard analysis) against the embedded system.  A corrupt, truncated,
+// or tampered file is rejected with a reason — never executed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/plan_cache.hpp"
+
+namespace ir::core {
+
+/// Bumped on any layout change; readers reject other versions (the format
+/// is an artifact cache, not an archival interchange format — recompiling
+/// is always safe, so there is no cross-version migration).
+inline constexpr std::uint32_t kPlanFormatVersion = 1;
+
+/// File extension the store uses for its entries.
+inline constexpr const char* kPlanFileExtension = ".irplan";
+
+/// Load-time policy.  Structural validation (header, bounds, checksum,
+/// fingerprint) always runs; `verify` additionally runs the static verifier
+/// (lint + hazard families) against the embedded system before the plan is
+/// released to callers.  Turning it off is for benchmarking the raw load
+/// path only.
+struct PlanLoadOptions {
+  bool verify = true;
+};
+
+/// A plan loaded from the binary format.  `plan->backing` owns the mapping
+/// (or buffer) the schedule tables point into; the system is parsed from
+/// the embedded canonical text (it is what verify ran against).
+struct LoadedPlan {
+  std::shared_ptr<const Plan> plan;
+  GeneralIrSystem system;
+  std::uint64_t store_key = 0;  ///< plan_cache_key recorded at export
+  PlanKeyCheck check;           ///< collision double-check recorded at export
+};
+
+/// Serialize `plan` (+ its source system and cache identity) to the binary
+/// plan format.  `store_key`/`check` are the plan_cache_key/plan_key_check
+/// of the (system, options) pair the plan was compiled from; they key the
+/// store and let warm-start re-insert under the exact cache identity.
+[[nodiscard]] std::string serialize_plan(const Plan& plan, const GeneralIrSystem& sys,
+                                         std::uint64_t store_key,
+                                         const PlanKeyCheck& check);
+
+/// Validate + load a plan from an in-memory buffer, zero-copy: the returned
+/// plan's tables alias `bytes`' storage, kept alive via Plan::backing.
+/// Throws support::ContractViolation with a reason on any defect.
+[[nodiscard]] LoadedPlan load_plan(std::shared_ptr<const std::string> bytes,
+                                   const PlanLoadOptions& options = {});
+
+/// mmap `path` read-only and load zero-copy (the mapping lives as long as
+/// the returned plan).  Throws support::ContractViolation on I/O errors and
+/// every defect load_plan rejects.
+[[nodiscard]] LoadedPlan load_plan_file(const std::string& path,
+                                        const PlanLoadOptions& options = {});
+
+/// Header facts of a plan file (checksum verified, tables untouched) — the
+/// `irtool plan info` view.
+struct PlanFileInfo {
+  std::uint32_t version = 0;
+  PlanEngine engine = PlanEngine::kJumping;
+  bool chain = false;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t store_key = 0;
+  PlanKeyCheck check;
+  std::uint64_t cells = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t checksum = 0;
+
+  struct Section {
+    const char* name;
+    std::uint64_t offset;
+    std::uint64_t bytes;
+  };
+  std::vector<Section> sections;  ///< non-empty sections, file order
+};
+
+[[nodiscard]] PlanFileInfo plan_file_info(const std::string& path);
+
+/// On-disk plan store: a flat directory of `plan-<key>.irplan` files keyed
+/// by plan_cache_key.  put() is atomic (tmp + rename into place), get()
+/// loads + verifies and applies the same PlanKeyCheck double-check as the
+/// in-memory PlanCache, manifest() enumerates entries from their headers
+/// without loading tables.  Safe for concurrent readers and writers across
+/// processes: rename is the commit point, and a reader only ever sees a
+/// complete file or none.
+///
+/// Counters are exposed as accessors and as plan_store.* metrics
+/// (docs/observability.md).  get() never throws for a bad entry: an absent
+/// key is a miss, an unreadable/corrupt/unverifiable file is a reject —
+/// both return null and the caller compiles instead.
+class PlanStore {
+ public:
+  explicit PlanStore(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Path a key's entry lives at (whether or not it exists yet).
+  [[nodiscard]] std::string entry_path(std::uint64_t key) const;
+
+  /// Persist a compiled plan under `key`; returns the final path.  Throws
+  /// support::ContractViolation on I/O failure.
+  std::string put(std::uint64_t key, const PlanKeyCheck& check, const Plan& plan,
+                  const GeneralIrSystem& sys);
+
+  /// Load + verify the entry for `key`; null when absent (miss) or when the
+  /// file fails validation/verification or its recorded identity disagrees
+  /// with `check` (reject).
+  [[nodiscard]] std::shared_ptr<const Plan> get(std::uint64_t key,
+                                                const PlanKeyCheck& check);
+
+  struct ManifestEntry {
+    std::string path;
+    std::uint64_t store_key = 0;
+    std::uint64_t fingerprint = 0;
+    PlanEngine engine = PlanEngine::kJumping;
+    std::uint64_t cells = 0;
+    std::uint64_t iterations = 0;
+    std::uint64_t file_bytes = 0;
+  };
+
+  /// Header-validated directory scan (unreadable/corrupt files are counted
+  /// as rejects and skipped).
+  [[nodiscard]] std::vector<ManifestEntry> manifest() const;
+
+  /// Warm-start: load + verify every manifest entry and insert it into
+  /// `cache` under its recorded key/check.  Returns the number of plans
+  /// preloaded; failures count as rejects and are skipped.
+  std::size_t preload(PlanCache& cache);
+
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t rejects() const;
+  [[nodiscard]] std::uint64_t puts() const;
+  [[nodiscard]] std::uint64_t preloaded() const;
+
+ private:
+  void note_reject() const;
+
+  std::string dir_;
+  mutable std::mutex mutex_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  mutable std::uint64_t rejects_ = 0;
+  mutable std::uint64_t puts_ = 0;
+  mutable std::uint64_t preloaded_ = 0;
+};
+
+}  // namespace ir::core

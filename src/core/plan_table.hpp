@@ -1,0 +1,105 @@
+// Owning-or-borrowing schedule table.
+//
+// Schedule tables are built once (by compile_plan) and then only ever read
+// (by the executors and the verifier).  PlanTable<T> exploits that split so
+// the plan_io loader can be zero-copy: a table either OWNS a std::vector<T>
+// — the compile-side shape, with the vector mutators the schedule builders
+// use — or BORROWS a [data, data+size) range inside an mmap'ed plan file
+// (plan_io.hpp), in which case no element is ever copied out of the mapping.
+// The readers cannot tell the difference: data()/size()/operator[] and the
+// iterators behave identically either way.
+//
+// Borrowed storage is immutable by contract (the mapping is read-only);
+// every mutator asserts the table is in the owning state.  A borrowed
+// table's lifetime is managed one level up: Plan::backing keeps the mapping
+// alive for as long as any schedule table points into it.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "support/contract.hpp"
+
+namespace ir::core {
+
+template <typename T>
+class PlanTable {
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+
+  PlanTable() = default;
+  PlanTable(std::initializer_list<T> init) : own_(init) {}
+
+  /// Owning construction/assignment from a vector (schedule builders that
+  /// delegate to a helper returning std::vector, e.g. partition_blocks).
+  PlanTable(std::vector<T> values) : own_(std::move(values)) {}  // NOLINT(google-explicit-constructor)
+  PlanTable& operator=(std::vector<T> values) {
+    view_ = nullptr;
+    view_size_ = 0;
+    own_ = std::move(values);
+    return *this;
+  }
+
+  /// Switch to the borrowing state: the table aliases [data, data+count)
+  /// and drops any owned storage.  The caller guarantees the range outlives
+  /// the table (plan_io parks the mapping in Plan::backing).
+  void borrow(const T* data, std::size_t count) noexcept {
+    own_.clear();
+    own_.shrink_to_fit();
+    view_ = data;
+    view_size_ = count;
+  }
+
+  [[nodiscard]] bool borrowed() const noexcept { return view_ != nullptr; }
+
+  // --- readers: identical in both states -----------------------------------
+  [[nodiscard]] const T* data() const noexcept { return view_ != nullptr ? view_ : own_.data(); }
+  [[nodiscard]] std::size_t size() const noexcept { return view_ != nullptr ? view_size_ : own_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data()[i]; }
+  [[nodiscard]] const T& front() const noexcept { return data()[0]; }
+  [[nodiscard]] const T& back() const noexcept { return data()[size() - 1]; }
+  [[nodiscard]] const_iterator begin() const noexcept { return data(); }
+  [[nodiscard]] const_iterator end() const noexcept { return data() + size(); }
+
+  [[nodiscard]] std::vector<T> to_vector() const { return std::vector<T>(begin(), end()); }
+
+  // --- mutators: owning state only -----------------------------------------
+  T& operator[](std::size_t i) {
+    IR_INVARIANT(view_ == nullptr, "mutating a borrowed plan table");
+    return own_[i];
+  }
+  void push_back(const T& v) { mutable_vector().push_back(v); }
+  void push_back(T&& v) { mutable_vector().push_back(std::move(v)); }
+  void reserve(std::size_t n) { mutable_vector().reserve(n); }
+  void resize(std::size_t n) { mutable_vector().resize(n); }
+  void assign(std::size_t n, const T& v) { mutable_vector().assign(n, v); }
+  void clear() {
+    view_ = nullptr;
+    view_size_ = 0;
+    own_.clear();
+  }
+
+  friend bool operator==(const PlanTable& a, const PlanTable& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<T>& mutable_vector() {
+    IR_INVARIANT(view_ == nullptr, "mutating a borrowed plan table");
+    return own_;
+  }
+
+  std::vector<T> own_;
+  const T* view_ = nullptr;  ///< non-null = borrowing state
+  std::size_t view_size_ = 0;
+};
+
+}  // namespace ir::core

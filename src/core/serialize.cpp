@@ -1,7 +1,6 @@
 #include "core/serialize.hpp"
 
 #include <charconv>
-#include <cstdio>
 
 namespace ir::core {
 
@@ -136,14 +135,21 @@ std::string to_text(const OrdinaryIrSystem& sys) {
 
 namespace {
 
-/// Streamed FNV-1a 64 over exactly the bytes to_text emits.
-class Fnv1a {
+/// One streamed pass over exactly the bytes to_text emits, producing the
+/// primary FNV-1a 64 fingerprint, the byte count, and a second hash whose
+/// mixing function (multiply-add with a finalizing avalanche) shares no
+/// structure with FNV-1a — two streams colliding under both hashes AND the
+/// length is what the PlanKeyCheck double-check treats as impossible.
+class ContentHasher {
  public:
   void bytes(std::string_view text) {
     for (const char c : text) {
-      hash_ ^= static_cast<unsigned char>(c);
-      hash_ *= 1099511628211ull;
+      const auto byte = static_cast<unsigned char>(c);
+      fnv_ ^= byte;
+      fnv_ *= 1099511628211ull;
+      alt_ = alt_ * 6364136223846793005ull + byte + 1442695040888963407ull;
     }
+    count_ += text.size();
   }
   void number(std::size_t value) {
     char buffer[24];
@@ -151,40 +157,61 @@ class Fnv1a {
     IR_INVARIANT(ec == std::errc{}, "size_t must fit the fingerprint buffer");
     bytes(std::string_view(buffer, static_cast<std::size_t>(ptr - buffer)));
   }
-  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return fnv_; }
+  [[nodiscard]] ContentIdentity identity() const noexcept {
+    // splitmix64 finalizer: the multiply-add chain alone is weak in its low
+    // bits, the avalanche makes every input byte affect every output bit.
+    std::uint64_t x = alt_;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return {count_, x};
+  }
 
  private:
-  std::uint64_t hash_ = 1469598103934665603ull;
+  std::uint64_t fnv_ = 1469598103934665603ull;
+  std::uint64_t alt_ = 0x2545f4914f6cdd1dull;
+  std::uint64_t count_ = 0;
 };
 
-std::uint64_t fingerprint_impl(std::size_t cells, const std::vector<std::size_t>& f,
-                               const std::vector<std::size_t>& g,
-                               const std::vector<std::size_t>& h) {
-  Fnv1a fnv;
-  fnv.bytes("ir-system v1\ncells ");
-  fnv.number(cells);
-  fnv.bytes("\nequations ");
-  fnv.number(g.size());
-  fnv.bytes("\n");
+ContentHasher hash_system(std::size_t cells, const std::vector<std::size_t>& f,
+                          const std::vector<std::size_t>& g,
+                          const std::vector<std::size_t>& h) {
+  ContentHasher hasher;
+  hasher.bytes("ir-system v1\ncells ");
+  hasher.number(cells);
+  hasher.bytes("\nequations ");
+  hasher.number(g.size());
+  hasher.bytes("\n");
   for (std::size_t i = 0; i < g.size(); ++i) {
-    fnv.number(f[i]);
-    fnv.bytes(" ");
-    fnv.number(g[i]);
-    fnv.bytes(" ");
-    fnv.number(h[i]);
-    fnv.bytes("\n");
+    hasher.number(f[i]);
+    hasher.bytes(" ");
+    hasher.number(g[i]);
+    hasher.bytes(" ");
+    hasher.number(h[i]);
+    hasher.bytes("\n");
   }
-  return fnv.value();
+  return hasher;
 }
 
 }  // namespace
 
 std::uint64_t content_fingerprint(const GeneralIrSystem& sys) {
-  return fingerprint_impl(sys.cells, sys.f, sys.g, sys.h);
+  return hash_system(sys.cells, sys.f, sys.g, sys.h).value();
 }
 
 std::uint64_t content_fingerprint(const OrdinaryIrSystem& sys) {
-  return fingerprint_impl(sys.cells, sys.f, sys.g, sys.g);
+  return hash_system(sys.cells, sys.f, sys.g, sys.g).value();
+}
+
+ContentIdentity content_identity(const GeneralIrSystem& sys) {
+  return hash_system(sys.cells, sys.f, sys.g, sys.h).identity();
+}
+
+ContentIdentity content_identity(const OrdinaryIrSystem& sys) {
+  return hash_system(sys.cells, sys.f, sys.g, sys.g).identity();
 }
 
 GeneralIrSystem system_from_text(std::string_view text) {
@@ -218,8 +245,14 @@ std::string to_text(const std::vector<double>& values) {
   out += "count " + std::to_string(values.size()) + "\n";
   char buffer[64];
   for (std::size_t i = 0; i < values.size(); ++i) {
-    std::snprintf(buffer, sizeof buffer, "%.17g", values[i]);
-    out += buffer;
+    // Shortest round-trip form (to_chars), the same emitter the system
+    // serializer uses: "content fingerprint of the serialized bytes" is only
+    // canonical if every path that renders a double agrees byte-for-byte.
+    // %.17g here used to print 0.1 as "0.10000000000000001" while to_chars
+    // prints "0.1" — same value, different bytes, different fingerprint.
+    const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof buffer, values[i]);
+    IR_INVARIANT(ec == std::errc{}, "double must fit the emission buffer");
+    out.append(buffer, static_cast<std::size_t>(ptr - buffer));
     // Canonical emission: a separator only *between* values, so every line —
     // including a short final one — ends in exactly '\n' with no padding.
     out += (i + 1) % 8 == 0 || i + 1 == values.size() ? '\n' : ' ';

@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/plan_io.hpp"
+#include "obs/telemetry.hpp"
+
 #if defined(IR_VERIFY_PLANS_ENABLED)
 #include "verify/verify.hpp"
 #endif
@@ -27,11 +30,20 @@ void verify_before_insert(const Plan& plan, const System& sys) {
 }
 #endif
 
+/// The write-through path serializes the source system into the plan file,
+/// so ordinary systems go through their GIR embedding exactly as to_text
+/// does.
+const GeneralIrSystem& as_general(const GeneralIrSystem& sys) { return sys; }
+GeneralIrSystem as_general(const OrdinaryIrSystem& sys) {
+  return GeneralIrSystem::from_ordinary(sys);
+}
+
 }  // namespace
 
 std::shared_ptr<const Plan> Solver::compile_keyed(
-    std::uint64_t key, const std::function<std::shared_ptr<const Plan>()>& build) {
-  if (auto cached = cache_.find(key)) return cached;
+    std::uint64_t key, const PlanKeyCheck& check,
+    const std::function<std::shared_ptr<const Plan>()>& build) {
+  if (auto cached = cache_.find(key, check)) return cached;
 
   // Single-flight: exactly one caller per key becomes the leader and builds;
   // concurrent racers park on the leader's future.  The leader publishes to
@@ -43,7 +55,7 @@ std::shared_ptr<const Plan> Solver::compile_keyed(
   {
     std::lock_guard lock(inflight_mutex_);
     // peek, not find: the fast path above already recorded this call's miss.
-    if (auto cached = cache_.peek(key)) return cached;
+    if (auto cached = cache_.peek(key, check)) return cached;
     const auto it = inflight_.find(key);
     if (it != inflight_.end()) {
       flight = it->second;
@@ -57,8 +69,7 @@ std::shared_ptr<const Plan> Solver::compile_keyed(
 
   try {
     auto plan = build();
-    compiles_.fetch_add(1, std::memory_order_relaxed);
-    cache_.insert(key, plan);
+    cache_.insert(key, check, plan);
     promise.set_value(plan);
     {
       std::lock_guard lock(inflight_mutex_);
@@ -75,26 +86,44 @@ std::shared_ptr<const Plan> Solver::compile_keyed(
   }
 }
 
-std::shared_ptr<const Plan> Solver::compile(const GeneralIrSystem& sys,
-                                            const PlanOptions& options) {
-  return compile_keyed(plan_cache_key(sys, options), [&] {
+template <typename System>
+std::shared_ptr<const Plan> Solver::compile_impl(const System& sys,
+                                                 const PlanOptions& options) {
+  const std::uint64_t key = plan_cache_key(sys, options);
+  const PlanKeyCheck check = plan_key_check(sys, options);
+  return compile_keyed(key, check, [&]() -> std::shared_ptr<const Plan> {
+    // Store read-through, leader-only: a warm store turns a cache miss into
+    // a load + verify instead of a compile (get() re-validates the file and
+    // applies the same collision double-check as the cache).
+    if (config_.plan_store != nullptr) {
+      if (auto stored = config_.plan_store->get(key, check)) return stored;
+    }
     auto plan = std::make_shared<const Plan>(compile_plan(sys, options));
+    compiles_.fetch_add(1, std::memory_order_relaxed);
 #if defined(IR_VERIFY_PLANS_ENABLED)
     verify_before_insert(*plan, sys);
 #endif
+    if (config_.plan_store != nullptr && config_.store_writes) {
+      // Best-effort: a full disk or unwritable store must not fail the
+      // solve that just compiled a perfectly good plan.
+      try {
+        config_.plan_store->put(key, check, *plan, as_general(sys));
+      } catch (const std::exception&) {
+        IR_COUNTER_ADD("plan_store.put_failures", 1);
+      }
+    }
     return plan;
   });
 }
 
+std::shared_ptr<const Plan> Solver::compile(const GeneralIrSystem& sys,
+                                            const PlanOptions& options) {
+  return compile_impl(sys, options);
+}
+
 std::shared_ptr<const Plan> Solver::compile(const OrdinaryIrSystem& sys,
                                             const PlanOptions& options) {
-  return compile_keyed(plan_cache_key(sys, options), [&] {
-    auto plan = std::make_shared<const Plan>(compile_plan(sys, options));
-#if defined(IR_VERIFY_PLANS_ENABLED)
-    verify_before_insert(*plan, sys);
-#endif
-    return plan;
-  });
+  return compile_impl(sys, options);
 }
 
 std::size_t plan_cache_capacity_from_env(std::size_t fallback) {

@@ -27,20 +27,33 @@
 
 namespace ir::core {
 
+class PlanStore;
+
 struct SolverConfig {
   std::size_t plan_cache_capacity = 64;  ///< 0 disables plan caching
+
+  /// Optional on-disk plan store (core/plan_io.hpp), borrowed — must outlive
+  /// the solver.  compile() falls back to the store on a cache miss before
+  /// compiling (every store load re-validates and re-verifies the file), and
+  /// write-through persists freshly compiled plans for future processes.
+  PlanStore* plan_store = nullptr;
+  bool store_writes = true;  ///< persist fresh compiles when a store is attached
 };
 
 /// Plan-cache capacity from the IR_PLAN_CACHE_CAP environment variable, or
-/// `fallback` when the variable is unset or not a valid size ("0" is valid:
-/// it disables caching).  shared_solver() and the service layer size their
-/// caches through this, so deployments (irserve in particular) tune cache
-/// footprint without a rebuild.
+/// `fallback` when the variable is unset or not a valid size.  "0" is valid
+/// and means caching is disabled: find/peek always miss, insert is a no-op,
+/// and every compile() call pays a fresh compile_plan — but single-flight
+/// still coalesces concurrent compiles of one key, so racers share the
+/// leader's plan even with the cache off.  shared_solver() and the service
+/// layer size their caches through this, so deployments (irserve in
+/// particular) tune cache footprint without a rebuild.
 [[nodiscard]] std::size_t plan_cache_capacity_from_env(std::size_t fallback = 64);
 
 class Solver {
  public:
-  explicit Solver(const SolverConfig& config = {}) : cache_(config.plan_cache_capacity) {}
+  explicit Solver(const SolverConfig& config = {})
+      : config_(config), cache_(config.plan_cache_capacity) {}
 
   /// Compile (or fetch from cache) a plan for `sys`.  Concurrent compiles of
   /// the same key are single-flighted: the first caller builds the plan,
@@ -48,6 +61,8 @@ class Solver {
   /// batch-solve server, N concurrent submits of one system cost exactly one
   /// compile (plan_compiles() counts the builds that actually ran; misses()
   /// counts cache lookups that missed, which can exceed it under races).
+  /// With a plan store attached, the single-flight leader tries the store
+  /// before compiling, so a warm store satisfies misses without a compile.
   [[nodiscard]] std::shared_ptr<const Plan> compile(const GeneralIrSystem& sys,
                                                     const PlanOptions& options = {});
   [[nodiscard]] std::shared_ptr<const Plan> compile(const OrdinaryIrSystem& sys,
@@ -107,11 +122,18 @@ class Solver {
   [[nodiscard]] const PlanCache& plan_cache() const noexcept { return cache_; }
 
  private:
-  /// Cache lookup + single-flight build keyed on `key`; `build` runs at most
-  /// once per concurrent group of callers.
+  /// Cache lookup + single-flight build keyed on (key, check); `build` runs
+  /// at most once per concurrent group of callers.
   std::shared_ptr<const Plan> compile_keyed(
-      std::uint64_t key, const std::function<std::shared_ptr<const Plan>()>& build);
+      std::uint64_t key, const PlanKeyCheck& check,
+      const std::function<std::shared_ptr<const Plan>()>& build);
 
+  /// Shared body of the two compile() overloads: key/check computation,
+  /// store read-through, compile + verify, store write-through.
+  template <typename System>
+  std::shared_ptr<const Plan> compile_impl(const System& sys, const PlanOptions& options);
+
+  SolverConfig config_;
   PlanCache cache_;
   std::atomic<std::uint64_t> compiles_{0};
   std::mutex inflight_mutex_;

@@ -62,10 +62,12 @@ void segmented_inclusive_scan(const Op& op, std::vector<typename Op::Value>& dat
 /// plan compiler's chain-detected kScan route (plan.hpp): for f(i) = i-1
 /// chains the fold is O(n) work versus the O(n log n) moves of pointer
 /// jumping, so sequential is also the fast choice.
-template <algebra::BinaryOperation Op>
+/// `head_flags` is any indexable byte container (vector, core::PlanTable) —
+/// generic so the scan layer stays independent of core's table types.
+template <algebra::BinaryOperation Op, typename HeadFlags>
 void segmented_inclusive_scan_sequential(const Op& op,
                                          std::vector<typename Op::Value>& data,
-                                         const std::vector<std::uint8_t>& head_flags) {
+                                         const HeadFlags& head_flags) {
   IR_REQUIRE(head_flags.size() == data.size(), "one head flag per element");
   for (std::size_t i = 1; i < data.size(); ++i) {
     if (head_flags[i] == 0) data[i] = op.combine(data[i - 1], data[i]);

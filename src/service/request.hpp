@@ -18,6 +18,10 @@
 
 #include "obs/clock.hpp"
 
+namespace ir::core {
+class PlanStore;
+}  // namespace ir::core
+
 namespace ir::service {
 
 class SlowLog;
@@ -131,7 +135,13 @@ struct ServiceStats {
   std::uint64_t in_flight = 0;    ///< dispatched but not yet completed
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
+  std::uint64_t plan_cache_collisions = 0;  ///< 64-bit key double-check rejections
   std::uint64_t plan_compiles = 0;  ///< compile_plan runs (single-flighted)
+  std::uint64_t plan_store_hits = 0;       ///< cache misses served from disk
+  std::uint64_t plan_store_misses = 0;     ///< store lookups with no entry
+  std::uint64_t plan_store_rejects = 0;    ///< corrupt/mismatched entries refused
+  std::uint64_t plan_store_puts = 0;       ///< fresh compiles written through
+  std::uint64_t plan_store_preloaded = 0;  ///< plans warm-started at boot
 
   [[nodiscard]] std::uint64_t completed() const noexcept {
     return executed_ok + executed_failed + deadline_misses + cancelled;
@@ -191,6 +201,18 @@ struct ServiceConfig {
 
   /// Sink for slow-request records (borrowed, must outlive the server).
   SlowLog* slow_log = nullptr;
+
+  /// Optional on-disk plan store (core/plan_io.hpp; borrowed, must outlive
+  /// the server).  The server's Solver falls back to it on cache misses
+  /// before compiling, and writes fresh compiles through unless
+  /// `store_writes` is off.
+  core::PlanStore* plan_store = nullptr;
+  bool store_writes = true;
+
+  /// Preload every store entry into the plan cache at construction: a
+  /// restarted server serves its existing working set with zero compiles
+  /// (irserve --warm-start).  Requires `plan_store`.
+  bool warm_start = false;
 };
 
 namespace detail {

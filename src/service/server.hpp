@@ -28,6 +28,7 @@
 
 #include "algebra/concepts.hpp"
 #include "core/plan.hpp"
+#include "core/plan_io.hpp"
 #include "core/solver.hpp"
 #include "obs/request_id.hpp"
 #include "obs/telemetry.hpp"
@@ -58,13 +59,18 @@ class Server {
   explicit Server(Op op, const ServiceConfig& config = {})
       : op_(std::move(op)),
         config_(config),
-        solver_(core::SolverConfig{config.plan_cache_capacity != 0
-                                       ? config.plan_cache_capacity
-                                       : core::plan_cache_capacity_from_env()}),
+        solver_(make_solver_config(config)),
         core_(config, [this](std::vector<std::shared_ptr<detail::PendingBase>> batch,
                              parallel::ThreadPool* pool) {
           execute_batch(std::move(batch), pool);
-        }) {}
+        }) {
+    // Warm start before the dispatchers see any traffic: every store entry
+    // enters the plan cache under its recorded identity, so a restarted
+    // server replays its working set with plan_compiles() == 0.
+    if (config_.plan_store != nullptr && config_.warm_start) {
+      (void)config_.plan_store->preload(solver_.plan_cache());
+    }
+  }
 
   ~Server() { core_.shutdown(); }
 
@@ -127,13 +133,31 @@ class Server {
     ServiceStats out = core_.stats();
     out.plan_cache_hits = solver_.plan_cache().hits();
     out.plan_cache_misses = solver_.plan_cache().misses();
+    out.plan_cache_collisions = solver_.plan_cache().collisions();
     out.plan_compiles = solver_.plan_compiles();
+    if (config_.plan_store != nullptr) {
+      out.plan_store_hits = config_.plan_store->hits();
+      out.plan_store_misses = config_.plan_store->misses();
+      out.plan_store_rejects = config_.plan_store->rejects();
+      out.plan_store_puts = config_.plan_store->puts();
+      out.plan_store_preloaded = config_.plan_store->preloaded();
+    }
     return out;
   }
 
   [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
 
  private:
+  static core::SolverConfig make_solver_config(const ServiceConfig& config) {
+    core::SolverConfig solver;
+    solver.plan_cache_capacity = config.plan_cache_capacity != 0
+                                     ? config.plan_cache_capacity
+                                     : core::plan_cache_capacity_from_env();
+    solver.plan_store = config.plan_store;
+    solver.store_writes = config.store_writes;
+    return solver;
+  }
+
   struct Pending : detail::PendingBase {
     core::GeneralIrSystem sys;
     core::PlanOptions options;

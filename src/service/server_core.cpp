@@ -53,7 +53,13 @@ std::string ServiceStats::to_string() const {
   field("in_flight", in_flight);
   field("plan_cache_hits", plan_cache_hits);
   field("plan_cache_misses", plan_cache_misses);
+  field("plan_cache_collisions", plan_cache_collisions);
   field("plan_compiles", plan_compiles);
+  field("plan_store_hits", plan_store_hits);
+  field("plan_store_misses", plan_store_misses);
+  field("plan_store_rejects", plan_store_rejects);
+  field("plan_store_puts", plan_store_puts);
+  field("plan_store_preloaded", plan_store_preloaded);
   return out;
 }
 

@@ -31,6 +31,14 @@ BigUint BigUint::from_decimal(std::string_view text) {
   return result;
 }
 
+BigUint BigUint::from_limbs(const std::uint32_t* limbs, std::size_t count) {
+  IR_REQUIRE(count == 0 || limbs[count - 1] != 0,
+             "limb range has a trailing zero limb (non-canonical)");
+  BigUint result;
+  result.limbs_.assign(limbs, limbs + count);
+  return result;
+}
+
 std::uint64_t BigUint::to_u64() const {
   IR_REQUIRE(fits_u64(), "BigUint value exceeds 64 bits: " + to_string());
   std::uint64_t v = 0;

@@ -79,6 +79,13 @@ class BigUint {
   /// Access to the limb vector (little endian, for tests and hashing).
   [[nodiscard]] const std::vector<std::uint32_t>& limbs() const noexcept { return limbs_; }
 
+  /// From a little-endian limb range in the canonical representation (no
+  /// trailing zero limb; empty = 0).  Throws ContractViolation on a
+  /// non-canonical range — the plan-file loader uses this to reject
+  /// tampered exponent pools instead of aliasing distinct byte encodings
+  /// of one value.
+  [[nodiscard]] static BigUint from_limbs(const std::uint32_t* limbs, std::size_t count);
+
  private:
   void trim() noexcept;
   static BigUint mul_schoolbook(const BigUint& a, const BigUint& b);

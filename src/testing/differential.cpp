@@ -13,6 +13,7 @@
 #include "core/ordinary_ir.hpp"
 #include "core/ordinary_ir_blocked.hpp"
 #include "core/plan.hpp"
+#include "core/plan_io.hpp"
 #include "core/serialize.hpp"
 #include "core/solver.hpp"
 #include "service/server.hpp"
@@ -125,6 +126,55 @@ void check_wide_leg(DifferentialReport& report, const std::string& label,
   }
 }
 
+const GeneralIrSystem& as_general_system(const GeneralIrSystem& sys,
+                                         GeneralIrSystem& /*storage*/) {
+  return sys;
+}
+
+const GeneralIrSystem& as_general_system(const OrdinaryIrSystem& sys,
+                                         GeneralIrSystem& storage) {
+  storage = GeneralIrSystem::from_ordinary(sys);
+  return storage;
+}
+
+/// Binary plan-format round trip: compile, serialize_plan, load_plan (full
+/// validation + static verification of the untrusted bytes), then execute
+/// the LOADED plan — whose tables borrow the serialized buffer — against the
+/// oracle.  Any drift between the compiled schedule and its persisted form
+/// (layout bug, alignment bug, truncated section, identity mismatch) either
+/// trips the loader or shows up as a value mismatch here.
+template <typename Op, typename System>
+void check_plan_io_leg(DifferentialReport& report, const std::string& label,
+                       const System& sys, const Op& op,
+                       const PlanOptions& plan_options,
+                       const std::vector<typename Op::Value>& init,
+                       const std::vector<typename Op::Value>& expected,
+                       const ExecOptions& exec = {}) {
+  ++report.engines_run;
+  try {
+    const core::Plan plan = core::compile_plan(sys, plan_options);
+    GeneralIrSystem storage;
+    const GeneralIrSystem& general = as_general_system(sys, storage);
+    const std::uint64_t key = core::plan_cache_key(sys, plan_options);
+    const core::PlanKeyCheck check = core::plan_key_check(sys, plan_options);
+    auto bytes = std::make_shared<const std::string>(
+        core::serialize_plan(plan, general, key, check));
+    const core::LoadedPlan loaded = core::load_plan(bytes);
+    if (loaded.store_key != key || loaded.check.bytes != check.bytes ||
+        loaded.check.hash2 != check.hash2) {
+      report.mismatches.push_back(label + ":identity-drift");
+      return;
+    }
+    if (core::execute_plan(*loaded.plan, op, init, exec) != expected) {
+      report.mismatches.push_back(label);
+    }
+  } catch (const std::exception& e) {
+    report.mismatches.push_back(label + ":threw:" + e.what());
+  } catch (...) {
+    report.mismatches.push_back(label + ":threw:unknown");
+  }
+}
+
 }  // namespace
 
 std::string DifferentialReport::summary() const {
@@ -216,6 +266,16 @@ DifferentialReport run_differential(const GeneralIrSystem& sys,
     plan_options.engine = EngineChoice::kGeneralCap;
     return core::execute_plan(core::compile_plan(sys, plan_options), op, init);
   });
+
+  // Export -> import -> execute across the general routes: the router's pick
+  // and the forced GIR schedule (arbitrary-precision exponents included)
+  // must survive the binary plan format byte-for-byte.
+  check_plan_io_leg(report, "planio-auto", sys, op, PlanOptions{}, init, oracle);
+  {
+    PlanOptions gir_options;
+    gir_options.engine = EngineChoice::kGeneralCap;
+    check_plan_io_leg(report, "planio-gir", sys, op, gir_options, init, oracle);
+  }
 
   if (options.verify_plans) {
     check_verify_leg(report, "verify-auto", sys, PlanOptions{});
@@ -370,6 +430,19 @@ DifferentialReport run_differential(const GeneralIrSystem& sys,
       });
     }
 
+    // Every forced ordinary engine again, through the binary plan format.
+    for (const auto& [engine, label] :
+         {std::pair{EngineChoice::kJumping, "planio-jumping"},
+          std::pair{EngineChoice::kBlocked, "planio-blocked"},
+          std::pair{EngineChoice::kSpmd, "planio-spmd"}}) {
+      PlanOptions plan_options;
+      plan_options.engine = engine;
+      plan_options.blocks = options.blocks;
+      ExecOptions exec;
+      exec.workers = options.spmd_workers;
+      check_plan_io_leg(report, label, ord, op, plan_options, init, oracle, exec);
+    }
+
     // Every forced ordinary engine again, through the wide executor.
     for (const auto& [engine, label] :
          {std::pair{EngineChoice::kJumping, "wide-jumping"},
@@ -400,6 +473,7 @@ DifferentialReport run_differential(const GeneralIrSystem& sys,
         return core::execute_plan(core::compile_plan(ord, scan_options), op, init);
       });
       check_wide_leg(report, "wide-scan", ord, op, scan_options, lane_rows, lane_oracle);
+      check_plan_io_leg(report, "planio-scan", ord, op, scan_options, init, oracle);
       if (options.verify_plans) {
         check_verify_leg(report, "verify-scan", ord, scan_options);
       }

@@ -27,6 +27,7 @@ using core::kNoIndex32;
 using core::kNone;
 using core::Plan;
 using core::PlanEngine;
+using core::PlanTable;
 
 std::string coord_suffix(std::size_t round, std::size_t move, std::size_t cell) {
   std::string out;
@@ -74,7 +75,7 @@ bool is_ordinary_engine(PlanEngine engine) {
 // giving the hazard/symbolic passes a chance to walk out of bounds.
 // ---------------------------------------------------------------------------
 
-bool check_offsets(Reporter& rep, const char* code, const std::vector<std::size_t>& begin,
+bool check_offsets(Reporter& rep, const char* code, const PlanTable<std::size_t>& begin,
                    std::size_t expected_entries, std::size_t total) {
   bool ok = true;
   if (begin.size() != expected_entries + 1 || begin.empty() || begin.front() != 0) {
@@ -100,7 +101,7 @@ bool check_offsets(Reporter& rep, const char* code, const std::vector<std::size_
   return ok;
 }
 
-bool check_indices(Reporter& rep, const char* code, const std::vector<std::uint32_t>& table,
+bool check_indices(Reporter& rep, const char* code, const PlanTable<std::uint32_t>& table,
                    std::size_t limit, bool allow_sentinel) {
   for (std::size_t k = 0; k < table.size(); ++k) {
     if (allow_sentinel && table[k] == kNoIndex32) continue;
@@ -462,7 +463,7 @@ void check_blocked_hazards(Reporter& rep, const Plan& plan) {
 /// One unbuffered parallel step over a frozen input snapshot: writes must be
 /// exclusive (reads can never conflict — they target the snapshot).
 void check_scatter_hazards(Reporter& rep, const char* code,
-                           const std::vector<std::uint32_t>& cell, std::size_t cells) {
+                           const PlanTable<std::uint32_t>& cell, std::size_t cells) {
   std::vector<std::size_t> writer(cells, kNoCoord);
   for (std::size_t k = 0; k < cell.size() && !rep.saturated(); ++k) {
     if (writer[cell[k]] != kNoCoord) {

@@ -1,6 +1,6 @@
-// PlanCache unit behavior: LRU order, capacity 0, refresh semantics — plus
-// the multi-thread hammer the TSan CI leg runs against the cache's one-mutex
-// claim.
+// PlanCache unit behavior: LRU order, capacity 0, refresh semantics, the
+// (key, check) collision double-check — plus the multi-thread hammer the
+// TSan CI leg runs against the cache's one-mutex claim.
 #include "core/plan_cache.hpp"
 
 #include <gtest/gtest.h>
@@ -18,12 +18,18 @@ std::shared_ptr<const Plan> dummy_plan(std::uint64_t fingerprint) {
   return plan;
 }
 
+/// A deterministic per-key identity: distinct keys get distinct checks, so
+/// the double-check is exercised on every lookup without getting in the way.
+PlanKeyCheck check_for(std::uint64_t key) {
+  return PlanKeyCheck{.bytes = 100 + key, .hash2 = ~key};
+}
+
 TEST(PlanCacheTest, FindMissThenHit) {
   PlanCache cache(4);
-  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(1, check_for(1)), nullptr);
   EXPECT_EQ(cache.misses(), 1u);
-  cache.insert(1, dummy_plan(1));
-  const auto hit = cache.find(1);
+  cache.insert(1, check_for(1), dummy_plan(1));
+  const auto hit = cache.find(1, check_for(1));
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->fingerprint, 1u);
   EXPECT_EQ(cache.hits(), 1u);
@@ -31,29 +37,33 @@ TEST(PlanCacheTest, FindMissThenHit) {
 
 TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
   PlanCache cache(2);
-  cache.insert(1, dummy_plan(1));
-  cache.insert(2, dummy_plan(2));
-  ASSERT_NE(cache.find(1), nullptr);  // bump 1 to most-recent
-  cache.insert(3, dummy_plan(3));     // evicts 2, the LRU entry
+  cache.insert(1, check_for(1), dummy_plan(1));
+  cache.insert(2, check_for(2), dummy_plan(2));
+  ASSERT_NE(cache.find(1, check_for(1)), nullptr);  // bump 1 to most-recent
+  cache.insert(3, check_for(3), dummy_plan(3));     // evicts 2, the LRU entry
   EXPECT_EQ(cache.evictions(), 1u);
-  EXPECT_EQ(cache.find(2), nullptr);
-  EXPECT_NE(cache.find(1), nullptr);
-  EXPECT_NE(cache.find(3), nullptr);
+  EXPECT_EQ(cache.find(2, check_for(2)), nullptr);
+  EXPECT_NE(cache.find(1, check_for(1)), nullptr);
+  EXPECT_NE(cache.find(3, check_for(3)), nullptr);
 }
 
 TEST(PlanCacheTest, CapacityZeroDisablesCaching) {
   PlanCache cache(0);
-  cache.insert(1, dummy_plan(1));
-  EXPECT_EQ(cache.find(1), nullptr);
+  cache.insert(1, check_for(1), dummy_plan(1));
+  EXPECT_EQ(cache.find(1, check_for(1)), nullptr);
   EXPECT_EQ(cache.size(), 0u);
+  // peek misses too, and nothing counts as a collision — the cache is
+  // simply off.
+  EXPECT_EQ(cache.peek(1, check_for(1)), nullptr);
+  EXPECT_EQ(cache.collisions(), 0u);
 }
 
 TEST(PlanCacheTest, InsertRefreshReplacesAndKeepsOneEntry) {
   PlanCache cache(4);
-  cache.insert(1, dummy_plan(10));
-  cache.insert(1, dummy_plan(20));
+  cache.insert(1, check_for(1), dummy_plan(10));
+  cache.insert(1, check_for(1), dummy_plan(20));
   EXPECT_EQ(cache.size(), 1u);
-  const auto hit = cache.find(1);
+  const auto hit = cache.find(1, check_for(1));
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->fingerprint, 20u);
 }
@@ -61,21 +71,76 @@ TEST(PlanCacheTest, InsertRefreshReplacesAndKeepsOneEntry) {
 TEST(PlanCacheTest, HitOutlivesEviction) {
   // A fetched plan is a shared_ptr: using it after eviction is safe.
   PlanCache cache(1);
-  cache.insert(1, dummy_plan(1));
-  const auto held = cache.find(1);
-  cache.insert(2, dummy_plan(2));  // evicts key 1
-  EXPECT_EQ(cache.find(1), nullptr);
+  cache.insert(1, check_for(1), dummy_plan(1));
+  const auto held = cache.find(1, check_for(1));
+  cache.insert(2, check_for(2), dummy_plan(2));  // evicts key 1
+  EXPECT_EQ(cache.find(1, check_for(1)), nullptr);
   EXPECT_EQ(held->fingerprint, 1u);  // still alive through our reference
 }
 
 TEST(PlanCacheTest, ClearResetsEntriesButKeepsCounters) {
   PlanCache cache(4);
-  cache.insert(1, dummy_plan(1));
-  ASSERT_NE(cache.find(1), nullptr);
+  cache.insert(1, check_for(1), dummy_plan(1));
+  ASSERT_NE(cache.find(1, check_for(1)), nullptr);
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(1, check_for(1)), nullptr);
   EXPECT_EQ(cache.hits(), 1u);  // counters survive clear()
+}
+
+// ---------------------------------------------------------------------------
+// Collision double-check: two distinct systems forced under one 64-bit key
+// (the scenario plan_cache_key cannot rule out) must never serve each
+// other's plan.
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheTest, KeyCollisionIsRejectedAndCounted) {
+  PlanCache cache(4);
+  const std::uint64_t shared_key = 42;  // two "systems", one hash bucket
+  const PlanKeyCheck a{.bytes = 120, .hash2 = 0x1111111111111111ull};
+  const PlanKeyCheck b{.bytes = 121, .hash2 = 0x2222222222222222ull};
+
+  cache.insert(shared_key, a, dummy_plan(1));
+
+  // Looking up the colliding identity must MISS — a stale/foreign plan must
+  // never be executed — and the event is counted as a collision + miss.
+  EXPECT_EQ(cache.find(shared_key, b), nullptr);
+  EXPECT_EQ(cache.collisions(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // The matching identity still hits.
+  ASSERT_NE(cache.find(shared_key, a), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // peek() applies the same double-check but never counts.
+  EXPECT_EQ(cache.peek(shared_key, b), nullptr);
+  EXPECT_NE(cache.peek(shared_key, a), nullptr);
+  EXPECT_EQ(cache.collisions(), 1u);
+
+  // A byte-length-only mismatch (same hash2) is still a collision: both
+  // halves of the identity must agree.
+  const PlanKeyCheck c{.bytes = 999, .hash2 = a.hash2};
+  EXPECT_EQ(cache.find(shared_key, c), nullptr);
+  EXPECT_EQ(cache.collisions(), 2u);
+}
+
+TEST(PlanCacheTest, CollidingInsertReplacesEntryNewestWins) {
+  PlanCache cache(4);
+  const std::uint64_t shared_key = 7;
+  const PlanKeyCheck a{.bytes = 10, .hash2 = 1};
+  const PlanKeyCheck b{.bytes = 11, .hash2 = 2};
+
+  cache.insert(shared_key, a, dummy_plan(1));
+  cache.insert(shared_key, b, dummy_plan(2));  // collision: replaces, counted
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.collisions(), 1u);
+
+  // The newest identity owns the slot now.
+  EXPECT_EQ(cache.find(shared_key, a), nullptr);
+  const auto hit = cache.find(shared_key, b);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->fingerprint, 2u);
 }
 
 TEST(PlanCacheTest, ConcurrentFindInsertClearHammer) {
@@ -105,14 +170,14 @@ TEST(PlanCacheTest, ConcurrentFindInsertClearHammer) {
         const std::uint64_t key = next() % kKeySpace;
         const std::uint64_t action = next() % 16;
         if (action < 10) {
-          if (const auto plan = cache.find(key)) {
+          if (const auto plan = cache.find(key, check_for(key))) {
             observed_hits.fetch_add(1, std::memory_order_relaxed);
             EXPECT_EQ(plan->fingerprint, key);  // never someone else's plan
           } else {
             observed_misses.fetch_add(1, std::memory_order_relaxed);
           }
         } else if (action < 15) {
-          cache.insert(key, dummy_plan(key));
+          cache.insert(key, check_for(key), dummy_plan(key));
         } else {
           cache.clear();
         }
@@ -122,10 +187,12 @@ TEST(PlanCacheTest, ConcurrentFindInsertClearHammer) {
   for (auto& thread : threads) thread.join();
 
   // Ledger: the cache saw exactly the finds the threads issued, each counted
-  // once, and its population never exceeds capacity.
+  // once, and its population never exceeds capacity.  Every insert used the
+  // key's canonical check, so no collision should ever have fired.
   EXPECT_EQ(cache.hits(), observed_hits.load());
   EXPECT_EQ(cache.misses(), observed_misses.load());
   EXPECT_EQ(cache.hits() + cache.misses(), observed_hits + observed_misses);
+  EXPECT_EQ(cache.collisions(), 0u);
   EXPECT_LE(cache.size(), cache.capacity());
 }
 

@@ -53,7 +53,7 @@ TEST(ScanRouteTest, SegmentedChainsKeepSegmentBoundaries) {
   ASSERT_EQ(plan.engine, PlanEngine::kScan);
   EXPECT_EQ(plan.scan.segments, 2u);
   EXPECT_EQ(plan.scan.longest, 3u);
-  const std::vector<std::uint8_t> heads(plan.scan.head);
+  const std::vector<std::uint8_t> heads = plan.scan.head.to_vector();
   EXPECT_EQ(heads, (std::vector<std::uint8_t>{1, 0, 0, 1, 0}));
 }
 

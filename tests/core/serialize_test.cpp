@@ -107,8 +107,21 @@ TEST(SerializeValuesTest, RoundTripsExactly) {
   const auto back = values_from_text(to_text(values));
   ASSERT_EQ(back.size(), values.size());
   for (std::size_t i = 0; i < values.size(); ++i) {
-    EXPECT_EQ(back[i], values[i]) << i;  // %.17g is lossless for doubles
+    EXPECT_EQ(back[i], values[i]) << i;  // shortest round-trip is lossless
   }
+}
+
+TEST(SerializeValuesTest, GoldenDoubleEmission) {
+  // Pin the canonical rendering byte-for-byte: std::to_chars shortest
+  // round-trip form, same as the system serializer.  The old %.17g path
+  // emitted "3.1415926535897931" and "9.9999999999999997e+305" here — any
+  // drift between the two serializers (or a regression back to printf)
+  // breaks this golden.
+  const std::vector<double> values{0.0,       -1.5,   0.1,    3.14159265358979,
+                                   1e-300,    1e306,  -0.0,   42.0};
+  EXPECT_EQ(to_text(values),
+            "ir-values v1\ncount 8\n"
+            "0 -1.5 0.1 3.14159265358979 1e-300 1e+306 -0 42\n");
 }
 
 TEST(SerializeValuesTest, EmptyArray) {

@@ -6,8 +6,10 @@
 #include "core/solver.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "core/general_ir.hpp"
 #include "core/ordinary_ir.hpp"
 #include "core/compat.hpp"
+#include "core/plan_io.hpp"
 #include "testing/random_systems.hpp"
 
 namespace ir::core {
@@ -232,6 +235,112 @@ TEST(SolverTest, ConcurrentCompilesOfOneKeyAreSingleFlighted) {
   }
   EXPECT_EQ(solver.plan_compiles(), 1u);
   EXPECT_EQ(solver.plan_cache().size(), 1u);
+}
+
+TEST(SolverTest, CapacityZeroDisablesCachingButStillCompiles) {
+  // IR_PLAN_CACHE_CAP=0 semantics, end to end: every compile is a fresh
+  // miss + fresh build, nothing is retained, and results stay correct.
+  SolverConfig config;
+  config.plan_cache_capacity = 0;
+  Solver solver(config);
+  support::SplitMix64 rng(93);
+  const auto sys = testing::random_ordinary_system(60, 90, rng, 0.8);
+
+  const auto first = solver.compile(sys);
+  const auto second = solver.compile(sys);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(first.get(), second.get());  // nothing was cached
+  EXPECT_EQ(first->fingerprint, second->fingerprint);
+  EXPECT_EQ(solver.plan_compiles(), 2u);
+  EXPECT_EQ(solver.plan_cache().size(), 0u);
+  EXPECT_EQ(solver.plan_cache().hits(), 0u);
+  EXPECT_EQ(solver.plan_cache().misses(), 2u);
+}
+
+TEST(SolverTest, CapacityZeroStillSingleFlightsConcurrentCompiles) {
+  // With the cache off, concurrent compiles of one key still coalesce: the
+  // single-flight map, not the cache, is what dedupes racing builds.
+  SolverConfig config;
+  config.plan_cache_capacity = 0;
+  Solver solver(config);
+  support::SplitMix64 rng(94);
+  const auto sys = testing::random_ordinary_system(400, 500, rng, 0.8);
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::shared_ptr<const Plan>> plans(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] { plans[t] = solver.compile(sys); });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  for (std::size_t t = 0; t < kThreads; ++t) ASSERT_NE(plans[t], nullptr);
+  // At least some coalescing must have happened; the exact count depends on
+  // scheduling (each leader retires before the next group forms), but it can
+  // never exceed the number of callers and is 1 when all racers overlap.
+  EXPECT_LE(solver.plan_compiles(), kThreads);
+  EXPECT_EQ(solver.plan_cache().size(), 0u);
+}
+
+TEST(SolverTest, PlanStoreFallbackAvoidsRecompiles) {
+  // A second solver process (modeled as a second Solver) pointed at the same
+  // store satisfies its cache misses from disk: plan_compiles() stays 0.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("irsolver-store-test-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  PlanStore store(dir.string());
+
+  support::SplitMix64 rng(95);
+  const auto sys = testing::random_ordinary_system(80, 120, rng, 0.8);
+
+  SolverConfig config;
+  config.plan_store = &store;
+  std::uint64_t fingerprint = 0;
+  {
+    Solver cold(config);
+    const auto plan = cold.compile(sys);
+    fingerprint = plan->fingerprint;
+    EXPECT_EQ(cold.plan_compiles(), 1u);
+    EXPECT_EQ(store.puts(), 1u);  // write-through persisted the compile
+  }
+  {
+    Solver warm(config);
+    const auto plan = warm.compile(sys);
+    ASSERT_NE(plan, nullptr);
+    EXPECT_EQ(plan->fingerprint, fingerprint);
+    EXPECT_EQ(warm.plan_compiles(), 0u);  // served from the store, not compiled
+    EXPECT_EQ(store.hits(), 1u);
+    // And the fetched plan entered the in-memory cache: the next compile is
+    // a pure cache hit that never touches disk again.
+    (void)warm.compile(sys);
+    EXPECT_EQ(warm.plan_cache().hits(), 1u);
+    EXPECT_EQ(store.hits(), 1u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SolverTest, StoreWritesCanBeDisabled) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("irsolver-store-ro-test-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  PlanStore store(dir.string());
+
+  support::SplitMix64 rng(96);
+  const auto sys = testing::random_ordinary_system(60, 90, rng, 0.8);
+
+  SolverConfig config;
+  config.plan_store = &store;
+  config.store_writes = false;  // read-only consumer of a shared store
+  Solver solver(config);
+  (void)solver.compile(sys);
+  EXPECT_EQ(solver.plan_compiles(), 1u);
+  EXPECT_EQ(store.puts(), 0u);
+  EXPECT_TRUE(store.manifest().empty());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SolveRouterReportTest, ReportOutFilledOnEveryRoute) {

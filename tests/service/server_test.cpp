@@ -14,10 +14,12 @@
 #include "service/server.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -26,6 +28,7 @@
 #include "algebra/monoids.hpp"
 #include "core/general_ir.hpp"
 #include "core/ordinary_ir.hpp"
+#include "core/plan_io.hpp"
 #include "support/rng.hpp"
 #include "testing/random_systems.hpp"
 
@@ -497,6 +500,94 @@ TEST(ServiceServerTest, DrainIsIdempotentAndStatsBalance) {
   EXPECT_EQ(stats.accepted, stats.completed());
   server.shutdown();
   server.shutdown();
+}
+
+// ---- plan-store warm start -------------------------------------------------
+
+TEST(ServiceServerTest, WarmStartServesRestartWithZeroCompiles) {
+  // The restart scenario end to end: server #1 compiles and writes through
+  // to the store, server #2 warm-starts from it and serves the same request
+  // set with plan_compiles == 0 and byte-identical values.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("irserve-warmstart-test-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  core::PlanStore store(dir.string());
+
+  support::SplitMix64 rng(47);
+  const auto sys_a = embed(testing::random_ordinary_system(120, 160, rng, 0.8));
+  const auto sys_b = embed(chain_system(64));
+  const auto init_a = iota_initial(sys_a.cells);
+  const auto init_b = iota_initial(sys_b.cells);
+  const algebra::ModMulMonoid op(1'000'000'007ull);
+
+  ServiceConfig config;
+  config.plan_store = &store;
+
+  std::vector<std::uint64_t> cold_a, cold_b;
+  {
+    Server<algebra::ModMulMonoid> cold(op, config);
+    const auto ra = cold.submit(make_request<algebra::ModMulMonoid>(sys_a, init_a));
+    const auto rb = cold.submit(make_request<algebra::ModMulMonoid>(sys_b, init_b));
+    ASSERT_EQ(ra.status, Status::kOk);
+    ASSERT_EQ(rb.status, Status::kOk);
+    cold_a = ra.values;
+    cold_b = rb.values;
+    const ServiceStats stats = cold.stats();
+    EXPECT_EQ(stats.plan_compiles, 2u);
+    EXPECT_EQ(stats.plan_store_puts, 2u);
+    cold.shutdown();
+  }
+  {
+    config.warm_start = true;
+    Server<algebra::ModMulMonoid> warm(op, config);
+    const auto ra = warm.submit(make_request<algebra::ModMulMonoid>(sys_a, init_a));
+    const auto rb = warm.submit(make_request<algebra::ModMulMonoid>(sys_b, init_b));
+    ASSERT_EQ(ra.status, Status::kOk) << ra.error;
+    ASSERT_EQ(rb.status, Status::kOk) << rb.error;
+    EXPECT_EQ(ra.values, cold_a);  // byte-identical to the cold run
+    EXPECT_EQ(rb.values, cold_b);
+    const ServiceStats stats = warm.stats();
+    EXPECT_EQ(stats.plan_compiles, 0u);  // the acceptance bar: zero compiles
+    EXPECT_EQ(stats.plan_store_preloaded, 2u);
+    EXPECT_EQ(stats.plan_cache_hits, 2u);
+    warm.shutdown();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceServerTest, ColdStoreFallbackServesMissesFromDisk) {
+  // No warm start: the cache starts empty, but each miss is satisfied from
+  // the store (a load + verify, not a compile).
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("irserve-storefallback-test-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  core::PlanStore store(dir.string());
+
+  const auto sys = embed(chain_system(48));
+  const auto init = iota_initial(sys.cells);
+  const algebra::ModMulMonoid op(97);
+
+  ServiceConfig config;
+  config.plan_store = &store;
+  {
+    Server<algebra::ModMulMonoid> first(op, config);
+    ASSERT_EQ(first.submit(make_request<algebra::ModMulMonoid>(sys, init)).status,
+              Status::kOk);
+    first.shutdown();
+  }
+  {
+    Server<algebra::ModMulMonoid> second(op, config);
+    ASSERT_EQ(second.submit(make_request<algebra::ModMulMonoid>(sys, init)).status,
+              Status::kOk);
+    const ServiceStats stats = second.stats();
+    EXPECT_EQ(stats.plan_compiles, 0u);
+    EXPECT_EQ(stats.plan_store_hits, 1u);
+    EXPECT_EQ(stats.plan_cache_misses, 1u);
+    second.shutdown();
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

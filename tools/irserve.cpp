@@ -59,6 +59,7 @@
 #include <unistd.h>
 
 #include "algebra/monoids.hpp"
+#include "core/plan_io.hpp"
 #include "core/serialize.hpp"
 #include "obs/metrics_export.hpp"
 #include "obs/prometheus_export.hpp"
@@ -108,6 +109,8 @@ struct ServeFlags {
   std::size_t ticker_ms = 20;
   std::string prom_file;               ///< --metrics-file periodic exposition
   std::size_t prom_interval_ms = 1000;
+  std::string plan_store_dir;  ///< --plan-store=DIR persistent plan store
+  bool warm_start = false;     ///< --warm-start preload store at boot
   service::ServiceConfig config;
 };
 
@@ -120,6 +123,12 @@ int usage() {
                "               [--slow-log=FILE] [--slow-threshold-us=T]\n"
                "               [--ticker-ms=MS] [--metrics-file=FILE]\n"
                "               [--metrics-interval-ms=MS] [--wide={on|off}]\n"
+               "               [--plan-store=DIR [--warm-start]]\n"
+               "\n"
+               "--plan-store persists verified compiled plans to DIR and serves\n"
+               "cache misses from it; --warm-start preloads every stored plan at\n"
+               "boot so a restarted server replays its working set with zero\n"
+               "compiles (docs/plan_store.md).\n"
                "\n"
                "Reads the docs/service.md line protocol from stdin (or the\n"
                "socket) and writes one response per request in order.\n");
@@ -143,6 +152,9 @@ obs::MetricsSnapshot service_snapshot(const Serve& server) {
   snap.counters["service.stats.batches"] = stats.batches;
   snap.counters["service.stats.coalesced_requests"] = stats.coalesced_requests;
   snap.counters["service.stats.plan_compiles"] = stats.plan_compiles;
+  snap.counters["service.stats.plan_cache_collisions"] = stats.plan_cache_collisions;
+  snap.counters["service.stats.plan_store_hits"] = stats.plan_store_hits;
+  snap.counters["service.stats.plan_store_preloaded"] = stats.plan_store_preloaded;
   snap.gauges["service.stats.queue_depth"] = stats.queue_depth;
   snap.gauges["service.stats.in_flight"] = stats.in_flight;
   snap.gauges["service.stats.peak_queue_depth"] = stats.peak_queue_depth;
@@ -599,6 +611,10 @@ int main(int argc, char** argv) {
       flags.config.wide_batches = true;
     } else if (arg == "--wide=off") {
       flags.config.wide_batches = false;
+    } else if (arg.rfind("--plan-store=", 0) == 0) {
+      flags.plan_store_dir = arg.substr(13);
+    } else if (arg == "--warm-start") {
+      flags.warm_start = true;
     } else {
       return usage();
     }
@@ -614,8 +630,24 @@ int main(int argc, char** argv) {
     }
     flags.config.ticker_interval_ms = flags.ticker_ms;
 
+    if (flags.warm_start && flags.plan_store_dir.empty()) {
+      std::fprintf(stderr, "irserve: --warm-start requires --plan-store=DIR\n");
+      return usage();
+    }
+    std::unique_ptr<core::PlanStore> plan_store;
+    if (!flags.plan_store_dir.empty()) {
+      plan_store = std::make_unique<core::PlanStore>(flags.plan_store_dir);
+      flags.config.plan_store = plan_store.get();
+      flags.config.warm_start = flags.warm_start;
+    }
+
     ServeOp op{algebra::ModMulMonoid(flags.mod), flags.slow_ns};
     Serve server(op, flags.config);
+    if (plan_store != nullptr && flags.warm_start) {
+      std::fprintf(stderr, "irserve: warm start preloaded %llu plans from %s\n",
+                   static_cast<unsigned long long>(plan_store->preloaded()),
+                   flags.plan_store_dir.c_str());
+    }
     obs::ScrapeWindow window;
     std::unique_ptr<MetricsDumper> dumper;
     if (!flags.prom_file.empty()) {

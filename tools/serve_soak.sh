@@ -14,6 +14,11 @@
 #   * the Prometheus metrics file exists; when the build has telemetry the
 #     service.latency summary is present with a non-zero quantile.
 #
+# A second pass exercises the persistent plan store (docs/plan_store.md):
+# one run populates a --plan-store directory, then a RESTARTED irserve with
+# --warm-start must answer the same request set with plan_compiles=0 and
+# byte-identical values.
+#
 # Run against a sanitizer build (CI runs it under TSan) this doubles as a
 # race/leak check on the queue, coalescer, ticker, and reply-writer paths.
 #
@@ -119,3 +124,56 @@ echo "serve soak: ${REQUESTS} requests answered;" \
      "${ok_count} ok," \
      "$(grep -c -E '^error ' "${OUT}" || true) rejected/expired;" \
      "$(wc -l < "${SLOW_LOG}") slow-log records; ledger balanced"
+
+# --- Warm start from a persistent plan store ---------------------------------
+# Run 1 (cold) compiles two distinct systems and writes them through to the
+# store; run 2 restarts against the same directory with --warm-start and must
+# serve the identical request set from preloaded plans: zero compiles, and
+# the values payloads byte-identical to the cold run's.
+STORE="${DIR}/serve-soak-plan-store"
+SYS2="${DIR}/serve-soak-system2.ir"
+WARM_COLD="${DIR}/serve-soak-store-cold.txt"
+WARM_HOT="${DIR}/serve-soak-store-warm.txt"
+rm -rf "${STORE}"
+"${DIR}/examples/irtool" gen fib 64 > "${SYS2}"
+
+store_requests() {
+  for ((i = 1; i <= 6; ++i)); do
+    echo "solve id=${i}"
+    if ((i % 2 == 0)); then cat "${SYS2}"; else cat "${SYS}"; fi
+    echo "."
+  done
+  # drain first so the stats line reflects the final ledger, not a snapshot
+  # taken while solves are still in flight.
+  echo "drain"
+  echo "stats"
+  echo "quit"
+}
+
+store_requests | "${DIR}/tools/irserve" --plan-store="${STORE}" \
+      --dispatchers=2 > "${WARM_COLD}"
+store_requests | "${DIR}/tools/irserve" --plan-store="${STORE}" --warm-start \
+      --dispatchers=2 > "${WARM_HOT}"
+
+cold_stats="$(grep -E '^stats v=2 ' "${WARM_COLD}")"
+warm_stats="$(grep -E '^stats v=2 ' "${WARM_HOT}")"
+if ! grep -qE ' plan_store_puts=2( |$)' <<< "${cold_stats}"; then
+  echo "serve soak: cold run did not persist 2 plans: ${cold_stats}" >&2
+  exit 1
+fi
+if ! grep -qE ' plan_compiles=0( |$)' <<< "${warm_stats}"; then
+  echo "serve soak: warm-started server compiled: ${warm_stats}" >&2
+  exit 1
+fi
+if ! grep -qE ' plan_store_preloaded=2( |$)' <<< "${warm_stats}"; then
+  echo "serve soak: warm start did not preload 2 plans: ${warm_stats}" >&2
+  exit 1
+fi
+if ! diff <(grep '^values ' "${WARM_COLD}") <(grep '^values ' "${WARM_HOT}") \
+     > /dev/null; then
+  echo "serve soak: warm-started values differ from the cold run" >&2
+  exit 1
+fi
+
+echo "serve soak: warm start served 6 requests from ${STORE} with 0 compiles;" \
+     "values byte-identical to the cold run"

@@ -5,7 +5,8 @@
 # configuration also runs the bounded differential fuzzer (irfuzz --smoke +
 # --selftest), so the engine sweep and the shrinker are exercised on each pass.
 #
-# Usage: tools/verify.sh [--asan] [--lint] [--serve] [--bench-report] [build-dir-prefix]
+# Usage: tools/verify.sh [--asan] [--lint] [--serve] [--store] [--bench-report]
+#                        [build-dir-prefix]
 #   (default prefix: build)
 #   --asan   add a third pass built with -DIR_SANITIZE=address;undefined
 #   --lint   statically certify every corpus witness and generated schedule
@@ -14,7 +15,13 @@
 #            plan the suite compiles goes through the verifier on cache insert
 #   --serve  soak-smoke the irserve batch-solve frontend under injected-slow
 #            load and deadline pressure (tools/serve_soak.sh) in every
-#            configuration this invocation builds
+#            configuration this invocation builds; the soak includes the
+#            plan-store warm-start restart leg (docs/plan_store.md)
+#   --store  round-trip every corpus witness through the binary plan store:
+#            irtool plan export into a store directory, re-import (full
+#            validation + static verification) + info on every entry, prove a
+#            corrupted entry is rejected, then run the warm-start serve soak
+#            (skipped if --serve already ran it for this configuration)
 #   --bench-report  run all four benches quick-mode with --report=BENCH_*.json
 #            in both telemetry configurations, schema-validate the reports
 #            (tools/check_bench_json.py), and diff them against the committed
@@ -27,6 +34,7 @@ cd "$(dirname "$0")/.."
 ASAN=0
 LINT=0
 SERVE=0
+STORE=0
 BENCH_REPORT=0
 PREFIX="build"
 for arg in "$@"; do
@@ -34,10 +42,42 @@ for arg in "$@"; do
     --asan) ASAN=1 ;;
     --lint) LINT=1 ;;
     --serve) SERVE=1 ;;
+    --store) STORE=1 ;;
     --bench-report) BENCH_REPORT=1 ;;
     *) PREFIX="${arg}" ;;
   esac
 done
+
+# Plan-store round trip over the corpus: every witness exports, every export
+# re-imports under full validation + static verification, and a flipped byte
+# anywhere in an entry must be rejected before execution.
+run_store_leg() {
+  local dir="$1"
+  local store="${dir}/plan-store-leg"
+  rm -rf "${store}"
+  for f in tests/corpus/*.ir; do
+    "${dir}/examples/irtool" plan export "${f}" "${store}" >/dev/null
+  done
+  local count=0
+  for p in "${store}"/*.irplan; do
+    "${dir}/examples/irtool" plan import "${p}" >/dev/null
+    "${dir}/examples/irtool" plan info "${p}" >/dev/null
+    count=$((count + 1))
+  done
+  local victim bad
+  victim="$(find "${store}" -name '*.irplan' | head -1)"
+  bad="${dir}/plan-store-corrupt.irplan"
+  cp "${victim}" "${bad}"
+  printf '\xff' | dd of="${bad}" bs=1 seek=200 count=1 conv=notrunc 2>/dev/null
+  if "${dir}/examples/irtool" plan import "${bad}" >/dev/null 2>&1; then
+    echo "store leg: corrupted plan import unexpectedly succeeded" >&2
+    exit 1
+  fi
+  echo "store leg: ${count} corpus plans exported + re-imported; corruption rejected"
+  if [[ "${SERVE}" != "1" ]]; then
+    tools/serve_soak.sh "${dir}"
+  fi
+}
 
 # Quick-mode bench sweep writing BENCH_*.json into DIR/bench-reports, then
 # schema validation + baseline comparison.
@@ -64,6 +104,9 @@ run_suite() {
   "${dir}/tools/irfuzz" tests/corpus/*.ir
   if [[ "${SERVE}" == "1" ]]; then
     tools/serve_soak.sh "${dir}"
+  fi
+  if [[ "${STORE}" == "1" ]]; then
+    run_store_leg "${dir}"
   fi
 }
 
