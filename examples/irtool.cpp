@@ -567,10 +567,9 @@ int cmd_plan(int argc, char** argv) {
     core::PlanOptions options;
     options.engine = engine;
     const core::Plan plan = core::compile_plan(sys, options);
-    const std::uint64_t key = core::plan_cache_key(sys, options);
-    const core::PlanKeyCheck check = core::plan_key_check(sys, options);
+    const core::PlanKeyWords key_words = core::plan_key_words(sys, options);
     core::PlanStore store(store_dir);
-    const std::string entry = store.put(key, check, plan, sys);
+    const std::string entry = store.put(key_words, plan, sys);
     std::fprintf(stderr, "# exported %s plan (%zu cells, %zu iterations)\n",
                  core::to_string(plan.engine).c_str(), plan.cells,
                  plan.iterations);
@@ -597,7 +596,7 @@ int cmd_plan(int argc, char** argv) {
     if (!store_dir.empty()) {
       core::PlanStore store(store_dir);
       const std::string entry =
-          store.put(loaded.store_key, loaded.check, *loaded.plan, loaded.system);
+          store.put(loaded.key_words, *loaded.plan, loaded.system);
       std::printf("installed    %s\n", entry.c_str());
     }
     return 0;

@@ -340,19 +340,15 @@ KeyRoute resolve_key_route(const GeneralIrSystem& sys, const PlanOptions& option
   return KeyRoute::kAutoOrdinary;
 }
 
-/// The option words that enter the key for the resolved route, in mixing
-/// order — shared by plan_cache_key and plan_key_check so the two always
-/// agree on *what* distinguishes two compiles and differ only in *how* they
-/// hash it.
-struct KeyWords {
-  std::uint64_t route = 0;
-  std::uint64_t words[3] = {0, 0, 0};
-  std::size_t count = 0;
-};
+}  // namespace
 
-KeyWords key_words(const GeneralIrSystem& sys, const PlanOptions& options) {
+// The option words that enter the key for the resolved route, in mixing
+// order — shared by plan_cache_key and plan_key_check so the two always
+// agree on *what* distinguishes two compiles and differ only in *how* they
+// hash it.
+PlanKeyWords plan_key_words(const GeneralIrSystem& sys, const PlanOptions& options) {
   const KeyRoute route = resolve_key_route(sys, options);
-  KeyWords out;
+  PlanKeyWords out;
   out.route = static_cast<std::uint64_t>(route);
   // Resolve every pool-derived hint to a number so pool identity (and
   // lifetime) never leaks into the key.
@@ -386,24 +382,21 @@ KeyWords key_words(const GeneralIrSystem& sys, const PlanOptions& options) {
   return out;
 }
 
-}  // namespace
+PlanKeyWords plan_key_words(const OrdinaryIrSystem& sys, const PlanOptions& options) {
+  return plan_key_words(GeneralIrSystem::from_ordinary(sys), options);
+}
 
-std::uint64_t plan_cache_key(const GeneralIrSystem& sys, const PlanOptions& options) {
-  const KeyWords kw = key_words(sys, options);
+std::uint64_t plan_cache_key_for(std::uint64_t fingerprint, const PlanKeyWords& kw) {
   std::uint64_t hash = kFnvOffset;
-  mix_u64(hash, content_fingerprint(sys));
+  mix_u64(hash, fingerprint);
   mix_u64(hash, kw.route);
-  for (std::size_t i = 0; i < kw.count; ++i) mix_u64(hash, kw.words[i]);
+  for (std::size_t i = 0; i < kw.count && i < kMaxPlanKeyWords; ++i) {
+    mix_u64(hash, kw.words[i]);
+  }
   return hash;
 }
 
-std::uint64_t plan_cache_key(const OrdinaryIrSystem& sys, const PlanOptions& options) {
-  return plan_cache_key(GeneralIrSystem::from_ordinary(sys), options);
-}
-
-PlanKeyCheck plan_key_check(const GeneralIrSystem& sys, const PlanOptions& options) {
-  const KeyWords kw = key_words(sys, options);
-  const ContentIdentity id = content_identity(sys);
+PlanKeyCheck plan_key_check_for(const ContentIdentity& id, const PlanKeyWords& kw) {
   // hash_combine-style mixing — deliberately not FNV-1a, so an input pair
   // that collides the primary key has no structural reason to collide here.
   std::uint64_t hash = id.hash2;
@@ -411,12 +404,37 @@ PlanKeyCheck plan_key_check(const GeneralIrSystem& sys, const PlanOptions& optio
     hash ^= value + 0x9e3779b97f4a7c15ull + (hash << 6) + (hash >> 2);
   };
   mix2(kw.route);
-  for (std::size_t i = 0; i < kw.count; ++i) mix2(kw.words[i]);
+  for (std::size_t i = 0; i < kw.count && i < kMaxPlanKeyWords; ++i) {
+    mix2(kw.words[i]);
+  }
   return {id.bytes, hash};
+}
+
+std::uint64_t plan_cache_key(const GeneralIrSystem& sys, const PlanOptions& options) {
+  return plan_cache_key_for(content_fingerprint(sys), plan_key_words(sys, options));
+}
+
+std::uint64_t plan_cache_key(const OrdinaryIrSystem& sys, const PlanOptions& options) {
+  return plan_cache_key(GeneralIrSystem::from_ordinary(sys), options);
+}
+
+PlanKeyCheck plan_key_check(const GeneralIrSystem& sys, const PlanOptions& options) {
+  return plan_key_check_for(content_identity(sys), plan_key_words(sys, options));
 }
 
 PlanKeyCheck plan_key_check(const OrdinaryIrSystem& sys, const PlanOptions& options) {
   return plan_key_check(GeneralIrSystem::from_ordinary(sys), options);
+}
+
+PlanKey plan_key(const GeneralIrSystem& sys, const PlanOptions& options) {
+  const PlanKeyWords kw = plan_key_words(sys, options);
+  const ContentHash hashes = content_hash(sys);  // one pass, both hashes
+  return {plan_cache_key_for(hashes.fingerprint, kw),
+          plan_key_check_for(hashes.identity, kw), kw};
+}
+
+PlanKey plan_key(const OrdinaryIrSystem& sys, const PlanOptions& options) {
+  return plan_key(GeneralIrSystem::from_ordinary(sys), options);
 }
 
 Plan compile_plan(const GeneralIrSystem& sys, const PlanOptions& options) {

@@ -37,6 +37,7 @@
 #include "core/engine_types.hpp"
 #include "core/ir_problem.hpp"
 #include "core/plan_table.hpp"
+#include "core/serialize.hpp"
 #include "obs/telemetry.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/spmd.hpp"
@@ -275,6 +276,50 @@ struct PlanKeyCheck {
                                           const PlanOptions& options);
 [[nodiscard]] PlanKeyCheck plan_key_check(const OrdinaryIrSystem& sys,
                                           const PlanOptions& options);
+
+/// Maximum option words any route mixes into its key (kAutoOrdinary: block
+/// hint, routing block hint, threshold bits).
+inline constexpr std::size_t kMaxPlanKeyWords = 3;
+
+/// The resolved (route, option-word) vector both key hashes mix after the
+/// system's content identity — everything that distinguishes two compiles
+/// of the same system.  Exposed so the plan-file format can record it and a
+/// loader can re-derive the store key and check from the *embedded* system:
+/// a header whose recorded identity does not derive from its own payload is
+/// spliced or tampered and is rejected (plan_io.cpp).
+struct PlanKeyWords {
+  std::uint64_t route = 0;
+  std::uint64_t words[kMaxPlanKeyWords] = {0, 0, 0};
+  std::uint64_t count = 0;
+  friend bool operator==(const PlanKeyWords&, const PlanKeyWords&) = default;
+};
+
+[[nodiscard]] PlanKeyWords plan_key_words(const GeneralIrSystem& sys,
+                                          const PlanOptions& options);
+[[nodiscard]] PlanKeyWords plan_key_words(const OrdinaryIrSystem& sys,
+                                          const PlanOptions& options);
+
+/// The two key hashes from already-computed ingredients.  plan_cache_key /
+/// plan_key_check are thin wrappers over these; the plan-file loader calls
+/// them directly with the embedded system's hashes and the recorded words.
+[[nodiscard]] std::uint64_t plan_cache_key_for(std::uint64_t fingerprint,
+                                               const PlanKeyWords& words);
+[[nodiscard]] PlanKeyCheck plan_key_check_for(const ContentIdentity& identity,
+                                              const PlanKeyWords& words);
+
+/// Full cache identity of (system, options) — key, collision double-check,
+/// and the option words both were derived from — computed with ONE pass over
+/// the serialized bytes and ONE route resolution.  The Solver's hot path
+/// uses this instead of separate plan_cache_key + plan_key_check calls,
+/// which would stream the system twice.
+struct PlanKey {
+  std::uint64_t key = 0;
+  PlanKeyCheck check;
+  PlanKeyWords words;
+};
+
+[[nodiscard]] PlanKey plan_key(const GeneralIrSystem& sys, const PlanOptions& options);
+[[nodiscard]] PlanKey plan_key(const OrdinaryIrSystem& sys, const PlanOptions& options);
 
 namespace detail {
 

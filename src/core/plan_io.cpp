@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstddef>
 #include <cstring>
@@ -109,6 +110,13 @@ struct PlanFileHeader {
   std::uint64_t store_key;
   std::uint64_t check_bytes;
   std::uint64_t check_hash2;
+  /// The (route, option-word) vector the identity above derives from.  The
+  /// loader re-derives store_key/check from the EMBEDDED system plus these
+  /// words and rejects the file on any disagreement, so the recorded
+  /// identity can never name a different system than the payload carries.
+  std::uint64_t key_route;
+  std::uint64_t key_word_count;
+  std::uint64_t key_words[kMaxPlanKeyWords];
   std::uint64_t cells;
   std::uint64_t iterations;
   std::uint64_t scalars[kScalarCount];
@@ -117,8 +125,9 @@ struct PlanFileHeader {
 };
 
 static_assert(sizeof(PlanSection) == 16);
+static_assert(kMaxPlanKeyWords == 3, "header layout pins three key-word slots");
 static_assert(sizeof(PlanFileHeader) ==
-                  8 + 4 * 4 + 7 * 8 + kScalarCount * 8 + kSectionCount * 16 + 8,
+                  8 + 4 * 4 + 12 * 8 + kScalarCount * 8 + kSectionCount * 16 + 8,
               "header must have no implicit padding");
 static_assert(sizeof(PlanFileHeader) % 8 == 0);
 static_assert(std::is_trivially_copyable_v<PlanFileHeader>);
@@ -130,6 +139,14 @@ constexpr std::size_t kChecksumOffset = offsetof(PlanFileHeader, checksum);
 [[noreturn]] void reject(const std::string& why) {
   throw support::ContractViolation("plan file rejected: " + why);
 }
+
+/// Thrown (file-locally) when a plan file does not exist at all, so
+/// PlanStore::get can classify ENOENT as a miss rather than a reject
+/// without a racy exists() pre-check.
+class PlanFileMissing : public support::ContractViolation {
+ public:
+  using support::ContractViolation::ContractViolation;
+};
 
 std::uint64_t fnv1a(const unsigned char* data, std::size_t size, std::uint64_t hash) {
   for (std::size_t i = 0; i < size; ++i) {
@@ -173,9 +190,17 @@ void append_table(std::string& out, PlanFileHeader& header, SectionId id,
 }  // namespace
 
 std::string serialize_plan(const Plan& plan, const GeneralIrSystem& sys,
-                           std::uint64_t store_key, const PlanKeyCheck& check) {
-  IR_REQUIRE(plan.fingerprint == content_fingerprint(sys),
+                           const PlanKeyWords& key_words) {
+  const ContentHash hashes = content_hash(sys);
+  IR_REQUIRE(plan.fingerprint == hashes.fingerprint,
              "plan was not compiled from this system (fingerprint mismatch)");
+  IR_REQUIRE(key_words.count <= kMaxPlanKeyWords,
+             "plan key words exceed the format's fixed slots");
+  // Derive the recorded identity from (system, key words) right here: a
+  // written file's store key and check are consistent with its embedded
+  // system by construction, mirroring the loader's re-derivation gate.
+  const std::uint64_t store_key = plan_cache_key_for(hashes.fingerprint, key_words);
+  const PlanKeyCheck check = plan_key_check_for(hashes.identity, key_words);
 
   PlanFileHeader header{};
   std::memcpy(header.magic, kMagic, sizeof kMagic);
@@ -188,6 +213,11 @@ std::string serialize_plan(const Plan& plan, const GeneralIrSystem& sys,
   header.store_key = store_key;
   header.check_bytes = check.bytes;
   header.check_hash2 = check.hash2;
+  header.key_route = key_words.route;
+  header.key_word_count = key_words.count;
+  for (std::size_t w = 0; w < key_words.count; ++w) {
+    header.key_words[w] = key_words.words[w];  // unused slots stay zero
+  }
   header.cells = plan.cells;
   header.iterations = plan.iterations;
   header.scalars[kScJumpPeakActive] = plan.jump.peak_active;
@@ -333,12 +363,38 @@ LoadedPlan load_plan_bytes(const unsigned char* data, std::size_t size,
   } catch (const support::ContractViolation& e) {
     reject(std::string("embedded system unparseable: ") + e.what());
   }
-  if (content_fingerprint(loaded.system) != header.fingerprint) {
+  const ContentHash hashes = content_hash(loaded.system);  // one pass, both hashes
+  if (hashes.fingerprint != header.fingerprint) {
     reject("fingerprint mismatch between header and embedded system");
   }
   if (loaded.system.cells != header.cells ||
       loaded.system.iterations() != header.iterations) {
     reject("header cells/iterations disagree with the embedded system");
+  }
+
+  // Re-derive the cache identity from the EMBEDDED system plus the recorded
+  // key words, and demand the header recorded exactly that.  This ties
+  // store_key/check to the payload itself: a spliced file — one system's
+  // verified plan wearing another system's key and check, checksum resealed
+  // — fails here and is never served for the wrong system.
+  if (header.key_word_count > kMaxPlanKeyWords) {
+    reject("key-word count " + std::to_string(header.key_word_count) +
+           " exceeds the format's " + std::to_string(kMaxPlanKeyWords) + " slots");
+  }
+  PlanKeyWords key_words;
+  key_words.route = header.key_route;
+  key_words.count = header.key_word_count;
+  for (std::size_t w = 0; w < key_words.count; ++w) {
+    key_words.words[w] = header.key_words[w];
+  }
+  if (plan_cache_key_for(hashes.fingerprint, key_words) != header.store_key) {
+    reject("store key does not derive from the embedded system (spliced or "
+           "tampered identity)");
+  }
+  const PlanKeyCheck derived_check = plan_key_check_for(hashes.identity, key_words);
+  if (!(derived_check == PlanKeyCheck{header.check_bytes, header.check_hash2})) {
+    reject("key check does not derive from the embedded system (spliced or "
+           "tampered identity)");
   }
 
   auto plan = std::make_shared<Plan>();
@@ -435,6 +491,7 @@ LoadedPlan load_plan_bytes(const unsigned char* data, std::size_t size,
   loaded.plan = std::move(plan);
   loaded.store_key = header.store_key;
   loaded.check = PlanKeyCheck{header.check_bytes, header.check_hash2};
+  loaded.key_words = key_words;
   return loaded;
 }
 
@@ -458,6 +515,9 @@ class FileMapping {
   explicit FileMapping(const std::string& path) {
     const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0) {
+      if (errno == ENOENT) {
+        throw PlanFileMissing("plan file missing: " + path);
+      }
       reject("cannot open " + path + ": " + std::strerror(errno));
     }
     struct stat st{};
@@ -550,16 +610,23 @@ std::string PlanStore::entry_path(std::uint64_t key) const {
   return dir_ + "/plan-" + key_hex(key) + kPlanFileExtension;
 }
 
-std::string PlanStore::put(std::uint64_t key, const PlanKeyCheck& check,
-                           const Plan& plan, const GeneralIrSystem& sys) {
-  const std::string bytes = serialize_plan(plan, sys, key, check);
+std::string PlanStore::put(const PlanKeyWords& key_words, const Plan& plan,
+                           const GeneralIrSystem& sys) {
+  const std::string bytes = serialize_plan(plan, sys, key_words);
+  // serialize_plan pinned plan.fingerprint == content_fingerprint(sys), so
+  // this is the same key the file's header records.
+  const std::uint64_t key = plan_cache_key_for(plan.fingerprint, key_words);
   const std::string final_path = entry_path(key);
-  // Atomic publish: write the whole file under a process-unique temp name in
-  // the same directory, fsync, then rename onto the final name.  A reader
+  // Atomic publish: write the whole file under a per-writer-unique temp name
+  // in the same directory, fsync, then rename onto the final name.  A reader
   // (or a concurrent writer racing on the same key) only ever observes a
-  // complete file; rename is the commit point.
+  // complete file; rename is the commit point.  The temp name mixes the pid
+  // with a process-wide counter so two threads putting the same key never
+  // share (and never cross-unlink) a temp file.
+  static std::atomic<std::uint64_t> tmp_serial{0};
   const std::string tmp_path =
-      final_path + ".tmp." + std::to_string(static_cast<unsigned long>(::getpid()));
+      final_path + ".tmp." + std::to_string(static_cast<unsigned long>(::getpid())) +
+      "." + std::to_string(tmp_serial.fetch_add(1, std::memory_order_relaxed));
   const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   IR_REQUIRE(fd >= 0, "cannot create " + tmp_path + ": " + std::strerror(errno));
   std::size_t written = 0;
@@ -600,12 +667,9 @@ void PlanStore::note_reject() const {
 
 std::shared_ptr<const Plan> PlanStore::get(std::uint64_t key, const PlanKeyCheck& check) {
   const std::string path = entry_path(key);
-  if (!std::filesystem::exists(path)) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++misses_;
-    IR_COUNTER_ADD("plan_store.misses", 1);
-    return nullptr;
-  }
+  // No exists() pre-check: the open itself classifies.  An entry deleted
+  // between a pre-check and the open would otherwise be miscounted as a
+  // reject (a corruption signal) instead of the miss it is.
   try {
     LoadedPlan loaded = load_plan_file(path);
     // The same collision discipline as the in-memory cache: the entry must
@@ -621,6 +685,11 @@ std::shared_ptr<const Plan> PlanStore::get(std::uint64_t key, const PlanKeyCheck
     }
     IR_COUNTER_ADD("plan_store.hits", 1);
     return loaded.plan;
+  } catch (const PlanFileMissing&) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    IR_COUNTER_ADD("plan_store.misses", 1);
+    return nullptr;
   } catch (const std::exception&) {
     note_reject();
     return nullptr;
@@ -640,6 +709,8 @@ std::vector<PlanStore::ManifestEntry> PlanStore::manifest() const {
       const PlanFileInfo info = plan_file_info(entry.path().string());
       out.push_back({entry.path().string(), info.store_key, info.fingerprint,
                      info.engine, info.cells, info.iterations, info.file_bytes});
+    } catch (const PlanFileMissing&) {
+      // Deleted between the directory scan and the open: not a corruption.
     } catch (const std::exception&) {
       note_reject();
     }
@@ -654,6 +725,8 @@ std::size_t PlanStore::preload(PlanCache& cache) {
       LoadedPlan loaded = load_plan_file(entry.path);
       cache.insert(loaded.store_key, loaded.check, loaded.plan);
       ++count;
+    } catch (const PlanFileMissing&) {
+      // Deleted since the manifest scan: not a corruption.
     } catch (const std::exception&) {
       note_reject();
     }

@@ -39,7 +39,7 @@ namespace ir::core {
 /// Bumped on any layout change; readers reject other versions (the format
 /// is an artifact cache, not an archival interchange format — recompiling
 /// is always safe, so there is no cross-version migration).
-inline constexpr std::uint32_t kPlanFormatVersion = 1;
+inline constexpr std::uint32_t kPlanFormatVersion = 2;
 
 /// File extension the store uses for its entries.
 inline constexpr const char* kPlanFileExtension = ".irplan";
@@ -55,21 +55,26 @@ struct PlanLoadOptions {
 
 /// A plan loaded from the binary format.  `plan->backing` owns the mapping
 /// (or buffer) the schedule tables point into; the system is parsed from
-/// the embedded canonical text (it is what verify ran against).
+/// the embedded canonical text (it is what verify ran against).  The cache
+/// identity is NOT taken on faith from the header: the loader re-derives
+/// store_key/check from the embedded system plus the recorded key words and
+/// rejects the file when the header disagrees, so a spliced file (one
+/// system's plan under another's identity) can never be served.
 struct LoadedPlan {
   std::shared_ptr<const Plan> plan;
   GeneralIrSystem system;
-  std::uint64_t store_key = 0;  ///< plan_cache_key recorded at export
-  PlanKeyCheck check;           ///< collision double-check recorded at export
+  std::uint64_t store_key = 0;  ///< plan_cache_key, validated against `system`
+  PlanKeyCheck check;           ///< collision double-check, validated likewise
+  PlanKeyWords key_words;       ///< the option words the identity derives from
 };
 
 /// Serialize `plan` (+ its source system and cache identity) to the binary
-/// plan format.  `store_key`/`check` are the plan_cache_key/plan_key_check
-/// of the (system, options) pair the plan was compiled from; they key the
-/// store and let warm-start re-insert under the exact cache identity.
+/// plan format.  `key_words` is plan_key_words(system, options) of the pair
+/// the plan was compiled from; the store key and check are derived from it
+/// and the system *inside* this function, so a file's recorded identity is
+/// consistent with its payload by construction.
 [[nodiscard]] std::string serialize_plan(const Plan& plan, const GeneralIrSystem& sys,
-                                         std::uint64_t store_key,
-                                         const PlanKeyCheck& check);
+                                         const PlanKeyWords& key_words);
 
 /// Validate + load a plan from an in-memory buffer, zero-copy: the returned
 /// plan's tables alias `bytes`' storage, kept alive via Plan::backing.
@@ -128,9 +133,10 @@ class PlanStore {
   /// Path a key's entry lives at (whether or not it exists yet).
   [[nodiscard]] std::string entry_path(std::uint64_t key) const;
 
-  /// Persist a compiled plan under `key`; returns the final path.  Throws
+  /// Persist a compiled plan under the key derived from (`sys`,
+  /// `key_words`); returns the final path.  Throws
   /// support::ContractViolation on I/O failure.
-  std::string put(std::uint64_t key, const PlanKeyCheck& check, const Plan& plan,
+  std::string put(const PlanKeyWords& key_words, const Plan& plan,
                   const GeneralIrSystem& sys);
 
   /// Load + verify the entry for `key`; null when absent (miss) or when the

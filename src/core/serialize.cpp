@@ -214,6 +214,16 @@ ContentIdentity content_identity(const OrdinaryIrSystem& sys) {
   return hash_system(sys.cells, sys.f, sys.g, sys.g).identity();
 }
 
+ContentHash content_hash(const GeneralIrSystem& sys) {
+  const ContentHasher hasher = hash_system(sys.cells, sys.f, sys.g, sys.h);
+  return {hasher.value(), hasher.identity()};
+}
+
+ContentHash content_hash(const OrdinaryIrSystem& sys) {
+  const ContentHasher hasher = hash_system(sys.cells, sys.f, sys.g, sys.g);
+  return {hasher.value(), hasher.identity()};
+}
+
 GeneralIrSystem system_from_text(std::string_view text) {
   LineReader reader(text);
   expect_header(reader, "ir-system v1");

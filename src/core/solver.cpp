@@ -89,14 +89,18 @@ std::shared_ptr<const Plan> Solver::compile_keyed(
 template <typename System>
 std::shared_ptr<const Plan> Solver::compile_impl(const System& sys,
                                                  const PlanOptions& options) {
-  const std::uint64_t key = plan_cache_key(sys, options);
-  const PlanKeyCheck check = plan_key_check(sys, options);
-  return compile_keyed(key, check, [&]() -> std::shared_ptr<const Plan> {
+  // One serialized-bytes pass yields the key, the collision double-check,
+  // and the option words the store write-through records.
+  const PlanKey identity = plan_key(sys, options);
+  return compile_keyed(identity.key, identity.check,
+                       [&]() -> std::shared_ptr<const Plan> {
     // Store read-through, leader-only: a warm store turns a cache miss into
     // a load + verify instead of a compile (get() re-validates the file and
     // applies the same collision double-check as the cache).
     if (config_.plan_store != nullptr) {
-      if (auto stored = config_.plan_store->get(key, check)) return stored;
+      if (auto stored = config_.plan_store->get(identity.key, identity.check)) {
+        return stored;
+      }
     }
     auto plan = std::make_shared<const Plan>(compile_plan(sys, options));
     compiles_.fetch_add(1, std::memory_order_relaxed);
@@ -107,7 +111,7 @@ std::shared_ptr<const Plan> Solver::compile_impl(const System& sys,
       // Best-effort: a full disk or unwritable store must not fail the
       // solve that just compiled a perfectly good plan.
       try {
-        config_.plan_store->put(key, check, *plan, as_general(sys));
+        config_.plan_store->put(identity.words, *plan, as_general(sys));
       } catch (const std::exception&) {
         IR_COUNTER_ADD("plan_store.put_failures", 1);
       }

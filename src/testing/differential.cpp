@@ -155,13 +155,13 @@ void check_plan_io_leg(DifferentialReport& report, const std::string& label,
     const core::Plan plan = core::compile_plan(sys, plan_options);
     GeneralIrSystem storage;
     const GeneralIrSystem& general = as_general_system(sys, storage);
-    const std::uint64_t key = core::plan_cache_key(sys, plan_options);
-    const core::PlanKeyCheck check = core::plan_key_check(sys, plan_options);
+    const core::PlanKey identity = core::plan_key(sys, plan_options);
     auto bytes = std::make_shared<const std::string>(
-        core::serialize_plan(plan, general, key, check));
+        core::serialize_plan(plan, general, identity.words));
     const core::LoadedPlan loaded = core::load_plan(bytes);
-    if (loaded.store_key != key || loaded.check.bytes != check.bytes ||
-        loaded.check.hash2 != check.hash2) {
+    if (loaded.store_key != identity.key ||
+        loaded.check.bytes != identity.check.bytes ||
+        loaded.check.hash2 != identity.check.hash2) {
       report.mismatches.push_back(label + ":identity-drift");
       return;
     }

@@ -160,9 +160,9 @@ TEST(ExecuteWideTest, ExecuteManyVariantsAgree) {
   EXPECT_EQ(batch_wide.to_rows(), batch_scalar.to_rows());
   EXPECT_EQ(batch_wide.to_rows(), via_auto);
 
-  EXPECT_EQ(to_string(ExecVariant::kAuto), "auto");
-  EXPECT_EQ(to_string(ExecVariant::kScalar), "scalar");
-  EXPECT_EQ(to_string(ExecVariant::kWide), "wide");
+  EXPECT_STREQ(to_string(ExecVariant::kAuto), "auto");
+  EXPECT_STREQ(to_string(ExecVariant::kScalar), "scalar");
+  EXPECT_STREQ(to_string(ExecVariant::kWide), "wide");
 }
 
 TEST(ExecuteWideTest, SolverForwardsBatchApis) {

@@ -27,8 +27,15 @@ namespace {
 
 using algebra::AddMonoid;
 
-/// Checksum field position: the trailing u64 of the 504-byte header.
-constexpr std::size_t kTestChecksumOffset = 496;
+/// Header field positions (pinned by the format): the 544-byte header ends
+/// with the whole-file checksum; the recorded cache identity and the key
+/// words it must derive from sit behind the fingerprint.
+constexpr std::size_t kTestHeaderBytes = 544;
+constexpr std::size_t kTestChecksumOffset = 536;
+constexpr std::size_t kTestStoreKeyOffset = 40;
+constexpr std::size_t kTestCheckBytesOffset = 48;
+constexpr std::size_t kTestCheckHash2Offset = 56;
+constexpr std::size_t kTestKeyWordsOffset = 80;
 
 /// Re-seal a deliberately tampered buffer so it passes the structural
 /// checksum and the deeper gates (fingerprint, verify) get exercised.
@@ -70,23 +77,31 @@ struct Exported {
   Plan plan;
   std::uint64_t key = 0;
   PlanKeyCheck check;
+  PlanKeyWords words;
   std::string bytes;
 };
 
 Exported export_ordinary(const OrdinaryIrSystem& ord, const PlanOptions& options = {}) {
-  Exported out{.sys = GeneralIrSystem::from_ordinary(ord),
-               .plan = compile_plan(ord, options)};
-  out.key = plan_cache_key(ord, options);
-  out.check = plan_key_check(ord, options);
-  out.bytes = serialize_plan(out.plan, out.sys, out.key, out.check);
+  Exported out;
+  out.sys = GeneralIrSystem::from_ordinary(ord);
+  out.plan = compile_plan(ord, options);
+  const PlanKey identity = plan_key(ord, options);
+  out.key = identity.key;
+  out.check = identity.check;
+  out.words = identity.words;
+  out.bytes = serialize_plan(out.plan, out.sys, out.words);
   return out;
 }
 
 Exported export_general(const GeneralIrSystem& sys, const PlanOptions& options = {}) {
-  Exported out{.sys = sys, .plan = compile_plan(sys, options)};
-  out.key = plan_cache_key(sys, options);
-  out.check = plan_key_check(sys, options);
-  out.bytes = serialize_plan(out.plan, out.sys, out.key, out.check);
+  Exported out;
+  out.sys = sys;
+  out.plan = compile_plan(sys, options);
+  const PlanKey identity = plan_key(sys, options);
+  out.key = identity.key;
+  out.check = identity.check;
+  out.words = identity.words;
+  out.bytes = serialize_plan(out.plan, out.sys, out.words);
   return out;
 }
 
@@ -101,6 +116,7 @@ void expect_round_trip(const Exported& e) {
   ASSERT_NE(loaded.plan, nullptr);
   EXPECT_EQ(loaded.store_key, e.key);
   EXPECT_TRUE(loaded.check == e.check);
+  EXPECT_TRUE(loaded.key_words == e.words);
   EXPECT_EQ(loaded.plan->engine, e.plan.engine);
   EXPECT_EQ(loaded.plan->fingerprint, e.plan.fingerprint);
   EXPECT_EQ(loaded.plan->cells, e.plan.cells);
@@ -228,8 +244,8 @@ TEST(PlanIoAdversarialTest, UnknownVersionIsRejected) {
 
 TEST(PlanIoAdversarialTest, OutOfBoundsSectionOffsetIsRejected) {
   const Exported e = export_ordinary(chain_system(30));
-  // Section table starts after magic(8) + 4 u32 + 7 u64 + 12 scalars.
-  const std::size_t section_table = 8 + 16 + 56 + 12 * 8;
+  // Section table starts after magic(8) + 4 u32 + 12 u64 + 12 scalars.
+  const std::size_t section_table = 8 + 16 + 96 + 12 * 8;
   std::string bytes = e.bytes;
   const std::uint64_t way_out = bytes.size() + 1024;
   std::memcpy(bytes.data() + section_table, &way_out, 8);
@@ -251,7 +267,7 @@ TEST(PlanIoAdversarialTest, TamperedScheduleTableIsCaughtByVerifier) {
   // matching the table bytes (unique enough for this fixture).
   const char* table = reinterpret_cast<const char*>(e.plan.jump.dst.data());
   const std::size_t table_bytes = e.plan.jump.dst.size() * 4;
-  const std::size_t pos = e.bytes.find(std::string(table, table_bytes), 504);
+  const std::size_t pos = e.bytes.find(std::string(table, table_bytes), kTestHeaderBytes);
   ASSERT_NE(pos, std::string::npos);
 
   std::string bytes = e.bytes;
@@ -286,6 +302,71 @@ TEST(PlanIoAdversarialTest, TamperedSystemTextIsCaughtByFingerprint) {
   }
 }
 
+TEST(PlanIoAdversarialTest, SplicedIdentityIsRejected) {
+  // The splice attack: system B's verified plan file wearing system A's
+  // store key and check, checksum resealed.  Every byte-level gate passes
+  // (the payload really is B's plan for B's system), so the only defense is
+  // re-deriving the identity from the embedded system — a file like this
+  // must never be served for A's requests.
+  const Exported a = export_ordinary(chain_system(30));
+  const Exported b = export_ordinary(chain_system(31));
+  ASSERT_NE(a.key, b.key);
+
+  std::string bytes = b.bytes;
+  std::memcpy(bytes.data() + kTestStoreKeyOffset, &a.key, 8);
+  std::memcpy(bytes.data() + kTestCheckBytesOffset, &a.check.bytes, 8);
+  std::memcpy(bytes.data() + kTestCheckHash2Offset, &a.check.hash2, 8);
+  reseal_checksum(bytes);
+  expect_rejected(std::move(bytes), "does not derive from the embedded system");
+
+  // Splicing only the key (check left as B's) must fail the same gate.
+  bytes = b.bytes;
+  std::memcpy(bytes.data() + kTestStoreKeyOffset, &a.key, 8);
+  reseal_checksum(bytes);
+  expect_rejected(std::move(bytes), "store key does not derive");
+}
+
+TEST(PlanIoAdversarialTest, TamperedKeyWordIsRejected) {
+  // A blocked plan records its block-count option word; flipping it (with a
+  // resealed checksum) changes what identity the header claims without
+  // changing the recorded key/check, so the re-derivation gate must fire.
+  PlanOptions options;
+  options.engine = EngineChoice::kBlocked;
+  options.blocks = 4;
+  support::SplitMix64 rng(404);
+  const Exported e = export_ordinary(testing::random_ordinary_system(60, 90, rng, 0.8),
+                                     options);
+  ASSERT_GE(e.words.count, 1u);
+
+  std::string bytes = e.bytes;
+  const std::uint64_t bogus = e.words.words[0] + 1;
+  std::memcpy(bytes.data() + kTestKeyWordsOffset, &bogus, 8);
+  reseal_checksum(bytes);
+  expect_rejected(std::move(bytes), "does not derive from the embedded system");
+}
+
+TEST(PlanIoAdversarialTest, SplicedStoreEntryIsNeverServed) {
+  // End to end through the store: install the spliced file under A's key and
+  // demand get(key_A, check_A) rejects instead of serving B's plan.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("irplan-splice-test-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  PlanStore store(dir.string());
+
+  const Exported a = export_ordinary(chain_system(30));
+  const Exported b = export_ordinary(chain_system(31));
+  std::string bytes = b.bytes;
+  std::memcpy(bytes.data() + kTestStoreKeyOffset, &a.key, 8);
+  std::memcpy(bytes.data() + kTestCheckBytesOffset, &a.check.bytes, 8);
+  std::memcpy(bytes.data() + kTestCheckHash2Offset, &a.check.hash2, 8);
+  reseal_checksum(bytes);
+  { std::ofstream(store.entry_path(a.key), std::ios::binary) << bytes; }
+
+  EXPECT_EQ(store.get(a.key, a.check), nullptr);
+  EXPECT_EQ(store.rejects(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
 // ---------------------------------------------------------------------------
 // PlanStore lifecycle.
 // ---------------------------------------------------------------------------
@@ -307,7 +388,7 @@ TEST_F(PlanStoreTest, PutGetRoundTrip) {
   PlanStore store(dir_.string());
   const Exported e = export_ordinary(chain_system(25));
 
-  const std::string path = store.put(e.key, e.check, e.plan, e.sys);
+  const std::string path = store.put(e.words, e.plan, e.sys);
   EXPECT_TRUE(std::filesystem::exists(path));
   EXPECT_EQ(path, store.entry_path(e.key));
   EXPECT_EQ(store.puts(), 1u);
@@ -326,7 +407,7 @@ TEST_F(PlanStoreTest, PutGetRoundTrip) {
 TEST_F(PlanStoreTest, GetAppliesCollisionDoubleCheck) {
   PlanStore store(dir_.string());
   const Exported e = export_ordinary(chain_system(25));
-  (void)store.put(e.key, e.check, e.plan, e.sys);
+  (void)store.put(e.words, e.plan, e.sys);
 
   // Same key, different identity (the 64-bit-collision scenario): reject.
   PlanKeyCheck wrong = e.check;
@@ -346,7 +427,7 @@ TEST_F(PlanStoreTest, GetAppliesCollisionDoubleCheck) {
 TEST_F(PlanStoreTest, CorruptEntryIsRejectedNotServed) {
   PlanStore store(dir_.string());
   const Exported e = export_ordinary(chain_system(25));
-  const std::string path = store.put(e.key, e.check, e.plan, e.sys);
+  const std::string path = store.put(e.words, e.plan, e.sys);
 
   // Flip one byte in place on disk.
   {
@@ -366,8 +447,8 @@ TEST_F(PlanStoreTest, ManifestListsHeadersAndSkipsJunk) {
   PlanStore store(dir_.string());
   const Exported a = export_ordinary(chain_system(25));
   const Exported b = export_ordinary(independent_system(30));
-  (void)store.put(a.key, a.check, a.plan, a.sys);
-  (void)store.put(b.key, b.check, b.plan, b.sys);
+  (void)store.put(a.words, a.plan, a.sys);
+  (void)store.put(b.words, b.plan, b.sys);
 
   // Junk that must not appear: a stray file and a truncated .irplan.
   { std::ofstream(dir_ / "README.txt") << "not a plan"; }
@@ -379,7 +460,7 @@ TEST_F(PlanStoreTest, ManifestListsHeadersAndSkipsJunk) {
   for (const auto& entry : entries) {
     seen_iterations += entry.iterations;
     EXPECT_TRUE(entry.store_key == a.key || entry.store_key == b.key);
-    EXPECT_GT(entry.file_bytes, 504u);
+    EXPECT_GT(entry.file_bytes, kTestHeaderBytes);
   }
   EXPECT_EQ(seen_iterations, a.plan.iterations + b.plan.iterations);
   EXPECT_EQ(store.rejects(), 1u);  // the truncated .irplan
@@ -389,8 +470,8 @@ TEST_F(PlanStoreTest, PreloadWarmsACache) {
   PlanStore store(dir_.string());
   const Exported a = export_ordinary(chain_system(25));
   const Exported b = export_ordinary(independent_system(30));
-  (void)store.put(a.key, a.check, a.plan, a.sys);
-  (void)store.put(b.key, b.check, b.plan, b.sys);
+  (void)store.put(a.words, a.plan, a.sys);
+  (void)store.put(b.words, b.plan, b.sys);
 
   PlanCache cache(16);
   EXPECT_EQ(store.preload(cache), 2u);
@@ -405,7 +486,7 @@ TEST_F(PlanStoreTest, PreloadWarmsACache) {
 TEST_F(PlanStoreTest, PlanFileInfoReportsHeaderFacts) {
   PlanStore store(dir_.string());
   const Exported e = export_ordinary(chain_system(25));
-  const std::string path = store.put(e.key, e.check, e.plan, e.sys);
+  const std::string path = store.put(e.words, e.plan, e.sys);
 
   const PlanFileInfo info = plan_file_info(path);
   EXPECT_EQ(info.version, kPlanFormatVersion);
