@@ -35,6 +35,20 @@
 //                                               the system's shape; --json
 //                                               emits the machine-readable
 //                                               report (docs/static_analysis.md)
+//     --cost            additionally run the static cost & conflict analyzer
+//                       (verify/cost.hpp): work, depth, steps, footprint, and
+//                       predicted bank stalls per certified plan
+//     --banks=B         bank count for the conflict model (default 8)
+//     --crcw            cost writes under combining-CRCW semantics (duplicate
+//                       writes to one cell coalesce); default is CREW
+//   irtool audit <store-dir> [--json] [--cost-flags]
+//                                               statically verify AND cost
+//                                               every .irplan in a plan store
+//                                               (verify/audit.hpp): each entry
+//                                               gets a PASS/REJECT verdict with
+//                                               a reason, plus a counted
+//                                               manifest; exit 0 only when the
+//                                               whole store is clean
 //   irtool dot <file>                           dependence graph as Graphviz
 //   irtool lower <dsl-file>                     loop DSL -> ir-system text
 //   irtool interchange <dsl-file> <a> <b>       swap nest levels a and b
@@ -76,6 +90,8 @@
 #include "service/server.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
+#include "verify/audit.hpp"
+#include "verify/cost.hpp"
 #include "verify/verify.hpp"
 
 namespace {
@@ -93,9 +109,10 @@ int usage() {
                "               [--repeat=K]\n"
                "               [--jobs=J]\n"
                "  irtool trace <file> <iteration>\n"
-               "  irtool lint <file> [--json]\n"
+               "  irtool lint <file> [--json] [--cost] [--banks=B] [--crcw]\n"
                "              [--engine={all|auto|jumping|blocked|spmd|scan|gir|"
                "elementwise}]\n"
+               "  irtool audit <store-dir> [--json] [--banks=B] [--crcw]\n"
                "  irtool dot <file>\n"
                "  irtool lower <dsl-file>\n"
                "  irtool interchange <dsl-file> <a> <b>\n"
@@ -104,9 +121,12 @@ int usage() {
                "  irtool plan import <plan-file> [<store-dir>]\n"
                "  irtool plan info <plan-file>\n"
                "\n"
-               "lint exit codes: 0 = every checked plan certified;\n"
-               "                 1 = at least one violation (or runtime error);\n"
-               "                 2 = usage error\n");
+               "lint exit codes:  0 = every checked plan certified;\n"
+               "                  1 = at least one violation (or runtime error);\n"
+               "                  2 = usage error\n"
+               "audit exit codes: 0 = every store entry verified and costed;\n"
+               "                  1 = at least one entry rejected;\n"
+               "                  2 = usage or I/O error (store dir missing)\n");
   return 2;
 }
 
@@ -366,7 +386,20 @@ struct LintFlags {
   std::string path;
   std::string engine = "all";  ///< all | auto | one forced engine
   bool json = false;
+  bool cost = false;  ///< run the static cost & conflict analyzer per plan
+  verify::CostOptions cost_options;
 };
+
+/// Re-indent a multi-line JSON fragment so it nests under `indent` spaces.
+std::string indent_json(std::string fragment, const std::string& indent) {
+  if (!fragment.empty() && fragment.back() == '\n') fragment.pop_back();
+  std::string out;
+  for (const char c : fragment) {
+    out += c;
+    if (c == '\n') out += indent;
+  }
+  return out;
+}
 
 /// Statically verify the compiled schedule(s) of one ir-system file.
 /// "all" checks the auto route plus every forced engine whose shape
@@ -430,15 +463,23 @@ int cmd_lint(const LintFlags& flags) {
     if (flags.json) {
       std::string entry = verdict.to_json();
       // Inline the per-plan report under its requested-engine label.
-      entry.insert(entry.find('{') + 1,
-                   "\"requested\": " + obs::json_quote(legs[leg].label) +
-                       ", \"engine\": " + obs::json_quote(core::to_string(plan.engine)) +
-                       ", \"chain_structure\": " + (plan.chain ? "true" : "false") +
-                       ", \"schedule\": " + obs::json_quote(plan.describe()) + ",");
+      std::string head = "\"requested\": " + obs::json_quote(legs[leg].label) +
+                         ", \"engine\": " + obs::json_quote(core::to_string(plan.engine)) +
+                         ", \"chain_structure\": " + (plan.chain ? "true" : "false") +
+                         ", \"schedule\": " + obs::json_quote(plan.describe()) + ",";
+      if (flags.cost) {
+        const verify::CostReport cost = verify::cost_plan(plan, flags.cost_options);
+        head += "\n\"cost\": " + indent_json(cost.to_json(), "") + ",";
+      }
+      entry.insert(entry.find('{') + 1, head);
       json += (leg == 0 ? "\n" : ",\n") + entry;
     } else {
       std::printf("%-12s %s\n             (%s)\n", legs[leg].label.c_str(),
                   verdict.summary().c_str(), plan.describe().c_str());
+      if (flags.cost) {
+        const verify::CostReport cost = verify::cost_plan(plan, flags.cost_options);
+        std::printf("             cost: %s\n", cost.summary().c_str());
+      }
       for (const auto& violation : verdict.violations) {
         std::printf("             [%s] %s: %s\n",
                     verify::to_string(violation.family).c_str(),
@@ -455,6 +496,26 @@ int cmd_lint(const LintFlags& flags) {
     std::printf("lint: %zu/%zu plans certified\n", certified, legs.size());
   }
   return certified == legs.size() ? 0 : 1;
+}
+
+/// Statically verify and cost every .irplan in a plan-store directory.
+/// Exit codes: 0 = every entry passed, 1 = at least one reject, 2 = the
+/// store directory itself is unusable (missing / not a directory).
+int cmd_audit(const std::string& store_dir, bool json,
+              const verify::CostOptions& options) {
+  verify::AuditReport report;
+  try {
+    report = verify::audit_store(store_dir, options);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "irtool audit: %s\n", error.what());
+    return 2;
+  }
+  if (json) {
+    std::fputs(report.to_json().c_str(), stdout);
+  } else {
+    std::printf("%s\n", report.summary().c_str());
+  }
+  return report.ok() ? 0 : 1;
 }
 
 int cmd_trace(const std::string& path, std::size_t iteration) {
@@ -668,6 +729,15 @@ int main(int argc, char** argv) {
         const std::string arg = argv[a];
         if (arg == "--json") {
           flags.json = true;
+        } else if (arg == "--cost") {
+          flags.cost = true;
+        } else if (arg == "--crcw") {
+          flags.cost = true;
+          flags.cost_options.mode = verify::BankMode::kCrcw;
+        } else if (arg.rfind("--banks=", 0) == 0) {
+          flags.cost = true;
+          flags.cost_options.banks = std::strtoull(arg.c_str() + 8, nullptr, 10);
+          if (flags.cost_options.banks == 0) return usage();
         } else if (arg.rfind("--engine=", 0) == 0) {
           flags.engine = arg.substr(9);
         } else if (!have_path) {
@@ -685,6 +755,28 @@ int main(int argc, char** argv) {
           flags.engine == "gir" || flags.engine == "elementwise";
       if (!known_engine) return usage();
       return cmd_lint(flags);
+    }
+    if (command == "audit") {
+      std::string store_dir;
+      bool json = false;
+      verify::CostOptions options;
+      for (int a = 2; a < argc; ++a) {
+        const std::string arg = argv[a];
+        if (arg == "--json") {
+          json = true;
+        } else if (arg == "--crcw") {
+          options.mode = verify::BankMode::kCrcw;
+        } else if (arg.rfind("--banks=", 0) == 0) {
+          options.banks = std::strtoull(arg.c_str() + 8, nullptr, 10);
+          if (options.banks == 0) return usage();
+        } else if (store_dir.empty()) {
+          store_dir = arg;
+        } else {
+          return usage();
+        }
+      }
+      if (store_dir.empty()) return usage();
+      return cmd_audit(store_dir, json, options);
     }
     if (command == "plan") return cmd_plan(argc - 2, argv + 2);
     if (command == "dot") return cmd_dot(argv[2]);

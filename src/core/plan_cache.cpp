@@ -6,7 +6,7 @@ namespace ir::core {
 
 std::shared_ptr<const Plan> PlanCache::find(std::uint64_t key,
                                             const PlanKeyCheck& check) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::LockGuard lock(mutex_);
   const auto it = capacity_ != 0 ? index_.find(key) : index_.end();
   if (it == index_.end()) {
     ++misses_;
@@ -30,7 +30,7 @@ std::shared_ptr<const Plan> PlanCache::find(std::uint64_t key,
 
 std::shared_ptr<const Plan> PlanCache::peek(std::uint64_t key,
                                             const PlanKeyCheck& check) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::LockGuard lock(mutex_);
   const auto it = capacity_ != 0 ? index_.find(key) : index_.end();
   if (it == index_.end() || !(it->second->check == check)) return nullptr;
   return it->second->plan;
@@ -39,7 +39,7 @@ std::shared_ptr<const Plan> PlanCache::peek(std::uint64_t key,
 void PlanCache::insert(std::uint64_t key, const PlanKeyCheck& check,
                        std::shared_ptr<const Plan> plan) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::LockGuard lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     if (!(it->second->check == check)) {
@@ -63,33 +63,33 @@ void PlanCache::insert(std::uint64_t key, const PlanKeyCheck& check,
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::LockGuard lock(mutex_);
   lru_.clear();
   index_.clear();
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::LockGuard lock(mutex_);
   return lru_.size();
 }
 
 std::uint64_t PlanCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::LockGuard lock(mutex_);
   return hits_;
 }
 
 std::uint64_t PlanCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::LockGuard lock(mutex_);
   return misses_;
 }
 
 std::uint64_t PlanCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::LockGuard lock(mutex_);
   return evictions_;
 }
 
 std::uint64_t PlanCache::collisions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::LockGuard lock(mutex_);
   return collisions_;
 }
 

@@ -27,11 +27,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "core/plan.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ir::core {
 
@@ -44,28 +44,30 @@ class PlanCache {
   /// key whose stored check differs from `check` counts one collision and
   /// one miss and returns null.
   [[nodiscard]] std::shared_ptr<const Plan> find(std::uint64_t key,
-                                                 const PlanKeyCheck& check);
+                                                 const PlanKeyCheck& check)
+      IR_EXCLUDES(mutex_);
 
   /// find() without counters or an LRU bump — the Solver's single-flight
   /// double-check uses this so one compile() call never records more than
   /// one hit or miss.  A check mismatch returns null without counting.
   [[nodiscard]] std::shared_ptr<const Plan> peek(std::uint64_t key,
-                                                 const PlanKeyCheck& check) const;
+                                                 const PlanKeyCheck& check) const
+      IR_EXCLUDES(mutex_);
 
   /// Insert (or refresh) a plan, evicting the least-recently-used entry
   /// beyond capacity.  Inserting under a key held by a different identity
   /// counts a collision and replaces the entry.
   void insert(std::uint64_t key, const PlanKeyCheck& check,
-              std::shared_ptr<const Plan> plan);
+              std::shared_ptr<const Plan> plan) IR_EXCLUDES(mutex_);
 
-  void clear();
+  void clear() IR_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const IR_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] std::uint64_t hits() const;
-  [[nodiscard]] std::uint64_t misses() const;
-  [[nodiscard]] std::uint64_t evictions() const;
-  [[nodiscard]] std::uint64_t collisions() const;
+  [[nodiscard]] std::uint64_t hits() const IR_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t misses() const IR_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t evictions() const IR_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t collisions() const IR_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -74,14 +76,16 @@ class PlanCache {
     std::shared_ptr<const Plan> plan;
   };
 
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t collisions_ = 0;
+  mutable support::Mutex mutex_;
+  std::size_t capacity_;  ///< immutable after construction
+  /// front = most recently used
+  std::list<Entry> lru_ IR_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_
+      IR_GUARDED_BY(mutex_);
+  std::uint64_t hits_ IR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ IR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ IR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t collisions_ IR_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ir::core

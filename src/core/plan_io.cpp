@@ -652,7 +652,7 @@ std::string PlanStore::put(const PlanKeyWords& key_words, const Plan& plan,
     throw support::ContractViolation("cannot publish " + final_path + ": " + why);
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::LockGuard lock(mutex_);
     ++puts_;
   }
   IR_COUNTER_ADD("plan_store.puts", 1);
@@ -660,7 +660,7 @@ std::string PlanStore::put(const PlanKeyWords& key_words, const Plan& plan,
 }
 
 void PlanStore::note_reject() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::LockGuard lock(mutex_);
   ++rejects_;
   IR_COUNTER_ADD("plan_store.rejects", 1);
 }
@@ -680,13 +680,13 @@ std::shared_ptr<const Plan> PlanStore::get(std::uint64_t key, const PlanKeyCheck
       return nullptr;
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      support::LockGuard lock(mutex_);
       ++hits_;
     }
     IR_COUNTER_ADD("plan_store.hits", 1);
     return loaded.plan;
   } catch (const PlanFileMissing&) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::LockGuard lock(mutex_);
     ++misses_;
     IR_COUNTER_ADD("plan_store.misses", 1);
     return nullptr;
@@ -732,7 +732,7 @@ std::size_t PlanStore::preload(PlanCache& cache) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::LockGuard lock(mutex_);
     preloaded_ += count;
   }
   IR_COUNTER_ADD("plan_store.preloaded", count);
@@ -740,27 +740,27 @@ std::size_t PlanStore::preload(PlanCache& cache) {
 }
 
 std::uint64_t PlanStore::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::LockGuard lock(mutex_);
   return hits_;
 }
 
 std::uint64_t PlanStore::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::LockGuard lock(mutex_);
   return misses_;
 }
 
 std::uint64_t PlanStore::rejects() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::LockGuard lock(mutex_);
   return rejects_;
 }
 
 std::uint64_t PlanStore::puts() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::LockGuard lock(mutex_);
   return puts_;
 }
 
 std::uint64_t PlanStore::preloaded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::LockGuard lock(mutex_);
   return preloaded_;
 }
 

@@ -27,12 +27,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/plan.hpp"
 #include "core/plan_cache.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ir::core {
 
@@ -164,22 +164,22 @@ class PlanStore {
   /// preloaded; failures count as rejects and are skipped.
   std::size_t preload(PlanCache& cache);
 
-  [[nodiscard]] std::uint64_t hits() const;
-  [[nodiscard]] std::uint64_t misses() const;
-  [[nodiscard]] std::uint64_t rejects() const;
-  [[nodiscard]] std::uint64_t puts() const;
-  [[nodiscard]] std::uint64_t preloaded() const;
+  [[nodiscard]] std::uint64_t hits() const IR_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t misses() const IR_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t rejects() const IR_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t puts() const IR_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t preloaded() const IR_EXCLUDES(mutex_);
 
  private:
-  void note_reject() const;
+  void note_reject() const IR_EXCLUDES(mutex_);
 
   std::string dir_;
-  mutable std::mutex mutex_;
-  mutable std::uint64_t hits_ = 0;
-  mutable std::uint64_t misses_ = 0;
-  mutable std::uint64_t rejects_ = 0;
-  mutable std::uint64_t puts_ = 0;
-  mutable std::uint64_t preloaded_ = 0;
+  mutable support::Mutex mutex_;
+  mutable std::uint64_t hits_ IR_GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t misses_ IR_GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t rejects_ IR_GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t puts_ IR_GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t preloaded_ IR_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ir::core

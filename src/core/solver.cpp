@@ -53,7 +53,7 @@ std::shared_ptr<const Plan> Solver::compile_keyed(
   std::shared_future<std::shared_ptr<const Plan>> flight;
   bool leader = false;
   {
-    std::lock_guard lock(inflight_mutex_);
+    support::LockGuard lock(inflight_mutex_);
     // peek, not find: the fast path above already recorded this call's miss.
     if (auto cached = cache_.peek(key, check)) return cached;
     const auto it = inflight_.find(key);
@@ -72,14 +72,14 @@ std::shared_ptr<const Plan> Solver::compile_keyed(
     cache_.insert(key, check, plan);
     promise.set_value(plan);
     {
-      std::lock_guard lock(inflight_mutex_);
+      support::LockGuard lock(inflight_mutex_);
       inflight_.erase(key);
     }
     return plan;
   } catch (...) {
     promise.set_exception(std::current_exception());
     {
-      std::lock_guard lock(inflight_mutex_);
+      support::LockGuard lock(inflight_mutex_);
       inflight_.erase(key);
     }
     throw;

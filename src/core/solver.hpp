@@ -17,13 +17,13 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "core/execute_wide.hpp"
 #include "core/plan.hpp"
 #include "core/plan_cache.hpp"
 #include "core/serialize.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ir::core {
 
@@ -134,11 +134,11 @@ class Solver {
   std::shared_ptr<const Plan> compile_impl(const System& sys, const PlanOptions& options);
 
   SolverConfig config_;
-  PlanCache cache_;
+  PlanCache cache_;  // internally locked
   std::atomic<std::uint64_t> compiles_{0};
-  std::mutex inflight_mutex_;
+  support::Mutex inflight_mutex_;
   std::unordered_map<std::uint64_t, std::shared_future<std::shared_ptr<const Plan>>>
-      inflight_;
+      inflight_ IR_GUARDED_BY(inflight_mutex_);
 };
 
 /// Process-wide solver: the deprecated free-function shims and the Möbius

@@ -52,7 +52,7 @@ Registry& registry() {
 
 std::size_t Registry::register_metric(const std::string& name, MetricKind kind,
                                       std::size_t slots_needed) {
-  std::lock_guard lock(mutex_);
+  support::LockGuard lock(mutex_);
   for (const auto& metric : metrics_) {
     if (metric.name == name) {
       IR_REQUIRE(metric.kind == kind,
@@ -83,12 +83,11 @@ Histogram Registry::histogram(const std::string& name) {
 }
 
 void Registry::attach(detail::Shard* shard) {
-  std::lock_guard lock(mutex_);
+  support::LockGuard lock(mutex_);
   shards_.push_back(shard);
 }
 
 void Registry::fold_into_retired(const detail::Shard& shard) {
-  // Caller holds mutex_.
   for (std::size_t s = 0; s < kShardSlots; ++s) {
     const std::uint64_t value = shard.slots[s].load(std::memory_order_relaxed);
     if (value == 0) continue;
@@ -101,7 +100,7 @@ void Registry::fold_into_retired(const detail::Shard& shard) {
 }
 
 void Registry::detach(detail::Shard* shard) {
-  std::lock_guard lock(mutex_);
+  support::LockGuard lock(mutex_);
   fold_into_retired(*shard);
   for (auto it = shards_.begin(); it != shards_.end(); ++it) {
     if (*it == shard) {
@@ -112,7 +111,7 @@ void Registry::detach(detail::Shard* shard) {
 }
 
 MetricsSnapshot Registry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  support::LockGuard lock(mutex_);
 
   // Merge every slot first, then project through the metric table.
   std::array<std::uint64_t, kShardSlots> merged = retired_;
@@ -152,7 +151,7 @@ MetricsSnapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard lock(mutex_);
+  support::LockGuard lock(mutex_);
   retired_.fill(0);
   for (detail::Shard* shard : shards_) {
     for (auto& slot : shard->slots) slot.store(0, std::memory_order_relaxed);
@@ -160,7 +159,7 @@ void Registry::reset() {
 }
 
 MetricsSnapshot ScrapeWindow::scrape() {
-  std::lock_guard lock(mutex_);
+  support::LockGuard lock(mutex_);
   MetricsSnapshot now = registry().snapshot();
   MetricsSnapshot delta = now.delta_since(last_);
   last_ = std::move(now);

@@ -32,12 +32,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/histogram.hpp"
 #include "support/contract.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ir::obs {
 
@@ -210,17 +210,20 @@ class Registry {
   };
 
   std::size_t register_metric(const std::string& name, MetricKind kind,
-                              std::size_t slots_needed);
-  void attach(detail::Shard* shard);
-  void detach(detail::Shard* shard);
-  void fold_into_retired(const detail::Shard& shard);
+                              std::size_t slots_needed) IR_EXCLUDES(mutex_);
+  void attach(detail::Shard* shard) IR_EXCLUDES(mutex_);
+  void detach(detail::Shard* shard) IR_EXCLUDES(mutex_);
+  void fold_into_retired(const detail::Shard& shard) IR_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<MetricInfo> metrics_;
-  std::array<MetricKind, kShardSlots> slot_kind_{};  // merge op per slot
-  std::size_t next_slot_ = 0;
-  std::vector<detail::Shard*> shards_;
-  std::array<std::uint64_t, kShardSlots> retired_{};
+  mutable support::Mutex mutex_;
+  std::vector<MetricInfo> metrics_ IR_GUARDED_BY(mutex_);
+  // Merge op per slot.
+  std::array<MetricKind, kShardSlots> slot_kind_ IR_GUARDED_BY(mutex_){};
+  std::size_t next_slot_ IR_GUARDED_BY(mutex_) = 0;
+  // The shard *pointers* are guarded; the slot arrays they point to are
+  // thread-local atomics read with relaxed loads, outside the capability.
+  std::vector<detail::Shard*> shards_ IR_GUARDED_BY(mutex_);
+  std::array<std::uint64_t, kShardSlots> retired_ IR_GUARDED_BY(mutex_){};
 };
 
 /// The process-wide registry instance.
@@ -237,8 +240,8 @@ class ScrapeWindow {
   [[nodiscard]] MetricsSnapshot scrape();
 
  private:
-  std::mutex mutex_;
-  MetricsSnapshot last_;
+  support::Mutex mutex_;
+  MetricsSnapshot last_ IR_GUARDED_BY(mutex_);
 };
 
 }  // namespace ir::obs

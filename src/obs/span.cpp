@@ -37,22 +37,22 @@ bool Tracer::enabled() noexcept { return g_tracing_enabled.load(std::memory_orde
 
 void Tracer::set_thread_name(std::string name) {
   auto& track = detail::local_track();
-  std::lock_guard lock(track.mutex);
+  support::LockGuard lock(track.mutex);
   track.name = std::move(name);
 }
 
 void set_thread_name(const std::string& name) { tracer().set_thread_name(name); }
 
 void Tracer::attach(detail::ThreadTrack* track) {
-  std::lock_guard lock(mutex_);
+  support::LockGuard lock(mutex_);
   track->tid = next_tid_++;
   live_.push_back(track);
 }
 
 void Tracer::detach(detail::ThreadTrack* track) {
-  std::lock_guard lock(mutex_);
+  support::LockGuard lock(mutex_);
   {
-    std::lock_guard track_lock(track->mutex);
+    support::LockGuard track_lock(track->mutex);
     if (!track->events.empty()) {
       TrackDump dump;
       dump.tid = track->tid;
@@ -70,11 +70,11 @@ void Tracer::detach(detail::ThreadTrack* track) {
 }
 
 std::vector<TrackDump> Tracer::drain() {
-  std::lock_guard lock(mutex_);
+  support::LockGuard lock(mutex_);
   std::vector<TrackDump> dumps = std::move(retired_);
   retired_.clear();
   for (detail::ThreadTrack* track : live_) {
-    std::lock_guard track_lock(track->mutex);
+    support::LockGuard track_lock(track->mutex);
     if (track->events.empty()) continue;
     TrackDump dump;
     dump.tid = track->tid;
@@ -87,10 +87,10 @@ std::vector<TrackDump> Tracer::drain() {
 }
 
 void Tracer::clear() {
-  std::lock_guard lock(mutex_);
+  support::LockGuard lock(mutex_);
   retired_.clear();
   for (detail::ThreadTrack* track : live_) {
-    std::lock_guard track_lock(track->mutex);
+    support::LockGuard track_lock(track->mutex);
     track->events.clear();
   }
 }

@@ -16,11 +16,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/clock.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ir::obs {
 
@@ -43,11 +43,13 @@ struct TrackDump {
 namespace detail {
 
 struct ThreadTrack {
-  std::mutex mutex;  ///< guards `events` and `name` against drain()
+  support::Mutex mutex;  ///< guards `events` and `name` against drain()
+  /// Assigned once in Tracer::attach under the *Tracer's* mutex and read
+  /// there only — a cross-object guard IR_GUARDED_BY cannot name.
   std::uint64_t tid = 0;
-  std::string name;
+  std::string name IR_GUARDED_BY(mutex);
   std::uint32_t depth = 0;  ///< owner-thread-only; not read by drain()
-  std::vector<SpanEvent> events;
+  std::vector<SpanEvent> events IR_GUARDED_BY(mutex);
 
   ThreadTrack();
   ~ThreadTrack();
@@ -83,13 +85,13 @@ class Tracer {
  private:
   friend struct detail::ThreadTrack;
 
-  void attach(detail::ThreadTrack* track);
-  void detach(detail::ThreadTrack* track);
+  void attach(detail::ThreadTrack* track) IR_EXCLUDES(mutex_);
+  void detach(detail::ThreadTrack* track) IR_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::vector<detail::ThreadTrack*> live_;
-  std::vector<TrackDump> retired_;
-  std::uint64_t next_tid_ = 1;
+  support::Mutex mutex_;
+  std::vector<detail::ThreadTrack*> live_ IR_GUARDED_BY(mutex_);
+  std::vector<TrackDump> retired_ IR_GUARDED_BY(mutex_);
+  std::uint64_t next_tid_ IR_GUARDED_BY(mutex_) = 1;
 };
 
 /// The process-wide tracer instance.
@@ -113,7 +115,7 @@ class ScopedSpan {
     auto& track = detail::local_track();
     const std::uint32_t depth = --track.depth;
     const std::uint64_t end = now_ns();
-    std::lock_guard lock(track.mutex);
+    support::LockGuard lock(track.mutex);
     track.events.push_back(SpanEvent{name_, start_, end, depth});
   }
 

@@ -1,6 +1,6 @@
 #include "parallel/spmd.hpp"
 
-#include <mutex>
+#include "support/thread_annotations.hpp"
 
 namespace ir::parallel {
 
@@ -14,7 +14,9 @@ void run_spmd(std::size_t workers, const std::function<void(SpmdContext&)>& body
   }
 
   std::barrier<> barrier(static_cast<std::ptrdiff_t>(workers));
-  std::mutex error_mutex;
+  // Locals: GUARDED_BY cannot name a stack capability, but the annotated
+  // Mutex/LockGuard pair still checks acquire/release pairing statically.
+  support::Mutex error_mutex;
   std::exception_ptr first_error;
 
   std::vector<std::thread> threads;
@@ -25,7 +27,7 @@ void run_spmd(std::size_t workers, const std::function<void(SpmdContext&)>& body
       try {
         body(ctx);
       } catch (...) {
-        std::lock_guard lock(error_mutex);
+        support::LockGuard lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
       // Leave the barrier so workers with differing barrier counts (an

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    support::LockGuard lock(mutex_);
     shutting_down_ = true;
   }
   work_available_.notify_all();
@@ -37,8 +37,8 @@ void ThreadPool::worker_loop(std::size_t index) {
     std::function<void()> task;
     {
       IR_SPAN("pool.wait");
-      std::unique_lock lock(mutex_);
-      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      support::UniqueLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) work_available_.wait(lock);
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -51,11 +51,11 @@ void ThreadPool::worker_loop(std::size_t index) {
       IR_COUNTER_ADD("pool.tasks", 1);
       task();
     } catch (...) {
-      std::lock_guard lock(mutex_);
+      support::LockGuard lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::lock_guard lock(mutex_);
+      support::LockGuard lock(mutex_);
       --in_flight_;
       if (in_flight_ == 0 && queue_.empty()) batch_done_.notify_all();
     }
@@ -67,7 +67,7 @@ void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
   IR_SPAN("pool.batch");
   IR_COUNTER_ADD("pool.batches", 1);
   {
-    std::lock_guard lock(mutex_);
+    support::LockGuard lock(mutex_);
     IR_REQUIRE(in_flight_ == 0 && queue_.empty(),
                "run_batch is not reentrant: a batch is already in flight");
     first_error_ = nullptr;
@@ -77,8 +77,8 @@ void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
   work_available_.notify_all();
   std::exception_ptr error;
   {
-    std::unique_lock lock(mutex_);
-    batch_done_.wait(lock, [this] { return in_flight_ == 0 && queue_.empty(); });
+    support::UniqueLock lock(mutex_);
+    while (in_flight_ != 0 || !queue_.empty()) batch_done_.wait(lock);
     error = first_error_;
     first_error_ = nullptr;
   }

@@ -8,15 +8,14 @@
 // wall-clock benches.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "support/contract.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ir::parallel {
 
@@ -49,13 +48,13 @@ class ThreadPool {
   void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable batch_done_;
-  std::queue<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  std::exception_ptr first_error_;
-  bool shutting_down_ = false;
+  support::Mutex mutex_;
+  support::CondVar work_available_;
+  support::CondVar batch_done_;
+  std::queue<std::function<void()>> queue_ IR_GUARDED_BY(mutex_);
+  std::size_t in_flight_ IR_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr first_error_ IR_GUARDED_BY(mutex_);
+  bool shutting_down_ IR_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ir::parallel

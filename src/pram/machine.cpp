@@ -89,6 +89,16 @@ void Machine::run_step(std::size_t count, std::size_t processors_used,
 
   if (audit_) audit_step();
 
+  if (observer_) {
+    StepAccesses accesses;
+    for (const auto& [address, readers] : reads_by_address_) {
+      accesses.reads.insert(accesses.reads.end(), readers.size(), address);
+    }
+    accesses.writes.reserve(pending_writes_.size());
+    for (const auto& w : pending_writes_) accesses.writes.push_back(w.address);
+    observer_(accesses);
+  }
+
   // Synchronous write phase.
   for (auto& w : pending_writes_) w.apply();
   pending_writes_.clear();

@@ -123,6 +123,22 @@ class Machine {
   /// untouched).
   void reset_stats() noexcept { stats_ = Stats{}; }
 
+  /// Shared-access trace of one completed step, handed to the step observer
+  /// just before the buffered writes are applied.  Reads carry one entry per
+  /// issued load (duplicates preserved) and require the audit to be on —
+  /// with audit off, `reads` is always empty; writes are always recorded.
+  struct StepAccesses {
+    std::vector<const void*> reads;
+    std::vector<const void*> writes;
+  };
+  using StepObserver = std::function<void(const StepAccesses&)>;
+
+  /// Install (or clear, with nullptr) a per-step observer.  Lets validation
+  /// tests compute ground-truth bank occupancy from the simulated machine's
+  /// actual address trace (verify/cost.hpp's predictor is checked against
+  /// this).  Called once per step(), after the audit, before writes apply.
+  void set_step_observer(StepObserver observer) { observer_ = std::move(observer); }
+
  private:
   friend class Pe;
 
@@ -145,6 +161,7 @@ class Machine {
   CostModel cost_;
   bool audit_;
   Stats stats_;
+  StepObserver observer_;
 
   // Per-step state.
   std::vector<PendingWrite> pending_writes_;

@@ -40,7 +40,7 @@ void SlowLog::record(const RequestTrace& trace, Status terminal,
                      const ResponseInfo& info) {
   const std::string line = slow_log_line(trace, terminal, info);
   {
-    std::lock_guard lock(mutex_);
+    support::LockGuard lock(mutex_);
     out_ << line << '\n';
     out_.flush();
   }

@@ -19,11 +19,11 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 
 #include "service/request.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ir::service {
 
@@ -52,8 +52,11 @@ class SlowLog {
 
  private:
   std::unique_ptr<std::ofstream> owned_;
+  // Writes through out_ happen only under mutex_ (record()); GUARDED_BY on a
+  // reference member would guard the reference, not the stream, so the
+  // discipline is enforced by keeping record() the only writer.
   std::ostream& out_;
-  std::mutex mutex_;
+  support::Mutex mutex_;
   std::atomic<std::uint64_t> lines_{0};
 };
 

@@ -121,7 +121,7 @@ ServerCore::~ServerCore() { shutdown(); }
 
 Admission ServerCore::try_submit(std::shared_ptr<PendingBase> pending) {
   {
-    std::lock_guard lock(mutex_);
+    support::LockGuard lock(mutex_);
     if (!accepting_) {
       rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
       IR_COUNTER_ADD("service.rejected", 1);
@@ -158,17 +158,17 @@ Admission ServerCore::try_submit(std::shared_ptr<PendingBase> pending) {
 }
 
 void ServerCore::drain() {
-  std::unique_lock lock(mutex_);
+  support::UniqueLock lock(mutex_);
   accepting_ = false;
-  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  while (!queue_.empty() || in_flight_ != 0) idle_.wait(lock);
 }
 
 void ServerCore::shutdown() {
-  std::lock_guard lifecycle(lifecycle_mutex_);
+  support::LockGuard lifecycle(lifecycle_mutex_);
   if (joined_) return;
   drain();
   {
-    std::lock_guard lock(mutex_);
+    support::LockGuard lock(mutex_);
     stopping_ = true;
     ticker_stop_ = true;
   }
@@ -234,7 +234,7 @@ void ServerCore::on_finished(PendingBase& pending, Status status,
 
 void ServerCore::ticker_loop() {
   IR_SET_THREAD_NAME("service-ticker");
-  std::unique_lock lock(mutex_);
+  support::UniqueLock lock(mutex_);
   while (!ticker_stop_) {
     const std::size_t depth = queue_.size();
     const std::size_t inflight = in_flight_;
@@ -244,8 +244,11 @@ void ServerCore::ticker_loop() {
     IR_HISTOGRAM("service.queue_depth_sample", depth);
     ticker_samples_.fetch_add(1, std::memory_order_relaxed);
     lock.lock();
-    ticker_cv_.wait_for(lock, std::chrono::milliseconds(config_.ticker_interval_ms),
-                        [this] { return ticker_stop_; });
+    // Re-check after the unlocked gauge window: a shutdown() signalled there
+    // would find nobody waiting, and the plain wait_for below must not add a
+    // full extra interval to join.  A spurious wakeup just costs one sample.
+    if (ticker_stop_) break;
+    ticker_cv_.wait_for(lock, std::chrono::milliseconds(config_.ticker_interval_ms));
   }
 }
 
@@ -267,7 +270,7 @@ ServiceStats ServerCore::stats() const {
   out.coalesced_requests = coalesced_requests_.load(std::memory_order_relaxed);
   out.peak_batch = peak_batch_.load(std::memory_order_relaxed);
   {
-    std::lock_guard lock(mutex_);
+    support::LockGuard lock(mutex_);
     out.peak_queue_depth = peak_queue_depth_;
     out.queue_depth = queue_.size();
     out.in_flight = in_flight_;
@@ -338,9 +341,9 @@ void ServerCore::run_batch(std::vector<std::shared_ptr<PendingBase>> batch,
 void ServerCore::dispatch_loop(std::size_t index) {
   IR_SET_THREAD_NAME("service-dispatch-" + std::to_string(index));
   parallel::ThreadPool* pool = pools_.empty() ? nullptr : pools_[index].get();
-  std::unique_lock lock(mutex_);
+  support::UniqueLock lock(mutex_);
   for (;;) {
-    work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    while (!stopping_ && queue_.empty()) work_available_.wait(lock);
     if (queue_.empty()) {
       if (stopping_) return;
       continue;

@@ -16,12 +16,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +27,7 @@
 #include "obs/request_id.hpp"
 #include "parallel/thread_pool.hpp"
 #include "service/request.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ir::service::detail {
 
@@ -87,8 +86,8 @@ class ServerCore {
   void ticker_loop();
 
   /// Pop the front request plus every same-key request behind it (bounded by
-  /// max_batch).  Requires the lock; requires a non-empty queue.
-  std::vector<std::shared_ptr<PendingBase>> claim_group_locked();
+  /// max_batch).  Requires a non-empty queue.
+  std::vector<std::shared_ptr<PendingBase>> claim_group_locked() IR_REQUIRES(mutex_);
 
   /// Deadline/cancel triage + BatchFn + per-batch metrics.  Runs unlocked.
   void run_batch(std::vector<std::shared_ptr<PendingBase>> batch,
@@ -97,19 +96,20 @@ class ServerCore {
   ServiceConfig config_;
   BatchFn execute_batch_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;  ///< queue empty and nothing in flight
-  std::deque<std::shared_ptr<PendingBase>> queue_;
-  bool accepting_ = true;
-  bool overloaded_ = false;  ///< watermark hysteresis state
-  bool stopping_ = false;
-  bool ticker_stop_ = false;
-  std::size_t in_flight_ = 0;
-  std::uint64_t peak_queue_depth_ = 0;
+  mutable support::Mutex mutex_;
+  support::CondVar work_available_;
+  support::CondVar idle_;  ///< queue empty and nothing in flight
+  std::deque<std::shared_ptr<PendingBase>> queue_ IR_GUARDED_BY(mutex_);
+  bool accepting_ IR_GUARDED_BY(mutex_) = true;
+  /// watermark hysteresis state
+  bool overloaded_ IR_GUARDED_BY(mutex_) = false;
+  bool stopping_ IR_GUARDED_BY(mutex_) = false;
+  bool ticker_stop_ IR_GUARDED_BY(mutex_) = false;
+  std::size_t in_flight_ IR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t peak_queue_depth_ IR_GUARDED_BY(mutex_) = 0;
 
-  std::mutex lifecycle_mutex_;  ///< serializes shutdown() callers
-  bool joined_ = false;
+  support::Mutex lifecycle_mutex_;  ///< serializes shutdown() callers
+  bool joined_ IR_GUARDED_BY(lifecycle_mutex_) = false;
 
   // Monotone counters; relaxed atomics so run_batch never takes mutex_ for
   // bookkeeping (stats() reads are point-in-time snapshots anyway).
@@ -131,7 +131,7 @@ class ServerCore {
 
   obs::IdSequence batch_ids_;  ///< per-core coalesced-group ids, from 1
 
-  std::condition_variable ticker_cv_;
+  support::CondVar ticker_cv_;
   std::thread ticker_;  ///< background gauge sampler (ticker_interval_ms > 0)
 
   /// Per-dispatcher pools (empty when exec_threads == 0): reused across

@@ -1,0 +1,165 @@
+// Clang thread-safety (capability) annotations, plus annotated wrappers for
+// std::mutex / lock guards / condition variables.
+//
+// libstdc++'s std::mutex carries no capability attributes, so annotating the
+// *users* of a bare std::mutex proves nothing.  The types below are the
+// thinnest possible shims that make -Wthread-safety real: `Mutex` is the
+// capability, `LockGuard`/`UniqueLock` are scoped capabilities following the
+// MutexLocker pattern from the clang docs (the constructor is annotated
+// IR_ACQUIRE and its *body* takes the lock — the analysis treats the scoped
+// object itself as the capability holder, so this is not a double acquire),
+// and `CondVar` bridges to std::condition_variable via adopt/release so a
+// wait neither gains nor loses the caller's capability set, matching the
+// atomic release-and-reacquire semantics of a CV wait.
+//
+// Everything degrades to plain std types under GCC/MSVC: the macros expand to
+// nothing and the wrappers are zero-cost forwarding shells, so non-clang
+// builds (including this repo's default toolchain) are bit-for-bit the old
+// behaviour.  The IR_THREAD_SAFETY CMake option turns the analysis on and
+// promotes its findings to errors; see docs/static_analysis.md.
+//
+// Usage notes, enforced by convention across the repo:
+//  * Every guarded member is annotated IR_GUARDED_BY(mutex_).
+//  * Private helpers called with the lock held are annotated
+//    IR_REQUIRES(mutex_) instead of re-locking.
+//  * CV predicate waits must be written as explicit `while (!pred) cv.wait()`
+//    loops — a predicate lambda is analyzed without the caller's capability
+//    set, so `cv.wait(lock, [&]{ return guarded_; })` is a false positive
+//    factory the explicit loop avoids.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define IR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IR_THREAD_ANNOTATION(x)
+#endif
+
+#define IR_CAPABILITY(name) IR_THREAD_ANNOTATION(capability(name))
+#define IR_SCOPED_CAPABILITY IR_THREAD_ANNOTATION(scoped_lockable)
+#define IR_GUARDED_BY(...) IR_THREAD_ANNOTATION(guarded_by(__VA_ARGS__))
+#define IR_PT_GUARDED_BY(...) IR_THREAD_ANNOTATION(pt_guarded_by(__VA_ARGS__))
+#define IR_REQUIRES(...) IR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define IR_ACQUIRE(...) IR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define IR_RELEASE(...) IR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define IR_TRY_ACQUIRE(...) IR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define IR_EXCLUDES(...) IR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define IR_RETURN_CAPABILITY(x) IR_THREAD_ANNOTATION(lock_returned(x))
+#define IR_NO_THREAD_SAFETY_ANALYSIS IR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ir::support {
+
+class CondVar;
+
+/// std::mutex wearing the `capability` attribute.  The underlying native
+/// handle is reachable only by CondVar (friend) so no code path can bypass
+/// the annotated acquire/release surface.
+class IR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IR_ACQUIRE() { mutex_.lock(); }
+  void unlock() IR_RELEASE() { mutex_.unlock(); }
+  bool try_lock() IR_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex& native() { return mutex_; }
+
+  std::mutex mutex_;
+};
+
+/// std::lock_guard equivalent: acquires in the constructor, releases in the
+/// destructor, no manual lock/unlock surface.
+class IR_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) IR_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() IR_RELEASE() { mutex_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// std::unique_lock equivalent with the manual lock()/unlock() cycle some
+/// loops need (e.g. a dispatcher dropping the lock around batch execution).
+/// Tracks ownership so the destructor only releases what is still held; the
+/// analysis tracks the same state statically through the scoped-capability
+/// annotations.
+class IR_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) IR_ACQUIRE(mutex)
+      : mutex_(mutex), owned_(true) {
+    mutex_.lock();
+  }
+  ~UniqueLock() IR_RELEASE() {
+    if (owned_) mutex_.unlock();
+  }
+
+  void lock() IR_ACQUIRE() {
+    mutex_.lock();
+    owned_ = true;
+  }
+  void unlock() IR_RELEASE() {
+    mutex_.unlock();
+    owned_ = false;
+  }
+  bool owns_lock() const noexcept { return owned_; }
+  Mutex& mutex() noexcept { return mutex_; }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+  bool owned_;
+};
+
+/// Condition variable over an annotated Mutex.  wait()/wait_for() carry no
+/// acquire/release annotations on purpose: a CV wait atomically releases and
+/// re-acquires, so from the caller's point of view the capability is held
+/// before and after — exactly what "no annotation" means to the analysis.
+/// The bodies adopt the native mutex into a std::unique_lock for the wait
+/// and release() it afterwards so ownership bookkeeping never double-frees.
+class CondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Pre: `lock` holds its mutex.  Spurious wakeups happen; always call
+  /// inside an explicit `while (!condition)` loop (see header comment).
+  void wait(UniqueLock& lock) IR_NO_THREAD_SAFETY_ANALYSIS {
+    auto native = adopt(lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Timed variant; returns std::cv_status-like truth: true if the wait
+  /// ended by notification, false on timeout.  Same looping contract.
+  template <typename Rep, typename Period>
+  bool wait_for(UniqueLock& lock, const std::chrono::duration<Rep, Period>& timeout)
+      IR_NO_THREAD_SAFETY_ANALYSIS {
+    auto native = adopt(lock);
+    const bool notified = cv_.wait_for(native, timeout) == std::cv_status::no_timeout;
+    native.release();
+    return notified;
+  }
+
+ private:
+  static std::unique_lock<std::mutex> adopt(UniqueLock& lock) {
+    return std::unique_lock<std::mutex>(lock.mutex().native(), std::adopt_lock);
+  }
+
+  std::condition_variable cv_;
+};
+
+}  // namespace ir::support

@@ -1,0 +1,104 @@
+#include "verify/audit.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+
+#include "core/plan_io.hpp"
+#include "obs/metrics_export.hpp"  // obs::json_quote
+#include "support/contract.hpp"
+
+namespace ir::verify {
+
+AuditReport audit_store(const std::string& dir, const CostOptions& options) {
+  namespace fs = std::filesystem;
+  IR_REQUIRE(fs::exists(dir), "audit: store directory does not exist: " + dir);
+  IR_REQUIRE(fs::is_directory(dir), "audit: not a directory: " + dir);
+
+  AuditReport report;
+  report.dir = dir;
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != core::kPlanFileExtension) continue;
+    files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& path : files) {
+    AuditEntry verdict;
+    verdict.file = path.filename().string();
+    try {
+      // Full untrusted-load gauntlet, verifier included — identical to what
+      // PlanStore::get() demands before serving an entry.
+      const core::LoadedPlan loaded = core::load_plan_file(path.string());
+      verdict.ok = true;
+      verdict.store_key = loaded.store_key;
+      verdict.fingerprint = loaded.plan->fingerprint;
+      verdict.cost = cost_plan(*loaded.plan, options);
+      ++report.passed;
+    } catch (const std::exception& error) {
+      verdict.ok = false;
+      verdict.reason = error.what();
+      ++report.rejected;
+    }
+    report.entries.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+std::string AuditReport::summary() const {
+  std::string out;
+  for (const AuditEntry& entry : entries) {
+    out += entry.ok ? "PASS   " : "REJECT ";
+    out += entry.file;
+    if (entry.ok) {
+      out += ": " + entry.cost.summary();
+    } else {
+      out += ": " + entry.reason;
+    }
+    out += '\n';
+  }
+  out += "audited " + std::to_string(entries.size()) + " entries: " +
+         std::to_string(passed) + " passed, " + std::to_string(rejected) +
+         " rejected";
+  return out;
+}
+
+std::string AuditReport::to_json() const {
+  std::string out = "{\n";
+  out += "  \"dir\": " + obs::json_quote(dir) + ",\n";
+  out += "  \"audited\": " + std::to_string(entries.size()) + ",\n";
+  out += "  \"passed\": " + std::to_string(passed) + ",\n";
+  out += "  \"rejected\": " + std::to_string(rejected) + ",\n";
+  out += "  \"ok\": " + std::string(ok() ? "true" : "false") + ",\n";
+  out += "  \"entries\": [";
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    out += e == 0 ? "\n" : ",\n";
+    const AuditEntry& entry = entries[e];
+    out += "    {\"file\": " + obs::json_quote(entry.file) +
+           ", \"ok\": " + (entry.ok ? "true" : "false");
+    if (entry.ok) {
+      out += ", \"store_key\": " + std::to_string(entry.store_key);
+      out += ", \"fingerprint\": " + std::to_string(entry.fingerprint);
+      // Embed the cost report, re-indented to match the entry nesting.
+      std::string cost_json = entry.cost.to_json();
+      if (!cost_json.empty() && cost_json.back() == '\n') cost_json.pop_back();
+      std::string indented;
+      for (const char c : cost_json) {
+        indented += c;
+        if (c == '\n') indented += "    ";
+      }
+      out += ", \"cost\": " + indented;
+    } else {
+      out += ", \"reason\": " + obs::json_quote(entry.reason);
+    }
+    out += "}";
+  }
+  out += entries.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ir::verify

@@ -1,0 +1,57 @@
+// Whole-store static audit: verify AND cost every .irplan in a PlanStore
+// directory, offline, before any server trusts it as a warm start.
+//
+// audit_store() scans the directory itself (not PlanStore::manifest, which
+// silently skips bad files) so every entry yields an explicit verdict with a
+// reason: a pass carries the plan's identity and its CostReport; a reject
+// carries the loader/verifier diagnostic.  Load runs the full untrusted-file
+// gauntlet of core/plan_io.hpp — structural validation, checksum,
+// fingerprint, identity re-derivation (splice defense), and the static
+// verifier — so "pass" here means exactly what PlanStore::get() would accept.
+//
+// Surfaced as `irtool audit <store-dir>` with documented exit codes
+// (0 = every entry passed, 1 = at least one reject, 2 = usage/IO error).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/cost.hpp"
+
+namespace ir::verify {
+
+/// Verdict for one .irplan file.
+struct AuditEntry {
+  std::string file;     ///< basename within the store directory
+  bool ok = false;
+  std::string reason;   ///< reject diagnostic (empty on pass)
+  std::uint64_t store_key = 0;    ///< valid on pass
+  std::uint64_t fingerprint = 0;  ///< valid on pass
+  CostReport cost;                ///< valid on pass
+};
+
+struct AuditReport {
+  std::string dir;
+  std::vector<AuditEntry> entries;  ///< sorted by filename
+  std::size_t passed = 0;
+  std::size_t rejected = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return rejected == 0; }
+
+  /// One line per entry plus a counted pass/reject manifest line.
+  [[nodiscard]] std::string summary() const;
+
+  /// JSON object: {"dir", "passed", "rejected", "ok", "entries": [...]}
+  /// with each pass entry embedding its cost report.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Audit every `*.irplan` under `dir` (non-recursive, the PlanStore layout).
+/// A bad entry is a reject in the report, never a throw; throws
+/// support::ContractViolation only when `dir` itself is missing or is not a
+/// directory.  An empty or irplan-free directory audits to ok() == true.
+[[nodiscard]] AuditReport audit_store(const std::string& dir,
+                                      const CostOptions& options = {});
+
+}  // namespace ir::verify

@@ -502,6 +502,24 @@ TEST(ServiceServerTest, DrainIsIdempotentAndStatsBalance) {
   server.shutdown();
 }
 
+TEST(ServiceServerTest, ShutdownDoesNotWaitOutTheTickerInterval) {
+  // Pins the ticker loop's stop handshake: the loop samples gauges with the
+  // core mutex released, so a shutdown signalled inside that window must be
+  // observed on relock — not after sleeping another full interval.  A hung
+  // handshake turns this sub-second test into a minute-long one.
+  const auto sys = embed(chain_system(10));
+  const auto init = iota_initial(sys.cells);
+  algebra::ModMulMonoid op(97);
+  ServiceConfig config;
+  config.ticker_interval_ms = 60'000;
+  Server<algebra::ModMulMonoid> server(op, config);
+  EXPECT_EQ(server.submit(make_request<algebra::ModMulMonoid>(sys, init)).status,
+            Status::kOk);
+  const auto begin = std::chrono::steady_clock::now();
+  server.shutdown();
+  EXPECT_LT(std::chrono::steady_clock::now() - begin, 30s);
+}
+
 // ---- plan-store warm start -------------------------------------------------
 
 TEST(ServiceServerTest, WarmStartServesRestartWithZeroCompiles) {

@@ -5,14 +5,24 @@
 # configuration also runs the bounded differential fuzzer (irfuzz --smoke +
 # --selftest), so the engine sweep and the shrinker are exercised on each pass.
 #
-# Usage: tools/verify.sh [--asan] [--lint] [--serve] [--store] [--bench-report]
-#                        [build-dir-prefix]
+# Usage: tools/verify.sh [--asan] [--lint] [--tidy] [--annotations] [--serve]
+#                        [--store] [--bench-report] [build-dir-prefix]
 #   (default prefix: build)
 #   --asan   add a third pass built with -DIR_SANITIZE=address;undefined
 #   --lint   statically certify every corpus witness and generated schedule
 #            with `irtool lint` (exit 0 = certified, 1 = violation, 2 = usage),
-#            plus a full test pass built with -DIR_VERIFY_PLANS=ON so every
-#            plan the suite compiles goes through the verifier on cache insert
+#            the cost analyzer included (--cost), and whole-store-audit the
+#            exported corpus plans (`irtool audit`: 0 = clean, 1 = rejects,
+#            2 = usage/IO), plus a full test pass built with
+#            -DIR_VERIFY_PLANS=ON so every plan the suite compiles goes
+#            through the verifier on cache insert
+#   --tidy   run clang-tidy (.clang-tidy profile) over src/ tools/ examples/
+#            bench/ tests/ — skipped with a loud warning when run-clang-tidy
+#            or clang-tidy is not installed
+#   --annotations  build with clang and -DIR_THREAD_SAFETY=ON so the
+#            capability annotations (src/support/thread_annotations.hpp) are
+#            compiler-proved with -Wthread-safety promoted to errors —
+#            skipped with a loud warning when clang++ is not installed
 #   --serve  soak-smoke the irserve batch-solve frontend under injected-slow
 #            load and deadline pressure (tools/serve_soak.sh) in every
 #            configuration this invocation builds; the soak includes the
@@ -33,6 +43,8 @@ cd "$(dirname "$0")/.."
 
 ASAN=0
 LINT=0
+TIDY=0
+ANNOTATIONS=0
 SERVE=0
 STORE=0
 BENCH_REPORT=0
@@ -41,6 +53,8 @@ for arg in "$@"; do
   case "${arg}" in
     --asan) ASAN=1 ;;
     --lint) LINT=1 ;;
+    --tidy) TIDY=1 ;;
+    --annotations) ANNOTATIONS=1 ;;
     --serve) SERVE=1 ;;
     --store) STORE=1 ;;
     --bench-report) BENCH_REPORT=1 ;;
@@ -139,19 +153,52 @@ if [[ "${BENCH_REPORT}" == "1" ]]; then
 fi
 
 if [[ "${LINT}" == "1" ]]; then
-  echo "== lint: irtool lint over corpus witnesses and generated systems =="
+  echo "== lint: irtool lint --cost over corpus witnesses and generated systems =="
   for f in tests/corpus/*.ir; do
-    "${PREFIX}/examples/irtool" lint "${f}"
+    "${PREFIX}/examples/irtool" lint "${f}" --cost
   done
   for spec in "chain 64" "fib 48" "random 40 7" "random 40 8"; do
     # shellcheck disable=SC2086  # word-splitting the spec is the point
-    "${PREFIX}/examples/irtool" gen ${spec} | "${PREFIX}/examples/irtool" lint -
+    "${PREFIX}/examples/irtool" gen ${spec} | "${PREFIX}/examples/irtool" lint - --cost
   done
+
+  echo "== lint: irtool audit over the exported corpus store =="
+  audit_store="${PREFIX}/verify-audit-store"
+  rm -rf "${audit_store}"
+  for f in tests/corpus/*.ir; do
+    "${PREFIX}/examples/irtool" plan export "${f}" "${audit_store}" >/dev/null
+  done
+  "${PREFIX}/examples/irtool" audit "${audit_store}"
 
   echo "== lint: IR_VERIFY_PLANS=ON build + ctest (verifier on every cache insert) =="
   cmake -B "${PREFIX}-verifyplans" -S . -DIR_VERIFY_PLANS=ON >/dev/null
   cmake --build "${PREFIX}-verifyplans" -j"$(nproc)"
   ctest --test-dir "${PREFIX}-verifyplans" --output-on-failure -j"$(nproc)"
+fi
+
+if [[ "${TIDY}" == "1" ]]; then
+  if command -v run-clang-tidy >/dev/null 2>&1 && command -v clang-tidy >/dev/null 2>&1; then
+    echo "== tidy: clang-tidy over src/ tools/ examples/ bench/ tests/ =="
+    cmake -B "${PREFIX}-tidy" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    run-clang-tidy -p "${PREFIX}-tidy" -quiet \
+      "$(pwd)/(src|tools|examples|bench|tests)/.*\.cpp$"
+  else
+    echo "WARNING: --tidy requested but run-clang-tidy/clang-tidy is not installed;" >&2
+    echo "WARNING: the clang-tidy leg was SKIPPED (CI runs it on every push)." >&2
+  fi
+fi
+
+if [[ "${ANNOTATIONS}" == "1" ]]; then
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "== annotations: clang -Wthread-safety build (violations are errors) =="
+    cmake -B "${PREFIX}-threadsafety" -S . -DCMAKE_CXX_COMPILER=clang++ \
+      -DIR_THREAD_SAFETY=ON >/dev/null
+    cmake --build "${PREFIX}-threadsafety" -j"$(nproc)"
+    ctest --test-dir "${PREFIX}-threadsafety" --output-on-failure -j"$(nproc)"
+  else
+    echo "WARNING: --annotations requested but clang++ is not installed;" >&2
+    echo "WARNING: the -Wthread-safety leg was SKIPPED (CI runs it on every push)." >&2
+  fi
 fi
 
 if [[ "${ASAN}" == "1" ]]; then
