@@ -12,7 +12,7 @@
 //     "variants": [
 //       {"name": "jumping/warm", "unit": "ns", "samples": 16,
 //        "per_op": 81234.5, "p50": 80211.0, "p90": ..., "p99": ...,
-//        "min": ..., "max": ...},
+//        "p999": ..., "min": ..., "max": ...},
 //       ...
 //     ]
 //   }
@@ -72,6 +72,7 @@ class BenchReport {
     v.p50 = percentile(samples, 0.50);
     v.p90 = percentile(samples, 0.90);
     v.p99 = percentile(samples, 0.99);
+    v.p999 = percentile(samples, 0.999);
     v.min = samples.front();
     v.max = samples.back();
     variants_.push_back(std::move(v));
@@ -103,7 +104,8 @@ class BenchReport {
              ", \"samples\": " + std::to_string(v.count) +
              ", \"per_op\": " + number(v.per_op) + ", \"p50\": " + number(v.p50) +
              ", \"p90\": " + number(v.p90) + ", \"p99\": " + number(v.p99) +
-             ", \"min\": " + number(v.min) + ", \"max\": " + number(v.max) + "}";
+             ", \"p999\": " + number(v.p999) + ", \"min\": " + number(v.min) +
+             ", \"max\": " + number(v.max) + "}";
     }
     out += variants_.empty() ? "]\n" : "\n  ]\n";
     out += "}\n";
@@ -128,7 +130,8 @@ class BenchReport {
     std::string name;
     std::string unit;
     std::size_t count = 0;
-    double per_op = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, min = 0.0, max = 0.0;
+    double per_op = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, p999 = 0.0, min = 0.0,
+           max = 0.0;
   };
 
   /// Exact percentile of sorted samples: linear interpolation between the

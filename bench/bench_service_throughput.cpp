@@ -18,6 +18,18 @@
 // The acceptance target for this PR is service < sequential wall-clock at
 // n = 50,000, K = 16.
 //
+// Two serving-tier legs ride along (docs/http.md):
+//
+//   transport-*   the same solve round-tripped through the newline codec
+//                 (encode → parse → router → format, no sockets) and through
+//                 the real HTTP stack (HttpTier on loopback, keep-alive
+//                 client) — the values lines must be byte-identical, and the
+//                 latency gap is the measured cost of HTTP framing + epoll
+//   shards*       K distinct plans submitted async through a 1-shard router
+//                 vs a 4-shard router — what consistent-hash partitioning
+//                 of the plan cache + dispatcher pools buys (or costs, on
+//                 boxes with few cores)
+//
 //   bench_service_throughput [--smoke] [--n=N] [--k=K] [--threads=T]
 //                            [--metrics=FILE]
 //
@@ -32,9 +44,16 @@
 
 #include "algebra/monoids.hpp"
 #include "bench_report.hpp"
+#include "core/serialize.hpp"
 #include "core/solver.hpp"
+#include "net/http_client.hpp"
 #include "obs/metrics_export.hpp"
+#include "obs/registry.hpp"
+#include "service/http_tier.hpp"
+#include "service/line_protocol.hpp"
+#include "service/serve_op.hpp"
 #include "service/server.hpp"
+#include "service/shard_router.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 #include "testing_workloads.hpp"
@@ -186,6 +205,169 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.plan_compiles),
               static_cast<unsigned long long>(checksum));
 
+  // --- transport leg: newline codec vs HTTP round-trip ---------------------
+  // One router, plan cache warmed once, so both transports measure steady
+  // state: decode + route + execute + format, with and without the socket.
+  namespace lp = service::line_protocol;
+  using Router = service::ShardRouter<service::ServeOp>;
+  const service::ServeOp serve_op{op, 0};
+  service::ServiceConfig transport_config;
+  transport_config.dispatchers = 2;
+  transport_config.exec_threads = threads > 1 ? threads : 0;
+  Router transport_router(serve_op, transport_config, 1);
+  const std::string sys_doc = core::to_text(sys) + ".\n";
+  {
+    Router::Request warm;
+    warm.sys = sys;
+    warm.initial = lp::default_initial(sys.cells);
+    const auto response = transport_router.submit(std::move(warm));
+    if (!response.ok()) {
+      std::fprintf(stderr, "transport warmup failed: %s\n", response.error.c_str());
+      return 1;
+    }
+  }
+
+  std::vector<double> newline_ns;
+  newline_ns.reserve(repeats);
+  std::string newline_values;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    support::Stopwatch rep_watch;
+    rep_watch.lap();
+    std::string_view rest = sys_doc;
+    std::string doc;
+    if (!lp::take_document(rest, doc)) {
+      std::fprintf(stderr, "newline leg: missing document terminator\n");
+      return 1;
+    }
+    lp::SolveArgs args;
+    args.id = rep;
+    Router::Request request;
+    lp::fill_request(args, doc, std::string(), &request);
+    const auto response = transport_router.submit(std::move(request));
+    if (!response.ok()) {
+      std::fprintf(stderr, "newline leg solve failed: %s\n", response.error.c_str());
+      return 1;
+    }
+    newline_values = lp::values_line(response.values);
+    const std::string reply =
+        lp::ok_line(rep, response) + "\n" + newline_values + "\n";
+    (void)reply;
+    newline_ns.push_back(rep_watch.lap() * 1e9);
+  }
+
+  obs::ScrapeWindow transport_window;
+  service::HttpTier<Router> tier(transport_router, service::HttpTierConfig{},
+                                 transport_window,
+                                 [] { return obs::registry().snapshot(); });
+  if (!tier.start()) {
+    std::fprintf(stderr, "http tier failed to start: %s\n", tier.error().c_str());
+    return 1;
+  }
+  std::vector<double> http_ns;
+  http_ns.reserve(repeats);
+  std::string http_values;
+  {
+    net::HttpClient client("127.0.0.1", tier.port());
+    net::HttpClientResponse warm;
+    if (!client.post("/v1/solve?id=0", sys_doc, &warm) || warm.status != 200) {
+      std::fprintf(stderr, "http warmup failed (status %d): %s\n", warm.status,
+                   client.error().c_str());
+      return 1;
+    }
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      support::Stopwatch rep_watch;
+      rep_watch.lap();
+      net::HttpClientResponse response;
+      if (!client.post("/v1/solve?id=" + std::to_string(rep), sys_doc,
+                       &response) ||
+          response.status != 200) {
+        std::fprintf(stderr, "http leg solve failed (status %d): %s\n",
+                     response.status, client.error().c_str());
+        return 1;
+      }
+      http_ns.push_back(rep_watch.lap() * 1e9);
+      const std::size_t nl = response.body.find('\n');
+      http_values = nl == std::string::npos ? std::string()
+                                            : response.body.substr(nl + 1);
+      if (!http_values.empty() && http_values.back() == '\n') {
+        http_values.pop_back();
+      }
+    }
+    if (client.reconnects() != 0) {
+      std::fprintf(stderr, "http leg: keep-alive did not hold (%llu reconnects)\n",
+                   static_cast<unsigned long long>(client.reconnects()));
+      return 1;
+    }
+  }
+  tier.stop();
+  transport_router.shutdown();
+  if (http_values != newline_values) {
+    std::fprintf(stderr, "transport values diverged: http vs newline\n");
+    return 1;
+  }
+
+  // --- shard leg: the same distinct-plan burst, 1 shard vs 4 ---------------
+  const std::size_t plan_count = repeats * 2;
+  const auto run_shards = [&](std::size_t shards, std::vector<std::vector<std::uint64_t>>* out,
+                              double* seconds) {
+    service::ServiceConfig config;
+    config.dispatchers = 2;
+    config.exec_threads = threads > 1 ? threads : 0;
+    Router router(serve_op, config, shards);
+    std::vector<Router::Request> requests(plan_count);
+    for (std::size_t i = 0; i < plan_count; ++i) {
+      auto& request = requests[i];
+      const std::size_t chain = 256 + 32 * i;
+      request.sys.cells = chain + 1;
+      for (std::size_t j = 0; j < chain; ++j) {
+        request.sys.f.push_back(j);
+        request.sys.g.push_back(j + 1);
+        request.sys.h.push_back(j + 1);
+      }
+      request.initial = lp::default_initial(request.sys.cells);
+    }
+    support::Stopwatch shard_watch;
+    shard_watch.lap();
+    std::vector<std::future<Router::Response>> futures;
+    futures.reserve(plan_count);
+    for (auto& request : requests) {
+      futures.push_back(router.submit_async(std::move(request)));
+    }
+    out->clear();
+    for (auto& future : futures) {
+      auto response = future.get();
+      if (!response.ok()) {
+        std::fprintf(stderr, "shard leg solve failed: %s\n", response.error.c_str());
+        return false;
+      }
+      out->push_back(std::move(response.values));
+    }
+    *seconds = shard_watch.lap();
+    router.shutdown();
+    return true;
+  };
+  std::vector<std::vector<std::uint64_t>> unsharded_out, sharded_out;
+  double unsharded_seconds = 0.0, sharded_seconds = 0.0;
+  if (!run_shards(1, &unsharded_out, &unsharded_seconds) ||
+      !run_shards(4, &sharded_out, &sharded_seconds)) {
+    return 1;
+  }
+  if (unsharded_out != sharded_out) {
+    std::fprintf(stderr, "sharded and unsharded answers disagree\n");
+    return 1;
+  }
+
+  const auto mean_us = [](const std::vector<double>& ns) {
+    double total = 0.0;
+    for (const double v : ns) total += v;
+    return ns.empty() ? 0.0 : total / static_cast<double>(ns.size()) / 1e3;
+  };
+  std::printf("transport: newline=%.1fus http=%.1fus per request (K=%zu, "
+              "values byte-identical)\n",
+              mean_us(newline_ns), mean_us(http_ns), repeats);
+  std::printf("shards: 1-shard=%.4fs 4-shard=%.4fs for %zu distinct plans\n",
+              unsharded_seconds, sharded_seconds, plan_count);
+
   if (!metrics_file.empty()) {
     obs::ExtraFields extra = {
         {"bench", obs::json_quote("service_throughput")},
@@ -218,6 +400,15 @@ int main(int argc, char** argv) {
     report.add_variant(
         "service-scalar/wall_per_request",
         {scalar_run.seconds * 1e9 / static_cast<double>(repeats)});
+    report.add_variant("transport-newline/request", newline_ns);
+    report.add_variant("transport-http/request", http_ns);
+    report.set_config("shard_plans", plan_count);
+    report.add_variant(
+        "shards1/wall_per_request",
+        {unsharded_seconds * 1e9 / static_cast<double>(plan_count)});
+    report.add_variant(
+        "shards4/wall_per_request",
+        {sharded_seconds * 1e9 / static_cast<double>(plan_count)});
     report.write(report_file);
     std::fprintf(stderr, "bench report written to %s\n", report_file.c_str());
   }

@@ -1,0 +1,34 @@
+#include "core/hash_ring.hpp"
+
+#include <algorithm>
+
+namespace ir::core {
+
+HashRing::HashRing(std::size_t shards, std::size_t vnodes)
+    : shards_(std::max<std::size_t>(1, shards)) {
+  vnodes = std::max<std::size_t>(1, vnodes);
+  ring_.reserve(shards_ * vnodes);
+  for (std::size_t shard = 0; shard < shards_; ++shard) {
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      // Two mix rounds decorrelate the (shard, vnode) lattice; one round of
+      // a counter leaves visible stripes.
+      const std::uint64_t position =
+          mix64(mix64(static_cast<std::uint64_t>(shard) << 32 | v));
+      ring_.push_back({position, static_cast<std::uint32_t>(shard)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.position < b.position || (a.position == b.position && a.shard < b.shard);
+  });
+}
+
+std::size_t HashRing::shard_for(std::uint64_t key) const noexcept {
+  const std::uint64_t position = mix64(key);
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), position,
+      [](const Point& p, std::uint64_t pos) { return p.position < pos; });
+  // Past the last point wraps to the ring's first point.
+  return it != ring_.end() ? it->shard : ring_.front().shard;
+}
+
+}  // namespace ir::core

@@ -1,0 +1,52 @@
+// Consistent-hash ring mapping 64-bit keys to shards (docs/http.md).
+//
+// The shard router partitions the plan cache and dispatcher pools by
+// `plan_cache_key`; the mapping must (a) spread hot keys evenly and (b) move
+// only ~1/N of the keyspace when the shard count changes — the classic
+// consistent-hashing contract, so a resharded fleet re-compiles only the
+// plans that actually moved.  Each shard owns `vnodes` points on a 64-bit
+// ring, placed by a splitmix64 of (shard, vnode); a key routes to the owner
+// of the first point at or clockwise-after its own mixed position.
+//
+// plan_cache_key is already a content fingerprint, but it is mixed again
+// before lookup: the ring must stay uniform even if a future key scheme has
+// structure in its low bits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ir::core {
+
+/// One more splitmix64 round — the finalizer is a strong 64→64 mixer.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+class HashRing {
+ public:
+  /// A ring over `shards` shards (>=1; 0 is clamped to 1) with `vnodes`
+  /// points per shard.
+  explicit HashRing(std::size_t shards, std::size_t vnodes = 64);
+
+  /// Owning shard of `key`, in [0, shard_count()).
+  [[nodiscard]] std::size_t shard_for(std::uint64_t key) const noexcept;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_; }
+  [[nodiscard]] std::size_t point_count() const noexcept { return ring_.size(); }
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    std::uint32_t shard;
+  };
+
+  std::size_t shards_;
+  std::vector<Point> ring_;  ///< sorted by position
+};
+
+}  // namespace ir::core

@@ -1,0 +1,117 @@
+#include "net/epoll_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <utility>
+
+namespace ir::net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ >= 0 && wake_fd_ >= 0) {
+    ::epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+      ::close(epoll_fd_);
+      epoll_fd_ = -1;
+    }
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+bool EventLoop::add_fd(int fd, std::uint32_t events, FdCallback callback) {
+  ::epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  callbacks_[fd] = std::make_shared<FdCallback>(std::move(callback));
+  return true;
+}
+
+bool EventLoop::modify_fd(int fd, std::uint32_t events) {
+  ::epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::remove_fd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::post(std::function<void()> job) {
+  {
+    support::LockGuard guard(mutex_);
+    posted_.push_back(std::move(job));
+  }
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; the write result is moot.
+  [[maybe_unused]] const auto rc = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_wake_fd() const {
+  std::uint64_t count = 0;
+  [[maybe_unused]] const auto rc = ::read(wake_fd_, &count, sizeof(count));
+}
+
+void EventLoop::run(std::chrono::milliseconds tick, const TickCallback& on_tick) {
+  using Clock = std::chrono::steady_clock;
+  auto next_tick = Clock::now() + tick;
+  std::array<::epoll_event, 64> events{};
+  std::vector<std::function<void()>> jobs;
+  while (!stop_requested_) {
+    const auto now = Clock::now();
+    if (now >= next_tick) {
+      if (on_tick) on_tick();
+      next_tick = now + tick;
+    }
+    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+        next_tick - Clock::now());
+    const int timeout_ms = static_cast<int>(std::max<long long>(0, wait.count()));
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        drain_wake_fd();
+        continue;
+      }
+      // Look up per event: an earlier callback this round may have removed
+      // this fd (e.g. server shutdown closing every connection).
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;
+      const std::shared_ptr<FdCallback> callback = it->second;
+      (*callback)(events[i].events);
+    }
+    {
+      support::LockGuard guard(mutex_);
+      jobs.swap(posted_);
+    }
+    for (auto& job : jobs) job();
+    jobs.clear();
+  }
+  // One final drain so a stop() racing with post() cannot strand marshalled
+  // work (e.g. a response for a connection the owner is about to close).
+  {
+    support::LockGuard guard(mutex_);
+    jobs.swap(posted_);
+  }
+  for (auto& job : jobs) job();
+  stop_requested_ = false;  // allow a future run()
+}
+
+void EventLoop::stop() {
+  post([this] { stop_requested_ = true; });
+}
+
+}  // namespace ir::net

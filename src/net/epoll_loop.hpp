@@ -1,0 +1,75 @@
+// Single-threaded epoll event loop (docs/http.md).
+//
+// One thread owns the loop: it calls run(), and from then on every fd
+// callback, posted job, and tick callback executes on that thread.  Other
+// threads interact with the loop in exactly two ways — post(), which enqueues
+// a job and wakes the loop through an eventfd, and stop(), which is post() of
+// a poison flag — so the fd callback table needs no lock at all.  This is the
+// standard reactor shape: cross-thread work is marshalled *onto* the loop
+// thread instead of the loop's state being shared *across* threads.
+//
+// add_fd/modify_fd/remove_fd must be called on the loop thread (or before
+// run() starts); HttpServer keeps that contract by routing all cross-thread
+// mutations through post().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "support/thread_annotations.hpp"
+
+namespace ir::net {
+
+class EventLoop {
+ public:
+  /// Invoked on the loop thread with the epoll event mask for the fd.
+  using FdCallback = std::function<void(std::uint32_t events)>;
+  using TickCallback = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// True when the epoll + eventfd pair came up; a false loop can only fail
+  /// fast.
+  [[nodiscard]] bool valid() const noexcept { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+
+  /// Register `fd` for `events` (EPOLLIN / EPOLLOUT / ...).  Loop thread only.
+  bool add_fd(int fd, std::uint32_t events, FdCallback callback);
+  /// Change the armed event mask for a registered fd.  Loop thread only.
+  bool modify_fd(int fd, std::uint32_t events);
+  /// Unregister; the fd is not closed (the owner closes it).  Safe to call
+  /// from inside the fd's own callback.  Loop thread only.
+  void remove_fd(int fd);
+
+  /// Enqueue `job` to run on the loop thread; wakes the loop.  Any thread.
+  void post(std::function<void()> job) IR_EXCLUDES(mutex_);
+
+  /// Run until stop(): wait for events, dispatch callbacks and posted jobs,
+  /// and invoke `on_tick` at least every `tick` interval (timeout scanning).
+  void run(std::chrono::milliseconds tick, const TickCallback& on_tick);
+
+  /// Request run() to return after the current dispatch round.  Any thread.
+  void stop();
+
+ private:
+  void drain_wake_fd() const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  bool stop_requested_ = false;  ///< loop thread only; set via posted job
+  // shared_ptr so a callback that removes itself (or another fd) mid-dispatch
+  // stays alive for the duration of its own invocation.
+  std::unordered_map<int, std::shared_ptr<FdCallback>> callbacks_;
+
+  support::Mutex mutex_;
+  std::vector<std::function<void()>> posted_ IR_GUARDED_BY(mutex_);
+};
+
+}  // namespace ir::net

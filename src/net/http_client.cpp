@@ -1,0 +1,260 @@
+#include "net/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace ir::net {
+
+namespace {
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (auto& ch : out) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+const std::string* HttpClientResponse::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port,
+                       std::chrono::milliseconds timeout)
+    : host_(std::move(host)), port_(port), timeout_(timeout) {}
+
+HttpClient::~HttpClient() { close(); }
+
+void HttpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  residue_.clear();
+}
+
+bool HttpClient::connect() {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::timeval tv{};
+  tv.tv_sec = static_cast<long>(timeout_.count() / 1000);
+  tv.tv_usec = static_cast<long>((timeout_.count() % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    error_ = "bad host '" + host_ + "'";
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<::sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = std::string("connect: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  if (ever_connected_) ++reconnects_;
+  ever_connected_ = true;
+  return true;
+}
+
+bool HttpClient::send_all(std::string_view data) {
+  while (!data.empty()) {
+    const ::ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      data.remove_prefix(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    error_ = std::string("send: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool HttpClient::read_more(std::string* buf) {
+  char chunk[16 * 1024];
+  const ::ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+  if (n > 0) {
+    buf->append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+  if (n == 0) {
+    error_ = "connection closed by server";
+  } else {
+    error_ = std::string("recv: ") + std::strerror(errno);
+  }
+  return false;
+}
+
+bool HttpClient::read_response(HttpClientResponse* out) {
+  std::string buf = std::move(residue_);
+  residue_.clear();
+  stale_close_ = false;
+  const bool fresh = buf.empty();
+
+  // Header block.
+  std::size_t header_end = buf.find("\r\n\r\n");
+  while (header_end == std::string::npos) {
+    if (!read_more(&buf)) {
+      // Zero response bytes + peer close = the server idled out this
+      // keep-alive connection between requests; the caller may retry once.
+      stale_close_ = fresh && buf.empty() && error_ == "connection closed by server";
+      return false;
+    }
+    header_end = buf.find("\r\n\r\n");
+  }
+  const std::string_view head = std::string_view(buf).substr(0, header_end);
+  std::size_t pos = head.find("\r\n");
+  const std::string_view status_line =
+      pos == std::string_view::npos ? head : head.substr(0, pos);
+  if (status_line.size() < 12 || status_line.substr(0, 5) != "HTTP/") {
+    error_ = "malformed status line";
+    return false;
+  }
+  out->status = std::atoi(std::string(status_line.substr(9, 3)).c_str());
+  out->headers.clear();
+  out->body.clear();
+  out->keep_alive = status_line.substr(0, 8) != "HTTP/1.0";
+  std::string_view rest =
+      pos == std::string_view::npos ? std::string_view() : head.substr(pos + 2);
+  while (!rest.empty()) {
+    const std::size_t nl = rest.find("\r\n");
+    const std::string_view line =
+        nl == std::string_view::npos ? rest : rest.substr(0, nl);
+    rest = nl == std::string_view::npos ? std::string_view() : rest.substr(nl + 2);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    out->headers.emplace_back(to_lower(line.substr(0, colon)),
+                              std::string(trim(line.substr(colon + 1))));
+  }
+  if (const std::string* connection = out->header("connection")) {
+    const std::string value = to_lower(*connection);
+    if (value.find("close") != std::string::npos) out->keep_alive = false;
+    if (value.find("keep-alive") != std::string::npos) out->keep_alive = true;
+  }
+  buf.erase(0, header_end + 4);
+
+  // Body framing: Content-Length, chunked, or (Connection: close) to-EOF.
+  const std::string* transfer = out->header("transfer-encoding");
+  if (transfer != nullptr && to_lower(*transfer) == "chunked") {
+    for (;;) {
+      std::size_t nl = buf.find("\r\n");
+      while (nl == std::string::npos) {
+        if (!read_more(&buf)) return false;
+        nl = buf.find("\r\n");
+      }
+      std::string size_line = buf.substr(0, nl);
+      const std::size_t semi = size_line.find(';');
+      if (semi != std::string::npos) size_line.resize(semi);
+      const unsigned long long size = std::strtoull(size_line.c_str(), nullptr, 16);
+      buf.erase(0, nl + 2);
+      if (size == 0) {
+        // Trailer section: read through the terminating CRLF.
+        std::size_t end = buf.find("\r\n");
+        while (end == std::string::npos) {
+          if (!read_more(&buf)) return false;
+          end = buf.find("\r\n");
+        }
+        buf.erase(0, end + 2);
+        break;
+      }
+      while (buf.size() < size + 2) {
+        if (!read_more(&buf)) return false;
+      }
+      out->body.append(buf, 0, static_cast<std::size_t>(size));
+      buf.erase(0, static_cast<std::size_t>(size) + 2);
+    }
+  } else if (const std::string* length = out->header("content-length")) {
+    const unsigned long long want = std::strtoull(length->c_str(), nullptr, 10);
+    while (buf.size() < want) {
+      if (!read_more(&buf)) return false;
+    }
+    out->body.assign(buf, 0, static_cast<std::size_t>(want));
+    buf.erase(0, static_cast<std::size_t>(want));
+  } else if (!out->keep_alive) {
+    std::string tail = std::move(buf);
+    buf.clear();
+    while (read_more(&tail)) {
+    }
+    out->body = std::move(tail);  // error_ holds "closed"; that's EOF here
+    error_.clear();
+  }
+  residue_ = std::move(buf);
+  if (!out->keep_alive) close();
+  return true;
+}
+
+bool HttpClient::request(
+    const std::string& method, const std::string& target, const std::string& body,
+    HttpClientResponse* out,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  error_.clear();
+  if (fd_ < 0 && !connect()) return false;
+
+  std::string req;
+  req.reserve(128 + body.size());
+  req += method;
+  req += ' ';
+  req += target;
+  req += " HTTP/1.1\r\nHost: ";
+  req += host_;
+  req += "\r\n";
+  for (const auto& [name, value] : headers) {
+    req += name;
+    req += ": ";
+    req += value;
+    req += "\r\n";
+  }
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    req += "Content-Length: ";
+    req += std::to_string(body.size());
+    req += "\r\n";
+  }
+  req += "\r\n";
+  req += body;
+
+  if (!send_all(req)) {
+    // A keep-alive peer may have idled us out between requests; one
+    // reconnect-and-retry is the standard recovery.
+    if (!connect() || !send_all(req)) return false;
+  }
+  if (!read_response(out)) {
+    if (stale_close_) {
+      if (!connect() || !send_all(req)) return false;
+      return read_response(out);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ir::net

@@ -1,0 +1,85 @@
+// Minimal blocking HTTP/1.1 keep-alive client (docs/http.md).
+//
+// The counterpart of HttpServer for this repo's own tooling: irload drives
+// saturation curves through it, irfuzz's --http leg round-trips solves, the
+// tier-1 suite and bench_service_throughput reuse it.  One HttpClient is one
+// connection: request() writes the request, then blocks until the full
+// response is framed (Content-Length or chunked).  Connection: close (from
+// either side) tears the socket down; the next request() reconnects, and
+// `reconnects()` exposes how often that happened so load tests can assert
+// keep-alive actually held.
+//
+// Not a general-purpose client on purpose: no TLS, no redirects, no proxy,
+// IPv4 only — the serving tier binds loopback in every harness this repo
+// ships.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ir::net {
+
+struct HttpClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  ///< lower-cased names
+  std::string body;
+  bool keep_alive = true;
+
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, std::uint16_t port,
+             std::chrono::milliseconds timeout = std::chrono::milliseconds(10'000));
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Issue one request and block for the response.  Connects (or reconnects)
+  /// as needed.  False on transport/framing failure (error() explains);
+  /// HTTP error statuses are NOT failures — the caller reads out->status.
+  bool request(const std::string& method, const std::string& target,
+               const std::string& body, HttpClientResponse* out,
+               const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  /// Convenience wrappers.
+  bool get(const std::string& target, HttpClientResponse* out) {
+    return request("GET", target, std::string(), out);
+  }
+  bool post(const std::string& target, const std::string& body,
+            HttpClientResponse* out,
+            const std::vector<std::pair<std::string, std::string>>& headers = {}) {
+    return request("POST", target, body, out, headers);
+  }
+
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  /// Times a request() had to re-establish the TCP connection (first
+  /// connect excluded) — zero across a soak proves keep-alive held.
+  [[nodiscard]] std::uint64_t reconnects() const noexcept { return reconnects_; }
+
+ private:
+  bool connect();
+  bool send_all(std::string_view data);
+  bool read_response(HttpClientResponse* out);
+  bool read_more(std::string* buf);
+
+  std::string host_;
+  std::uint16_t port_;
+  std::chrono::milliseconds timeout_;
+  int fd_ = -1;
+  bool ever_connected_ = false;
+  std::uint64_t reconnects_ = 0;
+  std::string error_;
+  std::string residue_;  ///< bytes past the previous response's frame
+  bool stale_close_ = false;  ///< last failure was an idled-out keep-alive
+};
+
+}  // namespace ir::net

@@ -1,0 +1,358 @@
+#include "net/http_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ir::net {
+
+namespace {
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (auto& ch : out) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool is_token_char(char c) {
+  // RFC 9110 token characters; enough to reject header names with spaces,
+  // colons, or control bytes (request-smuggling vectors).
+  static constexpr std::string_view extra = "!#$%&'*+-.^_`|~";
+  const auto u = static_cast<unsigned char>(c);
+  return std::isalnum(u) != 0 || extra.find(c) != std::string_view::npos;
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+std::string url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '+') {
+      out.push_back(' ');
+    } else if (text[i] == '%' && i + 2 < text.size() &&
+               hex_value(text[i + 1]) >= 0 && hex_value(text[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(hex_value(text[i + 1]) * 16 +
+                                      hex_value(text[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+std::string HttpRequest::query_param(std::string_view key, bool* found) const {
+  if (found != nullptr) *found = false;
+  std::string_view rest = query;
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view() : rest.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    const std::string_view name = eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (name == key) {
+      if (found != nullptr) *found = true;
+      return eq == std::string_view::npos ? std::string()
+                                          : url_decode(pair.substr(eq + 1));
+    }
+  }
+  return std::string();
+}
+
+void HttpParser::fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+}
+
+void HttpParser::reset() {
+  state_ = State::kRequestLine;
+  line_.clear();
+  header_bytes_ = 0;
+  body_expected_ = 0;
+  request_ = HttpRequest{};
+  error_status_ = 0;
+  error_reason_.clear();
+}
+
+bool HttpParser::take_line(std::string_view& data, std::size_t& used,
+                           std::size_t cap, int status, const char* what) {
+  const std::size_t nl = data.find('\n');
+  const std::size_t take = nl == std::string_view::npos ? data.size() : nl + 1;
+  if (line_.size() + take > cap + 2) {  // +2 allows the CR LF of a full line
+    used += take;
+    fail(status, std::string(what) + " exceeds limit");
+    return false;
+  }
+  line_.append(data.substr(0, take));
+  data.remove_prefix(take);
+  used += take;
+  if (nl == std::string_view::npos) return false;  // need more bytes
+  line_.pop_back();                                // '\n'
+  if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+  return true;
+}
+
+void HttpParser::parse_request_line() {
+  const std::string line = std::move(line_);
+  line_.clear();
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                   : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.find(' ', sp2 + 1) != std::string::npos) {
+    fail(400, "malformed request line");
+    return;
+  }
+  request_.method = line.substr(0, sp1);
+  request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (request_.method.empty() ||
+      !std::all_of(request_.method.begin(), request_.method.end(), is_token_char)) {
+    fail(400, "malformed method");
+    return;
+  }
+  if (request_.target.empty()) {
+    fail(400, "empty request target");
+    return;
+  }
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+  } else {
+    fail(505, "unsupported protocol version '" + version + "'");
+    return;
+  }
+  const std::size_t q = request_.target.find('?');
+  request_.path = request_.target.substr(0, q);
+  request_.query =
+      q == std::string::npos ? std::string() : request_.target.substr(q + 1);
+  state_ = State::kHeaders;
+}
+
+void HttpParser::parse_header_line() {
+  const std::string line = std::move(line_);
+  line_.clear();
+  if (line.empty()) {
+    finish_headers();
+    return;
+  }
+  if (line.front() == ' ' || line.front() == '\t') {
+    // Obsolete line folding: a smuggling vector, never legitimate from the
+    // clients this tier serves.
+    fail(400, "obsolete header line folding");
+    return;
+  }
+  if (request_.headers.size() >= limits_.max_headers) {
+    fail(431, "too many header fields");
+    return;
+  }
+  const std::size_t colon = line.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    fail(400, "malformed header field");
+    return;
+  }
+  const std::string_view raw_name = std::string_view(line).substr(0, colon);
+  if (!std::all_of(raw_name.begin(), raw_name.end(), is_token_char)) {
+    fail(400, "malformed header name");
+    return;
+  }
+  request_.headers.emplace_back(
+      to_lower(raw_name), std::string(trim(std::string_view(line).substr(colon + 1))));
+}
+
+void HttpParser::finish_headers() {
+  // Connection semantics first: the error responses the server sends for a
+  // bad body still want the right keep-alive default.
+  request_.keep_alive = request_.version_minor >= 1;
+  if (const std::string* connection = request_.header("connection")) {
+    const std::string value = to_lower(*connection);
+    if (value.find("close") != std::string::npos) request_.keep_alive = false;
+    if (value.find("keep-alive") != std::string::npos) request_.keep_alive = true;
+  }
+
+  const std::string* transfer = request_.header("transfer-encoding");
+  const std::string* length = request_.header("content-length");
+  if (transfer != nullptr) {
+    if (to_lower(*transfer) != "chunked") {
+      fail(501, "unsupported transfer coding '" + *transfer + "'");
+      return;
+    }
+    if (length != nullptr) {
+      // Both framings present is the classic request-smuggling ambiguity;
+      // reject rather than pick a winner.
+      fail(400, "both content-length and transfer-encoding present");
+      return;
+    }
+    request_.chunked = true;
+    state_ = State::kChunkSize;
+    return;
+  }
+  if (length != nullptr) {
+    std::uint64_t value = 0;
+    if (length->empty()) {
+      fail(400, "empty content-length");
+      return;
+    }
+    for (const char c : *length) {
+      if (c < '0' || c > '9' || value > (UINT64_MAX - 9) / 10) {
+        fail(400, "malformed content-length '" + *length + "'");
+        return;
+      }
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (value > limits_.max_body_bytes) {
+      fail(413, "body of " + std::to_string(value) + " bytes exceeds limit");
+      return;
+    }
+    if (value == 0) {
+      state_ = State::kComplete;
+      return;
+    }
+    body_expected_ = static_cast<std::size_t>(value);
+    request_.body.reserve(body_expected_);
+    state_ = State::kFixedBody;
+    return;
+  }
+  state_ = State::kComplete;  // no body
+}
+
+void HttpParser::parse_chunk_size_line() {
+  std::string line = std::move(line_);
+  line_.clear();
+  // Chunk extensions (";name=value") are legal noise; ignore them.
+  const std::size_t semi = line.find(';');
+  if (semi != std::string::npos) line.resize(semi);
+  while (!line.empty() && (line.back() == ' ' || line.back() == '\t')) line.pop_back();
+  if (line.empty()) {
+    fail(400, "empty chunk size");
+    return;
+  }
+  std::uint64_t size = 0;
+  for (const char c : line) {
+    const int digit = hex_value(c);
+    if (digit < 0 || size > (UINT64_MAX >> 4)) {
+      fail(400, "malformed chunk size '" + line + "'");
+      return;
+    }
+    size = (size << 4) | static_cast<std::uint64_t>(digit);
+  }
+  if (request_.body.size() + size > limits_.max_body_bytes) {
+    fail(413, "chunked body exceeds limit");
+    return;
+  }
+  if (size == 0) {
+    state_ = State::kTrailers;
+    return;
+  }
+  body_expected_ = static_cast<std::size_t>(size);
+  state_ = State::kChunkData;
+}
+
+std::size_t HttpParser::feed(std::string_view data) {
+  std::size_t used = 0;
+  while (!data.empty() && state_ != State::kComplete && state_ != State::kError) {
+    switch (state_) {
+      case State::kRequestLine:
+        if (take_line(data, used, limits_.max_request_line, 431,
+                      "request line")) {
+          // A bare CRLF before the request line is tolerated (RFC 9112 §2.2:
+          // robust servers skip it) — common after a previous request's body.
+          if (line_.empty()) continue;
+          parse_request_line();
+        }
+        break;
+      case State::kHeaders:
+        // take_line caps any single line at the block limit; completed lines
+        // accumulate into header_bytes_ so many small headers trip it too.
+        if (take_line(data, used, limits_.max_header_bytes, 431, "header block")) {
+          header_bytes_ += line_.size() + 2;
+          if (header_bytes_ > limits_.max_header_bytes) {
+            fail(431, "header block exceeds limit");
+            break;
+          }
+          parse_header_line();
+        }
+        break;
+      case State::kFixedBody: {
+        const std::size_t take = std::min(body_expected_, data.size());
+        request_.body.append(data.substr(0, take));
+        data.remove_prefix(take);
+        used += take;
+        body_expected_ -= take;
+        if (body_expected_ == 0) state_ = State::kComplete;
+        break;
+      }
+      case State::kChunkSize:
+        // A chunk-size line is tiny; reuse the request-line cap.
+        if (take_line(data, used, limits_.max_request_line, 400, "chunk size line")) {
+          parse_chunk_size_line();
+        }
+        break;
+      case State::kChunkData: {
+        const std::size_t take = std::min(body_expected_, data.size());
+        request_.body.append(data.substr(0, take));
+        data.remove_prefix(take);
+        used += take;
+        body_expected_ -= take;
+        if (body_expected_ == 0) state_ = State::kChunkDataEnd;
+        break;
+      }
+      case State::kChunkDataEnd:
+        if (take_line(data, used, 2, 400, "chunk terminator")) {
+          if (!line_.empty()) {
+            fail(400, "chunk data not followed by CRLF");
+            break;
+          }
+          state_ = State::kChunkSize;
+        }
+        break;
+      case State::kTrailers:
+        // Trailer fields are accepted and discarded; the blank line ends the
+        // request.  The header-block limit bounds them.
+        if (take_line(data, used, limits_.max_header_bytes, 431, "trailer block")) {
+          header_bytes_ += line_.size() + 2;
+          if (header_bytes_ > limits_.max_header_bytes) {
+            fail(431, "trailer block exceeds limit");
+            break;
+          }
+          const bool end = line_.empty();
+          line_.clear();
+          if (end) state_ = State::kComplete;
+        }
+        break;
+      case State::kComplete:
+      case State::kError:
+        break;
+    }
+  }
+  return used;
+}
+
+}  // namespace ir::net

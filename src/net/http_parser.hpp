@@ -1,0 +1,130 @@
+// Incremental HTTP/1.1 request parser (docs/http.md).
+//
+// Written from scratch for the serving tier: a connection feeds raw bytes in
+// whatever fragments the socket produced and the parser advances a state
+// machine — request line, headers, then a fixed Content-Length body or
+// chunked transfer coding (extensions ignored, trailers skipped) — without
+// ever re-scanning consumed input.  One parse never allocates more than the
+// request it is building: header and body limits (HttpLimits) are enforced
+// *as bytes arrive*, so an adversarial client cannot make the server buffer
+// an unbounded request line, header block, or chunked body.
+//
+// The parser is deliberately a pull-free design: feed() consumes as much of
+// the input as the current request can use and stops at the request boundary,
+// returning the byte count consumed.  Pipelined keep-alive clients therefore
+// work by construction — the bytes of request N+1 stay in the connection's
+// buffer until reset() arms the parser for the next round.
+//
+// Errors are terminal and carry the HTTP status the server should answer
+// with before closing (400 malformed, 413 too large, 431 header fields too
+// large, 501 unknown transfer coding, 505 bad version).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ir::net {
+
+/// Per-request parse limits, enforced incrementally (see header comment).
+struct HttpLimits {
+  std::size_t max_request_line = 8 * 1024;   ///< method + target + version
+  std::size_t max_header_bytes = 64 * 1024;  ///< total header block, bytes
+  std::size_t max_headers = 128;             ///< header field count
+  std::size_t max_body_bytes = 16 * 1024 * 1024;  ///< decoded body bytes
+};
+
+/// One fully parsed request.  Header names are lower-cased at parse time;
+/// values keep their bytes with surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;   ///< as sent ("GET", "POST", ...)
+  std::string target;   ///< raw request target ("/v1/solve?engine=gir")
+  std::string path;     ///< target up to '?'
+  std::string query;    ///< target after '?', "" when absent
+  int version_minor = 1;  ///< HTTP/1.<minor>; only 0 and 1 are accepted
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;  ///< resolved from version + Connection header
+  bool chunked = false;    ///< body arrived chunk-encoded
+
+  /// First header with this (lower-case) name, or nullptr.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+
+  /// Value of `key` in the query string (percent-decoded), or "" when
+  /// absent.  `found` (when non-null) distinguishes "" from missing.
+  [[nodiscard]] std::string query_param(std::string_view key,
+                                        bool* found = nullptr) const;
+};
+
+/// Percent-decode a URL component ('+' becomes space, %XX decodes; a
+/// malformed escape is kept verbatim rather than rejected).
+[[nodiscard]] std::string url_decode(std::string_view text);
+
+class HttpParser {
+ public:
+  explicit HttpParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Consume as many of `data`'s bytes as the current request can use.
+  /// Returns the number consumed: everything, unless the request completed
+  /// or failed mid-buffer (the remainder belongs to the next request or to
+  /// nobody).  Feeding a complete or failed parser consumes nothing.
+  std::size_t feed(std::string_view data);
+
+  [[nodiscard]] bool complete() const noexcept { return state_ == State::kComplete; }
+  [[nodiscard]] bool failed() const noexcept { return state_ == State::kError; }
+  /// True while nothing of the current request has arrived — the idle
+  /// keep-alive state, as opposed to a half-received request.
+  [[nodiscard]] bool idle() const noexcept {
+    return state_ == State::kRequestLine && line_.empty();
+  }
+
+  /// HTTP status for the terminal error (only meaningful when failed()).
+  [[nodiscard]] int error_status() const noexcept { return error_status_; }
+  [[nodiscard]] const std::string& error_reason() const noexcept { return error_reason_; }
+
+  /// The parsed request (only meaningful when complete()).
+  [[nodiscard]] HttpRequest& request() noexcept { return request_; }
+  [[nodiscard]] HttpRequest take_request() { return std::move(request_); }
+
+  /// Re-arm for the next request on the same connection (keeps limits).
+  void reset();
+
+ private:
+  enum class State {
+    kRequestLine,
+    kHeaders,
+    kFixedBody,
+    kChunkSize,
+    kChunkData,
+    kChunkDataEnd,  ///< CRLF that terminates a chunk's data
+    kTrailers,
+    kComplete,
+    kError,
+  };
+
+  /// Accumulate one CRLF- (or bare-LF-) terminated line into line_.
+  /// Returns true when the line is complete; `cap` bounds the accumulated
+  /// length and trips `status` on overflow.
+  bool take_line(std::string_view& data, std::size_t& used, std::size_t cap,
+                 int status, const char* what);
+
+  void parse_request_line();
+  void parse_header_line();
+  void finish_headers();
+  void parse_chunk_size_line();
+  void fail(int status, std::string reason);
+
+  HttpLimits limits_;
+  State state_ = State::kRequestLine;
+  std::string line_;          ///< current partial line
+  std::size_t header_bytes_ = 0;
+  std::size_t body_expected_ = 0;  ///< remaining bytes of fixed body / chunk
+  HttpRequest request_;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+}  // namespace ir::net

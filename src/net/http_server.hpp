@@ -1,0 +1,222 @@
+// HTTP/1.1 keep-alive server: epoll frontend + worker pool (docs/http.md).
+//
+// Architecture (the tentpole shape from the roadmap's serving item):
+//
+//   accept ─▶ EventLoop (1 thread) ─▶ HttpParser ─▶ WorkerPool ─▶ handler
+//                  ▲                                                 │
+//                  └───────────── Responder::send ◀──────────────────┘
+//
+// The event loop owns every socket: accept, non-blocking reads, incremental
+// parsing, and ordered writes all happen on the loop thread, so connection
+// state needs no locks.  A *decoded* request is handed to the worker pool,
+// which invokes the user handler off-loop; the handler (or any thread it
+// delegates to — e.g. a service dispatcher completing a solve) answers
+// through the thread-safe Responder, which marshals the response back onto
+// the loop thread by id.  A connection with a request in flight stops
+// reading until the response is queued, which keeps pipelined keep-alive
+// responses ordered by construction.
+//
+// Failure semantics: parse errors answer with the parser's HTTP status and
+// close; header (slow-client), idle, and write timeouts are enforced by the
+// loop's tick; stop() closes the listener, lets in-flight requests drain
+// until `drain_timeout`, then force-closes stragglers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/epoll_loop.hpp"
+#include "net/http_parser.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace ir::net {
+
+/// What a handler sends back.  Content-Length framing is always used (the
+/// server never chunks responses); `close` forces Connection: close even for
+/// a keep-alive client (e.g. after `quit`).
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  bool close = false;
+};
+
+/// Reason phrase for the status codes this tier emits ("Unknown" otherwise).
+[[nodiscard]] const char* status_reason(int status) noexcept;
+
+class HttpServer;
+
+/// Thread-safe, copyable handle for answering one request.  send() may be
+/// called from any thread exactly once; later sends for the same request
+/// (or sends after the connection died) are dropped.
+class Responder {
+ public:
+  void send(HttpResponse response) const;
+
+ private:
+  friend class HttpServer;
+  Responder(HttpServer* server, std::uint64_t conn_id) noexcept
+      : server_(server), conn_id_(conn_id) {}
+
+  HttpServer* server_;
+  std::uint64_t conn_id_;
+};
+
+/// Fixed-size pool draining a FIFO of decoded-request jobs.  Deliberately
+/// minimal — QoS-aware scheduling lives in the service layer
+/// (service::QosScheduler); this pool only decouples handler latency from
+/// the event loop.
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void submit(std::function<void()> job) IR_EXCLUDES(mutex_);
+  /// Drain remaining jobs, then join every thread.  Idempotent.
+  void stop() IR_EXCLUDES(mutex_);
+
+ private:
+  void worker_loop() IR_EXCLUDES(mutex_);
+
+  support::Mutex mutex_;
+  support::CondVar cv_;
+  std::deque<std::function<void()>> jobs_ IR_GUARDED_BY(mutex_);
+  bool stopping_ IR_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> threads_;
+};
+
+struct HttpServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+  int backlog = 256;
+  std::size_t workers = 2;
+  std::size_t max_connections = 1024;
+  HttpLimits limits;
+  std::chrono::milliseconds tick{100};           ///< timeout-scan cadence
+  std::chrono::milliseconds header_timeout{5'000};   ///< mid-request stall
+  std::chrono::milliseconds idle_timeout{30'000};    ///< keep-alive idle
+  std::chrono::milliseconds write_timeout{10'000};   ///< stalled response
+  std::chrono::milliseconds drain_timeout{5'000};    ///< stop() grace period
+};
+
+/// Monotonic counters + one gauge, snapshot under no lock (values are
+/// independently atomic; the snapshot is advisory, like ServiceStats).
+struct HttpServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_overload = 0;  ///< accept() past max_connections
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t open_connections = 0;
+};
+
+class HttpServer {
+ public:
+  /// Invoked on a worker thread with a fully decoded request.  The handler
+  /// must eventually call responder.send() exactly once (directly or from a
+  /// downstream completion callback).
+  using Handler = std::function<void(HttpRequest&&, Responder)>;
+
+  HttpServer(HttpServerConfig config, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind + listen + spawn the loop thread and workers.  False (with
+  /// error() set) when the socket could not be bound.
+  bool start();
+  /// Graceful stop: close the listener, drain in-flight requests up to
+  /// drain_timeout, force-close the rest, join all threads.  Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] HttpServerStats stats() const noexcept;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    HttpParser parser;
+    std::string inbuf;          ///< bytes past the current request boundary
+    std::string outbuf;         ///< serialized responses awaiting write
+    std::size_t out_off = 0;
+    bool in_flight = false;     ///< request dispatched, response not queued
+    bool req_keep_alive = true; ///< keep-alive of the in-flight request
+    bool close_after_write = false;
+    bool want_write = false;    ///< EPOLLOUT armed
+    bool paused = false;        ///< EPOLLIN disarmed while in flight
+    Clock::time_point last_activity;
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  friend class Responder;
+
+  // All private helpers below run on the loop thread.
+  void on_accept();
+  void on_event(const ConnPtr& conn, std::uint32_t events);
+  void on_readable(const ConnPtr& conn);
+  void process_input(const ConnPtr& conn);
+  void dispatch_request(const ConnPtr& conn);
+  void queue_response(const ConnPtr& conn, const HttpResponse& response,
+                      bool keep_alive);
+  void complete_request(std::uint64_t conn_id, HttpResponse response);
+  void flush_writes(const ConnPtr& conn);
+  void set_interest(const ConnPtr& conn, bool read, bool write);
+  void close_connection(const ConnPtr& conn);
+  void on_tick();
+  void begin_stop(Clock::time_point deadline);
+
+  HttpServerConfig config_;
+  Handler handler_;
+  EventLoop loop_;
+  std::unique_ptr<WorkerPool> workers_;
+  std::thread loop_thread_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::string error_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  // Loop-thread-only state (see EventLoop's threading contract).
+  std::unordered_map<std::uint64_t, ConnPtr> connections_;
+  std::uint64_t next_conn_id_ = 1;
+  bool stopping_ = false;
+  Clock::time_point stop_deadline_{};
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected_overload{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> responses{0};
+    std::atomic<std::uint64_t> parse_errors{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> closed{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<std::uint64_t> open_connections{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace ir::net

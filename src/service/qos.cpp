@@ -1,0 +1,113 @@
+#include "service/qos.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ir::service {
+
+QosScheduler::QosScheduler(std::vector<std::uint64_t> weights, Config config)
+    : config_(config) {
+  support::LockGuard guard(mutex_);
+  tenants_.resize(std::max<std::size_t>(1, weights.size()));
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    tenants_[i].weight = std::max<std::uint64_t>(1, weights[i]);
+  }
+}
+
+bool QosScheduler::any_queued_locked() const {
+  for (const auto& tenant : tenants_) {
+    if (!tenant.jobs.empty()) return true;
+  }
+  return false;
+}
+
+void QosScheduler::collect_locked(std::vector<Job>& out) {
+  // The cursor parks on the tenant currently being served; a service
+  // interrupted by the inflight budget resumes at the SAME tenant with its
+  // remaining deficit on the next pump.  Without that, a budget of 1 would
+  // advance the cursor after every single dispatch and DRR would degenerate
+  // to unweighted round robin exactly when it matters (saturation).
+  while (inflight_ < config_.max_inflight && any_queued_locked()) {
+    TenantQueue& tenant = tenants_[next_tenant_];
+    if (tenant.jobs.empty()) {
+      // Textbook DRR: an emptied queue forfeits leftover deficit, so an
+      // intermittent tenant cannot bank credit while idle.
+      tenant.deficit = 0;
+      next_tenant_ = (next_tenant_ + 1) % tenants_.size();
+      continue;
+    }
+    // deficit == 0 means a fresh visit (an interrupted service still holds
+    // its balance and must not earn twice for one round).
+    if (tenant.deficit == 0) tenant.deficit = config_.quantum * tenant.weight;
+    while (tenant.deficit >= 1 && !tenant.jobs.empty() &&
+           inflight_ < config_.max_inflight) {
+      out.push_back(std::move(tenant.jobs.front()));
+      tenant.jobs.pop_front();
+      tenant.deficit -= 1;
+      tenant.counters.dispatched += 1;
+      inflight_ += 1;
+    }
+    if (tenant.jobs.empty()) tenant.deficit = 0;
+    if (tenant.deficit == 0) {
+      next_tenant_ = (next_tenant_ + 1) % tenants_.size();
+    }
+    // deficit > 0 with a non-empty queue means the budget ran out mid-
+    // service; the outer while exits and the cursor stays put for resume.
+  }
+}
+
+bool QosScheduler::try_enqueue(std::size_t tenant_index, Job job) {
+  std::vector<Job> ready;
+  {
+    support::LockGuard guard(mutex_);
+    TenantQueue& tenant = tenants_.at(tenant_index);
+    if (tenant.jobs.size() >= config_.tenant_queue_cap) {
+      tenant.counters.rejected_full += 1;
+      return false;
+    }
+    tenant.jobs.push_back(std::move(job));
+    tenant.counters.enqueued += 1;
+    tenant.counters.peak_depth =
+        std::max<std::uint64_t>(tenant.counters.peak_depth, tenant.jobs.size());
+    collect_locked(ready);
+  }
+  for (auto& start : ready) start();
+  return true;
+}
+
+void QosScheduler::on_complete() {
+  std::vector<Job> ready;
+  bool idle = false;
+  {
+    support::LockGuard guard(mutex_);
+    // Clamp rather than underflow: a stray extra completion must not wedge
+    // wait_idle() behind a wrapped-around unsigned inflight count.
+    if (inflight_ > 0) inflight_ -= 1;
+    collect_locked(ready);
+    idle = inflight_ == 0 && !any_queued_locked();
+  }
+  if (idle) idle_.notify_all();
+  for (auto& start : ready) start();
+}
+
+void QosScheduler::wait_idle() {
+  support::UniqueLock lock(mutex_);
+  while (inflight_ != 0 || any_queued_locked()) {
+    idle_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+}
+
+std::size_t QosScheduler::inflight() const {
+  support::LockGuard guard(mutex_);
+  return inflight_;
+}
+
+std::vector<QosScheduler::TenantCounters> QosScheduler::counters() const {
+  std::vector<TenantCounters> out;
+  support::LockGuard guard(mutex_);
+  out.reserve(tenants_.size());
+  for (const auto& tenant : tenants_) out.push_back(tenant.counters);
+  return out;
+}
+
+}  // namespace ir::service

@@ -1,0 +1,95 @@
+// Weighted fair-share queueing for the HTTP tier (docs/http.md).
+//
+// Deficit round robin over per-tenant FIFO queues, layered *in front of* the
+// service's admission control: decoded requests park here, and at most
+// `max_inflight` of them are live inside the shard router at any moment.
+// That cap is what makes the scheduler meaningful — under saturation the
+// backlog accumulates in these per-tenant queues (where DRR decides who goes
+// next, proportionally to weight) instead of in the service's shared FIFO
+// queue (where arrival order would decide, letting one firehose tenant
+// starve everyone).
+//
+// The scheduler owns no thread.  Dispatch is pumped by the threads already
+// in motion: try_enqueue (an HTTP worker) and on_complete (the dispatcher
+// thread finishing a solve) both run the DRR loop, draining whatever the
+// inflight budget allows.  Jobs are started *outside* the lock; a job is the
+// non-blocking submit-callback into the router, so pump holds no lock across
+// any slow work.
+//
+// DRR per the textbook: each freshly visited non-empty queue earns
+// quantum * weight deficit; it dispatches (cost 1 per request) until the
+// deficit or the queue runs dry; an emptied queue forfeits its remaining
+// deficit.  A service interrupted by the inflight budget RESUMES at the same
+// tenant with its remaining balance, so the weight ratio holds even at
+// max_inflight = 1.  A tenant with weight 3 therefore drains 3x the rate of
+// a weight-1 tenant under contention, and an idle tenant accumulates
+// nothing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "support/thread_annotations.hpp"
+
+namespace ir::service {
+
+class QosScheduler {
+ public:
+  /// A unit of admitted work: starts the (non-blocking) downstream submit.
+  /// The owner MUST call on_complete() exactly once when the work finishes.
+  using Job = std::function<void()>;
+
+  struct Config {
+    std::size_t max_inflight = 8;    ///< live requests inside the service
+    std::size_t tenant_queue_cap = 256;  ///< per-tenant backlog bound
+    std::uint64_t quantum = 1;       ///< deficit earned per visit per weight
+  };
+
+  struct TenantCounters {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t rejected_full = 0;
+    std::uint64_t peak_depth = 0;
+  };
+
+  /// `weights[i]` is tenant i's fair-share weight (>= 1).
+  QosScheduler(std::vector<std::uint64_t> weights, Config config);
+
+  /// Queue one job for `tenant`.  False when that tenant's backlog is at
+  /// capacity (the caller answers 503 without touching shared state).
+  /// May dispatch (this or other tenants' jobs) before returning.
+  [[nodiscard]] bool try_enqueue(std::size_t tenant, Job job) IR_EXCLUDES(mutex_);
+
+  /// Signal one dispatched job finished; pumps further dispatches.
+  void on_complete() IR_EXCLUDES(mutex_);
+
+  /// Block until no job is queued or in flight (drain barriers in tests and
+  /// shutdown paths).
+  void wait_idle() IR_EXCLUDES(mutex_);
+
+  [[nodiscard]] std::size_t inflight() const IR_EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<TenantCounters> counters() const IR_EXCLUDES(mutex_);
+
+ private:
+  struct TenantQueue {
+    std::deque<Job> jobs;
+    std::uint64_t weight = 1;
+    std::uint64_t deficit = 0;
+    TenantCounters counters;
+  };
+
+  /// Pop everything the inflight budget + DRR allow into `out`.
+  void collect_locked(std::vector<Job>& out) IR_REQUIRES(mutex_);
+  [[nodiscard]] bool any_queued_locked() const IR_REQUIRES(mutex_);
+
+  const Config config_;
+  mutable support::Mutex mutex_;
+  support::CondVar idle_;
+  std::vector<TenantQueue> tenants_ IR_GUARDED_BY(mutex_);
+  std::size_t inflight_ IR_GUARDED_BY(mutex_) = 0;
+  std::size_t next_tenant_ IR_GUARDED_BY(mutex_) = 0;  ///< DRR round cursor
+};
+
+}  // namespace ir::service

@@ -1,0 +1,42 @@
+// The serving operation: ModMul with optional slow-operation injection.
+//
+// Extracted from tools/irserve.cpp so every frontend of the serving tier —
+// the newline protocol, the HTTP tier, irload, irfuzz's --http leg, and
+// bench_service_throughput — solves with the *same* operation and therefore
+// produces byte-identical value lines for the same request.  spin of 0 is
+// the production configuration; --inject-slow-ns busy-waits in every
+// combine/pow to create real queue pressure for soak tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "algebra/monoids.hpp"
+
+namespace ir::service {
+
+struct ServeOp {
+  using Value = std::uint64_t;
+  static constexpr bool is_commutative = true;
+
+  algebra::ModMulMonoid inner;
+  std::uint64_t slow_ns = 0;
+
+  void burn() const {
+    if (slow_ns == 0) return;
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(slow_ns);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+  }
+  Value combine(Value a, Value b) const {
+    burn();
+    return inner.combine(a, b);
+  }
+  Value pow(Value a, const support::BigUint& k) const {
+    burn();
+    return inner.pow(a, k);
+  }
+};
+
+}  // namespace ir::service

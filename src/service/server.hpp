@@ -20,6 +20,7 @@
 #pragma once
 
 #include <exception>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -79,9 +80,24 @@ class Server {
   /// otherwise when the request reaches a terminal state.  Never throws on
   /// overload — admission outcomes are data, not exceptions.
   [[nodiscard]] std::future<Response> submit_async(Request request) {
+    auto promise = std::make_shared<std::promise<Response>>();
+    std::future<Response> future = promise->get_future();
+    submit_callback(std::move(request), [promise](Response&& response) {
+      promise->set_value(std::move(response));
+    });
+    return future;
+  }
+
+  /// Submit with a completion callback instead of a future — the shape the
+  /// HTTP tier and QoS scheduler need, where the completing thread (a
+  /// dispatcher, or the submitting thread itself for admission rejects)
+  /// hands the response onward instead of anyone blocking on a get().  The
+  /// callback runs exactly once; it must not block for long (it runs on a
+  /// dispatcher thread for executed requests).
+  void submit_callback(Request request, std::function<void(Response&&)> done) {
     auto pending = std::make_shared<Pending>();
     pending->trace.request_id = obs::next_request_id();
-    std::future<Response> future = pending->promise.get_future();
+    pending->deliver = std::move(done);
 
     if (request.initial.size() != request.sys.cells) {
       core_.note_rejected_invalid();
@@ -89,7 +105,7 @@ class Server {
                  "initial array has " + std::to_string(request.initial.size()) +
                      " entries, system has " + std::to_string(request.sys.cells) +
                      " cells");
-      return future;
+      return;
     }
     request.plan.pool = nullptr;  // placement is the server's, not the caller's
     pending->coalesce_key = core::plan_cache_key(request.sys, request.plan);
@@ -115,7 +131,6 @@ class Server {
         finish_now(*pending, Status::kRejectedShutdown, "server is draining");
         break;
     }
-    return future;
   }
 
   /// Blocking submit: submit_async + get.
@@ -163,7 +178,7 @@ class Server {
     core::PlanOptions options;
     std::vector<Value> initial;
     std::vector<Value> values;  ///< solved array, set by execute_batch for kOk
-    std::promise<Response> promise;
+    std::function<void(Response&&)> deliver;
 
     void fulfill(Status status, const std::string& error,
                  const ResponseInfo& info) override {
@@ -172,7 +187,7 @@ class Server {
       response.error = error;
       response.info = info;
       response.values = std::move(values);
-      promise.set_value(std::move(response));
+      deliver(std::move(response));
     }
   };
 

@@ -1,0 +1,79 @@
+#include "service/tenant.hpp"
+
+#include <cstdlib>
+
+namespace ir::service {
+
+std::optional<TenantSpec> TenantSpec::parse(const std::string& text,
+                                            std::string* error) {
+  // name:key[:weight[:rate[:burst]]] — weight defaults 1, rate/burst 0.
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t colon = text.find(':', start);
+    parts.push_back(text.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts.size() < 2 || parts.size() > 5 || parts[0].empty() || parts[1].empty()) {
+    if (error != nullptr) {
+      *error = "expected name:key[:weight[:rate[:burst]]], got '" + text + "'";
+    }
+    return std::nullopt;
+  }
+  TenantSpec spec;
+  spec.name = parts[0];
+  spec.api_key = parts[1];
+  if (parts.size() > 2 && !parts[2].empty()) {
+    spec.weight = std::strtoull(parts[2].c_str(), nullptr, 10);
+    if (spec.weight == 0) {
+      if (error != nullptr) *error = "tenant weight must be >= 1 in '" + text + "'";
+      return std::nullopt;
+    }
+  }
+  if (parts.size() > 3 && !parts[3].empty()) {
+    spec.rate_per_sec = std::strtod(parts[3].c_str(), nullptr);
+  }
+  if (parts.size() > 4 && !parts[4].empty()) {
+    spec.burst = std::strtod(parts[4].c_str(), nullptr);
+  }
+  return spec;
+}
+
+bool TokenBucket::try_take() {
+  if (rate_ <= 0) return true;
+  const Clock::time_point now = Clock::now();
+  support::LockGuard guard(mutex_);
+  const double elapsed =
+      std::chrono::duration<double>(now - refilled_).count();
+  if (elapsed > 0) {
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    refilled_ = now;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+TenantRegistry::TenantRegistry(std::vector<TenantSpec> specs) {
+  if (specs.empty()) {
+    open_ = true;
+    TenantSpec spec;
+    spec.name = "default";
+    specs.push_back(std::move(spec));
+  }
+  tenants_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    tenants_.push_back(std::make_unique<Tenant>(std::move(specs[i]), i));
+  }
+}
+
+Tenant* TenantRegistry::authenticate(const std::string& api_key) noexcept {
+  if (open_) return tenants_.front().get();
+  for (const auto& tenant : tenants_) {
+    if (tenant->spec().api_key == api_key) return tenant.get();
+  }
+  return nullptr;
+}
+
+}  // namespace ir::service

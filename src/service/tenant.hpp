@@ -1,0 +1,146 @@
+// Multi-tenant vocabulary of the HTTP serving tier (docs/http.md).
+//
+// A tenant is an API key plus policy: a fair-share `weight` consumed by the
+// deficit-round-robin scheduler (service/qos.hpp) and a token-bucket rate
+// limit enforced *before* queueing — an over-rate tenant is answered 429
+// without ever touching the shared queues, so its overage cannot convert
+// into latency for anyone else.  irserve configures tenants from
+// `--tenant=name:key:weight:rate:burst` flags; an empty registry means the
+// tier runs open (every request lands on a built-in "default" tenant with
+// weight 1 and no rate limit), which keeps single-user harnesses simple.
+//
+// Per-tenant counters are plain atomics (advisory snapshot semantics, like
+// ServiceStats); the token bucket is the only locked state.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/request.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace ir::service {
+
+/// Static tenant policy, parsed from "name:key:weight:rate:burst".
+struct TenantSpec {
+  std::string name;
+  std::string api_key;
+  std::uint64_t weight = 1;       ///< DRR quantum multiplier (>= 1)
+  double rate_per_sec = 0.0;      ///< token refill rate; 0 = unlimited
+  double burst = 0.0;             ///< bucket depth; 0 = rate_per_sec (min 1)
+
+  /// Parse the flag form.  nullopt (with *error set) on malformed input.
+  static std::optional<TenantSpec> parse(const std::string& text,
+                                         std::string* error);
+};
+
+/// Classic token bucket: `rate` tokens/second refill up to `burst`; each
+/// admitted request spends one token.  rate == 0 disables limiting.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec),
+        burst_(burst > 0 ? burst : (rate_per_sec > 0 ? std::max(rate_per_sec, 1.0) : 0)),
+        tokens_(burst_),
+        refilled_(Clock::now()) {}
+
+  /// Spend one token if available.  Unlimited buckets always admit.
+  [[nodiscard]] bool try_take() IR_EXCLUDES(mutex_);
+
+  [[nodiscard]] bool limited() const noexcept { return rate_ > 0; }
+
+ private:
+  const double rate_;
+  const double burst_;
+  support::Mutex mutex_;
+  double tokens_ IR_GUARDED_BY(mutex_);
+  Clock::time_point refilled_ IR_GUARDED_BY(mutex_);
+};
+
+/// One live tenant: spec + bucket + counters.
+class Tenant {
+ public:
+  Tenant(TenantSpec spec, std::size_t index)
+      : spec_(std::move(spec)),
+        index_(index),
+        bucket_(spec_.rate_per_sec, spec_.burst) {}
+
+  [[nodiscard]] const TenantSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::string& name() const noexcept { return spec_.name; }
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] TokenBucket& bucket() noexcept { return bucket_; }
+
+  struct Counters {
+    std::uint64_t requests = 0;      ///< authenticated requests seen
+    std::uint64_t admitted = 0;      ///< passed the rate limit, queued
+    std::uint64_t rate_limited = 0;  ///< answered 429
+    std::uint64_t queue_rejected = 0;///< per-tenant QoS queue overflow (503)
+    std::uint64_t completed_ok = 0;
+    std::uint64_t completed_error = 0;
+  };
+
+  void count_request() noexcept { requests_.fetch_add(1, std::memory_order_relaxed); }
+  void count_admitted() noexcept { admitted_.fetch_add(1, std::memory_order_relaxed); }
+  void count_rate_limited() noexcept {
+    rate_limited_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_queue_rejected() noexcept {
+    queue_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_completed(bool ok) noexcept {
+    (ok ? completed_ok_ : completed_error_).fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Counters counters() const noexcept {
+    Counters out;
+    out.requests = requests_.load(std::memory_order_relaxed);
+    out.admitted = admitted_.load(std::memory_order_relaxed);
+    out.rate_limited = rate_limited_.load(std::memory_order_relaxed);
+    out.queue_rejected = queue_rejected_.load(std::memory_order_relaxed);
+    out.completed_ok = completed_ok_.load(std::memory_order_relaxed);
+    out.completed_error = completed_error_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  TenantSpec spec_;
+  std::size_t index_;
+  TokenBucket bucket_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rate_limited_{0};
+  std::atomic<std::uint64_t> queue_rejected_{0};
+  std::atomic<std::uint64_t> completed_ok_{0};
+  std::atomic<std::uint64_t> completed_error_{0};
+};
+
+/// Fixed tenant set, built once before the tier starts (no registration
+/// races — authentication reads immutable structure, counters are atomic).
+class TenantRegistry {
+ public:
+  /// Empty spec list = open access: one "default" tenant, unlimited,
+  /// matched by any (or no) API key.
+  explicit TenantRegistry(std::vector<TenantSpec> specs);
+
+  /// The tenant owning `api_key`, or nullptr (unknown key).  In open mode
+  /// every key — including none — maps to the default tenant.
+  [[nodiscard]] Tenant* authenticate(const std::string& api_key) noexcept;
+
+  [[nodiscard]] bool open_access() const noexcept { return open_; }
+  [[nodiscard]] std::size_t size() const noexcept { return tenants_.size(); }
+  [[nodiscard]] Tenant& tenant(std::size_t index) noexcept { return *tenants_[index]; }
+  [[nodiscard]] const Tenant& tenant(std::size_t index) const noexcept {
+    return *tenants_[index];
+  }
+
+ private:
+  bool open_ = false;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace ir::service

@@ -1,0 +1,229 @@
+// Incremental HTTP/1.1 parser (src/net/http_parser.hpp): framing, limits,
+// smuggling defenses, and the byte-at-a-time invariant — every test case
+// must parse identically whether fed whole or one byte per feed().
+#include "net/http_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ir::net {
+namespace {
+
+HttpRequest parse_ok(const std::string& wire, HttpLimits limits = {}) {
+  HttpParser parser(limits);
+  const std::size_t used = parser.feed(wire);
+  EXPECT_FALSE(parser.failed()) << parser.error_reason();
+  EXPECT_TRUE(parser.complete());
+  EXPECT_EQ(used, wire.size());
+  return parser.take_request();
+}
+
+int parse_error(const std::string& wire, HttpLimits limits = {}) {
+  HttpParser parser(limits);
+  parser.feed(wire);
+  EXPECT_TRUE(parser.failed());
+  return parser.error_status();
+}
+
+TEST(HttpParser, SimpleGet) {
+  const HttpRequest req =
+      parse_ok("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/healthz");
+  EXPECT_EQ(req.query, "");
+  EXPECT_TRUE(req.keep_alive);
+  EXPECT_TRUE(req.body.empty());
+}
+
+TEST(HttpParser, QueryStringAndPercentDecoding) {
+  const HttpRequest req = parse_ok(
+      "GET /v1/solve?id=42&engine=gir&note=a%20b+c HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(req.path, "/v1/solve");
+  bool found = false;
+  EXPECT_EQ(req.query_param("id", &found), "42");
+  EXPECT_TRUE(found);
+  EXPECT_EQ(req.query_param("engine"), "gir");
+  EXPECT_EQ(req.query_param("note"), "a b c");
+  EXPECT_EQ(req.query_param("absent", &found), "");
+  EXPECT_FALSE(found);
+}
+
+TEST(HttpParser, HeaderNamesLowerCasedValuesTrimmed) {
+  const HttpRequest req = parse_ok(
+      "GET / HTTP/1.1\r\nX-API-Key:   secret  \r\nHost: h\r\n\r\n");
+  ASSERT_NE(req.header("x-api-key"), nullptr);
+  EXPECT_EQ(*req.header("x-api-key"), "secret");
+  EXPECT_EQ(req.header("X-API-Key"), nullptr) << "lookups are lower-case";
+}
+
+TEST(HttpParser, FixedLengthBody) {
+  const HttpRequest req = parse_ok(
+      "POST /v1/solve HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+  EXPECT_EQ(req.body, "hello");
+  EXPECT_FALSE(req.chunked);
+}
+
+TEST(HttpParser, ChunkedBodyWithExtensionsAndTrailers) {
+  const HttpRequest req = parse_ok(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4;ext=1\r\nWiki\r\n5\r\npedia\r\n0\r\nX-Trailer: skipped\r\n\r\n");
+  EXPECT_EQ(req.body, "Wikipedia");
+  EXPECT_TRUE(req.chunked);
+  EXPECT_EQ(req.header("x-trailer"), nullptr) << "trailers are skipped";
+}
+
+TEST(HttpParser, ByteAtATimeMatchesWholeBuffer) {
+  const std::string wire =
+      "POST /v1/solve?id=7 HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\n\r\nabc";
+  const HttpRequest whole = parse_ok(wire);
+  HttpParser parser;
+  for (const char byte : wire) {
+    ASSERT_EQ(parser.feed(std::string_view(&byte, 1)), 1u);
+  }
+  ASSERT_TRUE(parser.complete());
+  const HttpRequest dribble = parser.take_request();
+  EXPECT_EQ(dribble.method, whole.method);
+  EXPECT_EQ(dribble.target, whole.target);
+  EXPECT_EQ(dribble.body, whole.body);
+  EXPECT_EQ(dribble.headers, whole.headers);
+}
+
+TEST(HttpParser, FeedStopsAtRequestBoundaryForPipelining) {
+  const std::string two =
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+  HttpParser parser;
+  const std::size_t used = parser.feed(two);
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.take_request().path, "/a");
+  EXPECT_LT(used, two.size()) << "second request's bytes must not be consumed";
+  parser.reset();
+  EXPECT_TRUE(parser.idle());
+  const std::size_t used2 = parser.feed(std::string_view(two).substr(used));
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.take_request().path, "/b");
+  EXPECT_EQ(used + used2, two.size());
+}
+
+TEST(HttpParser, TruncatedRequestStaysIncomplete) {
+  HttpParser parser;
+  parser.feed("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nonly4");
+  EXPECT_FALSE(parser.complete());
+  EXPECT_FALSE(parser.failed());
+  EXPECT_FALSE(parser.idle()) << "a half-received request is not idle";
+}
+
+TEST(HttpParser, ConnectionCloseAndHttp10Defaults) {
+  EXPECT_FALSE(parse_ok("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+  EXPECT_FALSE(parse_ok("GET / HTTP/1.0\r\n\r\n").keep_alive);
+  EXPECT_TRUE(
+      parse_ok("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive);
+}
+
+TEST(HttpParser, RequestLineLimit) {
+  HttpLimits limits;
+  limits.max_request_line = 32;
+  EXPECT_EQ(parse_error("GET /" + std::string(64, 'a') + " HTTP/1.1\r\n\r\n",
+                        limits),
+            431);
+}
+
+TEST(HttpParser, HeaderBlockByteLimit) {
+  HttpLimits limits;
+  limits.max_header_bytes = 64;
+  EXPECT_EQ(parse_error("GET / HTTP/1.1\r\nX-Big: " + std::string(128, 'v') +
+                            "\r\n\r\n",
+                        limits),
+            431);
+}
+
+TEST(HttpParser, HeaderCountLimit) {
+  HttpLimits limits;
+  limits.max_headers = 2;
+  EXPECT_EQ(parse_error("GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n", limits),
+            431);
+}
+
+TEST(HttpParser, FixedBodyLimitRejectedFromContentLength) {
+  HttpLimits limits;
+  limits.max_body_bytes = 8;
+  // Rejected at the header, before any body byte arrives.
+  EXPECT_EQ(parse_error("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n", limits),
+            413);
+}
+
+TEST(HttpParser, ChunkedBodyLimitEnforcedAcrossChunks) {
+  HttpLimits limits;
+  limits.max_body_bytes = 6;
+  EXPECT_EQ(parse_error("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                        "4\r\nAAAA\r\n4\r\nBBBB\r\n0\r\n\r\n",
+                        limits),
+            413);
+}
+
+TEST(HttpParser, MalformedChunkSizeRejected) {
+  EXPECT_EQ(parse_error("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                        "zz\r\ndata\r\n0\r\n\r\n"),
+            400);
+}
+
+TEST(HttpParser, ChunkDataMissingCrlfRejected) {
+  EXPECT_EQ(parse_error("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                        "4\r\nWikiXX0\r\n\r\n"),
+            400);
+}
+
+TEST(HttpParser, SmugglingBothLengthHeadersRejected) {
+  EXPECT_EQ(parse_error("POST / HTTP/1.1\r\nContent-Length: 4\r\n"
+                        "Transfer-Encoding: chunked\r\n\r\n"),
+            400);
+}
+
+TEST(HttpParser, UnknownTransferEncodingRejected) {
+  EXPECT_EQ(parse_error("POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n"),
+            501);
+}
+
+TEST(HttpParser, ObsoleteLineFoldingRejected) {
+  EXPECT_EQ(parse_error("GET / HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n"), 400);
+}
+
+TEST(HttpParser, BadVersionRejected) {
+  EXPECT_EQ(parse_error("GET / HTTP/2.0\r\n\r\n"), 505);
+  EXPECT_EQ(parse_error("GET / FTP/1.1\r\n\r\n"), 505);
+}
+
+TEST(HttpParser, BadHeaderNameRejected) {
+  EXPECT_EQ(parse_error("GET / HTTP/1.1\r\nBad Header: 1\r\n\r\n"), 400);
+  EXPECT_EQ(parse_error("GET / HTTP/1.1\r\n: novalue\r\n\r\n"), 400);
+}
+
+TEST(HttpParser, NegativeOrJunkContentLengthRejected) {
+  EXPECT_EQ(parse_error("POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"), 400);
+  EXPECT_EQ(parse_error("POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n"), 400);
+}
+
+TEST(HttpParser, ResetRearmsAfterCompletion) {
+  HttpParser parser;
+  parser.feed("GET /one HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parser.complete());
+  parser.reset();
+  EXPECT_TRUE(parser.idle());
+  parser.feed("GET /two HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.take_request().path, "/two");
+}
+
+TEST(HttpParser, FeedingTerminalParserConsumesNothing) {
+  HttpParser parser;
+  parser.feed("GET / HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.feed("GET /next HTTP/1.1\r\n\r\n"), 0u);
+  HttpParser broken;
+  broken.feed("GET / FTP/9\r\n\r\n");
+  ASSERT_TRUE(broken.failed());
+  EXPECT_EQ(broken.feed("more"), 0u);
+}
+
+}  // namespace
+}  // namespace ir::net

@@ -9,7 +9,9 @@ File mode checks each report parses and conforms to schema version 1
 (docs/benchmarking.md): schema/version/bench/machine/config/variants fields,
 every variant carrying name/unit/samples/per_op/p50/p90/p99/min/max with
 finite non-negative numbers, min <= p50 <= p90 <= p99 <= max, and variant
-names unique within a report.
+names unique within a report.  The optional tail quantile "p999" (emitted by
+newer bench binaries and the irload generator) is validated when present:
+p99 <= p999 <= max.
 
 End-to-end mode runs `BIN ARG... --report=TMP` and validates the file the
 binary wrote — what the ctest entry `bench.report_json_format` does.
@@ -84,6 +86,14 @@ def validate_report(path):
                 <= variant["p99"] <= variant["max"]):
             fail(f"{path}: variant '{name}' percentiles are not ordered: "
                  f"{[variant[k] for k in VARIANT_NUMBERS[1:]]}")
+        if "p999" in variant:
+            p999 = variant["p999"]
+            if not isinstance(p999, (int, float)) or not math.isfinite(p999):
+                fail(f"{path}: variant '{name}' field 'p999' must be a "
+                     f"finite number, got {p999!r}")
+            if not (variant["p99"] <= p999 <= variant["max"]):
+                fail(f"{path}: variant '{name}' p999 out of order: "
+                     f"p99={variant['p99']} p999={p999} max={variant['max']}")
     return report["bench"], len(variants)
 
 

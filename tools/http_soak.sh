@@ -1,0 +1,175 @@
+#!/usr/bin/env bash
+# Soak-smoke the multi-tenant HTTP tier (docs/http.md): one irserve with two
+# tenants — gold (weight 3, unlimited) and bronze (weight 1, 25 req/s) — a
+# 2-shard router, and the newline control channel still attached to stdin,
+# then check the acceptance invariants of the serving tier:
+#
+#   * byte-identical values: the same system solved over the newline channel
+#     and over POST /v1/solve must answer the identical `values` line,
+#   * irload sustains 4 concurrent keep-alive connections across both
+#     tenants (reconnects=0, every connection mixes tenants),
+#   * 429s are confined to the throttled tenant: bronze collects rate-limit
+#     rejections, gold collects none,
+#   * the irload report passes check_bench_json.py,
+#   * after the storm, the drained ledger balances and `quit` answers bye.
+#
+# Run against a sanitizer build (CI runs it under TSan) this doubles as a
+# race check on the epoll loop, HTTP parser, QoS scheduler, and shard router.
+#
+# Usage: tools/http_soak.sh BUILD_DIR
+set -euo pipefail
+
+if [[ $# -ne 1 ]]; then
+  echo "usage: tools/http_soak.sh BUILD_DIR" >&2
+  exit 2
+fi
+DIR="$1"
+SYS="${DIR}/http-soak-system.ir"
+BODY="${DIR}/http-soak-body.txt"
+OUT="${DIR}/http-soak-out.txt"
+ERR="${DIR}/http-soak-err.txt"
+REPORT="${DIR}/http-soak-load.json"
+CTL="${DIR}/http-soak-ctl.fifo"
+
+"${DIR}/examples/irtool" gen chain 128 > "${SYS}"
+cat "${SYS}" > "${BODY}"
+echo "." >> "${BODY}"
+
+rm -f "${CTL}" "${OUT}" "${ERR}" "${REPORT}"
+mkfifo "${CTL}"
+
+"${DIR}/tools/irserve" \
+    --http=0 --shards=2 --dispatchers=2 --http-workers=2 \
+    --tenant=gold:gold-key:3 --tenant=bronze:bronze-key:1:25:5 \
+    < "${CTL}" > "${OUT}" 2> "${ERR}" &
+SERVE_PID=$!
+# Hold the control fifo open for the whole soak; closing fd 3 at the end is
+# what lets irserve's stdin session see EOF if `quit` were ever missed.
+exec 3> "${CTL}"
+cleanup() {
+  exec 3>&- || true
+  kill "${SERVE_PID}" 2> /dev/null || true
+}
+trap cleanup EXIT
+
+# Wait for the tier to come up and learn its ephemeral port.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*http listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+          "${ERR}" | head -1)"
+  [[ -n "${PORT}" ]] && break
+  if ! kill -0 "${SERVE_PID}" 2> /dev/null; then
+    echo "http soak: irserve died during startup:" >&2
+    cat "${ERR}" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "${PORT}" ]]; then
+  echo "http soak: irserve never announced its HTTP port" >&2
+  cat "${ERR}" >&2
+  exit 1
+fi
+
+# --- byte-identity: newline channel vs POST /v1/solve ------------------------
+{
+  echo "solve id=1"
+  cat "${BODY}"
+} >&3
+for _ in $(seq 1 100); do
+  grep -q '^values ' "${OUT}" && break
+  sleep 0.1
+done
+NEWLINE_VALUES="$(grep '^values ' "${OUT}" | head -1)"
+if [[ -z "${NEWLINE_VALUES}" ]]; then
+  echo "http soak: newline solve never answered" >&2
+  exit 1
+fi
+
+HTTP_VALUES="$(python3 - "${PORT}" "${BODY}" <<'PY'
+import sys, urllib.request
+port, body_file = sys.argv[1], sys.argv[2]
+req = urllib.request.Request(
+    f"http://127.0.0.1:{port}/v1/solve?id=1",
+    data=open(body_file, "rb").read(),
+    headers={"X-API-Key": "gold-key"})
+with urllib.request.urlopen(req, timeout=10) as response:
+    for line in response.read().decode().splitlines():
+        if line.startswith("values "):
+            print(line)
+            break
+PY
+)"
+if [[ "${HTTP_VALUES}" != "${NEWLINE_VALUES}" ]]; then
+  echo "http soak: transports disagree" >&2
+  echo "  newline: ${NEWLINE_VALUES}" >&2
+  echo "  http:    ${HTTP_VALUES}" >&2
+  exit 1
+fi
+
+# --- the storm: 4 keep-alive connections, both tenants, bronze throttled -----
+LOAD_OUT="${DIR}/http-soak-irload.txt"
+"${DIR}/tools/irload" --port="${PORT}" --connections=4 --duration-ms=1500 \
+    --cells=128 --warmup=4 \
+    --tenant=gold:gold-key:3 --tenant=bronze:bronze-key:1 \
+    --report="${REPORT}" --label=soak > "${LOAD_OUT}"
+cat "${LOAD_OUT}"
+
+LEG="$(grep '^leg=' "${LOAD_OUT}" | head -1)"
+if ! grep -qE ' reconnects=0( |$)' <<< "${LEG}"; then
+  echo "http soak: keep-alive did not hold: ${LEG}" >&2
+  exit 1
+fi
+if ! grep -qE ' transport_errors=0( |$)' <<< "${LEG}"; then
+  echo "http soak: transport errors under load: ${LEG}" >&2
+  exit 1
+fi
+GOLD="$(grep '  tenant=gold ' "${LOAD_OUT}" | head -1)"
+BRONZE="$(grep '  tenant=bronze ' "${LOAD_OUT}" | head -1)"
+if ! grep -qE ' rate_limited=0 ' <<< "${GOLD}"; then
+  echo "http soak: 429s leaked to the unthrottled tenant: ${GOLD}" >&2
+  exit 1
+fi
+if grep -qE ' rate_limited=0 ' <<< "${BRONZE}"; then
+  echo "http soak: the throttled tenant was never rate-limited: ${BRONZE}" >&2
+  exit 1
+fi
+for line in "${GOLD}" "${BRONZE}"; do
+  ok="$(sed -n 's/.* ok=\([0-9][0-9]*\).*/\1/p' <<< "${line}")"
+  if [[ -z "${ok}" || "${ok}" == "0" ]]; then
+    echo "http soak: a tenant completed zero solves: ${line}" >&2
+    exit 1
+  fi
+done
+
+python3 "$(dirname "$0")/check_bench_json.py" "${REPORT}"
+
+# --- drain + graceful quit ---------------------------------------------------
+{
+  echo "drain"
+  echo "quit"
+} >&3
+exec 3>&-
+for _ in $(seq 1 100); do
+  kill -0 "${SERVE_PID}" 2> /dev/null || break
+  sleep 0.1
+done
+if kill -0 "${SERVE_PID}" 2> /dev/null; then
+  echo "http soak: irserve did not exit after quit" >&2
+  exit 1
+fi
+trap - EXIT
+
+DRAINED="$(grep -E '^drained ' "${OUT}" | tail -1)"
+if ! grep -qE '^drained .*balanced=1' <<< "${DRAINED}"; then
+  echo "http soak: drained ledger does not balance: ${DRAINED}" >&2
+  exit 1
+fi
+if ! grep -q '^bye$' "${OUT}"; then
+  echo "http soak: quit never answered bye" >&2
+  exit 1
+fi
+
+echo "http soak: values byte-identical across transports;" \
+     "$(sed -n 's/.* sent=\([0-9]*\).*/\1/p' <<< "${LEG}") requests over 4" \
+     "keep-alive connections; 429s confined to bronze; ledger balanced"

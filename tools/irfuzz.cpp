@@ -25,6 +25,12 @@
 //     --selftest           prove detection + shrinking fire on an injected
 //                          oracle bug (asserts the reproducer has <= 10
 //                          equations); exit 0 iff the harness works
+//     --http[=N]           HTTP differential leg: spin up an in-process
+//                          multi-tenant HTTP tier (sharded router, real
+//                          sockets) and round-trip N random systems through
+//                          POST /v1/solve — each response's values line must
+//                          byte-match the sequential oracle's
+//                          (docs/http.md); exit 0 iff all match
 //     FILE...              replay mode: differential-check ir-system files
 //                          (the checked-in corpus must stay green)
 #include <cstdio>
@@ -36,8 +42,16 @@
 #include <string>
 #include <vector>
 
+#include "algebra/monoids.hpp"
+#include "core/general_ir.hpp"
 #include "core/serialize.hpp"
+#include "net/http_client.hpp"
+#include "obs/registry.hpp"
 #include "parallel/thread_pool.hpp"
+#include "service/http_tier.hpp"
+#include "service/line_protocol.hpp"
+#include "service/serve_op.hpp"
+#include "service/shard_router.hpp"
 #include "support/contract.hpp"
 #include "support/rng.hpp"
 #include "testing/differential.hpp"
@@ -57,6 +71,7 @@ struct Config {
   bool inject_oracle_bug = false;
   bool selftest = false;
   bool no_verify = false;
+  std::size_t http_cases = 0;  ///< --http differential leg; 0 = off
   std::vector<std::string> replay_files;
 };
 
@@ -64,7 +79,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: irfuzz [--seed=S] [--cases=N] [--max-n=N] [--threads=K]\n"
                "              [--smoke] [--corpus=DIR] [--inject-oracle-bug]\n"
-               "              [--no-verify] [--selftest] [FILE...]\n");
+               "              [--no-verify] [--selftest] [--http[=N]] [FILE...]\n");
   return 2;
 }
 
@@ -93,6 +108,10 @@ bool parse_args(int argc, char** argv, Config& config) {
       config.selftest = true;
     } else if (arg == "--no-verify") {
       config.no_verify = true;
+    } else if (arg == "--http") {
+      config.http_cases = 64;
+    } else if (arg.rfind("--http=", 0) == 0) {
+      config.http_cases = std::strtoull(value_of("--http=").c_str(), nullptr, 10);
     } else if (arg == "--replay") {
       // Optional marker; the files themselves are positional.
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -267,6 +286,83 @@ int run_selftest(const Config& config) {
   return 0;
 }
 
+/// The --http differential leg (docs/http.md): every random system solved
+/// through the real HTTP stack — socket, epoll frontend, QoS queue, shard
+/// router — must yield a values line byte-identical to the sequential
+/// oracle's.  This is the transport-level twin of run_differential: the
+/// engines are already cross-checked; what this leg pins is the serving
+/// tier's decode → route → execute → format loop.
+int run_http_differential(const Config& config) {
+  using Router = service::ShardRouter<service::ServeOp>;
+  namespace lp = service::line_protocol;
+
+  const service::ServeOp op{algebra::ModMulMonoid(1'000'000'007ull), 0};
+  service::ServiceConfig svc;
+  svc.dispatchers = 2;
+  Router router(op, svc, 2);  // 2 shards: the routing seam is part of the leg
+  obs::ScrapeWindow window;
+  service::HttpTier<Router> tier(router, service::HttpTierConfig{}, window,
+                                 [] { return obs::registry().snapshot(); });
+  if (!tier.start()) {
+    std::fprintf(stderr, "irfuzz: http tier failed to start: %s\n",
+                 tier.error().c_str());
+    return 1;
+  }
+  net::HttpClient client("127.0.0.1", tier.port());
+
+  support::SplitMix64 rng(config.seed * 0x9e3779b97f4a7c15ull + 0x48545450);
+  testing::GeneratorLimits limits;
+  limits.max_iterations = config.max_n;
+
+  std::size_t failures = 0;
+  for (std::size_t k = 0; k < config.http_cases; ++k) {
+    const auto shape =
+        testing::kAllShapeClasses[k % testing::kAllShapeClasses.size()];
+    const auto c = testing::generate_case(shape, rng, limits);
+    const auto expected = core::general_ir_sequential(
+        op, c.sys, lp::default_initial(c.sys.cells));
+    const std::string want = lp::values_line(expected);
+
+    net::HttpClientResponse response;
+    const std::string body = core::to_text(c.sys) + ".\n";
+    if (!client.post("/v1/solve?id=" + std::to_string(k), body, &response)) {
+      ++failures;
+      std::fprintf(stderr, "irfuzz: http case %zu transport error: %s\n", k,
+                   client.error().c_str());
+      continue;
+    }
+    if (response.status != 200) {
+      ++failures;
+      std::fprintf(stderr, "irfuzz: http case %zu status %d: %s\n", k,
+                   response.status, response.body.c_str());
+      continue;
+    }
+    // Body is "ok ...\nvalues ...\n"; the values line is the oracle-pinned
+    // payload.
+    const std::size_t nl = response.body.find('\n');
+    std::string got = nl == std::string::npos ? std::string()
+                                              : response.body.substr(nl + 1);
+    if (!got.empty() && got.back() == '\n') got.pop_back();
+    if (got != want) {
+      ++failures;
+      std::fprintf(stderr,
+                   "irfuzz: http case %zu (%s, n=%zu) values mismatch\n"
+                   "  want: %s\n  got:  %s\n",
+                   k, std::string(testing::to_string(shape)).c_str(),
+                   c.sys.iterations(), want.c_str(), got.c_str());
+    }
+  }
+  const std::uint64_t reconnects = client.reconnects();
+  tier.stop();
+  router.shutdown();
+  std::printf("irfuzz: http leg %zu cases, %zu failures, %llu reconnects "
+              "(seed %llu)\n",
+              config.http_cases, failures,
+              static_cast<unsigned long long>(reconnects),
+              static_cast<unsigned long long>(config.seed));
+  return failures == 0 ? 0 : 1;
+}
+
 int run_fuzz(const Config& config) {
   parallel::ThreadPool pool(config.threads == 0 ? 1 : config.threads);
   parallel::ThreadPool* pool_ptr = config.threads == 0 ? nullptr : &pool;
@@ -333,6 +429,7 @@ int main(int argc, char** argv) {
   try {
     if (!config.replay_files.empty()) return run_replay(config);
     if (config.selftest) return run_selftest(config);
+    if (config.http_cases > 0) return run_http_differential(config);
     return run_fuzz(config);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "irfuzz: fatal: %s\n", e.what());

@@ -1,0 +1,472 @@
+// irload — closed- and open-loop load generator for the HTTP serving tier
+// (docs/http.md), emitting ir-bench-report v1 with tail quantiles.
+//
+// Drives POST /v1/solve over keep-alive connections (net/http_client.hpp)
+// against an irserve --http endpoint:
+//
+//   * closed loop (--mode=closed): --connections threads, each issuing
+//     back-to-back requests for --duration-ms — measures the service at the
+//     concurrency the connection count dictates.
+//   * open loop (--mode=open): the same threads pace requests on an absolute
+//     schedule so the offered rate is --qps regardless of response latency.
+//     Latency is measured from the *scheduled* send time, so queueing delay
+//     from a saturated server is charged to the sample (no coordinated
+//     omission).  --qps-list=Q1,Q2,... sweeps a saturation curve: one leg
+//     per target, one report variant per leg.
+//
+// Tenant mix: --tenant=name:key[:share] (repeatable) interleaves API keys
+// proportionally to share.  Workload: --cells=N chain systems ("irtool gen
+// chain" shape); --systems=K rotates K distinct sizes so a sharded server
+// spreads plans across shards.  --deadline-ms / --deadline-uniform=LO:HI
+// attach per-request deadlines.
+//
+// Per-leg summary lines go to stdout; --report=FILE writes the
+// ir-bench-report v1 document (unit ns, p50/p90/p99/p999) that
+// tools/check_bench_json.py validates and bench/baseline/BENCH_service.json
+// pins.  Exit status is 0 only if every leg got at least one 200 and no
+// transport errors occurred.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/general_ir.hpp"
+#include "core/serialize.hpp"
+#include "net/http_client.hpp"
+#include "bench_report.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TenantMix {
+  std::string name;
+  std::string key;
+  std::uint64_t share = 1;
+};
+
+struct LoadFlags {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  bool open_loop = false;
+  std::size_t connections = 4;
+  std::uint64_t duration_ms = 2000;
+  std::uint64_t warmup = 8;          ///< per-connection, excluded from samples
+  std::vector<double> qps_list;      ///< open loop; one leg per entry
+  std::vector<TenantMix> tenants;
+  std::size_t cells = 64;
+  std::size_t systems = 1;
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t deadline_lo = 0, deadline_hi = 0;  ///< uniform when hi > 0
+  std::string report_file;
+  std::string label;                 ///< variant name prefix
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: irload --port=PORT [--host=H] [--mode=closed|open]\n"
+               "              [--connections=N] [--duration-ms=MS] [--warmup=N]\n"
+               "              [--qps=Q | --qps-list=Q1,Q2,...]\n"
+               "              [--tenant=name:key[:share]] [--cells=N] [--systems=K]\n"
+               "              [--deadline-ms=D | --deadline-uniform=LO:HI]\n"
+               "              [--report=FILE] [--label=NAME]\n"
+               "\n"
+               "Closed loop: each connection issues requests back-to-back.\n"
+               "Open loop: requests are paced to the target QPS on an absolute\n"
+               "schedule; latency counts from the scheduled send time.\n"
+               "--qps-list runs one leg per target (a saturation curve).\n");
+  return 2;
+}
+
+/// The "irtool gen chain" shape: cells = n + 1, A[i+1] := A[i] ⊙ A[i+1].
+std::string chain_document(std::size_t n) {
+  ir::core::GeneralIrSystem sys;
+  sys.cells = n + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.f.push_back(i);
+    sys.g.push_back(i + 1);
+    sys.h.push_back(i + 1);
+  }
+  return ir::core::to_text(sys);
+}
+
+/// xorshift-ish per-thread PRNG for deadline jitter (no shared state).
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+};
+
+struct WorkerTally {
+  std::vector<double> latencies_ns;                 ///< successful 200s
+  std::vector<std::vector<double>> tenant_ns;       ///< per-tenant 200s
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rate_limited = 0;   ///< 429
+  std::uint64_t rejected = 0;       ///< 503
+  std::uint64_t deadline = 0;       ///< 504
+  std::uint64_t other_http = 0;     ///< any other non-200
+  std::uint64_t transport_errors = 0;
+  std::uint64_t reconnects = 0;
+  std::vector<std::uint64_t> tenant_429;
+};
+
+struct Leg {
+  std::string name;
+  double target_qps = 0.0;  ///< 0 = closed loop
+  WorkerTally total;
+  double achieved_qps = 0.0;
+  double elapsed_s = 0.0;
+};
+
+/// One worker thread for one leg: owns its HttpClient (keep-alive held for
+/// the whole leg), picks tenants round-robin by share, paces itself when
+/// open-loop.  `mix` maps request sequence -> tenant index proportionally.
+void run_worker(const LoadFlags& flags, const std::vector<std::string>& bodies,
+                const std::vector<std::size_t>& mix, double worker_qps,
+                std::size_t worker_index, Clock::time_point deadline,
+                WorkerTally* tally) {
+  ir::net::HttpClient client(flags.host, static_cast<std::uint16_t>(flags.port));
+  Rng rng{0x9e3779b97f4a7c15ull * (worker_index + 1) + 12345};
+  tally->tenant_ns.resize(flags.tenants.size());
+  tally->tenant_429.assign(flags.tenants.size(), 0);
+
+  const auto interval =
+      worker_qps > 0.0
+          ? std::chrono::nanoseconds(static_cast<std::uint64_t>(1e9 / worker_qps))
+          : std::chrono::nanoseconds(0);
+  Clock::time_point scheduled = Clock::now();
+  std::uint64_t seq = worker_index;  // stagger tenant/system rotation
+  std::uint64_t measured = 0;
+
+  while (Clock::now() < deadline) {
+    if (worker_qps > 0.0) {
+      // Absolute schedule: late requests fire immediately (and their sample
+      // includes the backlog), early ones wait.
+      std::this_thread::sleep_until(scheduled);
+      if (Clock::now() >= deadline) break;
+    }
+    const std::size_t tenant = mix.empty() ? 0 : mix[seq % mix.size()];
+    const std::string& body = bodies[seq % bodies.size()];
+    ++seq;
+
+    std::string target = "/v1/solve?id=" + std::to_string(seq);
+    std::uint64_t req_deadline = flags.deadline_ms;
+    if (flags.deadline_hi > flags.deadline_lo) {
+      req_deadline =
+          flags.deadline_lo + rng.next() % (flags.deadline_hi - flags.deadline_lo + 1);
+    }
+    if (req_deadline != 0) {
+      target += "&deadline_ms=" + std::to_string(req_deadline);
+    }
+    std::vector<std::pair<std::string, std::string>> headers;
+    if (!flags.tenants.empty() && !flags.tenants[tenant].key.empty()) {
+      headers.emplace_back("X-API-Key", flags.tenants[tenant].key);
+    }
+
+    // Open loop measures from the scheduled time (coordinated-omission
+    // safe); closed loop from the actual send.
+    const Clock::time_point t0 =
+        worker_qps > 0.0 ? scheduled : Clock::now();
+    scheduled += interval;
+
+    ir::net::HttpClientResponse response;
+    const bool sent_ok = client.post(target, body, &response, headers);
+    ++tally->sent;
+    ++measured;
+    const bool warm = measured <= flags.warmup;
+    if (!sent_ok) {
+      ++tally->transport_errors;
+      continue;
+    }
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+            .count());
+    switch (response.status) {
+      case 200:
+        ++tally->ok;
+        if (!warm) {
+          tally->latencies_ns.push_back(ns);
+          if (tenant < tally->tenant_ns.size()) {
+            tally->tenant_ns[tenant].push_back(ns);
+          }
+        }
+        break;
+      case 429:
+        ++tally->rate_limited;
+        if (tenant < tally->tenant_429.size()) ++tally->tenant_429[tenant];
+        break;
+      case 503: ++tally->rejected; break;
+      case 504: ++tally->deadline; break;
+      default: ++tally->other_http; break;
+    }
+  }
+  tally->reconnects = client.reconnects();
+}
+
+void merge(WorkerTally& into, WorkerTally&& from) {
+  into.latencies_ns.insert(into.latencies_ns.end(), from.latencies_ns.begin(),
+                           from.latencies_ns.end());
+  if (into.tenant_ns.size() < from.tenant_ns.size()) {
+    into.tenant_ns.resize(from.tenant_ns.size());
+  }
+  for (std::size_t t = 0; t < from.tenant_ns.size(); ++t) {
+    into.tenant_ns[t].insert(into.tenant_ns[t].end(), from.tenant_ns[t].begin(),
+                             from.tenant_ns[t].end());
+  }
+  if (into.tenant_429.size() < from.tenant_429.size()) {
+    into.tenant_429.resize(from.tenant_429.size(), 0);
+  }
+  for (std::size_t t = 0; t < from.tenant_429.size(); ++t) {
+    into.tenant_429[t] += from.tenant_429[t];
+  }
+  into.sent += from.sent;
+  into.ok += from.ok;
+  into.rate_limited += from.rate_limited;
+  into.rejected += from.rejected;
+  into.deadline += from.deadline;
+  into.other_http += from.other_http;
+  into.transport_errors += from.transport_errors;
+  into.reconnects += from.reconnects;
+}
+
+double percentile_ns(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Leg run_leg(const LoadFlags& flags, const std::vector<std::string>& bodies,
+            const std::vector<std::size_t>& mix, double target_qps) {
+  Leg leg;
+  leg.target_qps = target_qps;
+  leg.name = target_qps > 0.0
+                 ? "qps" + std::to_string(static_cast<std::uint64_t>(target_qps))
+                 : "closed_c" + std::to_string(flags.connections);
+
+  const double worker_qps =
+      target_qps > 0.0 ? target_qps / static_cast<double>(flags.connections) : 0.0;
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline =
+      start + std::chrono::milliseconds(flags.duration_ms);
+
+  std::vector<WorkerTally> tallies(flags.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(flags.connections);
+  for (std::size_t w = 0; w < flags.connections; ++w) {
+    workers.emplace_back(run_worker, std::cref(flags), std::cref(bodies),
+                         std::cref(mix), worker_qps, w, deadline, &tallies[w]);
+  }
+  for (auto& worker : workers) worker.join();
+  leg.elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+
+  for (auto& tally : tallies) merge(leg.total, std::move(tally));
+  leg.achieved_qps =
+      leg.elapsed_s > 0.0 ? static_cast<double>(leg.total.sent) / leg.elapsed_s : 0.0;
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadFlags flags;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto number = [&arg](std::size_t prefix) {
+      return std::strtoull(arg.c_str() + prefix, nullptr, 10);
+    };
+    if (arg.rfind("--port=", 0) == 0) {
+      flags.port = static_cast<int>(number(7));
+    } else if (arg.rfind("--host=", 0) == 0) {
+      flags.host = arg.substr(7);
+    } else if (arg == "--mode=closed") {
+      flags.open_loop = false;
+    } else if (arg == "--mode=open") {
+      flags.open_loop = true;
+    } else if (arg.rfind("--connections=", 0) == 0) {
+      flags.connections = number(14);
+    } else if (arg.rfind("--duration-ms=", 0) == 0) {
+      flags.duration_ms = number(14);
+    } else if (arg.rfind("--warmup=", 0) == 0) {
+      flags.warmup = number(9);
+    } else if (arg.rfind("--qps=", 0) == 0) {
+      flags.qps_list = {std::strtod(arg.c_str() + 6, nullptr)};
+      flags.open_loop = true;
+    } else if (arg.rfind("--qps-list=", 0) == 0) {
+      flags.qps_list.clear();
+      const char* cursor = arg.c_str() + 11;
+      while (*cursor != '\0') {
+        char* end = nullptr;
+        flags.qps_list.push_back(std::strtod(cursor, &end));
+        cursor = (*end == ',') ? end + 1 : end;
+      }
+      flags.open_loop = true;
+    } else if (arg.rfind("--tenant=", 0) == 0) {
+      // name:key[:share]
+      const std::string spec = arg.substr(9);
+      const std::size_t c1 = spec.find(':');
+      if (c1 == std::string::npos) {
+        std::fprintf(stderr, "irload: --tenant needs name:key[:share]\n");
+        return usage();
+      }
+      TenantMix mix;
+      mix.name = spec.substr(0, c1);
+      const std::size_t c2 = spec.find(':', c1 + 1);
+      if (c2 == std::string::npos) {
+        mix.key = spec.substr(c1 + 1);
+      } else {
+        mix.key = spec.substr(c1 + 1, c2 - c1 - 1);
+        mix.share = std::strtoull(spec.c_str() + c2 + 1, nullptr, 10);
+        if (mix.share == 0) mix.share = 1;
+      }
+      flags.tenants.push_back(std::move(mix));
+    } else if (arg.rfind("--cells=", 0) == 0) {
+      flags.cells = number(8);
+    } else if (arg.rfind("--systems=", 0) == 0) {
+      flags.systems = std::max<std::size_t>(1, number(10));
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      flags.deadline_ms = number(14);
+    } else if (arg.rfind("--deadline-uniform=", 0) == 0) {
+      const std::string span = arg.substr(19);
+      const std::size_t colon = span.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "irload: --deadline-uniform needs LO:HI\n");
+        return usage();
+      }
+      flags.deadline_lo = std::strtoull(span.c_str(), nullptr, 10);
+      flags.deadline_hi = std::strtoull(span.c_str() + colon + 1, nullptr, 10);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      flags.report_file = arg.substr(9);
+    } else if (arg.rfind("--label=", 0) == 0) {
+      flags.label = arg.substr(8);
+    } else {
+      return usage();
+    }
+  }
+  if (flags.port < 0 || flags.connections == 0) return usage();
+  if (flags.open_loop && flags.qps_list.empty()) {
+    std::fprintf(stderr, "irload: --mode=open needs --qps or --qps-list\n");
+    return usage();
+  }
+
+  // Workload bodies: K distinct chain systems (distinct plan keys, so a
+  // sharded server spreads them), "."-terminated per the /v1/solve contract.
+  std::vector<std::string> bodies;
+  bodies.reserve(flags.systems);
+  for (std::size_t s = 0; s < flags.systems; ++s) {
+    bodies.push_back(chain_document(flags.cells + s) + ".\n");
+  }
+
+  // Tenant mix vector: tenant t appears share_t times; requests walk it
+  // round-robin, so shares become exact interleave ratios.
+  std::vector<std::size_t> mix;
+  for (std::size_t t = 0; t < flags.tenants.size(); ++t) {
+    for (std::uint64_t s = 0; s < flags.tenants[t].share; ++s) mix.push_back(t);
+  }
+
+  std::vector<Leg> legs;
+  if (flags.open_loop) {
+    for (const double qps : flags.qps_list) {
+      legs.push_back(run_leg(flags, bodies, mix, qps));
+    }
+  } else {
+    legs.push_back(run_leg(flags, bodies, mix, 0.0));
+  }
+
+  bool healthy = true;
+  for (const Leg& leg : legs) {
+    std::vector<double> sorted = leg.total.latencies_ns;
+    std::sort(sorted.begin(), sorted.end());
+    const auto us = [](double ns) {
+      return static_cast<unsigned long long>(ns / 1000.0);
+    };
+    std::printf(
+        "leg=%s target_qps=%.0f achieved_qps=%.1f sent=%llu ok=%llu "
+        "rate_limited=%llu rejected=%llu deadline=%llu other=%llu "
+        "transport_errors=%llu reconnects=%llu p50_us=%llu p99_us=%llu "
+        "p999_us=%llu\n",
+        leg.name.c_str(), leg.target_qps, leg.achieved_qps,
+        static_cast<unsigned long long>(leg.total.sent),
+        static_cast<unsigned long long>(leg.total.ok),
+        static_cast<unsigned long long>(leg.total.rate_limited),
+        static_cast<unsigned long long>(leg.total.rejected),
+        static_cast<unsigned long long>(leg.total.deadline),
+        static_cast<unsigned long long>(leg.total.other_http),
+        static_cast<unsigned long long>(leg.total.transport_errors),
+        static_cast<unsigned long long>(leg.total.reconnects),
+        us(percentile_ns(sorted, 0.5)), us(percentile_ns(sorted, 0.99)),
+        us(percentile_ns(sorted, 0.999)));
+    for (std::size_t t = 0; t < flags.tenants.size(); ++t) {
+      std::vector<double> tenant_sorted =
+          t < leg.total.tenant_ns.size() ? leg.total.tenant_ns[t]
+                                         : std::vector<double>();
+      std::sort(tenant_sorted.begin(), tenant_sorted.end());
+      std::printf("  tenant=%s ok=%llu rate_limited=%llu p50_us=%llu "
+                  "p99_us=%llu\n",
+                  flags.tenants[t].name.c_str(),
+                  static_cast<unsigned long long>(tenant_sorted.size()),
+                  static_cast<unsigned long long>(
+                      t < leg.total.tenant_429.size() ? leg.total.tenant_429[t]
+                                                      : 0),
+                  us(percentile_ns(tenant_sorted, 0.5)),
+                  us(percentile_ns(tenant_sorted, 0.99)));
+    }
+    if (leg.total.ok == 0 || leg.total.transport_errors != 0) healthy = false;
+  }
+
+  if (!flags.report_file.empty()) {
+    try {
+      ir::bench::BenchReport report("service_http_load");
+      report.set_config("mode", flags.open_loop ? "open" : "closed");
+      report.set_config("connections", static_cast<std::uint64_t>(flags.connections));
+      report.set_config("duration_ms", flags.duration_ms);
+      report.set_config("cells", static_cast<std::uint64_t>(flags.cells));
+      report.set_config("systems", static_cast<std::uint64_t>(flags.systems));
+      report.set_config("tenants", static_cast<std::uint64_t>(flags.tenants.size()));
+      for (const Leg& leg : legs) {
+        report.set_config(leg.name + ".sent", leg.total.sent);
+        report.set_config(leg.name + ".ok", leg.total.ok);
+        report.set_config(leg.name + ".rate_limited", leg.total.rate_limited);
+        report.set_config(leg.name + ".rejected", leg.total.rejected);
+        report.set_config(leg.name + ".deadline", leg.total.deadline);
+        report.set_config(leg.name + ".reconnects", leg.total.reconnects);
+        report.set_config(
+            leg.name + ".achieved_qps",
+            static_cast<std::uint64_t>(leg.achieved_qps + 0.5));
+        const std::string prefix =
+            flags.label.empty() ? leg.name : flags.label + "/" + leg.name;
+        if (!leg.total.latencies_ns.empty()) {
+          report.add_variant(prefix, leg.total.latencies_ns, "ns");
+        }
+        for (std::size_t t = 0; t < flags.tenants.size(); ++t) {
+          if (t < leg.total.tenant_ns.size() && !leg.total.tenant_ns[t].empty()) {
+            report.add_variant(prefix + "/tenant." + flags.tenants[t].name,
+                               leg.total.tenant_ns[t], "ns");
+          }
+        }
+      }
+      report.write(flags.report_file);
+      std::fprintf(stderr, "irload: report written to %s\n",
+                   flags.report_file.c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "irload: report failed: %s\n", error.what());
+      return 1;
+    }
+  }
+  return healthy ? 0 : 1;
+}

@@ -1,9 +1,25 @@
 // irserve — the batch-solve service (src/service/) as a standalone server.
 //
-// Speaks a newline-delimited protocol over stdin/stdout (default) or a TCP
-// socket (--socket=PORT).  Requests are pipelined: the client may send many
-// solves without waiting; responses come back in submission order.  See
-// docs/service.md for the full protocol and semantics.
+// Frontends (both may run at once):
+//
+//  * The newline protocol over stdin/stdout (default) or TCP
+//    (--socket=PORT): pipelined solve/ping/stats/metrics/drain/quit, one
+//    response per request in submission order (docs/service.md).  TCP
+//    connections are served concurrently, thread-per-connection; `quit` on
+//    any connection stops the listener and lets in-flight sessions finish.
+//  * HTTP/1.1 keep-alive (--http=PORT): the multi-tenant serving tier —
+//    POST /v1/solve, GET /v1/stats, GET /metrics, GET /healthz — with
+//    API-key tenants, token-bucket rate limits, and weighted fair-share
+//    queueing (docs/http.md).  When --http is given without --socket, the
+//    newline protocol still runs on stdin/stdout as the control channel
+//    (`drain`, `quit`).
+//
+// Both frontends feed the same ShardRouter: --shards=N partitions the plan
+// cache and dispatcher pools by plan_cache_key (consistent hashing); the
+// default of 1 is exactly the unsharded server.  Solve payloads are
+// formatted by service/line_protocol.hpp on both transports, so the same
+// request yields byte-identical `values` lines over HTTP and newline — the
+// serving tier's differential contract.
 //
 //   solve [id=N] [deadline_ms=D] [engine=auto|jumping|blocked|spmd|gir]
 //         [values=inline]
@@ -22,22 +38,14 @@
 //   error id=N status=<reason> detail=<text>
 //   pong | stats v=2 <fields> | <prometheus text> . | drained <ledger> | bye
 //
-// `stats` answers one line: the ServiceStats ledger plus live latency
-// quantiles (p50/p90/p99/p999 of service.latency.total_us) and the delta
-// since the previous stats call (win_count/win_p99_us).  `metrics` answers a
-// Prometheus text exposition terminated by a lone "." line; --metrics-file
-// with --metrics-interval-ms dumps the same exposition to a file on a timer
-// (atomic rename, scrape-safe).  `drain` reports the final ledger inline —
-// `drained accepted=... replied=... ... balanced=0|1` — so soak scripts
-// assert the lifecycle balance without parsing stderr.
-//
 // The operation is modular multiplication with a server-wide modulus
 // (--mod=P); without values=inline the initial array is 1 + cell mod 97,
 // matching `irtool solve`.  --inject-slow-ns=NS busy-waits NS nanoseconds in
-// every combine — the load-injection knob the CI soak leg uses to create
+// every combine — the load-injection knob the CI soak legs use to create
 // real queue pressure and deadline misses.  --slow-log=FILE with
 // --slow-threshold-us=T appends one JSON line per slow request
 // (docs/observability.md).
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -64,45 +72,31 @@
 #include "obs/metrics_export.hpp"
 #include "obs/prometheus_export.hpp"
 #include "obs/registry.hpp"
+#include "service/http_tier.hpp"
+#include "service/line_protocol.hpp"
 #include "service/request_trace.hpp"
-#include "service/server.hpp"
+#include "service/serve_op.hpp"
+#include "service/shard_router.hpp"
 
 namespace {
 
 using namespace ir;
+namespace lp = service::line_protocol;
 
-/// ModMul with an optional busy-wait per combine/pow — slow-operation
-/// injection for soak testing.  spin of 0 is the production configuration.
-struct ServeOp {
-  using Value = std::uint64_t;
-  static constexpr bool is_commutative = true;
-
-  algebra::ModMulMonoid inner;
-  std::uint64_t slow_ns = 0;
-
-  void burn() const {
-    if (slow_ns == 0) return;
-    const auto until =
-        std::chrono::steady_clock::now() + std::chrono::nanoseconds(slow_ns);
-    while (std::chrono::steady_clock::now() < until) {
-    }
-  }
-  Value combine(Value a, Value b) const {
-    burn();
-    return inner.combine(a, b);
-  }
-  Value pow(Value a, const support::BigUint& k) const {
-    burn();
-    return inner.pow(a, k);
-  }
-};
-
-using Serve = service::Server<ServeOp>;
+using Router = service::ShardRouter<service::ServeOp>;
+using Tier = service::HttpTier<Router>;
 
 struct ServeFlags {
   std::uint64_t mod = 1'000'000'007ull;
   std::uint64_t slow_ns = 0;
   int socket_port = -1;  ///< -1 = stdin/stdout
+  int backlog = 128;
+  int http_port = -1;    ///< -1 = HTTP tier off
+  std::size_t shards = 1;
+  std::size_t http_workers = 2;
+  std::size_t qos_inflight = 8;
+  std::size_t tenant_queue_cap = 256;
+  std::vector<service::TenantSpec> tenants;
   std::string metrics_file;
   std::string slow_log_file;
   std::uint64_t slow_threshold_us = 0;  ///< 0 = 10ms default when slow-log set
@@ -116,7 +110,10 @@ struct ServeFlags {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: irserve [--socket=PORT] [--mod=P] [--dispatchers=N]\n"
+               "usage: irserve [--socket=PORT] [--backlog=N] [--http=PORT]\n"
+               "               [--shards=N] [--tenant=name:key[:weight[:rate[:burst]]]]\n"
+               "               [--http-workers=N] [--qos-inflight=N]\n"
+               "               [--tenant-queue-cap=N] [--mod=P] [--dispatchers=N]\n"
                "               [--exec-threads=N] [--queue-cap=N] [--max-batch=N]\n"
                "               [--high-watermark=N] [--low-watermark=N]\n"
                "               [--inject-slow-ns=NS] [--metrics=FILE]\n"
@@ -124,6 +121,13 @@ int usage() {
                "               [--ticker-ms=MS] [--metrics-file=FILE]\n"
                "               [--metrics-interval-ms=MS] [--wide={on|off}]\n"
                "               [--plan-store=DIR [--warm-start]]\n"
+               "\n"
+               "--http starts the multi-tenant HTTP tier (docs/http.md):\n"
+               "POST /v1/solve, GET /v1/stats, GET /metrics, GET /healthz.\n"
+               "--tenant (repeatable) declares an API-key tenant with a\n"
+               "fair-share weight and token-bucket rate limit; no --tenant\n"
+               "means open access.  --shards partitions the plan cache and\n"
+               "dispatcher pools by plan_cache_key (consistent hashing).\n"
                "\n"
                "--plan-store persists verified compiled plans to DIR and serves\n"
                "cache misses from it; --warm-start preloads every stored plan at\n"
@@ -137,10 +141,11 @@ int usage() {
 
 /// Registry snapshot with the ServiceStats ledger merged in as
 /// service.stats.* counters/gauges, so one Prometheus exposition carries
-/// both the histogram quantiles and the request ledger.
-obs::MetricsSnapshot service_snapshot(const Serve& server) {
+/// both the histogram quantiles and the request ledger.  `tier` (when the
+/// HTTP frontend is up) layers its http/tenant/qos/shard counters on top.
+obs::MetricsSnapshot service_snapshot(const Router& router, const Tier* tier) {
   obs::MetricsSnapshot snap = obs::registry().snapshot();
-  const service::ServiceStats stats = server.stats();
+  const service::ServiceStats stats = router.stats();
   snap.counters["service.stats.accepted"] = stats.accepted;
   snap.counters["service.stats.rejected"] = stats.rejected();
   snap.counters["service.stats.executed_ok"] = stats.executed_ok;
@@ -159,6 +164,7 @@ obs::MetricsSnapshot service_snapshot(const Serve& server) {
   snap.gauges["service.stats.in_flight"] = stats.in_flight;
   snap.gauges["service.stats.peak_queue_depth"] = stats.peak_queue_depth;
   snap.gauges["service.stats.peak_batch"] = stats.peak_batch;
+  if (tier != nullptr) tier->merge_metrics(snap);
   return snap;
 }
 
@@ -166,9 +172,10 @@ obs::MetricsSnapshot service_snapshot(const Serve& server) {
 /// interval (and once more at shutdown), via atomic rename.
 class MetricsDumper {
  public:
-  MetricsDumper(std::string path, std::size_t interval_ms, const Serve& server)
-      : path_(std::move(path)), interval_ms_(interval_ms), server_(server),
-        thread_([this] { run(); }) {}
+  MetricsDumper(std::string path, std::size_t interval_ms,
+                std::function<obs::MetricsSnapshot()> snapshot)
+      : path_(std::move(path)), interval_ms_(interval_ms),
+        snapshot_(std::move(snapshot)), thread_([this] { run(); }) {}
 
   ~MetricsDumper() {
     {
@@ -183,7 +190,7 @@ class MetricsDumper {
  private:
   void dump() {
     try {
-      obs::write_prometheus_file(path_, service_snapshot(server_));
+      obs::write_prometheus_file(path_, snapshot_());
     } catch (const std::exception& error) {
       std::fprintf(stderr, "irserve: metrics dump failed: %s\n", error.what());
     }
@@ -202,7 +209,7 @@ class MetricsDumper {
 
   std::string path_;
   std::size_t interval_ms_;
-  const Serve& server_;
+  std::function<obs::MetricsSnapshot()> snapshot_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
@@ -214,7 +221,7 @@ class MetricsDumper {
 /// responses in submission order even when batches complete out of order.
 struct Reply {
   std::string ready;  ///< used when !pending.valid()
-  std::future<Serve::Response> pending;
+  std::future<Router::Response> pending;
   std::uint64_t id = 0;
   bool quit = false;
 
@@ -266,38 +273,16 @@ class ReplyWriter {
     }
   }
 
-  void write_response(std::uint64_t id, const Serve::Response& response) {
+  void write_response(std::uint64_t id, const Router::Response& response) {
+    // The shared formatters (service/line_protocol.hpp) — the same bytes the
+    // HTTP tier puts in a /v1/solve response body.
     if (!response.ok()) {
-      std::fprintf(out_, "error id=%llu status=%s detail=%s\n",
-                   static_cast<unsigned long long>(id),
-                   service::to_string(response.status).c_str(),
-                   response.error.c_str());
+      std::fprintf(out_, "%s\n",
+                   lp::error_line(id, response.status, response.error).c_str());
       return;
     }
-    std::uint64_t checksum = 0;
-    for (const auto v : response.values) {
-      checksum ^= v + 0x9e3779b9 + (checksum << 6) + (checksum >> 2);
-    }
-    const auto us = [](service::Clock::duration d) {
-      return static_cast<unsigned long long>(
-          std::chrono::duration_cast<std::chrono::microseconds>(d).count());
-    };
-    std::fprintf(out_,
-                 "ok id=%llu rid=%llu engine=%s fingerprint=%llu batch=%zu "
-                 "coalesced=%d wait_us=%llu exec_us=%llu cells=%zu checksum=%llu\n",
-                 static_cast<unsigned long long>(id),
-                 static_cast<unsigned long long>(response.info.trace.request_id),
-                 response.info.engine.c_str(),
-                 static_cast<unsigned long long>(response.info.plan_fingerprint),
-                 response.info.batch_size, response.info.coalesced ? 1 : 0,
-                 us(response.info.wait), us(response.info.execute),
-                 response.values.size(),
-                 static_cast<unsigned long long>(checksum));
-    std::fprintf(out_, "values %zu", response.values.size());
-    for (const auto v : response.values) {
-      std::fprintf(out_, " %llu", static_cast<unsigned long long>(v));
-    }
-    std::fputc('\n', out_);
+    std::fprintf(out_, "%s\n%s\n", lp::ok_line(id, response).c_str(),
+                 lp::values_line(response.values).c_str());
   }
 
   std::FILE* out_;
@@ -331,73 +316,12 @@ bool read_document(std::FILE* in, std::string& doc) {
   return terminated;
 }
 
-std::vector<std::string> split_tokens(const std::string& line) {
-  std::vector<std::string> tokens;
-  std::size_t i = 0;
-  while (i < line.size()) {
-    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
-    std::size_t start = i;
-    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
-    if (i > start) tokens.push_back(line.substr(start, i - start));
-  }
-  return tokens;
-}
-
-std::optional<core::EngineChoice> engine_from_name(const std::string& name) {
-  if (name == "auto") return core::EngineChoice::kAuto;
-  if (name == "jumping") return core::EngineChoice::kJumping;
-  if (name == "blocked") return core::EngineChoice::kBlocked;
-  if (name == "spmd") return core::EngineChoice::kSpmd;
-  if (name == "gir") return core::EngineChoice::kGeneralCap;
-  return std::nullopt;
-}
-
-/// The one-line `stats` v2 reply: ledger + latency quantiles + the window
-/// delta since the previous stats call.
-std::string stats_v2_line(Serve& server, obs::ScrapeWindow& window) {
-  std::string line = "stats v=2 " + server.stats().to_string();
-  const auto quantile_us = [](const obs::MetricsSnapshot::Histogram& h, double q) {
-    return std::to_string(static_cast<std::uint64_t>(h.quantile(q)));
-  };
-  const auto total =
-      obs::registry().snapshot().histogram("service.latency.total_us");
-  line += " p50_us=" + quantile_us(total, 0.5);
-  line += " p90_us=" + quantile_us(total, 0.9);
-  line += " p99_us=" + quantile_us(total, 0.99);
-  line += " p999_us=" + quantile_us(total, 0.999);
-  const auto win = window.scrape().histogram("service.latency.total_us");
-  line += " win_count=" + std::to_string(win.count());
-  line += " win_p99_us=" + quantile_us(win, 0.99);
-  return line;
-}
-
-/// The `drained <ledger>` reply: final totals plus the balance verdict —
-/// every accepted request reached exactly one terminal edge and was replied.
-std::string drained_line(const service::ServiceStats& stats) {
-  const bool balanced =
-      stats.accepted == stats.completed() && stats.replied == stats.accepted;
-  std::string line = "drained";
-  const auto field = [&line](const char* name, std::uint64_t value) {
-    line += ' ';
-    line += name;
-    line += '=';
-    line += std::to_string(value);
-  };
-  field("accepted", stats.accepted);
-  field("replied", stats.replied);
-  field("executed_ok", stats.executed_ok);
-  field("executed_failed", stats.executed_failed);
-  field("deadline_misses", stats.deadline_misses);
-  field("cancelled", stats.cancelled);
-  field("rejected", stats.rejected());
-  field("balanced", balanced ? 1 : 0);
-  return line;
-}
-
 /// Serve one connection (stdin/stdout or an accepted socket) until EOF or
 /// `quit`.  Returns false when the server should stop accepting connections.
-bool serve_session(std::FILE* in, std::FILE* out, Serve& server,
-                   obs::ScrapeWindow& window) {
+/// Safe to run concurrently (thread-per-connection): the router, registry,
+/// and ScrapeWindow are all thread-safe; each session owns its own writer.
+bool serve_session(std::FILE* in, std::FILE* out, Router& router,
+                   obs::ScrapeWindow& window, const Tier* tier) {
   ReplyWriter writer(out);
   char* line = nullptr;
   std::size_t cap = 0;
@@ -405,31 +329,30 @@ bool serve_session(std::FILE* in, std::FILE* out, Serve& server,
   bool keep_listening = true;
   while ((len = getline(&line, &cap, in)) != -1) {
     (void)len;
-    const auto tokens = split_tokens(line);
+    const auto tokens = lp::split_tokens(line);
     if (tokens.empty()) continue;
     const std::string& command = tokens.front();
 
     if (command == "ping") {
       writer.push(Reply::text("pong"));
     } else if (command == "stats") {
-      writer.push(Reply::text(stats_v2_line(server, window)));
+      writer.push(Reply::text(lp::stats_v2_line(router.stats(), window)));
     } else if (command == "metrics") {
       // Prometheus text exposition, terminated by a lone "." so pipelined
       // clients can find the end without content-length framing.
-      writer.push(Reply::text(obs::prometheus_text(service_snapshot(server)) + "."));
+      writer.push(
+          Reply::text(obs::prometheus_text(service_snapshot(router, tier)) + "."));
     } else if (command == "drain") {
       // Terminal: stops admission, waits for in-flight work.  Subsequent
       // solves answer status=shutdown.
-      server.drain();
-      writer.push(Reply::text(drained_line(server.stats())));
+      router.drain();
+      writer.push(Reply::text(lp::drained_line(router.stats())));
     } else if (command == "quit") {
       writer.push(Reply::text("bye"));
       keep_listening = false;
       break;
     } else if (command == "solve") {
-      std::uint64_t id = 0;
-      Serve::Request request;
-      bool inline_values = false;
+      lp::SolveArgs args;
       bool bad = false;
       std::string bad_detail;
       for (std::size_t t = 1; t < tokens.size() && !bad; ++t) {
@@ -438,85 +361,51 @@ bool serve_session(std::FILE* in, std::FILE* out, Serve& server,
         const std::string key = token.substr(0, eq);
         const std::string value =
             eq == std::string::npos ? std::string() : token.substr(eq + 1);
-        if (key == "id") {
-          id = std::strtoull(value.c_str(), nullptr, 10);
-        } else if (key == "deadline_ms") {
-          request.deadline =
-              std::chrono::milliseconds(std::strtoull(value.c_str(), nullptr, 10));
-        } else if (key == "engine") {
-          if (const auto choice = engine_from_name(value)) {
-            request.plan.engine = *choice;
-          } else {
-            bad = true;
-            bad_detail = "unknown engine '" + value + "'";
-          }
-        } else if (key == "values") {
-          if (value == "inline") {
-            inline_values = true;
-          } else {
-            bad = true;
-            bad_detail = "unknown values mode '" + value + "'";
-          }
-        } else {
-          bad = true;
-          bad_detail = "unknown attribute '" + key + "'";
-        }
+        if (!lp::apply_solve_attr(key, value, &args, &bad_detail)) bad = true;
       }
 
       std::string doc;
       if (!read_document(in, doc)) {
-        writer.push(Reply::text("error id=" + std::to_string(id) +
-                                   " status=invalid detail=eof-before-terminator"));
+        writer.push(Reply::text(
+            lp::error_line(args.id, service::Status::kRejectedInvalid,
+                           "eof-before-terminator")));
         break;
       }
       std::string values_doc;
-      if (inline_values && !read_document(in, values_doc)) {
-        writer.push(Reply::text("error id=" + std::to_string(id) +
-                                   " status=invalid detail=eof-before-terminator"));
+      if (args.inline_values && !read_document(in, values_doc)) {
+        writer.push(Reply::text(
+            lp::error_line(args.id, service::Status::kRejectedInvalid,
+                           "eof-before-terminator")));
         break;
       }
       if (bad) {
-        writer.push(Reply::text("error id=" + std::to_string(id) +
-                                   " status=invalid detail=" + bad_detail));
+        writer.push(Reply::text(lp::error_line(
+            args.id, service::Status::kRejectedInvalid, bad_detail)));
         continue;
       }
+      Router::Request request;
       try {
-        request.sys = core::system_from_text(doc);
-        if (inline_values) {
-          const auto doubles = core::values_from_text(values_doc);
-          request.initial.reserve(doubles.size());
-          for (const double v : doubles) {
-            request.initial.push_back(static_cast<std::uint64_t>(v));
-          }
-        } else {
-          request.initial.resize(request.sys.cells);
-          for (std::size_t c = 0; c < request.sys.cells; ++c) {
-            request.initial[c] = 1 + c % 97;
-          }
-        }
+        lp::fill_request(args, doc, values_doc, &request);
       } catch (const std::exception& error) {
-        std::string detail = error.what();
-        for (auto& ch : detail) {
-          if (ch == '\n') ch = ' ';
-        }
-        writer.push(Reply::text("error id=" + std::to_string(id) +
-                                   " status=invalid detail=" + detail));
+        writer.push(Reply::text(lp::error_line(
+            args.id, service::Status::kRejectedInvalid, error.what())));
         continue;
       }
       Reply reply;
-      reply.id = id;
-      reply.pending = server.submit_async(std::move(request));
+      reply.id = args.id;
+      reply.pending = router.submit_async(std::move(request));
       writer.push(std::move(reply));
     } else {
       writer.push(Reply::text("error id=0 status=invalid detail=unknown-command-" +
-                                 command));
+                              command));
     }
   }
   std::free(line);
   return keep_listening;
 }
 
-int serve_socket(int port, Serve& server, obs::ScrapeWindow& window) {
+int serve_socket(int port, int backlog, Router& router,
+                 obs::ScrapeWindow& window, const Tier* tier) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
     std::perror("irserve: socket");
@@ -529,7 +418,7 @@ int serve_socket(int port, Serve& server, obs::ScrapeWindow& window) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, 8) < 0) {
+      ::listen(listener, backlog) < 0) {
     std::perror("irserve: bind/listen");
     ::close(listener);
     return 1;
@@ -541,28 +430,47 @@ int serve_socket(int port, Serve& server, obs::ScrapeWindow& window) {
   std::fprintf(stderr, "irserve: listening on 127.0.0.1:%d\n",
                ntohs(addr.sin_port));
 
-  // Connections are served one at a time; `quit` on any connection stops
-  // the listener.  Batch concurrency lives in the service, not in the
-  // number of sockets.
-  bool keep_listening = true;
-  while (keep_listening) {
+  // Thread-per-connection: sessions are served concurrently (the router is
+  // thread-safe; batch coalescing happens inside the service regardless of
+  // which socket a request arrived on).  `quit` on any connection stops the
+  // listener — shutdown() wakes the blocking accept — and in-flight
+  // sessions run to completion before the listener closes.
+  std::atomic<bool> stop{false};
+  std::mutex sessions_mutex;
+  std::vector<std::thread> sessions;
+  for (;;) {
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      std::perror("irserve: accept");
+      if (!stop.load()) std::perror("irserve: accept");
       break;
     }
-    std::FILE* in = ::fdopen(fd, "r");
-    std::FILE* out = ::fdopen(::dup(fd), "w");
-    if (in == nullptr || out == nullptr) {
-      std::perror("irserve: fdopen");
-      if (in != nullptr) std::fclose(in);
-      if (out != nullptr) std::fclose(out);
-      continue;
+    std::thread session([fd, &router, &window, &stop, listener, tier] {
+      std::FILE* in = ::fdopen(fd, "r");
+      std::FILE* out = ::fdopen(::dup(fd), "w");
+      if (in == nullptr || out == nullptr) {
+        std::perror("irserve: fdopen");
+        if (in != nullptr) std::fclose(in);
+        if (out != nullptr) std::fclose(out);
+        if (in == nullptr && out == nullptr) ::close(fd);
+        return;
+      }
+      const bool keep = serve_session(in, out, router, window, tier);
+      std::fclose(out);
+      std::fclose(in);
+      if (!keep && !stop.exchange(true)) {
+        // Wake the accept loop without closing the fd under it.
+        ::shutdown(listener, SHUT_RDWR);
+      }
+    });
+    {
+      std::lock_guard lock(sessions_mutex);
+      sessions.push_back(std::move(session));
     }
-    keep_listening = serve_session(in, out, server, window);
-    std::fclose(out);
-    std::fclose(in);
+  }
+  {
+    std::lock_guard lock(sessions_mutex);
+    for (auto& session : sessions) session.join();
   }
   ::close(listener);
   return 0;
@@ -579,6 +487,26 @@ int main(int argc, char** argv) {
     };
     if (arg.rfind("--socket=", 0) == 0) {
       flags.socket_port = static_cast<int>(number(9));
+    } else if (arg.rfind("--backlog=", 0) == 0) {
+      flags.backlog = static_cast<int>(number(10));
+    } else if (arg.rfind("--http=", 0) == 0) {
+      flags.http_port = static_cast<int>(number(7));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      flags.shards = number(9);
+    } else if (arg.rfind("--http-workers=", 0) == 0) {
+      flags.http_workers = number(15);
+    } else if (arg.rfind("--qos-inflight=", 0) == 0) {
+      flags.qos_inflight = number(15);
+    } else if (arg.rfind("--tenant-queue-cap=", 0) == 0) {
+      flags.tenant_queue_cap = number(19);
+    } else if (arg.rfind("--tenant=", 0) == 0) {
+      std::string error;
+      const auto spec = service::TenantSpec::parse(arg.substr(9), &error);
+      if (!spec) {
+        std::fprintf(stderr, "irserve: %s\n", error.c_str());
+        return usage();
+      }
+      flags.tenants.push_back(*spec);
     } else if (arg.rfind("--mod=", 0) == 0) {
       flags.mod = number(6);
     } else if (arg.rfind("--dispatchers=", 0) == 0) {
@@ -641,29 +569,55 @@ int main(int argc, char** argv) {
       flags.config.warm_start = flags.warm_start;
     }
 
-    ServeOp op{algebra::ModMulMonoid(flags.mod), flags.slow_ns};
-    Serve server(op, flags.config);
+    service::ServeOp op{algebra::ModMulMonoid(flags.mod), flags.slow_ns};
+    Router router(op, flags.config, flags.shards);
     if (plan_store != nullptr && flags.warm_start) {
       std::fprintf(stderr, "irserve: warm start preloaded %llu plans from %s\n",
                    static_cast<unsigned long long>(plan_store->preloaded()),
                    flags.plan_store_dir.c_str());
     }
     obs::ScrapeWindow window;
+
+    std::unique_ptr<Tier> tier;
+    if (flags.http_port >= 0) {
+      service::HttpTierConfig tier_config;
+      tier_config.http.port = static_cast<std::uint16_t>(flags.http_port);
+      tier_config.http.backlog = flags.backlog;
+      tier_config.http.workers = flags.http_workers;
+      tier_config.qos.max_inflight = flags.qos_inflight;
+      tier_config.qos.tenant_queue_cap = flags.tenant_queue_cap;
+      tier_config.tenants = flags.tenants;
+      tier = std::make_unique<Tier>(router, std::move(tier_config), window,
+                                    [&router, &tier] {
+                                      return service_snapshot(router, tier.get());
+                                    });
+      if (!tier->start()) {
+        std::fprintf(stderr, "irserve: http: %s\n", tier->error().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "irserve: http listening on 127.0.0.1:%u\n",
+                   static_cast<unsigned>(tier->port()));
+    }
+
     std::unique_ptr<MetricsDumper> dumper;
     if (!flags.prom_file.empty()) {
-      dumper = std::make_unique<MetricsDumper>(flags.prom_file,
-                                               flags.prom_interval_ms, server);
+      dumper = std::make_unique<MetricsDumper>(
+          flags.prom_file, flags.prom_interval_ms, [&router, &tier] {
+            return service_snapshot(router, tier.get());
+          });
     }
     int rc = 0;
     if (flags.socket_port >= 0) {
-      rc = serve_socket(flags.socket_port, server, window);
+      rc = serve_socket(flags.socket_port, flags.backlog, router, window,
+                        tier.get());
     } else {
-      serve_session(stdin, stdout, server, window);
+      serve_session(stdin, stdout, router, window, tier.get());
     }
-    server.shutdown();
+    if (tier != nullptr) tier->stop();  // drain HTTP before the service goes down
+    router.shutdown();
     dumper.reset();  // final dump sees the drained ledger
     if (!flags.metrics_file.empty()) {
-      const service::ServiceStats stats = server.stats();
+      const service::ServiceStats stats = router.stats();
       obs::ExtraFields extra = {
           {"command", obs::json_quote("irserve")},
           {"accepted", std::to_string(stats.accepted)},

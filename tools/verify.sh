@@ -6,7 +6,7 @@
 # --selftest), so the engine sweep and the shrinker are exercised on each pass.
 #
 # Usage: tools/verify.sh [--asan] [--lint] [--tidy] [--annotations] [--serve]
-#                        [--store] [--bench-report] [build-dir-prefix]
+#                        [--store] [--http] [--bench-report] [build-dir-prefix]
 #   (default prefix: build)
 #   --asan   add a third pass built with -DIR_SANITIZE=address;undefined
 #   --lint   statically certify every corpus witness and generated schedule
@@ -27,6 +27,12 @@
 #            load and deadline pressure (tools/serve_soak.sh) in every
 #            configuration this invocation builds; the soak includes the
 #            plan-store warm-start restart leg (docs/plan_store.md)
+#   --http   exercise the multi-tenant HTTP tier in every configuration this
+#            invocation builds: irfuzz's --http differential leg (random
+#            systems round-tripped through POST /v1/solve, byte-compared
+#            against the sequential oracle) plus the two-tenant irload soak
+#            (tools/http_soak.sh — keep-alive, fair share, confined 429s,
+#            balanced ledger)
 #   --store  round-trip every corpus witness through the binary plan store:
 #            irtool plan export into a store directory, re-import (full
 #            validation + static verification) + info on every entry, prove a
@@ -47,6 +53,7 @@ TIDY=0
 ANNOTATIONS=0
 SERVE=0
 STORE=0
+HTTP=0
 BENCH_REPORT=0
 PREFIX="build"
 for arg in "$@"; do
@@ -57,6 +64,7 @@ for arg in "$@"; do
     --annotations) ANNOTATIONS=1 ;;
     --serve) SERVE=1 ;;
     --store) STORE=1 ;;
+    --http) HTTP=1 ;;
     --bench-report) BENCH_REPORT=1 ;;
     *) PREFIX="${arg}" ;;
   esac
@@ -121,6 +129,10 @@ run_suite() {
   fi
   if [[ "${STORE}" == "1" ]]; then
     run_store_leg "${dir}"
+  fi
+  if [[ "${HTTP}" == "1" ]]; then
+    "${dir}/tools/irfuzz" --http=24
+    tools/http_soak.sh "${dir}"
   fi
 }
 
